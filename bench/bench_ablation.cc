@@ -1,0 +1,73 @@
+// Ablation (DESIGN.md §4): how much of AnyOpt's prediction accuracy comes
+// from accounting for BGP announcement arrival order?  Re-runs the Fig. 5a
+// protocol with a predictor built from naive (simultaneous, single-run)
+// pairwise tables instead of the ordered two-experiment tables.
+
+#include <cstdio>
+
+#include "core/discovery.h"
+#include "core/predictor.h"
+#include "netbase/rng.h"
+#include "netbase/stats.h"
+#include "netbase/table.h"
+#include "support/bench_common.h"
+
+int main() {
+  using namespace anyopt;
+  bench::print_banner(
+      "Ablation — prediction accuracy with vs without announcement-order "
+      "accounting",
+      "(implicit in §5.1/§5.2: without order handling, order-dependent "
+      "clients are misclassified as strict and mispredicted)");
+
+  bench::PaperEnv env = bench::make_env_from_environment();
+
+  // Ordered predictor: via the pipeline (two experiments per pair).
+  const core::Predictor& ordered = env.pipeline->predictor();
+
+  // Naive predictor: simultaneous single-run discovery at both levels.
+  core::DiscoveryOptions naive_opts;
+  naive_opts.account_order = false;
+  const core::Discovery naive(*env.orchestrator, naive_opts);
+  const core::DiscoveryResult naive_result = naive.run();
+  const core::Predictor naive_predictor(env.world->deployment(),
+                                        naive_result, ordered.rtts());
+
+  Rng rng{57};
+  TextTable table({"config", "#sites", "accuracy (ordered)",
+                   "accuracy (naive)", "predictable (ordered)",
+                   "predictable (naive)"});
+  stats::Online ordered_acc;
+  stats::Online naive_acc;
+  const std::size_t sites = env.world->deployment().site_count();
+  for (int i = 0; i < 12; ++i) {
+    const std::size_t k = 2 + rng.below(sites - 2);
+    std::vector<std::size_t> ids(sites);
+    for (std::size_t s = 0; s < sites; ++s) ids[s] = s;
+    rng.shuffle(ids);
+    anycast::AnycastConfig cfg;
+    for (std::size_t s = 0; s < k; ++s) {
+      cfg.announce_order.push_back(
+          SiteId{static_cast<SiteId::underlying_type>(ids[s])});
+    }
+    const measure::Census census =
+        env.orchestrator->measure(cfg, 0xAB1A + i);
+    const core::Prediction po = ordered.predict(cfg);
+    const core::Prediction pn = naive_predictor.predict(cfg);
+    const double ao = po.accuracy_against(census);
+    const double an = pn.accuracy_against(census);
+    ordered_acc.add(ao);
+    naive_acc.add(an);
+    const double total = static_cast<double>(census.site_of_target.size());
+    table.add_row({std::to_string(i + 1), std::to_string(k),
+                   TextTable::pct(ao), TextTable::pct(an),
+                   TextTable::pct(po.predicted_count() / total),
+                   TextTable::pct(pn.predicted_count() / total)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("mean accuracy: ordered %.1f%% vs naive %.1f%% — the "
+              "order-aware discovery is what makes the catchment predictor "
+              "trustworthy.\n",
+              100 * ordered_acc.mean(), 100 * naive_acc.mean());
+  return 0;
+}

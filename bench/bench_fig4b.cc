@@ -1,0 +1,76 @@
+// Figure 4b: fraction of client networks WITHOUT a total preference order
+// among the enabled transit providers, as the number of providers grows
+// from 3 to 6 — with and without accounting for announcement order (§5.1).
+// The paper: at 6 providers, 21.7% naive vs 10.8% when the order of BGP
+// announcements is incorporated (roughly halved).
+
+#include <cstdio>
+
+#include "core/discovery.h"
+#include "core/total_order.h"
+#include "netbase/rng.h"
+#include "netbase/stats.h"
+#include "netbase/table.h"
+#include "support/bench_common.h"
+
+namespace {
+
+using namespace anyopt;
+
+/// Mean (and spread) of the no-total-order fraction over random provider
+/// subsets of a given size.
+stats::Online no_order_over_subsets(const core::PairwiseTable& table,
+                                    std::size_t subset_size, int repeats,
+                                    Rng& rng) {
+  stats::Online acc;
+  const std::size_t providers = table.item_count;
+  for (int r = 0; r < repeats; ++r) {
+    std::vector<std::size_t> all(providers);
+    for (std::size_t i = 0; i < providers; ++i) all[i] = i;
+    rng.shuffle(all);
+    all.resize(subset_size);
+    std::sort(all.begin(), all.end());
+    // Arrival ranks: the subset's announcement order, randomized per rep.
+    std::vector<std::size_t> arrival(providers, 0);
+    std::vector<std::size_t> order = all;
+    rng.shuffle(order);
+    for (std::size_t i = 0; i < order.size(); ++i) arrival[order[i]] = i;
+    acc.add(1.0 - core::fraction_with_total_order(table, all, arrival));
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Figure 4b — networks without a total order vs #providers",
+      "naive grows to 21.7% at 6 providers; accounting for announcement "
+      "order halves it to 10.8%");
+
+  bench::PaperEnv env = bench::make_env_from_environment();
+
+  core::DiscoveryOptions naive_opts;
+  naive_opts.account_order = false;
+  const core::Discovery naive(*env.orchestrator, naive_opts);
+  const core::Discovery ordered(*env.orchestrator);
+
+  std::size_t experiments = 0;
+  const core::PairwiseTable naive_table = naive.provider_level(&experiments);
+  const core::PairwiseTable ordered_table =
+      ordered.provider_level(&experiments);
+
+  Rng rng{20210823};
+  TextTable table({"#providers", "no total order (naive)", "+/-",
+                   "no total order (with order)", "+/-"});
+  for (std::size_t n = 3; n <= naive_table.item_count; ++n) {
+    const auto no_naive = no_order_over_subsets(naive_table, n, 5, rng);
+    const auto no_ordered = no_order_over_subsets(ordered_table, n, 5, rng);
+    table.add_row({std::to_string(n), TextTable::pct(no_naive.mean()),
+                   TextTable::pct(no_naive.stddev()),
+                   TextTable::pct(no_ordered.mean()),
+                   TextTable::pct(no_ordered.stddev())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

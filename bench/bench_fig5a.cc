@@ -1,0 +1,33 @@
+// Figure 5a: catchment prediction accuracy across random anycast
+// configurations (§5.2).  The paper deploys 38 random configurations of
+// 1-14 sites and predicts each target's catchment from the total orders;
+// accuracy stays above 93%, averaging 94.7%.
+
+#include <cstdio>
+
+#include "netbase/stats.h"
+#include "netbase/table.h"
+#include "support/bench_common.h"
+
+int main() {
+  using namespace anyopt;
+  bench::print_banner(
+      "Figure 5a — catchment prediction accuracy over 38 random configs",
+      ">93% per configuration; 94.7% mean accuracy over 15,300 targets");
+
+  bench::PaperEnv env = bench::make_env_from_environment();
+  const auto points = bench::run_fig5_sweep(env);
+
+  TextTable table({"config", "#sites", "accuracy"});
+  stats::Online acc;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    acc.add(points[i].accuracy);
+    table.add_row({std::to_string(i + 1), std::to_string(points[i].sites),
+                   TextTable::pct(points[i].accuracy)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("accuracy: min %.1f%%, mean %.1f%%, max %.1f%% "
+              "(paper: >93%% per config, 94.7%% mean)\n",
+              100 * acc.min(), 100 * acc.mean(), 100 * acc.max());
+  return 0;
+}

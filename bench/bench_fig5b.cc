@@ -1,0 +1,36 @@
+// Figure 5b: CDF of the absolute difference between the predicted and the
+// measured mean RTT over the 38 random configurations (§5.2).  The paper:
+// within 6 ms for more than 80% of configurations.
+
+#include <cstdio>
+
+#include "netbase/stats.h"
+#include "support/bench_common.h"
+
+int main() {
+  using namespace anyopt;
+  bench::print_banner(
+      "Figure 5b — CDF of |predicted - measured| mean RTT",
+      "<= 6 ms for more than 80% of anycast configurations");
+
+  bench::PaperEnv env = bench::make_env_from_environment();
+  const auto points = bench::run_fig5_sweep(env);
+
+  std::vector<double> abs_errors;
+  for (const auto& p : points) abs_errors.push_back(p.abs_error());
+
+  const auto cdf = stats::empirical_cdf(abs_errors, 38);
+  std::printf("%s\n",
+              stats::format_cdf(cdf, "abs_error_ms", "Fig5b").c_str());
+
+  std::size_t within6 = 0;
+  for (const double e : abs_errors) {
+    if (e <= 6.0) ++within6;
+  }
+  std::printf("within 6 ms: %.1f%% of configurations (paper: >80%%); "
+              "median abs error %.2f ms\n",
+              100.0 * static_cast<double>(within6) /
+                  static_cast<double>(abs_errors.size()),
+              stats::median(abs_errors));
+  return 0;
+}

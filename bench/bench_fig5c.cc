@@ -1,0 +1,34 @@
+// Figure 5c: per-configuration relative error of the predicted mean RTT
+// versus the measured mean RTT (§5.2).  The paper: mean error below 4.6%.
+
+#include <cstdio>
+
+#include "netbase/stats.h"
+#include "netbase/table.h"
+#include "support/bench_common.h"
+
+int main() {
+  using namespace anyopt;
+  bench::print_banner(
+      "Figure 5c — relative error of the predicted mean RTT",
+      "mean predicted-average-RTT error < 4.6%");
+
+  bench::PaperEnv env = bench::make_env_from_environment();
+  const auto points = bench::run_fig5_sweep(env);
+
+  TextTable table(
+      {"config", "#sites", "predicted (ms)", "measured (ms)", "rel error"});
+  stats::Online err;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    err.add(points[i].rel_error());
+    table.add_row({std::to_string(i + 1), std::to_string(points[i].sites),
+                   TextTable::num(points[i].predicted_mean_rtt, 1),
+                   TextTable::num(points[i].measured_mean_rtt, 1),
+                   TextTable::pct(points[i].rel_error())});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("relative error: mean %.1f%%, max %.1f%% "
+              "(paper: mean < 4.6%%)\n",
+              100 * err.mean(), 100 * err.max());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Figure 6: RTT distribution of the AnyOpt-optimized configuration versus
+// the baselines (§5.3).  The paper: the 12-site AnyOpt configuration has a
+// 43 ms median (vs 76 ms for greedy-by-unicast with the same site count, a
+// 43.4% improvement and 33 ms lower mean), beats three random 4-site
+// configurations by 27-59.8% at the median, and — counterintuitively —
+// also beats enabling all 15 sites.
+
+#include <cstdio>
+
+#include "core/optimizer.h"
+#include "netbase/rng.h"
+#include "netbase/stats.h"
+#include "netbase/table.h"
+#include "support/bench_common.h"
+
+int main() {
+  using namespace anyopt;
+  bench::print_banner(
+      "Figure 6 — optimized configuration vs baselines",
+      "AnyOpt-12 median 43 ms vs 12-Greedy 76 ms (43.4% better, 33 ms "
+      "lower mean); AnyOpt-12 also beats 15-all");
+
+  bench::PaperEnv env = bench::make_env_from_environment();
+  const auto& deployment = env.world->deployment();
+
+  // Offline search (the paper ran this for six hours; cached evaluation
+  // makes it seconds here).
+  core::OptimizerOptions opts;
+  opts.time_budget_s = 120.0;
+  const core::SearchOutcome search = env.pipeline->optimize(opts);
+  std::printf("offline search: %zu configurations evaluated%s; best overall "
+              "uses %zu sites (predicted mean %.1f ms)\n\n",
+              search.configurations_evaluated,
+              search.exhausted ? " (exhaustive)" : " (time-bounded)",
+              search.best.config.announce_order.size(),
+              search.best.predicted_mean_rtt);
+
+  const std::size_t best_k = search.best.config.announce_order.size();
+  const auto& anyopt_cfg = search.best.config;
+  const auto greedy_cfg = core::Optimizer::greedy_unicast(
+      env.pipeline->predictor().rtts(), best_k);
+  const auto all_cfg = anycast::AnycastConfig::all_sites(deployment);
+
+  // Three random 2-provider x 2-site configurations; keep the best.
+  Rng rng{46};
+  measure::Census best_random;
+  double best_random_mean = 1e18;
+  std::string best_random_desc;
+  for (int i = 0; i < 3; ++i) {
+    const auto cfg =
+        core::Optimizer::random_config(deployment, 2, 2, rng);
+    const measure::Census census =
+        env.orchestrator->measure(cfg, 0x4A4D + i);
+    if (census.mean_rtt() < best_random_mean) {
+      best_random_mean = census.mean_rtt();
+      best_random = census;
+      best_random_desc = cfg.describe();
+    }
+  }
+
+  struct Line {
+    std::string name;
+    measure::Census census;
+  };
+  std::vector<Line> lines;
+  lines.push_back({"AnyOpt-" + std::to_string(best_k),
+                   env.orchestrator->measure(anyopt_cfg, 0xF160)});
+  lines.push_back({std::to_string(best_k) + "-Greedy",
+                   env.orchestrator->measure(greedy_cfg, 0xF161)});
+  lines.push_back({"4-Random (best of 3)", best_random});
+  lines.push_back({"15-all", env.orchestrator->measure(all_cfg, 0xF162)});
+
+  for (const Line& line : lines) {
+    const auto cdf = stats::empirical_cdf(line.census.valid_rtts(), 25);
+    std::printf("%s\n",
+                stats::format_cdf(cdf, "rtt_ms", line.name).c_str());
+  }
+
+  TextTable table({"configuration", "mean RTT (ms)", "median RTT (ms)"});
+  for (const Line& line : lines) {
+    table.add_row({line.name, TextTable::num(line.census.mean_rtt(), 1),
+                   TextTable::num(line.census.median_rtt(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double anyopt_mean = lines[0].census.mean_rtt();
+  const double greedy_mean = lines[1].census.mean_rtt();
+  const double anyopt_median = lines[0].census.median_rtt();
+  const double greedy_median = lines[1].census.median_rtt();
+  std::printf("AnyOpt vs Greedy (same #sites): mean -%.1f ms, median "
+              "-%.1f ms (%.1f%% median improvement; paper: -33 ms mean, "
+              "43.4%% median)\n",
+              greedy_mean - anyopt_mean, greedy_median - anyopt_median,
+              100.0 * (greedy_median - anyopt_median) / greedy_median);
+  std::printf("AnyOpt vs 15-all: mean -%.1f ms (paper: the smaller AnyOpt "
+              "configuration outperforms all 15 sites)\n",
+              lines[3].census.mean_rtt() - anyopt_mean);
+  std::printf("best random 4-site config: %s\n", best_random_desc.c_str());
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 7b: change of the deployment-wide mean RTT when each peer is
+// enabled alone on top of the optimized transit-only configuration,
+// peers ranked by that change (§5.4).  The paper: only a few peers move
+// the average noticeably; beneficial peers are a minority.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/optimizer.h"
+#include "core/peers.h"
+#include "netbase/table.h"
+#include "support/bench_common.h"
+
+int main() {
+  using namespace anyopt;
+  bench::print_banner(
+      "Figure 7b — mean-RTT delta per enabled peer (ranked)",
+      "only a few peers have noticeable impact on the average RTT");
+
+  bench::PaperEnv env = bench::make_env_from_environment();
+
+  core::OptimizerOptions opts;
+  opts.time_budget_s = 120.0;
+  const core::SearchOutcome search = env.pipeline->optimize(opts);
+  const core::OnePassPeerSelector selector(*env.orchestrator);
+  const core::OnePassResult one_pass = selector.run(search.best.config);
+
+  std::vector<core::PeerMeasurement> ranked = one_pass.peers;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const core::PeerMeasurement& a,
+               const core::PeerMeasurement& b) {
+              return a.delta_ms < b.delta_ms;
+            });
+
+  std::printf("baseline (transit-only AnyOpt config) mean RTT: %.1f ms\n\n",
+              one_pass.baseline_mean_rtt);
+  std::printf("# rank\tdelta_mean_rtt_ms\tcatchment_size\tbeneficial\n");
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    std::printf("%4zu\t%+9.3f\t%8zu\t%s\n", i + 1, ranked[i].delta_ms,
+                ranked[i].catchment_size,
+                ranked[i].beneficial ? "yes" : "no");
+  }
+
+  std::size_t beneficial = 0;
+  double best_delta = 0;
+  for (const auto& m : ranked) {
+    if (m.beneficial) ++beneficial;
+    best_delta = std::min(best_delta, m.delta_ms);
+  }
+  std::printf("\nbeneficial peers: %zu of %zu; best single-peer "
+              "improvement: %.2f ms (paper: 47 of 104 beneficial)\n",
+              beneficial, ranked.size(), -best_delta);
+  return 0;
+}

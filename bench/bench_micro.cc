@@ -1,0 +1,172 @@
+// Engine micro-benchmarks (google-benchmark): the hot paths that make the
+// offline methodology practical, plus the DESIGN.md ablation of the
+// arrival-order decision step.
+
+#include <benchmark/benchmark.h>
+
+#include "anycast/world.h"
+#include "bgp/decision.h"
+#include "bgp/simulator.h"
+#include "core/anyopt.h"
+#include "measure/orchestrator.h"
+#include "netbase/rng.h"
+
+namespace {
+
+using namespace anyopt;
+
+/// Small world shared by all micro benches (paper scale would melt the
+/// repetition counts).
+anycast::World& world() {
+  static auto w = anycast::World::create(anycast::WorldParams::test_scale(99));
+  return *w;
+}
+
+measure::Orchestrator& orchestrator() {
+  static measure::Orchestrator orch(world());
+  return orch;
+}
+
+core::AnyOptPipeline& pipeline() {
+  static core::AnyOptPipeline pipe(orchestrator());
+  static bool primed = [] {
+    pipe.discover();
+    pipe.measure_rtts();
+    return true;
+  }();
+  (void)primed;
+  return pipe;
+}
+
+bgp::RibEntry make_entry(int lp, std::size_t len, std::uint64_t arrival,
+                         std::uint32_t rid) {
+  bgp::RibEntry e;
+  e.present = true;
+  e.neighbor = AsId{rid};
+  e.local_pref = lp;
+  e.as_path.assign(len, AsId{7});
+  e.arrival_seq = arrival;
+  e.neighbor_router_id = rid;
+  return e;
+}
+
+void BM_DecisionProcess(benchmark::State& state) {
+  // Ablation: arg 0 = without the vendor arrival-order step, 1 = with.
+  bgp::DecisionOptions opts;
+  opts.prefer_oldest = state.range(0) != 0;
+  Rng rng{1};
+  std::vector<bgp::RibEntry> entries;
+  for (int i = 0; i < 64; ++i) {
+    entries.push_back(make_entry(100 + 100 * static_cast<int>(rng.below(2)),
+                                 1 + rng.below(4), rng.below(1000),
+                                 static_cast<std::uint32_t>(rng.below(1 << 30))));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = entries[i % entries.size()];
+    const auto& b = entries[(i * 31 + 7) % entries.size()];
+    benchmark::DoNotOptimize(bgp::compare_routes(a, b, opts));
+    ++i;
+  }
+}
+BENCHMARK(BM_DecisionProcess)->Arg(0)->Arg(1);
+
+void BM_BgpPropagation(benchmark::State& state) {
+  // Full clean-state propagation of `arg` announcements, 360s apart.
+  const auto sites = static_cast<std::size_t>(state.range(0));
+  std::vector<bgp::Injection> schedule;
+  for (std::size_t s = 0; s < sites; ++s) {
+    schedule.push_back(
+        {static_cast<double>(s) * 360.0,
+         world().deployment().transit_attachment(
+             SiteId{static_cast<SiteId::underlying_type>(s)}),
+         false});
+  }
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    const bgp::RoutingState result =
+        world().simulator().run(schedule, nonce++);
+    benchmark::DoNotOptimize(result.events_processed());
+  }
+  state.counters["ases"] =
+      static_cast<double>(world().internet().graph.as_count());
+}
+BENCHMARK(BM_BgpPropagation)->Arg(1)->Arg(4)->Arg(15);
+
+void BM_ForwardingResolve(benchmark::State& state) {
+  const auto cfg = anycast::AnycastConfig::all_sites(world().deployment());
+  const auto schedule = cfg.schedule(world().deployment());
+  const bgp::RoutingState routing = world().simulator().run(schedule, 1);
+  const auto& targets = world().targets();
+  std::size_t t = 0;
+  for (auto _ : state) {
+    const auto& target = targets.target(
+        TargetId{static_cast<TargetId::underlying_type>(t % targets.size())});
+    benchmark::DoNotOptimize(routing.resolve(target.as, target.where, t));
+    ++t;
+  }
+}
+BENCHMARK(BM_ForwardingResolve);
+
+void BM_CatchmentCensus(benchmark::State& state) {
+  const auto cfg = anycast::AnycastConfig::all_sites(world().deployment());
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orchestrator().measure(cfg, nonce++));
+  }
+  state.counters["targets"] = static_cast<double>(world().targets().size());
+}
+BENCHMARK(BM_CatchmentCensus);
+
+void BM_PredictConfiguration(benchmark::State& state) {
+  auto& pipe = pipeline();
+  Rng rng{3};
+  const auto cfg = core::Optimizer::random_config(world().deployment(),
+                                                  3, 2, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipe.predict(cfg));
+  }
+}
+BENCHMARK(BM_PredictConfiguration);
+
+void BM_OptimizerSubsetSearch(benchmark::State& state) {
+  auto& pipe = pipeline();
+  core::OptimizerOptions opts;
+  opts.time_budget_s = 3600;  // never hit in the test world
+  opts.order_candidates = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipe.optimize(opts).configurations_evaluated);
+  }
+}
+BENCHMARK(BM_OptimizerSubsetSearch)->Unit(benchmark::kMillisecond);
+
+void BM_TotalOrderConstruction(benchmark::State& state) {
+  auto& pipe = pipeline();
+  const auto& table = pipe.discover().provider_prefs;
+  const std::vector<std::size_t> items{0, 1, 2, 3, 4, 5};
+  const std::vector<std::size_t> arrival{0, 1, 2, 3, 4, 5};
+  std::size_t t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::target_total_order(table, t % table.target_count, items,
+                                 arrival));
+    ++t;
+  }
+}
+BENCHMARK(BM_TotalOrderConstruction);
+
+void BM_SplpoEvaluate(benchmark::State& state) {
+  auto& pipe = pipeline();
+  const auto order = anycast::AnycastConfig::all_sites(world().deployment());
+  const core::SplpoInstance inst = pipe.splpo_instance(order);
+  const std::vector<std::uint32_t> open{0, 2, 4, 6, 8, 10};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_open_set(inst, open));
+  }
+  state.counters["clients"] = static_cast<double>(inst.client_count);
+}
+BENCHMARK(BM_SplpoEvaluate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

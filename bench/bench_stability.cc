@@ -1,0 +1,53 @@
+// §6 stability analysis: the paper deployed the AnyOpt-optimized
+// configuration and re-measured it weekly for three weeks in January 2021;
+// more than 90% of catchments stayed unchanged and the mean RTT was
+// stable.  We model a week of routing churn as fresh experiment noise
+// (new BGP races, new probe noise) plus a re-announcement of the prefix.
+
+#include <cstdio>
+
+#include "core/optimizer.h"
+#include "netbase/table.h"
+#include "support/bench_common.h"
+
+int main() {
+  using namespace anyopt;
+  bench::print_banner(
+      "§6 — three-week stability of the optimized configuration",
+      ">90% of catchments unchanged and stable average RTT across three "
+      "weekly measurements");
+
+  bench::PaperEnv env = bench::make_env_from_environment();
+
+  core::OptimizerOptions opts;
+  opts.time_budget_s = 120.0;
+  const core::SearchOutcome search = env.pipeline->optimize(opts);
+  const auto& cfg = search.best.config;
+
+  const measure::Census week0 = env.orchestrator->measure(cfg, 0x3EE0);
+  TextTable table(
+      {"week", "catchments unchanged vs week 0", "mean RTT (ms)"});
+  table.add_row({"0", "-", TextTable::num(week0.mean_rtt(), 1)});
+
+  for (int week = 1; week <= 3; ++week) {
+    const measure::Census now =
+        env.orchestrator->measure(cfg, 0x3EE0 + week);
+    std::size_t same = 0;
+    std::size_t comparable = 0;
+    for (std::size_t t = 0; t < now.site_of_target.size(); ++t) {
+      if (!week0.site_of_target[t].valid() ||
+          !now.site_of_target[t].valid()) {
+        continue;
+      }
+      ++comparable;
+      if (week0.site_of_target[t] == now.site_of_target[t]) ++same;
+    }
+    table.add_row({std::to_string(week),
+                   TextTable::pct(static_cast<double>(same) /
+                                  static_cast<double>(comparable)),
+                   TextTable::num(now.mean_rtt(), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(paper: >90%% unchanged, mean RTT very stable)\n");
+  return 0;
+}

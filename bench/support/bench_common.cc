@@ -1,0 +1,69 @@
+#include "support/bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "netbase/rng.h"
+
+namespace anyopt::bench {
+
+PaperEnv make_paper_env(std::uint64_t seed) {
+  PaperEnv env;
+  env.world = anycast::World::create(anycast::WorldParams::paper_scale(seed));
+  env.orchestrator = std::make_unique<measure::Orchestrator>(*env.world);
+  env.pipeline = std::make_unique<core::AnyOptPipeline>(*env.orchestrator);
+  return env;
+}
+
+PaperEnv make_env_from_environment() {
+  const char* scale = std::getenv("ANYOPT_BENCH_SCALE");
+  if (scale != nullptr && std::strcmp(scale, "small") == 0) {
+    PaperEnv env;
+    env.world = anycast::World::create(anycast::WorldParams::test_scale(1897));
+    env.orchestrator = std::make_unique<measure::Orchestrator>(*env.world);
+    env.pipeline = std::make_unique<core::AnyOptPipeline>(*env.orchestrator);
+    return env;
+  }
+  return make_paper_env();
+}
+
+std::vector<Fig5Point> run_fig5_sweep(PaperEnv& env, int count,
+                                      std::uint64_t seed) {
+  Rng rng{seed};
+  const std::size_t sites = env.world->deployment().site_count();
+  std::vector<Fig5Point> points;
+  points.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    // 1 to 14 enabled sites (the paper's range), random announce order.
+    const std::size_t k = 1 + rng.below(sites - 1);
+    std::vector<std::size_t> ids(sites);
+    for (std::size_t s = 0; s < sites; ++s) ids[s] = s;
+    rng.shuffle(ids);
+    anycast::AnycastConfig cfg;
+    for (std::size_t s = 0; s < k; ++s) {
+      cfg.announce_order.push_back(
+          SiteId{static_cast<SiteId::underlying_type>(ids[s])});
+    }
+    const core::Prediction prediction = env.pipeline->predict(cfg);
+    const measure::Census census =
+        env.orchestrator->measure(cfg, 0xF15ULL + static_cast<std::uint64_t>(i));
+    Fig5Point point;
+    point.sites = k;
+    point.accuracy = prediction.accuracy_against(census);
+    point.predicted_mean_rtt = prediction.mean_rtt();
+    point.measured_mean_rtt = census.mean_rtt();
+    points.push_back(point);
+  }
+  return points;
+}
+
+void print_banner(const std::string& experiment,
+                  const std::string& paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("AnyOpt reproduction — %s\n", experiment.c_str());
+  std::printf("Paper reports: %s\n", paper_claim.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace anyopt::bench

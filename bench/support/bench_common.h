@@ -1,0 +1,58 @@
+#pragma once
+// Shared plumbing for the figure/table reproduction binaries.
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anycast/world.h"
+#include "core/anyopt.h"
+#include "measure/orchestrator.h"
+
+namespace anyopt::bench {
+
+/// The paper-scale environment every bench runs against: the Table-1
+/// deployment on a synthetic Internet with 15,300 ping targets.
+struct PaperEnv {
+  std::unique_ptr<anycast::World> world;
+  std::unique_ptr<measure::Orchestrator> orchestrator;
+  std::unique_ptr<core::AnyOptPipeline> pipeline;
+};
+
+/// Builds the environment (seed 1897 reproduces every number in
+/// EXPERIMENTS.md; pass another seed to check robustness).
+[[nodiscard]] PaperEnv make_paper_env(std::uint64_t seed = 1897);
+
+/// A reduced environment for quick runs (set ANYOPT_BENCH_SCALE=small).
+[[nodiscard]] PaperEnv make_env_from_environment();
+
+/// Prints the standard bench banner: experiment id, what the paper
+/// reports, and what this binary regenerates.
+void print_banner(const std::string& experiment,
+                  const std::string& paper_claim);
+
+/// One data point of the Fig. 5 evaluation (§5.2): a random configuration
+/// is predicted offline, then deployed and measured.
+struct Fig5Point {
+  std::size_t sites = 0;
+  double accuracy = 0;            ///< catchment prediction accuracy
+  double predicted_mean_rtt = 0;
+  double measured_mean_rtt = 0;
+  [[nodiscard]] double abs_error() const {
+    return std::abs(predicted_mean_rtt - measured_mean_rtt);
+  }
+  [[nodiscard]] double rel_error() const {
+    return measured_mean_rtt > 0 ? abs_error() / measured_mean_rtt : 0;
+  }
+};
+
+/// Runs the paper's §5.2 protocol: `count` random configurations with 1-14
+/// sites and random announcement orders, each predicted then deployed and
+/// measured (the paper repeats this 38 times).
+[[nodiscard]] std::vector<Fig5Point> run_fig5_sweep(PaperEnv& env,
+                                                    int count = 38,
+                                                    std::uint64_t seed = 38);
+
+}  // namespace anyopt::bench

@@ -1,0 +1,73 @@
+// CDN latency optimization (§2.2's second motivating example).
+//
+// An anycast CDN wants the lowest client RTT.  This example walks the full
+// operator loop: measure, search for the best transit-only configuration,
+// compare against "just enable everything" and a greedy build-out, then
+// incorporate settlement-free peering with the one-pass method (§4.4) and
+// report the final latency distribution.
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/anyopt.h"
+#include "netbase/stats.h"
+#include "netbase/table.h"
+
+int main(int argc, char** argv) {
+  using namespace anyopt;
+  const bool paper_scale = argc > 1 && std::strcmp(argv[1], "--paper") == 0;
+
+  auto world = anycast::World::create(
+      paper_scale ? anycast::WorldParams::paper_scale(4242)
+                  : anycast::WorldParams::test_scale(4242));
+  measure::Orchestrator orchestrator(*world);
+  core::AnyOptPipeline anyopt(orchestrator);
+
+  // Offline search for the best transit-only configuration.
+  core::OptimizerOptions options;
+  options.time_budget_s = 30.0;
+  const core::SearchOutcome search = anyopt.optimize(options);
+  const std::size_t k = search.best.config.announce_order.size();
+
+  // Competing strategies a CDN might use instead.
+  const auto all_sites = anycast::AnycastConfig::all_sites(world->deployment());
+  const auto greedy =
+      core::Optimizer::greedy_unicast(anyopt.predictor().rtts(), k);
+
+  // Peer tuning on top of the optimized configuration.
+  const core::OnePassResult peers = anyopt.tune_peers(search.best.config);
+
+  struct Row {
+    const char* name;
+    measure::Census census;
+  };
+  const std::vector<Row> rows = {
+      {"all 15 sites (naive build-out)", orchestrator.measure(all_sites, 11)},
+      {"greedy by unicast latency", orchestrator.measure(greedy, 12)},
+      {"AnyOpt transit-only", orchestrator.measure(search.best.config, 13)},
+      {"AnyOpt + beneficial peers",
+       orchestrator.measure(peers.with_beneficial_peers, 14)},
+  };
+
+  TextTable table({"strategy", "mean RTT (ms)", "median (ms)", "p90 (ms)"});
+  for (const Row& row : rows) {
+    auto rtts = row.census.valid_rtts();
+    table.add_row({row.name, TextTable::num(row.census.mean_rtt(), 1),
+                   TextTable::num(stats::median(rtts), 1),
+                   TextTable::num(stats::quantile(rtts, 0.9), 1)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("one-pass peering: %zu/%zu peers beneficial, %zu included "
+              "(baseline %.1f ms -> predicted %.1f ms)\n",
+              [&] {
+                std::size_t n = 0;
+                for (const auto& m : peers.peers) n += m.beneficial;
+                return n;
+              }(),
+              peers.peers.size(), peers.chosen.size(),
+              peers.baseline_mean_rtt, peers.predicted_mean_rtt);
+  std::printf("\nevery 100 ms of latency costs ~1%% of revenue [40]; the "
+              "gap between row 1 and row 4 is the money AnyOpt saves.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Akamai-DNS-style anycast cloud assignment (§2.2 + Appendix B).
+//
+// Akamai DNS hosts 24 anycast prefixes, each served by a subset of sites
+// (an "anycast cloud").  This example assigns several clouds over the
+// Table-1 testbed: for each cloud it builds the SPLPO instance from the
+// discovered total orders and unicast RTTs, adds per-site load capacities
+// (Eq. 7 of Appendix B) and a per-client query workload, and solves for
+// the lowest-latency feasible subset.  It then verifies the load
+// constraint by deploying the chosen configuration.
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/anyopt.h"
+#include "netbase/table.h"
+
+int main(int argc, char** argv) {
+  using namespace anyopt;
+  const bool paper_scale = argc > 1 && std::strcmp(argv[1], "--paper") == 0;
+
+  auto world = anycast::World::create(
+      paper_scale ? anycast::WorldParams::paper_scale(2024)
+                  : anycast::WorldParams::test_scale(2024));
+  measure::Orchestrator orchestrator(*world);
+  core::AnyOptPipeline anyopt(orchestrator);
+
+  const auto all = anycast::AnycastConfig::all_sites(world->deployment());
+  core::SplpoInstance base = anyopt.splpo_instance(all);
+  std::printf("SPLPO instance: %zu clients (targets with a total order), "
+              "%zu sites\n\n",
+              base.client_count, base.site_count);
+
+  // Heavy-tailed per-client query workload; capacity per site set so that
+  // no single site can absorb everything (forces load spreading).
+  Rng rng{7};
+  double total_demand = 0;
+  for (std::size_t c = 0; c < base.client_count; ++c) {
+    base.demand[c] = rng.pareto(1.0, 1.6);
+    total_demand += base.demand[c];
+  }
+  for (std::size_t s = 0; s < base.site_count; ++s) {
+    base.capacity[s] = 0.35 * total_demand;
+  }
+
+  // Three clouds with different size budgets (smaller clouds are cheaper
+  // to operate; the DNS operator trades latency for cost).
+  TextTable table({"cloud", "#sites", "open sites", "mean latency (ms)",
+                   "max site load / capacity"});
+  for (const std::size_t budget : {4u, 8u, 12u}) {
+    const core::SplpoSolution sol = core::solve_local_search(
+        base, /*seed=*/{}, /*max_open=*/budget);
+    if (!sol.feasible) {
+      std::printf("cloud with %zu sites: infeasible under capacities\n",
+                  budget);
+      continue;
+    }
+    // Compute per-site load of the final assignment.
+    std::vector<double> load(base.site_count, 0.0);
+    for (std::size_t c = 0; c < base.client_count; ++c) {
+      if (sol.assignment[c] >= 0) {
+        load[sol.assignment[c]] += base.demand[c];
+      }
+    }
+    double max_ratio = 0;
+    std::string open;
+    for (const std::uint32_t s : sol.open_sites) {
+      max_ratio = std::max(max_ratio, load[s] / base.capacity[s]);
+      if (!open.empty()) open += ",";
+      open += std::to_string(s + 1);
+    }
+    table.add_row({"cloud-" + std::to_string(budget),
+                   std::to_string(sol.open_sites.size()), open,
+                   TextTable::num(sol.mean_cost, 1),
+                   TextTable::pct(max_ratio)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("note: clients go to their most-preferred open site (BGP "
+              "routes them, the operator cannot assign them), so capacity\n"
+              "feasibility is achieved purely by choosing WHICH sites to "
+              "open — exactly the SPLPO model of Appendix B.\n");
+  return 0;
+}

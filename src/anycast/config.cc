@@ -1,0 +1,57 @@
+#include "anycast/config.h"
+
+#include <algorithm>
+
+namespace anyopt::anycast {
+
+bool AnycastConfig::site_enabled(SiteId site) const {
+  return std::find(announce_order.begin(), announce_order.end(), site) !=
+         announce_order.end();
+}
+
+std::vector<bgp::Injection> AnycastConfig::schedule(
+    const Deployment& deployment) const {
+  std::vector<bgp::Injection> out;
+  out.reserve(announce_order.size() + enabled_peers.size());
+  double t = 0;
+  for (std::size_t i = 0; i < announce_order.size(); ++i) {
+    bgp::Injection inj{t, deployment.transit_attachment(announce_order[i]),
+                       false};
+    if (i < prepend.size()) inj.prepend = prepend[i];
+    out.push_back(inj);
+    t += spacing_s;
+  }
+  for (const bgp::AttachmentIndex peer : enabled_peers) {
+    out.push_back(bgp::Injection{t, peer, false});
+    t += spacing_s;
+  }
+  return out;
+}
+
+std::string AnycastConfig::describe() const {
+  std::string out = "sites ";
+  for (std::size_t i = 0; i < announce_order.size(); ++i) {
+    if (i) out += '>';
+    out += std::to_string(announce_order[i].value() + 1);
+  }
+  if (!enabled_peers.empty()) {
+    out += ", peers: " + std::to_string(enabled_peers.size());
+  }
+  return out;
+}
+
+AnycastConfig AnycastConfig::all_sites(const Deployment& deployment) {
+  AnycastConfig cfg;
+  for (std::size_t i = 0; i < deployment.site_count(); ++i) {
+    cfg.announce_order.emplace_back(static_cast<SiteId::underlying_type>(i));
+  }
+  return cfg;
+}
+
+AnycastConfig AnycastConfig::of_sites(std::vector<SiteId> order) {
+  AnycastConfig cfg;
+  cfg.announce_order = std::move(order);
+  return cfg;
+}
+
+}  // namespace anyopt::anycast

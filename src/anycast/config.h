@@ -1,0 +1,47 @@
+#pragma once
+// An anycast configuration (§2.3): which sites announce the prefix, in
+// which order, and which peering sessions are additionally enabled.
+
+#include <string>
+#include <vector>
+
+#include "anycast/deployment.h"
+#include "bgp/origin.h"
+
+namespace anyopt::anycast {
+
+/// A deployable configuration.  `announce_order` lists the enabled sites in
+/// the order their transit announcements are made (the order matters
+/// because deployed routers break ties by arrival, §4.2); enabled peers are
+/// announced after all transit announcements.
+struct AnycastConfig {
+  std::vector<SiteId> announce_order;
+  /// Optional per-announcement AS-path prepending, parallel to
+  /// `announce_order` (§6's catchment-shaping knob); empty = no prepend.
+  std::vector<std::uint8_t> prepend;
+  std::vector<bgp::AttachmentIndex> enabled_peers;
+  /// Spacing between consecutive announcements; must exceed global BGP
+  /// convergence time so arrival order is globally consistent (the paper
+  /// uses six minutes, §5.1).
+  double spacing_s = 360.0;
+
+  [[nodiscard]] bool site_enabled(SiteId site) const;
+  [[nodiscard]] std::size_t enabled_site_count() const {
+    return announce_order.size();
+  }
+
+  /// Expands into the injection schedule for the simulator.
+  [[nodiscard]] std::vector<bgp::Injection> schedule(
+      const Deployment& deployment) const;
+
+  /// Human-readable summary ("sites 3>1>12, peers: 2").
+  [[nodiscard]] std::string describe() const;
+
+  /// All sites in site-id order, no peers.
+  [[nodiscard]] static AnycastConfig all_sites(const Deployment& deployment);
+
+  /// A specific site set, announced in the given order.
+  [[nodiscard]] static AnycastConfig of_sites(std::vector<SiteId> order);
+};
+
+}  // namespace anyopt::anycast

@@ -1,0 +1,107 @@
+#pragma once
+// The anycast deployment under study: sites, their transit attachments and
+// their settlement-free peering links, mirroring the paper's Table 1.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/origin.h"
+#include "netbase/geo.h"
+#include "netbase/ids.h"
+#include "netbase/rng.h"
+#include "topo/builder.h"
+
+namespace anyopt::anycast {
+
+/// One anycast site (a location with an onsite router, §2.1).
+struct Site {
+  std::string metro;
+  geo::Coordinates where;
+  ProviderId provider;          ///< transit provider slot (tier-1 index)
+  std::string provider_name;
+  int table1_peer_count = 0;    ///< peers at this site per Table 1
+};
+
+/// Specification of one site before realization.
+struct SiteSpec {
+  std::string metro;
+  std::string provider_name;  ///< must be one of the Internet's tier-1s
+  int peer_count = 0;
+};
+
+/// The deployment: site table plus the attachment table consumed by the
+/// BGP simulator.  Attachment layout: one transit attachment per site (at
+/// index == site id), followed by all peer attachments.
+class Deployment {
+ public:
+  /// Realizes the deployment on a generated Internet: places each site at
+  /// its metro, attaches it to the provider's PoP there, and provisions
+  /// `peer_count` peering sessions to ASes near the site.  A fraction of
+  /// peers silently filter the announcement on their side (the paper saw
+  /// 32 of 104 peer links deliver no ping target, §5.4); the one-pass
+  /// experiments discover them as empty catchments.
+  static Deployment realize(const topo::Internet& net,
+                            std::span<const SiteSpec> specs, Rng rng,
+                            double peer_filter_prob = 0.25);
+
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  [[nodiscard]] const Site& site(SiteId id) const {
+    return sites_[id.value()];
+  }
+  [[nodiscard]] const std::vector<Site>& sites() const { return sites_; }
+
+  /// All BGP sessions (transit first, then peers) for the simulator.
+  [[nodiscard]] const std::vector<bgp::OriginAttachment>& attachments() const {
+    return attachments_;
+  }
+
+  /// The transit attachment of a site (announcing here enables the site).
+  [[nodiscard]] bgp::AttachmentIndex transit_attachment(SiteId site) const {
+    return site.value();
+  }
+
+  /// Peer attachments of one site (indices into `attachments()`).
+  [[nodiscard]] std::span<const bgp::AttachmentIndex> peer_attachments(
+      SiteId site) const;
+
+  /// All peer attachments of the deployment.
+  [[nodiscard]] std::span<const bgp::AttachmentIndex> all_peer_attachments()
+      const {
+    return peer_attachments_all_;
+  }
+
+  /// Provider (tier-1) slots used by the deployment, by name.
+  [[nodiscard]] const std::vector<std::string>& provider_names() const {
+    return provider_names_;
+  }
+  [[nodiscard]] std::size_t provider_count() const {
+    return provider_names_.size();
+  }
+
+  /// Sites homed to one provider, in site-id order.
+  [[nodiscard]] std::vector<SiteId> sites_of_provider(ProviderId p) const;
+
+  /// The tier-1 AS of a provider slot.
+  [[nodiscard]] AsId provider_as(ProviderId p) const {
+    return provider_as_[p.value()];
+  }
+
+ private:
+  std::vector<Site> sites_;
+  std::vector<bgp::OriginAttachment> attachments_;
+  std::vector<bgp::AttachmentIndex> peer_attachments_all_;
+  std::vector<std::pair<std::size_t, std::size_t>> peer_range_;  ///< per site
+  std::vector<std::string> provider_names_;
+  std::vector<AsId> provider_as_;
+};
+
+/// The 15-site / 6-provider / 104-peer deployment of the paper's Table 1.
+[[nodiscard]] std::vector<SiteSpec> table1_specs();
+
+/// Metros required per tier-1 so Table 1 sites can attach locally; aligned
+/// with InternetParams::tier1_names order (Telia, Zayo, TATA, GTT, NTT,
+/// Sparkle).
+[[nodiscard]] std::vector<std::vector<std::string>> table1_required_pops();
+
+}  // namespace anyopt::anycast

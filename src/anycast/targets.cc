@@ -1,0 +1,93 @@
+#include "anycast/targets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace anyopt::anycast {
+
+TargetPopulation TargetPopulation::generate(const topo::Internet& net,
+                                            const TargetParams& params) {
+  TargetPopulation pop;
+  Rng rng{params.seed};
+
+  std::vector<AsId> stubs = net.graph.ases_of_tier(topo::Tier::kStub);
+  // A slice of small transit networks also hosts client networks.
+  for (const AsId t : net.graph.ases_of_tier(topo::Tier::kTransit)) {
+    if (rng.chance(0.25)) stubs.push_back(t);
+  }
+  rng.shuffle(stubs);
+  const std::size_t covered = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(stubs.size()) *
+                                  params.as_coverage));
+  stubs.resize(covered);
+
+  // Heavy-tailed targets-per-AS shares (normalized Pareto draws).
+  std::vector<double> share(covered);
+  double total_share = 0;
+  for (std::size_t i = 0; i < covered; ++i) {
+    share[i] = rng.pareto(1.0, params.pareto_shape);
+    total_share += share[i];
+  }
+
+  std::unordered_set<std::uint32_t> as_seen;
+  std::unordered_set<net::Prefix> net_seen;
+  std::uint32_t next_block = (std::uint32_t{100} << 24) | (64u << 16);
+
+  for (std::size_t i = 0; i < covered && pop.targets_.size() <
+                                              static_cast<std::size_t>(params.count);
+       ++i) {
+    int quota = std::max(
+        1, static_cast<int>(std::lround(share[i] / total_share *
+                                        static_cast<double>(params.count))));
+    const topo::AsNode& node = net.graph.node(stubs[i]);
+    for (int t = 0; t < quota && pop.targets_.size() <
+                                     static_cast<std::size_t>(params.count);
+         ++t) {
+      Target tgt;
+      // Each target gets its own /24 most of the time; occasionally two
+      // targets share one (paper: 15,300 targets over 12,143 /24s).
+      if (t > 0 && rng.chance(0.21) && !pop.targets_.empty() &&
+          pop.targets_.back().as == stubs[i]) {
+        tgt.network = pop.targets_.back().network;
+        tgt.address = net::Ipv4{tgt.network.address().bits() +
+                                static_cast<std::uint32_t>(t) + 1};
+      } else {
+        tgt.network = net::Prefix{net::Ipv4{next_block}, 24};
+        next_block += 256;
+        tgt.address = net::Ipv4{tgt.network.address().bits() + 1};
+      }
+      tgt.as = stubs[i];
+      tgt.where = node.location;
+      tgt.where.latitude_deg += rng.normal(0.0, 0.35);
+      tgt.where.longitude_deg += rng.normal(0.0, 0.35);
+      tgt.weight = 1.0;
+      net_seen.insert(tgt.network);
+      pop.targets_.push_back(std::move(tgt));
+    }
+    as_seen.insert(stubs[i].value());
+  }
+  // Quota rounding can undershoot; top up round-robin over covered ASes.
+  std::size_t next = 0;
+  while (pop.targets_.size() < static_cast<std::size_t>(params.count) &&
+         !stubs.empty()) {
+    const AsId as = stubs[next++ % covered];
+    const topo::AsNode& node = net.graph.node(as);
+    Target tgt;
+    tgt.network = net::Prefix{net::Ipv4{next_block}, 24};
+    next_block += 256;
+    tgt.address = net::Ipv4{tgt.network.address().bits() + 1};
+    tgt.as = as;
+    tgt.where = node.location;
+    tgt.where.latitude_deg += rng.normal(0.0, 0.35);
+    tgt.where.longitude_deg += rng.normal(0.0, 0.35);
+    net_seen.insert(tgt.network);
+    as_seen.insert(as.value());
+    pop.targets_.push_back(std::move(tgt));
+  }
+  pop.distinct_ases_ = as_seen.size();
+  pop.distinct_networks_ = net_seen.size();
+  return pop;
+}
+
+}  // namespace anyopt::anycast

@@ -1,0 +1,63 @@
+#pragma once
+// Ping-target population (§3.2 of the paper).
+//
+// The paper probes 15,300 router targets covering 12,143 /24 networks in
+// 5,317 client ASes; each target is the common ancestor router of a set of
+// end users and stands for one client network.  We generate an equivalent
+// population over the synthetic Internet's stub ASes with a heavy-tailed
+// targets-per-AS distribution.
+
+#include <span>
+#include <vector>
+
+#include "netbase/geo.h"
+#include "netbase/ids.h"
+#include "netbase/ip.h"
+#include "netbase/rng.h"
+#include "topo/builder.h"
+
+namespace anyopt::anycast {
+
+/// One ping target: a router representative of a client network.
+struct Target {
+  net::Ipv4 address;
+  net::Prefix network;       ///< the /24 the target represents
+  AsId as;                   ///< client AS hosting the target
+  geo::Coordinates where;    ///< physical location (near its AS)
+  double weight = 1.0;       ///< client-network workload weight
+};
+
+/// Target generation parameters.
+struct TargetParams {
+  int count = 15300;              ///< total targets (paper: 15,300)
+  double as_coverage = 0.92;      ///< fraction of stub ASes hosting targets
+  double pareto_shape = 1.3;      ///< heavy tail of targets per AS
+  std::uint64_t seed = 0x7A26;
+};
+
+/// Immutable target table.
+class TargetPopulation {
+ public:
+  static TargetPopulation generate(const topo::Internet& net,
+                                   const TargetParams& params);
+
+  [[nodiscard]] std::size_t size() const { return targets_.size(); }
+  [[nodiscard]] const Target& target(TargetId id) const {
+    return targets_[id.value()];
+  }
+  [[nodiscard]] std::span<const Target> all() const { return targets_; }
+
+  /// Number of distinct client ASes covered.
+  [[nodiscard]] std::size_t distinct_ases() const { return distinct_ases_; }
+  /// Number of distinct /24 networks covered.
+  [[nodiscard]] std::size_t distinct_slash24() const {
+    return distinct_networks_;
+  }
+
+ private:
+  std::vector<Target> targets_;
+  std::size_t distinct_ases_ = 0;
+  std::size_t distinct_networks_ = 0;
+};
+
+}  // namespace anyopt::anycast

@@ -1,0 +1,55 @@
+#include "anycast/world.h"
+
+#include <cmath>
+
+#include "netbase/rng.h"
+
+namespace anyopt::anycast {
+
+WorldParams WorldParams::paper_scale(std::uint64_t seed) {
+  WorldParams p;
+  p.seed = seed;
+  p.internet.required_tier1_pops = table1_required_pops();
+  p.targets.count = 15300;
+  return p;
+}
+
+WorldParams WorldParams::test_scale(std::uint64_t seed) {
+  WorldParams p;
+  p.seed = seed;
+  p.internet.required_tier1_pops = table1_required_pops();
+  p.internet.regional_transit_count = 18;
+  p.internet.access_transit_count = 24;
+  p.internet.stub_count = 220;
+  p.internet.extra_pops_per_tier1_min = 2;
+  p.internet.extra_pops_per_tier1_max = 4;
+  p.targets.count = 900;
+  p.peer_scale = 0.3;
+  return p;
+}
+
+std::unique_ptr<World> World::create(WorldParams params) {
+  return std::unique_ptr<World>(new World(std::move(params)));
+}
+
+World::World(WorldParams params) : params_(std::move(params)) {
+  Rng master{params_.seed};
+  params_.internet.seed = master.fork("internet")();
+  params_.targets.seed = master.fork("targets")();
+  params_.sim.seed = master.fork("simulator")();
+
+  net_ = topo::build_internet(params_.internet);
+  std::vector<SiteSpec> sites = params_.sites;
+  if (params_.peer_scale != 1.0) {
+    for (SiteSpec& s : sites) {
+      s.peer_count = static_cast<int>(
+          std::lround(params_.peer_scale * static_cast<double>(s.peer_count)));
+    }
+  }
+  deployment_ = Deployment::realize(net_, sites, master.fork("deployment"));
+  targets_ = TargetPopulation::generate(net_, params_.targets);
+  sim_ = std::make_unique<bgp::Simulator>(net_, deployment_.attachments(),
+                                          params_.sim);
+}
+
+}  // namespace anyopt::anycast

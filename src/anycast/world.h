@@ -1,0 +1,61 @@
+#pragma once
+// The "world": one bundle owning a generated Internet, the anycast
+// deployment realized on it, the ping-target population and a ready BGP
+// simulator.  This is the reproduction's stand-in for the paper's physical
+// testbed (Table 1) plus the real Internet around it.
+
+#include <cstdint>
+#include <memory>
+
+#include "anycast/deployment.h"
+#include "anycast/targets.h"
+#include "bgp/simulator.h"
+#include "topo/builder.h"
+
+namespace anyopt::anycast {
+
+/// World construction parameters.  All nested seeds are derived from
+/// `seed`, so one number reproduces the entire environment.
+struct WorldParams {
+  topo::InternetParams internet;
+  TargetParams targets;
+  bgp::SimulatorOptions sim;
+  std::vector<SiteSpec> sites = table1_specs();
+  /// Scale factor applied to per-site peer counts; reduced worlds should
+  /// carry proportionally fewer peering links to keep the peer-to-AS ratio
+  /// realistic.
+  double peer_scale = 1.0;
+  std::uint64_t seed = 1897;
+
+  /// Full-scale world matching the paper's evaluation (15,300 targets).
+  [[nodiscard]] static WorldParams paper_scale(std::uint64_t seed = 1897);
+
+  /// Reduced world for unit and integration tests (seconds, not minutes).
+  [[nodiscard]] static WorldParams test_scale(std::uint64_t seed = 7);
+};
+
+/// Immovable bundle (the simulator holds references into the Internet).
+class World {
+ public:
+  [[nodiscard]] static std::unique_ptr<World> create(WorldParams params);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] const topo::Internet& internet() const { return net_; }
+  [[nodiscard]] const Deployment& deployment() const { return deployment_; }
+  [[nodiscard]] const TargetPopulation& targets() const { return targets_; }
+  [[nodiscard]] const bgp::Simulator& simulator() const { return *sim_; }
+  [[nodiscard]] const WorldParams& params() const { return params_; }
+
+ private:
+  explicit World(WorldParams params);
+
+  WorldParams params_;
+  topo::Internet net_;
+  Deployment deployment_;
+  TargetPopulation targets_;
+  std::unique_ptr<bgp::Simulator> sim_;
+};
+
+}  // namespace anyopt::anycast

@@ -1,0 +1,73 @@
+#include "bgp/decision.h"
+
+namespace anyopt::bgp {
+namespace {
+
+int decide(DecisionStep step, int result, DecisionStep* decided_at) {
+  if (decided_at != nullptr) *decided_at = step;
+  return result;
+}
+
+}  // namespace
+
+int compare_routes(const RibEntry& a, const RibEntry& b,
+                   const DecisionOptions& opts, DecisionStep* decided_at) {
+  // 1. Highest LOCAL_PREF.
+  if (a.local_pref != b.local_pref) {
+    return decide(DecisionStep::kLocalPref, b.local_pref - a.local_pref,
+                  decided_at);
+  }
+  // 2. Shortest AS_PATH.
+  if (a.path_length() != b.path_length()) {
+    return decide(DecisionStep::kAsPathLength,
+                  static_cast<int>(a.path_length()) -
+                      static_cast<int>(b.path_length()),
+                  decided_at);
+  }
+  // 3. Lowest ORIGIN code — all announcements here are IGP-origin: tie.
+  // 4. Lowest MED — compared only between routes from the same neighbor
+  //    AS (for a host AS: between its anycast attachments).
+  if (a.neighbor == b.neighbor && a.med != b.med) {
+    return decide(DecisionStep::kMed, a.med < b.med ? -1 : 1, decided_at);
+  }
+  // 5. eBGP over iBGP — the AS-level model sees only eBGP sessions: tie.
+  // 6. Lowest IGP cost to next hop.
+  if (a.nexthop_igp_cost != b.nexthop_igp_cost) {
+    return decide(DecisionStep::kIgpCost,
+                  a.nexthop_igp_cost - b.nexthop_igp_cost, decided_at);
+  }
+  // 7. Oldest route — NOT in RFC 4271, but implemented by deployed routers
+  //    (the paper's key empirical finding).
+  if (opts.prefer_oldest && a.arrival_seq != b.arrival_seq) {
+    return decide(DecisionStep::kOldestRoute,
+                  a.arrival_seq < b.arrival_seq ? -1 : 1, decided_at);
+  }
+  // 8. Lowest router id of the advertising router.
+  if (a.neighbor_router_id != b.neighbor_router_id) {
+    return decide(DecisionStep::kRouterId,
+                  a.neighbor_router_id < b.neighbor_router_id ? -1 : 1,
+                  decided_at);
+  }
+  // 9. Lowest neighbor address — modelled by neighbor AS id, with the
+  //    origin (invalid id) ranking last deterministically.
+  const auto addr = [](const RibEntry& e) {
+    return e.neighbor.valid() ? e.neighbor.value()
+                              : AsId::kInvalid;
+  };
+  if (addr(a) == addr(b)) {
+    // Same neighbor (possible for parallel origin attachments): break the
+    // tie by attachment index, which is stable and unique.
+    return decide(DecisionStep::kNeighborAddress,
+                  a.attachment < b.attachment ? -1 : 1, decided_at);
+  }
+  return decide(DecisionStep::kNeighborAddress,
+                addr(a) < addr(b) ? -1 : 1, decided_at);
+}
+
+bool multipath_equal(const RibEntry& a, const RibEntry& b) {
+  return a.local_pref == b.local_pref &&
+         a.path_length() == b.path_length() &&
+         a.nexthop_igp_cost == b.nexthop_igp_cost;
+}
+
+}  // namespace anyopt::bgp

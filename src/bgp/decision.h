@@ -1,0 +1,43 @@
+#pragma once
+// The BGP decision process (RFC 4271 §9.1.2 order), including the
+// vendor-specific arrival-order ("oldest route") tie-break the paper
+// identified between the IGP-cost and router-id steps (§4.2).
+
+#include "bgp/route.h"
+
+namespace anyopt::bgp {
+
+/// Which steps of the decision process an AS applies.
+struct DecisionOptions {
+  /// If true, ties surviving the IGP-cost step are broken in favour of the
+  /// route that was installed first (Cisco/Juniper default behaviour).
+  bool prefer_oldest = true;
+};
+
+/// Step at which a comparison was decided (for diagnostics and the
+/// ablation benchmark).
+enum class DecisionStep : int {
+  kLocalPref = 1,
+  kAsPathLength = 2,
+  kOrigin = 3,
+  kMed = 4,
+  kEbgpOverIbgp = 5,
+  kIgpCost = 6,
+  kOldestRoute = 7,
+  kRouterId = 8,
+  kNeighborAddress = 9,
+};
+
+/// Compares two candidate routes.  Returns negative if `a` is preferred,
+/// positive if `b` is preferred; never returns 0 (the neighbor-address step
+/// is a total order).  If `decided_at` is non-null it receives the step
+/// that produced the decision.
+[[nodiscard]] int compare_routes(const RibEntry& a, const RibEntry& b,
+                                 const DecisionOptions& opts,
+                                 DecisionStep* decided_at = nullptr);
+
+/// True if `a` and `b` are tied through the IGP-cost step (eligible for
+/// multipath splitting).
+[[nodiscard]] bool multipath_equal(const RibEntry& a, const RibEntry& b);
+
+}  // namespace anyopt::bgp

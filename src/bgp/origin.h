@@ -1,0 +1,53 @@
+#pragma once
+// Origin-side description of the anycast deployment as the BGP layer sees
+// it: one attachment per (site, neighbor AS) BGP session.  The anycast
+// origin AS itself is *not* a node of the Internet graph — its announcement
+// behaviour is fully controlled by the experiment driver, exactly like the
+// testbed's GoBGP orchestrator (§3.1).
+
+#include <vector>
+
+#include "netbase/geo.h"
+#include "netbase/ids.h"
+#include "topo/relationship.h"
+
+namespace anyopt::bgp {
+
+/// One BGP session from an anycast site to a neighboring AS.
+struct OriginAttachment {
+  SiteId site;                  ///< the anycast site terminating the session
+  AsId neighbor;                ///< the AS the prefix is announced to
+  topo::Relation neighbor_is;   ///< provider (transit) or peer, from origin's view
+  geo::Coordinates where;       ///< physical interconnection point
+  double latency_ms = 0.3;      ///< one-way latency site <-> neighbor edge
+  /// The neighbor silently filters our announcement (import policy on
+  /// their side — §5.4 observed 32 of 104 peers never delivering a ping
+  /// target).  The operator cannot see this flag; the one-pass experiments
+  /// discover it as an empty catchment.
+  bool filtered = false;
+  /// Multi-Exit Discriminator advertised on this session (§2.3 lists MED
+  /// among the announcement attributes an operator can vary).  Compared
+  /// only between sessions to the same neighbor AS — i.e. between two
+  /// sites attached to the same transit provider — where a lower MED
+  /// attracts that provider's traffic before interior cost is consulted.
+  /// The paper's experiments leave it at the default.
+  std::uint32_t med = 0;
+};
+
+/// Index of an attachment within the deployment's attachment table.
+using AttachmentIndex = std::uint32_t;
+inline constexpr AttachmentIndex kNoAttachment = ~AttachmentIndex{0};
+
+/// A timed announcement (or withdrawal) of the anycast prefix on one
+/// attachment.  A BGP experiment is a list of these.
+struct Injection {
+  double time_s = 0;                  ///< simulated wall-clock seconds
+  AttachmentIndex attachment = kNoAttachment;
+  bool withdraw = false;
+  /// AS-path prepending: the origin AS number is repeated this many extra
+  /// times in the announcement, lengthening the AS path seen everywhere
+  /// downstream — the catchment-shaping control knob of §6.
+  std::uint8_t prepend = 0;
+};
+
+}  // namespace anyopt::bgp

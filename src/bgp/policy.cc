@@ -1,0 +1,47 @@
+#include "bgp/policy.h"
+
+namespace anyopt::bgp {
+
+PolicyEngine::PolicyEngine(const topo::Internet& net) : net_(net) {
+  tier1_index_.assign(net.graph.as_count(), -1);
+  for (std::size_t i = 0; i < net.tier1s.size(); ++i) {
+    tier1_index_[net.tier1s[i].value()] = static_cast<int>(i);
+  }
+}
+
+int PolicyEngine::origin_side_tier1_index(
+    const std::vector<AsId>& as_path) const {
+  // as_path is [sender, ..., first-hop AS adjacent to origin]; scan from the
+  // origin side so that for tier-1-only announcements we find the host.
+  for (auto it = as_path.rbegin(); it != as_path.rend(); ++it) {
+    const int idx = tier1_index_[it->value()];
+    if (idx >= 0) return idx;
+  }
+  return -1;
+}
+
+int PolicyEngine::import_local_pref(AsId receiver,
+                                    topo::Relation learned_from,
+                                    const std::vector<AsId>& as_path) const {
+  int pref = topo::default_local_pref(learned_from);
+  const auto& rank = net_.deviant_rank[receiver.value()];
+  if (!rank.empty()) {
+    const int t1 = origin_side_tier1_index(as_path);
+    if (t1 >= 0 && t1 < static_cast<int>(rank.size())) {
+      // Bonus in [4, 4*T]: enough to override AS-path length within a band,
+      // never enough to jump to the next relationship band.
+      pref += 4 * (static_cast<int>(rank.size()) - rank[t1]);
+    }
+  }
+  return pref;
+}
+
+bool PolicyEngine::may_export(topo::Relation learned_from,
+                              topo::Relation target_is) {
+  // Routes from customers are exported to everyone; routes from peers or
+  // providers only to customers.
+  if (learned_from == topo::Relation::kCustomer) return true;
+  return target_is == topo::Relation::kCustomer;
+}
+
+}  // namespace anyopt::bgp

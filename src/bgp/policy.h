@@ -1,0 +1,49 @@
+#pragma once
+// Import and export policy (Gao-Rexford with optional deviations).
+//
+// Import assigns LOCAL_PREF.  Conforming ASes use the uniform bands
+// customer(300) > peer(200) > provider(100); *deviant* ASes additionally
+// rank routes by the tier-1 network they transit (cold-potato traffic
+// engineering), which is the realistic mechanism by which the paper's
+// sufficient conditions (§4.1) fail and preference cycles appear.
+//
+// Export follows valley-free rules: customer-learned routes go to all
+// neighbors; peer- and provider-learned routes go to customers only.
+
+#include <vector>
+
+#include "bgp/route.h"
+#include "netbase/ids.h"
+#include "topo/builder.h"
+
+namespace anyopt::bgp {
+
+/// Policy evaluation context shared by all ASes in a run.
+class PolicyEngine {
+ public:
+  explicit PolicyEngine(const topo::Internet& net);
+
+  /// LOCAL_PREF assigned by `receiver` to a route learned from a neighbor
+  /// with the given relationship, carrying `as_path` (sender first, origin
+  /// elided).  Deviant ASes add a bounded, tier-1-dependent bonus that never
+  /// crosses relationship bands.
+  [[nodiscard]] int import_local_pref(AsId receiver,
+                                      topo::Relation learned_from,
+                                      const std::vector<AsId>& as_path) const;
+
+  /// Whether `owner` may export a route learned from `learned_from` to a
+  /// neighbor that is `target_is` to it (valley-free export rule).
+  [[nodiscard]] static bool may_export(topo::Relation learned_from,
+                                       topo::Relation target_is);
+
+  /// The tier-1 AS closest to the origin on `as_path`, or -1 if none.
+  /// (For tier-1-only anycast announcements this is the hosting provider.)
+  [[nodiscard]] int origin_side_tier1_index(
+      const std::vector<AsId>& as_path) const;
+
+ private:
+  const topo::Internet& net_;
+  std::vector<int> tier1_index_;  ///< AsId -> tier-1 slot, or -1
+};
+
+}  // namespace anyopt::bgp

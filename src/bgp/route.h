@@ -1,0 +1,57 @@
+#pragma once
+// Route state kept by the simulator: adjacency-RIB-in entries and the
+// best-path sets derived from them.
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/origin.h"
+#include "netbase/geo.h"
+#include "netbase/ids.h"
+#include "topo/relationship.h"
+
+namespace anyopt::bgp {
+
+/// An update message travelling on the wire between two ASes (or from the
+/// anycast origin into its first-hop AS).
+struct UpdateMsg {
+  bool withdraw = false;
+  AsId sender;                    ///< advertising AS; invalid => origin
+  AttachmentIndex attachment = kNoAttachment;  ///< origin session it stems from
+  std::vector<AsId> as_path;      ///< [sender, ..., first-hop AS]; origin elided
+  std::uint8_t origin_prepend = 0;  ///< extra origin-AS repetitions
+  std::uint32_t sender_router_id = 0;
+  geo::Coordinates at;            ///< where the route entered the receiver
+};
+
+/// One entry of an AS's Adj-RIB-In (one per neighbor AS).
+struct RibEntry {
+  bool present = false;
+  AsId neighbor;                  ///< who advertised it (invalid => origin)
+  topo::Relation learned_from = topo::Relation::kProvider;
+  AttachmentIndex attachment = kNoAttachment;
+  std::vector<AsId> as_path;      ///< as advertised (sender first); the
+                                  ///< receiving AS is NOT included
+  int local_pref = 0;
+  int nexthop_igp_cost = 0;       ///< modelled as uniform (see DESIGN.md)
+  std::uint32_t med = 0;          ///< MED; compared between same-neighbor routes
+  std::uint8_t origin_prepend = 0;  ///< extra origin-AS repetitions
+  std::uint64_t arrival_seq = 0;  ///< global install counter (oldest = least)
+  double arrival_time_s = 0;
+  std::uint32_t neighbor_router_id = 0;
+  geo::Coordinates at;            ///< ingress point of this route into the AS
+
+  /// AS-path length *including* the anycast origin hop and any prepending.
+  [[nodiscard]] std::size_t path_length() const {
+    return as_path.size() + 1 + origin_prepend;
+  }
+};
+
+/// Result of the decision process at one AS: the single advertised best
+/// and the multipath-eligible equal set (ties through the IGP-cost step).
+struct BestSet {
+  int best = -1;                   ///< index into the AS's rib entries; -1 = unreachable
+  std::vector<int> equal_best;     ///< indices tied through step 6 (incl. best)
+};
+
+}  // namespace anyopt::bgp

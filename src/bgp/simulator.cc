@@ -1,0 +1,453 @@
+#include "bgp/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace anyopt::bgp {
+
+struct Simulator::Event {
+  double time_s = 0;
+  std::uint64_t seq = 0;  ///< FIFO tie-break for equal timestamps
+  AsId to;
+  UpdateMsg msg;
+
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time_s != b.time_s) return a.time_s > b.time_s;
+    return a.seq > b.seq;
+  }
+};
+
+Simulator::Simulator(const topo::Internet& net,
+                     std::vector<OriginAttachment> attachments,
+                     SimulatorOptions options)
+    : net_(net),
+      attachments_(std::move(attachments)),
+      options_(options),
+      policy_(net) {
+  const std::size_t n = net_.graph.as_count();
+  adj_.resize(n);
+  host_attach_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nbrs = net_.graph.nodes()[i].neighbors;
+    auto& out = adj_[i];
+    out.reserve(nbrs.size());
+    for (const topo::Neighbor& nb : nbrs) {
+      const bool dup = std::any_of(
+          out.begin(), out.end(),
+          [&](const DedupNeighbor& d) { return d.as == nb.as; });
+      if (!dup) out.push_back({nb.as, nb.relation, nb.link});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const DedupNeighbor& a, const DedupNeighbor& b) {
+                return a.as < b.as;
+              });
+  }
+  for (AttachmentIndex i = 0; i < attachments_.size(); ++i) {
+    host_attach_[attachments_[i].neighbor.value()].push_back(i);
+  }
+}
+
+int Simulator::neighbor_slot(AsId as, AsId neighbor) const {
+  const auto& out = adj_[as.value()];
+  const auto it = std::lower_bound(
+      out.begin(), out.end(), neighbor,
+      [](const DedupNeighbor& d, AsId target) { return d.as < target; });
+  if (it == out.end() || it->as != neighbor) return -1;
+  return static_cast<int>(it - out.begin());
+}
+
+int Simulator::attachment_slot(AsId as, AttachmentIndex idx) const {
+  const auto& list = host_attach_[as.value()];
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i] == idx) {
+      return static_cast<int>(adj_[as.value()].size() + i);
+    }
+  }
+  return -1;
+}
+
+RoutingState Simulator::run(std::span<const Injection> injections,
+                            std::uint64_t run_nonce) const {
+  const std::size_t n = net_.graph.as_count();
+  RoutingState state;
+  state.sim_ = this;
+  state.run_nonce_ = run_nonce;
+  state.as_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    state.as_[i].rib.resize(adj_[i].size() + host_attach_[i].size());
+  }
+
+  Rng rng{options_.seed ^ (0x9e3779b97f4a7c15ULL * (run_nonce + 1))};
+  // Deterministic per-session processing delay: stable across runs so BGP
+  // races resolve consistently between repeated experiments.
+  const auto session_delay_ms = [this](std::uint64_t key) {
+    std::uint64_t h = (key + 1) * 0x9e3779b97f4a7c15ULL ^ options_.seed;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 31;
+    const double u =
+        (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;  // (0, 1]
+    return -options_.processing_delay_mean_ms * std::log(u);
+  };
+  std::uint64_t event_seq = 0;
+  std::uint64_t arrival_seq = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+
+  // BGP runs over TCP: updates on one session are delivered IN ORDER.
+  // Each directed session keeps a delivery clock; a later update can never
+  // arrive before an earlier one, or a stale announcement could overwrite
+  // its own replacement at the receiver.
+  std::vector<double> session_clock(net_.graph.link_count() * 2 +
+                                        attachments_.size(),
+                                    -1.0);
+  const auto fifo = [&session_clock](std::size_t session, double t) {
+    if (t <= session_clock[session]) t = session_clock[session] + 1e-9;
+    session_clock[session] = t;
+    return t;
+  };
+
+  // Last advertisement sent per (AS, neighbor slot); empty = none.
+  // advertised[as][slot] holds the as_path sent, with a validity flag.
+  struct Advertised {
+    bool valid = false;
+    std::vector<AsId> path;
+    std::uint8_t prepend = 0;
+  };
+  std::vector<std::vector<Advertised>> advertised(n);
+  for (std::size_t i = 0; i < n; ++i) advertised[i].resize(adj_[i].size());
+
+  // Schedule origin injections.
+  double last_time = -1;
+  for (const Injection& inj : injections) {
+    if (inj.time_s < last_time) {
+      throw std::invalid_argument("injections must be sorted by time");
+    }
+    last_time = inj.time_s;
+    assert(inj.attachment < attachments_.size());
+    const OriginAttachment& at = attachments_[inj.attachment];
+    if (at.filtered && !inj.withdraw) continue;  // dropped by their import policy
+    Event ev;
+    ev.time_s = fifo(net_.graph.link_count() * 2 + inj.attachment,
+                     inj.time_s +
+                         (at.latency_ms +
+                          session_delay_ms(0xA77AC4ULL + inj.attachment) +
+                          rng.exponential(options_.run_jitter_mean_ms)) /
+                             1e3);
+    ev.seq = event_seq++;
+    ev.to = at.neighbor;
+    ev.msg.withdraw = inj.withdraw;
+    ev.msg.sender = AsId{};  // invalid => origin
+    ev.msg.attachment = inj.attachment;
+    ev.msg.origin_prepend = inj.prepend;
+    ev.msg.sender_router_id = 0;
+    ev.msg.at = at.where;
+    queue.push(std::move(ev));
+  }
+
+  const std::size_t max_events =
+      options_.max_events != 0
+          ? options_.max_events
+          : 500 * std::max<std::size_t>(net_.graph.link_count(), 1);
+
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (++state.events_ > max_events) {
+      throw std::runtime_error("BGP simulation exceeded event budget — "
+                               "policy oscillation?");
+    }
+    state.last_event_s_ = ev.time_s;
+    const AsId u = ev.to;
+    const topo::AsNode& node = net_.graph.node(u);
+    auto& as_state = state.as_[u.value()];
+
+    // --- Install / withdraw into the right Adj-RIB-In slot. ---
+    int slot = -1;
+    topo::Relation learned_from = topo::Relation::kProvider;
+    if (!ev.msg.sender.valid()) {
+      slot = attachment_slot(u, ev.msg.attachment);
+      assert(slot >= 0);
+      // The origin is this AS's customer (transit attachment) or peer.
+      const OriginAttachment& at = attachments_[ev.msg.attachment];
+      learned_from = at.neighbor_is == topo::Relation::kProvider
+                         ? topo::Relation::kCustomer
+                         : topo::Relation::kPeer;
+    } else {
+      slot = neighbor_slot(u, ev.msg.sender);
+      assert(slot >= 0);
+      learned_from = adj_[u.value()][slot].relation;
+    }
+
+    RibEntry& entry = as_state.rib[slot];
+    if (ev.msg.withdraw) {
+      if (!entry.present) continue;  // stale withdraw
+      entry.present = false;
+    } else {
+      // Loop prevention: drop announcements already carrying us.
+      if (std::find(ev.msg.as_path.begin(), ev.msg.as_path.end(), u) !=
+          ev.msg.as_path.end()) {
+        continue;
+      }
+      const bool same_content = entry.present &&
+                                entry.as_path == ev.msg.as_path &&
+                                entry.origin_prepend == ev.msg.origin_prepend;
+      entry.present = true;
+      entry.neighbor = ev.msg.sender;
+      entry.learned_from = learned_from;
+      entry.attachment = ev.msg.attachment;
+      entry.as_path = ev.msg.as_path;
+      entry.origin_prepend = ev.msg.origin_prepend;
+      // MED is non-transitive: it is only seen by the AS the origin
+      // session terminates in, never re-advertised.
+      entry.med = ev.msg.sender.valid()
+                      ? 0
+                      : attachments_[ev.msg.attachment].med;
+      entry.local_pref =
+          policy_.import_local_pref(u, learned_from, ev.msg.as_path);
+      // Interior (hot-potato) cost to this next hop: stable per session,
+      // deterministically derived so re-runs and reversed-order experiments
+      // see identical costs (only genuine cost ties reach the arrival-order
+      // step, §4.2).
+      entry.nexthop_igp_cost = 0;
+      if (node.igp_spread > 0) {
+        std::uint64_t h = 0x9e3779b97f4a7c15ULL * (u.value() + 1);
+        h ^= ev.msg.sender.valid()
+                 ? 0xbf58476d1ce4e5b9ULL * (ev.msg.sender.value() + 2)
+                 : 0x94d049bb133111ebULL * (ev.msg.attachment + 2);
+        h ^= h >> 31;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+        entry.nexthop_igp_cost =
+            static_cast<int>(h % static_cast<std::uint64_t>(
+                                     node.igp_spread + 1));
+      }
+      if (!same_content) {
+        entry.arrival_seq = ++arrival_seq;
+        entry.arrival_time_s = ev.time_s;
+      }
+      entry.neighbor_router_id = ev.msg.sender_router_id;
+      entry.at = ev.msg.at;
+    }
+
+    // --- Re-run the decision process. ---
+    DecisionOptions dopts;
+    dopts.prefer_oldest =
+        options_.arrival_order_tiebreak && node.prefers_oldest;
+    BestSet new_best;
+    for (int i = 0; i < static_cast<int>(as_state.rib.size()); ++i) {
+      if (!as_state.rib[i].present) continue;
+      if (new_best.best < 0 ||
+          compare_routes(as_state.rib[i], as_state.rib[new_best.best],
+                         dopts) < 0) {
+        new_best.best = i;
+      }
+    }
+    if (new_best.best >= 0) {
+      for (int i = 0; i < static_cast<int>(as_state.rib.size()); ++i) {
+        if (as_state.rib[i].present &&
+            multipath_equal(as_state.rib[i], as_state.rib[new_best.best])) {
+          new_best.equal_best.push_back(i);
+        }
+      }
+    }
+    as_state.best = std::move(new_best);
+
+    // --- Export: diff the advertisement owed to each neighbor against
+    // what was last sent, and schedule updates/withdraws. ---
+    const RibEntry* best =
+        as_state.best.best >= 0 ? &as_state.rib[as_state.best.best] : nullptr;
+    for (std::size_t i = 0; i < adj_[u.value()].size(); ++i) {
+      const DedupNeighbor& nb = adj_[u.value()][i];
+      bool send_path = false;
+      std::vector<AsId> path;
+      if (best != nullptr &&
+          PolicyEngine::may_export(best->learned_from, nb.relation) &&
+          nb.as != best->neighbor) {  // split horizon toward the sender
+        path.reserve(best->as_path.size() + 1);
+        path.push_back(u);
+        path.insert(path.end(), best->as_path.begin(), best->as_path.end());
+        send_path = true;
+      }
+      Advertised& adv = advertised[u.value()][i];
+      if (send_path) {
+        if (adv.valid && adv.path == path &&
+            adv.prepend == best->origin_prepend) {
+          continue;  // no change
+        }
+        adv.valid = true;
+        adv.path = path;
+        adv.prepend = best->origin_prepend;
+      } else {
+        if (!adv.valid) continue;  // nothing to withdraw
+        adv.valid = false;
+        adv.path.clear();
+      }
+      const topo::AsLink& link = net_.graph.link(nb.link);
+      // Update propagation across the AS from where the route entered to
+      // this egress.  iBGP rides the backbone at line rate, so only a
+      // fraction of the geodesic delay differentiates egress ports — large
+      // enough that changing the injection PoP shifts a few downstream
+      // races (the §4.3 representative-site effect), small enough that
+      // same-AS announcement order has no catchment impact (§4.2).
+      constexpr double kIbgpPropagationScale = 0.15;
+      const double intra_ms =
+          best != nullptr
+              ? kIbgpPropagationScale *
+                    geo::one_way_latency_ms(best->at, link.where)
+              : 0.0;
+      Event out;
+      out.time_s = fifo(
+          std::size_t{nb.link.value()} * 2 +
+              (net_.graph.link(nb.link).a == u ? 0 : 1),
+          ev.time_s +
+              (intra_ms + link.latency_ms +
+               session_delay_ms((std::uint64_t{nb.link.value()} << 20) ^
+                                u.value()) +
+               rng.exponential(options_.run_jitter_mean_ms)) /
+                  1e3);
+      out.seq = event_seq++;
+      out.to = nb.as;
+      out.msg.withdraw = !send_path;
+      out.msg.sender = u;
+      out.msg.attachment = kNoAttachment;
+      if (send_path) {
+        out.msg.as_path = std::move(path);
+        out.msg.origin_prepend = best->origin_prepend;
+      }
+      out.msg.sender_router_id = node.router_id;
+      out.msg.at = link.where;
+      queue.push(std::move(out));
+    }
+  }
+  return state;
+}
+
+RoutingState Simulator::announce_sequence(
+    std::span<const AttachmentIndex> order, double spacing_s,
+    std::uint64_t run_nonce) const {
+  std::vector<Injection> schedule;
+  schedule.reserve(order.size());
+  double t = 0;
+  for (const AttachmentIndex a : order) {
+    schedule.push_back(Injection{t, a, false});
+    t += spacing_s;
+  }
+  return run(schedule, run_nonce);
+}
+
+const RibEntry* RoutingState::best(AsId as) const {
+  const auto& s = as_[as.value()];
+  return s.best.best >= 0 ? &s.rib[s.best.best] : nullptr;
+}
+
+std::span<const RibEntry> RoutingState::rib(AsId as) const {
+  return as_[as.value()].rib;
+}
+
+const BestSet& RoutingState::best_set(AsId as) const {
+  return as_[as.value()].best;
+}
+
+ResolvedPath RoutingState::resolve(AsId from, const geo::Coordinates& from_loc,
+                                   std::uint64_t flow_hash) const {
+  ResolvedPath out;
+  const topo::Internet& net = sim_->net_;
+  AsId cur = from;
+  geo::Coordinates cur_loc = from_loc;
+  out.as_path.push_back(cur);
+
+  for (std::size_t hops = 0; hops < 64; ++hops) {
+    const auto& s = as_[cur.value()];
+    if (s.best.best < 0) return out;  // unreachable
+
+    // Per-flow multipath split across equal-best entries.
+    int chosen = s.best.best;
+    const topo::AsNode& node = net.graph.node(cur);
+    if (node.multipath && s.best.equal_best.size() > 1) {
+      std::uint64_t h = flow_hash ^ (0x9e3779b97f4a7c15ULL * (cur.value() + 1)) ^
+                        (run_nonce_ * 0xbf58476d1ce4e5b9ULL);
+      h ^= h >> 29;
+      h *= 0x94d049bb133111ebULL;
+      h ^= h >> 32;
+      chosen = s.best.equal_best[h % s.best.equal_best.size()];
+    }
+    const RibEntry& entry = s.rib[chosen];
+
+    if (!entry.neighbor.valid()) {
+      // `cur` is a host AS: traffic exits to the anycast origin here.
+      // Hot-potato: among the attachments to this AS that are currently
+      // announced, pick the one closest (by IGP, if this AS has a PoP
+      // network) to where the traffic entered the AS.
+      const auto& slots = sim_->host_attach_[cur.value()];
+      const std::size_t base = sim_->adj_[cur.value()].size();
+      // iBGP best-path inside the host AS: AS-path length (prepending!)
+      // then MED (same-neighbor sessions) are compared before interior
+      // cost, so a prepended or MED-penalized session loses to its
+      // sibling everywhere in the AS.
+      std::uint8_t best_prepend = 255;
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        const RibEntry& cand = s.rib[base + i];
+        if (cand.present && cand.origin_prepend < best_prepend) {
+          best_prepend = cand.origin_prepend;
+        }
+      }
+      std::uint32_t best_med = ~std::uint32_t{0};
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        const RibEntry& cand = s.rib[base + i];
+        if (cand.present && cand.origin_prepend == best_prepend &&
+            cand.med < best_med) {
+          best_med = cand.med;
+        }
+      }
+      double best_cost = 1e18;
+      double best_intra = 0;
+      AttachmentIndex best_at = kNoAttachment;
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        const RibEntry& cand = s.rib[base + i];
+        if (!cand.present || cand.origin_prepend != best_prepend ||
+            cand.med != best_med) {
+          continue;
+        }
+        const OriginAttachment& at = sim_->attachments_[slots[i]];
+        double cost = 0;
+        if (net.pops.has(cur)) {
+          const topo::PopNetwork& pn = net.pops.network(cur);
+          const std::size_t ingress = pn.nearest_pop(cur_loc);
+          const std::size_t egress = pn.nearest_pop(at.where);
+          cost = pn.igp_cost(ingress, egress);
+        } else {
+          cost = geo::one_way_latency_ms(cur_loc, at.where);
+        }
+        if (cost < best_cost ||
+            (cost == best_cost && slots[i] < best_at)) {
+          best_cost = cost;
+          best_intra = cost;
+          best_at = slots[i];
+        }
+      }
+      if (best_at == kNoAttachment) return out;  // raced withdraw
+      const OriginAttachment& at = sim_->attachments_[best_at];
+      out.reachable = true;
+      out.site = at.site;
+      out.attachment = best_at;
+      out.one_way_ms += best_intra + at.latency_ms;
+      return out;
+    }
+
+    // Cross into the advertising neighbor at the route's ingress point.
+    const int slot = sim_->neighbor_slot(cur, entry.neighbor);
+    assert(slot >= 0);
+    const topo::AsLink& link =
+        net.graph.link(sim_->adj_[cur.value()][slot].link);
+    out.one_way_ms += geo::one_way_latency_ms(cur_loc, link.where);
+    cur = entry.neighbor;
+    cur_loc = link.where;
+    out.as_path.push_back(cur);
+  }
+  return out;  // exceeded hop budget: treat as unreachable
+}
+
+}  // namespace anyopt::bgp

@@ -1,0 +1,187 @@
+#pragma once
+// Event-driven BGP propagation engine.
+//
+// Simulates the announcement of one anycast prefix from a set of origin
+// attachments into the AS-level Internet.  Updates travel with per-link
+// delays (geodesic latency plus exponential processing jitter), so the
+// *arrival order* of announcements at every AS is well defined — which is
+// what lets the reproduction exhibit the paper's central finding that
+// deployed routers break ties by arrival order (§4.2).
+//
+// A run starts from clean state, processes a schedule of timed injections
+// (announce/withdraw per attachment), and returns the converged routing
+// state, from which catchments, forwarding paths and latencies can be
+// resolved per client network.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bgp/decision.h"
+#include "bgp/origin.h"
+#include "bgp/policy.h"
+#include "bgp/route.h"
+#include "netbase/geo.h"
+#include "netbase/ids.h"
+#include "netbase/rng.h"
+#include "topo/builder.h"
+
+namespace anyopt::bgp {
+
+/// Engine tuning knobs.
+struct SimulatorOptions {
+  /// Mean of the per-hop processing delay (ms).  This component is
+  /// *deterministic per link* (hash-derived), modelling stable router/
+  /// session characteristics: the same race between two update waves
+  /// resolves the same way in every experiment, as observed on the real
+  /// Internet (the paper's §4.2 flip behaviour is order-driven, not
+  /// noise-driven).  Announce spacing must dwarf hops × (latency + this).
+  double processing_delay_mean_ms = 15.0;
+  /// Mean of the additional per-run exponential jitter (ms), modelling the
+  /// genuinely random per-wave component of update propagation (MRAI timer
+  /// randomization): races between announcements made simultaneously
+  /// re-roll between experiments, while spaced announcements stay ordered.
+  double run_jitter_mean_ms = 3000.0;
+  /// Global ablation switch for the arrival-order tie-break; ANDed with the
+  /// per-AS `prefers_oldest` flag.
+  bool arrival_order_tiebreak = true;
+  /// Safety valve: abort if a run exceeds this many events (0 = auto).
+  std::size_t max_events = 0;
+  /// Base seed; combined with the per-run nonce.
+  std::uint64_t seed = 0xB6F;
+};
+
+/// Forwarding resolution result for one client network.
+struct ResolvedPath {
+  bool reachable = false;
+  SiteId site;                       ///< catchment site
+  AttachmentIndex attachment = kNoAttachment;
+  std::vector<AsId> as_path;         ///< client AS ... host AS
+  double one_way_ms = 0;             ///< client location -> site
+};
+
+/// One hop of a routing explanation: which route an AS picked and how deep
+/// into the decision process it had to go to beat its rivals.
+struct ExplainedHop {
+  AsId as;
+  std::size_t candidates = 0;        ///< present Adj-RIB-In entries
+  std::vector<AsId> chosen_path;     ///< AS path of the winning entry
+  AsId next;                         ///< next-hop AS; invalid = exits to origin
+  /// The deepest decision step needed against any rival (kLocalPref if
+  /// the route won on LOCAL_PREF alone, kOldestRoute if only the
+  /// arrival-order tie-break separated it, ...).  kLocalPref when
+  /// unopposed.
+  DecisionStep hardest_step = DecisionStep::kLocalPref;
+  bool multipath_split = false;      ///< flow-hash picked among equals
+};
+
+/// Full "why did this client end up at that site" trace (§2's manual
+/// diagnosis, automated).
+struct Explanation {
+  bool reachable = false;
+  SiteId site;
+  std::vector<ExplainedHop> hops;
+
+  /// True if any hop's decision needed the vendor arrival-order step —
+  /// i.e. this client's catchment is announcement-order-dependent.
+  [[nodiscard]] bool order_dependent() const;
+
+  /// Multi-line human-readable rendering.
+  [[nodiscard]] std::string to_string(const topo::Internet& net) const;
+};
+
+class Simulator;
+
+/// Converged routing state of one run.  Valid only while the owning
+/// Simulator is alive.
+class RoutingState {
+ public:
+  /// The single best route installed at `as`, or nullptr if unreachable.
+  [[nodiscard]] const RibEntry* best(AsId as) const;
+
+  /// All RIB entries installed at `as` (present and not).
+  [[nodiscard]] std::span<const RibEntry> rib(AsId as) const;
+
+  /// Multipath-eligible equal-best entries at `as` (indices into rib).
+  [[nodiscard]] const BestSet& best_set(AsId as) const;
+
+  /// Walks the data plane from a client at `from` / `from_loc` to its
+  /// catchment site.  `flow_hash` seeds per-flow multipath splitting.
+  [[nodiscard]] ResolvedPath resolve(AsId from, const geo::Coordinates& from_loc,
+                                     std::uint64_t flow_hash) const;
+
+  /// Like `resolve`, but records per-hop decision diagnostics: which entry
+  /// each AS picked, against how many candidates, and the deepest decision
+  /// step that was needed.
+  [[nodiscard]] Explanation explain(AsId from,
+                                    const geo::Coordinates& from_loc,
+                                    std::uint64_t flow_hash) const;
+
+  /// Number of update events processed before convergence.
+  [[nodiscard]] std::size_t events_processed() const { return events_; }
+
+  /// Simulated time of the last processed event (seconds).
+  [[nodiscard]] double converged_at_s() const { return last_event_s_; }
+
+ private:
+  friend class Simulator;
+  struct AsState {
+    std::vector<RibEntry> rib;  ///< slots: AS neighbors, then attachments
+    BestSet best;
+  };
+  const Simulator* sim_ = nullptr;
+  std::vector<AsState> as_;
+  std::uint64_t run_nonce_ = 0;
+  std::size_t events_ = 0;
+  double last_event_s_ = 0;
+};
+
+/// The propagation engine.  Construct once per (Internet, attachment table);
+/// `run` is const and cheap to call repeatedly with different schedules.
+class Simulator {
+ public:
+  Simulator(const topo::Internet& net,
+            std::vector<OriginAttachment> attachments,
+            SimulatorOptions options = {});
+
+  [[nodiscard]] const std::vector<OriginAttachment>& attachments() const {
+    return attachments_;
+  }
+  [[nodiscard]] const topo::Internet& internet() const { return net_; }
+  [[nodiscard]] const SimulatorOptions& options() const { return options_; }
+
+  /// Runs one BGP experiment from clean state.  `injections` must be sorted
+  /// by time; `run_nonce` individualizes jitter (two runs with the same
+  /// schedule and nonce are identical).
+  [[nodiscard]] RoutingState run(std::span<const Injection> injections,
+                                 std::uint64_t run_nonce) const;
+
+  /// Convenience: announce the given attachments in schedule order with
+  /// `spacing_s` between consecutive announcements.
+  [[nodiscard]] RoutingState announce_sequence(
+      std::span<const AttachmentIndex> order, double spacing_s,
+      std::uint64_t run_nonce) const;
+
+ private:
+  friend class RoutingState;
+
+  struct DedupNeighbor {
+    AsId as;
+    topo::Relation relation;  ///< what the neighbor is to this AS
+    LinkId link;
+  };
+
+  struct Event;
+
+  [[nodiscard]] int neighbor_slot(AsId as, AsId neighbor) const;
+  [[nodiscard]] int attachment_slot(AsId as, AttachmentIndex idx) const;
+
+  const topo::Internet& net_;
+  std::vector<OriginAttachment> attachments_;
+  SimulatorOptions options_;
+  PolicyEngine policy_;
+  std::vector<std::vector<DedupNeighbor>> adj_;          ///< per AS
+  std::vector<std::vector<AttachmentIndex>> host_attach_;  ///< per AS
+};
+
+}  // namespace anyopt::bgp

@@ -1,0 +1,80 @@
+#include "core/anyopt.h"
+
+namespace anyopt::core {
+
+AnyOptPipeline::AnyOptPipeline(const measure::Orchestrator& orchestrator,
+                               PipelineOptions options)
+    : orchestrator_(orchestrator), options_(std::move(options)) {}
+
+const DiscoveryResult& AnyOptPipeline::discover() {
+  if (!discovery_.has_value()) {
+    const Discovery discovery(orchestrator_, options_.discovery);
+    discovery_ = discovery.run();
+    experiments_ += discovery_->experiments;
+  }
+  return *discovery_;
+}
+
+const RttMatrix& AnyOptPipeline::measure_rtts() {
+  if (!rtts_.has_value()) {
+    rtts_ = RttMatrix::measure(orchestrator_, options_.rtt_nonce_base);
+    experiments_ += rtts_->site_count();
+  }
+  return *rtts_;
+}
+
+const Predictor& AnyOptPipeline::predictor() {
+  if (predictor_ == nullptr) {
+    predictor_ = std::make_unique<Predictor>(
+        orchestrator_.world().deployment(), discover(), measure_rtts(),
+        options_.site_pref_mode);
+  }
+  return *predictor_;
+}
+
+Prediction AnyOptPipeline::predict(const anycast::AnycastConfig& config) {
+  return predictor().predict(config);
+}
+
+SearchOutcome AnyOptPipeline::optimize(OptimizerOptions options) {
+  const Optimizer optimizer(predictor(), options);
+  return optimizer.search();
+}
+
+OnePassResult AnyOptPipeline::tune_peers(
+    const anycast::AnycastConfig& baseline) const {
+  const OnePassPeerSelector selector(orchestrator_);
+  return selector.run(baseline);
+}
+
+SplpoInstance AnyOptPipeline::splpo_instance(
+    const anycast::AnycastConfig& order) {
+  const Predictor& pred = predictor();
+  const auto& deployment = orchestrator_.world().deployment();
+  const std::size_t sites = deployment.site_count();
+  const std::size_t targets = orchestrator_.world().targets().size();
+
+  // Collect targets with a usable total order under this announcement
+  // order; they become the SPLPO clients.
+  std::vector<std::pair<TargetId, std::vector<SiteId>>> ordered;
+  for (std::size_t t = 0; t < targets; ++t) {
+    const TargetId id{static_cast<TargetId::underlying_type>(t)};
+    if (auto total = pred.total_order(id, order)) {
+      ordered.push_back({id, std::move(*total)});
+    }
+  }
+
+  SplpoInstance inst = SplpoInstance::make(sites, ordered.size());
+  for (std::size_t c = 0; c < ordered.size(); ++c) {
+    const auto& [target, preference] = ordered[c];
+    for (const SiteId s : preference) {
+      inst.preference[c].push_back(s.value());
+      const double r = pred.rtts().rtt(s, target);
+      inst.set_cost(c, s.value(),
+                    r >= 0 ? r : SplpoInstance::kInf);
+    }
+  }
+  return inst;
+}
+
+}  // namespace anyopt::core

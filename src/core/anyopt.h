@@ -1,0 +1,84 @@
+#pragma once
+// AnyOpt — umbrella header and end-to-end pipeline (§4.5 "Putting it
+// Together").
+//
+//   #include "core/anyopt.h"
+//
+//   auto world = anycast::World::create(anycast::WorldParams::paper_scale());
+//   measure::Orchestrator orch(*world);
+//   core::AnyOptPipeline anyopt(orch);
+//   anyopt.discover();                       // steps 1-2: measurements
+//   auto best = anyopt.optimize({.max_sites = 12});   // step 3: offline
+//   auto peers = anyopt.tune_peers(best.best.config); // §4.4: one-pass
+//
+// All heavy stages are cached: discovery and the RTT matrix run once.
+
+#include <memory>
+#include <optional>
+
+#include "core/discovery.h"
+#include "core/optimizer.h"
+#include "core/peers.h"
+#include "core/planner.h"
+#include "core/predictor.h"
+#include "core/rtt_matrix.h"
+#include "core/sparse.h"
+#include "core/splpo.h"
+#include "core/total_order.h"
+
+namespace anyopt::core {
+
+struct PipelineOptions {
+  DiscoveryOptions discovery;
+  SitePrefMode site_pref_mode = SitePrefMode::kExperiments;
+  std::uint64_t rtt_nonce_base = 0x5111;
+};
+
+/// Facade wiring the measurement and optimization stages together.
+class AnyOptPipeline {
+ public:
+  explicit AnyOptPipeline(const measure::Orchestrator& orchestrator,
+                          PipelineOptions options = {});
+
+  /// Runs (or returns the cached) two-level pairwise discovery.
+  const DiscoveryResult& discover();
+
+  /// Runs (or returns the cached) per-site unicast RTT measurements.
+  const RttMatrix& measure_rtts();
+
+  /// The catchment/RTT predictor (triggers discovery + RTT measurement).
+  const Predictor& predictor();
+
+  /// Predicts one configuration (offline; no BGP experiment).
+  [[nodiscard]] Prediction predict(const anycast::AnycastConfig& config);
+
+  /// Offline configuration search.
+  [[nodiscard]] SearchOutcome optimize(OptimizerOptions options = {});
+
+  /// One-pass peer incorporation on top of a transit-only baseline.
+  [[nodiscard]] OnePassResult tune_peers(
+      const anycast::AnycastConfig& baseline) const;
+
+  /// Builds the SPLPO instance (Appendix B) for the current discovery:
+  /// sites are facilities, targets are clients, unicast RTTs are costs and
+  /// total orders (under `order`) are the preference lists.  Targets
+  /// without a total order are omitted, as §4.5 step 3 prescribes.
+  [[nodiscard]] SplpoInstance splpo_instance(
+      const anycast::AnycastConfig& order);
+
+  [[nodiscard]] const measure::Orchestrator& orchestrator() const {
+    return orchestrator_;
+  }
+  /// Total BGP experiments the pipeline has run so far.
+  [[nodiscard]] std::size_t experiments_run() const { return experiments_; }
+
+ private:
+  const measure::Orchestrator& orchestrator_;
+  PipelineOptions options_;
+  std::optional<DiscoveryResult> discovery_;
+  std::optional<RttMatrix> rtts_;
+  std::unique_ptr<Predictor> predictor_;
+  std::size_t experiments_ = 0;
+};
+
+}  // namespace anyopt::core

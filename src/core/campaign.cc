@@ -1,0 +1,193 @@
+#include "core/campaign.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "netbase/strings.h"
+
+namespace anyopt::core {
+namespace {
+
+char kind_to_char(PrefKind kind) {
+  return static_cast<char>('0' + static_cast<int>(kind));
+}
+
+Result<PrefKind> char_to_kind(char c) {
+  if (c < '0' || c > '4') return Error::parse("bad preference code");
+  return static_cast<PrefKind>(c - '0');
+}
+
+void write_table(std::ostringstream& out, const std::string& tag,
+                 const PairwiseTable& table) {
+  out << tag << ' ' << table.item_count << ' ' << table.target_count << '\n';
+  for (std::size_t pair = 0; pair < table.outcome.size(); ++pair) {
+    out << "p ";
+    for (const PrefKind kind : table.outcome[pair]) {
+      out << kind_to_char(kind);
+    }
+    out << '\n';
+  }
+}
+
+Result<PairwiseTable> read_table(std::istringstream& in, std::size_t items,
+                                 std::size_t targets) {
+  PairwiseTable table;
+  table.init(items, targets);
+  std::string line;
+  for (std::size_t pair = 0; pair < table.outcome.size(); ++pair) {
+    if (!std::getline(in, line)) return Error::parse("truncated table");
+    const std::string_view body = strings::trim(line);
+    if (body.size() != targets + 2 || body.substr(0, 2) != "p ") {
+      return Error::parse("bad table row");
+    }
+    for (std::size_t t = 0; t < targets; ++t) {
+      auto kind = char_to_kind(body[2 + t]);
+      if (!kind.ok()) return kind.error();
+      table.outcome[pair][t] = kind.value();
+    }
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string save_campaign(const Campaign& campaign) {
+  std::ostringstream out;
+  const auto& d = campaign.discovery;
+  out << "anyopt-campaign v1\n";
+  out << "meta " << d.provider_prefs.item_count << ' '
+      << d.provider_prefs.target_count << ' ' << campaign.rtts.site_count()
+      << ' ' << d.experiments << '\n';
+
+  out << "provider-sites";
+  for (const auto& sites : d.provider_sites) {
+    out << ' ' << sites.size();
+    for (const SiteId s : sites) out << ':' << s.value();
+  }
+  out << '\n';
+
+  write_table(out, "ptable", d.provider_prefs);
+  for (std::size_t p = 0; p < d.site_prefs.size(); ++p) {
+    write_table(out, "stable", d.site_prefs[p]);
+  }
+
+  out << "rtts " << campaign.rtts.site_count() << ' '
+      << campaign.rtts.target_count() << '\n';
+  char buf[40];
+  for (std::size_t s = 0; s < campaign.rtts.site_count(); ++s) {
+    out << 'r';
+    for (std::size_t t = 0; t < campaign.rtts.target_count(); ++t) {
+      const double v = campaign.rtts.rtt(
+          SiteId{static_cast<SiteId::underlying_type>(s)},
+          TargetId{static_cast<TargetId::underlying_type>(t)});
+      std::snprintf(buf, sizeof buf, " %.17g", v);
+      out << buf;
+    }
+    out << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<Campaign> load_campaign(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) ||
+      strings::trim(line) != "anyopt-campaign v1") {
+    return Error::parse("bad header; expected 'anyopt-campaign v1'");
+  }
+
+  Campaign campaign;
+  std::size_t providers = 0;
+  std::size_t targets = 0;
+  std::size_t sites = 0;
+
+  if (!std::getline(in, line)) return Error::parse("missing meta");
+  {
+    std::istringstream meta(line);
+    std::string tag;
+    meta >> tag >> providers >> targets >> sites >>
+        campaign.discovery.experiments;
+    if (tag != "meta" || providers == 0 || sites == 0) {
+      return Error::parse("bad meta record");
+    }
+  }
+
+  if (!std::getline(in, line)) return Error::parse("missing provider-sites");
+  {
+    const auto fields = strings::split(strings::trim(line), ' ');
+    if (fields.empty() || fields[0] != "provider-sites" ||
+        fields.size() != providers + 1) {
+      return Error::parse("bad provider-sites record");
+    }
+    std::size_t total_sites = 0;
+    for (std::size_t p = 1; p <= providers; ++p) {
+      const auto parts = strings::split(fields[p], ':');
+      std::size_t count = 0;
+      auto [ptr, ec] = std::from_chars(
+          parts[0].data(), parts[0].data() + parts[0].size(), count);
+      if (ec != std::errc{} || parts.size() != count + 1) {
+        return Error::parse("bad provider-sites entry");
+      }
+      std::vector<SiteId> list;
+      for (std::size_t i = 1; i <= count; ++i) {
+        std::uint32_t site = 0;
+        auto [p2, e2] = std::from_chars(
+            parts[i].data(), parts[i].data() + parts[i].size(), site);
+        if (e2 != std::errc{}) return Error::parse("bad site id");
+        list.push_back(SiteId{site});
+      }
+      total_sites += list.size();
+      campaign.discovery.provider_sites.push_back(std::move(list));
+    }
+    if (total_sites != sites) {
+      return Error::parse("provider-sites does not cover all sites");
+    }
+  }
+
+  if (!std::getline(in, line) ||
+      !strings::starts_with(strings::trim(line), "ptable ")) {
+    return Error::parse("missing ptable");
+  }
+  auto ptable = read_table(in, providers, targets);
+  if (!ptable.ok()) return ptable.error();
+  campaign.discovery.provider_prefs = std::move(ptable.value());
+
+  for (std::size_t p = 0; p < providers; ++p) {
+    if (!std::getline(in, line) ||
+        !strings::starts_with(strings::trim(line), "stable ")) {
+      return Error::parse("missing stable record");
+    }
+    auto table = read_table(
+        in, campaign.discovery.provider_sites[p].size(), targets);
+    if (!table.ok()) return table.error();
+    campaign.discovery.site_prefs.push_back(std::move(table.value()));
+  }
+
+  if (!std::getline(in, line) ||
+      !strings::starts_with(strings::trim(line), "rtts ")) {
+    return Error::parse("missing rtts record");
+  }
+  campaign.rtts = RttMatrix(sites, targets);
+  for (std::size_t s = 0; s < sites; ++s) {
+    if (!std::getline(in, line)) return Error::parse("truncated rtts");
+    std::istringstream row(line);
+    std::string tag;
+    row >> tag;
+    if (tag != "r") return Error::parse("bad rtt row");
+    for (std::size_t t = 0; t < targets; ++t) {
+      double v = 0;
+      if (!(row >> v)) return Error::parse("short rtt row");
+      campaign.rtts.set(SiteId{static_cast<SiteId::underlying_type>(s)},
+                        TargetId{static_cast<TargetId::underlying_type>(t)},
+                        v);
+    }
+  }
+  if (!std::getline(in, line) || strings::trim(line) != "end") {
+    return Error::parse("missing end record");
+  }
+  return campaign;
+}
+
+}  // namespace anyopt::core

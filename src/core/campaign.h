@@ -1,0 +1,32 @@
+#pragma once
+// Persistence of a measurement campaign.
+//
+// The paper's measurements take days to weeks of wall-clock time (§4.5:
+// two-hour experiment spacing); an operator runs them once a month and
+// reuses the results for every subsequent prediction and optimization.
+// This module serializes the complete campaign — the two-level pairwise
+// tables and the unicast RTT matrix — to a line-oriented text artifact
+// with exact round-trip, so predictions can run without re-measuring.
+
+#include <string>
+
+#include "core/discovery.h"
+#include "core/rtt_matrix.h"
+#include "netbase/result.h"
+
+namespace anyopt::core {
+
+/// Everything a Predictor needs, bundled for storage.
+struct Campaign {
+  DiscoveryResult discovery;
+  RttMatrix rtts;
+};
+
+/// Serializes the campaign (text, ~100 bytes + 1 byte per table entry +
+/// ~8 bytes per RTT sample).
+[[nodiscard]] std::string save_campaign(const Campaign& campaign);
+
+/// Parses a campaign back; validates structural consistency.
+[[nodiscard]] Result<Campaign> load_campaign(const std::string& text);
+
+}  // namespace anyopt::core

@@ -1,0 +1,255 @@
+#include "core/discovery.h"
+
+#include <cassert>
+
+#include "anycast/config.h"
+
+namespace anyopt::core {
+
+Discovery::Discovery(const measure::Orchestrator& orchestrator,
+                     DiscoveryOptions options)
+    : orchestrator_(orchestrator),
+      options_(std::move(options)),
+      next_nonce_(options_.nonce_base) {}
+
+SiteId Discovery::representative(ProviderId provider) const {
+  if (provider.value() < options_.representatives.size() &&
+      options_.representatives[provider.value()].valid()) {
+    return options_.representatives[provider.value()];
+  }
+  const auto sites =
+      orchestrator_.world().deployment().sites_of_provider(provider);
+  assert(!sites.empty());
+  return sites.front();
+}
+
+Discovery::PairOutcomes Discovery::run_pair(SiteId first, SiteId second,
+                                            double spacing_s,
+                                            std::uint64_t nonce) const {
+  anycast::AnycastConfig cfg;
+  cfg.announce_order = {first, second};
+  cfg.spacing_s = spacing_s;
+  const measure::Census census = orchestrator_.measure(cfg, nonce);
+  PairOutcomes out;
+  out.winner.resize(census.site_of_target.size(), 2);
+  for (std::size_t t = 0; t < census.site_of_target.size(); ++t) {
+    if (census.site_of_target[t] == first) {
+      out.winner[t] = 0;
+    } else if (census.site_of_target[t] == second) {
+      out.winner[t] = 1;
+    }
+  }
+  return out;
+}
+
+PrefKind Discovery::classify(std::uint8_t winner_when_ab,
+                             std::uint8_t winner_when_ba) {
+  // winner encoding: 0 = item a, 1 = item b, 2 = unreachable.
+  if (winner_when_ab == 2 || winner_when_ba == 2) return PrefKind::kUnknown;
+  if (winner_when_ab == winner_when_ba) {
+    return winner_when_ab == 0 ? PrefKind::kStrictFirst
+                               : PrefKind::kStrictSecond;
+  }
+  // Preference followed the announcement order: first announced won both
+  // times => arrival-order tie (the "equivalent preference" of §4.2).
+  if (winner_when_ab == 0 && winner_when_ba == 1) {
+    return PrefKind::kOrderDependent;
+  }
+  // Newest-wins or multipath flap: no usable preference.
+  return PrefKind::kInconsistent;
+}
+
+PairwiseTable Discovery::provider_level(std::size_t* experiments) const {
+  const auto& deployment = orchestrator_.world().deployment();
+  const std::size_t providers = deployment.provider_count();
+  const std::size_t targets = orchestrator_.world().targets().size();
+  PairwiseTable table;
+  table.init(providers, targets);
+  std::size_t runs = 0;
+
+  for (std::size_t p = 0; p < providers; ++p) {
+    for (std::size_t q = p + 1; q < providers; ++q) {
+      const SiteId rep_p =
+          representative(ProviderId{static_cast<ProviderId::underlying_type>(p)});
+      const SiteId rep_q =
+          representative(ProviderId{static_cast<ProviderId::underlying_type>(q)});
+      if (options_.account_order) {
+        const PairOutcomes ab =
+            run_pair(rep_p, rep_q, options_.spacing_s, next_nonce_++);
+        const PairOutcomes ba =
+            run_pair(rep_q, rep_p, options_.spacing_s, next_nonce_++);
+        runs += 2;
+        for (std::size_t t = 0; t < targets; ++t) {
+          // ba.winner is relative to (q, p); flip to (p, q) orientation.
+          const std::uint8_t ba_as_ab =
+              ba.winner[t] == 2 ? std::uint8_t{2}
+                                : static_cast<std::uint8_t>(1 - ba.winner[t]);
+          table.set(p, q, t, classify(ab.winner[t], ba_as_ab));
+        }
+      } else {
+        // Naive mode: one simultaneous announcement; whatever wins is taken
+        // as the (supposed) strict preference.
+        const PairOutcomes sim = run_pair(rep_p, rep_q, 0.0, next_nonce_++);
+        runs += 1;
+        for (std::size_t t = 0; t < targets; ++t) {
+          table.set(p, q, t,
+                    sim.winner[t] == 2  ? PrefKind::kUnknown
+                    : sim.winner[t] == 0 ? PrefKind::kStrictFirst
+                                         : PrefKind::kStrictSecond);
+        }
+      }
+    }
+  }
+  if (experiments != nullptr) *experiments = runs;
+  return table;
+}
+
+std::vector<PairwiseTable> Discovery::site_level(
+    std::size_t* experiments) const {
+  const auto& deployment = orchestrator_.world().deployment();
+  const std::size_t providers = deployment.provider_count();
+  const std::size_t targets = orchestrator_.world().targets().size();
+  std::vector<PairwiseTable> tables(providers);
+  std::size_t runs = 0;
+
+  for (std::size_t p = 0; p < providers; ++p) {
+    const auto sites = deployment.sites_of_provider(
+        ProviderId{static_cast<ProviderId::underlying_type>(p)});
+    tables[p].init(sites.size(), targets);
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+      for (std::size_t j = i + 1; j < sites.size(); ++j) {
+        if (options_.account_order) {
+          const PairOutcomes ab = run_pair(sites[i], sites[j],
+                                           options_.spacing_s, next_nonce_++);
+          const PairOutcomes ba = run_pair(sites[j], sites[i],
+                                           options_.spacing_s, next_nonce_++);
+          runs += 2;
+          for (std::size_t t = 0; t < targets; ++t) {
+            const std::uint8_t ba_as_ab =
+                ba.winner[t] == 2
+                    ? std::uint8_t{2}
+                    : static_cast<std::uint8_t>(1 - ba.winner[t]);
+            tables[p].set(i, j, t, classify(ab.winner[t], ba_as_ab));
+          }
+        } else {
+          const PairOutcomes sim =
+              run_pair(sites[i], sites[j], 0.0, next_nonce_++);
+          runs += 1;
+          for (std::size_t t = 0; t < targets; ++t) {
+            tables[p].set(i, j, t,
+                          sim.winner[t] == 2  ? PrefKind::kUnknown
+                          : sim.winner[t] == 0 ? PrefKind::kStrictFirst
+                                               : PrefKind::kStrictSecond);
+          }
+        }
+      }
+    }
+  }
+  if (experiments != nullptr) *experiments = runs;
+  return tables;
+}
+
+std::vector<PrefKind> Discovery::classify_pair(
+    SiteId first, SiteId second, std::size_t* experiments) const {
+  const std::size_t targets = orchestrator_.world().targets().size();
+  std::vector<PrefKind> out(targets, PrefKind::kUnknown);
+  if (options_.account_order) {
+    const PairOutcomes ab =
+        run_pair(first, second, options_.spacing_s, next_nonce_++);
+    const PairOutcomes ba =
+        run_pair(second, first, options_.spacing_s, next_nonce_++);
+    if (experiments != nullptr) *experiments += 2;
+    for (std::size_t t = 0; t < targets; ++t) {
+      const std::uint8_t ba_as_ab =
+          ba.winner[t] == 2 ? std::uint8_t{2}
+                            : static_cast<std::uint8_t>(1 - ba.winner[t]);
+      out[t] = classify(ab.winner[t], ba_as_ab);
+    }
+  } else {
+    const PairOutcomes sim = run_pair(first, second, 0.0, next_nonce_++);
+    if (experiments != nullptr) *experiments += 1;
+    for (std::size_t t = 0; t < targets; ++t) {
+      out[t] = sim.winner[t] == 2  ? PrefKind::kUnknown
+               : sim.winner[t] == 0 ? PrefKind::kStrictFirst
+                                    : PrefKind::kStrictSecond;
+    }
+  }
+  return out;
+}
+
+PairwiseTable Discovery::flat_site_level(std::size_t* experiments) const {
+  const auto& deployment = orchestrator_.world().deployment();
+  const std::size_t sites = deployment.site_count();
+  const std::size_t targets = orchestrator_.world().targets().size();
+  PairwiseTable table;
+  table.init(sites, targets);
+  std::size_t runs = 0;
+  for (std::size_t i = 0; i < sites; ++i) {
+    for (std::size_t j = i + 1; j < sites; ++j) {
+      const SiteId si{static_cast<SiteId::underlying_type>(i)};
+      const SiteId sj{static_cast<SiteId::underlying_type>(j)};
+      if (options_.account_order) {
+        const PairOutcomes ab =
+            run_pair(si, sj, options_.spacing_s, next_nonce_++);
+        const PairOutcomes ba =
+            run_pair(sj, si, options_.spacing_s, next_nonce_++);
+        runs += 2;
+        for (std::size_t t = 0; t < targets; ++t) {
+          const std::uint8_t ba_as_ab =
+              ba.winner[t] == 2 ? std::uint8_t{2}
+                                : static_cast<std::uint8_t>(1 - ba.winner[t]);
+          table.set(i, j, t, classify(ab.winner[t], ba_as_ab));
+        }
+      } else {
+        const PairOutcomes sim = run_pair(si, sj, 0.0, next_nonce_++);
+        runs += 1;
+        for (std::size_t t = 0; t < targets; ++t) {
+          table.set(i, j, t,
+                    sim.winner[t] == 2  ? PrefKind::kUnknown
+                    : sim.winner[t] == 0 ? PrefKind::kStrictFirst
+                                         : PrefKind::kStrictSecond);
+        }
+      }
+    }
+  }
+  if (experiments != nullptr) *experiments = runs;
+  return table;
+}
+
+DiscoveryResult Discovery::run() const {
+  DiscoveryResult result;
+  std::size_t provider_runs = 0;
+  std::size_t site_runs = 0;
+  result.provider_prefs = provider_level(&provider_runs);
+  result.site_prefs = site_level(&site_runs);
+  const auto& deployment = orchestrator_.world().deployment();
+  result.provider_sites.resize(deployment.provider_count());
+  for (std::size_t p = 0; p < deployment.provider_count(); ++p) {
+    result.provider_sites[p] = deployment.sites_of_provider(
+        ProviderId{static_cast<ProviderId::underlying_type>(p)});
+  }
+  result.experiments = provider_runs + site_runs;
+  return result;
+}
+
+double Discovery::order_flip_fraction(ProviderId p, ProviderId q) const {
+  const SiteId rep_p = representative(p);
+  const SiteId rep_q = representative(q);
+  const PairOutcomes ab =
+      run_pair(rep_p, rep_q, options_.spacing_s, next_nonce_++);
+  const PairOutcomes ba =
+      run_pair(rep_q, rep_p, options_.spacing_s, next_nonce_++);
+  std::size_t both = 0;
+  std::size_t flipped = 0;
+  for (std::size_t t = 0; t < ab.winner.size(); ++t) {
+    if (ab.winner[t] == 2 || ba.winner[t] == 2) continue;
+    ++both;
+    // ba encodes winner relative to (q, p): 0 there means q.
+    const std::uint8_t ba_as_ab = static_cast<std::uint8_t>(1 - ba.winner[t]);
+    if (ab.winner[t] != ba_as_ab) ++flipped;
+  }
+  return both == 0 ? 0.0
+                   : static_cast<double>(flipped) / static_cast<double>(both);
+}
+
+}  // namespace anyopt::core

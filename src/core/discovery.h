@@ -1,0 +1,105 @@
+#pragma once
+// Two-level pairwise preference discovery (§3.3, §4.3, §4.5 steps 1-2).
+//
+// Provider level: one representative site per transit provider; for every
+// provider pair, two BGP experiments (second with reversed announcement
+// order) classify each target's preference as strict / order-dependent /
+// inconsistent.  Site level: within each provider, pairwise experiments
+// among its sites (announcement order provably cannot matter there, and the
+// experiments confirm it).  The naive single-experiment mode (simultaneous
+// announcement, no order accounting) is retained for the Fig. 4 ablations.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/preference.h"
+#include "measure/orchestrator.h"
+#include "netbase/ids.h"
+
+namespace anyopt::core {
+
+struct DiscoveryOptions {
+  /// Announcement spacing within an experiment; must exceed global BGP
+  /// convergence (the paper uses six minutes).
+  double spacing_s = 360.0;
+  /// true: run each pair twice (reversed order) and classify order
+  /// dependence.  false: the naive approach — announce both items
+  /// simultaneously and take the observed winner as a strict preference.
+  bool account_order = true;
+  /// Representative site per provider slot; empty = the provider's first
+  /// site in site-id order.
+  std::vector<SiteId> representatives;
+  std::uint64_t nonce_base = 0xD15C0;
+};
+
+/// Output of the full two-level discovery.
+struct DiscoveryResult {
+  /// Pairwise preferences among provider slots.
+  PairwiseTable provider_prefs;
+  /// Per provider slot: pairwise preferences among its sites (items indexed
+  /// by position in `provider_sites[p]`).
+  std::vector<PairwiseTable> site_prefs;
+  /// Per provider slot: its sites in site-id order.
+  std::vector<std::vector<SiteId>> provider_sites;
+  /// Number of BGP experiments performed.
+  std::size_t experiments = 0;
+};
+
+class Discovery {
+ public:
+  Discovery(const measure::Orchestrator& orchestrator,
+            DiscoveryOptions options = {});
+
+  /// Full two-level discovery (§4.5 step 2).
+  [[nodiscard]] DiscoveryResult run() const;
+
+  /// Provider-level only.
+  [[nodiscard]] PairwiseTable provider_level(std::size_t* experiments) const;
+
+  /// Site-level only (all providers).
+  [[nodiscard]] std::vector<PairwiseTable> site_level(
+      std::size_t* experiments) const;
+
+  /// The naive flat approach used as the baseline in Fig. 4c: pairwise
+  /// experiments over ALL site pairs, ignoring the provider structure
+  /// (honours `options().account_order`).  O(|S|²) experiments.
+  [[nodiscard]] PairwiseTable flat_site_level(std::size_t* experiments) const;
+
+  /// One classified pairwise measurement between two sites (two BGP
+  /// experiments when order accounting is on, one otherwise).  Returns the
+  /// per-target classification with `first`/`second` as the pair items,
+  /// and adds the experiment count to `*experiments` if non-null.
+  [[nodiscard]] std::vector<PrefKind> classify_pair(
+      SiteId first, SiteId second, std::size_t* experiments) const;
+
+  /// Fig. 4a primitive: announce the representative sites of providers
+  /// `p` then `q` (spaced), re-run reversed, and return the fraction of
+  /// targets whose catchment changed between the two runs.
+  [[nodiscard]] double order_flip_fraction(ProviderId p, ProviderId q) const;
+
+  /// The representative site used for a provider.
+  [[nodiscard]] SiteId representative(ProviderId provider) const;
+
+  [[nodiscard]] const DiscoveryOptions& options() const { return options_; }
+
+ private:
+  struct PairOutcomes {
+    // Winner per target: 0 = first item, 1 = second, 2 = unreachable.
+    std::vector<std::uint8_t> winner;
+  };
+
+  /// One pairwise experiment: announce `first` then `second` (or both at
+  /// t=0 when spacing==0) and classify each target's winner.
+  [[nodiscard]] PairOutcomes run_pair(SiteId first, SiteId second,
+                                      double spacing_s,
+                                      std::uint64_t nonce) const;
+
+  static PrefKind classify(std::uint8_t winner_when_ab,
+                           std::uint8_t winner_when_ba);
+
+  const measure::Orchestrator& orchestrator_;
+  DiscoveryOptions options_;
+  mutable std::uint64_t next_nonce_;
+};
+
+}  // namespace anyopt::core

@@ -1,0 +1,452 @@
+#include "core/optimizer.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <chrono>
+#include <stdexcept>
+
+namespace anyopt::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+Optimizer::Optimizer(const Predictor& predictor, OptimizerOptions options)
+    : predictor_(predictor), options_(options) {
+  const auto& deployment = predictor_.deployment();
+  const auto& discovery = predictor_.discovery();
+  const std::size_t sites = deployment.site_count();
+  const std::size_t providers = deployment.provider_count();
+  const std::size_t targets = discovery.provider_prefs.target_count;
+  if (sites > 31) {
+    throw std::invalid_argument(
+        "Optimizer enumerates site bitmasks; deployments beyond 31 sites "
+        "should use the SPLPO heuristics");
+  }
+
+  provider_of_site_.resize(sites);
+  provider_site_mask_.assign(providers, 0);
+  for (std::size_t s = 0; s < sites; ++s) {
+    const std::size_t p =
+        deployment.site(SiteId{static_cast<SiteId::underlying_type>(s)})
+            .provider.value();
+    provider_of_site_[s] = p;
+    provider_site_mask_[p] |= std::uint32_t{1} << s;
+  }
+
+  // Per-target site-level preference rankings within each provider.
+  site_ranking_.assign(targets, {});
+  for (std::size_t t = 0; t < targets; ++t) {
+    site_ranking_[t].resize(providers);
+    for (std::size_t p = 0; p < providers; ++p) {
+      const auto& provider_sites = discovery.provider_sites[p];
+      auto& ranking = site_ranking_[t][p];
+      if (provider_sites.size() == 1) {
+        ranking.push_back(
+            static_cast<std::uint8_t>(provider_sites[0].value()));
+        continue;
+      }
+      if (predictor_.mode() == SitePrefMode::kRttRanking) {
+        std::vector<std::pair<double, std::uint8_t>> by_rtt;
+        for (const SiteId s : provider_sites) {
+          const double r = predictor_.rtts().rtt(
+              s, TargetId{static_cast<TargetId::underlying_type>(t)});
+          if (r >= 0) {
+            by_rtt.push_back({r, static_cast<std::uint8_t>(s.value())});
+          }
+        }
+        std::sort(by_rtt.begin(), by_rtt.end());
+        for (const auto& [r, s] : by_rtt) ranking.push_back(s);
+        continue;
+      }
+      // Experimental mode: full total order over the provider's sites;
+      // empty ranking = inconsistent (target excluded if this provider
+      // wins).
+      std::vector<std::size_t> all_pos(provider_sites.size());
+      for (std::size_t i = 0; i < all_pos.size(); ++i) all_pos[i] = i;
+      const std::vector<std::size_t> zero_rank(provider_sites.size(), 0);
+      const auto order = target_total_order(discovery.site_prefs[p], t,
+                                            all_pos, zero_rank);
+      if (order.has_value()) {
+        for (const std::size_t local : *order) {
+          ranking.push_back(
+              static_cast<std::uint8_t>(provider_sites[local].value()));
+        }
+      }
+    }
+  }
+  subset_cache_.resize(std::size_t{1} << providers);
+}
+
+void Optimizer::ensure_cache(std::size_t provider_mask) const {
+  ProviderSubsetCache& cache = subset_cache_[provider_mask];
+  if (cache.ready) return;
+
+  const auto& table = predictor_.discovery().provider_prefs;
+  const std::size_t targets = table.target_count;
+  std::vector<std::size_t> providers;
+  for (std::size_t p = 0; provider_mask >> p; ++p) {
+    if (provider_mask >> p & 1) providers.push_back(p);
+  }
+  const std::size_t n = providers.size();
+
+  // Candidate announcement orders: identity, reverse, rotations, then
+  // seeded random shuffles (§4.5 step 3 wants the order maximizing the
+  // consistent fraction; sampling orders is the practical variant).
+  std::vector<std::vector<std::size_t>> candidates;
+  std::vector<std::size_t> perm = providers;
+  candidates.push_back(perm);
+  std::reverse(perm.begin(), perm.end());
+  if (n > 1) candidates.push_back(perm);
+  for (std::size_t r = 1; r < n; ++r) {
+    perm = providers;
+    std::rotate(perm.begin(), perm.begin() + r, perm.end());
+    candidates.push_back(perm);
+  }
+  Rng rng{options_.seed ^ (0x9e37u * provider_mask)};
+  while (candidates.size() < options_.order_candidates && n > 2) {
+    perm = providers;
+    rng.shuffle(perm);
+    candidates.push_back(perm);
+  }
+
+  // Evaluate candidates: count targets whose tournament is transitive.
+  std::vector<std::size_t> arrival(predictor_.deployment().provider_count(),
+                                   0);
+  std::vector<std::size_t> best_perm_arrival;
+  std::size_t best_count = 0;
+  bool first = true;
+  std::vector<std::size_t> out_degree(n);
+  for (const auto& candidate : candidates) {
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      arrival[candidate[i]] = i;
+    }
+    std::size_t count = 0;
+    for (std::size_t t = 0; t < targets; ++t) {
+      std::fill(out_degree.begin(), out_degree.end(), 0);
+      bool usable = true;
+      for (std::size_t a = 0; a < n && usable; ++a) {
+        for (std::size_t b = a + 1; b < n && usable; ++b) {
+          switch (table.get(providers[a], providers[b], t)) {
+            case PrefKind::kStrictFirst: ++out_degree[a]; break;
+            case PrefKind::kStrictSecond: ++out_degree[b]; break;
+            case PrefKind::kOrderDependent:
+              ++out_degree[arrival[providers[a]] < arrival[providers[b]] ? a
+                                                                         : b];
+              break;
+            default: usable = false; break;
+          }
+        }
+      }
+      if (!usable) continue;
+      std::uint32_t seen = 0;
+      bool distinct = true;
+      for (const std::size_t d : out_degree) {
+        if (seen >> d & 1) {
+          distinct = false;
+          break;
+        }
+        seen |= std::uint32_t{1} << d;
+      }
+      if (distinct) ++count;
+    }
+    if (first || count > best_count) {
+      first = false;
+      best_count = count;
+      best_perm_arrival.assign(arrival.begin(), arrival.end());
+    }
+  }
+
+  cache.providers = providers;
+  cache.arrival_rank = best_perm_arrival;
+  cache.fraction_ordered =
+      targets ? static_cast<double>(best_count) / static_cast<double>(targets)
+              : 0;
+
+  // Fill the per-target winner-first provider ranking under the chosen
+  // order.
+  cache.ranking.assign(targets, {});
+  for (std::size_t t = 0; t < targets; ++t) {
+    std::fill(out_degree.begin(), out_degree.end(), 0);
+    bool usable = true;
+    for (std::size_t a = 0; a < n && usable; ++a) {
+      for (std::size_t b = a + 1; b < n && usable; ++b) {
+        switch (table.get(providers[a], providers[b], t)) {
+          case PrefKind::kStrictFirst: ++out_degree[a]; break;
+          case PrefKind::kStrictSecond: ++out_degree[b]; break;
+          case PrefKind::kOrderDependent:
+            ++out_degree[cache.arrival_rank[providers[a]] <
+                                 cache.arrival_rank[providers[b]]
+                             ? a
+                             : b];
+            break;
+          default: usable = false; break;
+        }
+      }
+    }
+    if (!usable) continue;
+    std::uint32_t seen = 0;
+    bool distinct = true;
+    for (const std::size_t d : out_degree) {
+      if (d >= n || (seen >> d & 1)) {
+        distinct = false;
+        break;
+      }
+      seen |= std::uint32_t{1} << d;
+    }
+    if (!distinct) continue;
+    auto& ranking = cache.ranking[t];
+    ranking.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ranking[n - 1 - out_degree[i]] = static_cast<std::uint8_t>(providers[i]);
+    }
+  }
+  cache.ready = true;
+}
+
+Optimizer::MaskScore Optimizer::score_mask(
+    std::uint32_t site_mask, const ProviderSubsetCache& cache,
+    const std::vector<std::uint32_t>& sample) const {
+  const auto& rtts = predictor_.rtts();
+  double predictable_sum = 0;
+  double predictable_weight = 0;
+  double imputed_sum = 0;
+  double imputed_weight = 0;
+  std::size_t predictable = 0;
+  const bool weighted = !options_.target_weight.empty();
+  const bool capacitated = !options_.site_capacity.empty();
+  std::array<double, 32> load{};
+
+  // Mean unicast RTT over enabled sites, the imputation for targets
+  // without a usable total order (they still receive traffic when the
+  // configuration is deployed).
+  const auto impute = [&](std::uint32_t t) {
+    double sum = 0;
+    std::size_t n = 0;
+    for (std::uint32_t m = site_mask; m != 0; m &= m - 1) {
+      const double r =
+          rtts.rtt(SiteId{static_cast<SiteId::underlying_type>(
+                       __builtin_ctz(m))},
+                   TargetId{t});
+      if (r >= 0) {
+        sum += r;
+        ++n;
+      }
+    }
+    return n ? sum / static_cast<double>(n) : -1.0;
+  };
+
+  for (const std::uint32_t t : sample) {
+    const double w = weighted ? options_.target_weight[t] : 1.0;
+    const auto& ranking = cache.ranking[t];
+    SiteId site;
+    if (!ranking.empty()) {
+      const std::size_t p = ranking.front();
+      // First enabled site in this target's site-level preference order.
+      for (const std::uint8_t s : site_ranking_[t][p]) {
+        if (site_mask >> s & 1) {
+          site = SiteId{s};
+          break;
+        }
+      }
+    }
+    if (site.valid()) {
+      ++predictable;
+      if (capacitated) load[site.value()] += w;
+      const double r = rtts.rtt(site, TargetId{t});
+      if (r >= 0) {
+        predictable_sum += w * r;
+        predictable_weight += w;
+        imputed_sum += w * r;
+        imputed_weight += w;
+      }
+    } else {
+      const double r = impute(t);
+      if (r >= 0) {
+        imputed_sum += w * r;
+        imputed_weight += w;
+      }
+    }
+  }
+  MaskScore score;
+  score.fraction_ordered = sample.empty()
+                               ? 0
+                               : static_cast<double>(predictable) /
+                                     static_cast<double>(sample.size());
+  if (capacitated) {
+    // Appendix-B Eq. 7: discard configurations whose predicted catchment
+    // overloads any enabled site.
+    for (std::size_t s = 0; s < options_.site_capacity.size() && s < 32;
+         ++s) {
+      if ((site_mask >> s & 1) && load[s] > options_.site_capacity[s]) {
+        return score;  // both means stay +inf => never selected
+      }
+    }
+  }
+  if (predictable_weight > 0) {
+    score.predictable_mean = predictable_sum / predictable_weight;
+  }
+  if (imputed_weight > 0) {
+    score.imputed_mean = imputed_sum / imputed_weight;
+  }
+  return score;
+}
+
+SearchOutcome Optimizer::search() const {
+  const auto t0 = Clock::now();
+  const std::size_t sites = predictor_.deployment().site_count();
+  const std::size_t targets =
+      predictor_.discovery().provider_prefs.target_count;
+
+  std::vector<std::uint32_t> sample;
+  if (options_.target_sample > 0 && options_.target_sample < targets) {
+    Rng rng{options_.seed ^ 0xA53EDULL};
+    sample.resize(targets);
+    for (std::uint32_t t = 0; t < targets; ++t) sample[t] = t;
+    rng.shuffle(sample);
+    sample.resize(options_.target_sample);
+  } else {
+    sample.resize(targets);
+    for (std::uint32_t t = 0; t < targets; ++t) sample[t] = t;
+  }
+
+  SearchOutcome outcome;
+  outcome.best_per_size.resize(sites + 1);
+  outcome.exhausted = true;
+
+  const std::uint32_t limit = std::uint32_t{1} << sites;
+  for (std::uint32_t mask = 1; mask < limit; ++mask) {
+    const auto size = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (size < options_.min_sites || size > options_.max_sites) continue;
+    if ((mask & 0xFFF) == 0 &&
+        seconds_since(t0) > options_.time_budget_s) {
+      outcome.exhausted = false;
+      break;
+    }
+    std::size_t provider_mask = 0;
+    for (std::uint32_t m = mask; m != 0; m &= m - 1) {
+      provider_mask |= std::size_t{1}
+                       << provider_of_site_[__builtin_ctz(m)];
+    }
+    ensure_cache(provider_mask);
+    const ProviderSubsetCache& cache = subset_cache_[provider_mask];
+    const MaskScore score = score_mask(mask, cache, sample);
+    ++outcome.configurations_evaluated;
+
+    auto& slot = outcome.best_per_size[size];
+    if (score.imputed_mean < slot.predicted_mean_rtt) {
+      slot.predicted_mean_rtt = score.imputed_mean;
+      slot.predictable_mean_rtt = score.predictable_mean;
+      slot.fraction_ordered = score.fraction_ordered;
+      // Materialize the announcement order: providers in chosen arrival
+      // order, each provider's enabled sites in site-id order.
+      std::vector<std::pair<std::size_t, std::size_t>> by_arrival;
+      for (const std::size_t p : cache.providers) {
+        by_arrival.push_back({cache.arrival_rank[p], p});
+      }
+      std::sort(by_arrival.begin(), by_arrival.end());
+      anycast::AnycastConfig cfg;
+      for (const auto& [rank, p] : by_arrival) {
+        for (std::size_t s = 0; s < sites; ++s) {
+          if ((mask >> s & 1) && provider_of_site_[s] == p) {
+            cfg.announce_order.push_back(
+                SiteId{static_cast<SiteId::underlying_type>(s)});
+          }
+        }
+      }
+      slot.config = std::move(cfg);
+    }
+  }
+
+  // Re-score the per-size winners on the full target set (if sampled) and
+  // pick the global best.
+  std::vector<std::uint32_t> full(targets);
+  for (std::uint32_t t = 0; t < targets; ++t) full[t] = t;
+  for (auto& slot : outcome.best_per_size) {
+    if (slot.config.announce_order.empty()) continue;
+    if (sample.size() != full.size()) {
+      const EvaluatedConfig rescored = evaluate(slot.config);
+      slot.predicted_mean_rtt = rescored.predicted_mean_rtt;
+      slot.predictable_mean_rtt = rescored.predictable_mean_rtt;
+      slot.fraction_ordered = rescored.fraction_ordered;
+    }
+    if (slot.predicted_mean_rtt < outcome.best.predicted_mean_rtt) {
+      outcome.best = slot;
+    }
+  }
+  return outcome;
+}
+
+EvaluatedConfig Optimizer::evaluate(
+    const anycast::AnycastConfig& config) const {
+  const std::size_t targets =
+      predictor_.discovery().provider_prefs.target_count;
+  // Provider arrival ranks implied by the config's own announce order.
+  std::size_t provider_mask = 0;
+  for (const SiteId s : config.announce_order) {
+    provider_mask |= std::size_t{1} << provider_of_site_[s.value()];
+  }
+  // Note: evaluate() honours the *cached* (optimizer-chosen) order for the
+  // provider subset, matching search(); use Predictor::predict for a
+  // config-order-faithful prediction.
+  ensure_cache(provider_mask);
+  std::uint32_t site_mask = 0;
+  for (const SiteId s : config.announce_order) {
+    site_mask |= std::uint32_t{1} << s.value();
+  }
+  std::vector<std::uint32_t> full(targets);
+  for (std::uint32_t t = 0; t < targets; ++t) full[t] = t;
+  EvaluatedConfig out;
+  out.config = config;
+  const MaskScore score =
+      score_mask(site_mask, subset_cache_[provider_mask], full);
+  out.predicted_mean_rtt = score.imputed_mean;
+  out.predictable_mean_rtt = score.predictable_mean;
+  out.fraction_ordered = score.fraction_ordered;
+  return out;
+}
+
+anycast::AnycastConfig Optimizer::greedy_unicast(const RttMatrix& rtts,
+                                                 std::size_t k) {
+  anycast::AnycastConfig cfg;
+  const auto ranked = rtts.sites_by_mean();
+  for (std::size_t i = 0; i < std::min(k, ranked.size()); ++i) {
+    cfg.announce_order.push_back(ranked[i]);
+  }
+  return cfg;
+}
+
+anycast::AnycastConfig Optimizer::random_config(
+    const anycast::Deployment& deployment, std::size_t providers,
+    std::size_t sites_per_provider, Rng& rng) {
+  std::vector<std::size_t> eligible;
+  for (std::size_t p = 0; p < deployment.provider_count(); ++p) {
+    if (deployment
+            .sites_of_provider(
+                ProviderId{static_cast<ProviderId::underlying_type>(p)})
+            .size() >= sites_per_provider) {
+      eligible.push_back(p);
+    }
+  }
+  rng.shuffle(eligible);
+  eligible.resize(std::min(providers, eligible.size()));
+  anycast::AnycastConfig cfg;
+  for (const std::size_t p : eligible) {
+    auto sites = deployment.sites_of_provider(
+        ProviderId{static_cast<ProviderId::underlying_type>(p)});
+    rng.shuffle(sites);
+    for (std::size_t i = 0; i < sites_per_provider && i < sites.size(); ++i) {
+      cfg.announce_order.push_back(sites[i]);
+    }
+  }
+  rng.shuffle(cfg.announce_order);
+  return cfg;
+}
+
+}  // namespace anyopt::core

@@ -1,0 +1,130 @@
+#pragma once
+// Offline configuration search (§5.3).
+//
+// Enumerates site subsets, picks for each an announcement order that
+// maximizes the number of clients with a consistent total order (§4.5 step
+// 3), predicts the mean client RTT with the two-level tables, and returns
+// the best configuration per subset size and overall — the computation the
+// paper ran for six hours to find its 12-site configuration.
+//
+// Also provides the two baselines of Fig. 6: greedy-by-unicast-latency and
+// random provider/site picks.
+
+#include <cstdint>
+#include <vector>
+
+#include "anycast/config.h"
+#include "core/predictor.h"
+#include "netbase/rng.h"
+
+namespace anyopt::core {
+
+struct OptimizerOptions {
+  std::size_t min_sites = 1;
+  std::size_t max_sites = std::numeric_limits<std::size_t>::max();
+  /// Wall-clock bound for the search (the paper used six hours; seconds
+  /// suffice here because evaluation is cached and vectorized).
+  double time_budget_s = 60.0;
+  /// Candidate announcement orders examined per provider subset when
+  /// maximizing the consistent-client fraction.
+  std::size_t order_candidates = 24;
+  /// Evaluate configurations on a uniform sample of this many targets
+  /// (0 = all).  The best-per-size configurations are always re-scored on
+  /// the full target set afterwards.
+  std::size_t target_sample = 0;
+  /// Per-site workload capacity (in summed target weight); empty =
+  /// uncapacitated.  Configurations whose predicted catchment overloads a
+  /// site are discarded, the Appendix-B load constraint (Eq. 7) applied
+  /// during the search.
+  std::vector<double> site_capacity;
+  /// Per-target workload weights (empty = uniform).  The objective becomes
+  /// the workload-weighted mean RTT, the Appendix-B weighting extension.
+  std::vector<double> target_weight;
+  std::uint64_t seed = 0x0F7;
+};
+
+/// One evaluated configuration.
+struct EvaluatedConfig {
+  anycast::AnycastConfig config;
+  /// Population-wide mean RTT estimate used for ranking: predictable
+  /// targets contribute their predicted catchment's unicast RTT; targets
+  /// without a total order are *imputed* with their mean unicast RTT over
+  /// the enabled sites.  Without imputation the search would favour
+  /// configurations that simply exclude their worst clients from
+  /// prediction (a winner's-curse artifact the paper's measured
+  /// evaluation would expose).
+  double predicted_mean_rtt = std::numeric_limits<double>::infinity();
+  /// Mean over predictable targets only (comparable to
+  /// Prediction::mean_rtt).
+  double predictable_mean_rtt = std::numeric_limits<double>::infinity();
+  double fraction_ordered = 0;  ///< targets with a usable total order
+};
+
+/// Search output.
+struct SearchOutcome {
+  EvaluatedConfig best;
+  /// Best configuration found for each enabled-site count (index = count;
+  /// index 0 unused).
+  std::vector<EvaluatedConfig> best_per_size;
+  std::size_t configurations_evaluated = 0;
+  bool exhausted = false;  ///< true if every subset in range was evaluated
+};
+
+class Optimizer {
+ public:
+  Optimizer(const Predictor& predictor, OptimizerOptions options = {});
+
+  /// Full subset search under the time budget.
+  [[nodiscard]] SearchOutcome search() const;
+
+  /// Fast predicted evaluation of one configuration using the caches (same
+  /// result as Predictor::predict but O(targets)).
+  [[nodiscard]] EvaluatedConfig evaluate(
+      const anycast::AnycastConfig& config) const;
+
+  /// Baseline: the k sites with the lowest mean unicast RTT, announced in
+  /// that order (the "12-Greedy" line of Fig. 6).
+  [[nodiscard]] static anycast::AnycastConfig greedy_unicast(
+      const RttMatrix& rtts, std::size_t k);
+
+  /// Baseline: `providers` random providers, `sites_per_provider` random
+  /// sites from each (the "4-Random" line of Fig. 6).
+  [[nodiscard]] static anycast::AnycastConfig random_config(
+      const anycast::Deployment& deployment, std::size_t providers,
+      std::size_t sites_per_provider, Rng& rng);
+
+ private:
+  struct ProviderSubsetCache {
+    bool ready = false;
+    std::vector<std::size_t> providers;      ///< member provider slots
+    std::vector<std::size_t> arrival_rank;   ///< chosen order (per slot)
+    double fraction_ordered = 0;
+    /// Per target: providers in preference order (provider slot values),
+    /// empty = unpredictable at provider level.
+    std::vector<std::vector<std::uint8_t>> ranking;
+  };
+
+  struct MaskScore {
+    double imputed_mean = std::numeric_limits<double>::infinity();
+    double predictable_mean = std::numeric_limits<double>::infinity();
+    double fraction_ordered = 0;
+  };
+  void ensure_cache(std::size_t provider_mask) const;
+  [[nodiscard]] MaskScore score_mask(
+      std::uint32_t site_mask, const ProviderSubsetCache& cache,
+      const std::vector<std::uint32_t>& sample) const;
+
+  const Predictor& predictor_;
+  OptimizerOptions options_;
+
+  // Immutable precomputation.
+  std::vector<std::size_t> provider_of_site_;
+  std::vector<std::uint32_t> provider_site_mask_;  ///< per provider slot
+  /// Per target, per provider: the provider's sites (local positions in
+  /// deployment site-id space) in that target's preference order; empty =
+  /// inconsistent site-level prefs.
+  std::vector<std::vector<std::vector<std::uint8_t>>> site_ranking_;
+  mutable std::vector<ProviderSubsetCache> subset_cache_;
+};
+
+}  // namespace anyopt::core

@@ -1,0 +1,93 @@
+#include "core/peers.h"
+
+#include <algorithm>
+
+#include "netbase/stats.h"
+
+namespace anyopt::core {
+
+OnePassPeerSelector::OnePassPeerSelector(
+    const measure::Orchestrator& orchestrator, OnePassOptions options)
+    : orchestrator_(orchestrator), options_(options) {}
+
+OnePassResult OnePassPeerSelector::run(
+    const anycast::AnycastConfig& baseline) const {
+  const auto& deployment = orchestrator_.world().deployment();
+  OnePassResult result;
+
+  // Baseline measurement (transit-only).
+  const measure::Census base =
+      orchestrator_.measure(baseline, options_.nonce_base);
+  result.baseline_mean_rtt = base.mean_rtt();
+
+  // Enable each peer alone on top of the baseline.
+  std::uint64_t nonce = options_.nonce_base + 1;
+  for (const bgp::AttachmentIndex peer : deployment.all_peer_attachments()) {
+    anycast::AnycastConfig cfg = baseline;
+    cfg.enabled_peers = {peer};
+    const measure::Census census = orchestrator_.measure(cfg, nonce++);
+    ++result.experiments;
+
+    PeerMeasurement m;
+    m.attachment = peer;
+    m.site = deployment.attachments()[peer].site;
+    m.mean_rtt_ms = census.mean_rtt();
+    m.delta_ms = m.mean_rtt_ms - result.baseline_mean_rtt;
+    for (std::size_t t = 0; t < census.attachment_of_target.size(); ++t) {
+      if (census.attachment_of_target[t] == peer) {
+        ++m.catchment_size;
+        if (census.rtt_ms[t] >= 0) {
+          m.catchment_rtts.push_back(
+              {static_cast<std::uint32_t>(t), census.rtt_ms[t]});
+        }
+      }
+    }
+    m.beneficial = m.catchment_size > 0 && m.delta_ms < 0;
+    if (m.catchment_size > 0) ++result.reachable_peers;
+    result.peers.push_back(std::move(m));
+  }
+
+  // Conservative greedy inclusion: rank beneficial peers by catchment size
+  // (descending) and add one at a time, assuming each added peer attracts
+  // its entire one-pass catchment; keep it only if the estimated mean RTT
+  // drops.
+  std::vector<const PeerMeasurement*> ranked;
+  for (const PeerMeasurement& m : result.peers) {
+    if (m.beneficial) ranked.push_back(&m);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const PeerMeasurement* a, const PeerMeasurement* b) {
+              return a->catchment_size > b->catchment_size;
+            });
+
+  // Current per-target RTT estimate, starting from the baseline census.
+  std::vector<double> current = base.rtt_ms;
+  auto mean_of = [](const std::vector<double>& rtts) {
+    stats::Online acc;
+    for (const double r : rtts) {
+      if (r >= 0) acc.add(r);
+    }
+    return acc.mean();
+  };
+  double current_mean = mean_of(current);
+
+  for (const PeerMeasurement* peer : ranked) {
+    std::vector<double> candidate = current;
+    for (const auto& [t, rtt] : peer->catchment_rtts) {
+      candidate[t] = rtt;
+    }
+    const double candidate_mean = mean_of(candidate);
+    if (candidate_mean < current_mean) {
+      result.chosen.push_back(peer->attachment);
+      current = std::move(candidate);
+      current_mean = candidate_mean;
+    }
+  }
+
+  result.with_beneficial_peers = baseline;
+  result.with_beneficial_peers.enabled_peers = result.chosen;
+  result.predicted_mean_rtt = current_mean;
+  return result;
+}
+
+}  // namespace anyopt::core

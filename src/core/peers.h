@@ -1,0 +1,68 @@
+#pragma once
+// One-pass peer incorporation (§4.4).
+//
+// Starting from the optimized transit-only configuration, each peering
+// session is enabled alone (M BGP experiments for M peers), measuring its
+// catchment and the resulting mean-RTT change.  Beneficial peers (those
+// that reduce the mean RTT) are then added greedily, largest catchment
+// first, under the conservative assumption that a peer attracts its whole
+// one-pass catchment even when other peers are present.
+
+#include <cstdint>
+#include <vector>
+
+#include "anycast/config.h"
+#include "measure/orchestrator.h"
+#include "netbase/ids.h"
+
+namespace anyopt::core {
+
+/// One peer's one-pass measurement.
+struct PeerMeasurement {
+  bgp::AttachmentIndex attachment = bgp::kNoAttachment;
+  SiteId site;                        ///< the site terminating the session
+  std::size_t catchment_size = 0;     ///< targets attracted in the one-pass run
+  double mean_rtt_ms = 0;             ///< deployment mean RTT with this peer on
+  double delta_ms = 0;                ///< mean_rtt_ms - baseline mean
+  bool beneficial = false;            ///< delta < 0
+  /// (target, RTT-via-peer) for every target in the peer's catchment;
+  /// feeds the conservative greedy estimate.
+  std::vector<std::pair<std::uint32_t, double>> catchment_rtts;
+};
+
+struct OnePassResult {
+  double baseline_mean_rtt = 0;
+  /// All measured peers, in attachment order.
+  std::vector<PeerMeasurement> peers;
+  /// Peers that reached at least one target.
+  std::size_t reachable_peers = 0;
+  /// Attachments chosen by the conservative greedy pass.
+  std::vector<bgp::AttachmentIndex> chosen;
+  /// Baseline configuration plus the chosen peers.
+  anycast::AnycastConfig with_beneficial_peers;
+  /// Greedy's predicted mean RTT after adding the chosen peers.
+  double predicted_mean_rtt = 0;
+  /// BGP experiments performed (== number of peers measured).
+  std::size_t experiments = 0;
+};
+
+struct OnePassOptions {
+  std::uint64_t nonce_base = 0x9EE5;
+};
+
+class OnePassPeerSelector {
+ public:
+  OnePassPeerSelector(const measure::Orchestrator& orchestrator,
+                      OnePassOptions options = {});
+
+  /// Runs the full one-pass procedure on top of `baseline` (a transit-only
+  /// configuration, typically the optimizer's output).
+  [[nodiscard]] OnePassResult run(
+      const anycast::AnycastConfig& baseline) const;
+
+ private:
+  const measure::Orchestrator& orchestrator_;
+  OnePassOptions options_;
+};
+
+}  // namespace anyopt::core

@@ -1,0 +1,40 @@
+#include "core/planner.h"
+
+#include <cmath>
+#include <limits>
+
+namespace anyopt::core {
+
+MeasurementPlan plan_measurements(const PlannerInput& input) {
+  MeasurementPlan plan;
+  plan.singleton_experiments = input.sites;
+  plan.provider_pairwise =
+      input.transit_providers * (input.transit_providers - 1);  // C(P,2) * 2
+  if (input.site_level_pairwise) {
+    const double per_provider =
+        input.avg_sites_per_provider * (input.avg_sites_per_provider - 1) /
+        2.0;
+    plan.site_pairwise = static_cast<std::size_t>(
+        std::llround(per_provider *
+                     static_cast<double>(input.transit_providers)));
+  }
+  plan.total_experiments = plan.singleton_experiments +
+                           plan.provider_pairwise + plan.site_pairwise;
+
+  const double hours_per_experiment =
+      input.spacing_hours / static_cast<double>(input.parallel_prefixes);
+  plan.singleton_days =
+      static_cast<double>(plan.singleton_experiments) * hours_per_experiment /
+      24.0;
+  plan.pairwise_days =
+      static_cast<double>(plan.provider_pairwise + plan.site_pairwise) *
+      hours_per_experiment / 24.0;
+  plan.total_days = plan.singleton_days + plan.pairwise_days;
+
+  plan.naive_configurations =
+      input.sites >= 63 ? std::numeric_limits<std::size_t>::max()
+                        : (std::size_t{1} << input.sites);
+  return plan;
+}
+
+}  // namespace anyopt::core

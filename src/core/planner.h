@@ -1,0 +1,43 @@
+#pragma once
+// Measurement planning (§4.5 "Analysis").
+//
+// Computes how many BGP experiments a deployment needs and how long they
+// take given experiment spacing and the number of test prefixes that can
+// run in parallel — the arithmetic the paper walks through for a
+// 500-site / 20-provider approximation of Akamai DNS.
+
+#include <cstddef>
+
+namespace anyopt::core {
+
+struct PlannerInput {
+  std::size_t sites = 500;
+  std::size_t transit_providers = 20;
+  /// Average number of sites per provider (used only when site-level
+  /// pairwise experiments are requested).
+  double avg_sites_per_provider = 25.0;
+  /// Use intra-provider pairwise experiments (quadratic per provider);
+  /// false = the RTT-ranking heuristic, which needs none (§4.3).
+  bool site_level_pairwise = false;
+  /// Parallel test prefixes (the paper's testbed uses four).
+  std::size_t parallel_prefixes = 4;
+  /// Hours between BGP experiments (route-damping safety; paper uses 2h).
+  double spacing_hours = 2.0;
+};
+
+struct MeasurementPlan {
+  std::size_t singleton_experiments = 0;    ///< per-site RTT measurements
+  std::size_t provider_pairwise = 0;        ///< C(P,2) x 2 (both orders)
+  std::size_t site_pairwise = 0;            ///< sum over providers, if any
+  std::size_t total_experiments = 0;
+  double singleton_days = 0;
+  double pairwise_days = 0;
+  double total_days = 0;
+  /// Exponential count a naive measure-every-configuration approach would
+  /// need (2^sites, saturated at SIZE_MAX).
+  std::size_t naive_configurations = 0;
+};
+
+[[nodiscard]] MeasurementPlan plan_measurements(const PlannerInput& input);
+
+}  // namespace anyopt::core

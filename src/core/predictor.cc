@@ -1,0 +1,203 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "netbase/stats.h"
+
+namespace anyopt::core {
+
+std::size_t Prediction::predicted_count() const {
+  std::size_t n = 0;
+  for (const SiteId s : site_of_target) {
+    if (s.valid()) ++n;
+  }
+  return n;
+}
+
+double Prediction::mean_rtt() const {
+  stats::Online acc;
+  for (const double r : rtt_ms) {
+    if (r >= 0) acc.add(r);
+  }
+  return acc.mean();
+}
+
+double Prediction::accuracy_against(const measure::Census& census) const {
+  std::size_t comparable = 0;
+  std::size_t correct = 0;
+  for (std::size_t t = 0; t < site_of_target.size(); ++t) {
+    if (!site_of_target[t].valid()) continue;
+    if (!census.site_of_target[t].valid()) continue;
+    ++comparable;
+    if (site_of_target[t] == census.site_of_target[t]) ++correct;
+  }
+  return comparable == 0 ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(comparable);
+}
+
+Predictor::Predictor(const anycast::Deployment& deployment,
+                     DiscoveryResult discovery, RttMatrix rtts,
+                     SitePrefMode mode)
+    : deployment_(deployment),
+      discovery_(std::move(discovery)),
+      rtts_(std::move(rtts)),
+      mode_(mode) {}
+
+Predictor::ConfigView Predictor::view_of(
+    const anycast::AnycastConfig& config) const {
+  ConfigView view;
+  const std::size_t nproviders = deployment_.provider_count();
+  view.arrival_rank.assign(nproviders,
+                           std::numeric_limits<std::size_t>::max());
+  view.enabled_sites.resize(nproviders);
+  view.enabled_pos.resize(nproviders);
+
+  for (std::size_t pos = 0; pos < config.announce_order.size(); ++pos) {
+    const SiteId site = config.announce_order[pos];
+    const std::size_t p = deployment_.site(site).provider.value();
+    if (view.enabled_sites[p].empty()) {
+      view.providers.push_back(p);
+      // A provider's AS-level announcement appears when its *first* site
+      // announces; later same-provider sites do not change the AS level.
+      view.arrival_rank[p] = pos;
+    }
+    view.enabled_sites[p].push_back(site);
+    // Local position of this site within the provider's site list.
+    const auto& all = discovery_.provider_sites[p];
+    const auto it = std::find(all.begin(), all.end(), site);
+    assert(it != all.end());
+    view.enabled_pos[p].push_back(
+        static_cast<std::size_t>(it - all.begin()));
+  }
+  std::sort(view.providers.begin(), view.providers.end());
+  return view;
+}
+
+SiteId Predictor::best_site_within(std::size_t provider,
+                                   const ConfigView& view,
+                                   std::size_t target) const {
+  const auto& sites = view.enabled_sites[provider];
+  if (sites.size() == 1) return sites.front();
+
+  if (mode_ == SitePrefMode::kRttRanking) {
+    // §4.3 heuristic: the client prefers the site it has the lowest
+    // unicast RTT to (IGP distance tracks RTT inside a transit AS).
+    SiteId best;
+    double best_rtt = std::numeric_limits<double>::infinity();
+    for (const SiteId s : sites) {
+      const double r =
+          rtts_.rtt(s, TargetId{static_cast<TargetId::underlying_type>(target)});
+      if (r >= 0 && r < best_rtt) {
+        best_rtt = r;
+        best = s;
+      }
+    }
+    return best;  // invalid if nothing measured
+  }
+
+  // Experimental site-level preferences: announcement order cannot matter
+  // within an AS, so pass equal arrival ranks.
+  const PairwiseTable& table = discovery_.site_prefs[provider];
+  static thread_local std::vector<std::size_t> zero_rank;
+  if (zero_rank.size() < table.item_count) {
+    zero_rank.assign(table.item_count, 0);
+  }
+  const auto ranking = target_total_order(table, target,
+                                          view.enabled_pos[provider],
+                                          zero_rank);
+  if (!ranking.has_value()) return SiteId{};
+  return sites[ranking->front()];
+}
+
+Prediction Predictor::predict(const anycast::AnycastConfig& config) const {
+  const std::size_t targets = discovery_.provider_prefs.target_count;
+  Prediction out;
+  out.site_of_target.assign(targets, SiteId{});
+  out.rtt_ms.assign(targets, -1.0);
+  if (config.announce_order.empty()) return out;
+
+  const ConfigView view = view_of(config);
+  for (std::size_t t = 0; t < targets; ++t) {
+    const auto provider_ranking =
+        target_total_order(discovery_.provider_prefs, t, view.providers,
+                           view.arrival_rank);
+    if (!provider_ranking.has_value()) continue;
+    const std::size_t winner = view.providers[provider_ranking->front()];
+    const SiteId site = best_site_within(winner, view, t);
+    if (!site.valid()) continue;
+    out.site_of_target[t] = site;
+    out.rtt_ms[t] =
+        rtts_.rtt(site, TargetId{static_cast<TargetId::underlying_type>(t)});
+  }
+  return out;
+}
+
+std::optional<std::vector<SiteId>> Predictor::total_order(
+    TargetId target, const anycast::AnycastConfig& config) const {
+  const ConfigView view = view_of(config);
+  const std::size_t t = target.value();
+  const auto provider_ranking = target_total_order(
+      discovery_.provider_prefs, t, view.providers, view.arrival_rank);
+  if (!provider_ranking.has_value()) return std::nullopt;
+
+  std::vector<SiteId> order;
+  for (const std::size_t local : *provider_ranking) {
+    const std::size_t p = view.providers[local];
+    const auto& sites = view.enabled_sites[p];
+    if (sites.size() == 1) {
+      order.push_back(sites.front());
+      continue;
+    }
+    if (mode_ == SitePrefMode::kRttRanking) {
+      std::vector<std::pair<double, SiteId>> by_rtt;
+      for (const SiteId s : sites) {
+        const double r = rtts_.rtt(
+            s, TargetId{static_cast<TargetId::underlying_type>(t)});
+        if (r < 0) return std::nullopt;
+        by_rtt.push_back({r, s});
+      }
+      std::sort(by_rtt.begin(), by_rtt.end());
+      for (const auto& [r, s] : by_rtt) order.push_back(s);
+      continue;
+    }
+    static thread_local std::vector<std::size_t> zero_rank;
+    const PairwiseTable& table = discovery_.site_prefs[p];
+    if (zero_rank.size() < table.item_count) {
+      zero_rank.assign(table.item_count, 0);
+    }
+    const auto site_ranking =
+        target_total_order(table, t, view.enabled_pos[p], zero_rank);
+    if (!site_ranking.has_value()) return std::nullopt;
+    for (const std::size_t local_site : *site_ranking) {
+      order.push_back(sites[local_site]);
+    }
+  }
+  return order;
+}
+
+double Predictor::fraction_ordered(
+    const anycast::AnycastConfig& config) const {
+  const std::size_t targets = discovery_.provider_prefs.target_count;
+  if (targets == 0) return 0;
+  std::size_t ordered = 0;
+  for (std::size_t t = 0; t < targets; ++t) {
+    if (total_order(TargetId{static_cast<TargetId::underlying_type>(t)},
+                    config)
+            .has_value()) {
+      ++ordered;
+    }
+  }
+  return static_cast<double>(ordered) / static_cast<double>(targets);
+}
+
+double Predictor::fraction_ordered_providers(
+    std::span<const std::size_t> providers,
+    std::span<const std::size_t> arrival_rank) const {
+  return fraction_with_total_order(discovery_.provider_prefs, providers,
+                                   arrival_rank);
+}
+
+}  // namespace anyopt::core

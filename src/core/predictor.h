@@ -1,0 +1,103 @@
+#pragma once
+// Catchment and RTT prediction (§3.4, §4.5 step 3).
+//
+// Given the two-level discovery result and the unicast RTT matrix, predicts
+// — entirely offline, no BGP experiment — which site each client network
+// will reach under an arbitrary anycast configuration with a specific
+// announcement order, and what the average RTT will be.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "anycast/config.h"
+#include "core/discovery.h"
+#include "core/rtt_matrix.h"
+#include "core/total_order.h"
+#include "measure/orchestrator.h"
+
+namespace anyopt::core {
+
+/// How site-level (intra-provider) preferences are resolved.
+enum class SitePrefMode {
+  /// From the intra-provider pairwise experiments (§4.3, default).
+  kExperiments,
+  /// From unicast RTT ranking — the scaling heuristic for networks too
+  /// large to run site-level experiments (§4.3).
+  kRttRanking,
+};
+
+/// Result of predicting one configuration.
+struct Prediction {
+  /// Predicted catchment per target; invalid = target has no usable total
+  /// order (excluded from prediction, §4.2).
+  std::vector<SiteId> site_of_target;
+  /// Predicted RTT per target (from the unicast matrix); negative if the
+  /// target is excluded or its RTT to the predicted site was unmeasured.
+  std::vector<double> rtt_ms;
+
+  [[nodiscard]] std::size_t predicted_count() const;
+  [[nodiscard]] double mean_rtt() const;
+
+  /// Catchment accuracy against a measured census: the fraction of targets
+  /// (predicted and measured) whose predicted site matches the measurement.
+  [[nodiscard]] double accuracy_against(const measure::Census& census) const;
+};
+
+class Predictor {
+ public:
+  Predictor(const anycast::Deployment& deployment, DiscoveryResult discovery,
+            RttMatrix rtts, SitePrefMode mode = SitePrefMode::kExperiments);
+
+  /// Predicts catchments and RTTs for `config` (site subset + announcement
+  /// order; enabled peers are ignored — peers are handled by the one-pass
+  /// method of §4.4).
+  [[nodiscard]] Prediction predict(const anycast::AnycastConfig& config) const;
+
+  /// The full total preference order over the enabled sites for one
+  /// target, most preferred first (lexicographic: provider rank, then site
+  /// rank within provider); nullopt if the target has no total order.
+  [[nodiscard]] std::optional<std::vector<SiteId>> total_order(
+      TargetId target, const anycast::AnycastConfig& config) const;
+
+  /// Fraction of targets with a usable two-level total order over the
+  /// given configuration (Fig. 4c with order accounting).
+  [[nodiscard]] double fraction_ordered(
+      const anycast::AnycastConfig& config) const;
+
+  /// Fraction of targets with a total order among the given provider slots
+  /// under the given arrival ranks (Fig. 4b); `arrival_rank[p]` = position
+  /// of provider p's first announcement.
+  [[nodiscard]] double fraction_ordered_providers(
+      std::span<const std::size_t> providers,
+      std::span<const std::size_t> arrival_rank) const;
+
+  [[nodiscard]] const DiscoveryResult& discovery() const { return discovery_; }
+  [[nodiscard]] const RttMatrix& rtts() const { return rtts_; }
+  [[nodiscard]] const anycast::Deployment& deployment() const {
+    return deployment_;
+  }
+  [[nodiscard]] SitePrefMode mode() const { return mode_; }
+
+ private:
+  struct ConfigView {
+    std::vector<std::size_t> providers;          ///< enabled provider slots
+    std::vector<std::size_t> arrival_rank;       ///< per provider slot
+    std::vector<std::vector<SiteId>> enabled_sites;  ///< per provider slot
+    std::vector<std::vector<std::size_t>> enabled_pos;  ///< local positions
+  };
+  [[nodiscard]] ConfigView view_of(const anycast::AnycastConfig& config) const;
+
+  /// Best enabled site of provider `p` for `target`, or invalid on
+  /// inconsistency.
+  [[nodiscard]] SiteId best_site_within(std::size_t provider,
+                                        const ConfigView& view,
+                                        std::size_t target) const;
+
+  const anycast::Deployment& deployment_;
+  DiscoveryResult discovery_;
+  RttMatrix rtts_;
+  SitePrefMode mode_;
+};
+
+}  // namespace anyopt::core

@@ -1,0 +1,29 @@
+#include "core/preference.h"
+
+namespace anyopt::core {
+
+PairwiseStats tabulate(const PairwiseTable& table) {
+  PairwiseStats stats;
+  for (const auto& pair : table.outcome) {
+    for (const PrefKind k : pair) {
+      switch (k) {
+        case PrefKind::kStrictFirst:
+        case PrefKind::kStrictSecond:
+          ++stats.strict;
+          break;
+        case PrefKind::kOrderDependent:
+          ++stats.order_dependent;
+          break;
+        case PrefKind::kInconsistent:
+          ++stats.inconsistent;
+          break;
+        case PrefKind::kUnknown:
+          ++stats.unknown;
+          break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace anyopt::core

@@ -1,0 +1,86 @@
+#pragma once
+// Pairwise preference data model (§3.3, §4.2).
+//
+// A pairwise experiment announces the anycast prefix from two items (two
+// providers' representative sites, or two sites of one provider) and
+// observes which one each client network's reply reaches.  Running the
+// experiment twice with reversed announcement order classifies each client:
+//
+//   kStrict          — same winner in both orders (a real preference)
+//   kOrderDependent  — the first-announced item wins in both experiments
+//                      (the router tie-breaks on arrival order, §4.2)
+//   kInconsistent    — anything else (multipath, newest-wins, probe loss
+//                      flaps); such clients are excluded from prediction
+//   kUnknown         — the client answered in neither experiment
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/ids.h"
+
+namespace anyopt::core {
+
+/// Classification of one client's preference between a pair of items.
+enum class PrefKind : std::uint8_t {
+  kUnknown = 0,
+  kStrictFirst,      ///< strictly prefers the pair's first item
+  kStrictSecond,     ///< strictly prefers the pair's second item
+  kOrderDependent,   ///< prefers whichever item announced first
+  kInconsistent,     ///< no stable preference
+};
+
+/// Index of the unordered pair (i, j), i < j, within n items: pairs are
+/// enumerated (0,1), (0,2), ..., (0,n-1), (1,2), ...
+[[nodiscard]] constexpr std::size_t pair_index(std::size_t i, std::size_t j,
+                                               std::size_t n) {
+  // assumes i < j < n
+  return i * n - i * (i + 1) / 2 + (j - i - 1);
+}
+
+[[nodiscard]] constexpr std::size_t pair_count(std::size_t n) {
+  return n * (n - 1) / 2;
+}
+
+/// Pairwise preference table over `items` (providers or sites) for every
+/// target: outcome[pair_index][target].
+struct PairwiseTable {
+  std::size_t item_count = 0;
+  std::size_t target_count = 0;
+  std::vector<std::vector<PrefKind>> outcome;  ///< [pair][target]
+
+  void init(std::size_t items, std::size_t targets) {
+    item_count = items;
+    target_count = targets;
+    outcome.assign(pair_count(items),
+                   std::vector<PrefKind>(targets, PrefKind::kUnknown));
+  }
+
+  [[nodiscard]] PrefKind get(std::size_t i, std::size_t j,
+                             std::size_t target) const {
+    if (i == j) return PrefKind::kUnknown;
+    if (i < j) return outcome[pair_index(i, j, item_count)][target];
+    // Swapped view: strict winners flip, order-dependence is symmetric.
+    const PrefKind k = outcome[pair_index(j, i, item_count)][target];
+    switch (k) {
+      case PrefKind::kStrictFirst: return PrefKind::kStrictSecond;
+      case PrefKind::kStrictSecond: return PrefKind::kStrictFirst;
+      default: return k;
+    }
+  }
+
+  void set(std::size_t i, std::size_t j, std::size_t target, PrefKind kind) {
+    outcome[pair_index(i, j, item_count)][target] = kind;
+  }
+};
+
+/// Statistics over a pairwise table (used by the Fig. 4 benches).
+struct PairwiseStats {
+  std::size_t strict = 0;
+  std::size_t order_dependent = 0;
+  std::size_t inconsistent = 0;
+  std::size_t unknown = 0;
+};
+
+[[nodiscard]] PairwiseStats tabulate(const PairwiseTable& table);
+
+}  // namespace anyopt::core

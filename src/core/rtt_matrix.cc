@@ -1,0 +1,49 @@
+#include "core/rtt_matrix.h"
+
+#include <algorithm>
+
+#include "netbase/stats.h"
+
+namespace anyopt::core {
+
+RttMatrix RttMatrix::measure(const measure::Orchestrator& orchestrator,
+                             std::uint64_t nonce_base) {
+  const auto& world = orchestrator.world();
+  const std::size_t sites = world.deployment().site_count();
+  const std::size_t targets = world.targets().size();
+  RttMatrix m(sites, targets);
+  for (std::size_t s = 0; s < sites; ++s) {
+    const SiteId site{static_cast<SiteId::underlying_type>(s)};
+    const std::vector<double> row =
+        orchestrator.unicast_rtts(site, nonce_base + s);
+    for (std::size_t t = 0; t < targets; ++t) {
+      m.rtt_[s * targets + t] = row[t];
+    }
+  }
+  return m;
+}
+
+double RttMatrix::site_mean(SiteId site) const {
+  stats::Online acc;
+  for (std::size_t t = 0; t < targets_; ++t) {
+    const double r = rtt_[site.value() * targets_ + t];
+    if (r >= 0) acc.add(r);
+  }
+  return acc.count() ? acc.mean() : -1.0;
+}
+
+std::vector<SiteId> RttMatrix::sites_by_mean() const {
+  std::vector<std::pair<double, SiteId>> by_mean;
+  for (std::size_t s = 0; s < sites_; ++s) {
+    const SiteId site{static_cast<SiteId::underlying_type>(s)};
+    by_mean.push_back({site_mean(site), site});
+  }
+  std::sort(by_mean.begin(), by_mean.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<SiteId> out;
+  out.reserve(by_mean.size());
+  for (const auto& [mean, site] : by_mean) out.push_back(site);
+  return out;
+}
+
+}  // namespace anyopt::core

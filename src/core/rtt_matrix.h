@@ -1,0 +1,51 @@
+#pragma once
+// Per-(site, target) unicast RTT matrix (§3.1's singleton experiments).
+//
+// AnyOpt needs the RTT between every anycast site and every target: the
+// orchestrator announces the prefix from one site at a time and measures
+// all targets through that site's tunnel.  |S| singleton experiments fill
+// the matrix.
+
+#include <cstdint>
+#include <vector>
+
+#include "measure/orchestrator.h"
+#include "netbase/ids.h"
+
+namespace anyopt::core {
+
+/// Row-major [site][target] RTT estimates; negative = unreachable/unmeasured.
+class RttMatrix {
+ public:
+  RttMatrix() = default;
+  RttMatrix(std::size_t sites, std::size_t targets)
+      : sites_(sites), targets_(targets), rtt_(sites * targets, -1.0) {}
+
+  /// Runs the |S| singleton experiments (§4.5 step 1).
+  static RttMatrix measure(const measure::Orchestrator& orchestrator,
+                           std::uint64_t nonce_base = 0x5111);
+
+  [[nodiscard]] double rtt(SiteId site, TargetId target) const {
+    return rtt_[site.value() * targets_ + target.value()];
+  }
+  void set(SiteId site, TargetId target, double value) {
+    rtt_[site.value() * targets_ + target.value()] = value;
+  }
+
+  [[nodiscard]] std::size_t site_count() const { return sites_; }
+  [[nodiscard]] std::size_t target_count() const { return targets_; }
+
+  /// Mean unicast RTT of a site over targets it can reach (the greedy
+  /// baseline's selection metric, §5.3).
+  [[nodiscard]] double site_mean(SiteId site) const;
+
+  /// Sites ranked by ascending mean unicast RTT.
+  [[nodiscard]] std::vector<SiteId> sites_by_mean() const;
+
+ private:
+  std::size_t sites_ = 0;
+  std::size_t targets_ = 0;
+  std::vector<double> rtt_;
+};
+
+}  // namespace anyopt::core

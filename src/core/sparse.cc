@@ -1,0 +1,158 @@
+#include "core/sparse.h"
+
+#include <algorithm>
+
+namespace anyopt::core {
+namespace {
+
+/// Per-client strict-preference closure over up to 8 items, stored as a
+/// beats-bit matrix (bit i*8+j: i strictly beats j).
+struct Closure {
+  std::uint64_t beats = 0;
+
+  [[nodiscard]] bool wins(std::size_t i, std::size_t j) const {
+    return beats >> (i * 8 + j) & 1;
+  }
+  void set(std::size_t i, std::size_t j) {
+    beats |= std::uint64_t{1} << (i * 8 + j);
+  }
+  /// Warshall closure (n <= 8, bit tricks unnecessary at this size).
+  void close(std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!wins(i, k)) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (wins(k, j)) set(i, j);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::size_t transitive_complete(PairwiseTable& table) {
+  const std::size_t n = table.item_count;
+  std::size_t inferred = 0;
+  for (std::size_t t = 0; t < table.target_count; ++t) {
+    Closure closure;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const PrefKind k = table.get(i, j, t);
+        if (k == PrefKind::kStrictFirst) closure.set(i, j);
+        if (k == PrefKind::kStrictSecond) closure.set(j, i);
+      }
+    }
+    closure.close(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (table.get(i, j, t) != PrefKind::kUnknown) continue;
+        const bool fwd = closure.wins(i, j);
+        const bool bwd = closure.wins(j, i);
+        if (fwd == bwd) continue;  // undetermined (or contradictory)
+        table.set(i, j, t,
+                  fwd ? PrefKind::kStrictFirst : PrefKind::kStrictSecond);
+        ++inferred;
+      }
+    }
+  }
+  return inferred;
+}
+
+SparseDiscovery::SparseDiscovery(const measure::Orchestrator& orchestrator,
+                                 DiscoveryOptions options)
+    : orchestrator_(orchestrator), options_(std::move(options)) {}
+
+SparseResult SparseDiscovery::run(std::size_t max_pairs) const {
+  const auto& deployment = orchestrator_.world().deployment();
+  const std::size_t providers = deployment.provider_count();
+  const std::size_t targets = orchestrator_.world().targets().size();
+  const Discovery discovery(orchestrator_, options_);
+
+  SparseResult result;
+  result.table.init(providers, targets);
+
+  // Per-client strict closures, updated after every measurement.
+  std::vector<Closure> closures(targets);
+  std::vector<char> measured(pair_count(providers), 0);
+
+  const auto unresolved_count = [&](std::size_t i, std::size_t j) {
+    std::size_t count = 0;
+    for (std::size_t t = 0; t < targets; ++t) {
+      if (result.table.get(i, j, t) != PrefKind::kUnknown) continue;
+      if (closures[t].wins(i, j) != closures[t].wins(j, i)) continue;
+      ++count;
+    }
+    return count;
+  };
+
+  for (std::size_t round = 0; round < max_pairs; ++round) {
+    // Pick the unmeasured pair that is unresolved for the most clients.
+    std::size_t best_i = 0;
+    std::size_t best_j = 0;
+    std::size_t best_value = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < providers; ++i) {
+      for (std::size_t j = i + 1; j < providers; ++j) {
+        if (measured[pair_index(i, j, providers)]) continue;
+        const std::size_t value = unresolved_count(i, j);
+        if (!found || value > best_value) {
+          found = true;
+          best_value = value;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    if (!found || best_value == 0) break;  // everything else is inferable
+
+    const SiteId rep_i = discovery.representative(
+        ProviderId{static_cast<ProviderId::underlying_type>(best_i)});
+    const SiteId rep_j = discovery.representative(
+        ProviderId{static_cast<ProviderId::underlying_type>(best_j)});
+    const std::vector<PrefKind> outcome =
+        discovery.classify_pair(rep_i, rep_j, &result.experiments);
+    measured[pair_index(best_i, best_j, providers)] = 1;
+    ++result.pairs_measured;
+    result.schedule.push_back({best_i, best_j});
+
+    for (std::size_t t = 0; t < targets; ++t) {
+      result.table.set(best_i, best_j, t, outcome[t]);
+      if (outcome[t] == PrefKind::kStrictFirst) {
+        closures[t].set(best_i, best_j);
+        closures[t].close(providers);
+      } else if (outcome[t] == PrefKind::kStrictSecond) {
+        closures[t].set(best_j, best_i);
+        closures[t].close(providers);
+      }
+    }
+  }
+
+  result.inferred_entries = transitive_complete(result.table);
+
+  std::size_t covered = 0;
+  std::size_t resolved = 0;
+  for (std::size_t t = 0; t < targets; ++t) {
+    bool complete = true;
+    for (std::size_t i = 0; i < providers; ++i) {
+      for (std::size_t j = i + 1; j < providers; ++j) {
+        if (result.table.get(i, j, t) != PrefKind::kUnknown) {
+          ++resolved;
+        } else {
+          complete = false;
+        }
+      }
+    }
+    covered += complete;
+  }
+  const std::size_t entries = targets * pair_count(providers);
+  result.coverage =
+      targets ? static_cast<double>(covered) / static_cast<double>(targets)
+              : 0;
+  result.resolved_fraction =
+      entries ? static_cast<double>(resolved) / static_cast<double>(entries)
+              : 0;
+  return result;
+}
+
+}  // namespace anyopt::core

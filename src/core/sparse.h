@@ -1,0 +1,64 @@
+#pragma once
+// Sparse pairwise discovery with transitive completion — the §6 future-work
+// direction "whether the total orders could be learned, or learned
+// approximately, using fewer experiments".
+//
+// Strict preferences are transitive whenever a client has a total order
+// (Theorem 4.1), so after measuring a subset of provider pairs the missing
+// comparisons can often be *inferred*: if a client strictly prefers A to B
+// and B to C, A-vs-C needs no experiment.  Order-dependent (arrival-tie)
+// outcomes are not inference-safe and stay measured-only.
+//
+// Pair selection is adaptive: each BGP experiment measures all clients for
+// one pair at once, so the next pair to measure is the one that is still
+// unresolved (neither measured nor inferred) for the most clients.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/discovery.h"
+#include "core/preference.h"
+
+namespace anyopt::core {
+
+/// Outcome of a sparse provider-level discovery.
+struct SparseResult {
+  /// Provider-level table with measured AND inferred entries; feed it to a
+  /// Predictor in place of the fully measured table.
+  PairwiseTable table;
+  std::size_t pairs_measured = 0;
+  std::size_t experiments = 0;
+  /// Entries (client, pair) resolved by inference rather than measurement.
+  std::size_t inferred_entries = 0;
+  /// Fraction of clients with every pair resolved (measured or inferred);
+  /// what full-configuration prediction over all providers needs.
+  double coverage = 0;
+  /// Fraction of (client, pair) entries resolved — the smooth measure of
+  /// how much information the budget bought (predictions over provider
+  /// subsets only need the pairs among the enabled providers).
+  double resolved_fraction = 0;
+  /// The measurement schedule actually chosen, in order.
+  std::vector<std::pair<std::size_t, std::size_t>> schedule;
+};
+
+class SparseDiscovery {
+ public:
+  SparseDiscovery(const measure::Orchestrator& orchestrator,
+                  DiscoveryOptions options = {});
+
+  /// Measures at most `max_pairs` provider pairs (each costing two BGP
+  /// experiments with order accounting), choosing pairs adaptively and
+  /// completing the rest by transitivity.
+  [[nodiscard]] SparseResult run(std::size_t max_pairs) const;
+
+ private:
+  const measure::Orchestrator& orchestrator_;
+  DiscoveryOptions options_;
+};
+
+/// Transitively completes `table` in place: for every client, kUnknown
+/// pairs implied by chains of strict preferences are filled in.  Returns
+/// the number of entries inferred.
+std::size_t transitive_complete(PairwiseTable& table);
+
+}  // namespace anyopt::core

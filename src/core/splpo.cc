@@ -1,0 +1,290 @@
+#include "core/splpo.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace anyopt::core {
+namespace {
+
+/// Enumerate all subsets of {0..n-1} with the given cardinality via
+/// Gosper's hack (n <= 63).
+template <class Fn>
+bool for_each_subset_of_size(std::size_t n, std::size_t k, Fn&& fn) {
+  if (k == 0 || k > n) return true;
+  std::uint64_t mask = (std::uint64_t{1} << k) - 1;
+  const std::uint64_t limit = std::uint64_t{1} << n;
+  while (mask < limit) {
+    if (!fn(mask)) return false;
+    // Gosper's hack: next subset with the same popcount.
+    const std::uint64_t c = mask & (~mask + 1);
+    const std::uint64_t r = mask + c;
+    mask = (((r ^ mask) >> 2) / c) | r;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> mask_to_sites(std::uint64_t mask) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; mask != 0; ++i, mask >>= 1) {
+    if (mask & 1) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+SplpoInstance SplpoInstance::make(std::size_t sites, std::size_t clients) {
+  SplpoInstance inst;
+  inst.site_count = sites;
+  inst.client_count = clients;
+  inst.cost.assign(sites * clients, kInf);
+  inst.preference.assign(clients, {});
+  inst.demand.assign(clients, 1.0);
+  inst.capacity.assign(sites, kInf);
+  return inst;
+}
+
+Status SplpoInstance::validate() const {
+  if (cost.size() != site_count * client_count) {
+    return Error::state("cost matrix size mismatch");
+  }
+  if (preference.size() != client_count || demand.size() != client_count ||
+      capacity.size() != site_count) {
+    return Error::state("per-client/per-site vector size mismatch");
+  }
+  for (const auto& prefs : preference) {
+    std::vector<char> seen(site_count, 0);
+    for (const std::uint32_t s : prefs) {
+      if (s >= site_count) return Error::state("preference out of range");
+      if (seen[s]) return Error::state("duplicate site in preference list");
+      seen[s] = 1;
+    }
+  }
+  return {};
+}
+
+bool SplpoSolution::better_than(const SplpoSolution& other) const {
+  if (feasible != other.feasible) return feasible;
+  if (unserved != other.unserved) return unserved < other.unserved;
+  if (overload != other.overload) return overload < other.overload;
+  // Compare costs over the served clients (kInf when infeasible would make
+  // all infeasible states equal; use the raw accumulated cost instead).
+  return total_cost < other.total_cost;
+}
+
+SplpoSolution evaluate_open_set(const SplpoInstance& instance,
+                                const std::vector<std::uint32_t>& open) {
+  SplpoSolution sol;
+  sol.open_sites = open;
+  std::sort(sol.open_sites.begin(), sol.open_sites.end());
+  sol.assignment.assign(instance.client_count, -1);
+  std::vector<char> is_open(instance.site_count, 0);
+  for (const std::uint32_t s : open) is_open[s] = 1;
+
+  std::vector<double> load(instance.site_count, 0.0);
+  double total = 0;
+  std::size_t served = 0;
+  for (std::size_t c = 0; c < instance.client_count; ++c) {
+    for (const std::uint32_t s : instance.preference[c]) {
+      if (!is_open[s]) continue;
+      sol.assignment[c] = static_cast<std::int32_t>(s);
+      load[s] += instance.demand[c];
+      total += instance.cost_of(c, s) * instance.demand[c];
+      ++served;
+      break;
+    }
+  }
+  sol.unserved = instance.client_count - served;
+  for (std::size_t s = 0; s < instance.site_count; ++s) {
+    if (load[s] > instance.capacity[s]) {
+      sol.overload += load[s] - instance.capacity[s];
+    }
+  }
+  sol.feasible = sol.unserved == 0 && sol.overload == 0;
+  sol.total_cost = total;
+  sol.mean_cost = served > 0 ? total / static_cast<double>(served)
+                             : SplpoInstance::kInf;
+  sol.configurations_evaluated = 1;
+  return sol;
+}
+
+SplpoSolution solve_exhaustive(const SplpoInstance& instance,
+                               const ExhaustiveOptions& options) {
+  assert(instance.site_count <= 63);
+  SplpoSolution best;
+  std::size_t evaluated = 0;
+  const std::size_t hi =
+      std::min<std::size_t>(options.max_open, instance.site_count);
+  bool budget_left = true;
+  for (std::size_t k = options.min_open; k <= hi && budget_left; ++k) {
+    budget_left = for_each_subset_of_size(
+        instance.site_count, k, [&](std::uint64_t mask) {
+          SplpoSolution sol =
+              evaluate_open_set(instance, mask_to_sites(mask));
+          ++evaluated;
+          if (evaluated == 1 || sol.better_than(best)) {
+            best = std::move(sol);
+          }
+          return options.max_configurations == 0 ||
+                 evaluated < options.max_configurations;
+        });
+  }
+  best.configurations_evaluated = evaluated;
+  return best;
+}
+
+SplpoSolution solve_greedy(const SplpoInstance& instance,
+                           std::size_t max_open) {
+  std::vector<std::uint32_t> open;
+  SplpoSolution best;
+  bool have_best = false;
+  std::size_t evaluated = 0;
+  while (open.size() < std::min<std::size_t>(max_open, instance.site_count)) {
+    std::int64_t best_site = -1;
+    SplpoSolution best_step;
+    bool have_step = false;
+    for (std::uint32_t s = 0; s < instance.site_count; ++s) {
+      if (std::find(open.begin(), open.end(), s) != open.end()) continue;
+      std::vector<std::uint32_t> candidate = open;
+      candidate.push_back(s);
+      SplpoSolution sol = evaluate_open_set(instance, candidate);
+      ++evaluated;
+      if (!have_step || sol.better_than(best_step)) {
+        best_step = std::move(sol);
+        best_site = s;
+        have_step = true;
+      }
+    }
+    if (best_site < 0) break;
+    open.push_back(static_cast<std::uint32_t>(best_site));
+    if (!have_best || best_step.better_than(best)) {
+      best = best_step;
+      have_best = true;
+    } else if (best.feasible) {
+      break;  // adding only hurts from here (greedy stop)
+    }
+  }
+  best.configurations_evaluated = evaluated;
+  return best;
+}
+
+SplpoSolution solve_local_search(const SplpoInstance& instance,
+                                 std::vector<std::uint32_t> seed,
+                                 std::size_t max_open) {
+  SplpoSolution current =
+      seed.empty() ? solve_greedy(instance, max_open)
+                   : evaluate_open_set(instance, std::move(seed));
+  std::size_t evaluated = current.configurations_evaluated;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    SplpoSolution best_move = current;
+
+    std::vector<char> is_open(instance.site_count, 0);
+    for (const std::uint32_t s : current.open_sites) is_open[s] = 1;
+
+    auto consider = [&](std::vector<std::uint32_t> open) {
+      SplpoSolution sol = evaluate_open_set(instance, std::move(open));
+      ++evaluated;
+      if (sol.better_than(best_move)) {
+        best_move = std::move(sol);
+        improved = true;
+      }
+    };
+
+    // Add moves.
+    if (current.open_sites.size() <
+        std::min<std::size_t>(max_open, instance.site_count)) {
+      for (std::uint32_t s = 0; s < instance.site_count; ++s) {
+        if (is_open[s]) continue;
+        auto open = current.open_sites;
+        open.push_back(s);
+        consider(std::move(open));
+      }
+    }
+    // Drop moves.
+    if (current.open_sites.size() > 1) {
+      for (const std::uint32_t s : current.open_sites) {
+        std::vector<std::uint32_t> open;
+        for (const std::uint32_t o : current.open_sites) {
+          if (o != s) open.push_back(o);
+        }
+        consider(std::move(open));
+      }
+    }
+    // Swap moves.
+    for (const std::uint32_t out : current.open_sites) {
+      for (std::uint32_t in = 0; in < instance.site_count; ++in) {
+        if (is_open[in]) continue;
+        std::vector<std::uint32_t> open;
+        for (const std::uint32_t o : current.open_sites) {
+          if (o != out) open.push_back(o);
+        }
+        open.push_back(in);
+        consider(std::move(open));
+      }
+    }
+    current = best_move;
+  }
+  current.configurations_evaluated = evaluated;
+  return current;
+}
+
+SplpoInstance dominating_set_gadget(
+    const std::vector<std::vector<std::uint32_t>>& adjacency) {
+  const std::size_t v = adjacency.size();
+  // Sites: one per vertex plus s* (index v).  Clients: one per vertex plus
+  // c* (index v).
+  SplpoInstance inst = SplpoInstance::make(v + 1, v + 1);
+  const std::uint32_t star = static_cast<std::uint32_t>(v);
+
+  for (std::uint32_t u = 0; u < v; ++u) {
+    // Client u: own site at distance 0, neighbors at 0, then s* at +inf,
+    // then the rest (never reached before s*, so cost immaterial but set
+    // to +inf to be conservative).
+    inst.set_cost(u, u, 0.0);
+    inst.preference[u].push_back(u);
+    for (const std::uint32_t w : adjacency[u]) {
+      inst.set_cost(u, w, 0.0);
+      inst.preference[u].push_back(w);
+    }
+    inst.preference[u].push_back(star);  // cost +inf (default)
+    for (std::uint32_t w = 0; w < v; ++w) {
+      if (w == u) continue;
+      if (std::find(adjacency[u].begin(), adjacency[u].end(), w) !=
+          adjacency[u].end()) {
+        continue;
+      }
+      inst.preference[u].push_back(w);  // +inf, behind s*
+    }
+  }
+  // Client c* prefers s* (cost 0) and nothing else serves it.
+  inst.set_cost(star, star, 0.0);
+  inst.preference[star].push_back(star);
+  return inst;
+}
+
+bool has_dominating_set(
+    const std::vector<std::vector<std::uint32_t>>& adjacency, std::size_t k) {
+  const std::size_t v = adjacency.size();
+  if (v == 0) return true;
+  if (k >= v) return true;
+  bool found = false;
+  for_each_subset_of_size(v, k, [&](std::uint64_t mask) {
+    std::vector<char> dominated(v, 0);
+    for (std::uint32_t u = 0; u < v; ++u) {
+      if (!(mask >> u & 1)) continue;
+      dominated[u] = 1;
+      for (const std::uint32_t w : adjacency[u]) dominated[w] = 1;
+    }
+    if (std::all_of(dominated.begin(), dominated.end(),
+                    [](char c) { return c != 0; })) {
+      found = true;
+      return false;  // stop enumeration
+    }
+    return true;
+  });
+  return found;
+}
+
+}  // namespace anyopt::core

@@ -1,0 +1,114 @@
+#pragma once
+// The Simple Plant Location Problem with Preference Orderings (SPLPO) —
+// the paper's formalization of anycast configuration optimization
+// (Appendix B).
+//
+// Clients cannot be assigned to facilities: each client independently goes
+// to its most-preferred OPEN site (that is BGP).  The operator only chooses
+// which sites to open, minimizing total (or mean) client cost, optionally
+// under per-site load capacities (Eq. 7).  SPLPO is NP-hard even to
+// approximate (Theorem B.1); `dominating_set_gadget` builds the reduction
+// instance used to verify that construction.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "netbase/result.h"
+
+namespace anyopt::core {
+
+/// One SPLPO instance.
+struct SplpoInstance {
+  std::size_t site_count = 0;
+  std::size_t client_count = 0;
+  /// Client-major cost matrix [client * site_count + site]; +inf = the
+  /// client cannot be served there.
+  std::vector<double> cost;
+  /// Per client: sites in preference order, most preferred first.  A site
+  /// absent from the list is never chosen by that client.
+  std::vector<std::vector<std::uint32_t>> preference;
+  /// Per client demand (default 1).
+  std::vector<double> demand;
+  /// Per site capacity (+inf = uncapacitated).
+  std::vector<double> capacity;
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  /// Uncapacitated instance with unit demands.
+  static SplpoInstance make(std::size_t sites, std::size_t clients);
+
+  [[nodiscard]] double cost_of(std::size_t client, std::size_t site) const {
+    return cost[client * site_count + site];
+  }
+  void set_cost(std::size_t client, std::size_t site, double value) {
+    cost[client * site_count + site] = value;
+  }
+
+  /// Structural validation (sizes, preference entries in range).
+  [[nodiscard]] Status validate() const;
+};
+
+/// Result of evaluating or solving an instance.
+struct SplpoSolution {
+  std::vector<std::uint32_t> open_sites;      ///< sorted site ids
+  std::vector<std::int32_t> assignment;       ///< per client; -1 = unserved
+  double total_cost = SplpoInstance::kInf;
+  double mean_cost = SplpoInstance::kInf;
+  bool feasible = false;                      ///< capacities respected, all served
+  /// Constraint-violation measures, letting the heuristics traverse
+  /// infeasible intermediate states (greedy-add necessarily starts with a
+  /// single overloaded site when capacities bind).
+  std::size_t unserved = 0;                   ///< clients with no open site
+  double overload = 0;                        ///< sum of capacity excess
+  std::size_t configurations_evaluated = 0;
+
+  /// Lexicographic solver ordering: feasible first, then fewer unserved,
+  /// less overload, lower cost.
+  [[nodiscard]] bool better_than(const SplpoSolution& other) const;
+};
+
+/// Evaluates one open set: routes every client to its most preferred open
+/// site, checks capacities, sums costs.
+[[nodiscard]] SplpoSolution evaluate_open_set(
+    const SplpoInstance& instance, const std::vector<std::uint32_t>& open);
+
+/// Exact solver: enumerates all open sets with |open| in
+/// [min_open, max_open], subject to a configuration budget (0 = unlimited).
+/// Practical up to ~20 sites — which covers the paper's testbed; larger
+/// deployments use the heuristics below, exactly as §3.4 prescribes.
+struct ExhaustiveOptions {
+  std::size_t min_open = 1;
+  std::size_t max_open = std::numeric_limits<std::size_t>::max();
+  std::size_t max_configurations = 0;  ///< 0 = all (time-bound analogue)
+};
+[[nodiscard]] SplpoSolution solve_exhaustive(const SplpoInstance& instance,
+                                             const ExhaustiveOptions& options = {});
+
+/// Greedy add heuristic: repeatedly open the site that most reduces total
+/// cost; stops at `max_open` or when no improvement remains.
+[[nodiscard]] SplpoSolution solve_greedy(const SplpoInstance& instance,
+                                         std::size_t max_open);
+
+/// Local search: starts from `seed` (or greedy if empty) and applies
+/// best-improvement add/drop/swap moves until a local optimum.
+[[nodiscard]] SplpoSolution solve_local_search(
+    const SplpoInstance& instance, std::vector<std::uint32_t> seed = {},
+    std::size_t max_open = std::numeric_limits<std::size_t>::max());
+
+/// Appendix B.1 gadget: builds the SPLPO instance of the dominating-set
+/// reduction for graph `adjacency` (undirected, by adjacency lists).
+/// Site/client layout: vertex v -> site v and client v; the extra site s*
+/// is index |V| with its private client c* = |V|.  A zero-cost solution
+/// opening K+1 sites exists iff the graph has a dominating set of size K.
+[[nodiscard]] SplpoInstance dominating_set_gadget(
+    const std::vector<std::vector<std::uint32_t>>& adjacency);
+
+/// Brute-force dominating-set decision (for cross-checking the gadget on
+/// small graphs).
+[[nodiscard]] bool has_dominating_set(
+    const std::vector<std::vector<std::uint32_t>>& adjacency, std::size_t k);
+
+}  // namespace anyopt::core

@@ -1,0 +1,84 @@
+#include "core/total_order.h"
+
+#include <algorithm>
+
+namespace anyopt::core {
+
+std::optional<std::vector<std::size_t>> total_order_of(const Tournament& t) {
+  const std::size_t n = t.n;
+  std::vector<std::size_t> out_degree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && t.wins(i, j)) ++out_degree[i];
+    }
+  }
+  // A tournament is transitive iff out-degrees are a permutation of
+  // {0, ..., n-1}; the ranking is by descending out-degree.
+  std::vector<char> seen(n, 0);
+  for (const std::size_t d : out_degree) {
+    if (d >= n || seen[d]) return std::nullopt;
+    seen[d] = 1;
+  }
+  std::vector<std::size_t> ranking(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ranking[n - 1 - out_degree[i]] = i;
+  }
+  return ranking;
+}
+
+std::optional<Tournament> build_tournament(
+    const PairwiseTable& table, std::size_t target,
+    std::span<const std::size_t> items,
+    std::span<const std::size_t> arrival_rank) {
+  Tournament t;
+  t.init(items.size());
+  for (std::size_t a = 0; a < items.size(); ++a) {
+    for (std::size_t b = a + 1; b < items.size(); ++b) {
+      const PrefKind kind = table.get(items[a], items[b], target);
+      switch (kind) {
+        case PrefKind::kStrictFirst:
+          t.set_winner(a, b);
+          break;
+        case PrefKind::kStrictSecond:
+          t.set_winner(b, a);
+          break;
+        case PrefKind::kOrderDependent:
+          if (arrival_rank[items[a]] < arrival_rank[items[b]]) {
+            t.set_winner(a, b);
+          } else {
+            t.set_winner(b, a);
+          }
+          break;
+        case PrefKind::kUnknown:
+        case PrefKind::kInconsistent:
+          return std::nullopt;
+      }
+    }
+  }
+  return t;
+}
+
+std::optional<std::vector<std::size_t>> target_total_order(
+    const PairwiseTable& table, std::size_t target,
+    std::span<const std::size_t> items,
+    std::span<const std::size_t> arrival_rank) {
+  const auto t = build_tournament(table, target, items, arrival_rank);
+  if (!t.has_value()) return std::nullopt;
+  return total_order_of(*t);
+}
+
+double fraction_with_total_order(const PairwiseTable& table,
+                                 std::span<const std::size_t> items,
+                                 std::span<const std::size_t> arrival_rank) {
+  if (table.target_count == 0) return 0;
+  std::size_t ordered = 0;
+  for (std::size_t t = 0; t < table.target_count; ++t) {
+    if (target_total_order(table, t, items, arrival_rank).has_value()) {
+      ++ordered;
+    }
+  }
+  return static_cast<double>(ordered) /
+         static_cast<double>(table.target_count);
+}
+
+}  // namespace anyopt::core

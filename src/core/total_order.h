@@ -1,0 +1,66 @@
+#pragma once
+// Total-order construction from pairwise preferences.
+//
+// For one client and a set of items, the pairwise outcomes (with
+// order-dependent pairs oriented by a given arrival order) form a
+// tournament.  A tournament is consistent with a total order iff it is
+// transitive, which for tournaments is equivalent to all out-degrees being
+// distinct — an O(n²) check that the optimizer runs millions of times.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/preference.h"
+
+namespace anyopt::core {
+
+/// A complete orientation of the pairs among `n` items.
+/// beats[i*n + j] == true means item i beats item j.
+struct Tournament {
+  std::size_t n = 0;
+  std::vector<char> beats;
+
+  void init(std::size_t items) {
+    n = items;
+    beats.assign(items * items, 0);
+  }
+  void set_winner(std::size_t winner, std::size_t loser) {
+    beats[winner * n + loser] = 1;
+    beats[loser * n + winner] = 0;
+  }
+  [[nodiscard]] bool wins(std::size_t i, std::size_t j) const {
+    return beats[i * n + j] != 0;
+  }
+};
+
+/// If the tournament is transitive, returns the items ranked from most to
+/// least preferred; otherwise nullopt (the client has no total order).
+[[nodiscard]] std::optional<std::vector<std::size_t>> total_order_of(
+    const Tournament& t);
+
+/// Builds the tournament for one target over a subset of items.
+/// `arrival_rank[i]` orients order-dependent pairs: lower rank = announced
+/// earlier = wins such ties.  Returns nullopt if any pair among the subset
+/// is kUnknown or kInconsistent.
+[[nodiscard]] std::optional<Tournament> build_tournament(
+    const PairwiseTable& table, std::size_t target,
+    std::span<const std::size_t> items,
+    std::span<const std::size_t> arrival_rank);
+
+/// Convenience: total order for a target over `items` (indices into the
+/// table's item space), or nullopt if inconsistent.  The returned ranking
+/// contains positions into `items`.
+[[nodiscard]] std::optional<std::vector<std::size_t>> target_total_order(
+    const PairwiseTable& table, std::size_t target,
+    std::span<const std::size_t> items,
+    std::span<const std::size_t> arrival_rank);
+
+/// Fraction of targets whose pairwise preferences over `items` form a total
+/// order under the given arrival ranks.
+[[nodiscard]] double fraction_with_total_order(
+    const PairwiseTable& table, std::span<const std::size_t> items,
+    std::span<const std::size_t> arrival_rank);
+
+}  // namespace anyopt::core

@@ -1,0 +1,103 @@
+#include "measure/orchestrator.h"
+
+#include <algorithm>
+
+#include "netbase/stats.h"
+
+namespace anyopt::measure {
+
+std::size_t Census::reachable_count() const {
+  std::size_t n = 0;
+  for (const SiteId s : site_of_target) {
+    if (s.valid()) ++n;
+  }
+  return n;
+}
+
+double Census::mean_rtt() const {
+  stats::Online acc;
+  for (const double r : rtt_ms) {
+    if (r >= 0) acc.add(r);
+  }
+  return acc.mean();
+}
+
+double Census::median_rtt() const { return stats::median(valid_rtts()); }
+
+std::size_t Census::catchment_size(SiteId site) const {
+  std::size_t n = 0;
+  for (const SiteId s : site_of_target) {
+    if (s == site) ++n;
+  }
+  return n;
+}
+
+std::size_t Census::attachment_catchment_size(bgp::AttachmentIndex at) const {
+  std::size_t n = 0;
+  for (const bgp::AttachmentIndex a : attachment_of_target) {
+    if (a == at) ++n;
+  }
+  return n;
+}
+
+std::vector<double> Census::valid_rtts() const {
+  std::vector<double> out;
+  out.reserve(rtt_ms.size());
+  for (const double r : rtt_ms) {
+    if (r >= 0) out.push_back(r);
+  }
+  return out;
+}
+
+Orchestrator::Orchestrator(const anycast::World& world,
+                           OrchestratorOptions options)
+    : world_(world), options_(options) {}
+
+double Orchestrator::tunnel_rtt_ms(SiteId site) const {
+  const anycast::Site& s = world_.deployment().site(site);
+  // GRE adds encapsulation and the tunnel is pinned through the CDN
+  // backbone; a small constant overhead on top of geodesic propagation.
+  return 2.0 * geo::one_way_latency_ms(options_.location, s.where) + 1.5;
+}
+
+Census Orchestrator::measure(const anycast::AnycastConfig& config,
+                             std::uint64_t experiment_nonce) const {
+  const auto& targets = world_.targets();
+  Census census;
+  census.site_of_target.assign(targets.size(), SiteId{});
+  census.attachment_of_target.assign(targets.size(), bgp::kNoAttachment);
+  census.rtt_ms.assign(targets.size(), -1.0);
+
+  const auto schedule = config.schedule(world_.deployment());
+  const bgp::RoutingState state =
+      world_.simulator().run(schedule, experiment_nonce);
+
+  Rng noise_root{options_.seed ^ (experiment_nonce * 0x9e3779b97f4a7c15ULL)};
+  Prober prober{options_.probe, noise_root.fork("census-probes")};
+
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const anycast::Target& tgt =
+        targets.target(TargetId{static_cast<TargetId::underlying_type>(t)});
+    const bgp::ResolvedPath path = state.resolve(tgt.as, tgt.where, t);
+    if (!path.reachable) continue;
+
+    // The reply's tunnel identifies the catchment (site + session).
+    const double true_rtt = 2.0 * path.one_way_ms;
+    const auto sample = prober.measure(tunnel_rtt_ms(path.site) + true_rtt);
+    if (!sample.has_value()) continue;  // every probe lost
+    census.site_of_target[t] = path.site;
+    census.attachment_of_target[t] = path.attachment;
+    census.rtt_ms[t] = std::max(0.05, *sample - tunnel_rtt_ms(path.site));
+  }
+  return census;
+}
+
+std::vector<double> Orchestrator::unicast_rtts(
+    SiteId site, std::uint64_t experiment_nonce) const {
+  anycast::AnycastConfig single;
+  single.announce_order = {site};
+  const Census census = measure(single, experiment_nonce);
+  return census.rtt_ms;
+}
+
+}  // namespace anyopt::measure

@@ -1,0 +1,83 @@
+#pragma once
+// The measurement orchestrator (§3.1): deploys anycast configurations on
+// the simulated Internet and measures catchments and RTTs the way the
+// paper's Verfploeter-style tool does.
+//
+//  * Catchments: a spoofed-source ICMP reply from a target returns to its
+//    catchment site and is tunnelled to the orchestrator; the tunnel that
+//    delivered it identifies the site.
+//  * RTTs: announce from a single site, time the echo, subtract the
+//    orchestrator<->site tunnel RTT, repeat seven times, take the median.
+
+#include <cstdint>
+#include <vector>
+
+#include "anycast/config.h"
+#include "anycast/world.h"
+#include "measure/prober.h"
+#include "netbase/geo.h"
+#include "netbase/ids.h"
+
+namespace anyopt::measure {
+
+/// Orchestrator configuration.
+struct OrchestratorOptions {
+  /// Where the GoBGP orchestrator host lives (tunnel endpoints fan out
+  /// from here).  Default: Cambridge, MA.
+  geo::Coordinates location{42.373, -71.110};
+  ProbeModel probe;
+  std::uint64_t seed = 0x0BC;
+};
+
+/// Result of one catchment + RTT census under a deployed configuration.
+struct Census {
+  /// Catchment site per target; invalid id = unreachable or all probes lost.
+  std::vector<SiteId> site_of_target;
+  /// Attachment (BGP session) whose tunnel delivered each reply; identifies
+  /// peer catchments.  kNoAttachment when unreachable.
+  std::vector<bgp::AttachmentIndex> attachment_of_target;
+  /// Site<->target RTT estimate per target (tunnel RTT already subtracted);
+  /// negative = no measurement.
+  std::vector<double> rtt_ms;
+
+  [[nodiscard]] std::size_t reachable_count() const;
+  [[nodiscard]] double mean_rtt() const;
+  [[nodiscard]] double median_rtt() const;
+  /// Targets mapped to `site`.
+  [[nodiscard]] std::size_t catchment_size(SiteId site) const;
+  /// Targets whose reply came in via attachment `at`.
+  [[nodiscard]] std::size_t attachment_catchment_size(
+      bgp::AttachmentIndex at) const;
+  /// All valid per-target RTTs (for CDFs).
+  [[nodiscard]] std::vector<double> valid_rtts() const;
+};
+
+class Orchestrator {
+ public:
+  Orchestrator(const anycast::World& world, OrchestratorOptions options = {});
+
+  /// Deploys `config` (full announcement schedule, §2.3) and measures each
+  /// site's catchment and each target's RTT.  `experiment_nonce`
+  /// individualizes BGP jitter and probe noise: re-running with a different
+  /// nonce is a fresh real-world experiment.
+  [[nodiscard]] Census measure(const anycast::AnycastConfig& config,
+                               std::uint64_t experiment_nonce) const;
+
+  /// The paper's single-site RTT procedure: announce only `site`, measure
+  /// every target's RTT to it via the site tunnel.  Row `t` < 0 means the
+  /// target was unreachable.
+  [[nodiscard]] std::vector<double> unicast_rtts(
+      SiteId site, std::uint64_t experiment_nonce) const;
+
+  /// Tunnel RTT between the orchestrator and a site (periodically measured
+  /// in the paper; modelled as geodesic + encapsulation overhead).
+  [[nodiscard]] double tunnel_rtt_ms(SiteId site) const;
+
+  [[nodiscard]] const anycast::World& world() const { return world_; }
+
+ private:
+  const anycast::World& world_;
+  OrchestratorOptions options_;
+};
+
+}  // namespace anyopt::measure

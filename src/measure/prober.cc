@@ -1,0 +1,30 @@
+#include "measure/prober.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "netbase/stats.h"
+
+namespace anyopt::measure {
+
+std::optional<double> Prober::probe_once(double true_rtt_ms) {
+  if (rng_.chance(model_.loss_rate)) return std::nullopt;
+  double sample = true_rtt_ms * (1.0 + model_.jitter_frac * rng_.normal());
+  sample += model_.jitter_floor_ms * std::abs(rng_.normal());
+  if (rng_.chance(model_.spike_prob)) {
+    sample += rng_.exponential(model_.spike_ms);
+  }
+  return std::max(0.05, sample);
+}
+
+std::optional<double> Prober::measure(double true_rtt_ms) {
+  std::vector<double> valid;
+  valid.reserve(model_.repeats);
+  for (int i = 0; i < model_.repeats; ++i) {
+    if (const auto s = probe_once(true_rtt_ms)) valid.push_back(*s);
+  }
+  if (static_cast<int>(valid.size()) < model_.min_valid) return std::nullopt;
+  return stats::median(std::move(valid));
+}
+
+}  // namespace anyopt::measure

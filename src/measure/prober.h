@@ -1,0 +1,44 @@
+#pragma once
+// ICMP probe simulation: each probe of a path with true RTT `rtt_ms`
+// returns a noisy sample or is lost.  The orchestrator repeats probes and
+// keeps the median, exactly as the paper's measurement tool does (§3.1:
+// "we repeat the ICMP requests seven times and use the median value").
+
+#include <optional>
+
+#include "netbase/rng.h"
+
+namespace anyopt::measure {
+
+/// Noise characteristics of the probe channel.
+struct ProbeModel {
+  double loss_rate = 0.01;           ///< per-probe loss probability
+  double jitter_frac = 0.02;         ///< multiplicative RTT jitter (stddev)
+  double jitter_floor_ms = 0.10;     ///< additive jitter floor (stddev)
+  double spike_prob = 0.01;          ///< occasional queueing spike...
+  double spike_ms = 40.0;            ///< ...of this magnitude (exponential)
+  int repeats = 7;                   ///< probes per measurement
+  int min_valid = 3;                 ///< minimum responses for a median
+};
+
+/// Simulated probe engine.
+class Prober {
+ public:
+  explicit Prober(ProbeModel model, Rng rng)
+      : model_(model), rng_(rng) {}
+
+  /// One ICMP round trip; nullopt = lost.
+  [[nodiscard]] std::optional<double> probe_once(double true_rtt_ms);
+
+  /// `repeats` probes, median of valid responses; nullopt if fewer than
+  /// `min_valid` probes survived (link too lossy this round).
+  [[nodiscard]] std::optional<double> measure(double true_rtt_ms);
+
+  [[nodiscard]] const ProbeModel& model() const { return model_; }
+
+ private:
+  ProbeModel model_;
+  Rng rng_;
+};
+
+}  // namespace anyopt::measure

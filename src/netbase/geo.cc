@@ -1,0 +1,121 @@
+#include "netbase/geo.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <numbers>
+#include <stdexcept>
+
+namespace anyopt::geo {
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0;
+
+double deg2rad(double deg) { return deg * std::numbers::pi / 180.0; }
+
+}  // namespace
+
+double great_circle_km(const Coordinates& a, const Coordinates& b) {
+  const double lat1 = deg2rad(a.latitude_deg);
+  const double lat2 = deg2rad(b.latitude_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg2rad(b.longitude_deg - a.longitude_deg);
+  const double s1 = std::sin(dlat / 2);
+  const double s2 = std::sin(dlon / 2);
+  const double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double one_way_latency_ms(const Coordinates& a, const Coordinates& b,
+                          const LatencyModel& model) {
+  const double km = great_circle_km(a, b) * model.path_inflation;
+  return km * model.ms_per_km_one_way + model.per_hop_ms;
+}
+
+const std::vector<Metro>& metro_database() {
+  // Table 1 metros first (the anycast sites), then a global spread used to
+  // place transit PoPs and client networks.
+  static const std::vector<Metro> kMetros = {
+      {"Atlanta", {33.749, -84.388}},
+      {"Amsterdam", {52.370, 4.895}},
+      {"Los Angeles", {34.052, -118.244}},
+      {"Singapore", {1.352, 103.820}},
+      {"London", {51.507, -0.128}},
+      {"Tokyo", {35.676, 139.650}},
+      {"Osaka", {34.694, 135.502}},
+      {"Miami", {25.762, -80.192}},
+      {"Newark", {40.736, -74.172}},
+      {"Stockholm", {59.329, 18.069}},
+      {"Toronto", {43.653, -79.383}},
+      {"Sao Paulo", {-23.551, -46.633}},
+      {"Chicago", {41.878, -87.630}},
+      {"New York", {40.713, -74.006}},
+      {"San Jose", {37.338, -121.886}},
+      {"Seattle", {47.606, -122.332}},
+      {"Dallas", {32.777, -96.797}},
+      {"Denver", {39.739, -104.990}},
+      {"Washington", {38.907, -77.037}},
+      {"Mexico City", {19.433, -99.133}},
+      {"Bogota", {4.711, -74.072}},
+      {"Buenos Aires", {-34.604, -58.382}},
+      {"Santiago", {-33.449, -70.669}},
+      {"Lima", {-12.046, -77.043}},
+      {"Paris", {48.857, 2.352}},
+      {"Frankfurt", {50.110, 8.682}},
+      {"Madrid", {40.417, -3.704}},
+      {"Milan", {45.464, 9.190}},
+      {"Vienna", {48.208, 16.374}},
+      {"Warsaw", {52.230, 21.012}},
+      {"Zurich", {47.377, 8.542}},
+      {"Dublin", {53.349, -6.260}},
+      {"Oslo", {59.914, 10.752}},
+      {"Helsinki", {60.170, 24.938}},
+      {"Copenhagen", {55.676, 12.568}},
+      {"Lisbon", {38.722, -9.139}},
+      {"Prague", {50.075, 14.438}},
+      {"Bucharest", {44.427, 26.103}},
+      {"Athens", {37.984, 23.728}},
+      {"Istanbul", {41.008, 28.978}},
+      {"Moscow", {55.756, 37.617}},
+      {"Dubai", {25.204, 55.271}},
+      {"Tel Aviv", {32.085, 34.782}},
+      {"Johannesburg", {-26.204, 28.047}},
+      {"Cairo", {30.044, 31.236}},
+      {"Lagos", {6.524, 3.379}},
+      {"Nairobi", {-1.292, 36.822}},
+      {"Mumbai", {19.076, 72.878}},
+      {"Delhi", {28.704, 77.102}},
+      {"Chennai", {13.083, 80.270}},
+      {"Bangkok", {13.756, 100.502}},
+      {"Jakarta", {-6.209, 106.846}},
+      {"Kuala Lumpur", {3.139, 101.687}},
+      {"Manila", {14.600, 120.984}},
+      {"Hong Kong", {22.319, 114.169}},
+      {"Taipei", {25.033, 121.565}},
+      {"Seoul", {37.566, 126.978}},
+      {"Shanghai", {31.230, 121.474}},
+      {"Beijing", {39.904, 116.407}},
+      {"Sydney", {-33.869, 151.209}},
+      {"Melbourne", {-37.814, 144.963}},
+      {"Auckland", {-36.849, 174.763}},
+      {"Perth", {-31.953, 115.857}},
+      {"Vancouver", {49.283, -123.121}},
+      {"Montreal", {45.502, -73.567}},
+      {"Boston", {42.360, -71.059}},
+      {"Phoenix", {33.448, -112.074}},
+      {"Minneapolis", {44.978, -93.265}},
+      {"Houston", {29.760, -95.370}},
+      {"Kansas City", {39.100, -94.579}},
+      {"Salt Lake City", {40.761, -111.891}},
+      {"Honolulu", {21.307, -157.858}},
+  };
+  return kMetros;
+}
+
+const Metro& metro(const std::string& name) {
+  for (const auto& m : metro_database()) {
+    if (m.name == name) return m;
+  }
+  throw std::invalid_argument("unknown metro: " + name);
+}
+
+}  // namespace anyopt::geo

@@ -1,0 +1,55 @@
+#pragma once
+// Geographic coordinates and the latency model.
+//
+// The paper's testbed measures real round-trip times between 15,300 router
+// targets and 15 anycast sites.  Offline we substitute a geodesic model:
+// propagation delay is great-circle distance over the speed of light in
+// fibre, inflated by a path-circuity factor, plus per-hop processing.  The
+// optimizer only consumes the *relative ordering and magnitude* of RTTs, so
+// this model preserves the behaviour that matters (see DESIGN.md §1).
+
+#include <string>
+#include <vector>
+
+namespace anyopt::geo {
+
+/// A point on the Earth's surface (degrees).
+struct Coordinates {
+  double latitude_deg = 0;
+  double longitude_deg = 0;
+};
+
+/// Great-circle distance in kilometres (haversine).
+[[nodiscard]] double great_circle_km(const Coordinates& a,
+                                     const Coordinates& b);
+
+/// Latency model parameters.
+struct LatencyModel {
+  /// Speed of light in fibre ≈ 2e5 km/s → 0.005 ms/km one way.
+  double ms_per_km_one_way = 1.0 / 200.0;
+  /// Fibre paths are longer than geodesics (routing circuity).
+  double path_inflation = 1.4;
+  /// Fixed per-link forwarding/serialization latency, one way.
+  double per_hop_ms = 0.30;
+};
+
+/// One-way propagation latency between two points under the model.
+[[nodiscard]] double one_way_latency_ms(const Coordinates& a,
+                                        const Coordinates& b,
+                                        const LatencyModel& model = {});
+
+/// Metro database used by the synthetic topology (city name → coordinates).
+/// Covers every metro in the paper's Table 1 plus a worldwide set used to
+/// place transit PoPs and client networks.
+struct Metro {
+  std::string name;
+  Coordinates where;
+};
+
+/// All metros known to the generator, in a stable order.
+[[nodiscard]] const std::vector<Metro>& metro_database();
+
+/// Looks up a metro by name; aborts if unknown (programmer error).
+[[nodiscard]] const Metro& metro(const std::string& name);
+
+}  // namespace anyopt::geo

@@ -1,0 +1,69 @@
+#pragma once
+// Strongly typed integer identifiers used across the AnyOpt libraries.
+//
+// Each entity class (AS, PoP router, anycast site, ping target, link) gets
+// its own ID type so that an AsId cannot be silently passed where a SiteId
+// is expected.  IDs are dense indices assigned by the owning container.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace anyopt {
+
+/// CRTP-free strong ID wrapper. `Tag` makes distinct instantiations
+/// incompatible; `value()` exposes the dense index for array addressing.
+template <class Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type v) : v_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ != kInvalid; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) = default;
+  friend constexpr auto operator<=>(StrongId a, StrongId b) = default;
+
+ private:
+  underlying_type v_ = kInvalid;
+};
+
+struct AsTag {};
+struct RouterTag {};
+struct SiteTag {};
+struct TargetTag {};
+struct LinkTag {};
+struct ProviderTag {};
+struct PeerLinkTag {};
+
+/// Autonomous system (dense index into the AS graph, not the ASN itself).
+using AsId = StrongId<AsTag>;
+/// A PoP-level router inside a transit AS.
+using RouterId = StrongId<RouterTag>;
+/// An anycast site of the deployment under study.
+using SiteId = StrongId<SiteTag>;
+/// A ping target (a router representative of one client network).
+using TargetId = StrongId<TargetTag>;
+/// An inter-AS adjacency in the topology.
+using LinkId = StrongId<LinkTag>;
+/// A transit provider slot of the anycast deployment (e.g. "Telia").
+using ProviderId = StrongId<ProviderTag>;
+/// A settlement-free peering attachment of one anycast site.
+using PeerLinkId = StrongId<PeerLinkTag>;
+
+}  // namespace anyopt
+
+namespace std {
+template <class Tag>
+struct hash<anyopt::StrongId<Tag>> {
+  size_t operator()(anyopt::StrongId<Tag> id) const noexcept {
+    return std::hash<typename anyopt::StrongId<Tag>::underlying_type>{}(
+        id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,71 @@
+#include "netbase/ip.h"
+
+#include <charconv>
+
+namespace anyopt::net {
+namespace {
+
+bool parse_u32(std::string_view text, std::uint32_t& out,
+               std::uint32_t max_value) {
+  if (text.empty() || text.size() > 10) return false;
+  std::uint32_t v = 0;
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end || v > max_value) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<Ipv4> Ipv4::parse(std::string_view text) {
+  std::uint32_t bits = 0;
+  int octets = 0;
+  while (octets < 4) {
+    const size_t dot = text.find('.');
+    const std::string_view part =
+        octets == 3 ? text : text.substr(0, dot);
+    if (octets < 3 && dot == std::string_view::npos) {
+      return Error::parse("IPv4 literal has fewer than four octets");
+    }
+    std::uint32_t v = 0;
+    if (!parse_u32(part, v, 255)) {
+      return Error::parse("invalid IPv4 octet: '" + std::string(part) + "'");
+    }
+    bits = (bits << 8) | v;
+    if (octets < 3) text.remove_prefix(dot + 1);
+    ++octets;
+  }
+  return Ipv4{bits};
+}
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+Result<Prefix> Prefix::parse(std::string_view text) {
+  const size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    return Error::parse("prefix is missing '/length'");
+  }
+  auto addr = Ipv4::parse(text.substr(0, slash));
+  if (!addr) return addr.error();
+  std::uint32_t length = 0;
+  if (!parse_u32(text.substr(slash + 1), length, 32)) {
+    return Error::parse("invalid prefix length");
+  }
+  return Prefix{addr.value(), static_cast<int>(length)};
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace anyopt::net

@@ -1,0 +1,100 @@
+#pragma once
+// IPv4 addresses and prefixes.  The simulator assigns synthetic addresses to
+// routers, anycast prefixes and ping targets; these types give parsing,
+// formatting and containment tests with value semantics.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "netbase/result.h"
+
+namespace anyopt::net {
+
+/// IPv4 address stored in host byte order.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t host_order) : bits_(host_order) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : bits_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("192.0.2.1").
+  [[nodiscard]] static Result<Ipv4> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(bits_ >> (24 - 8 * i));
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(Ipv4, Ipv4) = default;
+  friend constexpr auto operator<=>(Ipv4, Ipv4) = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// CIDR prefix (address + length), normalized so host bits are zero.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Ipv4 addr, int length)
+      : addr_(Ipv4{length == 0 ? 0u : (addr.bits() & mask_for(length))}),
+        length_(static_cast<std::uint8_t>(length)) {}
+
+  /// Parses CIDR notation ("198.51.100.0/24").
+  [[nodiscard]] static Result<Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4 address() const { return addr_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+  [[nodiscard]] constexpr bool contains(Ipv4 ip) const {
+    if (length_ == 0) return true;
+    return (ip.bits() & mask_for(length_)) == addr_.bits();
+  }
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+  /// Number of addresses covered by the prefix.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+  /// The enclosing /24 of this prefix's network address (used to group ping
+  /// targets into client networks as the paper does).
+  [[nodiscard]] constexpr Prefix slash24() const {
+    return Prefix{addr_, 24};
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const Prefix&, const Prefix&) = default;
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int length) {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+  Ipv4 addr_;
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace anyopt::net
+
+namespace std {
+template <>
+struct hash<anyopt::net::Ipv4> {
+  size_t operator()(anyopt::net::Ipv4 ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.bits());
+  }
+};
+template <>
+struct hash<anyopt::net::Prefix> {
+  size_t operator()(const anyopt::net::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.address().bits()} << 8) |
+        static_cast<std::uint64_t>(p.length()));
+  }
+};
+}  // namespace std

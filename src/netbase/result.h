@@ -1,0 +1,99 @@
+#pragma once
+// Minimal expected-like result type used for recoverable failures across
+// the public API (parse errors, infeasible optimizations, ...).  Programmer
+// errors (contract violations) use assertions instead.
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace anyopt {
+
+/// Lightweight error payload: a machine-checkable code plus human message.
+struct Error {
+  enum class Code {
+    kInvalidArgument,
+    kNotFound,
+    kParse,
+    kInfeasible,
+    kState,
+    kTimeout,
+  };
+  Code code = Code::kInvalidArgument;
+  std::string message;
+
+  [[nodiscard]] static Error invalid(std::string msg) {
+    return {Code::kInvalidArgument, std::move(msg)};
+  }
+  [[nodiscard]] static Error not_found(std::string msg) {
+    return {Code::kNotFound, std::move(msg)};
+  }
+  [[nodiscard]] static Error parse(std::string msg) {
+    return {Code::kParse, std::move(msg)};
+  }
+  [[nodiscard]] static Error infeasible(std::string msg) {
+    return {Code::kInfeasible, std::move(msg)};
+  }
+  [[nodiscard]] static Error state(std::string msg) {
+    return {Code::kState, std::move(msg)};
+  }
+  [[nodiscard]] static Error timeout(std::string msg) {
+    return {Code::kTimeout, std::move(msg)};
+  }
+};
+
+/// `Result<T>` holds either a value or an `Error`.
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialization for operations with no payload.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)), failed_(true) {}  // NOLINT
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  [[nodiscard]] const Error& error() const {
+    assert(failed_);
+    return error_;
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace anyopt

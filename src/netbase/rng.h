@@ -1,0 +1,162 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Every stochastic component of the reproduction (topology synthesis, probe
+// jitter, packet loss, tie-break identifiers) derives its stream from a
+// single experiment seed so that each table and figure is exactly
+// reproducible.  We use SplitMix64 for seeding and xoshiro256** as the bulk
+// generator; both are tiny, fast and well studied.
+
+#include <array>
+#include <cstdint>
+#include <cmath>
+#include <string_view>
+
+namespace anyopt {
+
+/// SplitMix64 step; used to expand one seed into many.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stable 64-bit FNV-1a hash, used to derive named sub-streams
+/// ("probe-jitter", "topology", ...) from the experiment seed.
+constexpr std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// xoshiro256** PRNG.  Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xA17C0DEULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent child stream; `label` names the consumer so two
+  /// components never share a stream by accident.
+  [[nodiscard]] Rng fork(std::string_view label) const {
+    std::uint64_t mix = state_[0] ^ (state_[2] * 0x9e3779b97f4a7c15ULL);
+    mix ^= fnv1a(label);
+    return Rng{mix};
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  std::uint64_t below(std::uint64_t bound) {
+    // Lemire's nearly-divisionless method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u = 0;
+    double v = 0;
+    double s = 0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * f;
+    have_spare_ = true;
+    return u * f;
+  }
+
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential variate with the given mean.
+  double exponential(double mean) {
+    return -mean * std::log1p(-uniform());
+  }
+
+  /// Pareto variate (heavy tail) with scale `xm` and shape `alpha`.
+  double pareto(double xm, double alpha) {
+    return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+  }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <class Container>
+  void shuffle(Container& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = below(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks one element uniformly (container must be non-empty).
+  template <class Container>
+  auto& pick(Container& items) {
+    return items[below(items.size())];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+  double spare_ = 0;
+  bool have_spare_ = false;
+};
+
+}  // namespace anyopt

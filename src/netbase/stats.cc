@@ -1,0 +1,97 @@
+#include "netbase/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace anyopt::stats {
+
+void Online::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void Online::merge(const Online& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double Online::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Online::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double median(std::vector<double> sample) {
+  return quantile(std::move(sample), 0.5);
+}
+
+double mean(std::span<const double> sample) {
+  if (sample.empty()) return 0.0;
+  double sum = 0;
+  for (const double x : sample) sum += x;
+  return sum / static_cast<double>(sample.size());
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> sample,
+                                    std::size_t max_points) {
+  std::vector<CdfPoint> out;
+  if (sample.empty()) return out;
+  std::sort(sample.begin(), sample.end());
+  const std::size_t n = sample.size();
+  const std::size_t points = std::min(max_points, n);
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const std::size_t idx =
+        (i * n) / points == 0 ? 0 : (i * n) / points - 1;
+    out.push_back({sample[idx],
+                   static_cast<double>(idx + 1) / static_cast<double>(n)});
+  }
+  return out;
+}
+
+std::string format_cdf(const std::vector<CdfPoint>& cdf,
+                       const std::string& value_label,
+                       const std::string& series_name) {
+  std::string out = "# CDF series: " + series_name + "\n";
+  out += "# " + value_label + "\tP(X<=x)\n";
+  char buf[64];
+  for (const auto& p : cdf) {
+    std::snprintf(buf, sizeof buf, "%10.3f\t%6.4f\n", p.value, p.fraction);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace anyopt::stats

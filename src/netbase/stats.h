@@ -1,0 +1,60 @@
+#pragma once
+// Statistics helpers shared by the measurement layer and the benchmark
+// harnesses: online mean/variance, exact quantiles, CDF series, and the
+// median-of-k filter the paper uses for RTT sampling (§3.1).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace anyopt::stats {
+
+/// Welford online accumulator for mean / variance / extrema.
+class Online {
+ public:
+  void add(double x);
+  void merge(const Online& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Exact quantile of a sample (linear interpolation between order
+/// statistics); `q` in [0, 1].  Returns 0 for an empty sample.
+[[nodiscard]] double quantile(std::vector<double> sample, double q);
+
+/// Median, the paper's outlier filter for repeated RTT probes.
+[[nodiscard]] double median(std::vector<double> sample);
+
+/// Arithmetic mean (0 for empty).
+[[nodiscard]] double mean(std::span<const double> sample);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0;  ///< x: the sample value
+  double fraction = 0;  ///< y: P(X <= value)
+};
+
+/// Builds an empirical CDF, decimated to at most `max_points` points so a
+/// bench can print the same series a paper figure plots.
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::vector<double> sample,
+                                                  std::size_t max_points = 50);
+
+/// Renders a CDF as aligned two-column text for bench output.
+[[nodiscard]] std::string format_cdf(const std::vector<CdfPoint>& cdf,
+                                     const std::string& value_label,
+                                     const std::string& series_name);
+
+}  // namespace anyopt::stats

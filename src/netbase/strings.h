@@ -1,0 +1,24 @@
+#pragma once
+// Small string utilities (split/trim/join) used by the serialization code.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace anyopt::strings {
+
+/// Splits on a delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text,
+                                                  char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Joins items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+
+}  // namespace anyopt::strings

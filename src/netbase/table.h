@@ -1,0 +1,30 @@
+#pragma once
+// Plain-text table rendering used by the benchmark binaries to print the
+// same rows the paper's tables and figures report.
+
+#include <string>
+#include <vector>
+
+namespace anyopt {
+
+/// Column-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders with column padding and a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace anyopt

@@ -1,0 +1,276 @@
+#include "topo/builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "netbase/geo.h"
+
+namespace anyopt::topo {
+namespace {
+
+/// Nearest PoP location of a tier-1 AS to a point (used to place links).
+geo::Coordinates tier1_attach_point(const PopRegistry& pops, AsId tier1,
+                                    const geo::Coordinates& where) {
+  const PopNetwork& net = pops.network(tier1);
+  return net.pop(net.nearest_pop(where)).where;
+}
+
+double link_latency(const geo::Coordinates& a, const geo::Coordinates& b) {
+  return geo::one_way_latency_ms(a, b);
+}
+
+}  // namespace
+
+AsId Internet::tier1_by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < tier1s.size(); ++i) {
+    if (graph.node(tier1s[i]).name == name) return tier1s[i];
+  }
+  throw std::invalid_argument("unknown tier-1 provider: " + name);
+}
+
+Internet build_internet(const InternetParams& params) {
+  Internet net;
+  Rng root{params.seed};
+  Rng rng = root.fork("internet-builder");
+  const auto& metros = geo::metro_database();
+  std::uint32_t next_asn = 100;
+
+  auto sample_policy_flags = [&](AsNode& node) {
+    node.multipath = rng.chance(params.multipath_fraction);
+    node.deviant_policy = rng.chance(params.deviant_fraction);
+    node.prefers_oldest = rng.chance(params.oldest_pref_fraction);
+    node.igp_spread =
+        rng.chance(params.flat_igp_fraction) ? 0 : params.igp_spread_levels;
+    node.router_id = static_cast<std::uint32_t>(rng() >> 33);
+  };
+
+  // --- Tier-1 backbones -------------------------------------------------
+  const std::size_t t1_count = params.tier1_names.size();
+  for (std::size_t t = 0; t < t1_count; ++t) {
+    AsNode node;
+    node.asn = next_asn++;
+    node.tier = Tier::kTier1;
+    node.name = params.tier1_names[t];
+    sample_policy_flags(node);
+    node.deviant_policy = false;  // backbones keep uniform policy
+    // Tier-1 PoP footprint: required metros plus a random global spread.
+    std::vector<Pop> pops;
+    std::unordered_set<std::string> chosen;
+    if (t < params.required_tier1_pops.size()) {
+      for (const std::string& m : params.required_tier1_pops[t]) {
+        if (chosen.insert(m).second) {
+          pops.push_back(Pop{m, geo::metro(m).where});
+        }
+      }
+    }
+    const int extra = static_cast<int>(rng.uniform_int(
+        params.extra_pops_per_tier1_min, params.extra_pops_per_tier1_max));
+    int added = 0;
+    int guard = 0;
+    while (added < extra && guard++ < 1000) {
+      const auto& m = metros[rng.below(metros.size())];
+      if (chosen.insert(m.name).second) {
+        pops.push_back(Pop{m.name, m.where});
+        ++added;
+      }
+    }
+    assert(!pops.empty());
+    node.location = pops.front().where;
+    const AsId id = net.graph.add_as(std::move(node));
+    net.tier1s.push_back(id);
+    net.pops.attach(id, PopNetwork::build(std::move(pops), params.pop_degree,
+                                          params.igp_noise,
+                                          rng.fork("igp-" + std::to_string(t))));
+  }
+
+  // Full tier-1 peer mesh (assumption (a) of §4.1).
+  for (std::size_t i = 0; i < t1_count; ++i) {
+    for (std::size_t j = i + 1; j < t1_count; ++j) {
+      const AsId a = net.tier1s[i];
+      const AsId b = net.tier1s[j];
+      // Interconnect where their footprints are closest.
+      const PopNetwork& na = net.pops.network(a);
+      const PopNetwork& nb = net.pops.network(b);
+      double best = 1e18;
+      geo::Coordinates where = na.pop(0).where;
+      for (std::size_t pa = 0; pa < na.pop_count(); ++pa) {
+        for (std::size_t pb = 0; pb < nb.pop_count(); ++pb) {
+          const double km =
+              geo::great_circle_km(na.pop(pa).where, nb.pop(pb).where);
+          if (km < best) {
+            best = km;
+            where = na.pop(pa).where;
+          }
+        }
+      }
+      auto link = net.graph.connect(a, b, Relation::kPeer, where,
+                                    std::max(0.2, best / 200.0 * 1.4));
+      assert(link.ok());
+      (void)link;
+    }
+  }
+
+  // --- Regional transits (customers of tier-1s) -------------------------
+  std::vector<AsId> regionals;
+  for (int i = 0; i < params.regional_transit_count; ++i) {
+    AsNode node;
+    node.asn = next_asn++;
+    node.tier = Tier::kTransit;
+    node.location = metros[rng.below(metros.size())].where;
+    sample_policy_flags(node);
+    const AsId id = net.graph.add_as(std::move(node));
+    regionals.push_back(id);
+    const int providers = static_cast<int>(rng.uniform_int(1, 3));
+    std::vector<std::size_t> choice(t1_count);
+    for (std::size_t k = 0; k < t1_count; ++k) choice[k] = k;
+    rng.shuffle(choice);
+    for (int p = 0; p < providers; ++p) {
+      const AsId provider = net.tier1s[choice[p]];
+      const geo::Coordinates at = tier1_attach_point(
+          net.pops, provider, net.graph.node(id).location);
+      auto link = net.graph.connect(
+          id, provider, Relation::kProvider, at,
+          link_latency(net.graph.node(id).location, at));
+      assert(link.ok());
+      (void)link;
+    }
+  }
+
+  // --- Access transits (customers of regional transits) -----------------
+  std::vector<AsId> accesses;
+  for (int i = 0; i < params.access_transit_count; ++i) {
+    AsNode node;
+    node.asn = next_asn++;
+    node.tier = Tier::kTransit;
+    node.location = metros[rng.below(metros.size())].where;
+    sample_policy_flags(node);
+    const AsId id = net.graph.add_as(std::move(node));
+    accesses.push_back(id);
+    // Prefer geographically close regionals as providers.
+    std::vector<std::pair<double, AsId>> by_dist;
+    for (const AsId r : regionals) {
+      by_dist.push_back({geo::great_circle_km(net.graph.node(id).location,
+                                              net.graph.node(r).location),
+                         r});
+    }
+    std::sort(by_dist.begin(), by_dist.end());
+    const int providers = static_cast<int>(rng.uniform_int(1, 2));
+    for (int p = 0; p < providers && p < static_cast<int>(by_dist.size());
+         ++p) {
+      // Pick among the 8 nearest to add diversity.
+      const std::size_t pick = rng.below(std::min<std::size_t>(8, by_dist.size()));
+      const AsId provider = by_dist[pick].second;
+      const auto rel = net.graph.relation(id, provider);
+      if (rel.ok()) continue;  // already linked; skip
+      auto link = net.graph.connect(
+          id, provider, Relation::kProvider,
+          net.graph.node(id).location,
+          link_latency(net.graph.node(id).location,
+                       net.graph.node(provider).location));
+      assert(link.ok());
+      (void)link;
+    }
+    // Occasionally also buy tier-1 transit directly.
+    if (rng.chance(0.25)) {
+      const AsId provider = net.tier1s[rng.below(t1_count)];
+      const geo::Coordinates at = tier1_attach_point(
+          net.pops, provider, net.graph.node(id).location);
+      auto link = net.graph.connect(
+          id, provider, Relation::kProvider, at,
+          link_latency(net.graph.node(id).location, at));
+      assert(link.ok());
+      (void)link;
+    }
+  }
+
+  // --- Transit-transit peering (IXP style, distance-bounded) ------------
+  std::vector<AsId> all_transits = regionals;
+  all_transits.insert(all_transits.end(), accesses.begin(), accesses.end());
+  for (std::size_t i = 0; i < all_transits.size(); ++i) {
+    for (std::size_t j = i + 1; j < all_transits.size(); ++j) {
+      const AsId a = all_transits[i];
+      const AsId b = all_transits[j];
+      const double km = geo::great_circle_km(net.graph.node(a).location,
+                                             net.graph.node(b).location);
+      if (km > params.transit_peer_within_km) continue;
+      if (!rng.chance(params.transit_peer_prob)) continue;
+      if (net.graph.relation(a, b).ok()) continue;
+      auto link = net.graph.connect(a, b, Relation::kPeer,
+                                    net.graph.node(a).location,
+                                    std::max(0.2, km / 200.0 * 1.4));
+      assert(link.ok());
+      (void)link;
+    }
+  }
+
+  // --- Stub (client) ASes ------------------------------------------------
+  for (int i = 0; i < params.stub_count; ++i) {
+    AsNode node;
+    node.asn = next_asn++;
+    node.tier = Tier::kStub;
+    node.location = metros[rng.below(metros.size())].where;
+    // Scatter stubs around the metro so RTTs are not quantized.
+    node.location.latitude_deg += rng.normal(0.0, 1.0);
+    node.location.longitude_deg += rng.normal(0.0, 1.0);
+    sample_policy_flags(node);
+    const AsId id = net.graph.add_as(std::move(node));
+
+    if (rng.chance(params.stub_tier1_home_prob)) {
+      const AsId provider = net.tier1s[rng.below(t1_count)];
+      const geo::Coordinates at = tier1_attach_point(
+          net.pops, provider, net.graph.node(id).location);
+      auto link = net.graph.connect(
+          id, provider, Relation::kProvider, at,
+          link_latency(net.graph.node(id).location, at));
+      assert(link.ok());
+      (void)link;
+    }
+    // 1-3 transit providers, geographically biased.
+    std::vector<std::pair<double, AsId>> by_dist;
+    for (const AsId t : all_transits) {
+      by_dist.push_back({geo::great_circle_km(net.graph.node(id).location,
+                                              net.graph.node(t).location),
+                         t});
+    }
+    std::sort(by_dist.begin(), by_dist.end());
+    const int providers = static_cast<int>(rng.uniform_int(1, 3));
+    int connected = 0;
+    for (std::size_t attempt = 0;
+         attempt < by_dist.size() && connected < providers; ++attempt) {
+      const std::size_t pick =
+          rng.below(std::min<std::size_t>(12, by_dist.size()));
+      const AsId provider = by_dist[pick].second;
+      if (net.graph.relation(id, provider).ok()) continue;
+      auto link = net.graph.connect(
+          id, provider, Relation::kProvider,
+          net.graph.node(id).location,
+          link_latency(net.graph.node(id).location,
+                       net.graph.node(provider).location));
+      assert(link.ok());
+      (void)link;
+      ++connected;
+    }
+    assert(connected > 0 || net.graph.node(id).neighbors.size() > 0);
+  }
+
+  // --- Deviant import-policy rank tables ---------------------------------
+  net.deviant_rank.assign(net.graph.as_count(), {});
+  for (std::size_t i = 0; i < net.graph.as_count(); ++i) {
+    if (!net.graph.nodes()[i].deviant_policy) continue;
+    std::vector<int> rank(t1_count);
+    for (std::size_t k = 0; k < t1_count; ++k) rank[k] = static_cast<int>(k);
+    rng.shuffle(rank);
+    net.deviant_rank[i] = std::move(rank);
+  }
+
+  const Status valid = net.graph.validate();
+  if (!valid.ok()) {
+    throw std::logic_error("generated topology failed validation: " +
+                           valid.error().message);
+  }
+  return net;
+}
+
+}  // namespace anyopt::topo

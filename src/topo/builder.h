@@ -1,0 +1,77 @@
+#pragma once
+// Synthetic Internet generator.
+//
+// Produces a tiered AS-level topology mirroring the routing environment of
+// the paper's testbed: a full mesh of tier-1 backbones (each with a global
+// PoP footprint), a layer of regional and access transit ASes, and a large
+// population of stub (client) ASes.  All stochastic choices derive from the
+// seed, so a given parameter set always yields the same Internet.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netbase/ids.h"
+#include "netbase/rng.h"
+#include "topo/as_graph.h"
+#include "topo/pop_network.h"
+
+namespace anyopt::topo {
+
+/// Generator parameters.  Defaults are sized so the full evaluation (15,300
+/// targets, §3.2) runs in seconds per BGP experiment.
+struct InternetParams {
+  /// Tier-1 providers, in order; defaults to the six transit providers of
+  /// the paper's Table 1.
+  std::vector<std::string> tier1_names = {"Telia", "Zayo",    "TATA",
+                                          "GTT",   "NTT", "Sparkle"};
+  /// Metros where each tier-1 must have a PoP (e.g. the anycast site
+  /// locations).  Indexed like `tier1_names`; may be empty.
+  std::vector<std::vector<std::string>> required_tier1_pops;
+
+  int extra_pops_per_tier1_min = 6;   ///< random PoPs beyond the required
+  int extra_pops_per_tier1_max = 12;
+  int pop_degree = 3;                 ///< nearest-neighbor IGP links per PoP
+  double igp_noise = 0.15;            ///< IGP weight jitter vs latency
+
+  int regional_transit_count = 90;    ///< transits homed to tier-1s
+  int access_transit_count = 160;     ///< transits homed to regional transits
+  int stub_count = 5200;              ///< client ASes
+
+  double transit_peer_within_km = 2500;  ///< IXP peering radius
+  double transit_peer_prob = 0.18;       ///< peering prob within the radius
+
+  double stub_tier1_home_prob = 0.04;  ///< stubs occasionally buy tier-1 transit
+
+  double multipath_fraction = 0.08;    ///< ASes splitting equal-cost flows
+  double deviant_fraction = 0.05;      ///< ASes with tier-1-sensitive policy
+  double oldest_pref_fraction = 0.92;  ///< ASes with arrival-order tie-break
+  /// Fraction of ASes whose eBGP next hops all have equal interior cost
+  /// (their LOCAL_PREF/AS-path ties reach the arrival-order step); the rest
+  /// get `igp_spread_levels` distinct next-hop cost levels.
+  double flat_igp_fraction = 0.22;
+  int igp_spread_levels = 7;
+
+  std::uint64_t seed = 0x5EED;
+};
+
+/// A generated Internet: the AS graph, the PoP-level view of the transit
+/// core, and the tier-1 index.
+struct Internet {
+  AsGraph graph;
+  PopRegistry pops;
+  std::vector<AsId> tier1s;  ///< aligned with InternetParams::tier1_names
+
+  /// Tier-1 AS by provider name; aborts on unknown name.
+  [[nodiscard]] AsId tier1_by_name(const std::string& name) const;
+
+  /// Per-AS rank tables used by deviant import policies: rank_of[as][t]
+  /// is the preference rank AS `as` gives to routes transiting tier-1 `t`
+  /// (lower = preferred).  Empty for non-deviant ASes.
+  std::vector<std::vector<int>> deviant_rank;
+};
+
+/// Builds the synthetic Internet.  Post-condition: graph.validate() passes.
+[[nodiscard]] Internet build_internet(const InternetParams& params);
+
+}  // namespace anyopt::topo

@@ -1,0 +1,26 @@
+#include "topo/path_latency.h"
+
+namespace anyopt::topo {
+
+double polyline_latency_ms(std::span<const geo::Coordinates> waypoints,
+                           const geo::LatencyModel& model) {
+  double total = 0;
+  for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    total += geo::one_way_latency_ms(waypoints[i], waypoints[i + 1], model);
+  }
+  return total;
+}
+
+std::vector<geo::Coordinates> waypoints_for(const AsGraph& graph,
+                                            const geo::Coordinates& origin_point,
+                                            std::span<const LinkId> links) {
+  std::vector<geo::Coordinates> points;
+  points.reserve(links.size() + 1);
+  points.push_back(origin_point);
+  for (const LinkId l : links) {
+    points.push_back(graph.link(l).where);
+  }
+  return points;
+}
+
+}  // namespace anyopt::topo

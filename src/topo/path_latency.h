@@ -1,0 +1,29 @@
+#pragma once
+// Latency accounting along AS-level forwarding paths.
+//
+// A forwarding path is a chain of inter-AS links; its latency is modelled
+// as geodesic propagation between consecutive interconnection points (see
+// DESIGN.md §1).  Intra-AS segments inside the anycast host AS are added by
+// the caller from the PoP network's IGP costs.
+
+#include <span>
+#include <vector>
+
+#include "netbase/geo.h"
+#include "netbase/ids.h"
+#include "topo/as_graph.h"
+
+namespace anyopt::topo {
+
+/// One-way latency of a polyline of waypoints under the latency model.
+[[nodiscard]] double polyline_latency_ms(
+    std::span<const geo::Coordinates> waypoints,
+    const geo::LatencyModel& model = {});
+
+/// Builds the waypoint sequence for a path that starts at `origin_point`
+/// and then crosses `links` in order: origin, link1.where, link2.where, ...
+[[nodiscard]] std::vector<geo::Coordinates> waypoints_for(
+    const AsGraph& graph, const geo::Coordinates& origin_point,
+    std::span<const LinkId> links);
+
+}  // namespace anyopt::topo

@@ -1,0 +1,108 @@
+#include "topo/pop_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace anyopt::topo {
+
+PopNetwork PopNetwork::build(std::vector<Pop> pops, int degree,
+                             double igp_noise, Rng rng) {
+  assert(!pops.empty());
+  PopNetwork net;
+  net.pops_ = std::move(pops);
+  const std::size_t n = net.pops_.size();
+
+  std::vector<std::vector<std::pair<std::size_t, double>>> adj(n);
+  auto link = [&](std::size_t a, std::size_t b) {
+    if (a == b) return;
+    for (const auto& [nb, _] : adj[a]) {
+      if (nb == b) return;  // already linked
+    }
+    double w = geo::one_way_latency_ms(net.pops_[a].where, net.pops_[b].where);
+    w = std::max(0.05, w * (1.0 + igp_noise * rng.normal()));
+    adj[a].push_back({b, w});
+    adj[b].push_back({a, w});
+  };
+
+  // Ring over the input order guarantees connectivity.
+  for (std::size_t i = 0; i + 1 < n; ++i) link(i, i + 1);
+  if (n > 2) link(n - 1, 0);
+
+  // Plus `degree` nearest neighbors for each PoP (realistic mesh-ish core).
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::pair<double, std::size_t>> by_dist;
+    by_dist.reserve(n - 1);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      by_dist.push_back(
+          {geo::great_circle_km(net.pops_[i].where, net.pops_[j].where), j});
+    }
+    std::sort(by_dist.begin(), by_dist.end());
+    const std::size_t k =
+        std::min<std::size_t>(static_cast<std::size_t>(degree),
+                              by_dist.size());
+    for (std::size_t j = 0; j < k; ++j) link(i, by_dist[j].second);
+  }
+
+  net.compute_all_pairs(adj);
+  return net;
+}
+
+PopNetwork PopNetwork::from_matrix(std::vector<Pop> pops,
+                                   std::vector<double> dist) {
+  assert(dist.size() == pops.size() * pops.size());
+  PopNetwork net;
+  net.pops_ = std::move(pops);
+  net.dist_ = std::move(dist);
+  return net;
+}
+
+void PopNetwork::compute_all_pairs(
+    const std::vector<std::vector<std::pair<std::size_t, double>>>& adj) {
+  const std::size_t n = pops_.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  dist_.assign(n * n, kInf);
+  using QEntry = std::pair<double, std::size_t>;
+  for (std::size_t src = 0; src < n; ++src) {
+    auto* row = &dist_[src * n];
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> q;
+    row[src] = 0;
+    q.push({0.0, src});
+    while (!q.empty()) {
+      const auto [d, u] = q.top();
+      q.pop();
+      if (d > row[u]) continue;
+      for (const auto& [v, w] : adj[u]) {
+        const double nd = d + w;
+        if (nd < row[v]) {
+          row[v] = nd;
+          q.push({nd, v});
+        }
+      }
+    }
+  }
+}
+
+std::size_t PopNetwork::nearest_pop(const geo::Coordinates& where) const {
+  std::size_t best = 0;
+  double best_km = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < pops_.size(); ++i) {
+    const double km = geo::great_circle_km(where, pops_[i].where);
+    if (km < best_km) {
+      best_km = km;
+      best = i;
+    }
+  }
+  return best;
+}
+
+Result<std::size_t> PopNetwork::pop_by_metro(const std::string& metro) const {
+  for (std::size_t i = 0; i < pops_.size(); ++i) {
+    if (pops_[i].metro == metro) return i;
+  }
+  return Error::not_found("no PoP in metro " + metro);
+}
+
+}  // namespace anyopt::topo

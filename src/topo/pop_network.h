@@ -1,0 +1,105 @@
+#pragma once
+// PoP-level (intra-AS) topology for transit networks.
+//
+// The paper's two-level insight (§4.3): BGP decides which AS a client's
+// traffic enters; the AS's *interior* routing decides which anycast site
+// inside that AS it reaches (hot-potato over IGP metrics).  We therefore
+// model each transit AS as a small graph of PoPs with latency-weighted IGP
+// links, and precompute all-pairs shortest IGP costs.
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "netbase/geo.h"
+#include "netbase/ids.h"
+#include "netbase/result.h"
+#include "netbase/rng.h"
+
+namespace anyopt::topo {
+
+/// One point of presence of a transit AS.
+struct Pop {
+  std::string metro;
+  geo::Coordinates where;
+};
+
+/// Intra-AS network of one transit AS.  Pops are indexed densely; IGP cost
+/// between PoPs approximates one-way latency in ms.
+class PopNetwork {
+ public:
+  PopNetwork() = default;
+
+  /// Builds a PoP network over the given metros.  Each PoP is linked to its
+  /// `degree` nearest PoPs plus a ring for connectedness; IGP weight is the
+  /// geodesic one-way latency perturbed by `igp_noise` (so IGP cost is
+  /// correlated with, but not equal to, latency — which is what makes the
+  /// paper's RTT-ranking heuristic an *approximation*).
+  static PopNetwork build(std::vector<Pop> pops, int degree, double igp_noise,
+                          Rng rng);
+
+  /// Reconstructs a network from an explicit all-pairs IGP cost matrix
+  /// (row-major, size pops²).  Used by deserialization.
+  static PopNetwork from_matrix(std::vector<Pop> pops,
+                                std::vector<double> dist);
+
+  /// The raw all-pairs matrix (row-major), for serialization.
+  [[nodiscard]] const std::vector<double>& distance_matrix() const {
+    return dist_;
+  }
+
+  [[nodiscard]] std::size_t pop_count() const { return pops_.size(); }
+  [[nodiscard]] const Pop& pop(std::size_t idx) const { return pops_[idx]; }
+  [[nodiscard]] const std::vector<Pop>& pops() const { return pops_; }
+
+  /// Shortest IGP cost between two PoPs (ms-equivalent metric).
+  [[nodiscard]] double igp_cost(std::size_t from, std::size_t to) const {
+    return dist_[from * pops_.size() + to];
+  }
+
+  /// Index of the PoP nearest to a location (the assumed ingress PoP for a
+  /// link landing at `where`).
+  [[nodiscard]] std::size_t nearest_pop(const geo::Coordinates& where) const;
+
+  /// Index of the PoP in this AS with the given metro name, if any.
+  [[nodiscard]] Result<std::size_t> pop_by_metro(const std::string& metro) const;
+
+ private:
+  void compute_all_pairs(
+      const std::vector<std::vector<std::pair<std::size_t, double>>>& adj);
+
+  std::vector<Pop> pops_;
+  std::vector<double> dist_;  // row-major all-pairs shortest IGP cost
+};
+
+/// Registry mapping transit ASes to their PoP networks.  ASes without an
+/// entry are treated as single-location networks (stubs, small transits).
+class PopRegistry {
+ public:
+  void attach(AsId as, PopNetwork network) {
+    networks_[as] = std::move(network);
+  }
+  [[nodiscard]] bool has(AsId as) const { return networks_.contains(as); }
+  [[nodiscard]] const PopNetwork& network(AsId as) const {
+    return networks_.at(as);
+  }
+  [[nodiscard]] std::size_t size() const { return networks_.size(); }
+
+  /// AS ids with attached networks, in ascending order (deterministic
+  /// iteration for serialization).
+  [[nodiscard]] std::vector<AsId> attached_ases() const {
+    std::vector<AsId> ids;
+    ids.reserve(networks_.size());
+    for (const auto& [id, _] : networks_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
+
+ private:
+  std::unordered_map<AsId, PopNetwork> networks_;
+};
+
+}  // namespace anyopt::topo

@@ -1,0 +1,43 @@
+#pragma once
+// Inter-AS business relationships (Gao-Rexford model, §4.1 of the paper).
+
+#include <cstdint>
+#include <string_view>
+
+namespace anyopt::topo {
+
+/// How a neighbor relates to *this* AS: the neighbor is my customer, my
+/// settlement-free peer, or my provider.
+enum class Relation : std::uint8_t { kCustomer, kPeer, kProvider };
+
+/// The same edge seen from the other endpoint.
+[[nodiscard]] constexpr Relation reverse(Relation r) {
+  switch (r) {
+    case Relation::kCustomer: return Relation::kProvider;
+    case Relation::kPeer: return Relation::kPeer;
+    case Relation::kProvider: return Relation::kCustomer;
+  }
+  return Relation::kPeer;  // unreachable
+}
+
+[[nodiscard]] constexpr std::string_view to_string(Relation r) {
+  switch (r) {
+    case Relation::kCustomer: return "customer";
+    case Relation::kPeer: return "peer";
+    case Relation::kProvider: return "provider";
+  }
+  return "?";
+}
+
+/// Conventional Gao-Rexford LOCAL_PREF bands: customer-learned routes are
+/// most profitable, provider-learned least.
+[[nodiscard]] constexpr int default_local_pref(Relation learned_from) {
+  switch (learned_from) {
+    case Relation::kCustomer: return 300;
+    case Relation::kPeer: return 200;
+    case Relation::kProvider: return 100;
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace anyopt::topo

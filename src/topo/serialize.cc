@@ -1,0 +1,253 @@
+#include "topo/serialize.h"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "netbase/strings.h"
+
+namespace anyopt::topo {
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Metro names may contain spaces; encode them.
+std::string encode_token(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) out += (c == ' ') ? '_' : c;
+  return out.empty() ? "-" : out;
+}
+
+std::string decode_token(std::string_view s) {
+  if (s == "-") return {};
+  std::string out(s);
+  for (char& c : out) {
+    if (c == '_') c = ' ';
+  }
+  return out;
+}
+
+template <class T>
+bool parse_num(std::string_view text, T& out) {
+  const auto* begin = text.data();
+  const auto* end = begin + text.size();
+  if constexpr (std::is_floating_point_v<T>) {
+    char* after = nullptr;
+    const std::string copy(text);
+    out = static_cast<T>(std::strtod(copy.c_str(), &after));
+    return after == copy.c_str() + copy.size();
+  } else {
+    auto [ptr, ec] = std::from_chars(begin, end, out);
+    return ec == std::errc{} && ptr == end;
+  }
+}
+
+}  // namespace
+
+std::string save_internet(const Internet& net) {
+  std::ostringstream out;
+  out << "anyopt-internet v1\n";
+  const AsGraph& g = net.graph;
+  out << "counts " << g.as_count() << ' ' << g.link_count() << ' '
+      << net.tier1s.size() << '\n';
+  for (const AsId t : net.tier1s) out << "tier1 " << t.value() << '\n';
+  for (std::size_t i = 0; i < g.as_count(); ++i) {
+    const AsNode& n = g.nodes()[i];
+    out << "as " << n.asn << ' ' << static_cast<int>(n.tier) << ' '
+        << fmt_double(n.location.latitude_deg) << ' '
+        << fmt_double(n.location.longitude_deg) << ' '
+        << encode_token(n.name) << ' ' << (n.multipath ? 1 : 0) << ' '
+        << (n.deviant_policy ? 1 : 0) << ' ' << (n.prefers_oldest ? 1 : 0)
+        << ' ' << n.router_id << ' ' << n.igp_spread << '\n';
+  }
+  for (const AsLink& l : g.links()) {
+    out << "link " << l.a.value() << ' ' << l.b.value() << ' '
+        << static_cast<int>(l.a_to_b) << ' '
+        << fmt_double(l.where.latitude_deg) << ' '
+        << fmt_double(l.where.longitude_deg) << ' '
+        << fmt_double(l.latency_ms) << '\n';
+  }
+  for (const AsId as : net.pops.attached_ases()) {
+    const PopNetwork& pn = net.pops.network(as);
+    out << "popnet " << as.value() << ' ' << pn.pop_count() << '\n';
+    for (std::size_t p = 0; p < pn.pop_count(); ++p) {
+      const Pop& pop = pn.pop(p);
+      out << "pop " << encode_token(pop.metro) << ' '
+          << fmt_double(pop.where.latitude_deg) << ' '
+          << fmt_double(pop.where.longitude_deg) << '\n';
+    }
+    out << "igp";
+    for (const double d : pn.distance_matrix()) out << ' ' << fmt_double(d);
+    out << '\n';
+  }
+  for (std::size_t i = 0; i < net.deviant_rank.size(); ++i) {
+    if (net.deviant_rank[i].empty()) continue;
+    out << "deviant " << i;
+    for (const int r : net.deviant_rank[i]) out << ' ' << r;
+    out << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Result<Internet> load_internet(const std::string& text) {
+  Internet net;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) ||
+      strings::trim(line) != "anyopt-internet v1") {
+    return Error::parse("bad header; expected 'anyopt-internet v1'");
+  }
+  std::size_t as_count = 0;
+  std::size_t link_count = 0;
+  std::size_t tier1_count = 0;
+  std::vector<std::uint32_t> tier1_ids;
+  bool saw_end = false;
+
+  // For pop networks being parsed.
+  AsId pending_pop_as;
+  std::vector<Pop> pending_pops;
+  std::size_t pending_pop_count = 0;
+
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = strings::trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string_view> tok = strings::split(trimmed, ' ');
+    const std::string_view kind = tok[0];
+    auto need = [&](std::size_t n) { return tok.size() >= n + 1; };
+
+    if (kind == "counts") {
+      if (!need(3) || !parse_num(tok[1], as_count) ||
+          !parse_num(tok[2], link_count) || !parse_num(tok[3], tier1_count)) {
+        return Error::parse("bad counts line");
+      }
+    } else if (kind == "tier1") {
+      std::uint32_t id = 0;
+      if (!need(1) || !parse_num(tok[1], id)) {
+        return Error::parse("bad tier1 line");
+      }
+      tier1_ids.push_back(id);
+    } else if (kind == "as") {
+      if (!need(10)) return Error::parse("bad as line");
+      AsNode n;
+      int tier = 0;
+      int multipath = 0;
+      int deviant = 0;
+      int oldest = 0;
+      if (!parse_num(tok[1], n.asn) || !parse_num(tok[2], tier) ||
+          !parse_num(tok[3], n.location.latitude_deg) ||
+          !parse_num(tok[4], n.location.longitude_deg) ||
+          !parse_num(tok[6], multipath) || !parse_num(tok[7], deviant) ||
+          !parse_num(tok[8], oldest) || !parse_num(tok[9], n.router_id) ||
+          !parse_num(tok[10], n.igp_spread)) {
+        return Error::parse("bad as line fields");
+      }
+      n.tier = static_cast<Tier>(tier);
+      n.name = decode_token(tok[5]);
+      n.multipath = multipath != 0;
+      n.deviant_policy = deviant != 0;
+      n.prefers_oldest = oldest != 0;
+      net.graph.add_as(std::move(n));
+    } else if (kind == "link") {
+      if (!need(6)) return Error::parse("bad link line");
+      std::uint32_t a = 0;
+      std::uint32_t b = 0;
+      int rel = 0;
+      geo::Coordinates where;
+      double latency = 0;
+      if (!parse_num(tok[1], a) || !parse_num(tok[2], b) ||
+          !parse_num(tok[3], rel) ||
+          !parse_num(tok[4], where.latitude_deg) ||
+          !parse_num(tok[5], where.longitude_deg) ||
+          !parse_num(tok[6], latency)) {
+        return Error::parse("bad link line fields");
+      }
+      auto r = net.graph.connect(AsId{a}, AsId{b},
+                                 static_cast<Relation>(rel), where, latency);
+      if (!r.ok()) return r.error();
+    } else if (kind == "popnet") {
+      std::uint32_t as = 0;
+      if (!need(2) || !parse_num(tok[1], as) ||
+          !parse_num(tok[2], pending_pop_count)) {
+        return Error::parse("bad popnet line");
+      }
+      pending_pop_as = AsId{as};
+      pending_pops.clear();
+    } else if (kind == "pop") {
+      if (!need(3)) return Error::parse("bad pop line");
+      Pop p;
+      p.metro = decode_token(tok[1]);
+      if (!parse_num(tok[2], p.where.latitude_deg) ||
+          !parse_num(tok[3], p.where.longitude_deg)) {
+        return Error::parse("bad pop coordinates");
+      }
+      pending_pops.push_back(std::move(p));
+    } else if (kind == "igp") {
+      if (pending_pops.size() != pending_pop_count) {
+        return Error::parse("pop count mismatch before igp matrix");
+      }
+      const std::size_t n = pending_pops.size();
+      if (tok.size() != 1 + n * n) {
+        return Error::parse("igp matrix has wrong arity");
+      }
+      std::vector<double> dist(n * n);
+      for (std::size_t i = 0; i < n * n; ++i) {
+        if (!parse_num(tok[1 + i], dist[i])) {
+          return Error::parse("bad igp entry");
+        }
+      }
+      net.pops.attach(pending_pop_as,
+                      PopNetwork::from_matrix(std::move(pending_pops),
+                                              std::move(dist)));
+      pending_pops = {};
+    } else if (kind == "deviant") {
+      std::uint32_t as = 0;
+      if (!need(1) || !parse_num(tok[1], as)) {
+        return Error::parse("bad deviant line");
+      }
+      std::vector<int> rank;
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        int r = 0;
+        if (!parse_num(tok[i], r)) return Error::parse("bad deviant rank");
+        rank.push_back(r);
+      }
+      if (net.deviant_rank.size() < net.graph.as_count()) {
+        net.deviant_rank.resize(net.graph.as_count());
+      }
+      if (as >= net.deviant_rank.size()) {
+        return Error::parse("deviant line references unknown AS");
+      }
+      net.deviant_rank[as] = std::move(rank);
+    } else if (kind == "end") {
+      saw_end = true;
+      break;
+    } else {
+      return Error::parse("unknown record kind: " + std::string(kind));
+    }
+  }
+  if (!saw_end) return Error::parse("missing 'end' record");
+  if (net.graph.as_count() != as_count ||
+      net.graph.link_count() != link_count ||
+      tier1_ids.size() != tier1_count) {
+    return Error::parse("counts record does not match file body");
+  }
+  for (const std::uint32_t id : tier1_ids) {
+    if (id >= net.graph.as_count()) {
+      return Error::parse("tier1 record references unknown AS");
+    }
+    net.tier1s.push_back(AsId{id});
+  }
+  if (net.deviant_rank.size() < net.graph.as_count()) {
+    net.deviant_rank.resize(net.graph.as_count());
+  }
+  const Status valid = net.graph.validate();
+  if (!valid.ok()) return valid.error();
+  return net;
+}
+
+}  // namespace anyopt::topo

@@ -1,0 +1,22 @@
+#pragma once
+// Text serialization of a generated Internet.
+//
+// A line-oriented format so that a topology produced once (or curated by
+// hand) can be checked into version control and reloaded bit-for-bit.
+// Round-trip is exact: `load(save(net))` reproduces the AS graph, the PoP
+// networks (with their IGP matrices) and the deviant policy tables.
+
+#include <string>
+
+#include "netbase/result.h"
+#include "topo/builder.h"
+
+namespace anyopt::topo {
+
+/// Serializes the Internet to the text format.
+[[nodiscard]] std::string save_internet(const Internet& net);
+
+/// Parses the text format back into an Internet.
+[[nodiscard]] Result<Internet> load_internet(const std::string& text);
+
+}  // namespace anyopt::topo

@@ -1,0 +1,90 @@
+#include "anycast/config.h"
+
+#include <gtest/gtest.h>
+
+#include "anycast/world.h"
+
+namespace anyopt::anycast {
+namespace {
+
+class ConfigTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = World::create(WorldParams::test_scale(13)).release();
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* ConfigTest::world_ = nullptr;
+
+TEST_F(ConfigTest, AllSitesEnablesEverySite) {
+  const AnycastConfig cfg = AnycastConfig::all_sites(world_->deployment());
+  EXPECT_EQ(cfg.enabled_site_count(), world_->deployment().site_count());
+  for (std::size_t i = 0; i < world_->deployment().site_count(); ++i) {
+    EXPECT_TRUE(cfg.site_enabled(SiteId{static_cast<SiteId::underlying_type>(i)}));
+  }
+}
+
+TEST_F(ConfigTest, ScheduleSpacingAndOrder) {
+  AnycastConfig cfg = AnycastConfig::of_sites({SiteId{4}, SiteId{1}});
+  cfg.spacing_s = 100.0;
+  const auto schedule = cfg.schedule(world_->deployment());
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_DOUBLE_EQ(schedule[0].time_s, 0.0);
+  EXPECT_EQ(schedule[0].attachment,
+            world_->deployment().transit_attachment(SiteId{4}));
+  EXPECT_DOUBLE_EQ(schedule[1].time_s, 100.0);
+  EXPECT_EQ(schedule[1].attachment,
+            world_->deployment().transit_attachment(SiteId{1}));
+  EXPECT_FALSE(schedule[0].withdraw);
+}
+
+TEST_F(ConfigTest, PeersAnnouncedAfterSites) {
+  AnycastConfig cfg = AnycastConfig::of_sites({SiteId{0}});
+  const auto peers = world_->deployment().all_peer_attachments();
+  ASSERT_FALSE(peers.empty());
+  cfg.enabled_peers = {peers[0], peers[1]};
+  const auto schedule = cfg.schedule(world_->deployment());
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_GT(schedule[1].time_s, schedule[0].time_s);
+  EXPECT_GT(schedule[2].time_s, schedule[1].time_s);
+  EXPECT_EQ(schedule[1].attachment, peers[0]);
+}
+
+TEST_F(ConfigTest, SiteEnabledReflectsMembership) {
+  const AnycastConfig cfg = AnycastConfig::of_sites({SiteId{2}, SiteId{9}});
+  EXPECT_TRUE(cfg.site_enabled(SiteId{2}));
+  EXPECT_TRUE(cfg.site_enabled(SiteId{9}));
+  EXPECT_FALSE(cfg.site_enabled(SiteId{3}));
+}
+
+TEST_F(ConfigTest, PrependFlowsIntoSchedule) {
+  AnycastConfig cfg = AnycastConfig::of_sites({SiteId{0}, SiteId{3}});
+  cfg.prepend = {2, 0};
+  const auto schedule = cfg.schedule(world_->deployment());
+  ASSERT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(schedule[0].prepend, 2);
+  EXPECT_EQ(schedule[1].prepend, 0);
+}
+
+TEST_F(ConfigTest, MissingPrependVectorDefaultsToZero) {
+  const AnycastConfig cfg = AnycastConfig::of_sites({SiteId{1}});
+  const auto schedule = cfg.schedule(world_->deployment());
+  ASSERT_EQ(schedule.size(), 1u);
+  EXPECT_EQ(schedule[0].prepend, 0);
+}
+
+TEST_F(ConfigTest, DescribeMentionsSitesAndPeers) {
+  AnycastConfig cfg = AnycastConfig::of_sites({SiteId{0}, SiteId{4}});
+  cfg.enabled_peers = {world_->deployment().all_peer_attachments()[0]};
+  const std::string text = cfg.describe();
+  EXPECT_NE(text.find("sites 1>5"), std::string::npos) << text;
+  EXPECT_NE(text.find("peers: 1"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace anyopt::anycast

@@ -1,0 +1,113 @@
+#include "anycast/targets.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace anyopt::anycast {
+namespace {
+
+topo::Internet small_net(std::uint64_t seed) {
+  topo::InternetParams p;
+  p.regional_transit_count = 10;
+  p.access_transit_count = 14;
+  p.stub_count = 150;
+  p.extra_pops_per_tier1_min = 2;
+  p.extra_pops_per_tier1_max = 3;
+  p.seed = seed;
+  return topo::build_internet(p);
+}
+
+TEST(Targets, GeneratesRequestedCount) {
+  const topo::Internet net = small_net(1);
+  TargetParams params;
+  params.count = 500;
+  const TargetPopulation pop = TargetPopulation::generate(net, params);
+  EXPECT_EQ(pop.size(), 500u);
+}
+
+TEST(Targets, AddressesAreUnique) {
+  const topo::Internet net = small_net(2);
+  TargetParams params;
+  params.count = 800;
+  const TargetPopulation pop = TargetPopulation::generate(net, params);
+  std::unordered_set<net::Ipv4> addrs;
+  for (const Target& t : pop.all()) addrs.insert(t.address);
+  EXPECT_EQ(addrs.size(), pop.size());
+}
+
+TEST(Targets, TargetsLiveInTheirSlash24) {
+  const topo::Internet net = small_net(3);
+  TargetParams params;
+  params.count = 400;
+  const TargetPopulation pop = TargetPopulation::generate(net, params);
+  for (const Target& t : pop.all()) {
+    EXPECT_TRUE(t.network.contains(t.address));
+    EXPECT_EQ(t.network.length(), 24);
+  }
+}
+
+TEST(Targets, FewerSlash24sThanTargets) {
+  // Paper ratio: 15,300 targets over 12,143 /24s (~1.26 targets per /24).
+  const topo::Internet net = small_net(4);
+  TargetParams params;
+  params.count = 1000;
+  const TargetPopulation pop = TargetPopulation::generate(net, params);
+  EXPECT_LT(pop.distinct_slash24(), pop.size());
+  EXPECT_GT(pop.distinct_slash24(), pop.size() / 2);
+}
+
+TEST(Targets, CoversManyButNotAllAses) {
+  const topo::Internet net = small_net(5);
+  TargetParams params;
+  params.count = 1000;
+  params.as_coverage = 0.7;
+  const TargetPopulation pop = TargetPopulation::generate(net, params);
+  const std::size_t stubs = net.graph.ases_of_tier(topo::Tier::kStub).size();
+  EXPECT_GT(pop.distinct_ases(), stubs / 3);
+  EXPECT_LT(pop.distinct_ases(), stubs + 40);
+}
+
+TEST(Targets, HeavyTailedPerAsDistribution) {
+  const topo::Internet net = small_net(6);
+  TargetParams params;
+  params.count = 1200;
+  const TargetPopulation pop = TargetPopulation::generate(net, params);
+  std::unordered_map<std::uint32_t, int> per_as;
+  for (const Target& t : pop.all()) ++per_as[t.as.value()];
+  int max_count = 0;
+  for (const auto& [as, n] : per_as) max_count = std::max(max_count, n);
+  const double mean =
+      static_cast<double>(pop.size()) / static_cast<double>(per_as.size());
+  EXPECT_GT(max_count, 2 * mean);  // tail exists
+}
+
+TEST(Targets, DeterministicForSeed) {
+  const topo::Internet net = small_net(7);
+  TargetParams params;
+  params.count = 300;
+  params.seed = 42;
+  const TargetPopulation a = TargetPopulation::generate(net, params);
+  const TargetPopulation b = TargetPopulation::generate(net, params);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const TargetId id{static_cast<TargetId::underlying_type>(i)};
+    EXPECT_EQ(a.target(id).address, b.target(id).address);
+    EXPECT_EQ(a.target(id).as, b.target(id).as);
+  }
+}
+
+TEST(Targets, LocationsNearTheirAs) {
+  const topo::Internet net = small_net(8);
+  TargetParams params;
+  params.count = 300;
+  const TargetPopulation pop = TargetPopulation::generate(net, params);
+  for (const Target& t : pop.all()) {
+    const double km = geo::great_circle_km(
+        t.where, net.graph.node(t.as).location);
+    EXPECT_LT(km, 500) << "target strayed too far from its AS";
+  }
+}
+
+}  // namespace
+}  // namespace anyopt::anycast

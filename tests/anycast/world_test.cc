@@ -1,0 +1,84 @@
+#include "anycast/world.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/serialize.h"
+
+namespace anyopt::anycast {
+namespace {
+
+TEST(WorldParams, PaperScaleMatchesEvaluationSetup) {
+  const WorldParams p = WorldParams::paper_scale();
+  EXPECT_EQ(p.targets.count, 15300);      // §3.2
+  EXPECT_EQ(p.sites.size(), 15u);         // Table 1
+  EXPECT_EQ(p.internet.tier1_names.size(), 6u);
+  EXPECT_EQ(p.internet.required_tier1_pops.size(), 6u);
+  EXPECT_DOUBLE_EQ(p.peer_scale, 1.0);    // all 104 peer links
+}
+
+TEST(WorldParams, TestScaleIsProportionallySmaller) {
+  const WorldParams p = WorldParams::test_scale();
+  EXPECT_LT(p.internet.stub_count, 500);
+  EXPECT_LT(p.targets.count, 2000);
+  EXPECT_LT(p.peer_scale, 1.0);
+  EXPECT_EQ(p.sites.size(), 15u);  // deployment shape is never scaled
+}
+
+TEST(World, CreateWiresEverythingTogether) {
+  auto world = World::create(WorldParams::test_scale(55));
+  EXPECT_EQ(world->deployment().site_count(), 15u);
+  EXPECT_EQ(world->targets().size(),
+            static_cast<std::size_t>(world->params().targets.count));
+  EXPECT_EQ(world->simulator().attachments().size(),
+            world->deployment().attachments().size());
+  EXPECT_TRUE(world->internet().graph.validate().ok());
+}
+
+TEST(World, SeedReproducesTopologyExactly) {
+  auto a = World::create(WorldParams::test_scale(77));
+  auto b = World::create(WorldParams::test_scale(77));
+  EXPECT_EQ(topo::save_internet(a->internet()),
+            topo::save_internet(b->internet()));
+}
+
+TEST(World, SomePeersAreFilteredSomeBackhauled) {
+  auto world = World::create(WorldParams::paper_scale(99));
+  std::size_t filtered = 0;
+  std::size_t backhauled = 0;
+  const auto peers = world->deployment().all_peer_attachments();
+  for (const auto at : peers) {
+    const bgp::OriginAttachment& a = world->deployment().attachments()[at];
+    filtered += a.filtered;
+    backhauled += a.latency_ms > 5.0;  // remote-peering trombone
+  }
+  ASSERT_EQ(peers.size(), 104u);
+  // ~25% filtered, ~30% backhauled (binomial spread allowed).
+  EXPECT_GT(filtered, 13u);
+  EXPECT_LT(filtered, 40u);
+  EXPECT_GT(backhauled, 15u);
+  EXPECT_LT(backhauled, 46u);
+}
+
+TEST(World, TransitAttachmentsAreNeverFiltered) {
+  auto world = World::create(WorldParams::test_scale(42));
+  for (std::size_t s = 0; s < world->deployment().site_count(); ++s) {
+    const auto at = world->deployment().transit_attachment(
+        SiteId{static_cast<SiteId::underlying_type>(s)});
+    EXPECT_FALSE(world->deployment().attachments()[at].filtered);
+    EXPECT_EQ(world->deployment().attachments()[at].med, 0u);
+  }
+}
+
+TEST(World, PaperScaleTargetDemographicsMatchPaper) {
+  auto world = World::create(WorldParams::paper_scale(1897));
+  // §3.2: 15,300 targets, 12,143 /24s, 5,317 ASes — require same order of
+  // magnitude and the right relative structure.
+  EXPECT_EQ(world->targets().size(), 15300u);
+  EXPECT_GT(world->targets().distinct_slash24(), 10000u);
+  EXPECT_LT(world->targets().distinct_slash24(), 15300u);
+  EXPECT_GT(world->targets().distinct_ases(), 3500u);
+  EXPECT_LT(world->targets().distinct_ases(), 6500u);
+}
+
+}  // namespace
+}  // namespace anyopt::anycast

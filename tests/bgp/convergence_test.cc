@@ -1,0 +1,145 @@
+// Convergence and withdrawal dynamics of the propagation engine.
+
+#include <gtest/gtest.h>
+
+#include "anycast/config.h"
+#include "anycast/world.h"
+#include "bgp/simulator.h"
+#include "support/mini_world.h"
+
+namespace anyopt::bgp {
+namespace {
+
+using anyopt::testing::MiniWorld;
+
+constexpr SiteId kSiteA{0};
+constexpr SiteId kSiteB{1};
+
+TEST(Convergence, EventCountScalesWithTopologyNotTime) {
+  // Announcing the same site twice as far apart in time as you like must
+  // not add events: convergence is event-driven, not clock-driven.
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1");
+  const AsId s = w.stub();
+  w.provide(t1, s);
+  const topo::Internet net = w.finish();
+  const std::vector<OriginAttachment> at{
+      MiniWorld::transit_attach(kSiteA, t1)};
+  const Simulator sim(net, at);
+  const std::vector<Injection> near{{0.0, 0, false}};
+  const std::vector<Injection> far{{0.0, 0, false}};
+  EXPECT_EQ(sim.run(near, 1).events_processed(),
+            sim.run(far, 1).events_processed());
+}
+
+TEST(Convergence, ConvergedTimeTracksLastInjection) {
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1");
+  const AsId t2 = w.tier1("T2");
+  const AsId s = w.stub();
+  w.provide(t1, s);
+  w.provide(t2, s);
+  const topo::Internet net = w.finish();
+  const std::vector<OriginAttachment> at{
+      MiniWorld::transit_attach(kSiteA, t1),
+      MiniWorld::transit_attach(kSiteB, t2)};
+  const Simulator sim(net, at);
+  const std::vector<Injection> schedule{{0.0, 0, false},
+                                        {500.0, 1, false}};
+  const RoutingState state = sim.run(schedule, 1);
+  EXPECT_GT(state.converged_at_s(), 500.0);
+  EXPECT_LT(state.converged_at_s(), 560.0);  // converges within a minute
+}
+
+TEST(Convergence, WithdrawCleansEveryRib) {
+  // After announce + withdraw of the only site, no AS may retain a route.
+  auto world = anycast::World::create(anycast::WorldParams::test_scale(61));
+  std::vector<Injection> schedule{
+      {0.0, world->deployment().transit_attachment(SiteId{0}), false},
+      {360.0, world->deployment().transit_attachment(SiteId{0}), true}};
+  const RoutingState state = world->simulator().run(schedule, 1);
+  for (std::size_t i = 0; i < world->internet().graph.as_count(); ++i) {
+    EXPECT_EQ(state.best(AsId{static_cast<AsId::underlying_type>(i)}),
+              nullptr)
+        << "AS " << i << " kept a route after withdrawal";
+  }
+}
+
+TEST(Convergence, ReAnnounceAfterWithdrawRestartsArrivalOrder) {
+  // A, B announced; then A withdrawn and re-announced: A is now the NEWER
+  // route everywhere, so arrival-tied clients flip to B.
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1", 10);
+  const AsId t2 = w.tier1("T2", 20);
+  const AsId s = w.stub(30);
+  w.provide(t1, s);
+  w.provide(t2, s);
+  const topo::Internet net = w.finish();
+  const std::vector<OriginAttachment> at{
+      MiniWorld::transit_attach(kSiteA, t1),
+      MiniWorld::transit_attach(kSiteB, t2)};
+  const Simulator sim(net, at);
+  const std::vector<Injection> flap{{0.0, 0, false},
+                                    {360.0, 1, false},
+                                    {720.0, 0, true},
+                                    {1080.0, 0, false}};
+  const RoutingState state = sim.run(flap, 1);
+  EXPECT_EQ(state.resolve(s, {0, 0}, 0).site, kSiteB);
+}
+
+TEST(Convergence, RepeatedFlapsAlwaysReconverge) {
+  auto world = anycast::World::create(anycast::WorldParams::test_scale(62));
+  std::vector<Injection> schedule;
+  double t = 0;
+  const auto a0 = world->deployment().transit_attachment(SiteId{0});
+  const auto a1 = world->deployment().transit_attachment(SiteId{4});
+  schedule.push_back({t += 360, a0, false});
+  schedule.push_back({t += 360, a1, false});
+  for (int i = 0; i < 3; ++i) {
+    schedule.push_back({t += 360, a0, true});
+    schedule.push_back({t += 360, a0, false});
+  }
+  const RoutingState state = world->simulator().run(schedule, 1);
+  // Everyone must still have a route (A is announced at the end).
+  std::size_t reachable = 0;
+  for (std::uint32_t i = 0; i < world->targets().size(); ++i) {
+    const auto& target = world->targets().target(TargetId{i});
+    reachable += state.resolve(target.as, target.where, i).reachable;
+  }
+  EXPECT_EQ(reachable, world->targets().size());
+}
+
+TEST(Convergence, StaleWithdrawIsIgnored) {
+  // Withdrawing a never-announced attachment must be a no-op.
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1");
+  const AsId s = w.stub();
+  w.provide(t1, s);
+  const topo::Internet net = w.finish();
+  const std::vector<OriginAttachment> at{
+      MiniWorld::transit_attach(kSiteA, t1),
+      MiniWorld::transit_attach(kSiteB, t1)};
+  const Simulator sim(net, at);
+  const std::vector<Injection> schedule{{0.0, 0, false}, {360.0, 1, true}};
+  const RoutingState state = sim.run(schedule, 1);
+  ASSERT_TRUE(state.resolve(s, {0, 0}, 0).reachable);
+  EXPECT_EQ(state.resolve(s, {0, 0}, 0).site, kSiteA);
+}
+
+TEST(Convergence, FilteredAttachmentNeverInjects) {
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1");
+  const AsId s = w.stub();
+  w.provide(t1, s);
+  const topo::Internet net = w.finish();
+  std::vector<OriginAttachment> at{MiniWorld::transit_attach(kSiteA, t1)};
+  at[0].filtered = true;
+  const Simulator sim(net, at);
+  const std::vector<Injection> schedule{{0.0, 0, false}};
+  const RoutingState state = sim.run(schedule, 1);
+  EXPECT_EQ(state.events_processed(), 0u);
+  EXPECT_FALSE(state.resolve(s, {0, 0}, 0).reachable);
+}
+
+}  // namespace
+}  // namespace anyopt::bgp

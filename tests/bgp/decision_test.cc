@@ -1,0 +1,115 @@
+#include "bgp/decision.h"
+
+#include <gtest/gtest.h>
+
+namespace anyopt::bgp {
+namespace {
+
+RibEntry entry(int local_pref, std::size_t path_len, std::uint64_t arrival,
+               std::uint32_t router_id, std::uint32_t neighbor = 1) {
+  RibEntry e;
+  e.present = true;
+  e.neighbor = AsId{neighbor};
+  e.local_pref = local_pref;
+  e.as_path.assign(path_len > 0 ? path_len - 1 : 0, AsId{99});
+  e.arrival_seq = arrival;
+  e.neighbor_router_id = router_id;
+  return e;
+}
+
+TEST(Decision, LocalPrefDominatesEverything) {
+  DecisionStep step{};
+  const RibEntry a = entry(/*lp=*/300, /*len=*/9, /*arrival=*/5, /*rid=*/9);
+  const RibEntry b = entry(/*lp=*/200, /*len=*/1, /*arrival=*/1, /*rid=*/1);
+  EXPECT_LT(compare_routes(a, b, {}, &step), 0);
+  EXPECT_EQ(step, DecisionStep::kLocalPref);
+}
+
+TEST(Decision, PathLengthBreaksLocalPrefTie) {
+  DecisionStep step{};
+  const RibEntry a = entry(100, 2, 5, 9);
+  const RibEntry b = entry(100, 3, 1, 1);
+  EXPECT_LT(compare_routes(a, b, {}, &step), 0);
+  EXPECT_EQ(step, DecisionStep::kAsPathLength);
+}
+
+TEST(Decision, OldestRouteBreaksTie) {
+  DecisionStep step{};
+  const RibEntry a = entry(100, 2, /*arrival=*/7, /*rid=*/9);
+  const RibEntry b = entry(100, 2, /*arrival=*/3, /*rid=*/1);
+  DecisionOptions opts;
+  opts.prefer_oldest = true;
+  EXPECT_GT(compare_routes(a, b, opts, &step), 0);  // b arrived first
+  EXPECT_EQ(step, DecisionStep::kOldestRoute);
+}
+
+TEST(Decision, WithoutOldestStepRouterIdDecides) {
+  DecisionStep step{};
+  const RibEntry a = entry(100, 2, 7, /*rid=*/2);
+  const RibEntry b = entry(100, 2, 3, /*rid=*/5);
+  DecisionOptions opts;
+  opts.prefer_oldest = false;
+  EXPECT_LT(compare_routes(a, b, opts, &step), 0);  // lower router id wins
+  EXPECT_EQ(step, DecisionStep::kRouterId);
+}
+
+TEST(Decision, ArrivalOrderFlipsOutcomeOnlyWhenTied) {
+  // The paper's Fig. 4a mechanism: same LP and path length, different
+  // arrival order => different winner.
+  const RibEntry first = entry(100, 3, 1, 5);
+  const RibEntry second = entry(100, 3, 2, 4);
+  DecisionOptions with_oldest{true};
+  DecisionOptions without{false};
+  EXPECT_LT(compare_routes(first, second, with_oldest), 0);
+  // Without the vendor step, router-id would pick `second` (rid 4 < 5).
+  EXPECT_GT(compare_routes(first, second, without), 0);
+}
+
+TEST(Decision, NeighborAddressIsFinalTotalTieBreak) {
+  DecisionStep step{};
+  RibEntry a = entry(100, 2, 5, 7, /*neighbor=*/2);
+  RibEntry b = entry(100, 2, 5, 7, /*neighbor=*/4);
+  EXPECT_LT(compare_routes(a, b, {}, &step), 0);
+  EXPECT_EQ(step, DecisionStep::kNeighborAddress);
+}
+
+TEST(Decision, ParallelOriginSessionsBrokenByAttachment) {
+  RibEntry a = entry(300, 1, 5, 7, 0);
+  RibEntry b = entry(300, 1, 5, 7, 0);
+  a.neighbor = AsId{};  // origin
+  b.neighbor = AsId{};
+  a.attachment = 0;
+  b.attachment = 3;
+  EXPECT_LT(compare_routes(a, b, {}), 0);
+  EXPECT_GT(compare_routes(b, a, {}), 0);
+}
+
+TEST(Decision, ComparatorIsAntisymmetric) {
+  const RibEntry a = entry(100, 2, 1, 5);
+  const RibEntry b = entry(100, 2, 2, 4);
+  for (const bool oldest : {true, false}) {
+    DecisionOptions opts{oldest};
+    EXPECT_EQ(compare_routes(a, b, opts) < 0, compare_routes(b, a, opts) > 0);
+  }
+}
+
+TEST(Decision, MultipathEqualIgnoresArrivalAndRouterId) {
+  const RibEntry a = entry(100, 2, 1, 5);
+  const RibEntry b = entry(100, 2, 9, 2);
+  EXPECT_TRUE(multipath_equal(a, b));
+  const RibEntry c = entry(100, 3, 1, 5);
+  EXPECT_FALSE(multipath_equal(a, c));
+  const RibEntry d = entry(200, 2, 1, 5);
+  EXPECT_FALSE(multipath_equal(a, d));
+}
+
+TEST(Decision, PathLengthCountsOriginHop) {
+  RibEntry direct;  // learned straight from the origin: empty as_path
+  direct.present = true;
+  EXPECT_EQ(direct.path_length(), 1u);
+  const RibEntry via_one = entry(100, 2, 1, 1);
+  EXPECT_EQ(via_one.path_length(), 2u);
+}
+
+}  // namespace
+}  // namespace anyopt::bgp

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "anycast/config.h"
+#include "anycast/world.h"
+#include "bgp/simulator.h"
+#include "support/mini_world.h"
+
+namespace anyopt::bgp {
+namespace {
+
+using anyopt::testing::MiniWorld;
+
+constexpr SiteId kSiteA{0};
+constexpr SiteId kSiteB{1};
+
+TEST(Explain, AgreesWithResolve) {
+  auto world = anycast::World::create(anycast::WorldParams::test_scale(31));
+  const auto cfg = anycast::AnycastConfig::all_sites(world->deployment());
+  const auto schedule = cfg.schedule(world->deployment());
+  const RoutingState state = world->simulator().run(schedule, 1);
+  for (std::uint32_t t = 0; t < 250; ++t) {
+    const auto& target = world->targets().target(TargetId{t});
+    const ResolvedPath path = state.resolve(target.as, target.where, t);
+    const Explanation why = state.explain(target.as, target.where, t);
+    ASSERT_EQ(why.reachable, path.reachable);
+    if (path.reachable) {
+      EXPECT_EQ(why.site, path.site);
+      EXPECT_EQ(why.hops.size(), path.as_path.size());
+      for (std::size_t h = 0; h < why.hops.size(); ++h) {
+        EXPECT_EQ(why.hops[h].as, path.as_path[h]);
+      }
+    }
+  }
+}
+
+TEST(Explain, DetectsArrivalOrderDecision) {
+  // Diamond with a tie at the stub: the stub's hop must report the
+  // oldest-route step as decisive.
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1", 10);
+  const AsId t2 = w.tier1("T2", 20);
+  const AsId s = w.stub(30);
+  w.provide(t1, s);
+  w.provide(t2, s);
+  const topo::Internet net = w.finish();
+  const std::vector<OriginAttachment> at{
+      MiniWorld::transit_attach(kSiteA, t1),
+      MiniWorld::transit_attach(kSiteB, t2)};
+  const Simulator sim(net, at);
+  const std::vector<Injection> schedule{{0.0, 0, false}, {360.0, 1, false}};
+  const RoutingState state = sim.run(schedule, 1);
+  const Explanation why = state.explain(s, {0, 0}, 0);
+  ASSERT_TRUE(why.reachable);
+  ASSERT_FALSE(why.hops.empty());
+  EXPECT_EQ(why.hops.front().candidates, 2u);
+  EXPECT_EQ(why.hops.front().hardest_step, DecisionStep::kOldestRoute);
+  EXPECT_TRUE(why.order_dependent());
+}
+
+TEST(Explain, SingleRouteNeedsNoTieBreak) {
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1", 10);
+  const AsId s = w.stub(30);
+  w.provide(t1, s);
+  const topo::Internet net = w.finish();
+  const std::vector<OriginAttachment> at{
+      MiniWorld::transit_attach(kSiteA, t1)};
+  const Simulator sim(net, at);
+  const std::vector<Injection> schedule{{0.0, 0, false}};
+  const Explanation why =
+      sim.run(schedule, 1).explain(s, {0, 0}, 0);
+  ASSERT_TRUE(why.reachable);
+  EXPECT_EQ(why.hops.front().candidates, 1u);
+  EXPECT_EQ(why.hops.front().hardest_step, DecisionStep::kLocalPref);
+  EXPECT_FALSE(why.order_dependent());
+}
+
+TEST(Explain, UnreachableIsReported) {
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1", 10);
+  const AsId s = w.stub(30);
+  w.provide(t1, s);
+  const topo::Internet net = w.finish();
+  const std::vector<OriginAttachment> at{
+      MiniWorld::transit_attach(kSiteA, t1)};
+  const Simulator sim(net, at);
+  const RoutingState state = sim.run(std::vector<Injection>{}, 1);
+  const Explanation why = state.explain(s, {0, 0}, 0);
+  EXPECT_FALSE(why.reachable);
+  EXPECT_NE(why.to_string(net).find("unreachable"), std::string::npos);
+}
+
+TEST(Explain, RenderingMentionsSiteAndSteps) {
+  MiniWorld w;
+  const AsId t1 = w.tier1("CarrierOne", 10);
+  const AsId t2 = w.tier1("CarrierTwo", 20);
+  const AsId s = w.stub(30);
+  w.provide(t1, s);
+  w.provide(t2, s);
+  const topo::Internet net = w.finish();
+  const std::vector<OriginAttachment> at{
+      MiniWorld::transit_attach(kSiteA, t1),
+      MiniWorld::transit_attach(kSiteB, t2)};
+  const Simulator sim(net, at);
+  const std::vector<Injection> schedule{{0.0, 0, false}, {360.0, 1, false}};
+  const Explanation why = sim.run(schedule, 1).explain(s, {0, 0}, 0);
+  const std::string text = why.to_string(net);
+  EXPECT_NE(text.find("catchment site 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("arrival order"), std::string::npos) << text;
+  EXPECT_NE(text.find("anycast origin"), std::string::npos) << text;
+  EXPECT_NE(text.find("CarrierOne"), std::string::npos) << text;
+}
+
+TEST(Explain, MultipathSplitIsFlagged) {
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1", 10);
+  const AsId t2 = w.tier1("T2", 20);
+  const AsId s = w.stub(30);
+  w.provide(t1, s);
+  w.provide(t2, s);
+  w.node(s).multipath = true;
+  const topo::Internet net = w.finish();
+  const std::vector<OriginAttachment> at{
+      MiniWorld::transit_attach(kSiteA, t1),
+      MiniWorld::transit_attach(kSiteB, t2)};
+  const Simulator sim(net, at);
+  const std::vector<Injection> schedule{{0.0, 0, false}, {360.0, 1, false}};
+  const RoutingState state = sim.run(schedule, 1);
+  bool saw_split = false;
+  for (std::uint64_t flow = 0; flow < 8; ++flow) {
+    const Explanation why = state.explain(s, {0, 0}, flow);
+    saw_split |= why.hops.front().multipath_split;
+  }
+  EXPECT_TRUE(saw_split);
+}
+
+}  // namespace
+}  // namespace anyopt::bgp

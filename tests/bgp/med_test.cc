@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "bgp/decision.h"
+#include "bgp/simulator.h"
+#include "support/mini_world.h"
+
+namespace anyopt::bgp {
+namespace {
+
+using anyopt::testing::MiniWorld;
+
+constexpr SiteId kSiteA{0};
+constexpr SiteId kSiteB{1};
+
+TEST(Med, ComparedOnlyBetweenSameNeighborRoutes) {
+  RibEntry a;
+  a.present = true;
+  a.neighbor = AsId{1};
+  a.local_pref = 100;
+  a.med = 50;
+  RibEntry b = a;
+  b.med = 10;
+  DecisionStep step{};
+  // Same neighbor: lower MED wins at step 4.
+  EXPECT_GT(compare_routes(a, b, {}, &step), 0);
+  EXPECT_EQ(step, DecisionStep::kMed);
+  // Different neighbors: MED skipped, later steps decide.
+  b.neighbor = AsId{2};
+  b.neighbor_router_id = 1;
+  a.neighbor_router_id = 2;
+  (void)compare_routes(a, b, {}, &step);
+  EXPECT_NE(step, DecisionStep::kMed);
+}
+
+TEST(Med, SteersHostAsBetweenCoHostedSites) {
+  // Two sites behind the same tier-1; the second site advertises a lower
+  // MED, so the whole AS egresses there despite equal IGP-ish distances.
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1", 10);
+  const AsId s = w.stub(30);
+  w.provide(t1, s);
+  const topo::Internet net = w.finish();
+  std::vector<OriginAttachment> at{MiniWorld::transit_attach(kSiteA, t1),
+                                   MiniWorld::transit_attach(kSiteB, t1)};
+  at[0].med = 100;
+  at[1].med = 5;
+  const Simulator sim(net, at);
+  const std::vector<Injection> schedule{{0.0, 0, false}, {360.0, 1, false}};
+  const RoutingState state = sim.run(schedule, 1);
+  EXPECT_EQ(state.resolve(s, {0, 0}, 0).site, kSiteB);
+}
+
+TEST(Med, DoesNotLeakBeyondTheHostAs) {
+  // MED is non-transitive: a neighbor of the host AS must see med == 0 on
+  // the re-advertised route regardless of the session MEDs.
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1", 10);
+  const AsId s = w.stub(30);
+  w.provide(t1, s);
+  const topo::Internet net = w.finish();
+  std::vector<OriginAttachment> at{MiniWorld::transit_attach(kSiteA, t1)};
+  at[0].med = 777;
+  const Simulator sim(net, at);
+  const std::vector<Injection> schedule{{0.0, 0, false}};
+  const RoutingState state = sim.run(schedule, 1);
+  const RibEntry* at_host = state.best(t1);
+  ASSERT_NE(at_host, nullptr);
+  EXPECT_EQ(at_host->med, 777u);
+  const RibEntry* at_stub = state.best(s);
+  ASSERT_NE(at_stub, nullptr);
+  EXPECT_EQ(at_stub->med, 0u);
+}
+
+TEST(Med, PrependBeatsMed) {
+  // Path length is step 2, MED step 4: a prepended low-MED session still
+  // loses to an unprepended high-MED sibling.
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1", 10);
+  const AsId s = w.stub(30);
+  w.provide(t1, s);
+  const topo::Internet net = w.finish();
+  std::vector<OriginAttachment> at{MiniWorld::transit_attach(kSiteA, t1),
+                                   MiniWorld::transit_attach(kSiteB, t1)};
+  at[0].med = 999;  // bad MED, but no prepend
+  at[1].med = 0;    // great MED...
+  const Simulator sim(net, at);
+  const std::vector<Injection> schedule{{0.0, 0, false, 0},
+                                        {360.0, 1, false, /*prepend=*/1}};
+  const RoutingState state = sim.run(schedule, 1);
+  EXPECT_EQ(state.resolve(s, {0, 0}, 0).site, kSiteA);
+}
+
+TEST(Med, DefaultZeroIsNeutral) {
+  // With default MEDs the IGP/attachment-order behaviour is unchanged:
+  // the first attachment (lower index) wins the exact tie.
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1", 10);
+  const AsId s = w.stub(30);
+  w.provide(t1, s);
+  const topo::Internet net = w.finish();
+  const std::vector<OriginAttachment> at{
+      MiniWorld::transit_attach(kSiteA, t1),
+      MiniWorld::transit_attach(kSiteB, t1)};
+  const Simulator sim(net, at);
+  const std::vector<Injection> schedule{{0.0, 0, false}, {360.0, 1, false}};
+  EXPECT_EQ(sim.run(schedule, 1).resolve(s, {0, 0}, 0).site, kSiteA);
+}
+
+}  // namespace
+}  // namespace anyopt::bgp

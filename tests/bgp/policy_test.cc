@@ -1,0 +1,102 @@
+#include "bgp/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builder.h"
+
+namespace anyopt::bgp {
+namespace {
+
+/// Minimal hand-built Internet: two tier-1s, one deviant transit.
+topo::Internet tiny_internet() {
+  topo::Internet net;
+  topo::AsNode t1;
+  t1.asn = 1;
+  t1.tier = topo::Tier::kTier1;
+  t1.name = "T1";
+  topo::AsNode t2 = t1;
+  t2.asn = 2;
+  t2.name = "T2";
+  topo::AsNode mid;
+  mid.asn = 3;
+  mid.tier = topo::Tier::kTransit;
+  mid.deviant_policy = true;
+  const AsId a = net.graph.add_as(t1);
+  const AsId b = net.graph.add_as(t2);
+  const AsId m = net.graph.add_as(mid);
+  EXPECT_TRUE(net.graph.connect(a, b, topo::Relation::kPeer, {0, 0}, 1).ok());
+  EXPECT_TRUE(
+      net.graph.connect(m, a, topo::Relation::kProvider, {0, 0}, 1).ok());
+  EXPECT_TRUE(
+      net.graph.connect(m, b, topo::Relation::kProvider, {0, 0}, 1).ok());
+  net.tier1s = {a, b};
+  net.deviant_rank.assign(3, {});
+  net.deviant_rank[m.value()] = {1, 0};  // prefers T2 (rank 0) over T1
+  return net;
+}
+
+TEST(Policy, ConformingLocalPrefUsesBands) {
+  const topo::Internet net = tiny_internet();
+  const PolicyEngine policy(net);
+  const std::vector<AsId> path{AsId{0}};
+  EXPECT_EQ(policy.import_local_pref(AsId{0}, topo::Relation::kCustomer, path),
+            300);
+  EXPECT_EQ(policy.import_local_pref(AsId{0}, topo::Relation::kPeer, path),
+            200);
+  EXPECT_EQ(policy.import_local_pref(AsId{0}, topo::Relation::kProvider, path),
+            100);
+}
+
+TEST(Policy, DeviantAsPerturbsWithinBand) {
+  const topo::Internet net = tiny_internet();
+  const PolicyEngine policy(net);
+  const AsId deviant{2};
+  const std::vector<AsId> via_t1{AsId{0}};
+  const std::vector<AsId> via_t2{AsId{1}};
+  const int lp_t1 =
+      policy.import_local_pref(deviant, topo::Relation::kProvider, via_t1);
+  const int lp_t2 =
+      policy.import_local_pref(deviant, topo::Relation::kProvider, via_t2);
+  EXPECT_GT(lp_t2, lp_t1);  // rank table prefers T2
+  // The bonus must never cross into the peer band.
+  EXPECT_LT(lp_t2, 200);
+  EXPECT_GE(lp_t1, 100);
+}
+
+TEST(Policy, DeviantBonusRequiresTier1OnPath) {
+  const topo::Internet net = tiny_internet();
+  const PolicyEngine policy(net);
+  const AsId deviant{2};
+  const std::vector<AsId> no_t1{};  // direct origin route
+  EXPECT_EQ(policy.import_local_pref(deviant, topo::Relation::kProvider, no_t1),
+            100);
+}
+
+TEST(Policy, OriginSideTier1Found) {
+  const topo::Internet net = tiny_internet();
+  const PolicyEngine policy(net);
+  // Path [transit, T2]: origin-adjacent tier-1 is T2 (index 1).
+  EXPECT_EQ(policy.origin_side_tier1_index({AsId{2}, AsId{1}}), 1);
+  // Path crossing the tier-1 mesh [T1, T2]: origin side is still T2.
+  EXPECT_EQ(policy.origin_side_tier1_index({AsId{0}, AsId{1}}), 1);
+  EXPECT_EQ(policy.origin_side_tier1_index({AsId{2}}), -1);
+}
+
+TEST(Policy, ExportFollowsValleyFreeRules) {
+  using R = topo::Relation;
+  // Customer-learned: export to everyone.
+  EXPECT_TRUE(PolicyEngine::may_export(R::kCustomer, R::kCustomer));
+  EXPECT_TRUE(PolicyEngine::may_export(R::kCustomer, R::kPeer));
+  EXPECT_TRUE(PolicyEngine::may_export(R::kCustomer, R::kProvider));
+  // Peer-learned: only to customers.
+  EXPECT_TRUE(PolicyEngine::may_export(R::kPeer, R::kCustomer));
+  EXPECT_FALSE(PolicyEngine::may_export(R::kPeer, R::kPeer));
+  EXPECT_FALSE(PolicyEngine::may_export(R::kPeer, R::kProvider));
+  // Provider-learned: only to customers.
+  EXPECT_TRUE(PolicyEngine::may_export(R::kProvider, R::kCustomer));
+  EXPECT_FALSE(PolicyEngine::may_export(R::kProvider, R::kPeer));
+  EXPECT_FALSE(PolicyEngine::may_export(R::kProvider, R::kProvider));
+}
+
+}  // namespace
+}  // namespace anyopt::bgp

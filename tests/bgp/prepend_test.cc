@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "bgp/simulator.h"
+#include "support/mini_world.h"
+
+namespace anyopt::bgp {
+namespace {
+
+using anyopt::testing::MiniWorld;
+
+constexpr SiteId kSiteA{0};
+constexpr SiteId kSiteB{1};
+
+/// Diamond with arrival-order stub (ties between the two sites).
+struct Diamond {
+  topo::Internet net;
+  AsId t1, t2, s;
+  std::vector<OriginAttachment> attachments;
+
+  Diamond() {
+    MiniWorld w;
+    t1 = w.tier1("T1", 10);
+    t2 = w.tier1("T2", 20);
+    s = w.stub(30);
+    w.provide(t1, s);
+    w.provide(t2, s);
+    net = w.finish();
+    attachments = {MiniWorld::transit_attach(kSiteA, t1),
+                   MiniWorld::transit_attach(kSiteB, t2)};
+  }
+};
+
+TEST(Prepend, LengthensPathAndRepelsTraffic) {
+  Diamond d;
+  const Simulator sim(d.net, d.attachments);
+  // Site A announced first (would win the arrival tie), but with one
+  // prepend its path is longer, so the stub must choose B.
+  const std::vector<Injection> schedule{{0.0, 0, false, /*prepend=*/1},
+                                        {360.0, 1, false, 0}};
+  const RoutingState state = sim.run(schedule, 1);
+  EXPECT_EQ(state.resolve(d.s, {0, 0}, 0).site, kSiteB);
+}
+
+TEST(Prepend, NoPrependPreservesArrivalTie) {
+  Diamond d;
+  const Simulator sim(d.net, d.attachments);
+  const std::vector<Injection> schedule{{0.0, 0, false, 0},
+                                        {360.0, 1, false, 0}};
+  EXPECT_EQ(sim.run(schedule, 1).resolve(d.s, {0, 0}, 0).site, kSiteA);
+}
+
+TEST(Prepend, EqualPrependOnBothSidesIsNeutral) {
+  Diamond d;
+  const Simulator sim(d.net, d.attachments);
+  const std::vector<Injection> schedule{{0.0, 0, false, 2},
+                                        {360.0, 1, false, 2}};
+  // Same lengths again: the arrival tie-break decides as before.
+  EXPECT_EQ(sim.run(schedule, 1).resolve(d.s, {0, 0}, 0).site, kSiteA);
+}
+
+TEST(Prepend, PropagatesThroughIntermediateAses) {
+  // Stub behind a middle transit: the prepend must still be visible in
+  // path lengths two AS hops away.
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1", 10);
+  const AsId t2 = w.tier1("T2", 20);
+  const AsId mid = w.transit(40);
+  const AsId s = w.stub(30);
+  w.provide(t1, mid);
+  w.provide(t2, mid);
+  w.provide(mid, s);
+  const topo::Internet net = w.finish();
+  const std::vector<OriginAttachment> at{
+      MiniWorld::transit_attach(kSiteA, t1),
+      MiniWorld::transit_attach(kSiteB, t2)};
+  const Simulator sim(net, at);
+
+  // Prepend 3 on A: B's path is shorter at `mid`, so everyone downstream
+  // uses B regardless of announcement order.
+  const std::vector<Injection> schedule{{0.0, 0, false, 3},
+                                        {360.0, 1, false, 0}};
+  const RoutingState state = sim.run(schedule, 1);
+  EXPECT_EQ(state.resolve(s, {0, 0}, 0).site, kSiteB);
+  const RibEntry* best = state.best(s);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->origin_prepend, 0);  // the chosen (B) route is unprepended
+}
+
+TEST(Prepend, DrainsCoHostedSiteWithinSameAs) {
+  // Two sites behind the same tier-1: prepending one loses the iBGP
+  // path-length comparison inside the host AS, so ALL of that AS's
+  // traffic egresses at the unprepended sibling (how operators drain a
+  // site for maintenance without withdrawing it).
+  MiniWorld w;
+  const AsId t1 = w.tier1("T1", 10);
+  const AsId s = w.stub(30);
+  w.provide(t1, s);
+  const topo::Internet net = w.finish();
+  const std::vector<OriginAttachment> at{
+      MiniWorld::transit_attach(kSiteA, t1),
+      MiniWorld::transit_attach(kSiteB, t1)};
+  const Simulator sim(net, at);
+
+  const std::vector<Injection> drained_a{{0.0, 0, false, 2},
+                                         {360.0, 1, false, 0}};
+  EXPECT_EQ(sim.run(drained_a, 1).resolve(s, {0, 0}, 0).site, kSiteB);
+  const std::vector<Injection> drained_b{{0.0, 0, false, 0},
+                                         {360.0, 1, false, 2}};
+  EXPECT_EQ(sim.run(drained_b, 1).resolve(s, {0, 0}, 0).site, kSiteA);
+}
+
+TEST(Prepend, RibEntryPathLengthIncludesPrepend) {
+  Diamond d;
+  const Simulator sim(d.net, d.attachments);
+  const std::vector<Injection> schedule{{0.0, 0, false, 2}};
+  const RoutingState state = sim.run(schedule, 1);
+  const RibEntry* at_host = state.best(d.t1);
+  ASSERT_NE(at_host, nullptr);
+  EXPECT_EQ(at_host->origin_prepend, 2);
+  EXPECT_EQ(at_host->path_length(), 3u);  // origin + 2 prepends
+}
+
+}  // namespace
+}  // namespace anyopt::bgp

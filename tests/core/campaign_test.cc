@@ -1,0 +1,109 @@
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.h"
+#include "support/core_fixture.h"
+
+namespace anyopt::core {
+namespace {
+
+using anyopt::testing::default_env;
+
+Campaign current_campaign() {
+  auto& pipeline = *default_env().pipeline;
+  Campaign c;
+  c.discovery = pipeline.discover();
+  c.rtts = pipeline.measure_rtts();
+  return c;
+}
+
+TEST(Campaign, RoundTripIsExact) {
+  const Campaign original = current_campaign();
+  const std::string text = save_campaign(original);
+  const auto loaded = load_campaign(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(save_campaign(loaded.value()), text);
+}
+
+TEST(Campaign, RoundTripPreservesTables) {
+  const Campaign original = current_campaign();
+  const auto loaded = load_campaign(save_campaign(original));
+  ASSERT_TRUE(loaded.ok());
+  const Campaign& copy = loaded.value();
+  EXPECT_EQ(copy.discovery.provider_prefs.outcome,
+            original.discovery.provider_prefs.outcome);
+  ASSERT_EQ(copy.discovery.site_prefs.size(),
+            original.discovery.site_prefs.size());
+  for (std::size_t p = 0; p < copy.discovery.site_prefs.size(); ++p) {
+    EXPECT_EQ(copy.discovery.site_prefs[p].outcome,
+              original.discovery.site_prefs[p].outcome);
+  }
+  EXPECT_EQ(copy.discovery.provider_sites,
+            original.discovery.provider_sites);
+  EXPECT_EQ(copy.discovery.experiments, original.discovery.experiments);
+}
+
+TEST(Campaign, RoundTripPreservesRtts) {
+  const Campaign original = current_campaign();
+  const auto loaded = load_campaign(save_campaign(original));
+  ASSERT_TRUE(loaded.ok());
+  const RttMatrix& a = original.rtts;
+  const RttMatrix& b = loaded.value().rtts;
+  ASSERT_EQ(a.site_count(), b.site_count());
+  ASSERT_EQ(a.target_count(), b.target_count());
+  for (std::size_t s = 0; s < a.site_count(); ++s) {
+    for (std::size_t t = 0; t < a.target_count(); t += 7) {
+      EXPECT_EQ(a.rtt(SiteId{static_cast<SiteId::underlying_type>(s)},
+                      TargetId{static_cast<TargetId::underlying_type>(t)}),
+                b.rtt(SiteId{static_cast<SiteId::underlying_type>(s)},
+                      TargetId{static_cast<TargetId::underlying_type>(t)}));
+    }
+  }
+}
+
+TEST(Campaign, LoadedCampaignPredictsIdentically) {
+  // The whole point: a reloaded campaign must drive the predictor to the
+  // exact same answers as the live one.
+  const Campaign original = current_campaign();
+  const auto loaded = load_campaign(save_campaign(original));
+  ASSERT_TRUE(loaded.ok());
+
+  const auto& deployment = default_env().world->deployment();
+  const Predictor live(deployment, original.discovery, original.rtts);
+  const Predictor restored(deployment, loaded.value().discovery,
+                           loaded.value().rtts);
+  anycast::AnycastConfig cfg;
+  cfg.announce_order = {SiteId{2}, SiteId{6}, SiteId{11}, SiteId{0}};
+  const Prediction a = live.predict(cfg);
+  const Prediction b = restored.predict(cfg);
+  EXPECT_EQ(a.site_of_target, b.site_of_target);
+  EXPECT_EQ(a.rtt_ms, b.rtt_ms);
+}
+
+TEST(Campaign, RejectsBadHeader) {
+  EXPECT_FALSE(load_campaign("nonsense\n").ok());
+}
+
+TEST(Campaign, RejectsTruncation) {
+  std::string text = save_campaign(current_campaign());
+  text.resize(text.size() * 2 / 3);
+  EXPECT_FALSE(load_campaign(text).ok());
+}
+
+TEST(Campaign, RejectsCorruptPreferenceCode) {
+  std::string text = save_campaign(current_campaign());
+  const auto pos = text.find("\np ");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 3] = '9';
+  EXPECT_FALSE(load_campaign(text).ok());
+}
+
+TEST(Campaign, RejectsMissingEnd) {
+  std::string text = save_campaign(current_campaign());
+  text.resize(text.rfind("end"));
+  EXPECT_FALSE(load_campaign(text).ok());
+}
+
+}  // namespace
+}  // namespace anyopt::core

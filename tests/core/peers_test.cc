@@ -1,0 +1,113 @@
+#include "core/peers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/core_fixture.h"
+
+namespace anyopt::core {
+namespace {
+
+using anyopt::testing::default_env;
+
+class OnePassTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    baseline_ = new anycast::AnycastConfig(
+        anycast::AnycastConfig::all_sites(default_env().world->deployment()));
+    const OnePassPeerSelector selector(*default_env().orchestrator);
+    result_ = new OnePassResult(selector.run(*baseline_));
+  }
+  static void TearDownTestSuite() {
+    delete baseline_;
+    delete result_;
+  }
+  static anycast::AnycastConfig* baseline_;
+  static OnePassResult* result_;
+};
+
+anycast::AnycastConfig* OnePassTest::baseline_ = nullptr;
+OnePassResult* OnePassTest::result_ = nullptr;
+
+TEST_F(OnePassTest, MeasuresEveryPeerOnce) {
+  const auto peers =
+      default_env().world->deployment().all_peer_attachments();
+  EXPECT_EQ(result_->peers.size(), peers.size());
+  EXPECT_EQ(result_->experiments, peers.size());
+}
+
+TEST_F(OnePassTest, BaselineMeanIsPositive) {
+  EXPECT_GT(result_->baseline_mean_rtt, 0.0);
+}
+
+TEST_F(OnePassTest, BeneficialFlagsMatchDeltas) {
+  for (const PeerMeasurement& m : result_->peers) {
+    if (m.beneficial) {
+      EXPECT_LT(m.delta_ms, 0.0);
+      EXPECT_GT(m.catchment_size, 0u);
+    }
+    EXPECT_NEAR(m.delta_ms, m.mean_rtt_ms - result_->baseline_mean_rtt,
+                1e-9);
+  }
+}
+
+TEST_F(OnePassTest, CatchmentRttsBelongToCatchment) {
+  for (const PeerMeasurement& m : result_->peers) {
+    EXPECT_LE(m.catchment_rtts.size(), m.catchment_size);
+    for (const auto& [target, rtt] : m.catchment_rtts) {
+      EXPECT_GE(rtt, 0.0);
+      EXPECT_LT(target, default_env().world->targets().size());
+    }
+  }
+}
+
+TEST_F(OnePassTest, SomePeersUnreachable) {
+  // The paper found only 72 of 104 peers attract any target.
+  EXPECT_LT(result_->reachable_peers, result_->peers.size());
+  EXPECT_GT(result_->reachable_peers, 0u);
+}
+
+TEST_F(OnePassTest, MostPeersHaveSmallCatchments) {
+  // Fig. 7a: >80% of peers attract < 2.5% of targets.  Loosened for the
+  // scaled test world.
+  const double total = static_cast<double>(default_env().world->targets().size());
+  std::size_t small = 0;
+  for (const PeerMeasurement& m : result_->peers) {
+    if (static_cast<double>(m.catchment_size) / total < 0.05) ++small;
+  }
+  EXPECT_GT(static_cast<double>(small) /
+                static_cast<double>(result_->peers.size()),
+            0.6);
+}
+
+TEST_F(OnePassTest, ChosenPeersAreBeneficial) {
+  for (const bgp::AttachmentIndex chosen : result_->chosen) {
+    const auto it = std::find_if(
+        result_->peers.begin(), result_->peers.end(),
+        [&](const PeerMeasurement& m) { return m.attachment == chosen; });
+    ASSERT_NE(it, result_->peers.end());
+    EXPECT_TRUE(it->beneficial);
+  }
+}
+
+TEST_F(OnePassTest, GreedyPredictionNeverWorseThanBaseline) {
+  EXPECT_LE(result_->predicted_mean_rtt, result_->baseline_mean_rtt + 1e-9);
+}
+
+TEST_F(OnePassTest, OutputConfigKeepsBaselineSites) {
+  EXPECT_EQ(result_->with_beneficial_peers.announce_order,
+            baseline_->announce_order);
+  EXPECT_EQ(result_->with_beneficial_peers.enabled_peers, result_->chosen);
+}
+
+TEST_F(OnePassTest, DeployingChosenPeersDoesNotHurtMuch) {
+  // The conservative estimate should translate into a real (if small)
+  // improvement — or at worst a wash (§5.4).
+  const measure::Census with_peers = default_env().orchestrator->measure(
+      result_->with_beneficial_peers, 0xFEED);
+  EXPECT_LT(with_peers.mean_rtt(), result_->baseline_mean_rtt + 2.0);
+}
+
+}  // namespace
+}  // namespace anyopt::core

@@ -1,0 +1,108 @@
+#include "core/anyopt.h"
+
+#include <gtest/gtest.h>
+
+#include "support/core_fixture.h"
+
+namespace anyopt::core {
+namespace {
+
+using anyopt::testing::default_env;
+
+TEST(Pipeline, DiscoveryIsCached) {
+  auto& pipeline = *default_env().pipeline;
+  const DiscoveryResult& a = pipeline.discover();
+  const std::size_t after_first = pipeline.experiments_run();
+  const DiscoveryResult& b = pipeline.discover();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(pipeline.experiments_run(), after_first);
+}
+
+TEST(Pipeline, RttMatrixShapeMatchesWorld) {
+  const RttMatrix& rtts = default_env().pipeline->measure_rtts();
+  EXPECT_EQ(rtts.site_count(), 15u);
+  EXPECT_EQ(rtts.target_count(), default_env().world->targets().size());
+  for (std::size_t s = 0; s < 15; ++s) {
+    EXPECT_GT(rtts.site_mean(SiteId{static_cast<SiteId::underlying_type>(s)}),
+              0.0);
+  }
+}
+
+TEST(Pipeline, EndToEndOptimizeAndTunePeers) {
+  auto& pipeline = *default_env().pipeline;
+  OptimizerOptions opts;
+  opts.time_budget_s = 20.0;
+  opts.order_candidates = 6;
+  const SearchOutcome best = pipeline.optimize(opts);
+  ASSERT_FALSE(best.best.config.announce_order.empty());
+
+  const OnePassResult peers = pipeline.tune_peers(best.best.config);
+  EXPECT_EQ(peers.with_beneficial_peers.announce_order,
+            best.best.config.announce_order);
+  EXPECT_LE(peers.predicted_mean_rtt, peers.baseline_mean_rtt + 1e-9);
+}
+
+TEST(Pipeline, OptimizedConfigCompetitiveWhenDeployed) {
+  // The Fig. 6 end-to-end property.  At paper scale the optimizer beats
+  // greedy by tens of ms (see bench_fig6); in the small test world the two
+  // can tie, so assert the optimizer is at least competitive when actually
+  // deployed, and that its measured mean is close to its prediction.
+  auto& pipeline = *default_env().pipeline;
+  OptimizerOptions opts;
+  opts.time_budget_s = 20.0;
+  const SearchOutcome out = pipeline.optimize(opts);
+  const auto& anyopt12 = out.best_per_size[12];
+  const auto greedy12 =
+      Optimizer::greedy_unicast(pipeline.predictor().rtts(), 12);
+
+  const auto& orch = *default_env().orchestrator;
+  const double anyopt_mean = orch.measure(anyopt12.config, 0xF16).mean_rtt();
+  const double greedy_mean = orch.measure(greedy12, 0xF17).mean_rtt();
+  EXPECT_LT(anyopt_mean, greedy_mean * 1.03);
+  EXPECT_NEAR(anyopt_mean, anyopt12.predicted_mean_rtt,
+              0.15 * anyopt_mean);
+}
+
+TEST(Pipeline, SplpoInstanceIsConsistentWithPredictor) {
+  auto& pipeline = *default_env().pipeline;
+  const auto order =
+      anycast::AnycastConfig::all_sites(default_env().world->deployment());
+  const SplpoInstance inst = pipeline.splpo_instance(order);
+  ASSERT_TRUE(inst.validate().ok());
+  EXPECT_EQ(inst.site_count, 15u);
+  // Clients = targets with a total order.
+  const double fraction =
+      pipeline.predictor().fraction_ordered(order);
+  EXPECT_NEAR(static_cast<double>(inst.client_count) /
+                  static_cast<double>(default_env().world->targets().size()),
+              fraction, 1e-9);
+  // Every client's preference list covers all 15 sites.
+  for (const auto& prefs : inst.preference) {
+    EXPECT_EQ(prefs.size(), 15u);
+  }
+}
+
+TEST(Pipeline, SplpoGreedySolutionIsDeployable) {
+  auto& pipeline = *default_env().pipeline;
+  const auto order =
+      anycast::AnycastConfig::all_sites(default_env().world->deployment());
+  const SplpoInstance inst = pipeline.splpo_instance(order);
+  const SplpoSolution sol = solve_greedy(inst, 12);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_LE(sol.open_sites.size(), 12u);
+  EXPECT_GT(sol.mean_cost, 0.0);
+}
+
+TEST(Pipeline, ExperimentCounterTracksAllStages) {
+  measure::Orchestrator orch(*default_env().world);
+  AnyOptPipeline fresh(orch);
+  EXPECT_EQ(fresh.experiments_run(), 0u);
+  fresh.discover();
+  const std::size_t after_discovery = fresh.experiments_run();
+  EXPECT_EQ(after_discovery, 56u);  // 30 provider + 26 site level
+  fresh.measure_rtts();
+  EXPECT_EQ(fresh.experiments_run(), after_discovery + 15u);
+}
+
+}  // namespace
+}  // namespace anyopt::core

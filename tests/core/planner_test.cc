@@ -1,0 +1,80 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+namespace anyopt::core {
+namespace {
+
+TEST(Planner, ReproducesPaperSection45Arithmetic) {
+  // "We use 500 sites and 20 transit providers to approximate the Akamai
+  //  DNS network ... 500 singleton experiments ... 380 pair-wise
+  //  measurements ... the 500 singleton experiments will take
+  //  500 x 2 / 4 = 250 hours or about 10 days ... the 380 pair-wise
+  //  experiments will take 380 x 2 / 4 = 190 hours or around eight days."
+  const MeasurementPlan plan = plan_measurements(PlannerInput{});
+  EXPECT_EQ(plan.singleton_experiments, 500u);
+  EXPECT_EQ(plan.provider_pairwise, 380u);
+  EXPECT_EQ(plan.site_pairwise, 0u);  // RTT heuristic instead
+  EXPECT_NEAR(plan.singleton_days, 250.0 / 24.0, 1e-9);
+  EXPECT_NEAR(plan.pairwise_days, 190.0 / 24.0, 1e-9);
+  EXPECT_NEAR(plan.total_days, (250.0 + 190.0) / 24.0, 1e-9);
+}
+
+TEST(Planner, Testbed15SitesIsFast) {
+  PlannerInput input;
+  input.sites = 15;
+  input.transit_providers = 6;
+  input.avg_sites_per_provider = 2.5;
+  input.site_level_pairwise = true;
+  const MeasurementPlan plan = plan_measurements(input);
+  EXPECT_EQ(plan.singleton_experiments, 15u);
+  EXPECT_EQ(plan.provider_pairwise, 30u);  // C(6,2) x 2
+  EXPECT_GT(plan.site_pairwise, 0u);
+  EXPECT_LT(plan.total_days, 3.0);
+}
+
+TEST(Planner, SiteLevelPairwiseGrowsQuadratically) {
+  PlannerInput small;
+  small.site_level_pairwise = true;
+  small.avg_sites_per_provider = 5;
+  PlannerInput large = small;
+  large.avg_sites_per_provider = 25;
+  const auto p_small = plan_measurements(small);
+  const auto p_large = plan_measurements(large);
+  // 25*24/2 / (5*4/2) = 30x
+  EXPECT_NEAR(static_cast<double>(p_large.site_pairwise) /
+                  static_cast<double>(p_small.site_pairwise),
+              30.0, 0.2);
+}
+
+TEST(Planner, ParallelPrefixesDivideTime) {
+  PlannerInput one;
+  one.parallel_prefixes = 1;
+  PlannerInput four = one;
+  four.parallel_prefixes = 4;
+  EXPECT_NEAR(plan_measurements(one).total_days,
+              4.0 * plan_measurements(four).total_days, 1e-9);
+}
+
+TEST(Planner, NaiveConfigurationCountIsExponential) {
+  PlannerInput input;
+  input.sites = 15;
+  EXPECT_EQ(plan_measurements(input).naive_configurations, 1u << 15);
+  input.sites = 500;
+  EXPECT_EQ(plan_measurements(input).naive_configurations,
+            std::numeric_limits<std::size_t>::max());  // saturated
+}
+
+TEST(Planner, TotalsAddUp) {
+  PlannerInput input;
+  input.site_level_pairwise = true;
+  const MeasurementPlan plan = plan_measurements(input);
+  EXPECT_EQ(plan.total_experiments,
+            plan.singleton_experiments + plan.provider_pairwise +
+                plan.site_pairwise);
+  EXPECT_NEAR(plan.total_days, plan.singleton_days + plan.pairwise_days,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace anyopt::core

@@ -1,0 +1,152 @@
+#include "core/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "core/predictor.h"
+#include "core/rtt_matrix.h"
+#include "support/core_fixture.h"
+
+namespace anyopt::core {
+namespace {
+
+using anyopt::testing::default_env;
+
+TEST(TransitiveComplete, InfersChainedStrictPreferences) {
+  PairwiseTable table;
+  table.init(3, 1);
+  table.set(0, 1, 0, PrefKind::kStrictFirst);  // 0 > 1
+  table.set(1, 2, 0, PrefKind::kStrictFirst);  // 1 > 2
+  const std::size_t inferred = transitive_complete(table);
+  EXPECT_EQ(inferred, 1u);
+  EXPECT_EQ(table.get(0, 2, 0), PrefKind::kStrictFirst);
+}
+
+TEST(TransitiveComplete, InfersReverseDirection) {
+  PairwiseTable table;
+  table.init(3, 1);
+  table.set(0, 1, 0, PrefKind::kStrictSecond);  // 1 > 0
+  table.set(0, 2, 0, PrefKind::kStrictFirst);   // 0 > 2
+  transitive_complete(table);
+  EXPECT_EQ(table.get(1, 2, 0), PrefKind::kStrictFirst);  // 1 > 2
+}
+
+TEST(TransitiveComplete, OrderDependentEdgesAreNotUsed) {
+  // An arrival-order tie is not a strict preference: 0 ~ 1 (OD) and
+  // 1 > 2 must NOT imply 0 > 2.
+  PairwiseTable table;
+  table.init(3, 1);
+  table.set(0, 1, 0, PrefKind::kOrderDependent);
+  table.set(1, 2, 0, PrefKind::kStrictFirst);
+  EXPECT_EQ(transitive_complete(table), 0u);
+  EXPECT_EQ(table.get(0, 2, 0), PrefKind::kUnknown);
+}
+
+TEST(TransitiveComplete, ContradictionLeavesUnknown) {
+  // 0 > 1 > 2 and 2 > 3 > 0 gives both 0 ->* 2 and 2 ->* 0: pair (0, 2)
+  // (via measurements creating a cycle) must not be inferred either way.
+  PairwiseTable table;
+  table.init(4, 1);
+  table.set(0, 1, 0, PrefKind::kStrictFirst);
+  table.set(1, 2, 0, PrefKind::kStrictFirst);
+  table.set(2, 3, 0, PrefKind::kStrictFirst);
+  table.set(0, 3, 0, PrefKind::kStrictSecond);  // 3 > 0
+  transitive_complete(table);
+  // 0->1->2 infers 0>2, but 2->3->0 infers 2>0: contradiction => unknown.
+  EXPECT_EQ(table.get(0, 2, 0), PrefKind::kUnknown);
+}
+
+TEST(TransitiveComplete, LongChainCloses) {
+  PairwiseTable table;
+  table.init(6, 1);
+  for (std::size_t i = 0; i + 1 < 6; ++i) {
+    table.set(i, i + 1, 0, PrefKind::kStrictFirst);
+  }
+  // 5 measured edges of the chain; the remaining C(6,2)-5 = 10 pairs all
+  // follow by transitivity.
+  EXPECT_EQ(transitive_complete(table), 10u);
+  EXPECT_EQ(table.get(0, 5, 0), PrefKind::kStrictFirst);
+}
+
+TEST(SparseDiscovery, ZeroBudgetMeasuresNothing) {
+  const SparseDiscovery sparse(*default_env().orchestrator);
+  const SparseResult result = sparse.run(0);
+  EXPECT_EQ(result.pairs_measured, 0u);
+  EXPECT_EQ(result.experiments, 0u);
+  EXPECT_EQ(result.coverage, 0.0);
+}
+
+TEST(SparseDiscovery, FullBudgetCoversEssentiallyEveryone) {
+  const SparseDiscovery sparse(*default_env().orchestrator);
+  const SparseResult result = sparse.run(15);
+  EXPECT_GE(result.pairs_measured, 10u);
+  EXPECT_GT(result.coverage, 0.95);
+  EXPECT_EQ(result.experiments, 2 * result.pairs_measured);
+}
+
+TEST(SparseDiscovery, ScheduleHasNoDuplicatePairs) {
+  const SparseDiscovery sparse(*default_env().orchestrator);
+  const SparseResult result = sparse.run(10);
+  for (std::size_t a = 0; a < result.schedule.size(); ++a) {
+    for (std::size_t b = a + 1; b < result.schedule.size(); ++b) {
+      EXPECT_NE(result.schedule[a], result.schedule[b]);
+    }
+  }
+}
+
+TEST(SparseDiscovery, HalfBudgetResolvesMoreThanItMeasures) {
+  const SparseDiscovery sparse(*default_env().orchestrator);
+  const SparseResult result = sparse.run(8);
+  EXPECT_LE(result.pairs_measured, 8u);
+  // Inference must add information beyond the 8/15 measured share.
+  EXPECT_GT(result.resolved_fraction, 8.0 / 15.0 + 0.02);
+  EXPECT_GT(result.inferred_entries, 0u);
+}
+
+TEST(SparseDiscovery, ResolvedFractionIsMonotoneInBudget) {
+  const SparseDiscovery sparse(*default_env().orchestrator);
+  double last = -1;
+  for (const std::size_t budget : {4u, 8u, 12u, 15u}) {
+    const SparseResult result = sparse.run(budget);
+    EXPECT_GE(result.resolved_fraction, last - 0.02) << "budget " << budget;
+    last = result.resolved_fraction;
+  }
+}
+
+TEST(SparseDiscovery, CompletedTablePredictsAlmostAsWellAsFull) {
+  // The punchline of §6's "fewer experiments" direction: predictions from
+  // the sparse+completed table agree with the fully measured table.  A
+  // three-provider configuration needs only the 3 pairs among those
+  // providers, which a 10-pair budget resolves for most clients.
+  auto& env = default_env();
+  const Predictor& full = env.pipeline->predictor();
+
+  const SparseDiscovery sparse(*env.orchestrator);
+  const SparseResult sparse_result = sparse.run(10);
+
+  DiscoveryResult hybrid = full.discovery();
+  hybrid.provider_prefs = sparse_result.table;
+  const Predictor sparse_predictor(env.world->deployment(),
+                                   std::move(hybrid), full.rtts(),
+                                   SitePrefMode::kExperiments);
+
+  // Sites 1 (Telia), 4 (Singapore/TATA), 5 (London/GTT): three providers.
+  anycast::AnycastConfig cfg;
+  cfg.announce_order = {SiteId{0}, SiteId{3}, SiteId{4}};
+  const Prediction a = full.predict(cfg);
+  const Prediction b = sparse_predictor.predict(cfg);
+  std::size_t same = 0;
+  std::size_t comparable = 0;
+  for (std::size_t t = 0; t < a.site_of_target.size(); ++t) {
+    if (!a.site_of_target[t].valid() || !b.site_of_target[t].valid()) {
+      continue;
+    }
+    ++comparable;
+    same += a.site_of_target[t] == b.site_of_target[t];
+  }
+  ASSERT_GT(comparable, a.site_of_target.size() / 3);
+  EXPECT_GT(static_cast<double>(same) / static_cast<double>(comparable),
+            0.9);
+}
+
+}  // namespace
+}  // namespace anyopt::core

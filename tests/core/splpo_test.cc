@@ -1,0 +1,242 @@
+#include "core/splpo.h"
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.h"
+
+namespace anyopt::core {
+namespace {
+
+/// Small instance where clients prefer nearer sites (costs consistent with
+/// preferences): 3 sites on a line, 6 clients.
+SplpoInstance line_instance() {
+  SplpoInstance inst = SplpoInstance::make(3, 6);
+  // site positions: 0, 5, 10; client positions: 0..10 step 2.
+  const double site_pos[3] = {0, 5, 10};
+  for (std::size_t c = 0; c < 6; ++c) {
+    const double pos = static_cast<double>(c) * 2.0;
+    std::vector<std::pair<double, std::uint32_t>> by_cost;
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      const double cost = std::abs(pos - site_pos[s]);
+      inst.set_cost(c, s, cost);
+      by_cost.push_back({cost, s});
+    }
+    std::sort(by_cost.begin(), by_cost.end());
+    for (const auto& [cost, s] : by_cost) inst.preference[c].push_back(s);
+  }
+  return inst;
+}
+
+/// Random instance where preferences are NOT aligned with costs (the BGP
+/// situation): clients may prefer expensive sites.
+SplpoInstance random_instance(std::size_t sites, std::size_t clients,
+                              std::uint64_t seed) {
+  SplpoInstance inst = SplpoInstance::make(sites, clients);
+  Rng rng{seed};
+  for (std::size_t c = 0; c < clients; ++c) {
+    std::vector<std::uint32_t> prefs(sites);
+    for (std::uint32_t s = 0; s < sites; ++s) {
+      inst.set_cost(c, s, rng.uniform(1.0, 100.0));
+      prefs[s] = s;
+    }
+    rng.shuffle(prefs);
+    inst.preference[c] = prefs;
+  }
+  return inst;
+}
+
+/// Reference brute force: best open set over all subsets.
+SplpoSolution brute_force(const SplpoInstance& inst) {
+  SplpoSolution best;
+  for (std::uint64_t mask = 1; mask < (1u << inst.site_count); ++mask) {
+    std::vector<std::uint32_t> open;
+    for (std::uint32_t s = 0; s < inst.site_count; ++s) {
+      if (mask >> s & 1) open.push_back(s);
+    }
+    SplpoSolution sol = evaluate_open_set(inst, open);
+    if (sol.feasible && sol.total_cost < best.total_cost) best = sol;
+  }
+  return best;
+}
+
+TEST(SplpoInstance, ValidateCatchesBadPreference) {
+  SplpoInstance inst = SplpoInstance::make(2, 1);
+  inst.preference[0] = {0, 5};  // out of range
+  EXPECT_FALSE(inst.validate().ok());
+  inst.preference[0] = {0, 0};  // duplicate
+  EXPECT_FALSE(inst.validate().ok());
+  inst.preference[0] = {0, 1};
+  EXPECT_TRUE(inst.validate().ok());
+}
+
+TEST(Evaluate, ClientsGoToMostPreferredOpenSite) {
+  SplpoInstance inst = SplpoInstance::make(3, 1);
+  inst.set_cost(0, 0, 1.0);
+  inst.set_cost(0, 1, 50.0);
+  inst.set_cost(0, 2, 2.0);
+  inst.preference[0] = {1, 2, 0};  // BGP prefers the expensive site!
+  const auto all = evaluate_open_set(inst, {0, 1, 2});
+  EXPECT_EQ(all.assignment[0], 1);  // preference, not cost, decides
+  EXPECT_DOUBLE_EQ(all.total_cost, 50.0);
+  // Closing site 1 reroutes to the next preference.
+  const auto some = evaluate_open_set(inst, {0, 2});
+  EXPECT_EQ(some.assignment[0], 2);
+  EXPECT_DOUBLE_EQ(some.total_cost, 2.0);
+}
+
+TEST(Evaluate, UnservedClientMakesInfeasible) {
+  SplpoInstance inst = SplpoInstance::make(2, 1);
+  inst.set_cost(0, 0, 1.0);
+  inst.preference[0] = {0};  // never uses site 1
+  const auto sol = evaluate_open_set(inst, {1});
+  EXPECT_FALSE(sol.feasible);
+  EXPECT_EQ(sol.assignment[0], -1);
+}
+
+TEST(Evaluate, CapacityViolationDetected) {
+  SplpoInstance inst = SplpoInstance::make(2, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    inst.set_cost(c, 0, 1.0);
+    inst.set_cost(c, 1, 2.0);
+    inst.preference[c] = {0, 1};
+  }
+  inst.capacity[0] = 2.0;  // three unit demands won't fit
+  EXPECT_FALSE(evaluate_open_set(inst, {0}).feasible);
+  // Opening both does NOT help: preferences still send everyone to 0.
+  EXPECT_FALSE(evaluate_open_set(inst, {0, 1}).feasible);
+  // Closing the popular site is the only feasible choice.
+  EXPECT_TRUE(evaluate_open_set(inst, {1}).feasible);
+}
+
+TEST(Exhaustive, MatchesBruteForceOnLineInstance) {
+  const SplpoInstance inst = line_instance();
+  const auto exact = solve_exhaustive(inst);
+  const auto reference = brute_force(inst);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_DOUBLE_EQ(exact.total_cost, reference.total_cost);
+}
+
+class SplpoRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SplpoRandomTest, ExhaustiveMatchesBruteForce) {
+  const SplpoInstance inst = random_instance(5, 12, GetParam());
+  const auto exact = solve_exhaustive(inst);
+  const auto reference = brute_force(inst);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_NEAR(exact.total_cost, reference.total_cost, 1e-9);
+}
+
+TEST_P(SplpoRandomTest, LocalSearchNeverBeatsExactAndIsFeasible) {
+  const SplpoInstance inst = random_instance(6, 15, GetParam() ^ 0xF00);
+  const auto exact = solve_exhaustive(inst);
+  const auto local = solve_local_search(inst);
+  ASSERT_TRUE(local.feasible);
+  EXPECT_GE(local.total_cost, exact.total_cost - 1e-9);
+}
+
+TEST_P(SplpoRandomTest, GreedyIsFeasibleAndBounded) {
+  const SplpoInstance inst = random_instance(6, 15, GetParam() ^ 0xABC);
+  const auto greedy = solve_greedy(inst, 6);
+  ASSERT_TRUE(greedy.feasible);
+  const auto exact = solve_exhaustive(inst);
+  EXPECT_GE(greedy.total_cost, exact.total_cost - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplpoRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Exhaustive, RespectsCardinalityBounds) {
+  const SplpoInstance inst = line_instance();
+  ExhaustiveOptions opts;
+  opts.min_open = 2;
+  opts.max_open = 2;
+  const auto sol = solve_exhaustive(inst, opts);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.open_sites.size(), 2u);
+  EXPECT_EQ(sol.configurations_evaluated, 3u);  // C(3,2)
+}
+
+TEST(Exhaustive, ConfigurationBudgetStopsEarly) {
+  const SplpoInstance inst = random_instance(10, 5, 99);
+  ExhaustiveOptions opts;
+  opts.max_configurations = 7;
+  const auto sol = solve_exhaustive(inst, opts);
+  EXPECT_LE(sol.configurations_evaluated, 7u);
+}
+
+TEST(LocalSearch, ImprovesOnBadSeed) {
+  const SplpoInstance inst = line_instance();
+  // Seed with the single middle site; optimum for 6 clients on a line is
+  // opening everything (costs are pure distance, no opening cost).
+  const auto seeded = solve_local_search(inst, {1});
+  const auto exact = solve_exhaustive(inst);
+  EXPECT_NEAR(seeded.total_cost, exact.total_cost, 1e-9);
+}
+
+// --- Appendix B.1: the dominating-set reduction -------------------------
+
+std::vector<std::vector<std::uint32_t>> path_graph(std::size_t n) {
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::uint32_t v = 0; v + 1 < n; ++v) {
+    adj[v].push_back(v + 1);
+    adj[v + 1].push_back(v);
+  }
+  return adj;
+}
+
+TEST(DominatingSet, BruteForceKnownValues) {
+  // Path of 6 vertices: minimum dominating set has size 2 ({1, 4}).
+  const auto adj = path_graph(6);
+  EXPECT_FALSE(has_dominating_set(adj, 1));
+  EXPECT_TRUE(has_dominating_set(adj, 2));
+}
+
+TEST(Gadget, ZeroCostIffDominatingSet) {
+  const auto adj = path_graph(6);
+  const SplpoInstance inst = dominating_set_gadget(adj);
+  ASSERT_TRUE(inst.validate().ok());
+
+  // K = 2 dominates: there must be a zero-cost solution opening K+1 sites.
+  ExhaustiveOptions k3;
+  k3.min_open = 3;
+  k3.max_open = 3;
+  const auto sol3 = solve_exhaustive(inst, k3);
+  ASSERT_TRUE(sol3.feasible);
+  EXPECT_DOUBLE_EQ(sol3.total_cost, 0.0);
+
+  // K = 1 does not: with K+1 = 2 open sites the best cost is infinite.
+  ExhaustiveOptions k2;
+  k2.min_open = 2;
+  k2.max_open = 2;
+  const auto sol2 = solve_exhaustive(inst, k2);
+  EXPECT_FALSE(sol2.feasible && sol2.total_cost == 0.0);
+}
+
+TEST(Gadget, AgreesWithBruteForceAcrossRandomGraphs) {
+  Rng rng{123};
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 4 + rng.below(4);  // 4..7 vertices
+    std::vector<std::vector<std::uint32_t>> adj(n);
+    for (std::uint32_t a = 0; a < n; ++a) {
+      for (std::uint32_t b = a + 1; b < n; ++b) {
+        if (rng.chance(0.4)) {
+          adj[a].push_back(b);
+          adj[b].push_back(a);
+        }
+      }
+    }
+    const SplpoInstance inst = dominating_set_gadget(adj);
+    for (std::size_t k = 1; k <= 3; ++k) {
+      ExhaustiveOptions opts;
+      opts.min_open = k + 1;
+      opts.max_open = k + 1;
+      const auto sol = solve_exhaustive(inst, opts);
+      const bool zero_cost = sol.feasible && sol.total_cost == 0.0;
+      EXPECT_EQ(zero_cost, has_dominating_set(adj, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace anyopt::core

@@ -1,0 +1,172 @@
+#include "core/total_order.h"
+
+#include <gtest/gtest.h>
+
+#include "netbase/rng.h"
+
+namespace anyopt::core {
+namespace {
+
+TEST(PairIndex, EnumeratesUpperTriangle) {
+  // n = 4: (0,1)=0 (0,2)=1 (0,3)=2 (1,2)=3 (1,3)=4 (2,3)=5
+  EXPECT_EQ(pair_index(0, 1, 4), 0u);
+  EXPECT_EQ(pair_index(0, 3, 4), 2u);
+  EXPECT_EQ(pair_index(1, 2, 4), 3u);
+  EXPECT_EQ(pair_index(2, 3, 4), 5u);
+  EXPECT_EQ(pair_count(4), 6u);
+  EXPECT_EQ(pair_count(1), 0u);
+  EXPECT_EQ(pair_count(15), 105u);
+}
+
+TEST(PairwiseTable, SwappedViewFlipsStrictWinners) {
+  PairwiseTable t;
+  t.init(3, 1);
+  t.set(0, 2, 0, PrefKind::kStrictFirst);
+  EXPECT_EQ(t.get(0, 2, 0), PrefKind::kStrictFirst);
+  EXPECT_EQ(t.get(2, 0, 0), PrefKind::kStrictSecond);
+  t.set(0, 1, 0, PrefKind::kOrderDependent);
+  EXPECT_EQ(t.get(1, 0, 0), PrefKind::kOrderDependent);  // symmetric
+}
+
+TEST(Tournament, TransitiveHasOrder) {
+  Tournament t;
+  t.init(3);
+  t.set_winner(1, 0);
+  t.set_winner(1, 2);
+  t.set_winner(0, 2);
+  const auto order = total_order_of(t);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(Tournament, CycleHasNoOrder) {
+  Tournament t;
+  t.init(3);
+  t.set_winner(0, 1);
+  t.set_winner(1, 2);
+  t.set_winner(2, 0);
+  EXPECT_FALSE(total_order_of(t).has_value());
+}
+
+TEST(Tournament, SingleItemTrivial) {
+  Tournament t;
+  t.init(1);
+  const auto order = total_order_of(t);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), 1u);
+}
+
+TEST(Tournament, RandomTransitiveTournamentsAlwaysOrdered) {
+  // Property: orient pairs by a random permutation -> transitive by
+  // construction -> total_order_of must recover that permutation.
+  Rng rng{42};
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 2 + rng.below(7);
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    rng.shuffle(perm);
+    std::vector<std::size_t> rank(n);
+    for (std::size_t i = 0; i < n; ++i) rank[perm[i]] = i;
+    Tournament t;
+    t.init(n);
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        if (rank[a] < rank[b]) {
+          t.set_winner(a, b);
+        } else {
+          t.set_winner(b, a);
+        }
+      }
+    }
+    const auto order = total_order_of(t);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_EQ(*order, perm);
+  }
+}
+
+TEST(BuildTournament, OrientsOrderDependentByArrival) {
+  PairwiseTable table;
+  table.init(2, 1);
+  table.set(0, 1, 0, PrefKind::kOrderDependent);
+  const std::vector<std::size_t> items{0, 1};
+  {
+    const std::vector<std::size_t> arrival{0, 1};  // item 0 announced first
+    const auto order = target_total_order(table, 0, items, arrival);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_EQ(order->front(), 0u);
+  }
+  {
+    const std::vector<std::size_t> arrival{1, 0};  // item 1 announced first
+    const auto order = target_total_order(table, 0, items, arrival);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_EQ(order->front(), 1u);
+  }
+}
+
+TEST(BuildTournament, UnknownOrInconsistentPairAborts) {
+  PairwiseTable table;
+  table.init(3, 2);
+  table.set(0, 1, 0, PrefKind::kStrictFirst);
+  table.set(0, 2, 0, PrefKind::kStrictFirst);
+  table.set(1, 2, 0, PrefKind::kInconsistent);
+  table.set(0, 1, 1, PrefKind::kStrictFirst);  // target 1: pair (0,2) unknown
+  table.set(1, 2, 1, PrefKind::kStrictFirst);
+  const std::vector<std::size_t> items{0, 1, 2};
+  const std::vector<std::size_t> arrival{0, 1, 2};
+  EXPECT_FALSE(build_tournament(table, 0, items, arrival).has_value());
+  EXPECT_FALSE(build_tournament(table, 1, items, arrival).has_value());
+}
+
+TEST(BuildTournament, SubsetIgnoresOutsidePairs) {
+  // The inconsistent pair (1,2) must not matter when only {0, 1} enabled.
+  PairwiseTable table;
+  table.init(3, 1);
+  table.set(0, 1, 0, PrefKind::kStrictSecond);
+  table.set(0, 2, 0, PrefKind::kStrictFirst);
+  table.set(1, 2, 0, PrefKind::kInconsistent);
+  const std::vector<std::size_t> items{0, 1};
+  const std::vector<std::size_t> arrival{0, 1, 2};
+  const auto order = target_total_order(table, 0, items, arrival);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ((*order)[0], 1u);  // item 1 (local position 1) wins
+}
+
+TEST(FractionWithTotalOrder, CountsCorrectly) {
+  PairwiseTable table;
+  table.init(3, 2);
+  const std::vector<std::size_t> items{0, 1, 2};
+  const std::vector<std::size_t> arrival{0, 1, 2};
+  // Target 0: transitive strict. Target 1: cycle.
+  table.set(0, 1, 0, PrefKind::kStrictFirst);
+  table.set(0, 2, 0, PrefKind::kStrictFirst);
+  table.set(1, 2, 0, PrefKind::kStrictFirst);
+  table.set(0, 1, 1, PrefKind::kStrictFirst);   // 0 > 1
+  table.set(1, 2, 1, PrefKind::kStrictFirst);   // 1 > 2
+  table.set(0, 2, 1, PrefKind::kStrictSecond);  // 2 > 0 (cycle)
+  EXPECT_DOUBLE_EQ(fraction_with_total_order(table, items, arrival), 0.5);
+}
+
+TEST(FractionWithTotalOrder, OrderDependentPairsNeverCycleAlone) {
+  // Property (the paper's §4.2 fix): if ALL pairs are order-dependent, any
+  // announcement order yields a total order (ties all resolve to arrival).
+  Rng rng{7};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.below(5);
+    PairwiseTable table;
+    table.init(n, 1);
+    for (std::size_t a = 0; a < n; ++a) {
+      for (std::size_t b = a + 1; b < n; ++b) {
+        table.set(a, b, 0, PrefKind::kOrderDependent);
+      }
+    }
+    std::vector<std::size_t> items(n);
+    std::vector<std::size_t> arrival(n);
+    for (std::size_t i = 0; i < n; ++i) items[i] = i;
+    for (std::size_t i = 0; i < n; ++i) arrival[i] = i;
+    rng.shuffle(arrival);
+    EXPECT_DOUBLE_EQ(fraction_with_total_order(table, items, arrival), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace anyopt::core

@@ -1,0 +1,128 @@
+#include "measure/orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include "anycast/world.h"
+
+namespace anyopt::measure {
+namespace {
+
+class OrchestratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = anycast::World::create(anycast::WorldParams::test_scale(17))
+                 .release();
+    orch_ = new Orchestrator(*world_);
+  }
+  static void TearDownTestSuite() {
+    delete orch_;
+    delete world_;
+  }
+  static anycast::World* world_;
+  static Orchestrator* orch_;
+};
+
+anycast::World* OrchestratorTest::world_ = nullptr;
+Orchestrator* OrchestratorTest::orch_ = nullptr;
+
+TEST_F(OrchestratorTest, AllSitesConfigReachesNearlyEveryTarget) {
+  const auto cfg = anycast::AnycastConfig::all_sites(world_->deployment());
+  const Census census = orch_->measure(cfg, 1);
+  const double frac = static_cast<double>(census.reachable_count()) /
+                      static_cast<double>(world_->targets().size());
+  EXPECT_GT(frac, 0.97);  // only probe loss should drop targets
+}
+
+TEST_F(OrchestratorTest, CatchmentsPartitionReachableTargets) {
+  const auto cfg = anycast::AnycastConfig::all_sites(world_->deployment());
+  const Census census = orch_->measure(cfg, 2);
+  std::size_t sum = 0;
+  for (std::size_t s = 0; s < world_->deployment().site_count(); ++s) {
+    sum += census.catchment_size(SiteId{static_cast<SiteId::underlying_type>(s)});
+  }
+  EXPECT_EQ(sum, census.reachable_count());
+}
+
+TEST_F(OrchestratorTest, SingleSiteConfigSendsEveryoneThere) {
+  anycast::AnycastConfig cfg;
+  cfg.announce_order = {SiteId{4}};  // London / GTT
+  const Census census = orch_->measure(cfg, 3);
+  EXPECT_GT(census.reachable_count(), 0u);
+  for (std::size_t t = 0; t < census.site_of_target.size(); ++t) {
+    if (census.site_of_target[t].valid()) {
+      EXPECT_EQ(census.site_of_target[t], SiteId{4});
+    }
+  }
+}
+
+TEST_F(OrchestratorTest, RttsAreRealisticMagnitudes) {
+  const auto cfg = anycast::AnycastConfig::all_sites(world_->deployment());
+  const Census census = orch_->measure(cfg, 4);
+  const double mean = census.mean_rtt();
+  // Global anycast with 15 sites: mean RTT should be tens of ms.
+  EXPECT_GT(mean, 5.0);
+  EXPECT_LT(mean, 200.0);
+  for (const double r : census.rtt_ms) {
+    if (r >= 0) EXPECT_LT(r, 600.0);
+  }
+}
+
+TEST_F(OrchestratorTest, MoreSitesReducesMeanRttVersusOneSite) {
+  anycast::AnycastConfig one;
+  one.announce_order = {SiteId{0}};
+  const auto all = anycast::AnycastConfig::all_sites(world_->deployment());
+  const double mean_one = orch_->measure(one, 5).mean_rtt();
+  const double mean_all = orch_->measure(all, 5).mean_rtt();
+  EXPECT_LT(mean_all, mean_one);
+}
+
+TEST_F(OrchestratorTest, UnicastRttMatchesSingleSiteCensus) {
+  const auto rtts = orch_->unicast_rtts(SiteId{2}, 6);
+  EXPECT_EQ(rtts.size(), world_->targets().size());
+  std::size_t valid = 0;
+  for (const double r : rtts) {
+    if (r >= 0) ++valid;
+  }
+  EXPECT_GT(valid, world_->targets().size() * 9 / 10);
+}
+
+TEST_F(OrchestratorTest, TunnelRttGrowsWithDistance) {
+  // Newark is near the orchestrator (Cambridge, MA); Singapore is not.
+  const double near = orch_->tunnel_rtt_ms(SiteId{10});   // Newark
+  const double far = orch_->tunnel_rtt_ms(SiteId{3});     // Singapore
+  EXPECT_LT(near, far);
+  EXPECT_GT(near, 0.0);
+}
+
+TEST_F(OrchestratorTest, SameNonceIsReproducible) {
+  const auto cfg = anycast::AnycastConfig::of_sites({SiteId{1}, SiteId{8}});
+  const Census a = orch_->measure(cfg, 77);
+  const Census b = orch_->measure(cfg, 77);
+  EXPECT_EQ(a.site_of_target, b.site_of_target);
+  EXPECT_EQ(a.rtt_ms, b.rtt_ms);
+}
+
+TEST_F(OrchestratorTest, MeasurementNoiseIsSmallRelativeToRtt) {
+  // Re-measuring the same configuration with a different nonce changes the
+  // probe noise but not the catchments' general RTT level.
+  const auto cfg = anycast::AnycastConfig::all_sites(world_->deployment());
+  const double m1 = orch_->measure(cfg, 8).mean_rtt();
+  const double m2 = orch_->measure(cfg, 9).mean_rtt();
+  EXPECT_NEAR(m1, m2, std::max(3.0, 0.12 * m1));
+}
+
+TEST_F(OrchestratorTest, AttachmentCensusTracksPeers) {
+  anycast::AnycastConfig cfg = anycast::AnycastConfig::all_sites(world_->deployment());
+  const auto peers = world_->deployment().all_peer_attachments();
+  ASSERT_FALSE(peers.empty());
+  cfg.enabled_peers.assign(peers.begin(), peers.end());
+  const Census census = orch_->measure(cfg, 10);
+  std::size_t via_peers = 0;
+  for (const auto at : peers) via_peers += census.attachment_catchment_size(at);
+  // Some — but a minority of — targets should come in via peer sessions.
+  EXPECT_GT(via_peers, 0u);
+  EXPECT_LT(via_peers, census.reachable_count() / 2);
+}
+
+}  // namespace
+}  // namespace anyopt::measure

@@ -1,0 +1,100 @@
+#include "measure/prober.h"
+
+#include <gtest/gtest.h>
+
+namespace anyopt::measure {
+namespace {
+
+TEST(Prober, NoLossNoJitterReturnsTruth) {
+  ProbeModel model;
+  model.loss_rate = 0;
+  model.jitter_frac = 0;
+  model.jitter_floor_ms = 0;
+  model.spike_prob = 0;
+  Prober p{model, Rng{1}};
+  const auto m = p.measure(42.0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_NEAR(*m, 42.0, 1e-9);
+}
+
+TEST(Prober, TotalLossReturnsNothing) {
+  ProbeModel model;
+  model.loss_rate = 1.0;
+  Prober p{model, Rng{2}};
+  EXPECT_FALSE(p.measure(42.0).has_value());
+}
+
+TEST(Prober, MedianSuppressesSpikes) {
+  ProbeModel model;
+  model.loss_rate = 0;
+  model.jitter_frac = 0.01;
+  model.spike_prob = 0.15;  // frequent spikes, but < half of probes
+  model.spike_ms = 500;
+  model.repeats = 7;
+  Prober p{model, Rng{3}};
+  int close = 0;
+  constexpr int kRounds = 200;
+  for (int i = 0; i < kRounds; ++i) {
+    const auto m = p.measure(30.0);
+    ASSERT_TRUE(m.has_value());
+    if (std::abs(*m - 30.0) < 3.0) ++close;
+  }
+  EXPECT_GT(close, kRounds * 9 / 10);
+}
+
+TEST(Prober, RequiresMinimumValidResponses) {
+  ProbeModel model;
+  model.loss_rate = 0.8;
+  model.repeats = 7;
+  model.min_valid = 3;
+  Prober p{model, Rng{4}};
+  int failures = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (!p.measure(10.0).has_value()) ++failures;
+  }
+  // With 80% loss, usually fewer than 3 of 7 survive.
+  EXPECT_GT(failures, 150);
+}
+
+TEST(Prober, HighLossStillSamplesWithThreeValid) {
+  // The paper: "If the link experiences high packet loss rates, we can
+  // still sample a median RTT from at least three valid responses."
+  ProbeModel model;
+  model.loss_rate = 0.5;
+  model.jitter_frac = 0.0;
+  model.jitter_floor_ms = 0.0;
+  model.spike_prob = 0.0;
+  model.repeats = 7;
+  model.min_valid = 3;
+  Prober p{model, Rng{5}};
+  int successes = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (const auto m = p.measure(20.0)) {
+      EXPECT_NEAR(*m, 20.0, 1e-6);
+      ++successes;
+    }
+  }
+  EXPECT_GT(successes, 150);
+}
+
+TEST(Prober, SamplesAreNeverNegative) {
+  ProbeModel model;
+  model.jitter_floor_ms = 5.0;
+  model.jitter_frac = 2.0;  // absurd jitter to stress the floor
+  Prober p{model, Rng{6}};
+  for (int i = 0; i < 1000; ++i) {
+    if (const auto s = p.probe_once(0.1)) EXPECT_GT(*s, 0.0);
+  }
+}
+
+TEST(Prober, DeterministicForSeed) {
+  ProbeModel model;
+  Prober a{model, Rng{7}};
+  Prober b{model, Rng{7}};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.measure(33.0), b.measure(33.0));
+  }
+}
+
+}  // namespace
+}  // namespace anyopt::measure

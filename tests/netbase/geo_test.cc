@@ -1,0 +1,69 @@
+#include "netbase/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace anyopt::geo {
+namespace {
+
+TEST(GreatCircle, ZeroForSamePoint) {
+  const Coordinates p{52.0, 4.0};
+  EXPECT_DOUBLE_EQ(great_circle_km(p, p), 0.0);
+}
+
+TEST(GreatCircle, Symmetric) {
+  const Coordinates a{40.713, -74.006};  // New York
+  const Coordinates b{51.507, -0.128};   // London
+  EXPECT_DOUBLE_EQ(great_circle_km(a, b), great_circle_km(b, a));
+}
+
+TEST(GreatCircle, KnownDistanceNewYorkLondon) {
+  const Coordinates nyc{40.713, -74.006};
+  const Coordinates lon{51.507, -0.128};
+  // True great-circle distance ≈ 5570 km.
+  EXPECT_NEAR(great_circle_km(nyc, lon), 5570, 60);
+}
+
+TEST(GreatCircle, AntipodalIsHalfCircumference) {
+  const Coordinates a{0, 0};
+  const Coordinates b{0, 180};
+  EXPECT_NEAR(great_circle_km(a, b), 20015, 30);
+}
+
+TEST(Latency, ProportionalToDistancePlusHop) {
+  const Coordinates a{0, 0};
+  const Coordinates b{0, 10};
+  LatencyModel model;
+  const double d = great_circle_km(a, b);
+  EXPECT_NEAR(one_way_latency_ms(a, b, model),
+              d * model.path_inflation * model.ms_per_km_one_way +
+                  model.per_hop_ms,
+              1e-9);
+}
+
+TEST(Latency, TransatlanticIsTensOfMs) {
+  // Sanity: the model should give realistic magnitudes (one-way NYC-London
+  // over fibre is ~28-42 ms).
+  const double ms = one_way_latency_ms({40.713, -74.006}, {51.507, -0.128});
+  EXPECT_GT(ms, 20);
+  EXPECT_LT(ms, 60);
+}
+
+TEST(MetroDatabase, ContainsAllTable1Metros) {
+  for (const char* name :
+       {"Atlanta", "Amsterdam", "Los Angeles", "Singapore", "London",
+        "Tokyo", "Osaka", "Miami", "Newark", "Stockholm", "Toronto",
+        "Sao Paulo", "Chicago"}) {
+    EXPECT_NO_THROW(metro(name)) << name;
+  }
+}
+
+TEST(MetroDatabase, UnknownMetroThrows) {
+  EXPECT_THROW(metro("Atlantis"), std::invalid_argument);
+}
+
+TEST(MetroDatabase, HasGlobalSpread) {
+  EXPECT_GE(metro_database().size(), 60u);
+}
+
+}  // namespace
+}  // namespace anyopt::geo

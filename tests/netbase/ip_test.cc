@@ -1,0 +1,78 @@
+#include "netbase/ip.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace anyopt::net {
+namespace {
+
+TEST(Ipv4, ParsesDottedQuad) {
+  const auto ip = Ipv4::parse("192.0.2.1");
+  ASSERT_TRUE(ip.ok());
+  EXPECT_EQ(ip.value().to_string(), "192.0.2.1");
+  EXPECT_EQ(ip.value().octet(0), 192);
+  EXPECT_EQ(ip.value().octet(3), 1);
+}
+
+TEST(Ipv4, ParsesExtremes) {
+  EXPECT_EQ(Ipv4::parse("0.0.0.0").value().bits(), 0u);
+  EXPECT_EQ(Ipv4::parse("255.255.255.255").value().bits(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4, RejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d",
+                          "1..2.3", "-1.2.3.4", "1.2.3.4 "}) {
+    EXPECT_FALSE(Ipv4::parse(bad).ok()) << bad;
+  }
+}
+
+TEST(Ipv4, OrderingMatchesNumericValue) {
+  EXPECT_LT(Ipv4(10, 0, 0, 1), Ipv4(10, 0, 0, 2));
+  EXPECT_LT(Ipv4(9, 255, 255, 255), Ipv4(10, 0, 0, 0));
+}
+
+TEST(Prefix, NormalizesHostBits) {
+  const Prefix p{Ipv4(10, 1, 2, 200), 24};
+  EXPECT_EQ(p.to_string(), "10.1.2.0/24");
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p = Prefix::parse("198.51.100.0/24").value();
+  EXPECT_TRUE(p.contains(Ipv4(198, 51, 100, 7)));
+  EXPECT_FALSE(p.contains(Ipv4(198, 51, 101, 7)));
+}
+
+TEST(Prefix, ContainsSubPrefix) {
+  const Prefix outer = Prefix::parse("10.0.0.0/8").value();
+  const Prefix inner = Prefix::parse("10.42.0.0/16").value();
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  const Prefix all{Ipv4{}, 0};
+  EXPECT_TRUE(all.contains(Ipv4(255, 0, 255, 0)));
+  EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+}
+
+TEST(Prefix, Slash24Grouping) {
+  const Prefix host{Ipv4(100, 64, 9, 77), 32};
+  EXPECT_EQ(host.slash24().to_string(), "100.64.9.0/24");
+}
+
+TEST(Prefix, RejectsMalformed) {
+  for (const char* bad : {"10.0.0.0", "10.0.0.0/33", "10.0.0.0/x", "/24"}) {
+    EXPECT_FALSE(Prefix::parse(bad).ok()) << bad;
+  }
+}
+
+TEST(Prefix, HashDistinguishesLengths) {
+  std::unordered_set<Prefix> set;
+  set.insert(Prefix::parse("10.0.0.0/8").value());
+  set.insert(Prefix::parse("10.0.0.0/16").value());
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace anyopt::net

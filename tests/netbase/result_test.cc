@@ -1,0 +1,59 @@
+#include "netbase/result.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace anyopt {
+namespace {
+
+Result<int> parse_positive(int x) {
+  if (x <= 0) return Error::invalid("not positive");
+  return x;
+}
+
+TEST(Result, HoldsValue) {
+  const auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_TRUE(static_cast<bool>(r));
+}
+
+TEST(Result, HoldsError) {
+  const auto r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kInvalidArgument);
+  EXPECT_EQ(r.error().message, "not positive");
+}
+
+TEST(Result, ValueOrFallsBack) {
+  EXPECT_EQ(parse_positive(-1).value_or(42), 42);
+  EXPECT_EQ(parse_positive(7).value_or(42), 7);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r{std::string("hello")};
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  const Status s = Error::state("bad state");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Error::Code::kState);
+}
+
+TEST(Error, FactoryCodes) {
+  EXPECT_EQ(Error::not_found("x").code, Error::Code::kNotFound);
+  EXPECT_EQ(Error::parse("x").code, Error::Code::kParse);
+  EXPECT_EQ(Error::infeasible("x").code, Error::Code::kInfeasible);
+  EXPECT_EQ(Error::timeout("x").code, Error::Code::kTimeout);
+}
+
+}  // namespace
+}  // namespace anyopt

@@ -1,0 +1,111 @@
+#include "netbase/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace anyopt::stats {
+namespace {
+
+TEST(Online, EmptyIsZero) {
+  Online acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Online, MeanAndVarianceMatchClosedForm) {
+  Online acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Online, MergeEqualsSequential) {
+  Online all;
+  Online left;
+  Online right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Online, MergeWithEmptyIsIdentity) {
+  Online a;
+  a.add(3.0);
+  Online empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Quantile, MedianOfEvenSampleInterpolates) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Quantile, ExtremesAreMinMax) {
+  const std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, EmptySampleIsZero) { EXPECT_EQ(median({}), 0.0); }
+
+TEST(Quantile, MedianFiltersOutliers) {
+  // The paper's median-of-7 rationale: one huge outlier must not move it.
+  EXPECT_DOUBLE_EQ(median({10, 11, 10, 12, 11, 10, 5000}), 11.0);
+}
+
+TEST(Mean, Basic) {
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.0);
+  EXPECT_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Cdf, MonotoneAndEndsAtOne) {
+  std::vector<double> sample;
+  for (int i = 100; i > 0; --i) sample.push_back(i);
+  const auto cdf = empirical_cdf(sample, 20);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 100.0);
+}
+
+TEST(Cdf, DecimatesToRequestedPoints) {
+  std::vector<double> sample(1000, 1.0);
+  EXPECT_EQ(empirical_cdf(sample, 25).size(), 25u);
+}
+
+TEST(Cdf, SmallSampleKeepsAllPoints) {
+  EXPECT_EQ(empirical_cdf({1.0, 2.0}, 50).size(), 2u);
+}
+
+TEST(Cdf, FormatContainsSeriesName) {
+  const auto cdf = empirical_cdf({1.0, 2.0, 3.0});
+  const std::string text = format_cdf(cdf, "rtt_ms", "AnyOpt");
+  EXPECT_NE(text.find("AnyOpt"), std::string::npos);
+  EXPECT_NE(text.find("rtt_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anyopt::stats

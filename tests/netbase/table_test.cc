@@ -1,0 +1,49 @@
+#include "netbase/table.h"
+
+#include <gtest/gtest.h>
+
+namespace anyopt {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"site", "rtt"});
+  t.add_row({"Atlanta", "12.5"});
+  t.add_row({"Tokyo", "140.0"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("site"), std::string::npos);
+  EXPECT_NE(out.find("Atlanta"), std::string::npos);
+  EXPECT_NE(out.find("140.0"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxxxx", "1"});
+  t.add_row({"y", "2"});
+  const std::string out = t.render();
+  // Both '1' and '2' must be at the same column offset.
+  const auto line_of = [&](char c) {
+    std::size_t pos = out.find(c);
+    std::size_t line_start = out.rfind('\n', pos);
+    return pos - (line_start == std::string::npos ? 0 : line_start);
+  };
+  EXPECT_EQ(line_of('1'), line_of('2'));
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+}
+
+TEST(TextTable, PctFormatsFraction) {
+  EXPECT_EQ(TextTable::pct(0.947, 1), "94.7%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(TextTable, EmptyTableRendersHeaderOnly) {
+  TextTable t({"only"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anyopt

@@ -1,0 +1,55 @@
+#pragma once
+// Shared, lazily built worlds and pipelines for the core test suites.
+// Building discovery tables costs dozens of simulated BGP experiments, so
+// suites share one instance per world flavour.
+
+#include <memory>
+
+#include "anycast/world.h"
+#include "core/anyopt.h"
+#include "measure/orchestrator.h"
+
+namespace anyopt::testing {
+
+struct CoreEnv {
+  std::unique_ptr<anycast::World> world;
+  std::unique_ptr<measure::Orchestrator> orchestrator;
+  std::unique_ptr<core::AnyOptPipeline> pipeline;
+};
+
+/// The default test world (all policy imperfections on).
+inline CoreEnv& default_env() {
+  static CoreEnv env = [] {
+    CoreEnv e;
+    e.world = anycast::World::create(anycast::WorldParams::test_scale(21));
+    e.orchestrator = std::make_unique<measure::Orchestrator>(*e.world);
+    e.pipeline = std::make_unique<core::AnyOptPipeline>(*e.orchestrator);
+    return e;
+  }();
+  return env;
+}
+
+/// A "clean" world realizing the shortest-path model of Theorem A.2: no
+/// deviant policies, no multipath, and every router breaks ties by
+/// (AS_PATH, neighbor_ID) — i.e. router-id, not arrival order.  The
+/// theorem then guarantees pairwise results predict every subset.
+inline CoreEnv& clean_env() {
+  static CoreEnv env = [] {
+    CoreEnv e;
+    anycast::WorldParams params = anycast::WorldParams::test_scale(22);
+    params.internet.deviant_fraction = 0;
+    params.internet.multipath_fraction = 0;
+    params.internet.oldest_pref_fraction = 0.0;
+    // Assumption (a) of §4.1: no partial tier-1 peering.  Disabling
+    // transit-transit peering means every non-tier-1 AS sees only provider
+    // routes, i.e. the shortest-path model of Theorem A.2 applies.
+    params.internet.transit_peer_prob = 0;
+    e.world = anycast::World::create(params);
+    e.orchestrator = std::make_unique<measure::Orchestrator>(*e.world);
+    e.pipeline = std::make_unique<core::AnyOptPipeline>(*e.orchestrator);
+    return e;
+  }();
+  return env;
+}
+
+}  // namespace anyopt::testing

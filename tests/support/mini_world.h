@@ -1,0 +1,90 @@
+#pragma once
+// Hand-built micro-topologies for deterministic BGP simulator tests.
+
+#include <vector>
+
+#include "bgp/origin.h"
+#include "bgp/simulator.h"
+#include "topo/builder.h"
+
+namespace anyopt::testing {
+
+/// Builder for small explicit Internets.
+class MiniWorld {
+ public:
+  AsId tier1(const std::string& name, std::uint32_t router_id = 0) {
+    topo::AsNode n;
+    n.asn = next_asn_++;
+    n.tier = topo::Tier::kTier1;
+    n.name = name;
+    n.router_id = router_id ? router_id : n.asn;
+    const AsId id = net_.graph.add_as(std::move(n));
+    // Peer with all existing tier-1s to keep the clique invariant.
+    for (const AsId other : net_.tier1s) {
+      (void)net_.graph.connect(id, other, topo::Relation::kPeer, {0, 0}, 1.0);
+    }
+    net_.tier1s.push_back(id);
+    return id;
+  }
+
+  AsId transit(std::uint32_t router_id = 0) {
+    return add_plain(topo::Tier::kTransit, router_id);
+  }
+
+  AsId stub(std::uint32_t router_id = 0) {
+    return add_plain(topo::Tier::kStub, router_id);
+  }
+
+  /// `provider` provides transit to `customer`.
+  void provide(AsId provider, AsId customer, double latency_ms = 1.0) {
+    auto r = net_.graph.connect(customer, provider,
+                                topo::Relation::kProvider, {0, 0}, latency_ms);
+    if (!r.ok()) throw std::logic_error(r.error().message);
+  }
+
+  void peer(AsId a, AsId b, double latency_ms = 1.0) {
+    auto r =
+        net_.graph.connect(a, b, topo::Relation::kPeer, {0, 0}, latency_ms);
+    if (!r.ok()) throw std::logic_error(r.error().message);
+  }
+
+  topo::AsNode& node(AsId id) { return net_.graph.node_mut(id); }
+
+  /// Finalizes deviant tables and returns the Internet (call once).
+  topo::Internet finish() {
+    net_.deviant_rank.assign(net_.graph.as_count(), {});
+    return std::move(net_);
+  }
+
+  /// Transit attachment of `site` to `host`.
+  static bgp::OriginAttachment transit_attach(SiteId site, AsId host) {
+    bgp::OriginAttachment a;
+    a.site = site;
+    a.neighbor = host;
+    a.neighbor_is = topo::Relation::kProvider;
+    a.where = {0, 0};
+    a.latency_ms = 0.25;
+    return a;
+  }
+
+  /// Peering attachment of `site` to `peer_as`.
+  static bgp::OriginAttachment peer_attach(SiteId site, AsId peer_as) {
+    bgp::OriginAttachment a = transit_attach(site, peer_as);
+    a.neighbor_is = topo::Relation::kPeer;
+    return a;
+  }
+
+ private:
+  AsId add_plain(topo::Tier tier, std::uint32_t router_id) {
+    topo::AsNode n;
+    n.asn = next_asn_++;
+    n.tier = tier;
+    n.router_id = router_id ? router_id : n.asn;
+    return net_.graph.add_as(std::move(n));
+  }
+
+  topo::Internet net_;
+  std::uint32_t next_asn_ = 1;
+};
+
+}  // namespace anyopt::testing

@@ -1,0 +1,128 @@
+#include "topo/as_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace anyopt::topo {
+namespace {
+
+AsNode make_node(std::uint32_t asn, Tier tier) {
+  AsNode n;
+  n.asn = asn;
+  n.tier = tier;
+  return n;
+}
+
+TEST(Relation, ReverseIsInvolution) {
+  for (const Relation r :
+       {Relation::kCustomer, Relation::kPeer, Relation::kProvider}) {
+    EXPECT_EQ(reverse(reverse(r)), r);
+  }
+  EXPECT_EQ(reverse(Relation::kCustomer), Relation::kProvider);
+  EXPECT_EQ(reverse(Relation::kPeer), Relation::kPeer);
+}
+
+TEST(Relation, LocalPrefBandsOrdered) {
+  EXPECT_GT(default_local_pref(Relation::kCustomer),
+            default_local_pref(Relation::kPeer));
+  EXPECT_GT(default_local_pref(Relation::kPeer),
+            default_local_pref(Relation::kProvider));
+}
+
+TEST(AsGraph, ConnectCreatesSymmetricAdjacency) {
+  AsGraph g;
+  const AsId a = g.add_as(make_node(1, Tier::kTier1));
+  const AsId b = g.add_as(make_node(2, Tier::kStub));
+  // b's provider is a: from b's view a is provider; connect(b, a, provider).
+  const auto link = g.connect(b, a, Relation::kProvider, {0, 0}, 1.0);
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ(g.relation(b, a).value(), Relation::kProvider);
+  EXPECT_EQ(g.relation(a, b).value(), Relation::kCustomer);
+}
+
+TEST(AsGraph, RejectsSelfLink) {
+  AsGraph g;
+  const AsId a = g.add_as(make_node(1, Tier::kStub));
+  EXPECT_FALSE(g.connect(a, a, Relation::kPeer, {0, 0}, 1.0).ok());
+}
+
+TEST(AsGraph, RejectsDuplicateLink) {
+  AsGraph g;
+  const AsId a = g.add_as(make_node(1, Tier::kTier1));
+  const AsId b = g.add_as(make_node(2, Tier::kStub));
+  ASSERT_TRUE(g.connect(b, a, Relation::kProvider, {0, 0}, 1.0).ok());
+  EXPECT_FALSE(g.connect(b, a, Relation::kProvider, {0, 0}, 1.0).ok());
+  EXPECT_FALSE(g.connect(a, b, Relation::kCustomer, {0, 0}, 1.0).ok());
+}
+
+TEST(AsGraph, RelationOfNonAdjacentFails) {
+  AsGraph g;
+  const AsId a = g.add_as(make_node(1, Tier::kStub));
+  const AsId b = g.add_as(make_node(2, Tier::kStub));
+  EXPECT_FALSE(g.relation(a, b).ok());
+}
+
+TEST(AsGraph, AsesOfTierFilters) {
+  AsGraph g;
+  g.add_as(make_node(1, Tier::kTier1));
+  g.add_as(make_node(2, Tier::kStub));
+  g.add_as(make_node(3, Tier::kTier1));
+  EXPECT_EQ(g.ases_of_tier(Tier::kTier1).size(), 2u);
+  EXPECT_EQ(g.ases_of_tier(Tier::kTransit).size(), 0u);
+}
+
+TEST(AsGraph, ValidateRequiresTier1Mesh) {
+  AsGraph g;
+  const AsId t1 = g.add_as(make_node(1, Tier::kTier1));
+  const AsId t2 = g.add_as(make_node(2, Tier::kTier1));
+  EXPECT_FALSE(g.validate().ok());  // not peered yet
+  ASSERT_TRUE(g.connect(t1, t2, Relation::kPeer, {0, 0}, 1.0).ok());
+  EXPECT_TRUE(g.validate().ok());
+}
+
+TEST(AsGraph, ValidateDetectsOrphanAs) {
+  AsGraph g;
+  const AsId t1 = g.add_as(make_node(1, Tier::kTier1));
+  (void)t1;
+  g.add_as(make_node(2, Tier::kStub));  // no provider
+  EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(AsGraph, ValidateAcceptsProviderChain) {
+  AsGraph g;
+  const AsId t1 = g.add_as(make_node(1, Tier::kTier1));
+  const AsId mid = g.add_as(make_node(2, Tier::kTransit));
+  const AsId stub = g.add_as(make_node(3, Tier::kStub));
+  ASSERT_TRUE(g.connect(mid, t1, Relation::kProvider, {0, 0}, 1.0).ok());
+  ASSERT_TRUE(g.connect(stub, mid, Relation::kProvider, {0, 0}, 1.0).ok());
+  EXPECT_TRUE(g.validate().ok());
+}
+
+TEST(AsGraph, PeerOnlyStubFailsValidation) {
+  AsGraph g;
+  const AsId t1 = g.add_as(make_node(1, Tier::kTier1));
+  const AsId stub = g.add_as(make_node(2, Tier::kStub));
+  // A stub with only a peer link cannot be reached from the tier-1 clique
+  // by descending customer edges.
+  ASSERT_TRUE(g.connect(stub, t1, Relation::kPeer, {0, 0}, 1.0).ok());
+  EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(AsGraph, CustomerConeDescendsOnly) {
+  AsGraph g;
+  const AsId t1 = g.add_as(make_node(1, Tier::kTier1));
+  const AsId mid = g.add_as(make_node(2, Tier::kTransit));
+  const AsId stub = g.add_as(make_node(3, Tier::kStub));
+  const AsId peer = g.add_as(make_node(4, Tier::kTransit));
+  ASSERT_TRUE(g.connect(mid, t1, Relation::kProvider, {0, 0}, 1.0).ok());
+  ASSERT_TRUE(g.connect(stub, mid, Relation::kProvider, {0, 0}, 1.0).ok());
+  ASSERT_TRUE(g.connect(peer, mid, Relation::kPeer, {0, 0}, 1.0).ok());
+  ASSERT_TRUE(g.connect(peer, t1, Relation::kProvider, {0, 0}, 1.0).ok());
+
+  const auto cone = g.customer_cone(mid);
+  EXPECT_EQ(cone.size(), 2u);  // mid + stub, not the peer
+  const auto t1_cone = g.customer_cone(t1);
+  EXPECT_EQ(t1_cone.size(), 4u);  // everyone
+}
+
+}  // namespace
+}  // namespace anyopt::topo

@@ -1,0 +1,133 @@
+#include "topo/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/serialize.h"
+
+namespace anyopt::topo {
+namespace {
+
+InternetParams small_params(std::uint64_t seed) {
+  InternetParams p;
+  p.regional_transit_count = 12;
+  p.access_transit_count = 16;
+  p.stub_count = 120;
+  p.extra_pops_per_tier1_min = 2;
+  p.extra_pops_per_tier1_max = 4;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Builder, GeneratedTopologyValidates) {
+  const Internet net = build_internet(small_params(1));
+  EXPECT_TRUE(net.graph.validate().ok());
+}
+
+TEST(Builder, HasRequestedTierSizes) {
+  const auto params = small_params(2);
+  const Internet net = build_internet(params);
+  EXPECT_EQ(net.tier1s.size(), params.tier1_names.size());
+  EXPECT_EQ(net.graph.ases_of_tier(Tier::kTier1).size(), 6u);
+  EXPECT_EQ(net.graph.ases_of_tier(Tier::kTransit).size(),
+            static_cast<std::size_t>(params.regional_transit_count +
+                                     params.access_transit_count));
+  EXPECT_EQ(net.graph.ases_of_tier(Tier::kStub).size(),
+            static_cast<std::size_t>(params.stub_count));
+}
+
+TEST(Builder, Tier1sHavePopNetworks) {
+  const Internet net = build_internet(small_params(3));
+  for (const AsId t : net.tier1s) {
+    EXPECT_TRUE(net.pops.has(t));
+    EXPECT_GE(net.pops.network(t).pop_count(), 2u);
+  }
+}
+
+TEST(Builder, RequiredPopsAreHonored) {
+  auto params = small_params(4);
+  params.required_tier1_pops = {{"Atlanta", "Stockholm"},
+                                {"Los Angeles"},
+                                {"Singapore"},
+                                {"London"},
+                                {"Tokyo", "Miami"},
+                                {"Sao Paulo"}};
+  const Internet net = build_internet(params);
+  EXPECT_TRUE(
+      net.pops.network(net.tier1_by_name("Telia")).pop_by_metro("Atlanta").ok());
+  EXPECT_TRUE(net.pops.network(net.tier1_by_name("NTT")).pop_by_metro("Miami").ok());
+  EXPECT_TRUE(
+      net.pops.network(net.tier1_by_name("Sparkle")).pop_by_metro("Sao Paulo").ok());
+}
+
+TEST(Builder, Tier1ByNameThrowsOnUnknown) {
+  const Internet net = build_internet(small_params(5));
+  EXPECT_NO_THROW((void)net.tier1_by_name("Telia"));
+  EXPECT_THROW((void)net.tier1_by_name("NoSuchCarrier"),
+               std::invalid_argument);
+}
+
+TEST(Builder, DeterministicForSameSeed) {
+  const Internet a = build_internet(small_params(6));
+  const Internet b = build_internet(small_params(6));
+  EXPECT_EQ(save_internet(a), save_internet(b));
+}
+
+TEST(Builder, DifferentSeedsDiffer) {
+  const Internet a = build_internet(small_params(7));
+  const Internet b = build_internet(small_params(8));
+  EXPECT_NE(save_internet(a), save_internet(b));
+}
+
+TEST(Builder, PolicyFlagFractionsRoughlyRespected) {
+  auto params = small_params(9);
+  params.stub_count = 600;
+  const Internet net = build_internet(params);
+  std::size_t multipath = 0;
+  std::size_t deviant = 0;
+  std::size_t oldest = 0;
+  for (const AsNode& n : net.graph.nodes()) {
+    multipath += n.multipath;
+    deviant += n.deviant_policy;
+    oldest += n.prefers_oldest;
+  }
+  const double total = static_cast<double>(net.graph.as_count());
+  EXPECT_NEAR(static_cast<double>(multipath) / total,
+              params.multipath_fraction, 0.03);
+  EXPECT_NEAR(static_cast<double>(deviant) / total, params.deviant_fraction,
+              0.03);
+  EXPECT_NEAR(static_cast<double>(oldest) / total,
+              params.oldest_pref_fraction, 0.05);
+}
+
+TEST(Builder, DeviantTablesOnlyForDeviantAses) {
+  const Internet net = build_internet(small_params(10));
+  ASSERT_EQ(net.deviant_rank.size(), net.graph.as_count());
+  for (std::size_t i = 0; i < net.graph.as_count(); ++i) {
+    if (net.graph.nodes()[i].deviant_policy) {
+      EXPECT_EQ(net.deviant_rank[i].size(), net.tier1s.size());
+    } else {
+      EXPECT_TRUE(net.deviant_rank[i].empty());
+    }
+  }
+}
+
+TEST(Builder, Tier1sNeverDeviant) {
+  const Internet net = build_internet(small_params(11));
+  for (const AsId t : net.tier1s) {
+    EXPECT_FALSE(net.graph.node(t).deviant_policy);
+  }
+}
+
+TEST(Builder, StubsHaveProviders) {
+  const Internet net = build_internet(small_params(12));
+  for (const AsId s : net.graph.ases_of_tier(Tier::kStub)) {
+    bool has_provider = false;
+    for (const Neighbor& n : net.graph.node(s).neighbors) {
+      has_provider |= n.relation == Relation::kProvider;
+    }
+    EXPECT_TRUE(has_provider) << "stub " << net.graph.node(s).asn;
+  }
+}
+
+}  // namespace
+}  // namespace anyopt::topo

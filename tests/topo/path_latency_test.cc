@@ -1,0 +1,72 @@
+#include "topo/path_latency.h"
+
+#include <gtest/gtest.h>
+
+namespace anyopt::topo {
+namespace {
+
+TEST(PolylineLatency, EmptyAndSingleAreZero) {
+  EXPECT_DOUBLE_EQ(polyline_latency_ms({}), 0.0);
+  const std::vector<geo::Coordinates> one{{10, 10}};
+  EXPECT_DOUBLE_EQ(polyline_latency_ms(one), 0.0);
+}
+
+TEST(PolylineLatency, SingleSegmentMatchesDirectLatency) {
+  const geo::Coordinates a{40.713, -74.006};
+  const geo::Coordinates b{51.507, -0.128};
+  const std::vector<geo::Coordinates> line{a, b};
+  EXPECT_DOUBLE_EQ(polyline_latency_ms(line), geo::one_way_latency_ms(a, b));
+}
+
+TEST(PolylineLatency, DetourIsNeverShorterThanDirect) {
+  const geo::Coordinates a{40.713, -74.006};   // New York
+  const geo::Coordinates mid{25.762, -80.192}; // Miami detour
+  const geo::Coordinates b{51.507, -0.128};    // London
+  const std::vector<geo::Coordinates> direct{a, b};
+  const std::vector<geo::Coordinates> detour{a, mid, b};
+  EXPECT_GT(polyline_latency_ms(detour), polyline_latency_ms(direct));
+}
+
+TEST(PolylineLatency, AdditiveOverSegments) {
+  const geo::Coordinates a{0, 0};
+  const geo::Coordinates b{0, 10};
+  const geo::Coordinates c{0, 20};
+  const std::vector<geo::Coordinates> whole{a, b, c};
+  EXPECT_NEAR(polyline_latency_ms(whole),
+              geo::one_way_latency_ms(a, b) + geo::one_way_latency_ms(b, c),
+              1e-12);
+}
+
+TEST(WaypointsFor, PrependsOriginAndFollowsLinkLocations) {
+  AsGraph g;
+  AsNode t1;
+  t1.tier = Tier::kTier1;
+  AsNode t2 = t1;
+  AsNode stub;
+  stub.tier = Tier::kStub;
+  const AsId a = g.add_as(t1);
+  const AsId b = g.add_as(t2);
+  const AsId s = g.add_as(stub);
+  const auto l1 = g.connect(a, b, Relation::kPeer, {10, 20}, 1.0);
+  const auto l2 = g.connect(s, a, Relation::kProvider, {30, 40}, 1.0);
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l2.ok());
+
+  const geo::Coordinates origin{1, 2};
+  const std::vector<LinkId> links{l2.value(), l1.value()};
+  const auto points = waypoints_for(g, origin, links);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_DOUBLE_EQ(points[0].latitude_deg, 1);
+  EXPECT_DOUBLE_EQ(points[1].latitude_deg, 30);
+  EXPECT_DOUBLE_EQ(points[2].latitude_deg, 10);
+}
+
+TEST(WaypointsFor, NoLinksIsJustTheOrigin) {
+  AsGraph g;
+  const auto points = waypoints_for(g, {5, 6}, {});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].longitude_deg, 6);
+}
+
+}  // namespace
+}  // namespace anyopt::topo

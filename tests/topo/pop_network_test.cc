@@ -1,0 +1,102 @@
+#include "topo/pop_network.h"
+
+#include <gtest/gtest.h>
+
+#include "netbase/geo.h"
+
+namespace anyopt::topo {
+namespace {
+
+std::vector<Pop> sample_pops() {
+  return {
+      {"New York", geo::metro("New York").where},
+      {"Chicago", geo::metro("Chicago").where},
+      {"Los Angeles", geo::metro("Los Angeles").where},
+      {"London", geo::metro("London").where},
+      {"Tokyo", geo::metro("Tokyo").where},
+  };
+}
+
+TEST(PopNetwork, AllPairsFiniteAndSymmetricIsh) {
+  const PopNetwork net = PopNetwork::build(sample_pops(), 2, 0.0, Rng{1});
+  for (std::size_t i = 0; i < net.pop_count(); ++i) {
+    for (std::size_t j = 0; j < net.pop_count(); ++j) {
+      const double d = net.igp_cost(i, j);
+      EXPECT_TRUE(std::isfinite(d)) << i << "," << j;
+      // Undirected links => symmetric shortest paths.
+      EXPECT_DOUBLE_EQ(d, net.igp_cost(j, i));
+    }
+    EXPECT_DOUBLE_EQ(net.igp_cost(i, i), 0.0);
+  }
+}
+
+TEST(PopNetwork, TriangleInequalityHolds) {
+  const PopNetwork net = PopNetwork::build(sample_pops(), 3, 0.0, Rng{2});
+  const std::size_t n = net.pop_count();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t c = 0; c < n; ++c) {
+        EXPECT_LE(net.igp_cost(a, c),
+                  net.igp_cost(a, b) + net.igp_cost(b, c) + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PopNetwork, IgpCostCorrelatesWithGeography) {
+  // §4.3's heuristic depends on IGP distance tracking latency; nearby PoPs
+  // must be IGP-closer than far ones.
+  const PopNetwork net = PopNetwork::build(sample_pops(), 2, 0.0, Rng{3});
+  const auto ny = net.pop_by_metro("New York").value();
+  const auto chi = net.pop_by_metro("Chicago").value();
+  const auto tyo = net.pop_by_metro("Tokyo").value();
+  EXPECT_LT(net.igp_cost(ny, chi), net.igp_cost(ny, tyo));
+}
+
+TEST(PopNetwork, NearestPopPicksLocalOne) {
+  const PopNetwork net = PopNetwork::build(sample_pops(), 2, 0.1, Rng{4});
+  // A point in New Jersey should map to the New York PoP.
+  const std::size_t idx = net.nearest_pop({40.0, -74.5});
+  EXPECT_EQ(net.pop(idx).metro, "New York");
+}
+
+TEST(PopNetwork, PopByMetroFindsAndFails) {
+  const PopNetwork net = PopNetwork::build(sample_pops(), 2, 0.1, Rng{5});
+  EXPECT_TRUE(net.pop_by_metro("London").ok());
+  EXPECT_FALSE(net.pop_by_metro("Mars").ok());
+}
+
+TEST(PopNetwork, SinglePopDegenerate) {
+  const PopNetwork net = PopNetwork::build(
+      {{"London", geo::metro("London").where}}, 3, 0.1, Rng{6});
+  EXPECT_EQ(net.pop_count(), 1u);
+  EXPECT_DOUBLE_EQ(net.igp_cost(0, 0), 0.0);
+  EXPECT_EQ(net.nearest_pop({0, 0}), 0u);
+}
+
+TEST(PopNetwork, DeterministicForSameSeed) {
+  const PopNetwork a = PopNetwork::build(sample_pops(), 2, 0.2, Rng{7});
+  const PopNetwork b = PopNetwork::build(sample_pops(), 2, 0.2, Rng{7});
+  EXPECT_EQ(a.distance_matrix(), b.distance_matrix());
+}
+
+TEST(PopNetwork, FromMatrixRoundTrips) {
+  const PopNetwork a = PopNetwork::build(sample_pops(), 2, 0.2, Rng{8});
+  const PopNetwork b =
+      PopNetwork::from_matrix(sample_pops(), a.distance_matrix());
+  EXPECT_EQ(a.distance_matrix(), b.distance_matrix());
+  EXPECT_EQ(b.pop_count(), a.pop_count());
+}
+
+TEST(PopRegistry, AttachAndLookup) {
+  PopRegistry reg;
+  EXPECT_FALSE(reg.has(AsId{3}));
+  reg.attach(AsId{3}, PopNetwork::build(sample_pops(), 2, 0.1, Rng{9}));
+  EXPECT_TRUE(reg.has(AsId{3}));
+  EXPECT_EQ(reg.network(AsId{3}).pop_count(), 5u);
+  EXPECT_EQ(reg.attached_ases().size(), 1u);
+  EXPECT_EQ(reg.attached_ases()[0], AsId{3});
+}
+
+}  // namespace
+}  // namespace anyopt::topo

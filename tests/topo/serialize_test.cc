@@ -1,0 +1,105 @@
+#include "topo/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/builder.h"
+
+namespace anyopt::topo {
+namespace {
+
+InternetParams tiny_params(std::uint64_t seed) {
+  InternetParams p;
+  p.regional_transit_count = 8;
+  p.access_transit_count = 10;
+  p.stub_count = 60;
+  p.extra_pops_per_tier1_min = 2;
+  p.extra_pops_per_tier1_max = 3;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Serialize, RoundTripIsExact) {
+  const Internet original = build_internet(tiny_params(100));
+  const std::string text = save_internet(original);
+  const auto loaded = load_internet(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  // Bit-exact round trip: serializing again yields the same text.
+  EXPECT_EQ(save_internet(loaded.value()), text);
+}
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  const Internet original = build_internet(tiny_params(101));
+  const auto loaded = load_internet(save_internet(original));
+  ASSERT_TRUE(loaded.ok());
+  const Internet& copy = loaded.value();
+  EXPECT_EQ(copy.graph.as_count(), original.graph.as_count());
+  EXPECT_EQ(copy.graph.link_count(), original.graph.link_count());
+  EXPECT_EQ(copy.tier1s, original.tier1s);
+  EXPECT_EQ(copy.deviant_rank, original.deviant_rank);
+  for (const AsId t : original.tier1s) {
+    ASSERT_TRUE(copy.pops.has(t));
+    EXPECT_EQ(copy.pops.network(t).distance_matrix(),
+              original.pops.network(t).distance_matrix());
+  }
+}
+
+TEST(Serialize, RoundTripPreservesPolicyFlags) {
+  const Internet original = build_internet(tiny_params(102));
+  const auto loaded = load_internet(save_internet(original));
+  ASSERT_TRUE(loaded.ok());
+  for (std::size_t i = 0; i < original.graph.as_count(); ++i) {
+    const AsNode& a = original.graph.nodes()[i];
+    const AsNode& b = loaded.value().graph.nodes()[i];
+    EXPECT_EQ(a.multipath, b.multipath);
+    EXPECT_EQ(a.deviant_policy, b.deviant_policy);
+    EXPECT_EQ(a.prefers_oldest, b.prefers_oldest);
+    EXPECT_EQ(a.router_id, b.router_id);
+    EXPECT_EQ(a.asn, b.asn);
+    EXPECT_EQ(a.name, b.name);
+  }
+}
+
+TEST(Serialize, RejectsBadHeader) {
+  EXPECT_FALSE(load_internet("not-a-topology\nend\n").ok());
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  const Internet original = build_internet(tiny_params(103));
+  std::string text = save_internet(original);
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(load_internet(text).ok());
+}
+
+TEST(Serialize, RejectsCorruptCounts) {
+  const Internet original = build_internet(tiny_params(104));
+  std::string text = save_internet(original);
+  const auto pos = text.find("counts ");
+  text.replace(pos, 8, "counts 9");
+  EXPECT_FALSE(load_internet(text).ok());
+}
+
+TEST(Serialize, RejectsUnknownRecord) {
+  EXPECT_FALSE(
+      load_internet("anyopt-internet v1\nbogus 1 2 3\nend\n").ok());
+}
+
+TEST(Serialize, MetroNamesWithSpacesSurvive) {
+  // "Los Angeles", "Sao Paulo" etc. must round-trip through the encoding.
+  const Internet original = build_internet(tiny_params(105));
+  const auto loaded = load_internet(save_internet(original));
+  ASSERT_TRUE(loaded.ok());
+  bool saw_space = false;
+  for (const AsId t : loaded.value().tier1s) {
+    const auto& pn = loaded.value().pops.network(t);
+    for (std::size_t p = 0; p < pn.pop_count(); ++p) {
+      if (pn.pop(p).metro.find(' ') != std::string::npos) saw_space = true;
+    }
+  }
+  // The metro database contains multi-word names, so with 6 tier-1s at
+  // least one PoP metro almost surely has a space; if not, the test is
+  // vacuous but still passes round-trip above.
+  SUCCEED() << (saw_space ? "multi-word metro survived" : "no multi-word metro");
+}
+
+}  // namespace
+}  // namespace anyopt::topo
