@@ -42,18 +42,23 @@ stats::Online no_order_over_subsets(const core::PairwiseTable& table,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::parse_threads(argc, argv);
   bench::print_banner(
       "Figure 4b — networks without a total order vs #providers",
       "naive grows to 21.7% at 6 providers; accounting for announcement "
       "order halves it to 10.8%");
+  std::printf("campaign threads: %zu\n\n", threads);
 
-  bench::PaperEnv env = bench::make_env_from_environment();
+  bench::PaperEnv env = bench::make_env_from_environment(threads);
 
   core::DiscoveryOptions naive_opts;
   naive_opts.account_order = false;
+  naive_opts.threads = threads;
+  core::DiscoveryOptions ordered_opts;
+  ordered_opts.threads = threads;
   const core::Discovery naive(*env.orchestrator, naive_opts);
-  const core::Discovery ordered(*env.orchestrator);
+  const core::Discovery ordered(*env.orchestrator, ordered_opts);
 
   std::size_t experiments = 0;
   const core::PairwiseTable naive_table = naive.provider_level(&experiments);

@@ -12,20 +12,23 @@
 #include "netbase/table.h"
 #include "support/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anyopt;
+  const std::size_t threads = bench::parse_threads(argc, argv);
   bench::print_banner(
       "Figure 4c — networks with a total order vs #sites",
       "naive collapses to 15.3% at 15 sites; two-level + announcement "
       "order keeps 88.9%");
+  std::printf("campaign threads: %zu\n\n", threads);
 
-  bench::PaperEnv env = bench::make_env_from_environment();
+  bench::PaperEnv env = bench::make_env_from_environment(threads);
   const auto& deployment = env.world->deployment();
 
   // Naive baseline: flat site-level pairwise table, simultaneous
   // announcements (O(|S|^2) BGP experiments).
   core::DiscoveryOptions naive_opts;
   naive_opts.account_order = false;
+  naive_opts.threads = threads;
   const core::Discovery naive(*env.orchestrator, naive_opts);
   std::size_t naive_experiments = 0;
   const core::PairwiseTable flat = naive.flat_site_level(&naive_experiments);

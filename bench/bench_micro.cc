@@ -8,8 +8,10 @@
 #include "bgp/decision.h"
 #include "bgp/simulator.h"
 #include "core/anyopt.h"
+#include "measure/campaign_runner.h"
 #include "measure/orchestrator.h"
 #include "netbase/rng.h"
+#include "support/bench_common.h"
 
 namespace {
 
@@ -118,6 +120,30 @@ void BM_CatchmentCensus(benchmark::State& state) {
 }
 BENCHMARK(BM_CatchmentCensus);
 
+void BM_CampaignBatch(benchmark::State& state) {
+  // One provider-level-sized campaign batch (16 pairwise experiments) run
+  // through the CampaignRunner with `arg` worker threads.  Thread counts
+  // beyond the default list come from --threads (see main below).
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const measure::CampaignRunner runner(orchestrator(), {.threads = threads});
+  const std::size_t sites = world().deployment().site_count();
+  std::vector<measure::ExperimentSpec> specs;
+  for (std::size_t k = 0; k < 16; ++k) {
+    measure::ExperimentSpec spec;
+    spec.config.announce_order = {
+        SiteId{static_cast<SiteId::underlying_type>(k % sites)},
+        SiteId{static_cast<SiteId::underlying_type>((k + 1 + k / sites) % sites)}};
+    spec.nonce = mix64(0xBE7C, k);
+    specs.push_back(std::move(spec));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(specs));
+  }
+  state.counters["experiments"] = static_cast<double>(specs.size());
+}
+BENCHMARK(BM_CampaignBatch)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_PredictConfiguration(benchmark::State& state) {
   auto& pipe = pipeline();
   Rng rng{3};
@@ -169,4 +195,19 @@ BENCHMARK(BM_SplpoEvaluate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: `--threads N` (stripped before google-benchmark sees the
+// argument list) registers an extra BM_CampaignBatch run at N workers on
+// top of the static 1/2/4 sweep.
+int main(int argc, char** argv) {
+  const std::size_t threads = anyopt::bench::parse_threads(argc, argv, 0);
+  if (threads != 0 && threads != 1 && threads != 2 && threads != 4) {
+    benchmark::RegisterBenchmark("BM_CampaignBatch", BM_CampaignBatch)
+        ->Arg(static_cast<std::int64_t>(threads))
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -39,9 +39,17 @@ int main() {
                    std::to_string(census.catchment_size(site))});
   }
   std::printf("%s\n", table.render().c_str());
-  std::printf("all-sites deployment: mean RTT %.1f ms, median %.1f ms, "
-              "reachable %zu/%zu\n",
-              census.mean_rtt(), census.median_rtt(),
-              census.reachable_count(), targets.size());
+  // Empty-census contract: mean/median are 0.0 (not NaN) when nothing was
+  // reachable; print n/a instead of a misleading zero-latency deployment.
+  if (census.reachable_count() == 0) {
+    std::printf("all-sites deployment: mean RTT n/a, median n/a, "
+                "reachable 0/%zu\n",
+                targets.size());
+  } else {
+    std::printf("all-sites deployment: mean RTT %.1f ms, median %.1f ms, "
+                "reachable %zu/%zu\n",
+                census.mean_rtt(), census.median_rtt(),
+                census.reachable_count(), targets.size());
+  }
   return 0;
 }

@@ -2,30 +2,68 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cctype>
 #include <cstring>
 
 #include "netbase/rng.h"
 
 namespace anyopt::bench {
 
-PaperEnv make_paper_env(std::uint64_t seed) {
+namespace {
+
+PaperEnv make_env(anycast::WorldParams params, std::size_t threads) {
   PaperEnv env;
-  env.world = anycast::World::create(anycast::WorldParams::paper_scale(seed));
+  env.world = anycast::World::create(std::move(params));
   env.orchestrator = std::make_unique<measure::Orchestrator>(*env.world);
-  env.pipeline = std::make_unique<core::AnyOptPipeline>(*env.orchestrator);
+  core::PipelineOptions options;
+  options.discovery.threads = threads;
+  env.pipeline =
+      std::make_unique<core::AnyOptPipeline>(*env.orchestrator, options);
   return env;
 }
 
-PaperEnv make_env_from_environment() {
+}  // namespace
+
+PaperEnv make_paper_env(std::uint64_t seed, std::size_t threads) {
+  return make_env(anycast::WorldParams::paper_scale(seed), threads);
+}
+
+PaperEnv make_env_from_environment(std::size_t threads) {
   const char* scale = std::getenv("ANYOPT_BENCH_SCALE");
   if (scale != nullptr && std::strcmp(scale, "small") == 0) {
-    PaperEnv env;
-    env.world = anycast::World::create(anycast::WorldParams::test_scale(1897));
-    env.orchestrator = std::make_unique<measure::Orchestrator>(*env.world);
-    env.pipeline = std::make_unique<core::AnyOptPipeline>(*env.orchestrator);
-    return env;
+    return make_env(anycast::WorldParams::test_scale(1897), threads);
   }
-  return make_paper_env();
+  return make_paper_env(1897, threads);
+}
+
+std::size_t parse_threads(int& argc, char** argv, std::size_t fallback) {
+  // Only a fully numeric value counts: a bare `--threads` must not eat a
+  // following flag, and `--threads=abc` is left in argv so downstream
+  // parsers (e.g. google benchmark) can reject it by name.
+  const auto numeric = [](const char* s) {
+    if (*s == '\0') return false;
+    for (; *s != '\0'; ++s) {
+      if (std::isdigit(static_cast<unsigned char>(*s)) == 0) return false;
+    }
+    return true;
+  };
+  std::size_t threads = fallback;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc &&
+        numeric(argv[i + 1])) {
+      threads = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0 &&
+               numeric(arg + 10)) {
+      threads = static_cast<std::size_t>(std::strtoul(arg + 10, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return threads;
 }
 
 std::vector<Fig5Point> run_fig5_sweep(PaperEnv& env, int count,

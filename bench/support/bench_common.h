@@ -22,11 +22,20 @@ struct PaperEnv {
 };
 
 /// Builds the environment (seed 1897 reproduces every number in
-/// EXPERIMENTS.md; pass another seed to check robustness).
-[[nodiscard]] PaperEnv make_paper_env(std::uint64_t seed = 1897);
+/// EXPERIMENTS.md; pass another seed to check robustness).  `threads`
+/// parallelizes the pipeline's discovery campaigns (1 = serial,
+/// 0 = hardware concurrency); results are bit-identical at any setting.
+[[nodiscard]] PaperEnv make_paper_env(std::uint64_t seed = 1897,
+                                      std::size_t threads = 1);
 
 /// A reduced environment for quick runs (set ANYOPT_BENCH_SCALE=small).
-[[nodiscard]] PaperEnv make_env_from_environment();
+[[nodiscard]] PaperEnv make_env_from_environment(std::size_t threads = 1);
+
+/// Parses `--threads N` / `--threads=N` and REMOVES it from argv so the
+/// remaining arguments can be handed to another parser (e.g. google
+/// benchmark).  Returns `fallback` when the flag is absent.
+[[nodiscard]] std::size_t parse_threads(int& argc, char** argv,
+                                        std::size_t fallback = 1);
 
 /// Prints the standard bench banner: experiment id, what the paper
 /// reports, and what this binary regenerates.

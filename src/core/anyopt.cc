@@ -43,7 +43,9 @@ SearchOutcome AnyOptPipeline::optimize(OptimizerOptions options) {
 
 OnePassResult AnyOptPipeline::tune_peers(
     const anycast::AnycastConfig& baseline) const {
-  const OnePassPeerSelector selector(orchestrator_);
+  OnePassOptions options;
+  options.threads = options_.discovery.threads;
+  const OnePassPeerSelector selector(orchestrator_, options);
   return selector.run(baseline);
 }
 

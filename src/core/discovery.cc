@@ -1,8 +1,7 @@
 #include "core/discovery.h"
 
-#include <cassert>
-
 #include "anycast/config.h"
+#include "netbase/rng.h"
 
 namespace anyopt::core {
 
@@ -10,7 +9,8 @@ Discovery::Discovery(const measure::Orchestrator& orchestrator,
                      DiscoveryOptions options)
     : orchestrator_(orchestrator),
       options_(std::move(options)),
-      next_nonce_(options_.nonce_base) {}
+      runner_(orchestrator_,
+              measure::CampaignRunnerOptions{.threads = options_.threads}) {}
 
 SiteId Discovery::representative(ProviderId provider) const {
   if (provider.value() < options_.representatives.size() &&
@@ -19,17 +19,29 @@ SiteId Discovery::representative(ProviderId provider) const {
   }
   const auto sites =
       orchestrator_.world().deployment().sites_of_provider(provider);
-  assert(!sites.empty());
+  if (sites.empty()) return SiteId{};  // invalid: no site to announce from
   return sites.front();
 }
 
-Discovery::PairOutcomes Discovery::run_pair(SiteId first, SiteId second,
-                                            double spacing_s,
-                                            std::uint64_t nonce) const {
-  anycast::AnycastConfig cfg;
-  cfg.announce_order = {first, second};
-  cfg.spacing_s = spacing_s;
-  const measure::Census census = orchestrator_.measure(cfg, nonce);
+std::uint64_t Discovery::experiment_nonce(SiteId first, SiteId second,
+                                          std::uint64_t order_leg) const {
+  std::uint64_t n = mix64(options_.nonce_base, first.value());
+  n = mix64(n, second.value());
+  return mix64(n, order_leg);
+}
+
+measure::ExperimentSpec Discovery::make_spec(SiteId first, SiteId second,
+                                             double spacing_s,
+                                             std::uint64_t order_leg) const {
+  measure::ExperimentSpec spec;
+  spec.config.announce_order = {first, second};
+  spec.config.spacing_s = spacing_s;
+  spec.nonce = experiment_nonce(first, second, order_leg);
+  return spec;
+}
+
+Discovery::PairOutcomes Discovery::census_winners(
+    const measure::Census& census, SiteId first, SiteId second) {
   PairOutcomes out;
   out.winner.resize(census.site_of_target.size(), 2);
   for (std::size_t t = 0; t < census.site_of_target.size(); ++t) {
@@ -59,45 +71,84 @@ PrefKind Discovery::classify(std::uint8_t winner_when_ab,
   return PrefKind::kInconsistent;
 }
 
+std::vector<std::vector<PrefKind>> Discovery::classify_jobs(
+    std::span<const PairJob> jobs, std::size_t* experiments) const {
+  const std::size_t legs = options_.account_order ? 2 : 1;
+  std::vector<measure::ExperimentSpec> specs;
+  specs.reserve(jobs.size() * legs);
+  for (const PairJob& job : jobs) {
+    if (options_.account_order) {
+      specs.push_back(make_spec(job.first, job.second, options_.spacing_s, 0));
+      specs.push_back(make_spec(job.second, job.first, options_.spacing_s, 1));
+    } else {
+      // Naive mode: one simultaneous announcement; whatever wins is taken
+      // as the (supposed) strict preference.
+      specs.push_back(make_spec(job.first, job.second, 0.0, 0));
+    }
+  }
+  const std::vector<measure::Census> censuses = runner_.run(specs);
+  if (experiments != nullptr) *experiments += specs.size();
+
+  std::vector<std::vector<PrefKind>> out(jobs.size());
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const PairJob& job = jobs[k];
+    const PairOutcomes ab =
+        census_winners(censuses[k * legs], job.first, job.second);
+    std::vector<PrefKind>& kinds = out[k];
+    kinds.resize(ab.winner.size(), PrefKind::kUnknown);
+    if (options_.account_order) {
+      // The second leg's winners are relative to (second, first); flip to
+      // the (first, second) orientation before classifying.
+      const PairOutcomes ba =
+          census_winners(censuses[k * legs + 1], job.second, job.first);
+      for (std::size_t t = 0; t < kinds.size(); ++t) {
+        const std::uint8_t ba_as_ab =
+            ba.winner[t] == 2 ? std::uint8_t{2}
+                              : static_cast<std::uint8_t>(1 - ba.winner[t]);
+        kinds[t] = classify(ab.winner[t], ba_as_ab);
+      }
+    } else {
+      for (std::size_t t = 0; t < kinds.size(); ++t) {
+        kinds[t] = ab.winner[t] == 2  ? PrefKind::kUnknown
+                   : ab.winner[t] == 0 ? PrefKind::kStrictFirst
+                                       : PrefKind::kStrictSecond;
+      }
+    }
+  }
+  return out;
+}
+
 PairwiseTable Discovery::provider_level(std::size_t* experiments) const {
   const auto& deployment = orchestrator_.world().deployment();
   const std::size_t providers = deployment.provider_count();
   const std::size_t targets = orchestrator_.world().targets().size();
   PairwiseTable table;
   table.init(providers, targets);
-  std::size_t runs = 0;
 
+  std::vector<PairJob> jobs;
+  std::vector<std::pair<std::size_t, std::size_t>> job_pairs;
+  jobs.reserve(pair_count(providers));
+  job_pairs.reserve(pair_count(providers));
   for (std::size_t p = 0; p < providers; ++p) {
     for (std::size_t q = p + 1; q < providers; ++q) {
       const SiteId rep_p =
           representative(ProviderId{static_cast<ProviderId::underlying_type>(p)});
       const SiteId rep_q =
           representative(ProviderId{static_cast<ProviderId::underlying_type>(q)});
-      if (options_.account_order) {
-        const PairOutcomes ab =
-            run_pair(rep_p, rep_q, options_.spacing_s, next_nonce_++);
-        const PairOutcomes ba =
-            run_pair(rep_q, rep_p, options_.spacing_s, next_nonce_++);
-        runs += 2;
-        for (std::size_t t = 0; t < targets; ++t) {
-          // ba.winner is relative to (q, p); flip to (p, q) orientation.
-          const std::uint8_t ba_as_ab =
-              ba.winner[t] == 2 ? std::uint8_t{2}
-                                : static_cast<std::uint8_t>(1 - ba.winner[t]);
-          table.set(p, q, t, classify(ab.winner[t], ba_as_ab));
-        }
-      } else {
-        // Naive mode: one simultaneous announcement; whatever wins is taken
-        // as the (supposed) strict preference.
-        const PairOutcomes sim = run_pair(rep_p, rep_q, 0.0, next_nonce_++);
-        runs += 1;
-        for (std::size_t t = 0; t < targets; ++t) {
-          table.set(p, q, t,
-                    sim.winner[t] == 2  ? PrefKind::kUnknown
-                    : sim.winner[t] == 0 ? PrefKind::kStrictFirst
-                                         : PrefKind::kStrictSecond);
-        }
-      }
+      // A provider without a representative (no attached sites) cannot be
+      // announced; its pairs stay kUnknown.
+      if (!rep_p.valid() || !rep_q.valid()) continue;
+      jobs.push_back({rep_p, rep_q});
+      job_pairs.push_back({p, q});
+    }
+  }
+
+  std::size_t runs = 0;
+  const auto classified = classify_jobs(jobs, &runs);
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const auto [p, q] = job_pairs[k];
+    for (std::size_t t = 0; t < targets; ++t) {
+      table.set(p, q, t, classified[k][t]);
     }
   }
   if (experiments != nullptr) *experiments = runs;
@@ -110,39 +161,34 @@ std::vector<PairwiseTable> Discovery::site_level(
   const std::size_t providers = deployment.provider_count();
   const std::size_t targets = orchestrator_.world().targets().size();
   std::vector<PairwiseTable> tables(providers);
-  std::size_t runs = 0;
 
+  // One batch across ALL providers: intra-provider pairs are independent
+  // experiments, so they parallelize together.
+  struct Slot {
+    std::size_t provider;
+    std::size_t i;
+    std::size_t j;
+  };
+  std::vector<PairJob> jobs;
+  std::vector<Slot> slots;
   for (std::size_t p = 0; p < providers; ++p) {
     const auto sites = deployment.sites_of_provider(
         ProviderId{static_cast<ProviderId::underlying_type>(p)});
     tables[p].init(sites.size(), targets);
     for (std::size_t i = 0; i < sites.size(); ++i) {
       for (std::size_t j = i + 1; j < sites.size(); ++j) {
-        if (options_.account_order) {
-          const PairOutcomes ab = run_pair(sites[i], sites[j],
-                                           options_.spacing_s, next_nonce_++);
-          const PairOutcomes ba = run_pair(sites[j], sites[i],
-                                           options_.spacing_s, next_nonce_++);
-          runs += 2;
-          for (std::size_t t = 0; t < targets; ++t) {
-            const std::uint8_t ba_as_ab =
-                ba.winner[t] == 2
-                    ? std::uint8_t{2}
-                    : static_cast<std::uint8_t>(1 - ba.winner[t]);
-            tables[p].set(i, j, t, classify(ab.winner[t], ba_as_ab));
-          }
-        } else {
-          const PairOutcomes sim =
-              run_pair(sites[i], sites[j], 0.0, next_nonce_++);
-          runs += 1;
-          for (std::size_t t = 0; t < targets; ++t) {
-            tables[p].set(i, j, t,
-                          sim.winner[t] == 2  ? PrefKind::kUnknown
-                          : sim.winner[t] == 0 ? PrefKind::kStrictFirst
-                                               : PrefKind::kStrictSecond);
-          }
-        }
+        jobs.push_back({sites[i], sites[j]});
+        slots.push_back({p, i, j});
       }
+    }
+  }
+
+  std::size_t runs = 0;
+  const auto classified = classify_jobs(jobs, &runs);
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const Slot& slot = slots[k];
+    for (std::size_t t = 0; t < targets; ++t) {
+      tables[slot.provider].set(slot.i, slot.j, t, classified[k][t]);
     }
   }
   if (experiments != nullptr) *experiments = runs;
@@ -151,30 +197,17 @@ std::vector<PairwiseTable> Discovery::site_level(
 
 std::vector<PrefKind> Discovery::classify_pair(
     SiteId first, SiteId second, std::size_t* experiments) const {
-  const std::size_t targets = orchestrator_.world().targets().size();
-  std::vector<PrefKind> out(targets, PrefKind::kUnknown);
-  if (options_.account_order) {
-    const PairOutcomes ab =
-        run_pair(first, second, options_.spacing_s, next_nonce_++);
-    const PairOutcomes ba =
-        run_pair(second, first, options_.spacing_s, next_nonce_++);
-    if (experiments != nullptr) *experiments += 2;
-    for (std::size_t t = 0; t < targets; ++t) {
-      const std::uint8_t ba_as_ab =
-          ba.winner[t] == 2 ? std::uint8_t{2}
-                            : static_cast<std::uint8_t>(1 - ba.winner[t]);
-      out[t] = classify(ab.winner[t], ba_as_ab);
-    }
-  } else {
-    const PairOutcomes sim = run_pair(first, second, 0.0, next_nonce_++);
-    if (experiments != nullptr) *experiments += 1;
-    for (std::size_t t = 0; t < targets; ++t) {
-      out[t] = sim.winner[t] == 2  ? PrefKind::kUnknown
-               : sim.winner[t] == 0 ? PrefKind::kStrictFirst
-                                    : PrefKind::kStrictSecond;
-    }
-  }
-  return out;
+  const PairJob job{first, second};
+  return classify_jobs({&job, 1}, experiments).front();
+}
+
+std::vector<std::vector<PrefKind>> Discovery::classify_pairs(
+    std::span<const std::pair<SiteId, SiteId>> pairs,
+    std::size_t* experiments) const {
+  std::vector<PairJob> jobs;
+  jobs.reserve(pairs.size());
+  for (const auto& [first, second] : pairs) jobs.push_back({first, second});
+  return classify_jobs(jobs, experiments);
 }
 
 PairwiseTable Discovery::flat_site_level(std::size_t* experiments) const {
@@ -183,32 +216,23 @@ PairwiseTable Discovery::flat_site_level(std::size_t* experiments) const {
   const std::size_t targets = orchestrator_.world().targets().size();
   PairwiseTable table;
   table.init(sites, targets);
-  std::size_t runs = 0;
+
+  std::vector<PairJob> jobs;
+  jobs.reserve(pair_count(sites));
   for (std::size_t i = 0; i < sites; ++i) {
     for (std::size_t j = i + 1; j < sites; ++j) {
-      const SiteId si{static_cast<SiteId::underlying_type>(i)};
-      const SiteId sj{static_cast<SiteId::underlying_type>(j)};
-      if (options_.account_order) {
-        const PairOutcomes ab =
-            run_pair(si, sj, options_.spacing_s, next_nonce_++);
-        const PairOutcomes ba =
-            run_pair(sj, si, options_.spacing_s, next_nonce_++);
-        runs += 2;
-        for (std::size_t t = 0; t < targets; ++t) {
-          const std::uint8_t ba_as_ab =
-              ba.winner[t] == 2 ? std::uint8_t{2}
-                                : static_cast<std::uint8_t>(1 - ba.winner[t]);
-          table.set(i, j, t, classify(ab.winner[t], ba_as_ab));
-        }
-      } else {
-        const PairOutcomes sim = run_pair(si, sj, 0.0, next_nonce_++);
-        runs += 1;
-        for (std::size_t t = 0; t < targets; ++t) {
-          table.set(i, j, t,
-                    sim.winner[t] == 2  ? PrefKind::kUnknown
-                    : sim.winner[t] == 0 ? PrefKind::kStrictFirst
-                                         : PrefKind::kStrictSecond);
-        }
+      jobs.push_back({SiteId{static_cast<SiteId::underlying_type>(i)},
+                      SiteId{static_cast<SiteId::underlying_type>(j)}});
+    }
+  }
+
+  std::size_t runs = 0;
+  const auto classified = classify_jobs(jobs, &runs);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < sites; ++i) {
+    for (std::size_t j = i + 1; j < sites; ++j, ++k) {
+      for (std::size_t t = 0; t < targets; ++t) {
+        table.set(i, j, t, classified[k][t]);
       }
     }
   }
@@ -235,10 +259,14 @@ DiscoveryResult Discovery::run() const {
 double Discovery::order_flip_fraction(ProviderId p, ProviderId q) const {
   const SiteId rep_p = representative(p);
   const SiteId rep_q = representative(q);
-  const PairOutcomes ab =
-      run_pair(rep_p, rep_q, options_.spacing_s, next_nonce_++);
-  const PairOutcomes ba =
-      run_pair(rep_q, rep_p, options_.spacing_s, next_nonce_++);
+  if (!rep_p.valid() || !rep_q.valid()) return 0.0;
+  const std::vector<measure::ExperimentSpec> specs = {
+      make_spec(rep_p, rep_q, options_.spacing_s, 0),
+      make_spec(rep_q, rep_p, options_.spacing_s, 1),
+  };
+  const std::vector<measure::Census> censuses = runner_.run(specs);
+  const PairOutcomes ab = census_winners(censuses[0], rep_p, rep_q);
+  const PairOutcomes ba = census_winners(censuses[1], rep_q, rep_p);
   std::size_t both = 0;
   std::size_t flipped = 0;
   for (std::size_t t = 0; t < ab.winner.size(); ++t) {

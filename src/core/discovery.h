@@ -8,11 +8,21 @@
 // among its sites (announcement order provably cannot matter there, and the
 // experiments confirm it).  The naive single-experiment mode (simultaneous
 // announcement, no order accounting) is retained for the Fig. 4 ablations.
+//
+// Every method enumerates its experiment specs up front and submits them as
+// one batch to a `measure::CampaignRunner`, so campaigns parallelize across
+// `DiscoveryOptions::threads` workers.  Experiment nonces are
+// content-derived — hash(nonce_base, first, second, order_leg) — so a
+// pair's outcome is identical whether it runs alone, inside a full
+// campaign, inside a sparse adaptive campaign, or on any thread.
 
 #include <cstdint>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/preference.h"
+#include "measure/campaign_runner.h"
 #include "measure/orchestrator.h"
 #include "netbase/ids.h"
 
@@ -30,6 +40,9 @@ struct DiscoveryOptions {
   /// site in site-id order.
   std::vector<SiteId> representatives;
   std::uint64_t nonce_base = 0xD15C0;
+  /// Worker threads for batched experiment execution; 1 = serial,
+  /// 0 = hardware concurrency.  Results are bit-identical at any setting.
+  std::size_t threads = 1;
 };
 
 /// Output of the full two-level discovery.
@@ -72,13 +85,29 @@ class Discovery {
   [[nodiscard]] std::vector<PrefKind> classify_pair(
       SiteId first, SiteId second, std::size_t* experiments) const;
 
+  /// Batch variant of `classify_pair`: all pairs' experiments are submitted
+  /// as one campaign batch (parallel across `options().threads`).  Returns
+  /// one per-target classification vector per input pair, in input order.
+  [[nodiscard]] std::vector<std::vector<PrefKind>> classify_pairs(
+      std::span<const std::pair<SiteId, SiteId>> pairs,
+      std::size_t* experiments) const;
+
   /// Fig. 4a primitive: announce the representative sites of providers
   /// `p` then `q` (spaced), re-run reversed, and return the fraction of
-  /// targets whose catchment changed between the two runs.
+  /// targets whose catchment changed between the two runs.  0.0 when either
+  /// provider has no representative.
   [[nodiscard]] double order_flip_fraction(ProviderId p, ProviderId q) const;
 
-  /// The representative site used for a provider.
+  /// The representative site used for a provider.  Returns an INVALID
+  /// SiteId when the provider has no attached sites and no configured
+  /// representative; callers must check `.valid()` before announcing.
   [[nodiscard]] SiteId representative(ProviderId provider) const;
+
+  /// The content-derived nonce of one experiment leg: depends only on
+  /// (nonce_base, announced first, announced second, leg), never on how
+  /// many experiments ran before it.
+  [[nodiscard]] std::uint64_t experiment_nonce(SiteId first, SiteId second,
+                                               std::uint64_t order_leg) const;
 
   [[nodiscard]] const DiscoveryOptions& options() const { return options_; }
 
@@ -88,18 +117,32 @@ class Discovery {
     std::vector<std::uint8_t> winner;
   };
 
-  /// One pairwise experiment: announce `first` then `second` (or both at
-  /// t=0 when spacing==0) and classify each target's winner.
-  [[nodiscard]] PairOutcomes run_pair(SiteId first, SiteId second,
-                                      double spacing_s,
-                                      std::uint64_t nonce) const;
+  /// One logical pairwise measurement (expands to 1 or 2 experiment specs).
+  struct PairJob {
+    SiteId first;
+    SiteId second;
+  };
+
+  /// Runs all jobs as one experiment batch and classifies each: returns one
+  /// per-target PrefKind vector per job, in job order.
+  [[nodiscard]] std::vector<std::vector<PrefKind>> classify_jobs(
+      std::span<const PairJob> jobs, std::size_t* experiments) const;
+
+  /// The spec of one experiment leg of a pair measurement.
+  [[nodiscard]] measure::ExperimentSpec make_spec(SiteId first, SiteId second,
+                                                  double spacing_s,
+                                                  std::uint64_t order_leg) const;
+
+  /// Extracts per-target winners from a census of the (first, second) pair.
+  [[nodiscard]] static PairOutcomes census_winners(
+      const measure::Census& census, SiteId first, SiteId second);
 
   static PrefKind classify(std::uint8_t winner_when_ab,
                            std::uint8_t winner_when_ba);
 
   const measure::Orchestrator& orchestrator_;
   DiscoveryOptions options_;
-  mutable std::uint64_t next_nonce_;
+  measure::CampaignRunner runner_;
 };
 
 }  // namespace anyopt::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "measure/campaign_runner.h"
+#include "netbase/rng.h"
 #include "netbase/stats.h"
 
 namespace anyopt::core {
@@ -15,17 +17,31 @@ OnePassResult OnePassPeerSelector::run(
   const auto& deployment = orchestrator_.world().deployment();
   OnePassResult result;
 
-  // Baseline measurement (transit-only).
-  const measure::Census base =
-      orchestrator_.measure(baseline, options_.nonce_base);
-  result.baseline_mean_rtt = base.mean_rtt();
-
-  // Enable each peer alone on top of the baseline.
-  std::uint64_t nonce = options_.nonce_base + 1;
-  for (const bgp::AttachmentIndex peer : deployment.all_peer_attachments()) {
+  // Enumerate the whole campaign up front — the baseline plus one config
+  // per peer — and submit it as one batch.  Nonces are content-derived
+  // (hashed from the peer's attachment index, not a running counter), so
+  // each peer's measurement is the same no matter which peers are measured
+  // alongside it or on which thread it runs.
+  const auto peers = deployment.all_peer_attachments();
+  std::vector<measure::ExperimentSpec> specs;
+  specs.reserve(peers.size() + 1);
+  specs.push_back({baseline, mix64(options_.nonce_base, 0xBA5E11E5ULL)});
+  for (const bgp::AttachmentIndex peer : peers) {
     anycast::AnycastConfig cfg = baseline;
     cfg.enabled_peers = {peer};
-    const measure::Census census = orchestrator_.measure(cfg, nonce++);
+    specs.push_back(
+        {std::move(cfg), mix64(mix64(options_.nonce_base, 0x9EE2ULL), peer)});
+  }
+  const measure::CampaignRunner runner(
+      orchestrator_, measure::CampaignRunnerOptions{.threads = options_.threads});
+  const std::vector<measure::Census> censuses = runner.run(specs);
+
+  const measure::Census& base = censuses.front();
+  result.baseline_mean_rtt = base.mean_rtt();
+
+  for (std::size_t k = 0; k < peers.size(); ++k) {
+    const bgp::AttachmentIndex peer = peers[k];
+    const measure::Census& census = censuses[k + 1];
     ++result.experiments;
 
     PeerMeasurement m;

@@ -48,6 +48,9 @@ struct OnePassResult {
 
 struct OnePassOptions {
   std::uint64_t nonce_base = 0x9EE5;
+  /// Worker threads for the per-peer experiment batch; 1 = serial,
+  /// 0 = hardware concurrency.  Results are bit-identical at any setting.
+  std::size_t threads = 1;
 };
 
 class OnePassPeerSelector {

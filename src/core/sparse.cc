@@ -63,11 +63,13 @@ SparseDiscovery::SparseDiscovery(const measure::Orchestrator& orchestrator,
                                  DiscoveryOptions options)
     : orchestrator_(orchestrator), options_(std::move(options)) {}
 
-SparseResult SparseDiscovery::run(std::size_t max_pairs) const {
+SparseResult SparseDiscovery::run(std::size_t max_pairs,
+                                  std::size_t batch) const {
   const auto& deployment = orchestrator_.world().deployment();
   const std::size_t providers = deployment.provider_count();
   const std::size_t targets = orchestrator_.world().targets().size();
   const Discovery discovery(orchestrator_, options_);
+  if (batch == 0) batch = 1;
 
   SparseResult result;
   result.table.init(providers, targets);
@@ -86,44 +88,68 @@ SparseResult SparseDiscovery::run(std::size_t max_pairs) const {
     return count;
   };
 
-  for (std::size_t round = 0; round < max_pairs; ++round) {
-    // Pick the unmeasured pair that is unresolved for the most clients.
-    std::size_t best_i = 0;
-    std::size_t best_j = 0;
-    std::size_t best_value = 0;
-    bool found = false;
+  while (result.pairs_measured < max_pairs) {
+    // Select up to `batch` unmeasured pairs for this round, repeatedly
+    // taking the one unresolved for the most clients.  The selection is
+    // adaptive BETWEEN rounds; pairs within a round are measured
+    // concurrently as one campaign batch.
+    struct Candidate {
+      std::size_t i;
+      std::size_t j;
+      std::size_t value;
+    };
+    std::vector<Candidate> candidates;
     for (std::size_t i = 0; i < providers; ++i) {
       for (std::size_t j = i + 1; j < providers; ++j) {
         if (measured[pair_index(i, j, providers)]) continue;
         const std::size_t value = unresolved_count(i, j);
-        if (!found || value > best_value) {
-          found = true;
-          best_value = value;
-          best_i = i;
-          best_j = j;
-        }
+        if (value > 0) candidates.push_back({i, j, value});
       }
     }
-    if (!found || best_value == 0) break;  // everything else is inferable
+    if (candidates.empty()) break;  // everything else is inferable
+    // Highest value first; ties by pair order, matching the sequential
+    // scan's first-wins choice.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.value > b.value;
+                     });
+    const std::size_t take = std::min(
+        {candidates.size(), batch, max_pairs - result.pairs_measured});
+    candidates.resize(take);
 
-    const SiteId rep_i = discovery.representative(
-        ProviderId{static_cast<ProviderId::underlying_type>(best_i)});
-    const SiteId rep_j = discovery.representative(
-        ProviderId{static_cast<ProviderId::underlying_type>(best_j)});
-    const std::vector<PrefKind> outcome =
-        discovery.classify_pair(rep_i, rep_j, &result.experiments);
-    measured[pair_index(best_i, best_j, providers)] = 1;
-    ++result.pairs_measured;
-    result.schedule.push_back({best_i, best_j});
+    std::vector<std::pair<SiteId, SiteId>> reps;
+    std::vector<Candidate> chosen;
+    for (const Candidate& c : candidates) {
+      const SiteId rep_i = discovery.representative(
+          ProviderId{static_cast<ProviderId::underlying_type>(c.i)});
+      const SiteId rep_j = discovery.representative(
+          ProviderId{static_cast<ProviderId::underlying_type>(c.j)});
+      measured[pair_index(c.i, c.j, providers)] = 1;
+      // A provider without sites cannot be announced; its pairs stay
+      // kUnknown but are marked measured so they are never retried.
+      if (!rep_i.valid() || !rep_j.valid()) continue;
+      reps.push_back({rep_i, rep_j});
+      chosen.push_back(c);
+    }
+    if (chosen.empty()) continue;
 
-    for (std::size_t t = 0; t < targets; ++t) {
-      result.table.set(best_i, best_j, t, outcome[t]);
-      if (outcome[t] == PrefKind::kStrictFirst) {
-        closures[t].set(best_i, best_j);
-        closures[t].close(providers);
-      } else if (outcome[t] == PrefKind::kStrictSecond) {
-        closures[t].set(best_j, best_i);
-        closures[t].close(providers);
+    const std::vector<std::vector<PrefKind>> outcomes =
+        discovery.classify_pairs(reps, &result.experiments);
+
+    for (std::size_t k = 0; k < chosen.size(); ++k) {
+      const auto [best_i, best_j, value] = chosen[k];
+      const std::vector<PrefKind>& outcome = outcomes[k];
+      ++result.pairs_measured;
+      result.schedule.push_back({best_i, best_j});
+      for (std::size_t t = 0; t < targets; ++t) {
+        result.table.set(best_i, best_j, t, outcome[t]);
+        if (outcome[t] == PrefKind::kStrictFirst) {
+          closures[t].set(best_i, best_j);
+          closures[t].close(providers);
+        } else if (outcome[t] == PrefKind::kStrictSecond) {
+          closures[t].set(best_j, best_i);
+          closures[t].close(providers);
+        }
       }
     }
   }

@@ -49,7 +49,15 @@ class SparseDiscovery {
   /// Measures at most `max_pairs` provider pairs (each costing two BGP
   /// experiments with order accounting), choosing pairs adaptively and
   /// completing the rest by transitivity.
-  [[nodiscard]] SparseResult run(std::size_t max_pairs) const;
+  ///
+  /// `batch` pairs are selected and measured per adaptive round (their
+  /// experiments run as one parallel campaign batch across
+  /// `DiscoveryOptions::threads`); `batch == 1` reproduces the fully
+  /// sequential schedule.  Because experiment nonces are content-derived,
+  /// each measured pair's outcome is identical to what the full discovery
+  /// (or any other schedule) would have produced for it.
+  [[nodiscard]] SparseResult run(std::size_t max_pairs,
+                                 std::size_t batch = 1) const;
 
  private:
   const measure::Orchestrator& orchestrator_;

@@ -1,0 +1,28 @@
+#include "measure/campaign_runner.h"
+
+namespace anyopt::measure {
+
+CampaignRunner::CampaignRunner(const Orchestrator& orchestrator,
+                               CampaignRunnerOptions options)
+    : orchestrator_(orchestrator) {
+  if (options.threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(options.threads);
+  }
+}
+
+std::vector<Census> CampaignRunner::run(
+    std::span<const ExperimentSpec> specs) const {
+  std::vector<Census> censuses(specs.size());
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      censuses[i] = orchestrator_.measure(specs[i].config, specs[i].nonce);
+    }
+    return censuses;
+  }
+  pool_->parallel_for(specs.size(), [&](std::size_t i) {
+    censuses[i] = orchestrator_.measure(specs[i].config, specs[i].nonce);
+  });
+  return censuses;
+}
+
+}  // namespace anyopt::measure

@@ -1,0 +1,62 @@
+#pragma once
+// Parallel experiment execution engine.
+//
+// Discovery is the dominant cost of AnyOpt: a campaign is O(providers²) +
+// Σ O(sites_p²) *independent* BGP experiments (§4.5), each a clean-state
+// `bgp::Simulator::run` over shared immutable topology.  The runner takes a
+// batch of fully specified experiments — an `AnycastConfig` plus the
+// content-derived nonce that fixes its jitter — and fans them out over a
+// worker pool.  Because every experiment's identity is self-contained,
+// results are returned in spec order and are bit-identical to the serial
+// path regardless of thread count or completion order.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "anycast/config.h"
+#include "measure/orchestrator.h"
+#include "netbase/thread_pool.h"
+
+namespace anyopt::measure {
+
+/// One fully specified BGP experiment: a deployable configuration plus the
+/// nonce that individualizes its jitter.  Two specs with the same content
+/// produce the same census wherever and whenever they run.
+struct ExperimentSpec {
+  anycast::AnycastConfig config;
+  std::uint64_t nonce = 0;
+};
+
+struct CampaignRunnerOptions {
+  /// Worker threads; 1 = run serially on the calling thread (no pool),
+  /// 0 = hardware concurrency.
+  std::size_t threads = 1;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(const Orchestrator& orchestrator,
+                          CampaignRunnerOptions options = {});
+
+  /// Measures every spec and returns the censuses in spec order.
+  [[nodiscard]] std::vector<Census> run(
+      std::span<const ExperimentSpec> specs) const;
+
+  /// Effective worker count (1 when running serially).
+  [[nodiscard]] std::size_t threads() const {
+    return pool_ ? pool_->size() : 1;
+  }
+
+  [[nodiscard]] const Orchestrator& orchestrator() const {
+    return orchestrator_;
+  }
+
+ private:
+  const Orchestrator& orchestrator_;
+  // The pool is internally synchronized; dispatching through it from a
+  // const `run` leaves the runner's observable state untouched.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace anyopt::measure

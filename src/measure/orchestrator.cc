@@ -19,10 +19,16 @@ double Census::mean_rtt() const {
   for (const double r : rtt_ms) {
     if (r >= 0) acc.add(r);
   }
-  return acc.mean();
+  // Empty-census contract: 0.0 when nothing was measured (acc.mean() and
+  // stats::median both honour it, but the contract lives HERE — callers
+  // rely on this header's promise, not on the accumulator's internals).
+  return acc.count() == 0 ? 0.0 : acc.mean();
 }
 
-double Census::median_rtt() const { return stats::median(valid_rtts()); }
+double Census::median_rtt() const {
+  std::vector<double> valid = valid_rtts();
+  return valid.empty() ? 0.0 : stats::median(std::move(valid));
+}
 
 std::size_t Census::catchment_size(SiteId site) const {
   std::size_t n = 0;

@@ -41,6 +41,11 @@ struct Census {
   std::vector<double> rtt_ms;
 
   [[nodiscard]] std::size_t reachable_count() const;
+  /// Mean / median over the targets with a valid RTT measurement.  Empty
+  /// census contract: when no target produced a measurement (deployment
+  /// unreachable, all probes lost), both return 0.0 — callers that must
+  /// distinguish "no data" from "zero latency" check `reachable_count()`
+  /// (equivalently `valid_rtts().empty()`) first.
   [[nodiscard]] double mean_rtt() const;
   [[nodiscard]] double median_rtt() const;
   /// Targets mapped to `site`.

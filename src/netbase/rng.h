@@ -22,6 +22,25 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// One-shot SplitMix64 finalizer: a stateless, well-mixed 64-bit hash of a
+/// single word.  Used wherever a value (not a stream) must be derived
+/// deterministically from structured inputs.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Order-sensitive combination: folds `value` into `seed` and remixes.
+/// Chaining this derives content-addressed identifiers — e.g. an experiment
+/// nonce from (nonce_base, first_site, second_site, order_leg) — so the
+/// result depends only on the inputs, never on how many other derivations
+/// happened before.
+constexpr std::uint64_t mix64(std::uint64_t seed, std::uint64_t value) {
+  return mix64(seed ^ (0x9e3779b97f4a7c15ULL * (value + 1)));
+}
+
 /// Stable 64-bit FNV-1a hash, used to derive named sub-streams
 /// ("probe-jitter", "topology", ...) from the experiment seed.
 constexpr std::uint64_t fnv1a(std::string_view text) {

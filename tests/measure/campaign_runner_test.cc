@@ -1,0 +1,119 @@
+#include "measure/campaign_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "anycast/world.h"
+#include "netbase/rng.h"
+
+namespace anyopt::measure {
+namespace {
+
+const anycast::World& world() {
+  static auto w = anycast::World::create(anycast::WorldParams::test_scale(33));
+  return *w;
+}
+
+std::vector<ExperimentSpec> sample_specs() {
+  // A mix of singleton, pairwise-ordered and simultaneous configurations,
+  // each with a content-derived nonce.
+  std::vector<ExperimentSpec> specs;
+  const std::size_t sites = world().deployment().site_count();
+  for (std::size_t a = 0; a < sites; ++a) {
+    for (std::size_t b = a + 1; b < sites && specs.size() < 12; b += 4) {
+      ExperimentSpec spec;
+      spec.config.announce_order = {
+          SiteId{static_cast<SiteId::underlying_type>(a)},
+          SiteId{static_cast<SiteId::underlying_type>(b)}};
+      spec.config.spacing_s = (a % 2 == 0) ? 360.0 : 0.0;
+      spec.nonce = mix64(mix64(0xCAFE, a), b);
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+TEST(CampaignRunner, SerialPathMatchesDirectOrchestratorCalls) {
+  const Orchestrator orchestrator(world());
+  const CampaignRunner runner(orchestrator, {.threads = 1});
+  const auto specs = sample_specs();
+  const std::vector<Census> batch = runner.run(specs);
+  ASSERT_EQ(batch.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const Census direct =
+        orchestrator.measure(specs[i].config, specs[i].nonce);
+    EXPECT_EQ(batch[i].site_of_target, direct.site_of_target) << "spec " << i;
+    EXPECT_EQ(batch[i].attachment_of_target, direct.attachment_of_target);
+    EXPECT_EQ(batch[i].rtt_ms, direct.rtt_ms);
+  }
+}
+
+TEST(CampaignRunner, ParallelCensusesBitIdenticalToSerial) {
+  const Orchestrator orchestrator(world());
+  const CampaignRunner serial(orchestrator, {.threads = 1});
+  const CampaignRunner parallel(orchestrator, {.threads = 4});
+  EXPECT_EQ(parallel.threads(), 4u);
+  const auto specs = sample_specs();
+  const std::vector<Census> a = serial.run(specs);
+  const std::vector<Census> b = parallel.run(specs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].site_of_target, b[i].site_of_target) << "spec " << i;
+    EXPECT_EQ(a[i].attachment_of_target, b[i].attachment_of_target);
+    EXPECT_EQ(a[i].rtt_ms, b[i].rtt_ms);  // exact double equality intended
+  }
+}
+
+TEST(CampaignRunner, ResultsInSpecOrderNotCompletionOrder) {
+  // Heavier experiments (more announcements) finish later; spec order must
+  // still be preserved.  Announce k+1 sites in spec k and check each census
+  // maps targets only onto announced sites.
+  const Orchestrator orchestrator(world());
+  const CampaignRunner runner(orchestrator, {.threads = 3});
+  const std::size_t sites = world().deployment().site_count();
+  std::vector<ExperimentSpec> specs;
+  for (std::size_t k = 0; k < std::min<std::size_t>(6, sites); ++k) {
+    ExperimentSpec spec;
+    for (std::size_t s = 0; s <= k; ++s) {
+      spec.config.announce_order.push_back(
+          SiteId{static_cast<SiteId::underlying_type>(s)});
+    }
+    spec.nonce = mix64(0xF00D, k);
+    specs.push_back(std::move(spec));
+  }
+  const std::vector<Census> censuses = runner.run(specs);
+  ASSERT_EQ(censuses.size(), specs.size());
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    for (const SiteId s : censuses[k].site_of_target) {
+      if (!s.valid()) continue;
+      EXPECT_LE(s.value(), k) << "census " << k
+                              << " maps a target to an unannounced site";
+    }
+  }
+}
+
+TEST(CampaignRunner, EmptyBatchReturnsEmpty) {
+  const Orchestrator orchestrator(world());
+  const CampaignRunner runner(orchestrator, {.threads = 2});
+  EXPECT_TRUE(runner.run({}).empty());
+}
+
+TEST(Census, EmptyCensusContract) {
+  // No reachable target: means and medians are 0.0 by contract, with
+  // reachable_count() == 0 distinguishing "no data" from "zero latency".
+  Census census;
+  census.site_of_target.assign(5, SiteId{});
+  census.attachment_of_target.assign(5, bgp::kNoAttachment);
+  census.rtt_ms.assign(5, -1.0);
+  EXPECT_EQ(census.reachable_count(), 0u);
+  EXPECT_TRUE(census.valid_rtts().empty());
+  EXPECT_EQ(census.mean_rtt(), 0.0);
+  EXPECT_EQ(census.median_rtt(), 0.0);
+  // And a fully default census behaves the same.
+  const Census empty;
+  EXPECT_EQ(empty.reachable_count(), 0u);
+  EXPECT_EQ(empty.mean_rtt(), 0.0);
+  EXPECT_EQ(empty.median_rtt(), 0.0);
+}
+
+}  // namespace
+}  // namespace anyopt::measure

@@ -1,0 +1,100 @@
+#include "netbase/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace anyopt {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.submit([&hits, i] { ++hits[i]; }));
+  }
+  for (auto& f : futures) f.get();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsTaskResult) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeInOrderSlots) {
+  // Each index writes only its own slot; the result must be the identity
+  // permutation regardless of worker scheduling.
+  ThreadPool pool(4);
+  std::vector<std::size_t> out(500, ~std::size_t{0});
+  pool.parallel_for(out.size(), [&](std::size_t i) { out[i] = i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit(
+      []() -> int { throw std::runtime_error("probe lost"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestFailingIndex) {
+  ThreadPool pool(4);
+  // Indices 3 and 7 fail; the rethrown exception must deterministically be
+  // index 3's, and every non-failing index must still have run.
+  std::vector<std::atomic<int>> ran(16);
+  try {
+    pool.parallel_for(16, [&](std::size_t i) {
+      if (i == 3 || i == 7) {
+        throw std::runtime_error("fail " + std::to_string(i));
+      }
+      ++ran[i];
+    });
+    FAIL() << "expected parallel_for to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "fail 3");
+  }
+  for (std::size_t i = 0; i < ran.size(); ++i) {
+    if (i == 3 || i == 7) continue;
+    EXPECT_EQ(ran[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ShutdownJoinsWorkersAfterInFlightTasksFinish) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(3);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 24; ++i) {
+      futures.push_back(pool.submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++completed;
+      }));
+    }
+    for (auto& f : futures) f.get();
+    // Destructor runs here: workers must join without deadlock or leak
+    // (TSan/ASan builds verify that part).
+  }
+  EXPECT_EQ(completed.load(), 24);
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace anyopt
