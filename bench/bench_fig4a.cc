@@ -10,8 +10,9 @@
 #include "netbase/table.h"
 #include "support/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anyopt;
+  const bench::TelemetryScope telemetry_scope(argc, argv);
   bench::print_banner(
       "Figure 4a — catchment flips under reversed announcement order",
       "~6%-14% of ping targets change catchment site per provider pair");

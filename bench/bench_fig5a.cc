@@ -9,8 +9,9 @@
 #include "netbase/table.h"
 #include "support/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anyopt;
+  const bench::TelemetryScope telemetry_scope(argc, argv);
   bench::print_banner(
       "Figure 5a — catchment prediction accuracy over 38 random configs",
       ">93% per configuration; 94.7% mean accuracy over 15,300 targets");

@@ -7,8 +7,9 @@
 #include "netbase/stats.h"
 #include "support/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anyopt;
+  const bench::TelemetryScope telemetry_scope(argc, argv);
   bench::print_banner(
       "Figure 5b — CDF of |predicted - measured| mean RTT",
       "<= 6 ms for more than 80% of anycast configurations");

@@ -7,8 +7,9 @@
 #include "netbase/table.h"
 #include "support/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anyopt;
+  const bench::TelemetryScope telemetry_scope(argc, argv);
   bench::print_banner(
       "Figure 5c — relative error of the predicted mean RTT",
       "mean predicted-average-RTT error < 4.6%");

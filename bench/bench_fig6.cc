@@ -13,8 +13,9 @@
 #include "netbase/table.h"
 #include "support/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anyopt;
+  const bench::TelemetryScope telemetry_scope(argc, argv);
   bench::print_banner(
       "Figure 6 — optimized configuration vs baselines",
       "AnyOpt-12 median 43 ms vs 12-Greedy 76 ms (43.4% better, 33 ms "

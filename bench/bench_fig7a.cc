@@ -9,8 +9,9 @@
 #include "netbase/stats.h"
 #include "support/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anyopt;
+  const bench::TelemetryScope telemetry_scope(argc, argv);
   bench::print_banner(
       "Figure 7a — CDF of peer catchment sizes",
       "72 of 104 peers reach a target; >80% of peers attract <2.5% of "

@@ -11,8 +11,9 @@
 #include "netbase/table.h"
 #include "support/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anyopt;
+  const bench::TelemetryScope telemetry_scope(argc, argv);
   bench::print_banner(
       "Figure 7b — mean-RTT delta per enabled peer (ranked)",
       "only a few peers have noticeable impact on the average RTT");

@@ -11,8 +11,9 @@
 #include "netbase/table.h"
 #include "support/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anyopt;
+  const bench::TelemetryScope telemetry_scope(argc, argv);
   bench::print_banner(
       "Figure 7c — AnyOpt vs AnyOpt+BenefitPeers vs AnyOpt+AllPeers",
       "mean RTT 68 ms -> 63 ms (one-pass beneficial peers) -> 61 ms (all "

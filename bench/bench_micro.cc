@@ -11,6 +11,7 @@
 #include "measure/campaign_runner.h"
 #include "measure/orchestrator.h"
 #include "netbase/rng.h"
+#include "netbase/telemetry.h"
 #include "support/bench_common.h"
 
 namespace {
@@ -193,12 +194,107 @@ void BM_SplpoEvaluate(benchmark::State& state) {
 }
 BENCHMARK(BM_SplpoEvaluate);
 
+/// Restores the global telemetry switches when a benchmark exits.
+struct TelemetryFlagGuard {
+  bool enabled = telemetry::enabled();
+  bool tracing = telemetry::tracing();
+  ~TelemetryFlagGuard() {
+    telemetry::set_enabled(enabled);
+    telemetry::set_tracing(tracing);
+  }
+};
+
+void BM_TelemetryCounterDisabled(benchmark::State& state) {
+  // The advertised disabled-path cost: one relaxed load, nothing else.
+  const TelemetryFlagGuard guard;
+  telemetry::set_enabled(false);
+  auto& c = telemetry::Registry::global().counter("micro.overhead.counter");
+  for (auto _ : state) {
+    if (telemetry::enabled()) c.add(1);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TelemetryCounterDisabled);
+
+void BM_TelemetryCounterEnabled(benchmark::State& state) {
+  const TelemetryFlagGuard guard;
+  telemetry::set_enabled(true);
+  auto& c = telemetry::Registry::global().counter("micro.overhead.counter");
+  for (auto _ : state) {
+    if (telemetry::enabled()) c.add(1);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TelemetryCounterEnabled);
+
+void BM_TelemetryHistogramRecord(benchmark::State& state) {
+  const TelemetryFlagGuard guard;
+  telemetry::set_enabled(true);
+  auto& h =
+      telemetry::Registry::global().histogram("micro.overhead.histogram");
+  double v = 0.1;
+  for (auto _ : state) {
+    if (telemetry::enabled()) h.record(v);
+    v += 0.1;
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TelemetryHistogramRecord);
+
+void BM_TelemetryScopedTimerDisabled(benchmark::State& state) {
+  const TelemetryFlagGuard guard;
+  telemetry::set_enabled(false);
+  auto& h = telemetry::Registry::global().histogram("micro.overhead.span_ms");
+  for (auto _ : state) {
+    const telemetry::ScopedTimer span("micro.span", "micro", &h);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TelemetryScopedTimerDisabled);
+
+void BM_TelemetryScopedTimerEnabled(benchmark::State& state) {
+  // Two clock reads plus a histogram record; tracing stays off, as in a
+  // plain --metrics run.
+  const TelemetryFlagGuard guard;
+  telemetry::set_enabled(true);
+  telemetry::set_tracing(false);
+  auto& h = telemetry::Registry::global().histogram("micro.overhead.span_ms");
+  for (auto _ : state) {
+    const telemetry::ScopedTimer span("micro.span", "micro", &h);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TelemetryScopedTimerEnabled);
+
+void BM_SimulatorRunTelemetry(benchmark::State& state) {
+  // End-to-end overhead check on the real hot path: one 4-announcement
+  // propagation with telemetry off (arg 0) vs on (arg 1).
+  const TelemetryFlagGuard guard;
+  telemetry::set_enabled(state.range(0) != 0);
+  std::vector<bgp::Injection> schedule;
+  for (std::size_t s = 0; s < 4; ++s) {
+    schedule.push_back(
+        {static_cast<double>(s) * 360.0,
+         world().deployment().transit_attachment(
+             SiteId{static_cast<SiteId::underlying_type>(s)}),
+         false});
+  }
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    const bgp::RoutingState result =
+        world().simulator().run(schedule, nonce++);
+    benchmark::DoNotOptimize(result.events_processed());
+  }
+}
+BENCHMARK(BM_SimulatorRunTelemetry)->Arg(0)->Arg(1);
+
 }  // namespace
 
 // Custom main: `--threads N` (stripped before google-benchmark sees the
 // argument list) registers an extra BM_CampaignBatch run at N workers on
 // top of the static 1/2/4 sweep.
 int main(int argc, char** argv) {
+  const anyopt::bench::TelemetryScope telemetry_scope(argc, argv);
   const std::size_t threads = anyopt::bench::parse_threads(argc, argv, 0);
   if (threads != 0 && threads != 1 && threads != 2 && threads != 4) {
     benchmark::RegisterBenchmark("BM_CampaignBatch", BM_CampaignBatch)

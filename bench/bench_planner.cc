@@ -9,8 +9,9 @@
 #include "netbase/table.h"
 #include "support/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anyopt;
+  const bench::TelemetryScope telemetry_scope(argc, argv);
   bench::print_banner(
       "§4.5 — measurement plan for a 500-site / 20-provider network",
       "500 singleton experiments (~10 days) + 380 pairwise experiments "

@@ -10,8 +10,9 @@
 #include "netbase/table.h"
 #include "support/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anyopt;
+  const bench::TelemetryScope telemetry_scope(argc, argv);
   bench::print_banner(
       "§6 extension — sparse discovery with transitive completion",
       "open question in the paper: can total orders be learned with fewer "

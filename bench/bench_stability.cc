@@ -10,8 +10,9 @@
 #include "netbase/table.h"
 #include "support/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace anyopt;
+  const bench::TelemetryScope telemetry_scope(argc, argv);
   bench::print_banner(
       "§6 — three-week stability of the optimized configuration",
       ">90% of catchments unchanged and stable average RTT across three "

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "netbase/rng.h"
+#include "netbase/telemetry.h"
 
 namespace anyopt::bench {
 
@@ -64,6 +65,71 @@ std::size_t parse_threads(int& argc, char** argv, std::size_t fallback) {
   argc = out;
   argv[argc] = nullptr;
   return threads;
+}
+
+TelemetryOptions parse_telemetry(int& argc, char** argv) {
+  TelemetryOptions options;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--metrics") == 0) {
+      options.metrics = true;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      options.metrics = true;
+      options.metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      options.trace_out = arg + 12;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  if (options.any()) telemetry::set_enabled(true);
+  if (!options.trace_out.empty()) telemetry::set_tracing(true);
+  return options;
+}
+
+void report_telemetry(const TelemetryOptions& options) {
+  if (!options.any()) return;
+  auto& reg = telemetry::Registry::global();
+  if (options.metrics) {
+    std::string summary = reg.summary();
+    // Derived line: worker utilization over every pool's lifetime.
+    const std::uint64_t busy = reg.counter_value("pool.busy_us");
+    const std::uint64_t offered = reg.counter_value("pool.worker_us");
+    if (offered > 0) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "\npool.utilization  %.1f%%\n",
+                    100.0 * static_cast<double>(busy) /
+                        static_cast<double>(offered));
+      summary += buf;
+    }
+    if (options.metrics_out.empty()) {
+      std::printf("\n== telemetry ==\n%s", summary.c_str());
+    } else if (std::FILE* f = std::fopen(options.metrics_out.c_str(), "w")) {
+      std::fputs(summary.c_str(), f);
+      std::fclose(f);
+      std::printf("\n[telemetry] metrics written to %s\n",
+                  options.metrics_out.c_str());
+    } else {
+      std::fprintf(stderr, "[telemetry] cannot write %s\n",
+                   options.metrics_out.c_str());
+    }
+  }
+  if (!options.trace_out.empty()) {
+    const std::string json = reg.chrome_trace_json();
+    if (std::FILE* f = std::fopen(options.trace_out.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("\n[telemetry] %zu trace events written to %s "
+                  "(open in Perfetto or chrome://tracing)\n",
+                  reg.trace_event_count(), options.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "[telemetry] cannot write %s\n",
+                   options.trace_out.c_str());
+    }
+  }
 }
 
 std::vector<Fig5Point> run_fig5_sweep(PaperEnv& env, int count,

@@ -37,6 +37,46 @@ struct PaperEnv {
 [[nodiscard]] std::size_t parse_threads(int& argc, char** argv,
                                         std::size_t fallback = 1);
 
+/// Telemetry flags shared by every bench binary:
+///   --metrics            print the metrics summary when the bench exits
+///   --metrics-out=FILE   write the summary to FILE instead (implies
+///                        --metrics)
+///   --trace-out=FILE     capture spans and write Chrome trace-event JSON
+///                        to FILE (open in Perfetto / chrome://tracing)
+/// Any of them enables the telemetry layer for the whole run.  Telemetry
+/// never touches experiment RNG, so the bench's result tables are
+/// byte-identical with and without these flags.
+struct TelemetryOptions {
+  bool metrics = false;
+  std::string metrics_out;  ///< empty = stdout
+  std::string trace_out;    ///< empty = no trace capture
+  [[nodiscard]] bool any() const { return metrics || !trace_out.empty(); }
+};
+
+/// Parses and REMOVES the telemetry flags from argv (same contract as
+/// `parse_threads`) and flips the global telemetry switches accordingly.
+[[nodiscard]] TelemetryOptions parse_telemetry(int& argc, char** argv);
+
+/// Emits whatever `options` asked for: the summary table (stdout or file,
+/// with derived pool-utilization line) and/or the Chrome trace JSON.
+void report_telemetry(const TelemetryOptions& options);
+
+/// RAII wrapper: parse at the top of main, report at exit — after every
+/// pipeline/runner destructor has flushed its metrics.
+class TelemetryScope {
+ public:
+  TelemetryScope(int& argc, char** argv)
+      : options_(parse_telemetry(argc, argv)) {}
+  ~TelemetryScope() { report_telemetry(options_); }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+  [[nodiscard]] const TelemetryOptions& options() const { return options_; }
+
+ private:
+  TelemetryOptions options_;
+};
+
 /// Prints the standard bench banner: experiment id, what the paper
 /// reports, and what this binary regenerates.
 void print_banner(const std::string& experiment,

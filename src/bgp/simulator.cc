@@ -1,12 +1,63 @@
 #include "bgp/simulator.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <queue>
 #include <stdexcept>
 
+#include "netbase/telemetry.h"
+
 namespace anyopt::bgp {
+
+namespace {
+
+/// Pre-resolved simulator metrics (one registry lookup per process).
+/// Decision-step tallies count, per route comparison run by the decision
+/// process, the step that produced the verdict — the paper's §4.2 story
+/// (how often the vendor arrival-order step was load-bearing) read straight
+/// off a campaign.
+struct SimMetrics {
+  telemetry::Counter* runs;
+  telemetry::Counter* events;
+  telemetry::Gauge* queue_peak;
+  telemetry::Histogram* convergence_s;
+  telemetry::Histogram* events_per_run;
+  std::array<telemetry::Counter*, 10> decision_step;
+
+  static const SimMetrics& get() {
+    static const SimMetrics m = [] {
+      auto& reg = telemetry::Registry::global();
+      SimMetrics out{&reg.counter("bgp.sim.runs"),
+                     &reg.counter("bgp.sim.events"),
+                     &reg.gauge("bgp.sim.queue_peak"),
+                     &reg.histogram("bgp.sim.convergence_s"),
+                     &reg.histogram("bgp.sim.events_per_run"),
+                     {}};
+      constexpr const char* kStepNames[10] = {
+          nullptr,
+          "bgp.decision.local_pref",
+          "bgp.decision.as_path_length",
+          "bgp.decision.origin",
+          "bgp.decision.med",
+          "bgp.decision.ebgp_over_ibgp",
+          "bgp.decision.igp_cost",
+          "bgp.decision.oldest_route",
+          "bgp.decision.router_id",
+          "bgp.decision.neighbor_address",
+      };
+      out.decision_step[0] = nullptr;
+      for (int s = 1; s < 10; ++s) {
+        out.decision_step[s] = &reg.counter(kStepNames[s]);
+      }
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 struct Simulator::Event {
   double time_s = 0;
@@ -71,6 +122,17 @@ int Simulator::attachment_slot(AsId as, AttachmentIndex idx) const {
 
 RoutingState Simulator::run(std::span<const Injection> injections,
                             std::uint64_t run_nonce) const {
+  // One relaxed load up front; every instrumentation site below branches on
+  // this cached bool, so the disabled path adds no clocks and no atomics.
+  const bool telem = telemetry::enabled();
+  telemetry::ScopedTimer span(
+      "bgp.sim.run", "bgp", nullptr,
+      telem && telemetry::tracing()
+          ? telemetry::make_args("nonce", run_nonce)
+          : std::string{});
+  std::size_t queue_peak = 0;
+  std::array<std::uint64_t, 10> step_tally{};
+
   const std::size_t n = net_.graph.as_count();
   RoutingState state;
   state.sim_ = this;
@@ -145,6 +207,7 @@ RoutingState Simulator::run(std::span<const Injection> injections,
     ev.msg.sender_router_id = 0;
     ev.msg.at = at.where;
     queue.push(std::move(ev));
+    if (telem && queue.size() > queue_peak) queue_peak = queue.size();
   }
 
   const std::size_t max_events =
@@ -156,6 +219,12 @@ RoutingState Simulator::run(std::span<const Injection> injections,
     const Event ev = queue.top();
     queue.pop();
     if (++state.events_ > max_events) {
+      // Diagnostics go through the event sink, never stdio (library code).
+      if (telem) {
+        telemetry::Registry::global().instant(
+            "bgp.sim.event_budget_exceeded", "bgp",
+            telemetry::make_args("max_events", max_events));
+      }
       throw std::runtime_error("BGP simulation exceeded event budget — "
                                "policy oscillation?");
     }
@@ -237,13 +306,18 @@ RoutingState Simulator::run(std::span<const Injection> injections,
     dopts.prefer_oldest =
         options_.arrival_order_tiebreak && node.prefers_oldest;
     BestSet new_best;
+    DecisionStep decided_at = DecisionStep::kLocalPref;
     for (int i = 0; i < static_cast<int>(as_state.rib.size()); ++i) {
       if (!as_state.rib[i].present) continue;
-      if (new_best.best < 0 ||
-          compare_routes(as_state.rib[i], as_state.rib[new_best.best],
-                         dopts) < 0) {
+      if (new_best.best < 0) {
+        new_best.best = i;
+        continue;
+      }
+      if (compare_routes(as_state.rib[i], as_state.rib[new_best.best], dopts,
+                         telem ? &decided_at : nullptr) < 0) {
         new_best.best = i;
       }
+      if (telem) ++step_tally[static_cast<int>(decided_at)];
     }
     if (new_best.best >= 0) {
       for (int i = 0; i < static_cast<int>(as_state.rib.size()); ++i) {
@@ -320,6 +394,18 @@ RoutingState Simulator::run(std::span<const Injection> injections,
       out.msg.sender_router_id = node.router_id;
       out.msg.at = link.where;
       queue.push(std::move(out));
+      if (telem && queue.size() > queue_peak) queue_peak = queue.size();
+    }
+  }
+  if (telem) {
+    const SimMetrics& m = SimMetrics::get();
+    m.runs->add(1);
+    m.events->add(state.events_);
+    m.events_per_run->record(static_cast<double>(state.events_));
+    m.queue_peak->update_max(static_cast<std::int64_t>(queue_peak));
+    m.convergence_s->record(state.last_event_s_);
+    for (int s = 1; s < 10; ++s) {
+      if (step_tally[s] != 0) m.decision_step[s]->add(step_tally[s]);
     }
   }
   return state;

@@ -1,6 +1,35 @@
 #include "core/anyopt.h"
 
+#include "netbase/telemetry.h"
+
 namespace anyopt::core {
+
+namespace {
+
+/// Pre-resolved pipeline metrics (one registry lookup per process).
+struct PipelineMetrics {
+  telemetry::Counter* experiments;
+  telemetry::Histogram* discover_ms;
+  telemetry::Histogram* rtt_matrix_ms;
+  telemetry::Histogram* optimize_ms;
+  telemetry::Histogram* tune_peers_ms;
+  telemetry::Histogram* predict_ms;
+
+  static const PipelineMetrics& get() {
+    static const PipelineMetrics m = [] {
+      auto& reg = telemetry::Registry::global();
+      return PipelineMetrics{&reg.counter("pipeline.experiments"),
+                             &reg.histogram("pipeline.discover_ms"),
+                             &reg.histogram("pipeline.rtt_matrix_ms"),
+                             &reg.histogram("pipeline.optimize_ms"),
+                             &reg.histogram("pipeline.tune_peers_ms"),
+                             &reg.histogram("pipeline.predict_ms")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 AnyOptPipeline::AnyOptPipeline(const measure::Orchestrator& orchestrator,
                                PipelineOptions options)
@@ -8,17 +37,31 @@ AnyOptPipeline::AnyOptPipeline(const measure::Orchestrator& orchestrator,
 
 const DiscoveryResult& AnyOptPipeline::discover() {
   if (!discovery_.has_value()) {
+    const bool telem = telemetry::enabled();
+    telemetry::ScopedTimer span(
+        "pipeline.discover", "pipeline",
+        telem ? PipelineMetrics::get().discover_ms : nullptr);
     const Discovery discovery(orchestrator_, options_.discovery);
     discovery_ = discovery.run();
     experiments_ += discovery_->experiments;
+    if (telem) {
+      PipelineMetrics::get().experiments->add(discovery_->experiments);
+    }
   }
   return *discovery_;
 }
 
 const RttMatrix& AnyOptPipeline::measure_rtts() {
   if (!rtts_.has_value()) {
+    const bool telem = telemetry::enabled();
+    telemetry::ScopedTimer span(
+        "pipeline.rtt_matrix", "pipeline",
+        telem ? PipelineMetrics::get().rtt_matrix_ms : nullptr);
     rtts_ = RttMatrix::measure(orchestrator_, options_.rtt_nonce_base);
     experiments_ += rtts_->site_count();
+    if (telem) {
+      PipelineMetrics::get().experiments->add(rtts_->site_count());
+    }
   }
   return *rtts_;
 }
@@ -33,16 +76,26 @@ const Predictor& AnyOptPipeline::predictor() {
 }
 
 Prediction AnyOptPipeline::predict(const anycast::AnycastConfig& config) {
-  return predictor().predict(config);
+  const Predictor& p = predictor();  // may trigger the measurement stages
+  telemetry::ScopedTimer span(
+      "pipeline.predict", "pipeline",
+      telemetry::enabled() ? PipelineMetrics::get().predict_ms : nullptr);
+  return p.predict(config);
 }
 
 SearchOutcome AnyOptPipeline::optimize(OptimizerOptions options) {
   const Optimizer optimizer(predictor(), options);
+  telemetry::ScopedTimer span(
+      "pipeline.optimize", "pipeline",
+      telemetry::enabled() ? PipelineMetrics::get().optimize_ms : nullptr);
   return optimizer.search();
 }
 
 OnePassResult AnyOptPipeline::tune_peers(
     const anycast::AnycastConfig& baseline) const {
+  telemetry::ScopedTimer span(
+      "pipeline.tune_peers", "pipeline",
+      telemetry::enabled() ? PipelineMetrics::get().tune_peers_ms : nullptr);
   OnePassOptions options;
   options.threads = options_.discovery.threads;
   const OnePassPeerSelector selector(orchestrator_, options);

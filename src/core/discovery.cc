@@ -1,9 +1,42 @@
 #include "core/discovery.h"
 
+#include <array>
+
 #include "anycast/config.h"
 #include "netbase/rng.h"
+#include "netbase/telemetry.h"
 
 namespace anyopt::core {
+
+namespace {
+
+/// Pre-resolved discovery metrics (one registry lookup per process).  The
+/// per-kind tallies are (pair, target) classifications — the campaign-level
+/// view of §4.2's order-dependence.
+struct DiscoveryMetrics {
+  telemetry::Counter* pairs_classified;
+  telemetry::Counter* prefs_strict;
+  telemetry::Counter* prefs_order_dependent;
+  telemetry::Counter* prefs_inconsistent;
+  telemetry::Counter* prefs_unknown;
+  telemetry::Counter* order_flips;
+
+  static const DiscoveryMetrics& get() {
+    static const DiscoveryMetrics m = [] {
+      auto& reg = telemetry::Registry::global();
+      return DiscoveryMetrics{
+          &reg.counter("discovery.pairs_classified"),
+          &reg.counter("discovery.prefs.strict"),
+          &reg.counter("discovery.prefs.order_dependent"),
+          &reg.counter("discovery.prefs.inconsistent"),
+          &reg.counter("discovery.prefs.unknown"),
+          &reg.counter("discovery.order_flips")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Discovery::Discovery(const measure::Orchestrator& orchestrator,
                      DiscoveryOptions options)
@@ -114,6 +147,23 @@ std::vector<std::vector<PrefKind>> Discovery::classify_jobs(
                                        : PrefKind::kStrictSecond;
       }
     }
+  }
+  if (telemetry::enabled()) {
+    // Tally (pair, target) classifications; runs only when telemetry is on
+    // and observes the already-final `out`, so results are untouched.
+    std::array<std::uint64_t, 5> tally{};
+    for (const auto& kinds : out) {
+      for (const PrefKind k : kinds) ++tally[static_cast<int>(k)];
+    }
+    const DiscoveryMetrics& m = DiscoveryMetrics::get();
+    m.pairs_classified->add(jobs.size());
+    m.prefs_strict->add(tally[static_cast<int>(PrefKind::kStrictFirst)] +
+                        tally[static_cast<int>(PrefKind::kStrictSecond)]);
+    m.prefs_order_dependent->add(
+        tally[static_cast<int>(PrefKind::kOrderDependent)]);
+    m.prefs_inconsistent->add(
+        tally[static_cast<int>(PrefKind::kInconsistent)]);
+    m.prefs_unknown->add(tally[static_cast<int>(PrefKind::kUnknown)]);
   }
   return out;
 }
@@ -276,6 +326,7 @@ double Discovery::order_flip_fraction(ProviderId p, ProviderId q) const {
     const std::uint8_t ba_as_ab = static_cast<std::uint8_t>(1 - ba.winner[t]);
     if (ab.winner[t] != ba_as_ab) ++flipped;
   }
+  if (telemetry::enabled()) DiscoveryMetrics::get().order_flips->add(flipped);
   return both == 0 ? 0.0
                    : static_cast<double>(flipped) / static_cast<double>(both);
 }

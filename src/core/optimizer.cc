@@ -6,6 +6,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "netbase/telemetry.h"
+
 namespace anyopt::core {
 namespace {
 
@@ -379,6 +381,12 @@ SearchOutcome Optimizer::search() const {
     if (slot.predicted_mean_rtt < outcome.best.predicted_mean_rtt) {
       outcome.best = slot;
     }
+  }
+  if (telemetry::enabled()) {
+    auto& reg = telemetry::Registry::global();
+    reg.counter("optimizer.searches").add(1);
+    reg.counter("optimizer.configs_evaluated")
+        .add(outcome.configurations_evaluated);
   }
   return outcome;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "netbase/telemetry.h"
+
 namespace anyopt::core {
 namespace {
 
@@ -89,6 +91,9 @@ SparseResult SparseDiscovery::run(std::size_t max_pairs,
   };
 
   while (result.pairs_measured < max_pairs) {
+    if (telemetry::enabled()) {
+      telemetry::Registry::global().counter("sparse.rounds").add(1);
+    }
     // Select up to `batch` unmeasured pairs for this round, repeatedly
     // taking the one unresolved for the most clients.  The selection is
     // adaptive BETWEEN rounds; pairs within a round are measured

@@ -1,6 +1,29 @@
 #include "measure/campaign_runner.h"
 
+#include "netbase/telemetry.h"
+
 namespace anyopt::measure {
+
+namespace {
+
+/// Pre-resolved campaign metrics (one registry lookup per process).
+struct CampaignMetrics {
+  telemetry::Counter* batches;
+  telemetry::Counter* experiments;
+  telemetry::Histogram* experiment_ms;
+
+  static const CampaignMetrics& get() {
+    static const CampaignMetrics m = [] {
+      auto& reg = telemetry::Registry::global();
+      return CampaignMetrics{&reg.counter("campaign.batches"),
+                             &reg.counter("campaign.experiments"),
+                             &reg.histogram("campaign.experiment_ms")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 CampaignRunner::CampaignRunner(const Orchestrator& orchestrator,
                                CampaignRunnerOptions options)
@@ -12,15 +35,37 @@ CampaignRunner::CampaignRunner(const Orchestrator& orchestrator,
 
 std::vector<Census> CampaignRunner::run(
     std::span<const ExperimentSpec> specs) const {
+  const bool telem = telemetry::enabled();
+  telemetry::ScopedTimer batch_span(
+      "campaign.batch", "campaign", nullptr,
+      telem && telemetry::tracing()
+          ? telemetry::make_args("experiments", specs.size(), "threads",
+                                 threads())
+          : std::string{});
+  if (telem) {
+    const CampaignMetrics& m = CampaignMetrics::get();
+    m.batches->add(1);
+    m.experiments->add(specs.size());
+  }
+  const auto measure_one = [&](std::size_t i) {
+    telemetry::ScopedTimer span(
+        "campaign.experiment", "campaign",
+        telemetry::enabled() ? CampaignMetrics::get().experiment_ms : nullptr,
+        telemetry::enabled() && telemetry::tracing()
+            ? telemetry::make_args("index", i, "nonce", specs[i].nonce)
+            : std::string{});
+    return orchestrator_.measure(specs[i].config, specs[i].nonce);
+  };
+
   std::vector<Census> censuses(specs.size());
   if (pool_ == nullptr) {
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      censuses[i] = orchestrator_.measure(specs[i].config, specs[i].nonce);
+      censuses[i] = measure_one(i);
     }
     return censuses;
   }
   pool_->parallel_for(specs.size(), [&](std::size_t i) {
-    censuses[i] = orchestrator_.measure(specs[i].config, specs[i].nonce);
+    censuses[i] = measure_one(i);
   });
   return censuses;
 }

@@ -3,8 +3,34 @@
 #include <algorithm>
 
 #include "netbase/stats.h"
+#include "netbase/telemetry.h"
 
 namespace anyopt::measure {
+
+namespace {
+
+/// Pre-resolved census metrics (one registry lookup per process).
+struct CensusMetrics {
+  telemetry::Counter* censuses;
+  telemetry::Counter* probes_sent;
+  telemetry::Counter* probes_lost;
+  telemetry::Counter* targets_unreachable;
+  telemetry::Histogram* census_ms;
+
+  static const CensusMetrics& get() {
+    static const CensusMetrics m = [] {
+      auto& reg = telemetry::Registry::global();
+      return CensusMetrics{&reg.counter("measure.censuses"),
+                           &reg.counter("measure.probes.sent"),
+                           &reg.counter("measure.probes.lost"),
+                           &reg.counter("measure.targets_unreachable"),
+                           &reg.histogram("measure.census_ms")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 std::size_t Census::reachable_count() const {
   std::size_t n = 0;
@@ -68,6 +94,13 @@ double Orchestrator::tunnel_rtt_ms(SiteId site) const {
 
 Census Orchestrator::measure(const anycast::AnycastConfig& config,
                              std::uint64_t experiment_nonce) const {
+  const bool telem = telemetry::enabled();
+  telemetry::ScopedTimer span(
+      "measure.census", "measure",
+      telem ? CensusMetrics::get().census_ms : nullptr,
+      telem && telemetry::tracing()
+          ? telemetry::make_args("nonce", experiment_nonce)
+          : std::string{});
   const auto& targets = world_.targets();
   Census census;
   census.site_of_target.assign(targets.size(), SiteId{});
@@ -94,6 +127,13 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
     census.site_of_target[t] = path.site;
     census.attachment_of_target[t] = path.attachment;
     census.rtt_ms[t] = std::max(0.05, *sample - tunnel_rtt_ms(path.site));
+  }
+  if (telem) {
+    const CensusMetrics& m = CensusMetrics::get();
+    m.censuses->add(1);
+    m.probes_sent->add(prober.probes_sent());
+    m.probes_lost->add(prober.probes_lost());
+    m.targets_unreachable->add(targets.size() - census.reachable_count());
   }
   return census;
 }

@@ -8,7 +8,11 @@
 namespace anyopt::measure {
 
 std::optional<double> Prober::probe_once(double true_rtt_ms) {
-  if (rng_.chance(model_.loss_rate)) return std::nullopt;
+  ++sent_;
+  if (rng_.chance(model_.loss_rate)) {
+    ++lost_;
+    return std::nullopt;
+  }
   double sample = true_rtt_ms * (1.0 + model_.jitter_frac * rng_.normal());
   sample += model_.jitter_floor_ms * std::abs(rng_.normal());
   if (rng_.chance(model_.spike_prob)) {

@@ -4,6 +4,7 @@
 // keeps the median, exactly as the paper's measurement tool does (§3.1:
 // "we repeat the ICMP requests seven times and use the median value").
 
+#include <cstdint>
 #include <optional>
 
 #include "netbase/rng.h"
@@ -36,9 +37,16 @@ class Prober {
 
   [[nodiscard]] const ProbeModel& model() const { return model_; }
 
+  /// Lifetime probe tallies (plain counters, no atomics: a Prober is owned
+  /// by one census).  The orchestrator flushes them into telemetry.
+  [[nodiscard]] std::uint64_t probes_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t probes_lost() const { return lost_; }
+
  private:
   ProbeModel model_;
   Rng rng_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t lost_ = 0;
 };
 
 }  // namespace anyopt::measure

@@ -1,0 +1,320 @@
+#include "netbase/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "netbase/table.h"
+
+namespace anyopt::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_tracing{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_tracing(bool on) {
+  detail::g_tracing.store(on, std::memory_order_relaxed);
+}
+
+double now_us() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+namespace {
+
+/// Bucket index: log2 of the value, offset so [2^-32, 2^31) maps onto
+/// [1, 63]; non-positive and tiny values share bucket 0.
+int bucket_of(double v) {
+  if (!(v > 0x1.0p-32)) return 0;
+  const int b = std::ilogb(v) + 33;  // ilogb(2^-32) = -32 -> bucket 1
+  return std::clamp(b, 1, Histogram::kBuckets - 1);
+}
+
+/// Geometric midpoint of a bucket (inverse of `bucket_of`).
+double bucket_mid(int b) {
+  if (b <= 0) return 0.0;
+  return std::ldexp(1.4142135623730951, b - 33);  // sqrt(2) * 2^(b-33)
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+void Histogram::record(double v) {
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_min(min_, v);
+  detail::atomic_max(max_, v);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(n)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank && seen > 0) {
+      // Clamp the estimate into the observed range so p0/p100 make sense.
+      return std::clamp(bucket_mid(b), min(), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  return counters_[std::string(name)];
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  return gauges_[std::string(name)];
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard lock(mutex_);
+  return histograms_[std::string(name)];
+}
+
+std::uint32_t Registry::tid_of_current_thread() {
+  const auto [it, inserted] = tids_.try_emplace(
+      std::this_thread::get_id(),
+      static_cast<std::uint32_t>(tids_.size() + 1));
+  return it->second;
+}
+
+void Registry::span(const char* name, const char* category, double ts_us,
+                    double dur_us, std::string args_json) {
+  if (!enabled() || !tracing()) return;
+  const std::lock_guard lock(mutex_);
+  if (events_.size() >= kMaxTraceEvents) {
+    ++events_dropped_;
+    return;
+  }
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.ts_us = ts_us;
+  ev.dur_us = std::max(0.0, dur_us);
+  ev.tid = tid_of_current_thread();
+  ev.args_json = std::move(args_json);
+  events_.push_back(std::move(ev));
+}
+
+void Registry::instant(const char* name, const char* category,
+                       std::string args_json) {
+  if (!enabled() || !tracing()) return;
+  const std::lock_guard lock(mutex_);
+  if (events_.size() >= kMaxTraceEvents) {
+    ++events_dropped_;
+    return;
+  }
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.ts_us = now_us();
+  ev.dur_us = -1;
+  ev.tid = tid_of_current_thread();
+  ev.args_json = std::move(args_json);
+  events_.push_back(std::move(ev));
+}
+
+std::uint64_t Registry::counter_value(std::string_view name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::size_t Registry::trace_event_count() const {
+  const std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+void Registry::reset() {
+  const std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+  events_.clear();
+  events_dropped_ = 0;
+}
+
+namespace {
+
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+/// JSON string escaping for names and keys.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::summary(bool include_empty) const {
+  const std::lock_guard lock(mutex_);
+
+  const auto sorted_names = [](const auto& map) {
+    std::vector<std::string_view> names;
+    names.reserve(map.size());
+    for (const auto& [name, metric] : map) names.push_back(name);
+    std::sort(names.begin(), names.end());
+    return names;
+  };
+
+  std::string out;
+  TextTable counters({"counter", "value"});
+  bool have_counters = false;
+  for (const auto name : sorted_names(counters_)) {
+    const Counter& c = counters_.at(std::string(name));
+    if (c.value() == 0 && !include_empty) continue;
+    counters.add_row({std::string(name), std::to_string(c.value())});
+    have_counters = true;
+  }
+  if (events_dropped_ > 0) {
+    counters.add_row({"telemetry.trace.dropped",
+                      std::to_string(events_dropped_)});
+    have_counters = true;
+  }
+  if (have_counters) out += counters.render();
+
+  TextTable gauges({"gauge", "last", "peak"});
+  bool have_gauges = false;
+  for (const auto name : sorted_names(gauges_)) {
+    const Gauge& g = gauges_.at(std::string(name));
+    if (g.value() == 0 && g.max() == 0 && !include_empty) continue;
+    gauges.add_row({std::string(name), std::to_string(g.value()),
+                    std::to_string(g.max())});
+    have_gauges = true;
+  }
+  if (have_gauges) {
+    if (!out.empty()) out += "\n";
+    out += gauges.render();
+  }
+
+  TextTable hists({"histogram", "count", "mean", "p50", "p95", "max"});
+  bool have_hists = false;
+  for (const auto name : sorted_names(histograms_)) {
+    const Histogram& h = histograms_.at(std::string(name));
+    if (h.count() == 0 && !include_empty) continue;
+    hists.add_row({std::string(name), std::to_string(h.count()),
+                   format_value(h.mean()), format_value(h.percentile(0.5)),
+                   format_value(h.percentile(0.95)), format_value(h.max())});
+    have_hists = true;
+  }
+  if (have_hists) {
+    if (!out.empty()) out += "\n";
+    out += hists.render();
+  }
+  if (out.empty()) out = "(no telemetry recorded)\n";
+  return out;
+}
+
+std::string Registry::chrome_trace_json() const {
+  const std::lock_guard lock(mutex_);
+  std::string out = "{\"traceEvents\":[";
+  char buf[160];
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    if (i != 0) out += ",";
+    out += "\n{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
+           json_escape(ev.category) + "\",";
+    if (ev.dur_us >= 0) {
+      std::snprintf(buf, sizeof buf,
+                    "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,", ev.ts_us,
+                    ev.dur_us);
+    } else {
+      std::snprintf(buf, sizeof buf, "\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,",
+                    ev.ts_us);
+    }
+    out += buf;
+    std::snprintf(buf, sizeof buf, "\"pid\":1,\"tid\":%u", ev.tid);
+    out += buf;
+    if (!ev.args_json.empty()) {
+      out += ",\"args\":" + ev.args_json;
+    }
+    out += "}";
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+void ScopedTimer::finish() {
+  if (!active_) return;
+  active_ = false;
+  const double end_us = now_us();
+  const double dur_us = end_us - start_us_;
+  if (hist_ != nullptr) hist_->record(dur_us / 1e3);
+  if (tracing()) {
+    Registry::global().span(name_, category_, start_us_, dur_us,
+                            std::move(args_json_));
+  }
+}
+
+std::string make_args(const char* key, std::uint64_t value) {
+  return "{\"" + json_escape(key) + "\":" + std::to_string(value) + "}";
+}
+
+std::string make_args(const char* key, std::uint64_t value, const char* key2,
+                      std::uint64_t value2) {
+  return "{\"" + json_escape(key) + "\":" + std::to_string(value) + ",\"" +
+         json_escape(key2) + "\":" + std::to_string(value2) + "}";
+}
+
+}  // namespace anyopt::telemetry

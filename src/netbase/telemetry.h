@@ -1,0 +1,257 @@
+#pragma once
+// Thread-safe, near-zero-overhead-when-disabled instrumentation layer.
+//
+// Three pieces:
+//   * a process-global Registry of named counters / gauges / histograms
+//     (lock-free recording on pre-resolved metric handles);
+//   * RAII ScopedTimer spans that feed a duration histogram and, when
+//     tracing is on, a structured event sink;
+//   * the event sink itself, exporting both a human-readable summary table
+//     and Chrome trace-event JSON (open in Perfetto / chrome://tracing).
+//
+// Cost model.  Telemetry is OFF by default.  Every instrumentation site is
+// guarded by `enabled()` — one relaxed atomic load — so the disabled hot
+// path pays exactly that and nothing else: no clock reads, no allocation,
+// no locks.  When enabled, counters/gauges/histograms record with relaxed
+// atomics (no locking); only trace-event capture and metric *registration*
+// take a mutex.  Instrumentation never touches any experiment RNG, so
+// enabling telemetry cannot change a measurement result.
+//
+// Naming convention: `<module>.<component>.<metric>` with unit suffixes on
+// histograms (`_ms`, `_s`, `_us`).  See DESIGN.md "Observability".
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace anyopt::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_tracing;
+
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur && !a.compare_exchange_weak(cur, v,
+                                             std::memory_order_relaxed,
+                                             std::memory_order_relaxed)) {
+  }
+}
+inline void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur && !a.compare_exchange_weak(cur, v,
+                                             std::memory_order_relaxed,
+                                             std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Master switch.  The ONLY check instrumented hot paths perform when
+/// telemetry is off: a single relaxed atomic load.
+inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+/// Trace-event capture (implies work per span; independent of `enabled`
+/// but inert unless telemetry is also enabled).
+inline bool tracing() {
+  return detail::g_tracing.load(std::memory_order_relaxed);
+}
+void set_tracing(bool on);
+
+/// Microseconds since process telemetry epoch (steady clock).
+[[nodiscard]] double now_us();
+
+/// Monotonically increasing event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-set value plus the running maximum (e.g. peak queue depth).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    update_max(v);
+  }
+  /// Raises the maximum without touching the last-set value.
+  void update_max(std::int64_t v) {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed,
+                          std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Log2-bucketed distribution with exact count/sum/min/max.  Buckets span
+/// [2^-32, 2^31); values at or below zero land in bucket 0.  Recording is
+/// lock-free (relaxed atomics), so concurrent recorders never serialize.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(double v);
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  /// 0.0 / lowest-recorded when empty / populated.
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Bucket-resolution estimate (geometric bucket midpoint); p in [0, 1].
+  [[nodiscard]] double percentile(double p) const;
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // ±inf sentinels: any recorded value replaces them race-free.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// One captured trace event (Chrome trace-event format).
+struct TraceEvent {
+  std::string name;
+  const char* category = "";
+  double ts_us = 0;      ///< start, microseconds since telemetry epoch
+  double dur_us = -1;    ///< span duration; negative = instant event
+  std::uint32_t tid = 0;
+  std::string args_json;  ///< pre-rendered JSON object ("{...}") or empty
+};
+
+/// Named-metric registry plus the structured event sink.  `global()` is the
+/// process-wide instance every instrumentation site uses.  Metric handles
+/// returned by `counter()/gauge()/histogram()` are stable for the life of
+/// the registry — resolve them once (static local) and record lock-free.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Structured event sink: a completed span.  No-op unless both telemetry
+  /// and tracing are on.
+  void span(const char* name, const char* category, double ts_us,
+            double dur_us, std::string args_json = {});
+
+  /// Structured event sink: an instant (point-in-time) event — the library
+  /// diagnostics channel; library code routes here instead of stdio.
+  void instant(const char* name, const char* category,
+               std::string args_json = {});
+
+  /// Human-readable summary of every registered metric (counters, gauges,
+  /// histograms), sorted by name.  Metrics with no recorded data are
+  /// omitted unless `include_empty`.
+  [[nodiscard]] std::string summary(bool include_empty = false) const;
+
+  /// Chrome trace-event JSON for everything the event sink captured.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Value lookups for derived reporting (0 / nullptr-like when absent).
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+
+  /// Zeroes every metric and drops all captured trace events.
+  void reset();
+
+  [[nodiscard]] std::size_t trace_event_count() const;
+
+ private:
+  std::uint32_t tid_of_current_thread();  // callers must hold mutex_
+
+  mutable std::mutex mutex_;
+  // node-based maps: handle pointers stay valid across registration.
+  std::unordered_map<std::string, Counter> counters_;
+  std::unordered_map<std::string, Gauge> gauges_;
+  std::unordered_map<std::string, Histogram> histograms_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t events_dropped_ = 0;
+  std::unordered_map<std::thread::id, std::uint32_t> tids_;
+};
+
+/// Hard cap on captured trace events (drops beyond, counted in the summary
+/// as `telemetry.trace.dropped`); keeps long campaigns bounded.
+inline constexpr std::size_t kMaxTraceEvents = 1u << 20;
+
+/// RAII span: times a scope into `hist` (milliseconds) and, when tracing,
+/// emits a trace event.  When telemetry is disabled the constructor costs
+/// one relaxed load and the destructor one branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name, const char* category,
+                       Histogram* hist = nullptr, std::string args_json = {})
+      : name_(name), category_(category), hist_(hist), active_(enabled()) {
+    if (active_) {
+      if (tracing()) args_json_ = std::move(args_json);
+      start_us_ = now_us();
+    }
+  }
+  ~ScopedTimer() { finish(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Ends the span early (idempotent).
+  void finish();
+
+ private:
+  const char* name_;
+  const char* category_;
+  Histogram* hist_;
+  bool active_;
+  double start_us_ = 0;
+  std::string args_json_;
+};
+
+/// Renders a small JSON args object: `make_args("i", 4)` -> `{"i":4}`.
+[[nodiscard]] std::string make_args(const char* key, std::uint64_t value);
+[[nodiscard]] std::string make_args(const char* key, std::uint64_t value,
+                                    const char* key2, std::uint64_t value2);
+
+}  // namespace anyopt::telemetry

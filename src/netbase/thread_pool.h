@@ -10,8 +10,10 @@
 // bit-identical to the serial path regardless of worker count or
 // completion order.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -49,7 +51,7 @@ class ThreadPool {
     std::future<R> future = packaged->get_future();
     {
       const std::lock_guard lock(mutex_);
-      queue_.emplace_back([packaged] { (*packaged)(); });
+      queue_.push_back({[packaged] { (*packaged)(); }, enqueue_stamp_us()});
     }
     ready_.notify_one();
     return future;
@@ -63,13 +65,24 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& fn);
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    double enqueue_us;  ///< telemetry stamp; < 0 when telemetry is off
+  };
+
   void worker_loop();
 
+  /// Now-stamp for queue-wait accounting; -1 (no clock read) when
+  /// telemetry is disabled.
+  [[nodiscard]] static double enqueue_stamp_us();
+
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable ready_;
   bool stopping_ = false;
+  double created_us_;                      ///< construction stamp
+  std::atomic<std::uint64_t> busy_us_{0};  ///< summed task execution time
 };
 
 }  // namespace anyopt

@@ -1,0 +1,129 @@
+// Result invariance: enabling telemetry (metrics and full tracing) must not
+// change a single measured bit.  Instrumentation never touches experiment
+// RNG — nonces are content-derived — so a discovery campaign re-run with
+// telemetry on produces byte-identical censuses and preference tables.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/discovery.h"
+#include "measure/campaign_runner.h"
+#include "netbase/rng.h"
+#include "netbase/telemetry.h"
+#include "support/core_fixture.h"
+
+namespace anyopt::measure {
+namespace {
+
+using anyopt::testing::default_env;
+
+/// Restores the global telemetry switches and wipes the registry so this
+/// suite cannot leak state into other suites in the same binary.
+class TelemetryInvarianceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { force_off(); }
+  void TearDown() override { force_off(); }
+  static void force_off() {
+    telemetry::set_enabled(false);
+    telemetry::set_tracing(false);
+    telemetry::Registry::global().reset();
+  }
+};
+
+std::vector<ExperimentSpec> campaign_specs(const anycast::Deployment& depl) {
+  // A pairwise-order batch shaped like a discovery campaign leg.
+  std::vector<ExperimentSpec> specs;
+  const std::size_t sites = depl.site_count();
+  for (std::size_t k = 0; k < 12; ++k) {
+    ExperimentSpec spec;
+    spec.config.announce_order = {
+        SiteId{static_cast<SiteId::underlying_type>(k % sites)},
+        SiteId{static_cast<SiteId::underlying_type>((k + 1 + k / sites) %
+                                                    sites)}};
+    spec.nonce = mix64(0x1E1E, k);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST_F(TelemetryInvarianceTest, CampaignCensusesBitIdenticalOnAndOff) {
+  const auto& env = default_env();
+  const auto specs = campaign_specs(env.orchestrator->world().deployment());
+  const CampaignRunner runner(*env.orchestrator, {.threads = 2});
+
+  const std::vector<Census> off = runner.run(specs);
+
+  telemetry::set_enabled(true);
+  telemetry::set_tracing(true);
+  const std::vector<Census> on = runner.run(specs);
+
+  // Telemetry did run: the campaign recorded its experiments...
+  EXPECT_EQ(telemetry::Registry::global().counter_value(
+                "campaign.experiments"),
+            specs.size());
+  EXPECT_GT(telemetry::Registry::global().trace_event_count(), 0u);
+
+  // ...and changed nothing.  Every census field compares exactly; RTTs use
+  // operator== on doubles deliberately (bit-identical, not "close").
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i].site_of_target, on[i].site_of_target)
+        << "experiment " << i;
+    EXPECT_EQ(off[i].attachment_of_target, on[i].attachment_of_target)
+        << "experiment " << i;
+    ASSERT_EQ(off[i].rtt_ms.size(), on[i].rtt_ms.size());
+    for (std::size_t t = 0; t < off[i].rtt_ms.size(); ++t) {
+      ASSERT_EQ(off[i].rtt_ms[t], on[i].rtt_ms[t])
+          << "experiment " << i << " target " << t;
+    }
+  }
+}
+
+TEST_F(TelemetryInvarianceTest, DiscoveryRunBitIdenticalOnAndOff) {
+  const auto& env = default_env();
+  core::DiscoveryOptions options;
+  options.threads = 2;
+  const core::Discovery discovery(*env.orchestrator, options);
+
+  const core::DiscoveryResult off = discovery.run();
+
+  telemetry::set_enabled(true);
+  telemetry::set_tracing(true);
+  const core::DiscoveryResult on = discovery.run();
+
+  EXPECT_GT(telemetry::Registry::global().counter_value(
+                "discovery.pairs_classified"),
+            0u);
+
+  EXPECT_EQ(off.experiments, on.experiments);
+  EXPECT_EQ(off.provider_sites, on.provider_sites);
+  EXPECT_EQ(off.provider_prefs.outcome, on.provider_prefs.outcome);
+  ASSERT_EQ(off.site_prefs.size(), on.site_prefs.size());
+  for (std::size_t p = 0; p < off.site_prefs.size(); ++p) {
+    EXPECT_EQ(off.site_prefs[p].outcome, on.site_prefs[p].outcome)
+        << "provider " << p;
+  }
+}
+
+TEST_F(TelemetryInvarianceTest, SerialAndPooledPathsAgreeUnderTelemetry) {
+  // The instrumented serial path and the instrumented pool path must still
+  // agree with each other (the telemetry hooks differ between them).
+  const auto& env = default_env();
+  const auto specs = campaign_specs(env.orchestrator->world().deployment());
+
+  telemetry::set_enabled(true);
+  const CampaignRunner serial(*env.orchestrator, {.threads = 1});
+  const CampaignRunner pooled(*env.orchestrator, {.threads = 4});
+  const std::vector<Census> a = serial.run(specs);
+  const std::vector<Census> b = pooled.run(specs);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].site_of_target, b[i].site_of_target) << "experiment " << i;
+    EXPECT_EQ(a[i].rtt_ms, b[i].rtt_ms) << "experiment " << i;
+  }
+}
+
+}  // namespace
+}  // namespace anyopt::measure

@@ -1,0 +1,81 @@
+// Library stdio hygiene: no file under src/ may write diagnostics to
+// stdout/stderr.  Library code routes diagnostics through the telemetry
+// event sink (`Registry::instant`); only bench/tool mains print.  This scan
+// keeps the audit from rotting as files are added.
+//
+// String-building formatters (snprintf into a buffer) are fine and widely
+// used; the forbidden tokens are the stream objects and the stdio calls
+// that target a FILE*.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool is_ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+/// True when `token` occurs in `line` NOT as a suffix of a longer
+/// identifier (so `snprintf(` does not match token `printf(`).
+bool has_token(const std::string& line, const std::string& token) {
+  for (std::size_t pos = line.find(token); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    if (pos == 0 || !is_ident_char(line[pos - 1])) return true;
+  }
+  return false;
+}
+
+TEST(StdioHygiene, LibrarySourcesNeverWriteToStdStreams) {
+  const fs::path src = fs::path(ANYOPT_SOURCE_DIR) / "src";
+  ASSERT_TRUE(fs::exists(src)) << src;
+
+  const std::vector<std::string> forbidden = {
+      "std::cout", "std::cerr", "std::clog", "<iostream>",
+      "printf(",  // bare or std:: — snprintf/sprintf don't match (see above)
+      "fprintf(", "puts(", "putchar(",
+  };
+
+  std::vector<std::string> violations;
+  std::size_t files_scanned = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    ++files_scanned;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      for (const auto& token : forbidden) {
+        if (has_token(line, token)) {
+          std::ostringstream v;
+          v << fs::relative(entry.path(), src).string() << ":" << lineno
+            << ": " << token;
+          violations.push_back(v.str());
+        }
+      }
+    }
+  }
+
+  EXPECT_GT(files_scanned, 20u) << "scan looked at suspiciously few files";
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " stdio writes in library code:\n"
+      << [&] {
+           std::string all;
+           for (const auto& v : violations) all += "  " + v + "\n";
+           return all;
+         }();
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Concurrent recording on shared telemetry metrics.  Part of the `tsan`
+// suite: a ThreadSanitizer build (-DANYOPT_SANITIZE=thread) runs exactly
+// these tests, so any lock-ordering or data-race bug in the lock-free
+// recording paths fails loudly here.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "netbase/telemetry.h"
+
+namespace anyopt::telemetry {
+namespace {
+
+class TelemetryConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    set_enabled(true);
+    set_tracing(false);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    set_tracing(false);
+    Registry::global().reset();
+  }
+
+  static constexpr int kThreads = 8;
+  static constexpr int kOpsPerThread = 5000;
+
+  static void run_threads(const std::function<void(int)>& body) {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) threads.emplace_back(body, t);
+    for (auto& th : threads) th.join();
+  }
+};
+
+TEST_F(TelemetryConcurrencyTest, CounterAddsAreLossless) {
+  Counter& c = Registry::global().counter("conc.counter");
+  run_threads([&](int) {
+    for (int i = 0; i < kOpsPerThread; ++i) c.add(1);
+  });
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST_F(TelemetryConcurrencyTest, GaugeMaxConvergesToGlobalMaximum) {
+  Gauge& g = Registry::global().gauge("conc.gauge");
+  run_threads([&](int t) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      g.update_max(static_cast<std::int64_t>(t) * kOpsPerThread + i);
+    }
+  });
+  EXPECT_EQ(g.max(),
+            static_cast<std::int64_t>(kThreads) * kOpsPerThread - 1);
+}
+
+TEST_F(TelemetryConcurrencyTest, HistogramCountSumMinMaxAreExact) {
+  Histogram& h = Registry::global().histogram("conc.hist");
+  // Each thread records 1..kOpsPerThread; count/sum/min/max are exact
+  // (buckets are, too — every thread writes an identical distribution).
+  run_threads([&](int) {
+    for (int i = 1; i <= kOpsPerThread; ++i) {
+      h.record(static_cast<double>(i));
+    }
+  });
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  const double per_thread_sum =
+      static_cast<double>(kOpsPerThread) * (kOpsPerThread + 1) / 2.0;
+  EXPECT_DOUBLE_EQ(h.sum(), kThreads * per_thread_sum);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(kOpsPerThread));
+}
+
+TEST_F(TelemetryConcurrencyTest, ConcurrentRegistrationYieldsOneHandle) {
+  // All threads resolve the same four names while recording; handles must
+  // be stable and every increment must land on the shared metric.
+  auto& reg = Registry::global();
+  run_threads([&](int t) {
+    const std::string name = "conc.reg." + std::to_string(t % 4);
+    for (int i = 0; i < kOpsPerThread / 10; ++i) {
+      reg.counter(name).add(1);
+    }
+  });
+  std::uint64_t total = 0;
+  for (int k = 0; k < 4; ++k) {
+    total += reg.counter_value("conc.reg." + std::to_string(k));
+  }
+  EXPECT_EQ(total,
+            static_cast<std::uint64_t>(kThreads) * (kOpsPerThread / 10));
+}
+
+TEST_F(TelemetryConcurrencyTest, ScopedTimersAndTraceCaptureUnderContention) {
+  set_tracing(true);
+  auto& reg = Registry::global();
+  Histogram& h = reg.histogram("conc.span_ms");
+  constexpr int kSpansPerThread = 200;
+  run_threads([&](int) {
+    for (int i = 0; i < kSpansPerThread; ++i) {
+      const ScopedTimer span("conc.span", "test", &h,
+                             make_args("i", static_cast<std::uint64_t>(i)));
+      reg.instant("conc.instant", "test");
+    }
+  });
+  EXPECT_EQ(h.count(),
+            static_cast<std::uint64_t>(kThreads) * kSpansPerThread);
+  // One span + one instant per iteration, well under the capture cap.
+  EXPECT_EQ(reg.trace_event_count(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread * 2);
+  // Export under load must produce parseable output (smoke: non-empty,
+  // balanced shell); full JSON validation lives in telemetry_test.
+  const std::string json = reg.chrome_trace_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST_F(TelemetryConcurrencyTest, TogglingWhileRecordingIsSafe) {
+  // Flipping the master switch mid-flight must never corrupt metrics or
+  // race with recorders (recorders only observe the flag, they never
+  // depend on it staying fixed).
+  Counter& c = Registry::global().counter("conc.toggle");
+  std::thread toggler([] {
+    for (int i = 0; i < 2000; ++i) {
+      set_enabled(i % 2 == 0);
+      std::this_thread::yield();
+    }
+    set_enabled(true);
+  });
+  run_threads([&](int) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      if (enabled()) c.add(1);
+    }
+  });
+  toggler.join();
+  EXPECT_LE(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+}
+
+}  // namespace
+}  // namespace anyopt::telemetry

@@ -1,0 +1,336 @@
+// Telemetry registry semantics, scoped timers, and the trace-event sink —
+// including full well-formedness of the exported Chrome trace JSON.
+
+#include "netbase/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+namespace anyopt::telemetry {
+namespace {
+
+/// Restores the global switches and wipes the registry around each test so
+/// suites can toggle telemetry freely.
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    set_enabled(false);
+    set_tracing(false);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    set_tracing(false);
+    Registry::global().reset();
+  }
+};
+
+TEST_F(TelemetryTest, DisabledByDefault) { EXPECT_FALSE(enabled()); }
+
+TEST_F(TelemetryTest, CounterAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(TelemetryTest, GaugeTracksLastAndPeak) {
+  Gauge g;
+  g.set(5);
+  g.set(9);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 9);
+  g.update_max(100);
+  EXPECT_EQ(g.value(), 3);  // update_max leaves the last-set value alone
+  EXPECT_EQ(g.max(), 100);
+  g.update_max(50);
+  EXPECT_EQ(g.max(), 100);
+}
+
+TEST_F(TelemetryTest, HistogramMoments) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST_F(TelemetryTest, HistogramHandlesNonPositiveValues) {
+  Histogram h;
+  h.record(0.0);
+  h.record(-3.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_GE(h.percentile(0.5), h.min());
+  EXPECT_LE(h.percentile(0.5), h.max());
+}
+
+TEST_F(TelemetryTest, HistogramPercentilesMonotonicAndInRange) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i));
+  double prev = 0;
+  for (const double p : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = h.percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+  // Bucket resolution is a factor of two: p50 of U[1,1000] is within
+  // [256, 1024) around the true median 500.
+  EXPECT_GT(h.percentile(0.5), 100.0);
+  EXPECT_LT(h.percentile(0.5), 1000.0);
+}
+
+TEST_F(TelemetryTest, RegistryReturnsStableHandles) {
+  auto& reg = Registry::global();
+  Counter& a = reg.counter("test.counter");
+  Counter& b = reg.counter("test.counter");
+  EXPECT_EQ(&a, &b);
+  Counter& c = reg.counter("test.other");
+  EXPECT_NE(&a, &c);
+  // Same name in a different metric family is a distinct object.
+  reg.gauge("test.counter").set(7);
+  a.add(3);
+  EXPECT_EQ(reg.counter_value("test.counter"), 3u);
+}
+
+TEST_F(TelemetryTest, RegistryResetZeroesEverything) {
+  auto& reg = Registry::global();
+  reg.counter("r.c").add(5);
+  reg.gauge("r.g").set(5);
+  reg.histogram("r.h").record(5.0);
+  set_enabled(true);
+  set_tracing(true);
+  reg.instant("r.event", "test");
+  EXPECT_EQ(reg.trace_event_count(), 1u);
+  reg.reset();
+  EXPECT_EQ(reg.counter_value("r.c"), 0u);
+  EXPECT_EQ(reg.gauge("r.g").value(), 0);
+  EXPECT_EQ(reg.histogram("r.h").count(), 0u);
+  EXPECT_EQ(reg.trace_event_count(), 0u);
+}
+
+TEST_F(TelemetryTest, ScopedTimerRecordsOnlyWhenEnabled) {
+  auto& reg = Registry::global();
+  Histogram& h = reg.histogram("t.span_ms");
+  { const ScopedTimer span("t.span", "test", &h); }
+  EXPECT_EQ(h.count(), 0u);  // disabled: no record
+
+  set_enabled(true);
+  { const ScopedTimer span("t.span", "test", &h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0.0);
+  // Tracing was off: the span must not have reached the event sink.
+  EXPECT_EQ(reg.trace_event_count(), 0u);
+}
+
+TEST_F(TelemetryTest, ScopedTimerFinishIsIdempotent) {
+  set_enabled(true);
+  Histogram& h = Registry::global().histogram("t.finish_ms");
+  ScopedTimer span("t.span", "test", &h);
+  span.finish();
+  span.finish();
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST_F(TelemetryTest, SpansReachSinkOnlyWhenTracing) {
+  auto& reg = Registry::global();
+  set_enabled(true);
+  { const ScopedTimer span("t.a", "test"); }
+  EXPECT_EQ(reg.trace_event_count(), 0u);
+  set_tracing(true);
+  { const ScopedTimer span("t.b", "test"); }
+  reg.instant("t.marker", "test", make_args("k", 1));
+  EXPECT_EQ(reg.trace_event_count(), 2u);
+}
+
+TEST_F(TelemetryTest, SummaryListsRecordedMetrics) {
+  auto& reg = Registry::global();
+  reg.counter("s.hits").add(12);
+  reg.gauge("s.depth").set(4);
+  reg.histogram("s.lat_ms").record(1.5);
+  const std::string summary = reg.summary();
+  EXPECT_NE(summary.find("s.hits"), std::string::npos);
+  EXPECT_NE(summary.find("12"), std::string::npos);
+  EXPECT_NE(summary.find("s.depth"), std::string::npos);
+  EXPECT_NE(summary.find("s.lat_ms"), std::string::npos);
+  // Untouched metrics are omitted by default.
+  reg.counter("s.silent");
+  EXPECT_EQ(reg.summary().find("s.silent"), std::string::npos);
+  EXPECT_NE(reg.summary(/*include_empty=*/true).find("s.silent"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace JSON well-formedness: a small recursive-descent JSON checker
+// (no external dependency) run over the real export.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;  // raw control character
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    for (; *lit != '\0'; ++lit, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *lit) return false;
+    }
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST_F(TelemetryTest, EmptyTraceIsWellFormedJson) {
+  const std::string json = Registry::global().chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, TraceExportIsWellFormedJson) {
+  auto& reg = Registry::global();
+  set_enabled(true);
+  set_tracing(true);
+  { const ScopedTimer span("json.span", "test"); }
+  reg.span("json.manual", "test", 10.0, 5.0, make_args("i", 3, "n", 9));
+  reg.instant("json.instant", "test");
+  const std::string json = reg.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"i\":3,\"n\":9}"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, TraceEscapesHostileNames) {
+  auto& reg = Registry::global();
+  set_enabled(true);
+  set_tracing(true);
+  reg.span("quote\" back\\slash \n newline", "cat\"egory", 0.0, 1.0);
+  const std::string json = reg.chrome_trace_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+TEST_F(TelemetryTest, SinkIsInertWhenDisabled) {
+  auto& reg = Registry::global();
+  set_tracing(true);  // tracing without telemetry must still be inert
+  reg.span("off.span", "test", 0.0, 1.0);
+  reg.instant("off.instant", "test");
+  EXPECT_EQ(reg.trace_event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace anyopt::telemetry
