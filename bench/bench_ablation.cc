@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("ablation", argc, argv);
   bench::print_banner(
       "Ablation — prediction accuracy with vs without announcement-order "
       "accounting",

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("fig4a", argc, argv);
   bench::print_banner(
       "Figure 4a — catchment flips under reversed announcement order",
       "~6%-14% of ping targets change catchment site per provider pair");

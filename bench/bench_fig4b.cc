@@ -43,7 +43,7 @@ stats::Online no_order_over_subsets(const core::PairwiseTable& table,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("fig4b", argc, argv);
   const std::size_t threads = bench::parse_threads(argc, argv);
   bench::print_banner(
       "Figure 4b — networks without a total order vs #providers",

@@ -14,7 +14,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("fig4c", argc, argv);
   const std::size_t threads = bench::parse_threads(argc, argv);
   bench::print_banner(
       "Figure 4c — networks with a total order vs #sites",

@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("fig5a", argc, argv);
   bench::print_banner(
       "Figure 5a — catchment prediction accuracy over 38 random configs",
       ">93% per configuration; 94.7% mean accuracy over 15,300 targets");

@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("fig5b", argc, argv);
   bench::print_banner(
       "Figure 5b — CDF of |predicted - measured| mean RTT",
       "<= 6 ms for more than 80% of anycast configurations");

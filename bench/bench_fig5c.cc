@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("fig5c", argc, argv);
   bench::print_banner(
       "Figure 5c — relative error of the predicted mean RTT",
       "mean predicted-average-RTT error < 4.6%");

@@ -15,7 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("fig6", argc, argv);
   bench::print_banner(
       "Figure 6 — optimized configuration vs baselines",
       "AnyOpt-12 median 43 ms vs 12-Greedy 76 ms (43.4% better, 33 ms "

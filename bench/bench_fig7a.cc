@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("fig7a", argc, argv);
   bench::print_banner(
       "Figure 7a — CDF of peer catchment sizes",
       "72 of 104 peers reach a target; >80% of peers attract <2.5% of "

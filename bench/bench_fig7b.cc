@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("fig7b", argc, argv);
   bench::print_banner(
       "Figure 7b — mean-RTT delta per enabled peer (ranked)",
       "only a few peers have noticeable impact on the average RTT");

@@ -13,7 +13,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("fig7c", argc, argv);
   bench::print_banner(
       "Figure 7c — AnyOpt vs AnyOpt+BenefitPeers vs AnyOpt+AllPeers",
       "mean RTT 68 ms -> 63 ms (one-pass beneficial peers) -> 61 ms (all "

@@ -294,7 +294,7 @@ BENCHMARK(BM_SimulatorRunTelemetry)->Arg(0)->Arg(1);
 // argument list) registers an extra BM_CampaignBatch run at N workers on
 // top of the static 1/2/4 sweep.
 int main(int argc, char** argv) {
-  const anyopt::bench::TelemetryScope telemetry_scope(argc, argv);
+  const anyopt::bench::TelemetryScope telemetry_scope("micro", argc, argv);
   const std::size_t threads = anyopt::bench::parse_threads(argc, argv, 0);
   if (threads != 0 && threads != 1 && threads != 2 && threads != 4) {
     benchmark::RegisterBenchmark("BM_CampaignBatch", BM_CampaignBatch)

@@ -44,7 +44,7 @@ bool identical(const core::DiscoveryResult& a, const core::DiscoveryResult& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("parallel_discovery", argc, argv);
   std::size_t threads = bench::parse_threads(argc, argv, 4);
   if (threads == 0) threads = std::thread::hardware_concurrency();
   bench::print_banner(

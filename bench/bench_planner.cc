@@ -11,7 +11,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("planner", argc, argv);
   bench::print_banner(
       "§4.5 — measurement plan for a 500-site / 20-provider network",
       "500 singleton experiments (~10 days) + 380 pairwise experiments "

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("rep_stability", argc, argv);
   bench::print_banner(
       "§4.3 — provider-level preference stability under representative-site "
       "changes",

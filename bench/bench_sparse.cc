@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("sparse", argc, argv);
   bench::print_banner(
       "§6 extension — sparse discovery with transitive completion",
       "open question in the paper: can total orders be learned with fewer "

@@ -12,7 +12,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("stability", argc, argv);
   bench::print_banner(
       "§6 — three-week stability of the optimized configuration",
       ">90% of catchments unchanged and stable average RTT across three "

@@ -9,7 +9,7 @@
 
 int main(int argc, char** argv) {
   using namespace anyopt;
-  const bench::TelemetryScope telemetry_scope(argc, argv);
+  const bench::TelemetryScope telemetry_scope("table1", argc, argv);
   bench::print_banner(
       "Table 1 (testbed) + per-site unicast/catchment profile",
       "15 sites, 6 tier-1 transits (Telia/Zayo/TATA/GTT/NTT/Sparkle), "

@@ -79,6 +79,10 @@ TelemetryOptions parse_telemetry(int& argc, char** argv) {
       options.metrics_out = arg + 14;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       options.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      options.json_out = arg + 11;
+    } else if (std::strcmp(arg, "--no-json") == 0) {
+      options.json = false;
     } else {
       argv[out++] = argv[i];
     }
@@ -130,6 +134,72 @@ void report_telemetry(const TelemetryOptions& options) {
                    options.trace_out.c_str());
     }
   }
+}
+
+void write_bench_json(const std::string& bench_name, double wall_s,
+                      const TelemetryOptions& options) {
+  if (!options.json) return;
+  if (const char* env = std::getenv("ANYOPT_BENCH_JSON");
+      env != nullptr && std::strcmp(env, "0") == 0) {
+    return;
+  }
+  const std::string path = options.json_out.empty()
+                               ? "BENCH_" + bench_name + ".json"
+                               : options.json_out;
+  auto& reg = telemetry::Registry::global();
+  const std::uint64_t hits = reg.counter_value("bgp.resolve.cache_hit");
+  const std::uint64_t misses = reg.counter_value("bgp.resolve.cache_miss");
+  const std::uint64_t resolves = hits + misses;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"wall_s\": %.3f,\n"
+               "  \"sim_runs\": %llu,\n"
+               "  \"sim_events\": %llu,\n"
+               "  \"censuses\": %llu,\n"
+               "  \"campaign_experiments\": %llu,\n"
+               "  \"resolve_cache_hits\": %llu,\n"
+               "  \"resolve_cache_misses\": %llu,\n"
+               "  \"resolve_cache_hit_rate\": %.4f,\n"
+               "  \"scratch_reuse\": %llu\n"
+               "}\n",
+               bench_name.c_str(), wall_s,
+               static_cast<unsigned long long>(reg.counter_value("bgp.sim.runs")),
+               static_cast<unsigned long long>(
+                   reg.counter_value("bgp.sim.events")),
+               static_cast<unsigned long long>(
+                   reg.counter_value("measure.censuses")),
+               static_cast<unsigned long long>(
+                   reg.counter_value("campaign.experiments")),
+               static_cast<unsigned long long>(hits),
+               static_cast<unsigned long long>(misses),
+               resolves > 0 ? static_cast<double>(hits) /
+                                  static_cast<double>(resolves)
+                            : 0.0,
+               static_cast<unsigned long long>(
+                   reg.counter_value("sim.scratch_reuse")));
+  std::fclose(f);
+  std::printf("\n[bench] record written to %s\n", path.c_str());
+}
+
+TelemetryScope::TelemetryScope(const char* bench_name, int& argc, char** argv)
+    : bench_name_(bench_name), options_(parse_telemetry(argc, argv)) {
+  // The bench record needs real counters regardless of telemetry flags.
+  // Metrics are result-invariant (see the telemetry invariance suite), so
+  // this only costs a few relaxed atomics per experiment.
+  telemetry::set_enabled(true);
+  start_us_ = telemetry::now_us();
+}
+
+TelemetryScope::~TelemetryScope() {
+  const double wall_s = (telemetry::now_us() - start_us_) / 1e6;
+  report_telemetry(options_);
+  write_bench_json(bench_name_, wall_s, options_);
 }
 
 std::vector<Fig5Point> run_fig5_sweep(PaperEnv& env, int count,

@@ -43,6 +43,9 @@ struct PaperEnv {
 ///                        --metrics)
 ///   --trace-out=FILE     capture spans and write Chrome trace-event JSON
 ///                        to FILE (open in Perfetto / chrome://tracing)
+///   --json-out=FILE      write the machine-readable bench record to FILE
+///                        (default: BENCH_<name>.json in the working dir)
+///   --no-json            skip the bench record (ANYOPT_BENCH_JSON=0 too)
 /// Any of them enables the telemetry layer for the whole run.  Telemetry
 /// never touches experiment RNG, so the bench's result tables are
 /// byte-identical with and without these flags.
@@ -50,6 +53,8 @@ struct TelemetryOptions {
   bool metrics = false;
   std::string metrics_out;  ///< empty = stdout
   std::string trace_out;    ///< empty = no trace capture
+  std::string json_out;     ///< empty = BENCH_<name>.json
+  bool json = true;         ///< emit the bench record at exit
   [[nodiscard]] bool any() const { return metrics || !trace_out.empty(); }
 };
 
@@ -61,20 +66,32 @@ struct TelemetryOptions {
 /// with derived pool-utilization line) and/or the Chrome trace JSON.
 void report_telemetry(const TelemetryOptions& options);
 
-/// RAII wrapper: parse at the top of main, report at exit — after every
-/// pipeline/runner destructor has flushed its metrics.
+/// Writes the machine-readable per-run record `BENCH_<name>.json` (wall
+/// time plus the headline workload counters: simulator runs/events,
+/// censuses, campaign experiments, resolution-cache hit rate, scratch
+/// reuse).  These files are the repo's perf trajectory: one record per
+/// bench per run, diffable across commits.
+void write_bench_json(const std::string& bench_name, double wall_s,
+                      const TelemetryOptions& options);
+
+/// RAII wrapper: construct at the top of main with the bench's short name
+/// (e.g. "fig4b"), report at exit — after every pipeline/runner destructor
+/// has flushed its metrics.  Always enables the metrics layer so the bench
+/// record has real counters even without telemetry flags (the layer is
+/// result-invariant and its hot-path cost is one relaxed atomic per probe).
 class TelemetryScope {
  public:
-  TelemetryScope(int& argc, char** argv)
-      : options_(parse_telemetry(argc, argv)) {}
-  ~TelemetryScope() { report_telemetry(options_); }
+  TelemetryScope(const char* bench_name, int& argc, char** argv);
+  ~TelemetryScope();
   TelemetryScope(const TelemetryScope&) = delete;
   TelemetryScope& operator=(const TelemetryScope&) = delete;
 
   [[nodiscard]] const TelemetryOptions& options() const { return options_; }
 
  private:
+  std::string bench_name_;
   TelemetryOptions options_;
+  double start_us_ = 0;
 };
 
 /// Prints the standard bench banner: experiment id, what the paper

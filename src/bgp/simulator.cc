@@ -21,6 +21,7 @@ namespace {
 struct SimMetrics {
   telemetry::Counter* runs;
   telemetry::Counter* events;
+  telemetry::Counter* scratch_reuse;
   telemetry::Gauge* queue_peak;
   telemetry::Histogram* convergence_s;
   telemetry::Histogram* events_per_run;
@@ -31,6 +32,7 @@ struct SimMetrics {
       auto& reg = telemetry::Registry::global();
       SimMetrics out{&reg.counter("bgp.sim.runs"),
                      &reg.counter("bgp.sim.events"),
+                     &reg.counter("sim.scratch_reuse"),
                      &reg.gauge("bgp.sim.queue_peak"),
                      &reg.histogram("bgp.sim.convergence_s"),
                      &reg.histogram("bgp.sim.events_per_run"),
@@ -57,6 +59,21 @@ struct SimMetrics {
   }
 };
 
+/// Pre-resolved forwarding-cache metrics (one registry lookup per process).
+struct ResolveMetrics {
+  telemetry::Counter* cache_hit;
+  telemetry::Counter* cache_miss;
+
+  static const ResolveMetrics& get() {
+    static const ResolveMetrics m = [] {
+      auto& reg = telemetry::Registry::global();
+      return ResolveMetrics{&reg.counter("bgp.resolve.cache_hit"),
+                            &reg.counter("bgp.resolve.cache_miss")};
+    }();
+    return m;
+  }
+};
+
 }  // namespace
 
 struct Simulator::Event {
@@ -70,6 +87,36 @@ struct Simulator::Event {
     return a.seq > b.seq;
   }
 };
+
+/// Last advertisement sent per (AS, neighbor slot); `valid == false` = none.
+struct Simulator::Advertised {
+  bool valid = false;
+  std::vector<AsId> path;
+  std::uint8_t prepend = 0;
+};
+
+/// The recycled buffers behind a SimScratch.  Everything here is storage
+/// only — each run resets whatever it borrows before reading it, so a
+/// scratch can hop between simulators (even differently sized worlds).
+struct SimScratch::Impl {
+  std::vector<RoutingState::AsState> as_state;          ///< per-AS RIBs
+  std::vector<RoutingState::CachedWalk> walks;          ///< forwarding cache
+  std::vector<Simulator::Event> events;                 ///< queue container
+  std::vector<double> session_clock;
+  std::vector<std::vector<Simulator::Advertised>> advertised;
+};
+
+SimScratch::SimScratch() : impl_(std::make_unique<Impl>()) {}
+SimScratch::~SimScratch() = default;
+SimScratch::SimScratch(SimScratch&&) noexcept = default;
+SimScratch& SimScratch::operator=(SimScratch&&) noexcept = default;
+
+void SimScratch::recycle(RoutingState&& state) {
+  impl_->as_state = std::move(state.as_);
+  impl_->walks = std::move(state.walk_cache_);
+  state.as_.clear();
+  state.walk_cache_.clear();
+}
 
 Simulator::Simulator(const topo::Internet& net,
                      std::vector<OriginAttachment> attachments,
@@ -121,7 +168,8 @@ int Simulator::attachment_slot(AsId as, AttachmentIndex idx) const {
 }
 
 RoutingState Simulator::run(std::span<const Injection> injections,
-                            std::uint64_t run_nonce) const {
+                            std::uint64_t run_nonce,
+                            SimScratch* scratch) const {
   // One relaxed load up front; every instrumentation site below branches on
   // this cached bool, so the disabled path adds no clocks and no atomics.
   const bool telem = telemetry::enabled();
@@ -134,13 +182,47 @@ RoutingState Simulator::run(std::span<const Injection> injections,
   std::array<std::uint64_t, 10> step_tally{};
 
   const std::size_t n = net_.graph.as_count();
+  SimScratch::Impl* sc = scratch != nullptr ? scratch->impl_.get() : nullptr;
   RoutingState state;
   state.sim_ = this;
   state.run_nonce_ = run_nonce;
+  // Seed per-AS RIB storage from the scratch when one is supplied.  Reused
+  // entries keep their heap blocks (the AS-path vectors are the dominant
+  // allocation of a clean run) but are reset to the not-present state the
+  // engine expects; nothing below ever reads a field of a non-present
+  // entry, so stale bytes cannot leak into results.
+  const bool reused = sc != nullptr && !sc->as_state.empty();
+  if (reused) {
+    state.as_ = std::move(sc->as_state);
+    sc->as_state.clear();
+  }
   state.as_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    state.as_[i].rib.resize(adj_[i].size() + host_attach_[i].size());
+    auto& as_state = state.as_[i];
+    as_state.rib.resize(adj_[i].size() + host_attach_[i].size());
+    if (reused) {
+      for (RibEntry& entry : as_state.rib) {
+        entry.present = false;
+        entry.as_path.clear();
+      }
+      as_state.best.best = -1;
+      as_state.best.equal_best.clear();
+    }
   }
+  if (options_.resolution_cache) {
+    if (sc != nullptr) {
+      state.walk_cache_ = std::move(sc->walks);
+      sc->walks.clear();
+    }
+    state.walk_cache_.resize(n);
+    for (RoutingState::CachedWalk& walk : state.walk_cache_) {
+      walk.state = RoutingState::CachedWalk::State::kUnknown;
+      walk.crossed = false;
+      walk.as_path.clear();
+      walk.hop_ms.clear();
+    }
+  }
+  if (telem && reused) SimMetrics::get().scratch_reuse->add(1);
 
   Rng rng{options_.seed ^ (0x9e3779b97f4a7c15ULL * (run_nonce + 1))};
   // Deterministic per-session processing delay: stable across runs so BGP
@@ -156,30 +238,48 @@ RoutingState Simulator::run(std::span<const Injection> injections,
   };
   std::uint64_t event_seq = 0;
   std::uint64_t arrival_seq = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  // The queue adapter exposes its container so a scratch can reclaim the
+  // storage once the run drains it.
+  struct EventQueue
+      : std::priority_queue<Event, std::vector<Event>, std::greater<>> {
+    explicit EventQueue(std::vector<Event>&& storage) {
+      storage.clear();
+      c = std::move(storage);
+    }
+    [[nodiscard]] std::vector<Event> reclaim() && { return std::move(c); }
+  };
+  EventQueue queue(sc != nullptr ? std::move(sc->events)
+                                 : std::vector<Event>{});
+  if (sc != nullptr) sc->events.clear();
 
   // BGP runs over TCP: updates on one session are delivered IN ORDER.
   // Each directed session keeps a delivery clock; a later update can never
   // arrive before an earlier one, or a stale announcement could overwrite
   // its own replacement at the receiver.
-  std::vector<double> session_clock(net_.graph.link_count() * 2 +
-                                        attachments_.size(),
-                                    -1.0);
+  std::vector<double> session_clock_local;
+  std::vector<double>& session_clock =
+      sc != nullptr ? sc->session_clock : session_clock_local;
+  session_clock.assign(net_.graph.link_count() * 2 + attachments_.size(),
+                       -1.0);
   const auto fifo = [&session_clock](std::size_t session, double t) {
     if (t <= session_clock[session]) t = session_clock[session] + 1e-9;
     session_clock[session] = t;
     return t;
   };
 
-  // Last advertisement sent per (AS, neighbor slot); empty = none.
+  // Last advertisement sent per (AS, neighbor slot); `valid` false = none.
   // advertised[as][slot] holds the as_path sent, with a validity flag.
-  struct Advertised {
-    bool valid = false;
-    std::vector<AsId> path;
-    std::uint8_t prepend = 0;
-  };
-  std::vector<std::vector<Advertised>> advertised(n);
-  for (std::size_t i = 0; i < n; ++i) advertised[i].resize(adj_[i].size());
+  std::vector<std::vector<Advertised>> advertised_local;
+  std::vector<std::vector<Advertised>>& advertised =
+      sc != nullptr ? sc->advertised : advertised_local;
+  advertised.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    advertised[i].resize(adj_[i].size());
+    for (Advertised& adv : advertised[i]) {
+      adv.valid = false;
+      adv.path.clear();
+    }
+  }
 
   // Schedule origin injections.
   double last_time = -1;
@@ -397,6 +497,8 @@ RoutingState Simulator::run(std::span<const Injection> injections,
       if (telem && queue.size() > queue_peak) queue_peak = queue.size();
     }
   }
+  // Hand the drained queue container back to the scratch for the next run.
+  if (sc != nullptr) sc->events = std::move(queue).reclaim();
   if (telem) {
     const SimMetrics& m = SimMetrics::get();
     m.runs->add(1);
@@ -413,7 +515,7 @@ RoutingState Simulator::run(std::span<const Injection> injections,
 
 RoutingState Simulator::announce_sequence(
     std::span<const AttachmentIndex> order, double spacing_s,
-    std::uint64_t run_nonce) const {
+    std::uint64_t run_nonce, SimScratch* scratch) const {
   std::vector<Injection> schedule;
   schedule.reserve(order.size());
   double t = 0;
@@ -421,7 +523,7 @@ RoutingState Simulator::announce_sequence(
     schedule.push_back(Injection{t, a, false});
     t += spacing_s;
   }
-  return run(schedule, run_nonce);
+  return run(schedule, run_nonce, scratch);
 }
 
 const RibEntry* RoutingState::best(AsId as) const {
@@ -439,20 +541,86 @@ const BestSet& RoutingState::best_set(AsId as) const {
 
 ResolvedPath RoutingState::resolve(AsId from, const geo::Coordinates& from_loc,
                                    std::uint64_t flow_hash) const {
+  if (walk_cache_.empty()) {
+    // Cache disabled for this run: plain walk, no memoization.
+    return resolve_walk(from, from_loc, flow_hash, nullptr);
+  }
+  CachedWalk& walk = walk_cache_[from.value()];
+  const bool telem = telemetry::enabled();
+  switch (walk.state) {
+    case CachedWalk::State::kCached:
+      if (telem) ResolveMetrics::get().cache_hit->add(1);
+      return replay_walk(walk, from_loc);
+    case CachedWalk::State::kUncached:
+      // Flow- or location-dependent walk: recompute per call, keyed by the
+      // caller's flow hash exactly as the uncached path would.
+      if (telem) ResolveMetrics::get().cache_miss->add(1);
+      return resolve_walk(from, from_loc, flow_hash, nullptr);
+    case CachedWalk::State::kUnknown:
+      break;
+  }
+  if (telem) ResolveMetrics::get().cache_miss->add(1);
+  return resolve_walk(from, from_loc, flow_hash, &walk);
+}
+
+ResolvedPath RoutingState::replay_walk(const CachedWalk& walk,
+                                       const geo::Coordinates& from_loc) const {
+  // Replays the memoized walk for a client at `from_loc`.  The latency sum
+  // re-adds the recorded per-hop terms in the original left-to-right order
+  // (only the first-hop geodesic depends on the client's location), so the
+  // result is bit-identical to the walk that recorded it.
+  ResolvedPath out;
+  out.as_path = walk.as_path;
+  if (walk.crossed) {
+    out.one_way_ms +=
+        geo::one_way_latency_ms(from_loc, walk.first_link_where);
+    for (const double hop : walk.hop_ms) out.one_way_ms += hop;
+  }
+  if (!walk.reachable) return out;
+  out.reachable = true;
+  out.site = walk.site;
+  out.attachment = walk.attachment;
+  out.one_way_ms += walk.terminal_ms;
+  return out;
+}
+
+ResolvedPath RoutingState::resolve_walk(AsId from,
+                                        const geo::Coordinates& from_loc,
+                                        std::uint64_t flow_hash,
+                                        CachedWalk* record) const {
   ResolvedPath out;
   const topo::Internet& net = sim_->net_;
   AsId cur = from;
   geo::Coordinates cur_loc = from_loc;
   out.as_path.push_back(cur);
+  if (record != nullptr) {
+    record->as_path.clear();
+    record->hop_ms.clear();
+    record->crossed = false;
+    record->as_path.push_back(cur);
+  }
 
   for (std::size_t hops = 0; hops < 64; ++hops) {
     const auto& s = as_[cur.value()];
-    if (s.best.best < 0) return out;  // unreachable
+    if (s.best.best < 0) {
+      // Dead end: flow-independent, so the (unreachable) walk is cacheable.
+      if (record != nullptr) {
+        record->state = CachedWalk::State::kCached;
+        record->reachable = false;
+      }
+      return out;  // unreachable
+    }
 
     // Per-flow multipath split across equal-best entries.
     int chosen = s.best.best;
     const topo::AsNode& node = net.graph.node(cur);
     if (node.multipath && s.best.equal_best.size() > 1) {
+      // The choice below depends on the flow hash: walks through this AS
+      // belong to per-flow classes and must not be shared across targets.
+      if (record != nullptr) {
+        record->state = CachedWalk::State::kUncached;
+        record = nullptr;
+      }
       std::uint64_t h = flow_hash ^ (0x9e3779b97f4a7c15ULL * (cur.value() + 1)) ^
                         (run_nonce_ * 0xbf58476d1ce4e5b9ULL);
       h ^= h >> 29;
@@ -467,6 +635,13 @@ ResolvedPath RoutingState::resolve(AsId from, const geo::Coordinates& from_loc,
       // Hot-potato: among the attachments to this AS that are currently
       // announced, pick the one closest (by IGP, if this AS has a PoP
       // network) to where the traffic entered the AS.
+      if (record != nullptr && hops == 0) {
+        // The client AS itself hosts the attachments: the hot-potato cost
+        // below starts from the client's own location, so the outcome is
+        // per-target, not per-AS.
+        record->state = CachedWalk::State::kUncached;
+        record = nullptr;
+      }
       const auto& slots = sim_->host_attach_[cur.value()];
       const std::size_t base = sim_->adj_[cur.value()].size();
       // iBGP best-path inside the host AS: AS-path length (prepending!)
@@ -514,12 +689,27 @@ ResolvedPath RoutingState::resolve(AsId from, const geo::Coordinates& from_loc,
           best_at = slots[i];
         }
       }
-      if (best_at == kNoAttachment) return out;  // raced withdraw
+      if (best_at == kNoAttachment) {
+        // Raced withdraw: no announced attachment survived — a pure
+        // function of the converged RIBs, so cacheable as unreachable.
+        if (record != nullptr) {
+          record->state = CachedWalk::State::kCached;
+          record->reachable = false;
+        }
+        return out;
+      }
       const OriginAttachment& at = sim_->attachments_[best_at];
       out.reachable = true;
       out.site = at.site;
       out.attachment = best_at;
       out.one_way_ms += best_intra + at.latency_ms;
+      if (record != nullptr) {
+        record->state = CachedWalk::State::kCached;
+        record->reachable = true;
+        record->site = at.site;
+        record->attachment = best_at;
+        record->terminal_ms = best_intra + at.latency_ms;
+      }
       return out;
     }
 
@@ -528,12 +718,30 @@ ResolvedPath RoutingState::resolve(AsId from, const geo::Coordinates& from_loc,
     assert(slot >= 0);
     const topo::AsLink& link =
         net.graph.link(sim_->adj_[cur.value()][slot].link);
-    out.one_way_ms += geo::one_way_latency_ms(cur_loc, link.where);
+    const double cross_ms = geo::one_way_latency_ms(cur_loc, link.where);
+    out.one_way_ms += cross_ms;
     cur = entry.neighbor;
     cur_loc = link.where;
     out.as_path.push_back(cur);
+    if (record != nullptr) {
+      if (!record->crossed) {
+        // First crossing: its latency depends on the caller's location and
+        // is recomputed per replay from this recorded ingress point.
+        record->crossed = true;
+        record->first_link_where = link.where;
+      } else {
+        record->hop_ms.push_back(cross_ms);
+      }
+      record->as_path.push_back(cur);
+    }
   }
-  return out;  // exceeded hop budget: treat as unreachable
+  // Exceeded the hop budget: flow-independent (no split was met, or
+  // recording would have stopped), so cacheable as unreachable.
+  if (record != nullptr) {
+    record->state = CachedWalk::State::kCached;
+    record->reachable = false;
+  }
+  return out;  // treat as unreachable
 }
 
 }  // namespace anyopt::bgp

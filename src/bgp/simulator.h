@@ -14,6 +14,7 @@
 // resolved per client network.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -45,6 +46,16 @@ struct SimulatorOptions {
   /// Global ablation switch for the arrival-order tie-break; ANDed with the
   /// per-AS `prefers_oldest` flag.
   bool arrival_order_tiebreak = true;
+  /// Enables the per-RoutingState forwarding cache: `resolve()` memoizes
+  /// each client AS's data-plane walk so targets sharing a client AS replay
+  /// it instead of re-walking (hops whose choice depends on the flow hash —
+  /// multipath splits, host-AS hot-potato from the client's own location —
+  /// stay uncached).  Results are bit-identical on or off; `explain()`
+  /// always bypasses the cache.  Note the cache makes `resolve()` mutate
+  /// internal memoization state: a single RoutingState must not be resolved
+  /// from multiple threads concurrently (census workers each own their
+  /// state, so the campaign engine is unaffected).
+  bool resolution_cache = true;
   /// Safety valve: abort if a run exceeds this many events (0 = auto).
   std::size_t max_events = 0;
   /// Base seed; combined with the per-run nonce.
@@ -91,6 +102,42 @@ struct Explanation {
 };
 
 class Simulator;
+class RoutingState;
+
+/// Recycled allocation arena for `Simulator::run`.  A clean-state BGP run
+/// builds per-AS RIB vectors, an event queue, per-session clocks and
+/// advertisement diffs from scratch; campaigns run thousands of such
+/// experiments over the same topology, so the allocations dominate once the
+/// event processing itself is fast.  A SimScratch keeps all of that storage
+/// alive between runs: pass it to `run()` to seed the new state from the
+/// recycled buffers, and hand the consumed RoutingState back via
+/// `recycle()` once its results have been read.
+///
+/// A scratch is NOT thread-safe — it is meant to be owned by one worker
+/// (`measure::CampaignRunner` keeps one per pool worker; the orchestrator
+/// falls back to a thread-local one).  Reuse never changes results: every
+/// recycled buffer is reset before the run and the engine only ever reads
+/// state it wrote this run.
+class SimScratch {
+ public:
+  SimScratch();
+  ~SimScratch();
+  SimScratch(SimScratch&&) noexcept;
+  SimScratch& operator=(SimScratch&&) noexcept;
+  SimScratch(const SimScratch&) = delete;
+  SimScratch& operator=(const SimScratch&) = delete;
+
+  /// Reclaims the storage of a RoutingState this scratch (or any scratch)
+  /// helped build.  Call only once the state's results are consumed; the
+  /// state is left empty.
+  void recycle(RoutingState&& state);
+
+  struct Impl;  // opaque; owns the recycled buffers (defined in the .cc)
+
+ private:
+  friend class Simulator;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Converged routing state of one run.  Valid only while the owning
 /// Simulator is alive.
@@ -107,6 +154,13 @@ class RoutingState {
 
   /// Walks the data plane from a client at `from` / `from_loc` to its
   /// catchment site.  `flow_hash` seeds per-flow multipath splitting.
+  ///
+  /// When the owning simulator's `resolution_cache` option is on, the walk
+  /// from each client AS is memoized on first use and replayed for later
+  /// targets in the same AS (the per-hop decisions are pure functions of
+  /// the converged RIBs; only the first-hop latency and the flow-dependent
+  /// pieces are recomputed per call).  The memoization mutates internal
+  /// state, so a cached RoutingState must not be resolved concurrently.
   [[nodiscard]] ResolvedPath resolve(AsId from, const geo::Coordinates& from_loc,
                                      std::uint64_t flow_hash) const;
 
@@ -125,12 +179,46 @@ class RoutingState {
 
  private:
   friend class Simulator;
+  friend class SimScratch;
+  friend struct SimScratch::Impl;
   struct AsState {
     std::vector<RibEntry> rib;  ///< slots: AS neighbors, then attachments
     BestSet best;
   };
+  /// One memoized data-plane walk, keyed by the client AS it starts from.
+  /// A walk is cacheable only when no hop's choice depended on the flow
+  /// hash (no live multipath split) or on the caller's location (the
+  /// host-AS hot-potato cost when the client AS itself hosts attachments);
+  /// such walks stay `kUncached` and are re-walked per flow.  Replay
+  /// re-adds the recorded per-hop latencies in the original order, so the
+  /// floating-point result is bit-identical to the uncached walk.
+  struct CachedWalk {
+    enum class State : std::uint8_t { kUnknown, kCached, kUncached };
+    State state = State::kUnknown;
+    bool reachable = false;
+    bool crossed = false;  ///< at least one inter-AS crossing on the walk
+    SiteId site;
+    AttachmentIndex attachment = kNoAttachment;
+    geo::Coordinates first_link_where;  ///< ingress of the first crossing
+    double terminal_ms = 0;  ///< host-AS hot-potato cost + session latency
+    std::vector<AsId> as_path;
+    std::vector<double> hop_ms;  ///< crossings after the first, in order
+  };
+  /// The uncached walk.  If `record` is non-null the walk is captured into
+  /// it (or marked kUncached when a flow/location-dependent hop is met).
+  [[nodiscard]] ResolvedPath resolve_walk(AsId from,
+                                          const geo::Coordinates& from_loc,
+                                          std::uint64_t flow_hash,
+                                          CachedWalk* record) const;
+  /// Replays a kCached walk for a client at `from_loc`.
+  [[nodiscard]] ResolvedPath replay_walk(const CachedWalk& walk,
+                                         const geo::Coordinates& from_loc) const;
+
   const Simulator* sim_ = nullptr;
   std::vector<AsState> as_;
+  /// Forwarding cache, indexed by client AS; empty = cache disabled.
+  /// Mutable: memoization from const `resolve()` (single-threaded use).
+  mutable std::vector<CachedWalk> walk_cache_;
   std::uint64_t run_nonce_ = 0;
   std::size_t events_ = 0;
   double last_event_s_ = 0;
@@ -152,18 +240,22 @@ class Simulator {
 
   /// Runs one BGP experiment from clean state.  `injections` must be sorted
   /// by time; `run_nonce` individualizes jitter (two runs with the same
-  /// schedule and nonce are identical).
+  /// schedule and nonce are identical).  `scratch`, when given, seeds the
+  /// run from recycled buffers (see SimScratch) — results are bit-identical
+  /// with or without it.
   [[nodiscard]] RoutingState run(std::span<const Injection> injections,
-                                 std::uint64_t run_nonce) const;
+                                 std::uint64_t run_nonce,
+                                 SimScratch* scratch = nullptr) const;
 
   /// Convenience: announce the given attachments in schedule order with
   /// `spacing_s` between consecutive announcements.
   [[nodiscard]] RoutingState announce_sequence(
       std::span<const AttachmentIndex> order, double spacing_s,
-      std::uint64_t run_nonce) const;
+      std::uint64_t run_nonce, SimScratch* scratch = nullptr) const;
 
  private:
   friend class RoutingState;
+  friend struct SimScratch::Impl;
 
   struct DedupNeighbor {
     AsId as;
@@ -172,6 +264,7 @@ class Simulator {
   };
 
   struct Event;
+  struct Advertised;
 
   [[nodiscard]] int neighbor_slot(AsId as, AsId neighbor) const;
   [[nodiscard]] int attachment_slot(AsId as, AttachmentIndex idx) const;

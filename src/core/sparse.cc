@@ -1,34 +1,47 @@
 #include "core/sparse.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "netbase/telemetry.h"
 
 namespace anyopt::core {
 namespace {
 
-/// Per-client strict-preference closure over up to 8 items, stored as a
-/// beats-bit matrix (bit i*8+j: i strictly beats j).
-struct Closure {
-  std::uint64_t beats = 0;
+/// Per-client strict-preference closure, stored as a beats-bit matrix with
+/// one bitset row per item (row i, bit j: i strictly beats j).  Sized from
+/// `n` at construction — the paper's deployment has 6 transit providers,
+/// but nothing caps a deployment at 8, so the matrix must not either (the
+/// previous single-word packing shifted by i*8+j, UB from 8 items up).
+class Closure {
+ public:
+  explicit Closure(std::size_t n)
+      : words_per_row_((n + 63) / 64), bits_(n * words_per_row_, 0) {}
 
   [[nodiscard]] bool wins(std::size_t i, std::size_t j) const {
-    return beats >> (i * 8 + j) & 1;
+    return bits_[i * words_per_row_ + j / 64] >> (j % 64) & 1;
   }
   void set(std::size_t i, std::size_t j) {
-    beats |= std::uint64_t{1} << (i * 8 + j);
+    bits_[i * words_per_row_ + j / 64] |= std::uint64_t{1} << (j % 64);
   }
-  /// Warshall closure (n <= 8, bit tricks unnecessary at this size).
+  /// Warshall closure, word-parallel: if i beats k, i inherits k's whole
+  /// beats-row in one OR per word.
   void close(std::size_t n) {
     for (std::size_t k = 0; k < n; ++k) {
       for (std::size_t i = 0; i < n; ++i) {
         if (!wins(i, k)) continue;
-        for (std::size_t j = 0; j < n; ++j) {
-          if (wins(k, j)) set(i, j);
+        const std::size_t row_i = i * words_per_row_;
+        const std::size_t row_k = k * words_per_row_;
+        for (std::size_t w = 0; w < words_per_row_; ++w) {
+          bits_[row_i + w] |= bits_[row_k + w];
         }
       }
     }
   }
+
+ private:
+  std::size_t words_per_row_;
+  std::vector<std::uint64_t> bits_;
 };
 
 }  // namespace
@@ -37,7 +50,7 @@ std::size_t transitive_complete(PairwiseTable& table) {
   const std::size_t n = table.item_count;
   std::size_t inferred = 0;
   for (std::size_t t = 0; t < table.target_count; ++t) {
-    Closure closure;
+    Closure closure(n);
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         const PrefKind k = table.get(i, j, t);
@@ -77,7 +90,7 @@ SparseResult SparseDiscovery::run(std::size_t max_pairs,
   result.table.init(providers, targets);
 
   // Per-client strict closures, updated after every measurement.
-  std::vector<Closure> closures(targets);
+  std::vector<Closure> closures(targets, Closure(providers));
   std::vector<char> measured(pair_count(providers), 0);
 
   const auto unresolved_count = [&](std::size_t i, std::size_t j) {

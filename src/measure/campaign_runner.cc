@@ -27,9 +27,12 @@ struct CampaignMetrics {
 
 CampaignRunner::CampaignRunner(const Orchestrator& orchestrator,
                                CampaignRunnerOptions options)
-    : orchestrator_(orchestrator) {
+    : orchestrator_(orchestrator), reuse_scratch_(options.reuse_scratch) {
   if (options.threads != 1) {
     pool_ = std::make_unique<ThreadPool>(options.threads);
+    if (reuse_scratch_) {
+      worker_scratch_ = std::vector<bgp::SimScratch>(pool_->size());
+    }
   }
 }
 
@@ -54,6 +57,17 @@ std::vector<Census> CampaignRunner::run(
         telemetry::enabled() && telemetry::tracing()
             ? telemetry::make_args("index", i, "nonce", specs[i].nonce)
             : std::string{});
+    if (!reuse_scratch_) {
+      return orchestrator_.measure(specs[i].config, specs[i].nonce, nullptr);
+    }
+    // Pooled: index the per-worker arena by the executing worker.  Serial
+    // (or any non-worker caller): the two-argument overload falls back to
+    // the orchestrator's thread-local scratch.
+    const std::size_t worker = ThreadPool::current_worker();
+    if (worker < worker_scratch_.size()) {
+      return orchestrator_.measure(specs[i].config, specs[i].nonce,
+                                   &worker_scratch_[worker]);
+    }
     return orchestrator_.measure(specs[i].config, specs[i].nonce);
   };
 

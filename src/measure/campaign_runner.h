@@ -32,6 +32,10 @@ struct CampaignRunnerOptions {
   /// Worker threads; 1 = run serially on the calling thread (no pool),
   /// 0 = hardware concurrency.
   std::size_t threads = 1;
+  /// Keep one `bgp::SimScratch` per pool worker so consecutive experiments
+  /// on a worker recycle simulator allocations.  Never changes results;
+  /// disable to force fresh allocations per experiment.
+  bool reuse_scratch = true;
 };
 
 class CampaignRunner {
@@ -54,9 +58,16 @@ class CampaignRunner {
 
  private:
   const Orchestrator& orchestrator_;
+  bool reuse_scratch_ = true;
   // The pool is internally synchronized; dispatching through it from a
   // const `run` leaves the runner's observable state untouched.
   std::unique_ptr<ThreadPool> pool_;
+  // One allocation arena per pool worker (empty when serial — the serial
+  // path uses the orchestrator's thread-local scratch).  Mutable for the
+  // same reason the pool dispatch is const: recycled buffers are invisible
+  // to callers, results are bit-identical with or without them.  Each arena
+  // is touched only by its own worker thread, so no locking is needed.
+  mutable std::vector<bgp::SimScratch> worker_scratch_;
 };
 
 }  // namespace anyopt::measure

@@ -83,7 +83,18 @@ std::vector<double> Census::valid_rtts() const {
 
 Orchestrator::Orchestrator(const anycast::World& world,
                            OrchestratorOptions options)
-    : world_(world), options_(options) {}
+    : world_(world), options_(options) {
+  const auto& targets = world_.targets();
+  resolve_order_.resize(targets.size());
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    resolve_order_[t] = static_cast<std::uint32_t>(t);
+  }
+  std::stable_sort(resolve_order_.begin(), resolve_order_.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return targets.target(TargetId{a}).as.value() <
+                            targets.target(TargetId{b}).as.value();
+                   });
+}
 
 double Orchestrator::tunnel_rtt_ms(SiteId site) const {
   const anycast::Site& s = world_.deployment().site(site);
@@ -94,6 +105,17 @@ double Orchestrator::tunnel_rtt_ms(SiteId site) const {
 
 Census Orchestrator::measure(const anycast::AnycastConfig& config,
                              std::uint64_t experiment_nonce) const {
+  if (!options_.reuse_scratch) return measure(config, experiment_nonce, nullptr);
+  // One scratch per thread: `measure` is const and may be called from
+  // several campaign workers at once, but each call runs on one thread and
+  // consecutive censuses on that thread recycle the same buffers.
+  thread_local bgp::SimScratch scratch;
+  return measure(config, experiment_nonce, &scratch);
+}
+
+Census Orchestrator::measure(const anycast::AnycastConfig& config,
+                             std::uint64_t experiment_nonce,
+                             bgp::SimScratch* scratch) const {
   const bool telem = telemetry::enabled();
   telemetry::ScopedTimer span(
       "measure.census", "measure",
@@ -108,16 +130,36 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
   census.rtt_ms.assign(targets.size(), -1.0);
 
   const auto schedule = config.schedule(world_.deployment());
-  const bgp::RoutingState state =
-      world_.simulator().run(schedule, experiment_nonce);
+  bgp::RoutingState state =
+      world_.simulator().run(schedule, experiment_nonce, scratch);
 
+  // Pass 1 — resolve every target's forwarding path, visiting targets
+  // grouped by client AS so each AS's memoized walk is built once and
+  // replayed while hot.  Resolution is a pure function of the converged
+  // state, so visiting order cannot change any result.
+  struct Resolved {
+    bool reachable = false;
+    SiteId site;
+    bgp::AttachmentIndex attachment = bgp::kNoAttachment;
+    double one_way_ms = 0;
+  };
+  std::vector<Resolved> resolved(targets.size());
+  for (const std::uint32_t t : resolve_order_) {
+    const anycast::Target& tgt = targets.target(TargetId{t});
+    const bgp::ResolvedPath path = state.resolve(tgt.as, tgt.where, t);
+    resolved[t] = Resolved{path.reachable, path.site, path.attachment,
+                           path.one_way_ms};
+  }
+  if (scratch != nullptr) scratch->recycle(std::move(state));
+
+  // Pass 2 — probe in target order.  The prober draws its noise stream in
+  // this exact order, so the census is bit-identical to the historical
+  // single-pass implementation.
   Rng noise_root{options_.seed ^ (experiment_nonce * 0x9e3779b97f4a7c15ULL)};
   Prober prober{options_.probe, noise_root.fork("census-probes")};
 
   for (std::size_t t = 0; t < targets.size(); ++t) {
-    const anycast::Target& tgt =
-        targets.target(TargetId{static_cast<TargetId::underlying_type>(t)});
-    const bgp::ResolvedPath path = state.resolve(tgt.as, tgt.where, t);
+    const Resolved& path = resolved[t];
     if (!path.reachable) continue;
 
     // The reply's tunnel identifies the catchment (site + session).

@@ -13,7 +13,20 @@ std::optional<double> Prober::probe_once(double true_rtt_ms) {
     ++lost_;
     return std::nullopt;
   }
-  double sample = true_rtt_ms * (1.0 + model_.jitter_frac * rng_.normal());
+  // A queueing-delay multiplier cannot be negative: a raw normal draw with
+  // large `jitter_frac` can push 1 + frac*N(0,1) below zero, and clamping
+  // the resulting negative RTT to 0.05 ms would silently bias medians for
+  // low-RTT targets.  Resample the factor instead (rejection sampling from
+  // the truncated normal); the bounded retry keeps the draw count finite
+  // even for absurd jitter_frac.  At the default jitter_frac (0.02) a
+  // negative factor is a >50-sigma event, so the RNG stream — and every
+  // existing census — is unchanged.
+  double factor = 1.0 + model_.jitter_frac * rng_.normal();
+  for (int tries = 0; factor < 0.0 && tries < 16; ++tries) {
+    factor = 1.0 + model_.jitter_frac * rng_.normal();
+  }
+  if (factor < 0.0) factor = 0.0;
+  double sample = true_rtt_ms * factor;
   sample += model_.jitter_floor_ms * std::abs(rng_.normal());
   if (rng_.chance(model_.spike_prob)) {
     sample += rng_.exponential(model_.spike_ms);

@@ -67,6 +67,45 @@ TEST(TransitiveComplete, LongChainCloses) {
   EXPECT_EQ(table.get(0, 5, 0), PrefKind::kStrictFirst);
 }
 
+TEST(TransitiveComplete, HandlesMoreThanEightItems) {
+  // Regression: the closure used to pack its beats-matrix into a single
+  // 64-bit word as bit i*8+j, which is a shift past the word width (UB)
+  // from 8 items up.  A 12-provider chain exercises indices far beyond
+  // that; run under -DANYOPT_SANITIZE=undefined this caught the original
+  // packing.
+  constexpr std::size_t kProviders = 12;
+  PairwiseTable table;
+  table.init(kProviders, 2);
+  for (std::size_t t = 0; t < 2; ++t) {
+    for (std::size_t i = 0; i + 1 < kProviders; ++i) {
+      table.set(i, i + 1, t, PrefKind::kStrictFirst);  // chain 0 > 1 > ... > 11
+    }
+  }
+  // C(12,2) = 66 pairs, 11 measured per client: 55 inferred each.
+  EXPECT_EQ(transitive_complete(table), 2u * 55u);
+  for (std::size_t t = 0; t < 2; ++t) {
+    for (std::size_t i = 0; i < kProviders; ++i) {
+      for (std::size_t j = i + 1; j < kProviders; ++j) {
+        EXPECT_EQ(table.get(i, j, t), PrefKind::kStrictFirst)
+            << "pair (" << i << ", " << j << ") client " << t;
+      }
+    }
+  }
+}
+
+TEST(TransitiveComplete, ManyItemsReverseEdgesClose) {
+  // >8 items with kStrictSecond edges: descending chain 9 > 8 > ... > 0
+  // stored as (i, i+1) = kStrictSecond, closing across word boundaries.
+  constexpr std::size_t kProviders = 10;
+  PairwiseTable table;
+  table.init(kProviders, 1);
+  for (std::size_t i = 0; i + 1 < kProviders; ++i) {
+    table.set(i, i + 1, 0, PrefKind::kStrictSecond);  // i+1 > i
+  }
+  EXPECT_EQ(transitive_complete(table), 36u);  // C(10,2) - 9
+  EXPECT_EQ(table.get(0, 9, 0), PrefKind::kStrictSecond);  // 9 > 0
+}
+
 TEST(SparseDiscovery, ZeroBudgetMeasuresNothing) {
   const SparseDiscovery sparse(*default_env().orchestrator);
   const SparseResult result = sparse.run(0);

@@ -1,0 +1,211 @@
+// Amortization invariance: the forwarding cache in `resolve()` and the
+// SimScratch allocation reuse must not change a single measured bit.  Two
+// worlds built from the same seed — one with every amortization layer
+// enabled (the defaults), one with the cache and scratch reuse forced off —
+// must produce byte-identical censuses, preference tables and explanations
+// across every thread count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anycast/world.h"
+#include "core/discovery.h"
+#include "measure/campaign_runner.h"
+#include "measure/orchestrator.h"
+#include "netbase/rng.h"
+#include "netbase/telemetry.h"
+
+namespace anyopt::measure {
+namespace {
+
+struct AmortizedEnv {
+  std::unique_ptr<anycast::World> world;
+  std::unique_ptr<Orchestrator> orchestrator;
+};
+
+/// Shared world pair (building a world costs seconds; every test in this
+/// binary compares the same two).  `amortized()` runs with the default
+/// cache + scratch; `baseline()` has both forced off.
+AmortizedEnv& amortized() {
+  static AmortizedEnv env = [] {
+    AmortizedEnv e;
+    e.world = anycast::World::create(anycast::WorldParams::test_scale(21));
+    e.orchestrator = std::make_unique<Orchestrator>(*e.world);
+    return e;
+  }();
+  return env;
+}
+
+AmortizedEnv& baseline() {
+  static AmortizedEnv env = [] {
+    AmortizedEnv e;
+    anycast::WorldParams params = anycast::WorldParams::test_scale(21);
+    params.sim.resolution_cache = false;
+    e.world = anycast::World::create(params);
+    OrchestratorOptions options;
+    options.reuse_scratch = false;
+    e.orchestrator = std::make_unique<Orchestrator>(*e.world, options);
+    return e;
+  }();
+  return env;
+}
+
+/// Keeps telemetry state from leaking between suites in this binary.
+class CacheInvarianceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { force_off(); }
+  void TearDown() override { force_off(); }
+  static void force_off() {
+    telemetry::set_enabled(false);
+    telemetry::set_tracing(false);
+    telemetry::Registry::global().reset();
+  }
+};
+
+std::vector<ExperimentSpec> campaign_specs(const anycast::Deployment& depl) {
+  // A pairwise-order batch shaped like a discovery campaign leg.
+  std::vector<ExperimentSpec> specs;
+  const std::size_t sites = depl.site_count();
+  for (std::size_t k = 0; k < 12; ++k) {
+    ExperimentSpec spec;
+    spec.config.announce_order = {
+        SiteId{static_cast<SiteId::underlying_type>(k % sites)},
+        SiteId{static_cast<SiteId::underlying_type>((k + 1 + k / sites) %
+                                                    sites)}};
+    spec.nonce = mix64(0xCAC4E, k);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+void expect_censuses_identical(const std::vector<Census>& a,
+                               const std::vector<Census>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].site_of_target, b[i].site_of_target) << "experiment " << i;
+    EXPECT_EQ(a[i].attachment_of_target, b[i].attachment_of_target)
+        << "experiment " << i;
+    ASSERT_EQ(a[i].rtt_ms.size(), b[i].rtt_ms.size());
+    for (std::size_t t = 0; t < a[i].rtt_ms.size(); ++t) {
+      // operator== on doubles deliberately: bit-identical, not "close".
+      ASSERT_EQ(a[i].rtt_ms[t], b[i].rtt_ms[t])
+          << "experiment " << i << " target " << t;
+    }
+  }
+}
+
+TEST_F(CacheInvarianceTest, CensusesBitIdenticalAcrossThreadCounts) {
+  const auto specs =
+      campaign_specs(baseline().orchestrator->world().deployment());
+  CampaignRunnerOptions off_options;
+  off_options.threads = 1;
+  off_options.reuse_scratch = false;
+  const CampaignRunner reference(*baseline().orchestrator, off_options);
+  const std::vector<Census> want = reference.run(specs);
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    CampaignRunnerOptions options;
+    options.threads = threads;
+    const CampaignRunner runner(*amortized().orchestrator, options);
+    const std::vector<Census> got = runner.run(specs);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_censuses_identical(want, got);
+  }
+}
+
+TEST_F(CacheInvarianceTest, DiscoveryTablesBitIdentical) {
+  core::DiscoveryOptions options;
+  options.threads = 2;
+  const core::Discovery cached(*amortized().orchestrator, options);
+  const core::Discovery uncached(*baseline().orchestrator, options);
+
+  const core::DiscoveryResult a = cached.run();
+  const core::DiscoveryResult b = uncached.run();
+
+  EXPECT_EQ(a.experiments, b.experiments);
+  EXPECT_EQ(a.provider_sites, b.provider_sites);
+  EXPECT_EQ(a.provider_prefs.outcome, b.provider_prefs.outcome);
+  ASSERT_EQ(a.site_prefs.size(), b.site_prefs.size());
+  for (std::size_t p = 0; p < a.site_prefs.size(); ++p) {
+    EXPECT_EQ(a.site_prefs[p].outcome, b.site_prefs[p].outcome)
+        << "provider " << p;
+  }
+}
+
+TEST_F(CacheInvarianceTest, ExplainBypassesCacheAndMatchesBaseline) {
+  // explain() must report the ground-truth walk whether the forwarding
+  // cache is cold (first resolve not yet memoized) or warm (every walk
+  // memoized) — and must equal the cache-free world's explanation.
+  const auto& targets = amortized().world->targets();
+  anycast::AnycastConfig config;
+  config.announce_order = {SiteId{0}, SiteId{1}};
+  const auto schedule =
+      config.schedule(amortized().world->deployment());
+  const std::uint64_t nonce = mix64(0xE4, 9);
+
+  const bgp::RoutingState cached =
+      amortized().world->simulator().run(schedule, nonce);
+  const bgp::RoutingState plain =
+      baseline().world->simulator().run(schedule, nonce);
+
+  const std::size_t step = std::max<std::size_t>(1, targets.size() / 40);
+  for (std::size_t t = 0; t < targets.size(); t += step) {
+    const anycast::Target& tgt =
+        targets.target(TargetId{static_cast<TargetId::underlying_type>(t)});
+    const std::string cold =
+        cached.explain(tgt.as, tgt.where, t)
+            .to_string(amortized().world->internet());
+    // Warm the cache for this client AS, then explain again.
+    (void)cached.resolve(tgt.as, tgt.where, t);
+    const std::string warm =
+        cached.explain(tgt.as, tgt.where, t)
+            .to_string(amortized().world->internet());
+    const std::string want =
+        plain.explain(tgt.as, tgt.where, t)
+            .to_string(baseline().world->internet());
+    EXPECT_EQ(cold, want) << "target " << t;
+    EXPECT_EQ(warm, want) << "target " << t;
+
+    // The resolved path agrees with the cache-free resolution too.
+    const bgp::ResolvedPath via_cache = cached.resolve(tgt.as, tgt.where, t);
+    const bgp::ResolvedPath via_walk = plain.resolve(tgt.as, tgt.where, t);
+    EXPECT_EQ(via_cache.reachable, via_walk.reachable) << "target " << t;
+    EXPECT_EQ(via_cache.site, via_walk.site) << "target " << t;
+    EXPECT_EQ(via_cache.attachment, via_walk.attachment) << "target " << t;
+    EXPECT_EQ(via_cache.as_path, via_walk.as_path) << "target " << t;
+    ASSERT_EQ(via_cache.one_way_ms, via_walk.one_way_ms) << "target " << t;
+  }
+}
+
+TEST_F(CacheInvarianceTest, AmortizationActuallyEngages) {
+  // Guard against the invariance suite passing vacuously: with telemetry
+  // on, the amortized configuration must record cache hits and scratch
+  // reuse, and the baseline configuration must record neither.
+  telemetry::set_enabled(true);
+  auto& reg = telemetry::Registry::global();
+
+  const auto specs =
+      campaign_specs(amortized().orchestrator->world().deployment());
+  const CampaignRunner runner(*amortized().orchestrator, {.threads = 1});
+  (void)runner.run(specs);
+
+  EXPECT_GT(reg.counter_value("bgp.resolve.cache_hit"), 0u);
+  EXPECT_GT(reg.counter_value("sim.scratch_reuse"), 0u);
+
+  reg.reset();
+  CampaignRunnerOptions off_options;
+  off_options.threads = 1;
+  off_options.reuse_scratch = false;
+  const CampaignRunner off_runner(*baseline().orchestrator, off_options);
+  (void)off_runner.run(specs);
+
+  EXPECT_EQ(reg.counter_value("bgp.resolve.cache_hit"), 0u);
+  EXPECT_EQ(reg.counter_value("sim.scratch_reuse"), 0u);
+}
+
+}  // namespace
+}  // namespace anyopt::measure
