@@ -1,0 +1,123 @@
+// Resilience benchmark: preference discovery under injected failures.
+//
+// A seeded FaultPlan kills a fraction of campaign rounds outright (the
+// orchestrator-outage / withdrawn-prefix model).  Without requeueing, every
+// lost round leaves its pair kUnknown and the discovered tables diverge
+// from the fault-free preference order.  With `retry_rounds` requeueing —
+// same content-derived nonce, bumped fault-layer attempt — a retried round
+// that survives reproduces the fault-free census bit for bit, so the
+// tables must converge to EXACTLY the fault-free order.  This binary
+// verifies that convergence at ≥10% injected failure and reports the
+// retry overhead.  `--threads N` parallelizes the campaigns (default 4).
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/discovery.h"
+#include "netbase/fault.h"
+#include "netbase/telemetry.h"
+#include "support/bench_common.h"
+
+namespace {
+
+using namespace anyopt;
+using Clock = std::chrono::steady_clock;
+
+double run_discovery_s(const measure::Orchestrator& orchestrator,
+                       const core::DiscoveryOptions& options,
+                       core::DiscoveryResult* out) {
+  const core::Discovery discovery(orchestrator, options);
+  const auto start = Clock::now();
+  *out = discovery.run();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Fraction of (pair, target) table entries that differ from the
+/// fault-free reference (0.0 = exact convergence).
+double divergence(const core::DiscoveryResult& got,
+                  const core::DiscoveryResult& want) {
+  std::size_t total = 0;
+  std::size_t differ = 0;
+  const auto compare = [&](const core::PairwiseTable& a,
+                           const core::PairwiseTable& b) {
+    for (std::size_t p = 0; p < a.outcome.size(); ++p) {
+      for (std::size_t t = 0; t < a.outcome[p].size(); ++t) {
+        ++total;
+        if (a.outcome[p][t] != b.outcome[p][t]) ++differ;
+      }
+    }
+  };
+  compare(got.provider_prefs, want.provider_prefs);
+  for (std::size_t p = 0; p < got.site_prefs.size(); ++p) {
+    compare(got.site_prefs[p], want.site_prefs[p]);
+  }
+  return total > 0 ? static_cast<double>(differ) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::TelemetryScope telemetry_scope("resilience", argc, argv);
+  const std::size_t threads = bench::parse_threads(argc, argv, 4);
+  bench::print_banner(
+      "Resilience — discovery under injected failures",
+      "no direct paper figure: robustness envelope of the §4.5 campaign — "
+      "with requeueing, discovered preference tables converge to the "
+      "fault-free order even when a third of all rounds is lost");
+
+  bench::PaperEnv env = bench::make_env_from_environment();
+  std::printf("campaign threads: %zu, retry rounds: 8\n\n", threads);
+
+  core::DiscoveryOptions options;
+  options.threads = threads;
+  core::DiscoveryResult want;
+  const double calm_s = run_discovery_s(*env.orchestrator, options, &want);
+  std::printf("fault-free reference: %7.3f s  (%zu experiments)\n\n", calm_s,
+              want.experiments);
+
+  std::printf("%9s | %-10s | %11s | %8s | %9s | %s\n", "failures", "requeue",
+              "experiments", "requeued", "wall s", "divergence");
+  std::printf("----------+------------+-------------+----------+-----------+"
+              "-----------\n");
+
+  auto& reg = telemetry::Registry::global();
+  bool converged = true;
+  for (const double rate : {0.1, 0.2, 0.3}) {
+    fault::FaultPlan plan;
+    plan.seed = 0x5E51;
+    plan.experiment_failure_prob = rate;
+    const fault::FaultInjector injector{plan};
+    measure::OrchestratorOptions orchestrator_options;
+    orchestrator_options.faults = &injector;
+    const measure::Orchestrator faulted(*env.world, orchestrator_options);
+
+    for (const bool requeue : {false, true}) {
+      core::DiscoveryOptions faulted_options = options;
+      faulted_options.retry_rounds = requeue ? 8 : 0;
+      const std::uint64_t requeued_before = reg.counter_value("discovery.requeued");
+      core::DiscoveryResult got;
+      const double wall_s = run_discovery_s(faulted, faulted_options, &got);
+      const std::uint64_t requeued =
+          reg.counter_value("discovery.requeued") - requeued_before;
+      const double diverged = divergence(got, want);
+      std::printf("%8.0f%% | %-10s | %11zu | %8llu | %9.3f | %8.4f%%\n",
+                  rate * 100, requeue ? "8 rounds" : "off", got.experiments,
+                  static_cast<unsigned long long>(requeued), wall_s,
+                  diverged * 100);
+      if (requeue && diverged != 0.0) converged = false;
+    }
+  }
+
+  std::printf("\n");
+  if (!converged) {
+    std::printf(
+        "FAIL: requeued discovery did not converge to the fault-free "
+        "preference order\n");
+    return 1;
+  }
+  std::printf(
+      "requeued tables: exactly the fault-free preference order at every "
+      "injected failure rate (verified)\n");
+  return 0;
+}

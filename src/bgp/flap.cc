@@ -1,0 +1,41 @@
+#include "bgp/flap.h"
+
+#include <algorithm>
+
+namespace anyopt::bgp {
+
+std::vector<Injection> apply_flaps(std::vector<Injection> schedule,
+                                   std::span<const fault::SessionFlap> flaps) {
+  const std::size_t base = schedule.size();
+  for (const fault::SessionFlap& flap : flaps) {
+    // Anchor on the attachment's (first) announcement in the base schedule;
+    // withdraw injections never anchor a flap.
+    const auto anchor = std::find_if(
+        schedule.begin(), schedule.begin() + static_cast<std::ptrdiff_t>(base),
+        [&](const Injection& inj) {
+          return !inj.withdraw && inj.attachment == flap.attachment;
+        });
+    if (anchor == schedule.begin() + static_cast<std::ptrdiff_t>(base)) {
+      continue;  // session not announced in this experiment
+    }
+    const double t0 = anchor->time_s + flap.first_down_s;
+    const std::uint8_t prepend = anchor->prepend;
+    for (std::size_t cycle = 0; cycle < flap.cycles; ++cycle) {
+      const double down =
+          t0 + static_cast<double>(cycle) *
+                   (flap.down_dwell_s + flap.up_dwell_s);
+      schedule.push_back(Injection{down, flap.attachment, true, 0});
+      schedule.push_back(
+          Injection{down + flap.down_dwell_s, flap.attachment, false, prepend});
+    }
+  }
+  if (schedule.size() != base) {
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [](const Injection& a, const Injection& b) {
+                       return a.time_s < b.time_s;
+                     });
+  }
+  return schedule;
+}
+
+}  // namespace anyopt::bgp

@@ -1,0 +1,35 @@
+#pragma once
+// Session-flap expansion: turns a `fault::SessionFlap` schedule into the
+// explicit withdrawal / re-advertisement injections the simulator replays.
+//
+// A flap is not a no-op even when the final topology is identical: the
+// re-advertisement re-enters every router's decision process with a NEW
+// arrival time, and deployed routers tie-break on arrival order ("oldest
+// route", §4.2).  A session that flaps therefore loses every arrival-order
+// tie it used to win — the winner can change permanently.  The regression
+// suite pins this behaviour (flap_test.cc).
+
+#include <span>
+#include <vector>
+
+#include "bgp/origin.h"
+#include "netbase/fault.h"
+
+namespace anyopt::bgp {
+
+/// \brief Expands session flaps into a simulator injection schedule.
+///
+/// For each flap whose attachment has an announcement in `schedule`, this
+/// appends `cycles` (withdraw at t_down, re-advertise at t_down +
+/// down_dwell) pairs starting `first_down_s` after that announcement,
+/// preserving the announcement's prepend, then re-sorts the whole schedule
+/// by time (the simulator requires time-ordered injections).  Flaps whose
+/// attachment never announces are ignored.
+/// \param schedule the base announcement schedule (consumed).
+/// \param flaps the flaps to expand.
+/// \return the merged, time-sorted schedule.
+[[nodiscard]] std::vector<Injection> apply_flaps(
+    std::vector<Injection> schedule,
+    std::span<const fault::SessionFlap> flaps);
+
+}  // namespace anyopt::bgp

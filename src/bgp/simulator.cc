@@ -21,6 +21,7 @@ namespace {
 struct SimMetrics {
   telemetry::Counter* runs;
   telemetry::Counter* events;
+  telemetry::Counter* withdraws;
   telemetry::Counter* scratch_reuse;
   telemetry::Gauge* queue_peak;
   telemetry::Histogram* convergence_s;
@@ -32,6 +33,7 @@ struct SimMetrics {
       auto& reg = telemetry::Registry::global();
       SimMetrics out{&reg.counter("bgp.sim.runs"),
                      &reg.counter("bgp.sim.events"),
+                     &reg.counter("bgp.sim.withdraw_events"),
                      &reg.counter("sim.scratch_reuse"),
                      &reg.gauge("bgp.sim.queue_peak"),
                      &reg.histogram("bgp.sim.convergence_s"),
@@ -354,6 +356,11 @@ RoutingState Simulator::run(std::span<const Injection> injections,
     if (ev.msg.withdraw) {
       if (!entry.present) continue;  // stale withdraw
       entry.present = false;
+      // A processed withdrawal re-runs best-path selection below; a later
+      // re-advertisement of the same session then re-enters with a NEW
+      // arrival_seq, which is what lets a flap permanently change
+      // arrival-order ties (§4.2).
+      if (telem) SimMetrics::get().withdraws->add(1);
     } else {
       // Loop prevention: drop announcements already carrying us.
       if (std::find(ev.msg.as_path.begin(), ev.msg.as_path.end(), u) !=

@@ -28,48 +28,73 @@
 
 namespace anyopt::core {
 
+/// \brief Configuration of the end-to-end pipeline.
 struct PipelineOptions {
-  DiscoveryOptions discovery;
+  DiscoveryOptions discovery;  ///< campaign parameters for `discover()`
+  /// How intra-provider site preferences are resolved (experiments vs the
+  /// RTT-ranking scaling heuristic of §4.3).
   SitePrefMode site_pref_mode = SitePrefMode::kExperiments;
+  /// Root of the content-derived nonces of the per-site RTT experiments.
   std::uint64_t rtt_nonce_base = 0x5111;
 };
 
-/// Facade wiring the measurement and optimization stages together.
+/// \brief Facade wiring the measurement and optimization stages together.
 class AnyOptPipeline {
  public:
+  /// \brief Builds the pipeline over a measurement orchestrator.
+  /// \param orchestrator the measurement engine (must outlive this).
+  /// \param options stage parameters; see `PipelineOptions`.
   explicit AnyOptPipeline(const measure::Orchestrator& orchestrator,
                           PipelineOptions options = {});
 
-  /// Runs (or returns the cached) two-level pairwise discovery.
+  /// \brief Runs (or returns the cached) two-level pairwise discovery.
+  /// \return the discovery result; owned by the pipeline.
   const DiscoveryResult& discover();
 
-  /// Runs (or returns the cached) per-site unicast RTT measurements.
+  /// \brief Runs (or returns the cached) per-site unicast RTT measurements.
+  /// \return the site-by-target RTT matrix; owned by the pipeline.
   const RttMatrix& measure_rtts();
 
-  /// The catchment/RTT predictor (triggers discovery + RTT measurement).
+  /// \brief The catchment/RTT predictor (triggers discovery + RTT
+  ///        measurement on first use).
+  /// \return the predictor; owned by the pipeline.
   const Predictor& predictor();
 
-  /// Predicts one configuration (offline; no BGP experiment).
+  /// \brief Predicts one configuration (offline; no BGP experiment).
+  /// \param config the anycast configuration to predict.
+  /// \return per-target catchment and RTT prediction.
   [[nodiscard]] Prediction predict(const anycast::AnycastConfig& config);
 
-  /// Offline configuration search.
+  /// \brief Offline configuration search over the predictor.
+  /// \param options search-space and objective parameters.
+  /// \return the best configuration found plus the search trace.
   [[nodiscard]] SearchOutcome optimize(OptimizerOptions options = {});
 
-  /// One-pass peer incorporation on top of a transit-only baseline.
+  /// \brief One-pass peer incorporation on top of a transit-only baseline
+  ///        (§4.4).
+  /// \param baseline the transit-only configuration to extend.
+  /// \return the per-peer decisions and the resulting configuration.
   [[nodiscard]] OnePassResult tune_peers(
       const anycast::AnycastConfig& baseline) const;
 
-  /// Builds the SPLPO instance (Appendix B) for the current discovery:
-  /// sites are facilities, targets are clients, unicast RTTs are costs and
-  /// total orders (under `order`) are the preference lists.  Targets
-  /// without a total order are omitted, as §4.5 step 3 prescribes.
+  /// \brief Builds the SPLPO instance (Appendix B) for the current
+  ///        discovery: sites are facilities, targets are clients, unicast
+  ///        RTTs are costs and total orders (under `order`) are the
+  ///        preference lists.  Targets without a total order are omitted,
+  ///        as §4.5 step 3 prescribes.
+  /// \param order the announcement order defining each target's preference
+  ///        list.
+  /// \return the facility-location instance.
   [[nodiscard]] SplpoInstance splpo_instance(
       const anycast::AnycastConfig& order);
 
+  /// \brief The orchestrator this pipeline measures through.
+  /// \return the orchestrator passed at construction.
   [[nodiscard]] const measure::Orchestrator& orchestrator() const {
     return orchestrator_;
   }
-  /// Total BGP experiments the pipeline has run so far.
+  /// \brief Total BGP experiments the pipeline has run so far.
+  /// \return the cumulative experiment count across all cached stages.
   [[nodiscard]] std::size_t experiments_run() const { return experiments_; }
 
  private:

@@ -16,17 +16,21 @@
 
 namespace anyopt::core {
 
-/// Everything a Predictor needs, bundled for storage.
+/// \brief Everything a Predictor needs, bundled for storage.
 struct Campaign {
-  DiscoveryResult discovery;
-  RttMatrix rtts;
+  DiscoveryResult discovery;  ///< the two-level pairwise tables
+  RttMatrix rtts;             ///< the unicast RTT matrix
 };
 
-/// Serializes the campaign (text, ~100 bytes + 1 byte per table entry +
-/// ~8 bytes per RTT sample).
+/// \brief Serializes the campaign (text, ~100 bytes + 1 byte per table
+///        entry + ~8 bytes per RTT sample).
+/// \param campaign the campaign to store.
+/// \return the line-oriented text artifact (exact round-trip).
 [[nodiscard]] std::string save_campaign(const Campaign& campaign);
 
-/// Parses a campaign back; validates structural consistency.
+/// \brief Parses a campaign back; validates structural consistency.
+/// \param text an artifact produced by `save_campaign`.
+/// \return the campaign, or a descriptive parse/validation error.
 [[nodiscard]] Result<Campaign> load_campaign(const std::string& text);
 
 }  // namespace anyopt::core

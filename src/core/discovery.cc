@@ -20,6 +20,7 @@ struct DiscoveryMetrics {
   telemetry::Counter* prefs_inconsistent;
   telemetry::Counter* prefs_unknown;
   telemetry::Counter* order_flips;
+  telemetry::Counter* requeued;
 
   static const DiscoveryMetrics& get() {
     static const DiscoveryMetrics m = [] {
@@ -30,7 +31,8 @@ struct DiscoveryMetrics {
           &reg.counter("discovery.prefs.order_dependent"),
           &reg.counter("discovery.prefs.inconsistent"),
           &reg.counter("discovery.prefs.unknown"),
-          &reg.counter("discovery.order_flips")};
+          &reg.counter("discovery.order_flips"),
+          &reg.counter("discovery.requeued")};
     }();
     return m;
   }
@@ -105,7 +107,8 @@ PrefKind Discovery::classify(std::uint8_t winner_when_ab,
 }
 
 std::vector<std::vector<PrefKind>> Discovery::classify_jobs(
-    std::span<const PairJob> jobs, std::size_t* experiments) const {
+    std::span<const PairJob> jobs, std::size_t* experiments,
+    std::size_t ordinal_base) const {
   const std::size_t legs = options_.account_order ? 2 : 1;
   std::vector<measure::ExperimentSpec> specs;
   specs.reserve(jobs.size() * legs);
@@ -119,8 +122,40 @@ std::vector<std::vector<PrefKind>> Discovery::classify_jobs(
       specs.push_back(make_spec(job.first, job.second, 0.0, 0));
     }
   }
-  const std::vector<measure::Census> censuses = runner_.run(specs);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].ordinal = ordinal_base + i;
+  }
+  std::vector<measure::Census> censuses = runner_.run(specs);
   if (experiments != nullptr) *experiments += specs.size();
+
+  // Resilience: a discovery experiment always announces via transit, so an
+  // empty census can only mean the round was lost (fault injection or a
+  // real outage) — re-enqueue those specs with a bumped fault-layer
+  // attempt.  The nonce is unchanged, so a retry that survives reproduces
+  // the fault-free census bit for bit and the tables converge on the
+  // fault-free preference order.
+  for (std::size_t round = 1; round <= options_.retry_rounds; ++round) {
+    std::vector<std::size_t> missing;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (censuses[i].reachable_count() == 0) missing.push_back(i);
+    }
+    if (missing.empty()) break;
+    std::vector<measure::ExperimentSpec> retry_specs;
+    retry_specs.reserve(missing.size());
+    for (const std::size_t i : missing) {
+      measure::ExperimentSpec spec = specs[i];
+      spec.attempt = static_cast<std::uint32_t>(round);
+      retry_specs.push_back(std::move(spec));
+    }
+    std::vector<measure::Census> retried = runner_.run(retry_specs);
+    for (std::size_t k = 0; k < missing.size(); ++k) {
+      censuses[missing[k]] = std::move(retried[k]);
+    }
+    if (experiments != nullptr) *experiments += retry_specs.size();
+    if (telemetry::enabled()) {
+      DiscoveryMetrics::get().requeued->add(retry_specs.size());
+    }
+  }
 
   std::vector<std::vector<PrefKind>> out(jobs.size());
   for (std::size_t k = 0; k < jobs.size(); ++k) {
@@ -194,7 +229,7 @@ PairwiseTable Discovery::provider_level(std::size_t* experiments) const {
   }
 
   std::size_t runs = 0;
-  const auto classified = classify_jobs(jobs, &runs);
+  const auto classified = classify_jobs(jobs, &runs, options_.ordinal_base);
   for (std::size_t k = 0; k < jobs.size(); ++k) {
     const auto [p, q] = job_pairs[k];
     for (std::size_t t = 0; t < targets; ++t) {
@@ -233,8 +268,11 @@ std::vector<PairwiseTable> Discovery::site_level(
     }
   }
 
+  // Site-level ordinals start after the provider level's so one FaultPlan
+  // timeline covers a whole `run()` campaign.
   std::size_t runs = 0;
-  const auto classified = classify_jobs(jobs, &runs);
+  const auto classified = classify_jobs(
+      jobs, &runs, options_.ordinal_base + provider_level_spec_count());
   for (std::size_t k = 0; k < jobs.size(); ++k) {
     const Slot& slot = slots[k];
     for (std::size_t t = 0; t < targets; ++t) {
@@ -245,10 +283,27 @@ std::vector<PairwiseTable> Discovery::site_level(
   return tables;
 }
 
+std::size_t Discovery::provider_level_spec_count() const {
+  const auto& deployment = orchestrator_.world().deployment();
+  const std::size_t providers = deployment.provider_count();
+  const std::size_t legs = options_.account_order ? 2 : 1;
+  std::size_t pairs = 0;
+  for (std::size_t p = 0; p < providers; ++p) {
+    for (std::size_t q = p + 1; q < providers; ++q) {
+      const SiteId rep_p = representative(
+          ProviderId{static_cast<ProviderId::underlying_type>(p)});
+      const SiteId rep_q = representative(
+          ProviderId{static_cast<ProviderId::underlying_type>(q)});
+      if (rep_p.valid() && rep_q.valid()) ++pairs;
+    }
+  }
+  return pairs * legs;
+}
+
 std::vector<PrefKind> Discovery::classify_pair(
     SiteId first, SiteId second, std::size_t* experiments) const {
   const PairJob job{first, second};
-  return classify_jobs({&job, 1}, experiments).front();
+  return classify_jobs({&job, 1}, experiments, options_.ordinal_base).front();
 }
 
 std::vector<std::vector<PrefKind>> Discovery::classify_pairs(
@@ -257,7 +312,7 @@ std::vector<std::vector<PrefKind>> Discovery::classify_pairs(
   std::vector<PairJob> jobs;
   jobs.reserve(pairs.size());
   for (const auto& [first, second] : pairs) jobs.push_back({first, second});
-  return classify_jobs(jobs, experiments);
+  return classify_jobs(jobs, experiments, options_.ordinal_base);
 }
 
 PairwiseTable Discovery::flat_site_level(std::size_t* experiments) const {
@@ -277,7 +332,7 @@ PairwiseTable Discovery::flat_site_level(std::size_t* experiments) const {
   }
 
   std::size_t runs = 0;
-  const auto classified = classify_jobs(jobs, &runs);
+  const auto classified = classify_jobs(jobs, &runs, options_.ordinal_base);
   std::size_t k = 0;
   for (std::size_t i = 0; i < sites; ++i) {
     for (std::size_t j = i + 1; j < sites; ++j, ++k) {

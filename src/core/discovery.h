@@ -28,6 +28,7 @@
 
 namespace anyopt::core {
 
+/// \brief Configuration of a discovery campaign.
 struct DiscoveryOptions {
   /// Announcement spacing within an experiment; must exceed global BGP
   /// convergence (the paper uses six minutes).
@@ -39,13 +40,25 @@ struct DiscoveryOptions {
   /// Representative site per provider slot; empty = the provider's first
   /// site in site-id order.
   std::vector<SiteId> representatives;
-  std::uint64_t nonce_base = 0xD15C0;
+  std::uint64_t nonce_base = 0xD15C0;  ///< root of content-derived nonces
   /// Worker threads for batched experiment execution; 1 = serial,
   /// 0 = hardware concurrency.  Results are bit-identical at any setting.
   std::size_t threads = 1;
+  /// Resilience: extra campaign rounds re-enqueueing experiments whose
+  /// census came back empty (a round lost to fault injection or a real
+  /// orchestrator outage).  0 — the default — disables requeueing.  A
+  /// requeued experiment keeps its content-derived nonce and bumps only the
+  /// fault-layer attempt, so a retry that survives reproduces the
+  /// fault-free census bit for bit and the discovered tables converge to
+  /// the fault-free preference order.
+  std::size_t retry_rounds = 0;
+  /// Campaign-global ordinal of this discovery's first experiment, for the
+  /// fault layer's timeline (site failures "at experiment k" count from
+  /// here).  Irrelevant unless the orchestrator carries a fault injector.
+  std::size_t ordinal_base = 0;
 };
 
-/// Output of the full two-level discovery.
+/// \brief Output of the full two-level discovery.
 struct DiscoveryResult {
   /// Pairwise preferences among provider slots.
   PairwiseTable provider_prefs;
@@ -54,61 +67,93 @@ struct DiscoveryResult {
   std::vector<PairwiseTable> site_prefs;
   /// Per provider slot: its sites in site-id order.
   std::vector<std::vector<SiteId>> provider_sites;
-  /// Number of BGP experiments performed.
+  /// Number of BGP experiments performed (including requeued retries).
   std::size_t experiments = 0;
 };
 
+/// \brief Runs the paper's pairwise preference-discovery campaigns.
 class Discovery {
  public:
+  /// \brief Builds a discovery engine over a measurement orchestrator.
+  /// \param orchestrator the measurement engine (must outlive this).
+  /// \param options campaign parameters; see `DiscoveryOptions`.
   Discovery(const measure::Orchestrator& orchestrator,
             DiscoveryOptions options = {});
 
-  /// Full two-level discovery (§4.5 step 2).
+  /// \brief Full two-level discovery (§4.5 step 2): provider level, then
+  ///        per-provider site level.
+  /// \return both preference tables plus the experiment count.
   [[nodiscard]] DiscoveryResult run() const;
 
-  /// Provider-level only.
+  /// \brief Provider-level discovery only (representative site per
+  ///        provider, all provider pairs).
+  /// \param experiments if non-null, receives the experiment count.
+  /// \return pairwise preferences among provider slots.
   [[nodiscard]] PairwiseTable provider_level(std::size_t* experiments) const;
 
-  /// Site-level only (all providers).
+  /// \brief Site-level discovery only (pairs within each provider).
+  /// \param experiments if non-null, receives the experiment count.
+  /// \return one table per provider slot, sites in site-id order.
   [[nodiscard]] std::vector<PairwiseTable> site_level(
       std::size_t* experiments) const;
 
-  /// The naive flat approach used as the baseline in Fig. 4c: pairwise
-  /// experiments over ALL site pairs, ignoring the provider structure
-  /// (honours `options().account_order`).  O(|S|²) experiments.
+  /// \brief The naive flat approach used as the baseline in Fig. 4c:
+  ///        pairwise experiments over ALL site pairs, ignoring the provider
+  ///        structure (honours `options().account_order`).
+  /// \param experiments if non-null, receives the O(|S|²) experiment count.
+  /// \return pairwise preferences among all sites.
   [[nodiscard]] PairwiseTable flat_site_level(std::size_t* experiments) const;
 
-  /// One classified pairwise measurement between two sites (two BGP
-  /// experiments when order accounting is on, one otherwise).  Returns the
-  /// per-target classification with `first`/`second` as the pair items,
-  /// and adds the experiment count to `*experiments` if non-null.
+  /// \brief One classified pairwise measurement between two sites (two BGP
+  ///        experiments when order accounting is on, one otherwise).
+  /// \param first the pair's first item (announced first in leg 0).
+  /// \param second the pair's second item.
+  /// \param experiments if non-null, the experiment count is added to it.
+  /// \return per-target classification with `first`/`second` as the items.
   [[nodiscard]] std::vector<PrefKind> classify_pair(
       SiteId first, SiteId second, std::size_t* experiments) const;
 
-  /// Batch variant of `classify_pair`: all pairs' experiments are submitted
-  /// as one campaign batch (parallel across `options().threads`).  Returns
-  /// one per-target classification vector per input pair, in input order.
+  /// \brief Batch variant of `classify_pair`: all pairs' experiments are
+  ///        submitted as one campaign batch (parallel across
+  ///        `options().threads`).
+  /// \param pairs the site pairs to measure.
+  /// \param experiments if non-null, the experiment count is added to it.
+  /// \return one per-target classification vector per pair, in input order.
   [[nodiscard]] std::vector<std::vector<PrefKind>> classify_pairs(
       std::span<const std::pair<SiteId, SiteId>> pairs,
       std::size_t* experiments) const;
 
-  /// Fig. 4a primitive: announce the representative sites of providers
-  /// `p` then `q` (spaced), re-run reversed, and return the fraction of
-  /// targets whose catchment changed between the two runs.  0.0 when either
-  /// provider has no representative.
+  /// \brief Fig. 4a primitive: announce the representative sites of
+  ///        providers `p` then `q` (spaced), re-run reversed.
+  /// \param p first provider slot.
+  /// \param q second provider slot.
+  /// \return fraction of targets whose catchment changed between the two
+  ///         runs; 0.0 when either provider has no representative.
   [[nodiscard]] double order_flip_fraction(ProviderId p, ProviderId q) const;
 
-  /// The representative site used for a provider.  Returns an INVALID
-  /// SiteId when the provider has no attached sites and no configured
-  /// representative; callers must check `.valid()` before announcing.
+  /// \brief The representative site used for a provider.
+  /// \param provider the provider slot.
+  /// \return the configured (or first-attached) site; an INVALID SiteId
+  ///         when the provider has no attached sites and no configured
+  ///         representative — callers must check `.valid()` before
+  ///         announcing.
   [[nodiscard]] SiteId representative(ProviderId provider) const;
 
-  /// The content-derived nonce of one experiment leg: depends only on
-  /// (nonce_base, announced first, announced second, leg), never on how
-  /// many experiments ran before it.
+  /// \brief The content-derived nonce of one experiment leg.
+  ///
+  /// Depends only on (nonce_base, announced first, announced second, leg),
+  /// never on how many experiments ran before it — and deliberately NOT on
+  /// the fault-layer attempt, so a requeued experiment reproduces the
+  /// fault-free census when it survives.
+  /// \param first the site announced first.
+  /// \param second the site announced second.
+  /// \param order_leg 0 for the (first, second) leg, 1 for the reversed.
+  /// \return the experiment's nonce.
   [[nodiscard]] std::uint64_t experiment_nonce(SiteId first, SiteId second,
                                                std::uint64_t order_leg) const;
 
+  /// \brief This discovery's options.
+  /// \return the options passed at construction.
   [[nodiscard]] const DiscoveryOptions& options() const { return options_; }
 
  private:
@@ -124,9 +169,17 @@ class Discovery {
   };
 
   /// Runs all jobs as one experiment batch and classifies each: returns one
-  /// per-target PrefKind vector per job, in job order.
+  /// per-target PrefKind vector per job, in job order.  `ordinal_base` is
+  /// the campaign-global ordinal of the batch's first spec (fault-layer
+  /// timeline).  Empty censuses are re-enqueued with a bumped attempt for
+  /// up to `options().retry_rounds` extra rounds.
   [[nodiscard]] std::vector<std::vector<PrefKind>> classify_jobs(
-      std::span<const PairJob> jobs, std::size_t* experiments) const;
+      std::span<const PairJob> jobs, std::size_t* experiments,
+      std::size_t ordinal_base) const;
+
+  /// Number of specs the provider-level campaign enumerates (site-level
+  /// ordinals start after them so one FaultPlan timeline spans `run()`).
+  [[nodiscard]] std::size_t provider_level_spec_count() const;
 
   /// The spec of one experiment leg of a pair measurement.
   [[nodiscard]] measure::ExperimentSpec make_spec(SiteId first, SiteId second,

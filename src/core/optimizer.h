@@ -19,8 +19,10 @@
 
 namespace anyopt::core {
 
+/// \brief Search-space and objective parameters of the offline search.
 struct OptimizerOptions {
-  std::size_t min_sites = 1;
+  std::size_t min_sites = 1;  ///< smallest enabled-site count examined
+  /// Largest enabled-site count examined.
   std::size_t max_sites = std::numeric_limits<std::size_t>::max();
   /// Wall-clock bound for the search (the paper used six hours; seconds
   /// suffice here because evaluation is cached and vectorized).
@@ -40,12 +42,12 @@ struct OptimizerOptions {
   /// Per-target workload weights (empty = uniform).  The objective becomes
   /// the workload-weighted mean RTT, the Appendix-B weighting extension.
   std::vector<double> target_weight;
-  std::uint64_t seed = 0x0F7;
+  std::uint64_t seed = 0x0F7;  ///< seeds order-candidate sampling
 };
 
-/// One evaluated configuration.
+/// \brief One evaluated configuration.
 struct EvaluatedConfig {
-  anycast::AnycastConfig config;
+  anycast::AnycastConfig config;  ///< the configuration scored
   /// Population-wide mean RTT estimate used for ranking: predictable
   /// targets contribute their predicted catchment's unicast RTT; targets
   /// without a total order are *imputed* with their mean unicast RTT over
@@ -60,35 +62,50 @@ struct EvaluatedConfig {
   double fraction_ordered = 0;  ///< targets with a usable total order
 };
 
-/// Search output.
+/// \brief Search output.
 struct SearchOutcome {
-  EvaluatedConfig best;
+  EvaluatedConfig best;  ///< overall best configuration found
   /// Best configuration found for each enabled-site count (index = count;
   /// index 0 unused).
   std::vector<EvaluatedConfig> best_per_size;
-  std::size_t configurations_evaluated = 0;
+  std::size_t configurations_evaluated = 0;  ///< total subsets scored
   bool exhausted = false;  ///< true if every subset in range was evaluated
 };
 
+/// \brief The offline configuration search of §5.3.
 class Optimizer {
  public:
+  /// \brief Builds the optimizer over a predictor.
+  /// \param predictor the offline predictor (must outlive this).
+  /// \param options search-space parameters; see `OptimizerOptions`.
   Optimizer(const Predictor& predictor, OptimizerOptions options = {});
 
-  /// Full subset search under the time budget.
+  /// \brief Full subset search under the time budget.
+  /// \return the best configurations found plus the search trace.
   [[nodiscard]] SearchOutcome search() const;
 
-  /// Fast predicted evaluation of one configuration using the caches (same
-  /// result as Predictor::predict but O(targets)).
+  /// \brief Fast predicted evaluation of one configuration using the
+  ///        caches (same result as Predictor::predict but O(targets)).
+  /// \param config the configuration to score.
+  /// \return its predicted means and ordered fraction.
   [[nodiscard]] EvaluatedConfig evaluate(
       const anycast::AnycastConfig& config) const;
 
-  /// Baseline: the k sites with the lowest mean unicast RTT, announced in
-  /// that order (the "12-Greedy" line of Fig. 6).
+  /// \brief Baseline: the k sites with the lowest mean unicast RTT,
+  ///        announced in that order (the "12-Greedy" line of Fig. 6).
+  /// \param rtts the unicast RTT matrix to rank sites by.
+  /// \param k number of sites to pick.
+  /// \return the greedy configuration.
   [[nodiscard]] static anycast::AnycastConfig greedy_unicast(
       const RttMatrix& rtts, std::size_t k);
 
-  /// Baseline: `providers` random providers, `sites_per_provider` random
-  /// sites from each (the "4-Random" line of Fig. 6).
+  /// \brief Baseline: random providers with random sites from each (the
+  ///        "4-Random" line of Fig. 6).
+  /// \param deployment the deployment to draw from.
+  /// \param providers number of providers to pick.
+  /// \param sites_per_provider number of sites per picked provider.
+  /// \param rng the draw stream (advanced).
+  /// \return the random configuration.
   [[nodiscard]] static anycast::AnycastConfig random_config(
       const anycast::Deployment& deployment, std::size_t providers,
       std::size_t sites_per_provider, Rng& rng);

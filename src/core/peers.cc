@@ -37,6 +37,12 @@ OnePassResult OnePassPeerSelector::run(
   const std::vector<measure::Census> censuses = runner.run(specs);
 
   const measure::Census& base = censuses.front();
+  // Empty-census contract (see Census::mean_rtt): 0.0 here means "no
+  // target measured" — an unreachable baseline deployment or a round
+  // killed by fault injection — not a zero-latency network.  Downstream
+  // delta_ms comparisons still order peers consistently in that case
+  // (every peer census is compared against the same baseline), and
+  // callers that must distinguish check base.reachable_count().
   result.baseline_mean_rtt = base.mean_rtt();
 
   for (std::size_t k = 0; k < peers.size(); ++k) {
@@ -47,6 +53,10 @@ OnePassResult OnePassPeerSelector::run(
     PeerMeasurement m;
     m.attachment = peer;
     m.site = deployment.attachments()[peer].site;
+    // Same contract: a peer whose census measured nothing reports
+    // mean_rtt() == 0.0.  Such a peer also has catchment_size == 0, so the
+    // `beneficial` flag below can never be set by the misleading
+    // 0.0 - baseline < 0 delta.
     m.mean_rtt_ms = census.mean_rtt();
     m.delta_ms = m.mean_rtt_ms - result.baseline_mean_rtt;
     for (std::size_t t = 0; t < census.attachment_of_target.size(); ++t) {

@@ -17,7 +17,7 @@
 
 namespace anyopt::core {
 
-/// One peer's one-pass measurement.
+/// \brief One peer's one-pass measurement.
 struct PeerMeasurement {
   bgp::AttachmentIndex attachment = bgp::kNoAttachment;
   SiteId site;                        ///< the site terminating the session
@@ -30,7 +30,12 @@ struct PeerMeasurement {
   std::vector<std::pair<std::uint32_t, double>> catchment_rtts;
 };
 
+/// \brief Output of the full one-pass peer-selection procedure.
 struct OnePassResult {
+  /// Mean RTT of the transit-only baseline deployment.  Computed via
+  /// `Census::mean_rtt()`, so an unreachable baseline reports 0.0 (empty
+  /// census, "no data") rather than a real latency; see
+  /// `Census::reachable_count()`.
   double baseline_mean_rtt = 0;
   /// All measured peers, in attachment order.
   std::vector<PeerMeasurement> peers;
@@ -46,20 +51,27 @@ struct OnePassResult {
   std::size_t experiments = 0;
 };
 
+/// \brief Configuration of the one-pass procedure.
 struct OnePassOptions {
-  std::uint64_t nonce_base = 0x9EE5;
+  std::uint64_t nonce_base = 0x9EE5;  ///< root of content-derived nonces
   /// Worker threads for the per-peer experiment batch; 1 = serial,
   /// 0 = hardware concurrency.  Results are bit-identical at any setting.
   std::size_t threads = 1;
 };
 
+/// \brief Runs the paper's one-pass peer incorporation (§4.4).
 class OnePassPeerSelector {
  public:
+  /// \brief Builds the selector over a measurement orchestrator.
+  /// \param orchestrator the measurement engine (must outlive this).
+  /// \param options nonce root and parallelism; see `OnePassOptions`.
   OnePassPeerSelector(const measure::Orchestrator& orchestrator,
                       OnePassOptions options = {});
 
-  /// Runs the full one-pass procedure on top of `baseline` (a transit-only
-  /// configuration, typically the optimizer's output).
+  /// \brief Runs the full one-pass procedure on top of a baseline.
+  /// \param baseline a transit-only configuration, typically the
+  ///        optimizer's output.
+  /// \return per-peer measurements plus the greedy peer selection.
   [[nodiscard]] OnePassResult run(
       const anycast::AnycastConfig& baseline) const;
 

@@ -10,9 +10,10 @@
 
 namespace anyopt::core {
 
+/// \brief Deployment shape and testbed constraints to plan for.
 struct PlannerInput {
-  std::size_t sites = 500;
-  std::size_t transit_providers = 20;
+  std::size_t sites = 500;              ///< anycast sites in the deployment
+  std::size_t transit_providers = 20;   ///< distinct transit providers
   /// Average number of sites per provider (used only when site-level
   /// pairwise experiments are requested).
   double avg_sites_per_provider = 25.0;
@@ -25,19 +26,23 @@ struct PlannerInput {
   double spacing_hours = 2.0;
 };
 
+/// \brief The computed measurement budget.
 struct MeasurementPlan {
   std::size_t singleton_experiments = 0;    ///< per-site RTT measurements
   std::size_t provider_pairwise = 0;        ///< C(P,2) x 2 (both orders)
   std::size_t site_pairwise = 0;            ///< sum over providers, if any
-  std::size_t total_experiments = 0;
-  double singleton_days = 0;
-  double pairwise_days = 0;
-  double total_days = 0;
+  std::size_t total_experiments = 0;        ///< all of the above
+  double singleton_days = 0;    ///< wall-clock days for the singleton phase
+  double pairwise_days = 0;     ///< wall-clock days for the pairwise phases
+  double total_days = 0;        ///< wall-clock days for the whole campaign
   /// Exponential count a naive measure-every-configuration approach would
   /// need (2^sites, saturated at SIZE_MAX).
   std::size_t naive_configurations = 0;
 };
 
+/// \brief Computes the paper's §4.5 measurement-count arithmetic.
+/// \param input deployment shape and testbed constraints.
+/// \return experiment counts and wall-clock estimates.
 [[nodiscard]] MeasurementPlan plan_measurements(const PlannerInput& input);
 
 }  // namespace anyopt::core

@@ -18,7 +18,7 @@
 
 namespace anyopt::core {
 
-/// How site-level (intra-provider) preferences are resolved.
+/// \brief How site-level (intra-provider) preferences are resolved.
 enum class SitePrefMode {
   /// From the intra-provider pairwise experiments (§4.3, default).
   kExperiments,
@@ -27,7 +27,7 @@ enum class SitePrefMode {
   kRttRanking,
 };
 
-/// Result of predicting one configuration.
+/// \brief Result of predicting one configuration.
 struct Prediction {
   /// Predicted catchment per target; invalid = target has no usable total
   /// order (excluded from prediction, §4.2).
@@ -36,47 +36,79 @@ struct Prediction {
   /// target is excluded or its RTT to the predicted site was unmeasured.
   std::vector<double> rtt_ms;
 
+  /// \brief Targets the prediction covers.
+  /// \return number of targets with a valid predicted site.
   [[nodiscard]] std::size_t predicted_count() const;
+  /// \brief Mean predicted RTT over the covered targets.
+  /// \return the mean; 0.0 when no target has a valid predicted RTT.
   [[nodiscard]] double mean_rtt() const;
 
-  /// Catchment accuracy against a measured census: the fraction of targets
-  /// (predicted and measured) whose predicted site matches the measurement.
+  /// \brief Catchment accuracy against a measured census.
+  /// \param census the deployed measurement to compare with.
+  /// \return the fraction of targets (predicted and measured) whose
+  ///         predicted site matches the measurement.
   [[nodiscard]] double accuracy_against(const measure::Census& census) const;
 };
 
+/// \brief Offline catchment and RTT prediction from discovered preferences
+///        (§3.4, §4.5 step 3).
 class Predictor {
  public:
+  /// \brief Builds a predictor from the measurement products.
+  /// \param deployment the deployment under study (must outlive this).
+  /// \param discovery the two-level pairwise discovery result (taken over).
+  /// \param rtts the per-site unicast RTT matrix (taken over).
+  /// \param mode how intra-provider site preferences are resolved.
   Predictor(const anycast::Deployment& deployment, DiscoveryResult discovery,
             RttMatrix rtts, SitePrefMode mode = SitePrefMode::kExperiments);
 
-  /// Predicts catchments and RTTs for `config` (site subset + announcement
-  /// order; enabled peers are ignored — peers are handled by the one-pass
-  /// method of §4.4).
+  /// \brief Predicts catchments and RTTs for a configuration (site subset +
+  ///        announcement order; enabled peers are ignored — peers are
+  ///        handled by the one-pass method of §4.4).
+  /// \param config the configuration to predict.
+  /// \return per-target catchment and RTT prediction.
   [[nodiscard]] Prediction predict(const anycast::AnycastConfig& config) const;
 
-  /// The full total preference order over the enabled sites for one
-  /// target, most preferred first (lexicographic: provider rank, then site
-  /// rank within provider); nullopt if the target has no total order.
+  /// \brief The full total preference order over the enabled sites for one
+  ///        target, most preferred first (lexicographic: provider rank,
+  ///        then site rank within provider).
+  /// \param target the target to order for.
+  /// \param config the configuration whose enabled sites are ranked.
+  /// \return the ordered site list; nullopt if the target has no total
+  ///         order under this configuration.
   [[nodiscard]] std::optional<std::vector<SiteId>> total_order(
       TargetId target, const anycast::AnycastConfig& config) const;
 
-  /// Fraction of targets with a usable two-level total order over the
-  /// given configuration (Fig. 4c with order accounting).
+  /// \brief Fraction of targets with a usable two-level total order over
+  ///        the given configuration (Fig. 4c with order accounting).
+  /// \param config the configuration to evaluate.
+  /// \return the orderable fraction in [0, 1].
   [[nodiscard]] double fraction_ordered(
       const anycast::AnycastConfig& config) const;
 
-  /// Fraction of targets with a total order among the given provider slots
-  /// under the given arrival ranks (Fig. 4b); `arrival_rank[p]` = position
-  /// of provider p's first announcement.
+  /// \brief Fraction of targets with a total order among the given provider
+  ///        slots under the given arrival ranks (Fig. 4b).
+  /// \param providers the enabled provider slots.
+  /// \param arrival_rank per provider slot, the position of its first
+  ///        announcement.
+  /// \return the orderable fraction in [0, 1].
   [[nodiscard]] double fraction_ordered_providers(
       std::span<const std::size_t> providers,
       std::span<const std::size_t> arrival_rank) const;
 
+  /// \brief The discovery result this predictor ranks by.
+  /// \return the discovery result passed at construction.
   [[nodiscard]] const DiscoveryResult& discovery() const { return discovery_; }
+  /// \brief The unicast RTT matrix backing RTT predictions.
+  /// \return the matrix passed at construction.
   [[nodiscard]] const RttMatrix& rtts() const { return rtts_; }
+  /// \brief The deployment under study.
+  /// \return the deployment passed at construction.
   [[nodiscard]] const anycast::Deployment& deployment() const {
     return deployment_;
   }
+  /// \brief How intra-provider site preferences are resolved.
+  /// \return the mode passed at construction.
   [[nodiscard]] SitePrefMode mode() const { return mode_; }
 
  private:

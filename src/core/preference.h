@@ -20,7 +20,8 @@
 
 namespace anyopt::core {
 
-/// Classification of one client's preference between a pair of items.
+/// \brief Classification of one client's preference between a pair of
+///        items.
 enum class PrefKind : std::uint8_t {
   kUnknown = 0,
   kStrictFirst,      ///< strictly prefers the pair's first item
@@ -29,25 +30,35 @@ enum class PrefKind : std::uint8_t {
   kInconsistent,     ///< no stable preference
 };
 
-/// Index of the unordered pair (i, j), i < j, within n items: pairs are
-/// enumerated (0,1), (0,2), ..., (0,n-1), (1,2), ...
+/// \brief Index of the unordered pair (i, j), i < j, within n items: pairs
+///        are enumerated (0,1), (0,2), ..., (0,n-1), (1,2), ...
+/// \param i the pair's smaller item index (must be < j).
+/// \param j the pair's larger item index (must be < n).
+/// \param n the item count.
+/// \return the pair's position in the enumeration.
 [[nodiscard]] constexpr std::size_t pair_index(std::size_t i, std::size_t j,
                                                std::size_t n) {
   // assumes i < j < n
   return i * n - i * (i + 1) / 2 + (j - i - 1);
 }
 
+/// \brief Number of unordered pairs among n items.
+/// \param n the item count.
+/// \return n choose 2.
 [[nodiscard]] constexpr std::size_t pair_count(std::size_t n) {
   return n * (n - 1) / 2;
 }
 
-/// Pairwise preference table over `items` (providers or sites) for every
-/// target: outcome[pair_index][target].
+/// \brief Pairwise preference table over `items` (providers or sites) for
+///        every target: outcome[pair_index][target].
 struct PairwiseTable {
-  std::size_t item_count = 0;
-  std::size_t target_count = 0;
+  std::size_t item_count = 0;    ///< items the pairs range over
+  std::size_t target_count = 0;  ///< targets (clients) per pair
   std::vector<std::vector<PrefKind>> outcome;  ///< [pair][target]
 
+  /// \brief Resets to the given shape with every entry kUnknown.
+  /// \param items the item count.
+  /// \param targets the target count.
   void init(std::size_t items, std::size_t targets) {
     item_count = items;
     target_count = targets;
@@ -55,6 +66,13 @@ struct PairwiseTable {
                    std::vector<PrefKind>(targets, PrefKind::kUnknown));
   }
 
+  /// \brief One entry, from the (i, j) point of view.
+  /// \param i the pair's first item (either order).
+  /// \param j the pair's second item.
+  /// \param target the target (client).
+  /// \return the classification with `i` as the pair's first item; strict
+  ///         winners flip under the swapped view, order-dependence is
+  ///         symmetric.
   [[nodiscard]] PrefKind get(std::size_t i, std::size_t j,
                              std::size_t target) const {
     if (i == j) return PrefKind::kUnknown;
@@ -68,19 +86,27 @@ struct PairwiseTable {
     }
   }
 
+  /// \brief Overwrites one entry (canonical i < j orientation).
+  /// \param i the pair's smaller item index (must be < j).
+  /// \param j the pair's larger item index.
+  /// \param target the target (client).
+  /// \param kind the classification with `i` as the pair's first item.
   void set(std::size_t i, std::size_t j, std::size_t target, PrefKind kind) {
     outcome[pair_index(i, j, item_count)][target] = kind;
   }
 };
 
-/// Statistics over a pairwise table (used by the Fig. 4 benches).
+/// \brief Statistics over a pairwise table (used by the Fig. 4 benches).
 struct PairwiseStats {
-  std::size_t strict = 0;
-  std::size_t order_dependent = 0;
-  std::size_t inconsistent = 0;
-  std::size_t unknown = 0;
+  std::size_t strict = 0;           ///< kStrictFirst + kStrictSecond entries
+  std::size_t order_dependent = 0;  ///< kOrderDependent entries
+  std::size_t inconsistent = 0;     ///< kInconsistent entries
+  std::size_t unknown = 0;          ///< kUnknown entries
 };
 
+/// \brief Tallies a table's entries by classification.
+/// \param table the table to tally.
+/// \return per-classification entry counts.
 [[nodiscard]] PairwiseStats tabulate(const PairwiseTable& table);
 
 }  // namespace anyopt::core

@@ -14,32 +14,53 @@
 
 namespace anyopt::core {
 
-/// Row-major [site][target] RTT estimates; negative = unreachable/unmeasured.
+/// \brief Row-major [site][target] RTT estimates; negative =
+///        unreachable/unmeasured.
 class RttMatrix {
  public:
   RttMatrix() = default;
+  /// \brief An all-unmeasured matrix of the given shape.
+  /// \param sites number of site rows.
+  /// \param targets number of target columns.
   RttMatrix(std::size_t sites, std::size_t targets)
       : sites_(sites), targets_(targets), rtt_(sites * targets, -1.0) {}
 
-  /// Runs the |S| singleton experiments (§4.5 step 1).
+  /// \brief Runs the |S| singleton experiments (§4.5 step 1).
+  /// \param orchestrator the measurement engine.
+  /// \param nonce_base root of each singleton experiment's content-derived
+  ///        nonce.
+  /// \return the fully measured matrix.
   static RttMatrix measure(const measure::Orchestrator& orchestrator,
                            std::uint64_t nonce_base = 0x5111);
 
+  /// \brief One cell of the matrix.
+  /// \param site the site row.
+  /// \param target the target column.
+  /// \return the RTT estimate; negative = unreachable/unmeasured.
   [[nodiscard]] double rtt(SiteId site, TargetId target) const {
     return rtt_[site.value() * targets_ + target.value()];
   }
+  /// \brief Overwrites one cell.
+  /// \param site the site row.
+  /// \param target the target column.
+  /// \param value the RTT estimate (negative = unmeasured).
   void set(SiteId site, TargetId target, double value) {
     rtt_[site.value() * targets_ + target.value()] = value;
   }
 
+  /// \brief Number of site rows.
   [[nodiscard]] std::size_t site_count() const { return sites_; }
+  /// \brief Number of target columns.
   [[nodiscard]] std::size_t target_count() const { return targets_; }
 
-  /// Mean unicast RTT of a site over targets it can reach (the greedy
-  /// baseline's selection metric, §5.3).
+  /// \brief Mean unicast RTT of a site over targets it can reach (the
+  ///        greedy baseline's selection metric, §5.3).
+  /// \param site the site row to average.
+  /// \return the mean; -1.0 when the site reaches nothing.
   [[nodiscard]] double site_mean(SiteId site) const;
 
-  /// Sites ranked by ascending mean unicast RTT.
+  /// \brief Sites ranked by ascending mean unicast RTT.
+  /// \return all site ids, best mean first.
   [[nodiscard]] std::vector<SiteId> sites_by_mean() const;
 
  private:

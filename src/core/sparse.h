@@ -21,13 +21,13 @@
 
 namespace anyopt::core {
 
-/// Outcome of a sparse provider-level discovery.
+/// \brief Outcome of a sparse provider-level discovery.
 struct SparseResult {
   /// Provider-level table with measured AND inferred entries; feed it to a
   /// Predictor in place of the fully measured table.
   PairwiseTable table;
-  std::size_t pairs_measured = 0;
-  std::size_t experiments = 0;
+  std::size_t pairs_measured = 0;  ///< provider pairs actually measured
+  std::size_t experiments = 0;     ///< BGP experiments performed
   /// Entries (client, pair) resolved by inference rather than measurement.
   std::size_t inferred_entries = 0;
   /// Fraction of clients with every pair resolved (measured or inferred);
@@ -41,14 +41,18 @@ struct SparseResult {
   std::vector<std::pair<std::size_t, std::size_t>> schedule;
 };
 
+/// \brief Adaptive sparse discovery with transitive completion (§6).
 class SparseDiscovery {
  public:
+  /// \brief Builds the sparse-discovery engine over an orchestrator.
+  /// \param orchestrator the measurement engine (must outlive this).
+  /// \param options campaign parameters; see `DiscoveryOptions`.
   SparseDiscovery(const measure::Orchestrator& orchestrator,
                   DiscoveryOptions options = {});
 
-  /// Measures at most `max_pairs` provider pairs (each costing two BGP
-  /// experiments with order accounting), choosing pairs adaptively and
-  /// completing the rest by transitivity.
+  /// \brief Measures at most `max_pairs` provider pairs (each costing two
+  ///        BGP experiments with order accounting), choosing pairs
+  ///        adaptively and completing the rest by transitivity.
   ///
   /// `batch` pairs are selected and measured per adaptive round (their
   /// experiments run as one parallel campaign batch across
@@ -56,6 +60,9 @@ class SparseDiscovery {
   /// sequential schedule.  Because experiment nonces are content-derived,
   /// each measured pair's outcome is identical to what the full discovery
   /// (or any other schedule) would have produced for it.
+  /// \param max_pairs the pair-measurement budget.
+  /// \param batch pairs selected and measured per adaptive round.
+  /// \return the partially measured, transitively completed table.
   [[nodiscard]] SparseResult run(std::size_t max_pairs,
                                  std::size_t batch = 1) const;
 
@@ -64,9 +71,11 @@ class SparseDiscovery {
   DiscoveryOptions options_;
 };
 
-/// Transitively completes `table` in place: for every client, kUnknown
-/// pairs implied by chains of strict preferences are filled in.  Returns
-/// the number of entries inferred.
+/// \brief Transitively completes `table` in place: for every client,
+///        kUnknown pairs implied by chains of strict preferences are
+///        filled in.
+/// \param table the pairwise table to complete (modified).
+/// \return the number of entries inferred.
 std::size_t transitive_complete(PairwiseTable& table);
 
 }  // namespace anyopt::core

@@ -20,10 +20,10 @@
 
 namespace anyopt::core {
 
-/// One SPLPO instance.
+/// \brief One SPLPO instance.
 struct SplpoInstance {
-  std::size_t site_count = 0;
-  std::size_t client_count = 0;
+  std::size_t site_count = 0;    ///< number of facilities (sites)
+  std::size_t client_count = 0;  ///< number of clients
   /// Client-major cost matrix [client * site_count + site]; +inf = the
   /// client cannot be served there.
   std::vector<double> cost;
@@ -37,21 +37,33 @@ struct SplpoInstance {
 
   static constexpr double kInf = std::numeric_limits<double>::infinity();
 
-  /// Uncapacitated instance with unit demands.
+  /// \brief Uncapacitated instance with unit demands.
+  /// \param sites number of facilities.
+  /// \param clients number of clients.
+  /// \return the empty instance (all costs +inf, no preferences).
   static SplpoInstance make(std::size_t sites, std::size_t clients);
 
+  /// \brief One cell of the cost matrix.
+  /// \param client the client row.
+  /// \param site the facility column.
+  /// \return the serving cost; +inf = cannot be served there.
   [[nodiscard]] double cost_of(std::size_t client, std::size_t site) const {
     return cost[client * site_count + site];
   }
+  /// \brief Overwrites one cell of the cost matrix.
+  /// \param client the client row.
+  /// \param site the facility column.
+  /// \param value the serving cost (+inf = cannot be served there).
   void set_cost(std::size_t client, std::size_t site, double value) {
     cost[client * site_count + site] = value;
   }
 
-  /// Structural validation (sizes, preference entries in range).
+  /// \brief Structural validation (sizes, preference entries in range).
+  /// \return ok, or the first inconsistency found.
   [[nodiscard]] Status validate() const;
 };
 
-/// Result of evaluating or solving an instance.
+/// \brief Result of evaluating or solving an instance.
 struct SplpoSolution {
   std::vector<std::uint32_t> open_sites;      ///< sorted site ids
   std::vector<std::int32_t> assignment;       ///< per client; -1 = unserved
@@ -63,51 +75,74 @@ struct SplpoSolution {
   /// single overloaded site when capacities bind).
   std::size_t unserved = 0;                   ///< clients with no open site
   double overload = 0;                        ///< sum of capacity excess
-  std::size_t configurations_evaluated = 0;
+  std::size_t configurations_evaluated = 0;   ///< solver work counter
 
-  /// Lexicographic solver ordering: feasible first, then fewer unserved,
-  /// less overload, lower cost.
+  /// \brief Lexicographic solver ordering: feasible first, then fewer
+  ///        unserved, less overload, lower cost.
+  /// \param other the solution to compare against.
+  /// \return true iff this solution ranks strictly better.
   [[nodiscard]] bool better_than(const SplpoSolution& other) const;
 };
 
-/// Evaluates one open set: routes every client to its most preferred open
-/// site, checks capacities, sums costs.
+/// \brief Evaluates one open set: routes every client to its most
+///        preferred open site, checks capacities, sums costs.
+/// \param instance the SPLPO instance.
+/// \param open the site ids to open.
+/// \return the resulting assignment and cost/feasibility measures.
 [[nodiscard]] SplpoSolution evaluate_open_set(
     const SplpoInstance& instance, const std::vector<std::uint32_t>& open);
 
-/// Exact solver: enumerates all open sets with |open| in
-/// [min_open, max_open], subject to a configuration budget (0 = unlimited).
-/// Practical up to ~20 sites — which covers the paper's testbed; larger
-/// deployments use the heuristics below, exactly as §3.4 prescribes.
+/// \brief Enumeration bounds of the exact solver.
 struct ExhaustiveOptions {
-  std::size_t min_open = 1;
+  std::size_t min_open = 1;  ///< smallest open-set size enumerated
+  /// Largest open-set size enumerated.
   std::size_t max_open = std::numeric_limits<std::size_t>::max();
   std::size_t max_configurations = 0;  ///< 0 = all (time-bound analogue)
 };
+/// \brief Exact solver: enumerates all open sets with |open| in
+///        [min_open, max_open], subject to a configuration budget.
+///        Practical up to ~20 sites — which covers the paper's testbed;
+///        larger deployments use the heuristics below, exactly as §3.4
+///        prescribes.
+/// \param instance the SPLPO instance.
+/// \param options enumeration bounds.
+/// \return the best solution found.
 [[nodiscard]] SplpoSolution solve_exhaustive(const SplpoInstance& instance,
                                              const ExhaustiveOptions& options = {});
 
-/// Greedy add heuristic: repeatedly open the site that most reduces total
-/// cost; stops at `max_open` or when no improvement remains.
+/// \brief Greedy add heuristic: repeatedly open the site that most reduces
+///        total cost; stops at `max_open` or when no improvement remains.
+/// \param instance the SPLPO instance.
+/// \param max_open largest open-set size allowed.
+/// \return the greedy solution.
 [[nodiscard]] SplpoSolution solve_greedy(const SplpoInstance& instance,
                                          std::size_t max_open);
 
-/// Local search: starts from `seed` (or greedy if empty) and applies
-/// best-improvement add/drop/swap moves until a local optimum.
+/// \brief Local search: starts from `seed` (or greedy if empty) and applies
+///        best-improvement add/drop/swap moves until a local optimum.
+/// \param instance the SPLPO instance.
+/// \param seed the starting open set; empty = greedy's solution.
+/// \param max_open largest open-set size allowed.
+/// \return the locally optimal solution.
 [[nodiscard]] SplpoSolution solve_local_search(
     const SplpoInstance& instance, std::vector<std::uint32_t> seed = {},
     std::size_t max_open = std::numeric_limits<std::size_t>::max());
 
-/// Appendix B.1 gadget: builds the SPLPO instance of the dominating-set
-/// reduction for graph `adjacency` (undirected, by adjacency lists).
-/// Site/client layout: vertex v -> site v and client v; the extra site s*
-/// is index |V| with its private client c* = |V|.  A zero-cost solution
-/// opening K+1 sites exists iff the graph has a dominating set of size K.
+/// \brief Appendix B.1 gadget: builds the SPLPO instance of the
+///        dominating-set reduction.  Site/client layout: vertex v -> site v
+///        and client v; the extra site s* is index |V| with its private
+///        client c* = |V|.  A zero-cost solution opening K+1 sites exists
+///        iff the graph has a dominating set of size K.
+/// \param adjacency the undirected graph, by adjacency lists.
+/// \return the reduction instance.
 [[nodiscard]] SplpoInstance dominating_set_gadget(
     const std::vector<std::vector<std::uint32_t>>& adjacency);
 
-/// Brute-force dominating-set decision (for cross-checking the gadget on
-/// small graphs).
+/// \brief Brute-force dominating-set decision (for cross-checking the
+///        gadget on small graphs).
+/// \param adjacency the undirected graph, by adjacency lists.
+/// \param k the dominating-set size to test.
+/// \return true iff a dominating set of size ≤ k exists.
 [[nodiscard]] bool has_dominating_set(
     const std::vector<std::vector<std::uint32_t>>& adjacency, std::size_t k);
 

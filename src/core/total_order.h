@@ -16,49 +16,72 @@
 
 namespace anyopt::core {
 
-/// A complete orientation of the pairs among `n` items.
-/// beats[i*n + j] == true means item i beats item j.
+/// \brief A complete orientation of the pairs among `n` items:
+///        beats[i*n + j] == true means item i beats item j.
 struct Tournament {
-  std::size_t n = 0;
-  std::vector<char> beats;
+  std::size_t n = 0;          ///< item count
+  std::vector<char> beats;    ///< row-major orientation matrix
 
+  /// \brief Resets to `items` items with every pair unoriented.
+  /// \param items the item count.
   void init(std::size_t items) {
     n = items;
     beats.assign(items * items, 0);
   }
+  /// \brief Orients one pair.
+  /// \param winner the preferred item.
+  /// \param loser the beaten item.
   void set_winner(std::size_t winner, std::size_t loser) {
     beats[winner * n + loser] = 1;
     beats[loser * n + winner] = 0;
   }
+  /// \brief Whether item `i` beats item `j`.
+  /// \param i first item.
+  /// \param j second item.
+  /// \return true iff `i` is preferred over `j`.
   [[nodiscard]] bool wins(std::size_t i, std::size_t j) const {
     return beats[i * n + j] != 0;
   }
 };
 
-/// If the tournament is transitive, returns the items ranked from most to
-/// least preferred; otherwise nullopt (the client has no total order).
+/// \brief Ranks a transitive tournament.
+/// \param t the tournament to rank.
+/// \return the items from most to least preferred; nullopt if the
+///         tournament is not transitive (the client has no total order).
 [[nodiscard]] std::optional<std::vector<std::size_t>> total_order_of(
     const Tournament& t);
 
-/// Builds the tournament for one target over a subset of items.
-/// `arrival_rank[i]` orients order-dependent pairs: lower rank = announced
-/// earlier = wins such ties.  Returns nullopt if any pair among the subset
-/// is kUnknown or kInconsistent.
+/// \brief Builds the tournament for one target over a subset of items.
+/// \param table the pairwise preference table.
+/// \param target the target (client) whose preferences are read.
+/// \param items the item subset (indices into the table's item space).
+/// \param arrival_rank per item, orients order-dependent pairs: lower rank
+///        = announced earlier = wins such ties.
+/// \return the oriented tournament; nullopt if any pair among the subset
+///         is kUnknown or kInconsistent.
 [[nodiscard]] std::optional<Tournament> build_tournament(
     const PairwiseTable& table, std::size_t target,
     std::span<const std::size_t> items,
     std::span<const std::size_t> arrival_rank);
 
-/// Convenience: total order for a target over `items` (indices into the
-/// table's item space), or nullopt if inconsistent.  The returned ranking
-/// contains positions into `items`.
+/// \brief Convenience: total order for a target over `items`.
+/// \param table the pairwise preference table.
+/// \param target the target (client) whose preferences are read.
+/// \param items the item subset (indices into the table's item space).
+/// \param arrival_rank see `build_tournament`.
+/// \return positions into `items`, most preferred first; nullopt if the
+///         target's preferences are incomplete or inconsistent.
 [[nodiscard]] std::optional<std::vector<std::size_t>> target_total_order(
     const PairwiseTable& table, std::size_t target,
     std::span<const std::size_t> items,
     std::span<const std::size_t> arrival_rank);
 
-/// Fraction of targets whose pairwise preferences over `items` form a total
-/// order under the given arrival ranks.
+/// \brief Fraction of targets whose pairwise preferences over `items` form
+///        a total order under the given arrival ranks.
+/// \param table the pairwise preference table.
+/// \param items the item subset (indices into the table's item space).
+/// \param arrival_rank see `build_tournament`.
+/// \return the orderable fraction in [0, 1].
 [[nodiscard]] double fraction_with_total_order(
     const PairwiseTable& table, std::span<const std::size_t> items,
     std::span<const std::size_t> arrival_rank);

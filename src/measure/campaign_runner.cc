@@ -57,18 +57,20 @@ std::vector<Census> CampaignRunner::run(
         telemetry::enabled() && telemetry::tracing()
             ? telemetry::make_args("index", i, "nonce", specs[i].nonce)
             : std::string{});
+    const ExperimentAt at{specs[i].ordinal, specs[i].attempt};
     if (!reuse_scratch_) {
-      return orchestrator_.measure(specs[i].config, specs[i].nonce, nullptr);
+      return orchestrator_.measure(specs[i].config, specs[i].nonce, nullptr,
+                                   at);
     }
     // Pooled: index the per-worker arena by the executing worker.  Serial
-    // (or any non-worker caller): the two-argument overload falls back to
-    // the orchestrator's thread-local scratch.
+    // (or any non-worker caller): fall back to the orchestrator's
+    // thread-local scratch.
     const std::size_t worker = ThreadPool::current_worker();
     if (worker < worker_scratch_.size()) {
       return orchestrator_.measure(specs[i].config, specs[i].nonce,
-                                   &worker_scratch_[worker]);
+                                   &worker_scratch_[worker], at);
     }
-    return orchestrator_.measure(specs[i].config, specs[i].nonce);
+    return orchestrator_.measure(specs[i].config, specs[i].nonce, at);
   };
 
   std::vector<Census> censuses(specs.size());

@@ -20,14 +20,23 @@
 
 namespace anyopt::measure {
 
-/// One fully specified BGP experiment: a deployable configuration plus the
-/// nonce that individualizes its jitter.  Two specs with the same content
-/// produce the same census wherever and whenever they run.
+/// \brief One fully specified BGP experiment: a deployable configuration
+///        plus the nonce that individualizes its jitter.
+///
+/// Two specs with the same content produce the same census wherever and
+/// whenever they run.  The fault coordinates (`ordinal`, `attempt`) only
+/// matter when the orchestrator carries a `fault::FaultInjector`: they
+/// locate the experiment inside its campaign so injected failures replay
+/// deterministically; a re-enqueued (retried) spec keeps its nonce — and
+/// therefore its census noise — and bumps only `attempt`.
 struct ExperimentSpec {
-  anycast::AnycastConfig config;
-  std::uint64_t nonce = 0;
+  anycast::AnycastConfig config;  ///< what to announce
+  std::uint64_t nonce = 0;        ///< content-derived jitter/noise identity
+  std::size_t ordinal = 0;        ///< campaign position, for the fault layer
+  std::uint32_t attempt = 0;      ///< retry attempt, 0 = first run
 };
 
+/// \brief Campaign engine configuration.
 struct CampaignRunnerOptions {
   /// Worker threads; 1 = run serially on the calling thread (no pool),
   /// 0 = hardware concurrency.
@@ -38,20 +47,32 @@ struct CampaignRunnerOptions {
   bool reuse_scratch = true;
 };
 
+/// \brief Fans a batch of independent experiments over a worker pool.
+///
+/// Results are returned in spec order and are bit-identical to the serial
+/// path regardless of thread count or completion order.
 class CampaignRunner {
  public:
+  /// \brief Builds a runner over an orchestrator.
+  /// \param orchestrator the measurement engine (must outlive the runner).
+  /// \param options worker count and scratch policy.
   explicit CampaignRunner(const Orchestrator& orchestrator,
                           CampaignRunnerOptions options = {});
 
-  /// Measures every spec and returns the censuses in spec order.
+  /// \brief Measures every spec.
+  /// \param specs the batch of experiments to run.
+  /// \return one census per spec, in spec order.
   [[nodiscard]] std::vector<Census> run(
       std::span<const ExperimentSpec> specs) const;
 
-  /// Effective worker count (1 when running serially).
+  /// \brief Effective worker count (1 when running serially).
+  /// \return number of threads experiments are fanned over.
   [[nodiscard]] std::size_t threads() const {
     return pool_ ? pool_->size() : 1;
   }
 
+  /// \brief The orchestrator this runner drives.
+  /// \return the orchestrator passed at construction.
   [[nodiscard]] const Orchestrator& orchestrator() const {
     return orchestrator_;
   }

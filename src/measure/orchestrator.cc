@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bgp/flap.h"
 #include "netbase/stats.h"
 #include "netbase/telemetry.h"
 
@@ -14,6 +15,7 @@ struct CensusMetrics {
   telemetry::Counter* censuses;
   telemetry::Counter* probes_sent;
   telemetry::Counter* probes_lost;
+  telemetry::Counter* probe_retries;
   telemetry::Counter* targets_unreachable;
   telemetry::Histogram* census_ms;
 
@@ -23,8 +25,32 @@ struct CensusMetrics {
       return CensusMetrics{&reg.counter("measure.censuses"),
                            &reg.counter("measure.probes.sent"),
                            &reg.counter("measure.probes.lost"),
+                           &reg.counter("probe.retries"),
                            &reg.counter("measure.targets_unreachable"),
                            &reg.histogram("measure.census_ms")};
+    }();
+    return m;
+  }
+};
+
+/// Pre-resolved fault-injection metrics (one registry lookup per process).
+struct FaultMetrics {
+  telemetry::Counter* round_failures;
+  telemetry::Counter* announce_suppressed;
+  telemetry::Counter* flaps;
+  telemetry::Counter* degraded_rounds;
+  telemetry::Counter* targets_dropped;
+  telemetry::Counter* storm_rounds;
+
+  static const FaultMetrics& get() {
+    static const FaultMetrics m = [] {
+      auto& reg = telemetry::Registry::global();
+      return FaultMetrics{&reg.counter("fault.injected.round_failures"),
+                          &reg.counter("fault.injected.announce_suppressed"),
+                          &reg.counter("fault.injected.flaps"),
+                          &reg.counter("fault.injected.degraded_rounds"),
+                          &reg.counter("fault.injected.targets_dropped"),
+                          &reg.counter("fault.injected.storm_rounds")};
     }();
     return m;
   }
@@ -105,17 +131,31 @@ double Orchestrator::tunnel_rtt_ms(SiteId site) const {
 
 Census Orchestrator::measure(const anycast::AnycastConfig& config,
                              std::uint64_t experiment_nonce) const {
-  if (!options_.reuse_scratch) return measure(config, experiment_nonce, nullptr);
+  return measure(config, experiment_nonce, ExperimentAt{});
+}
+
+Census Orchestrator::measure(const anycast::AnycastConfig& config,
+                             std::uint64_t experiment_nonce,
+                             ExperimentAt at) const {
+  if (!options_.reuse_scratch) {
+    return measure(config, experiment_nonce, nullptr, at);
+  }
   // One scratch per thread: `measure` is const and may be called from
   // several campaign workers at once, but each call runs on one thread and
   // consecutive censuses on that thread recycle the same buffers.
   thread_local bgp::SimScratch scratch;
-  return measure(config, experiment_nonce, &scratch);
+  return measure(config, experiment_nonce, &scratch, at);
 }
 
 Census Orchestrator::measure(const anycast::AnycastConfig& config,
                              std::uint64_t experiment_nonce,
                              bgp::SimScratch* scratch) const {
+  return measure(config, experiment_nonce, scratch, ExperimentAt{});
+}
+
+Census Orchestrator::measure(const anycast::AnycastConfig& config,
+                             std::uint64_t experiment_nonce,
+                             bgp::SimScratch* scratch, ExperimentAt at) const {
   const bool telem = telemetry::enabled();
   telemetry::ScopedTimer span(
       "measure.census", "measure",
@@ -129,7 +169,50 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
   census.attachment_of_target.assign(targets.size(), bgp::kNoAttachment);
   census.rtt_ms.assign(targets.size(), -1.0);
 
-  const auto schedule = config.schedule(world_.deployment());
+  // --- Fault layer (off when no injector is configured). ---
+  const fault::FaultInjector* faults = options_.faults;
+  fault::RoundFaults round_faults;
+  if (faults != nullptr) {
+    round_faults = faults->round(at.ordinal, at.attempt);
+    if (round_faults.fail_round) {
+      // The whole round is lost (orchestrator outage / withdrawn
+      // measurement prefix): an entirely empty census, the same shape an
+      // unreachable deployment produces.  Callers detect it via
+      // reachable_count() == 0 and may re-enqueue with attempt + 1.
+      if (telem) FaultMetrics::get().round_failures->add(1);
+      return census;
+    }
+  }
+
+  auto schedule = config.schedule(world_.deployment());
+  if (faults != nullptr) {
+    // Hard site failures: a failed site's announcement never happens.
+    std::size_t suppressed = 0;
+    std::erase_if(schedule, [&](const bgp::Injection& inj) {
+      if (inj.withdraw) return false;
+      const SiteId site =
+          world_.deployment().attachments()[inj.attachment].site;
+      if (!faults->site_failed(site, at.ordinal)) return false;
+      ++suppressed;
+      return true;
+    });
+    // Session flaps: withdraw + re-advertise cycles merged into the
+    // schedule; the re-advertisement arrives with a fresh arrival_seq, so
+    // the oldest-route tie-break can flip permanently (§4.2).
+    if (!faults->flaps().empty()) {
+      const std::size_t before = schedule.size();
+      schedule = bgp::apply_flaps(std::move(schedule), faults->flaps());
+      if (telem && schedule.size() != before) {
+        FaultMetrics::get().flaps->add((schedule.size() - before) / 2);
+      }
+    }
+    if (telem) {
+      const FaultMetrics& m = FaultMetrics::get();
+      if (suppressed != 0) m.announce_suppressed->add(suppressed);
+      if (round_faults.degraded) m.degraded_rounds->add(1);
+      if (round_faults.extra_loss_rate > 0.0) m.storm_rounds->add(1);
+    }
+  }
   bgp::RoutingState state =
       world_.simulator().run(schedule, experiment_nonce, scratch);
 
@@ -158,14 +241,30 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
   Rng noise_root{options_.seed ^ (experiment_nonce * 0x9e3779b97f4a7c15ULL)};
   Prober prober{options_.probe, noise_root.fork("census-probes")};
 
+  std::size_t faulted_drops = 0;
   for (std::size_t t = 0; t < targets.size(); ++t) {
     const Resolved& path = resolved[t];
     if (!path.reachable) continue;
+    if (round_faults.degraded &&
+        faults->target_dropped(at.ordinal, at.attempt,
+                               static_cast<std::uint32_t>(t))) {
+      // Degraded round: this target's measurement silently never arrives
+      // (the partial-census failure mode real measurement rounds exhibit).
+      ++faulted_drops;
+      continue;
+    }
 
     // The reply's tunnel identifies the catchment (site + session).
     const double true_rtt = 2.0 * path.one_way_ms;
-    const auto sample = prober.measure(tunnel_rtt_ms(path.site) + true_rtt);
-    if (!sample.has_value()) continue;  // every probe lost
+    const auto sample = prober.measure(tunnel_rtt_ms(path.site) + true_rtt,
+                                       round_faults.extra_loss_rate);
+    // nullopt = fewer than ProbeModel::min_valid of the probes answered
+    // (after any configured retries) — NOT necessarily "every probe lost".
+    // The target stays unmeasured and the census honours the empty-census
+    // contract documented at Census::mean_rtt(): downstream consumers see
+    // rtt_ms[t] < 0 and an invalid site, and must never treat a fully
+    // empty census's 0.0 mean as a latency.
+    if (!sample.has_value()) continue;
     census.site_of_target[t] = path.site;
     census.attachment_of_target[t] = path.attachment;
     census.rtt_ms[t] = std::max(0.05, *sample - tunnel_rtt_ms(path.site));
@@ -175,7 +274,11 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
     m.censuses->add(1);
     m.probes_sent->add(prober.probes_sent());
     m.probes_lost->add(prober.probes_lost());
+    if (prober.retries() != 0) m.probe_retries->add(prober.retries());
     m.targets_unreachable->add(targets.size() - census.reachable_count());
+    if (faulted_drops != 0) {
+      FaultMetrics::get().targets_dropped->add(faulted_drops);
+    }
   }
   return census;
 }

@@ -15,29 +15,48 @@
 #include "anycast/config.h"
 #include "anycast/world.h"
 #include "measure/prober.h"
+#include "netbase/fault.h"
 #include "netbase/geo.h"
 #include "netbase/ids.h"
 
 namespace anyopt::measure {
 
-/// Orchestrator configuration.
+/// \brief Orchestrator configuration.
 struct OrchestratorOptions {
   /// Where the GoBGP orchestrator host lives (tunnel endpoints fan out
   /// from here).  Default: Cambridge, MA.
   geo::Coordinates location{42.373, -71.110};
-  ProbeModel probe;
-  std::uint64_t seed = 0x0BC;
+  ProbeModel probe;              ///< probe-channel noise & retry model
+  std::uint64_t seed = 0x0BC;    ///< root of every census noise stream
   /// Amortize simulator allocations across censuses: `measure()` without an
   /// explicit scratch borrows a thread-local `bgp::SimScratch` so repeated
   /// experiments reuse RIB/event-queue storage.  Results are bit-identical
   /// either way; disable to force fresh allocations per census (used by the
   /// cache-invariance suite).
   bool reuse_scratch = true;
+  /// Fault injector shared by every census (not owned; must outlive the
+  /// orchestrator).  nullptr — the default — disables the fault layer
+  /// entirely and leaves every measurement bit-identical to a build
+  /// without it.
+  const fault::FaultInjector* faults = nullptr;
 };
 
-/// Result of one catchment + RTT census under a deployed configuration.
+/// \brief Fault-plan coordinates of one census within its campaign.
+///
+/// The fault layer keys every stochastic decision on these (plus the plan
+/// seed) so that faulted campaigns replay identically at any thread count,
+/// and a retry (`attempt` + 1) re-rolls only the fault decisions — the
+/// census noise itself is keyed on the experiment nonce and unchanged.
+struct ExperimentAt {
+  std::size_t ordinal = 0;   ///< position in the campaign's spec enumeration
+  std::uint32_t attempt = 0; ///< retry attempt, 0 = first run
+};
+
+/// \brief Result of one catchment + RTT census under a deployed
+///        configuration.
 struct Census {
-  /// Catchment site per target; invalid id = unreachable or all probes lost.
+  /// Catchment site per target; invalid id = unreachable or fewer than
+  /// `ProbeModel::min_valid` probes answered.
   std::vector<SiteId> site_of_target;
   /// Attachment (BGP session) whose tunnel delivered each reply; identifies
   /// peer catchments.  kNoAttachment when unreachable.
@@ -46,53 +65,113 @@ struct Census {
   /// negative = no measurement.
   std::vector<double> rtt_ms;
 
+  /// \brief Targets that produced a measurement.
+  /// \return number of targets with a valid catchment site.
   [[nodiscard]] std::size_t reachable_count() const;
   /// Mean / median over the targets with a valid RTT measurement.  Empty
   /// census contract: when no target produced a measurement (deployment
-  /// unreachable, all probes lost), both return 0.0 — callers that must
-  /// distinguish "no data" from "zero latency" check `reachable_count()`
-  /// (equivalently `valid_rtts().empty()`) first.
+  /// unreachable, all probes lost, round killed by fault injection), both
+  /// return 0.0 — callers that must distinguish "no data" from "zero
+  /// latency" check `reachable_count()` (equivalently
+  /// `valid_rtts().empty()`) first.
+  /// \brief Mean RTT over measured targets; 0.0 for an empty census.
   [[nodiscard]] double mean_rtt() const;
+  /// \brief Median RTT over measured targets; 0.0 for an empty census.
   [[nodiscard]] double median_rtt() const;
-  /// Targets mapped to `site`.
+  /// \brief Targets mapped to `site`.
+  /// \param site the catchment site to count.
+  /// \return number of targets whose reply identified `site`.
   [[nodiscard]] std::size_t catchment_size(SiteId site) const;
-  /// Targets whose reply came in via attachment `at`.
+  /// \brief Targets whose reply came in via attachment `at`.
+  /// \param at the BGP session (attachment index) to count.
+  /// \return number of targets delivered through that session's tunnel.
   [[nodiscard]] std::size_t attachment_catchment_size(
       bgp::AttachmentIndex at) const;
-  /// All valid per-target RTTs (for CDFs).
+  /// \brief All valid per-target RTTs (for CDFs).
+  /// \return the RTTs of every measured target, in target order.
   [[nodiscard]] std::vector<double> valid_rtts() const;
 };
 
+/// \brief Deploys configurations on the simulated Internet and measures
+///        them the way the paper's Verfploeter-style tool does (§3.1).
 class Orchestrator {
  public:
+  /// \brief Binds the orchestrator to a world.
+  /// \param world the immutable simulated Internet (must outlive this).
+  /// \param options measurement model, seed, scratch & fault settings.
   Orchestrator(const anycast::World& world, OrchestratorOptions options = {});
 
-  /// Deploys `config` (full announcement schedule, §2.3) and measures each
-  /// site's catchment and each target's RTT.  `experiment_nonce`
-  /// individualizes BGP jitter and probe noise: re-running with a different
-  /// nonce is a fresh real-world experiment.
+  /// \brief Deploys `config` (full announcement schedule, §2.3) and
+  ///        measures each site's catchment and each target's RTT.
+  /// \param config the anycast configuration to announce.
+  /// \param experiment_nonce individualizes BGP jitter and probe noise:
+  ///        re-running with a different nonce is a fresh real-world
+  ///        experiment; the same nonce reproduces the census bit for bit.
+  /// \return the census (one catchment + RTT row per target).
   [[nodiscard]] Census measure(const anycast::AnycastConfig& config,
                                std::uint64_t experiment_nonce) const;
 
-  /// Like the two-argument overload, but runs the BGP experiment through an
-  /// explicit allocation scratch (see `bgp::SimScratch`) instead of the
-  /// thread-local default.  `CampaignRunner` passes its per-worker scratch
-  /// here; `nullptr` disables amortization for this census.  Results are
-  /// bit-identical across all three variants.
+  /// \brief Like the two-argument overload (same scratch policy), with
+  ///        fault-plan coordinates for the fault layer.
+  /// \param config the anycast configuration to announce.
+  /// \param experiment_nonce see the two-argument overload.
+  /// \param at the census's campaign ordinal and retry attempt.
+  /// \return the census.
+  [[nodiscard]] Census measure(const anycast::AnycastConfig& config,
+                               std::uint64_t experiment_nonce,
+                               ExperimentAt at) const;
+
+  /// \brief Like the two-argument overload, but runs the BGP experiment
+  ///        through an explicit allocation scratch (see `bgp::SimScratch`)
+  ///        instead of the thread-local default.
+  ///
+  /// `CampaignRunner` passes its per-worker scratch here; `nullptr`
+  /// disables amortization for this census.  Results are bit-identical
+  /// across all variants.
+  /// \param config the anycast configuration to announce.
+  /// \param experiment_nonce see the two-argument overload.
+  /// \param scratch recycled simulator buffers, or nullptr for none.
+  /// \return the census.
   [[nodiscard]] Census measure(const anycast::AnycastConfig& config,
                                std::uint64_t experiment_nonce,
                                bgp::SimScratch* scratch) const;
 
-  /// The paper's single-site RTT procedure: announce only `site`, measure
-  /// every target's RTT to it via the site tunnel.  Row `t` < 0 means the
-  /// target was unreachable.
+  /// \brief Full overload: additionally locates the census inside its
+  ///        campaign for the fault layer.
+  ///
+  /// When `OrchestratorOptions::faults` is set, the injector's decisions
+  /// for (`at.ordinal`, `at.attempt`) apply to this census: the round can
+  /// be lost outright (empty census), degraded (a fraction of targets
+  /// silently dropped), announced without failed sites, subjected to
+  /// session flaps, or probed under a loss storm.  With no injector the
+  /// coordinates are ignored.
+  /// \param config the anycast configuration to announce.
+  /// \param experiment_nonce see the two-argument overload.
+  /// \param scratch recycled simulator buffers, or nullptr for none.
+  /// \param at the census's campaign ordinal and retry attempt.
+  /// \return the census (empty when the fault layer killed the round).
+  [[nodiscard]] Census measure(const anycast::AnycastConfig& config,
+                               std::uint64_t experiment_nonce,
+                               bgp::SimScratch* scratch,
+                               ExperimentAt at) const;
+
+  /// \brief The paper's single-site RTT procedure: announce only `site`,
+  ///        measure every target's RTT to it via the site tunnel.
+  /// \param site the site to announce alone.
+  /// \param experiment_nonce see `measure`.
+  /// \return per-target RTTs; row `t` < 0 means target `t` was unreachable.
   [[nodiscard]] std::vector<double> unicast_rtts(
       SiteId site, std::uint64_t experiment_nonce) const;
 
-  /// Tunnel RTT between the orchestrator and a site (periodically measured
-  /// in the paper; modelled as geodesic + encapsulation overhead).
+  /// \brief Tunnel RTT between the orchestrator and a site (periodically
+  ///        measured in the paper; modelled as geodesic + encapsulation
+  ///        overhead).
+  /// \param site the tunnel's site end.
+  /// \return round-trip milliseconds orchestrator <-> site.
   [[nodiscard]] double tunnel_rtt_ms(SiteId site) const;
 
+  /// \brief The world this orchestrator measures.
+  /// \return the bound world.
   [[nodiscard]] const anycast::World& world() const { return world_; }
 
  private:

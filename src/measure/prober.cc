@@ -7,9 +7,15 @@
 
 namespace anyopt::measure {
 
-std::optional<double> Prober::probe_once(double true_rtt_ms) {
+std::optional<double> Prober::probe_once(double true_rtt_ms,
+                                         double extra_loss_rate) {
   ++sent_;
-  if (rng_.chance(model_.loss_rate)) {
+  // Base loss and injected loss are independent Bernoullis; their union is
+  // a single trial at p + e - p*e, which keeps this at exactly one RNG draw
+  // (the stream is unchanged when extra_loss_rate == 0).
+  const double loss = model_.loss_rate + extra_loss_rate -
+                      model_.loss_rate * extra_loss_rate;
+  if (rng_.chance(loss)) {
     ++lost_;
     return std::nullopt;
   }
@@ -34,14 +40,41 @@ std::optional<double> Prober::probe_once(double true_rtt_ms) {
   return std::max(0.05, sample);
 }
 
-std::optional<double> Prober::measure(double true_rtt_ms) {
-  std::vector<double> valid;
-  valid.reserve(model_.repeats);
-  for (int i = 0; i < model_.repeats; ++i) {
-    if (const auto s = probe_once(true_rtt_ms)) valid.push_back(*s);
+std::optional<double> Prober::measure(double true_rtt_ms,
+                                      double extra_loss_rate) {
+  std::uint64_t round_sent = 0;
+  std::uint64_t round_lost = 0;
+  for (int attempt = 0; attempt <= model_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff before each retry.  The wait is simulated (the
+      // whole measurement layer is virtual time), so it is accumulated for
+      // inspection rather than slept.
+      ++retries_;
+      backoff_ms_ += model_.backoff_base_ms *
+                     static_cast<double>(std::uint64_t{1} << (attempt - 1));
+    }
+    std::vector<double> valid;
+    valid.reserve(model_.repeats);
+    for (int i = 0; i < model_.repeats; ++i) {
+      ++round_sent;
+      if (const auto s = probe_once(true_rtt_ms, extra_loss_rate)) {
+        valid.push_back(*s);
+      } else {
+        ++round_lost;
+      }
+    }
+    if (static_cast<int>(valid.size()) >= model_.min_valid) {
+      return stats::median(std::move(valid));
+    }
+    // Per-measurement loss budget: once more than this fraction of the
+    // probes aimed at the target has been lost, further retries are judged
+    // futile (the default budget of 1.0 can never be exceeded).
+    if (static_cast<double>(round_lost) >
+        model_.round_loss_budget * static_cast<double>(round_sent)) {
+      break;
+    }
   }
-  if (static_cast<int>(valid.size()) < model_.min_valid) return std::nullopt;
-  return stats::median(std::move(valid));
+  return std::nullopt;
 }
 
 }  // namespace anyopt::measure

@@ -11,7 +11,11 @@
 
 namespace anyopt::measure {
 
-/// Noise characteristics of the probe channel.
+/// \brief Noise and resilience characteristics of the probe channel.
+///
+/// The retry knobs (`max_retries`, `backoff_base_ms`, `round_loss_budget`)
+/// default to "off": `max_retries = 0` runs exactly one round per target and
+/// reproduces the pre-retry behaviour bit for bit.
 struct ProbeModel {
   double loss_rate = 0.01;           ///< per-probe loss probability
   double jitter_frac = 0.02;         ///< multiplicative RTT jitter (stddev)
@@ -20,33 +24,76 @@ struct ProbeModel {
   double spike_ms = 40.0;            ///< ...of this magnitude (exponential)
   int repeats = 7;                   ///< probes per measurement
   int min_valid = 3;                 ///< minimum responses for a median
+  int max_retries = 0;               ///< extra rounds when min_valid missed
+  double backoff_base_ms = 100.0;    ///< simulated backoff before retry r is
+                                     ///< backoff_base_ms * 2^r
+  /// Per-measurement loss budget: once more than this fraction of all probes
+  /// sent for one target (across retries) has been lost, the prober stops
+  /// retrying and reports the target unmeasurable instead of burning more
+  /// rounds.  The default of 1.0 can never be exceeded (a fraction is ≤ 1).
+  double round_loss_budget = 1.0;
 };
 
-/// Simulated probe engine.
+/// \brief Simulated probe engine: repeats, medians, losses, retries.
 class Prober {
  public:
+  /// \brief Builds a prober over a noise model and a private RNG stream.
+  /// \param model the probe channel's noise/resilience parameters.
+  /// \param rng the prober's own random stream (forked by the caller; a
+  ///        Prober is single-owner and advances it on every probe).
   explicit Prober(ProbeModel model, Rng rng)
       : model_(model), rng_(rng) {}
 
-  /// One ICMP round trip; nullopt = lost.
-  [[nodiscard]] std::optional<double> probe_once(double true_rtt_ms);
+  /// \brief One ICMP round trip.
+  /// \param true_rtt_ms the path's noiseless RTT.
+  /// \param extra_loss_rate additional independent loss probability
+  ///        (injected fault), combined with the model's base rate as
+  ///        `p + e - p*e`; 0 leaves the RNG stream untouched relative to a
+  ///        build without the parameter.
+  /// \return the noisy RTT sample, or nullopt if the probe was lost.
+  [[nodiscard]] std::optional<double> probe_once(double true_rtt_ms,
+                                                 double extra_loss_rate = 0.0);
 
-  /// `repeats` probes, median of valid responses; nullopt if fewer than
-  /// `min_valid` probes survived (link too lossy this round).
-  [[nodiscard]] std::optional<double> measure(double true_rtt_ms);
+  /// \brief Measures one target: `repeats` probes, median of the survivors.
+  ///
+  /// If fewer than `min_valid` probes survive the round, the prober retries
+  /// up to `max_retries` more rounds with exponential backoff (simulated:
+  /// the wait is accumulated in `backoff_ms()`, not slept), stopping early
+  /// once the `round_loss_budget` is exhausted.
+  /// \param true_rtt_ms the path's noiseless RTT.
+  /// \param extra_loss_rate additional per-probe loss probability, see
+  ///        `probe_once`.
+  /// \return the median of the first round that yields at least `min_valid`
+  ///         responses; nullopt if every permitted round came back under
+  ///         budget — note nullopt means "fewer than `min_valid` responses",
+  ///         NOT "every probe lost" (a round with 1–2 survivors still
+  ///         reports unmeasurable).
+  [[nodiscard]] std::optional<double> measure(double true_rtt_ms,
+                                              double extra_loss_rate = 0.0);
 
+  /// \brief The noise model this prober applies.
+  /// \return the model passed at construction.
   [[nodiscard]] const ProbeModel& model() const { return model_; }
 
   /// Lifetime probe tallies (plain counters, no atomics: a Prober is owned
   /// by one census).  The orchestrator flushes them into telemetry.
+  /// \brief Total probes sent, including retry rounds.
   [[nodiscard]] std::uint64_t probes_sent() const { return sent_; }
+  /// \brief Total probes lost, including retry rounds.
   [[nodiscard]] std::uint64_t probes_lost() const { return lost_; }
+  /// \brief Retry rounds executed (0 unless `max_retries > 0` and a round
+  ///        missed `min_valid`).  Flushed into the `probe.retries` counter.
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  /// \brief Simulated exponential-backoff wait accumulated across retries.
+  [[nodiscard]] double backoff_ms() const { return backoff_ms_; }
 
  private:
   ProbeModel model_;
   Rng rng_;
   std::uint64_t sent_ = 0;
   std::uint64_t lost_ = 0;
+  std::uint64_t retries_ = 0;
+  double backoff_ms_ = 0.0;
 };
 
 }  // namespace anyopt::measure

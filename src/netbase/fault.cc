@@ -1,0 +1,65 @@
+#include "netbase/fault.h"
+
+namespace anyopt::fault {
+namespace {
+
+// Purpose tags keep the roll streams for distinct decisions independent
+// even when they share (ordinal, attempt).
+constexpr std::uint64_t kTagFailRound = 0xF41'15'0FULL;
+constexpr std::uint64_t kTagDegraded = 0xDE6'4A'DEULL;
+constexpr std::uint64_t kTagTargetDrop = 0xD40'77'EDULL;
+
+}  // namespace
+
+double FaultInjector::roll(std::uint64_t tag, std::size_t ordinal,
+                           std::uint32_t attempt, std::uint64_t extra) const {
+  std::uint64_t key = mix64(plan_.seed, tag);
+  key = mix64(key, static_cast<std::uint64_t>(ordinal));
+  key = mix64(key, static_cast<std::uint64_t>(attempt));
+  if (extra != 0) key = mix64(key, extra);
+  // Same 53-bit mantissa construction as Rng::uniform(): exact [0, 1).
+  return static_cast<double>(key >> 11) * 0x1.0p-53;
+}
+
+RoundFaults FaultInjector::round(std::size_t ordinal,
+                                 std::uint32_t attempt) const {
+  RoundFaults out;
+  if (plan_.experiment_failure_prob > 0.0 &&
+      roll(kTagFailRound, ordinal, attempt) < plan_.experiment_failure_prob) {
+    out.fail_round = true;
+    return out;  // nothing else matters for a lost round
+  }
+  if (plan_.degraded_round_prob > 0.0 &&
+      roll(kTagDegraded, ordinal, attempt) < plan_.degraded_round_prob) {
+    out.degraded = true;
+  }
+  for (const LossStorm& storm : plan_.loss_storms) {
+    if (ordinal < storm.first_experiment || ordinal > storm.last_experiment) {
+      continue;
+    }
+    // Independent storms combine as 1 - prod(1 - p_i).
+    out.extra_loss_rate =
+        out.extra_loss_rate + storm.loss_rate -
+        out.extra_loss_rate * storm.loss_rate;
+  }
+  return out;
+}
+
+bool FaultInjector::site_failed(SiteId site, std::size_t ordinal) const {
+  for (const SiteFailure& failure : plan_.site_failures) {
+    if (failure.site == site && ordinal >= failure.at_experiment &&
+        ordinal < failure.recover_at) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::target_dropped(std::size_t ordinal, std::uint32_t attempt,
+                                   std::uint32_t target) const {
+  if (plan_.degraded_drop_fraction <= 0.0) return false;
+  return roll(kTagTargetDrop, ordinal, attempt,
+              mix64(0x7A46E7ULL, target)) < plan_.degraded_drop_fraction;
+}
+
+}  // namespace anyopt::fault

@@ -1,0 +1,179 @@
+#pragma once
+// Deterministic fault injection (graceful-degradation testbed).
+//
+// The paper's measurements lived through real failures: lossy probe rounds,
+// transit sessions that flap, sites that withdraw mid-campaign, censuses
+// that come back partial (cf. the Tangled testbed experience and the
+// anycast-playbook literature on operating under site loss).  This module
+// describes such failures as data — a seeded, reproducible `FaultPlan` —
+// so every layer above (prober, orchestrator, campaign runner, discovery)
+// can rehearse them without a single nondeterministic branch.
+//
+// Determinism contract.  Every stochastic fault decision is a pure function
+// of (plan seed, experiment ordinal, retry attempt[, target]) via the
+// stateless mix64 chain — never of thread interleaving or of how many
+// decisions were made before.  Two consequences the tests rely on:
+//
+//   * a faulted campaign is bit-identical across worker thread counts, and
+//   * a *retried* experiment re-rolls only its fault decisions (the attempt
+//     is part of the key); its content-derived nonce — and therefore its
+//     BGP jitter and probe noise — is unchanged, so an experiment that
+//     survives a retry reproduces the fault-free census bit for bit.
+//
+// Everything is off by default: an empty plan (or no plan at all) leaves
+// every measurement bit-identical to a build without this module.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "netbase/ids.h"
+#include "netbase/rng.h"
+
+namespace anyopt::fault {
+
+/// Ordinal sentinel: a fault window that never starts / never ends.
+inline constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+
+/// \brief Hard failure of one anycast site for a window of the campaign.
+///
+/// From experiment ordinal `at_experiment` (inclusive) until `recover_at`
+/// (exclusive), every announcement from the site is suppressed — the site
+/// has withdrawn, exactly as a mid-campaign outage looks to the
+/// orchestrator.  The default `recover_at` of `kNever` keeps it down for
+/// the rest of the campaign.
+struct SiteFailure {
+  SiteId site;                          ///< the failed site
+  std::size_t at_experiment = 0;        ///< first affected ordinal (inclusive)
+  std::size_t recover_at = kNever;      ///< first healthy ordinal again
+};
+
+/// \brief A transit/peering session flap with configurable dwell times.
+///
+/// Starting `first_down_s` after the session's announcement, the session is
+/// withdrawn for `down_dwell_s`, re-advertised, stays up `up_dwell_s`, and
+/// repeats for `cycles` cycles.  The re-advertisement replays the full BGP
+/// decision process downstream; because deployed routers tie-break on
+/// arrival order, a flap can permanently change the winner even when the
+/// final topology is identical (§4.1/§4.2 of the paper).
+struct SessionFlap {
+  /// Attachment index into the deployment's attachment table (a
+  /// `bgp::AttachmentIndex`; kept as a plain integer so the base layer does
+  /// not depend on the BGP types).
+  std::uint32_t attachment = ~std::uint32_t{0};
+  double first_down_s = 30.0;           ///< delay after announce until drop
+  double down_dwell_s = 60.0;           ///< time spent withdrawn
+  double up_dwell_s = 600.0;            ///< healthy dwell between cycles
+  std::size_t cycles = 1;               ///< number of down/up cycles
+};
+
+/// \brief A probe-loss storm over a window of campaign ordinals.
+///
+/// During [first_experiment, last_experiment] every probe suffers an
+/// additional independent loss probability of `loss_rate` on top of the
+/// probe model's base rate.
+struct LossStorm {
+  std::size_t first_experiment = 0;     ///< window start (inclusive)
+  std::size_t last_experiment = 0;      ///< window end (inclusive)
+  double loss_rate = 0.5;               ///< extra per-probe loss probability
+};
+
+/// \brief A complete, seeded description of the faults to inject.
+///
+/// A default-constructed plan injects nothing.  All probabilistic knobs are
+/// resolved deterministically from `seed` by the `FaultInjector`.
+struct FaultPlan {
+  /// Seed of every stochastic fault decision; two runs of the same plan
+  /// over the same campaign make identical decisions.
+  std::uint64_t seed = 0xFA177;
+  std::vector<SiteFailure> site_failures;   ///< scheduled site outages
+  std::vector<SessionFlap> session_flaps;   ///< scheduled session flaps
+  std::vector<LossStorm> loss_storms;       ///< scheduled probe-loss storms
+  /// Probability that a whole experiment round is lost (census comes back
+  /// empty — orchestrator crash, tunnel outage, withdrawn measurement
+  /// prefix).  Rolled per (ordinal, attempt).
+  double experiment_failure_prob = 0.0;
+  /// Probability that a round is *degraded*: it completes but silently
+  /// drops a fraction of its targets (partial census — the common failure
+  /// mode of real measurement rounds).  Rolled per (ordinal, attempt).
+  double degraded_round_prob = 0.0;
+  /// Fraction of targets dropped from a degraded round, rolled per target.
+  double degraded_drop_fraction = 0.3;
+
+  /// \brief True when the plan injects nothing at all.
+  /// \return true iff every fault list is empty and every probability zero.
+  [[nodiscard]] bool empty() const {
+    return site_failures.empty() && session_flaps.empty() &&
+           loss_storms.empty() && experiment_failure_prob <= 0.0 &&
+           degraded_round_prob <= 0.0;
+  }
+};
+
+/// \brief The per-experiment fault decisions resolved from a plan.
+struct RoundFaults {
+  bool fail_round = false;     ///< whole census lost this attempt
+  bool degraded = false;       ///< round drops a fraction of targets
+  double extra_loss_rate = 0;  ///< combined extra loss of active storms
+};
+
+/// \brief Resolves a `FaultPlan` into concrete, reproducible decisions.
+///
+/// Pure and thread-safe: every query is a stateless hash of the plan seed
+/// and the query coordinates, so concurrent campaign workers can share one
+/// injector.
+class FaultInjector {
+ public:
+  /// \brief Wraps a plan for querying.
+  /// \param plan the fault schedule to resolve (copied).
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// \brief The wrapped plan.
+  /// \return the plan this injector resolves.
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// \brief Round-level fault decisions for one experiment attempt.
+  /// \param ordinal campaign-global experiment ordinal (position of the
+  ///        experiment in its campaign's spec enumeration).
+  /// \param attempt retry attempt, 0 for the first run.  Fault decisions
+  ///        re-roll per attempt; the experiment's nonce does not.
+  /// \return the resolved round faults (loss storms depend on `ordinal`
+  ///         only; failure/degradation rolls depend on both).
+  [[nodiscard]] RoundFaults round(std::size_t ordinal,
+                                  std::uint32_t attempt) const;
+
+  /// \brief Whether `site` is down for the experiment at `ordinal`.
+  /// \param site the site to test.
+  /// \param ordinal campaign-global experiment ordinal.
+  /// \return true iff any `SiteFailure` window covers `ordinal`.
+  [[nodiscard]] bool site_failed(SiteId site, std::size_t ordinal) const;
+
+  /// \brief Whether a degraded round drops `target`.
+  ///
+  /// Only meaningful when `round(ordinal, attempt).degraded` is true; the
+  /// per-target roll is independent of every other target's.
+  /// \param ordinal campaign-global experiment ordinal.
+  /// \param attempt retry attempt of the round.
+  /// \param target dense target id being probed.
+  /// \return true iff the target is silently dropped from this round.
+  [[nodiscard]] bool target_dropped(std::size_t ordinal, std::uint32_t attempt,
+                                    std::uint32_t target) const;
+
+  /// \brief The plan's session flaps (the orchestrator expands them into
+  ///        timed withdraw/re-advertise injections).
+  /// \return the flap list, in plan order.
+  [[nodiscard]] std::span<const SessionFlap> flaps() const {
+    return plan_.session_flaps;
+  }
+
+ private:
+  /// Uniform [0,1) draw keyed by (seed, purpose tag, ordinal, attempt).
+  [[nodiscard]] double roll(std::uint64_t tag, std::size_t ordinal,
+                            std::uint32_t attempt,
+                            std::uint64_t extra = 0) const;
+
+  FaultPlan plan_;
+};
+
+}  // namespace anyopt::fault

@@ -1,0 +1,161 @@
+// Discovery resilience: with fault injection killing a fraction of campaign
+// rounds, the requeue loop (`DiscoveryOptions::retry_rounds`) must converge
+// the discovered preference tables to EXACTLY the fault-free order — not
+// approximately.  This works because a requeued experiment keeps its
+// content-derived nonce and bumps only the fault-layer attempt: a retry
+// that survives reproduces the fault-free census bit for bit.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "anycast/world.h"
+#include "core/discovery.h"
+#include "core/preference.h"
+#include "measure/orchestrator.h"
+#include "netbase/fault.h"
+#include "netbase/telemetry.h"
+
+namespace anyopt::core {
+namespace {
+
+struct Env {
+  std::unique_ptr<anycast::World> world;
+  std::unique_ptr<measure::Orchestrator> calm;
+  fault::FaultInjector injector{[] {
+    fault::FaultPlan plan;
+    plan.seed = 0x5E51;
+    plan.experiment_failure_prob = 0.3;
+    return plan;
+  }()};
+  std::unique_ptr<measure::Orchestrator> faulted;
+};
+
+Env& env() {
+  static Env e = [] {
+    Env out;
+    out.world = anycast::World::create(anycast::WorldParams::test_scale(21));
+    out.calm = std::make_unique<measure::Orchestrator>(*out.world);
+    measure::OrchestratorOptions options;
+    options.faults = &out.injector;
+    out.faulted = std::make_unique<measure::Orchestrator>(*out.world, options);
+    return out;
+  }();
+  return e;
+}
+
+/// Keeps telemetry state from leaking between suites in this binary.
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { force_off(); }
+  void TearDown() override { force_off(); }
+  static void force_off() {
+    telemetry::set_enabled(false);
+    telemetry::set_tracing(false);
+    telemetry::Registry::global().reset();
+  }
+};
+
+void expect_results_identical(const DiscoveryResult& a,
+                              const DiscoveryResult& b) {
+  EXPECT_EQ(a.provider_sites, b.provider_sites);
+  EXPECT_EQ(a.provider_prefs.outcome, b.provider_prefs.outcome);
+  ASSERT_EQ(a.site_prefs.size(), b.site_prefs.size());
+  for (std::size_t p = 0; p < a.site_prefs.size(); ++p) {
+    EXPECT_EQ(a.site_prefs[p].outcome, b.site_prefs[p].outcome)
+        << "provider " << p;
+  }
+}
+
+TEST_F(ResilienceTest, RequeueConvergesToFaultFreePreferenceOrder) {
+  // 30% of campaign rounds fail outright.  With 8 retry rounds, per-spec
+  // total-loss probability is 0.3^9 ≈ 2e-5 — for this campaign's size,
+  // every experiment deterministically survives some attempt under the
+  // plan's fixed seed, and the tables equal the calm run's EXACTLY.
+  const DiscoveryResult want = Discovery(*env().calm).run();
+
+  DiscoveryOptions options;
+  options.retry_rounds = 8;
+  const DiscoveryResult got = Discovery(*env().faulted, options).run();
+
+  expect_results_identical(want, got);
+  // The retries are real work: the faulted campaign ran more experiments.
+  EXPECT_GT(got.experiments, want.experiments);
+}
+
+TEST_F(ResilienceTest, RequeuedCampaignIsReproducibleAcrossThreadCounts) {
+  DiscoveryOptions options;
+  options.retry_rounds = 8;
+  options.threads = 1;
+  const DiscoveryResult serial = Discovery(*env().faulted, options).run();
+  for (const std::size_t threads : {2u, 4u}) {
+    options.threads = threads;
+    const DiscoveryResult parallel = Discovery(*env().faulted, options).run();
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(serial.experiments, parallel.experiments);
+    expect_results_identical(serial, parallel);
+  }
+}
+
+TEST_F(ResilienceTest, NoRetriesLeaveLostPairsUnknown) {
+  // Partial-table tolerance: when every round fails and nothing requeues,
+  // discovery must not invent preferences — every pair classifies kUnknown.
+  fault::FaultPlan plan;
+  plan.experiment_failure_prob = 1.0;
+  const fault::FaultInjector always_fail{plan};
+  measure::OrchestratorOptions options;
+  options.faults = &always_fail;
+  const measure::Orchestrator dead(*env().world, options);
+
+  const DiscoveryResult got = Discovery(dead).run();
+  for (const auto& pair : got.provider_prefs.outcome) {
+    for (const PrefKind kind : pair) {
+      ASSERT_EQ(kind, PrefKind::kUnknown);
+    }
+  }
+  for (const PairwiseTable& table : got.site_prefs) {
+    for (const auto& pair : table.outcome) {
+      for (const PrefKind kind : pair) {
+        ASSERT_EQ(kind, PrefKind::kUnknown);
+      }
+    }
+  }
+}
+
+TEST_F(ResilienceTest, RequeueTelemetryCountsLostExperiments) {
+  telemetry::set_enabled(true);
+  auto& reg = telemetry::Registry::global();
+
+  DiscoveryOptions options;
+  options.retry_rounds = 8;
+  (void)Discovery(*env().faulted, options).run();
+  EXPECT_GT(reg.counter_value("discovery.requeued"), 0u);
+
+  // A calm campaign requeues nothing.
+  reg.reset();
+  (void)Discovery(*env().calm, options).run();
+  EXPECT_EQ(reg.counter_value("discovery.requeued"), 0u);
+}
+
+TEST_F(ResilienceTest, SiteLevelOrdinalsContinueTheProviderTimeline) {
+  // A site failure scheduled past the provider-level specs must hit the
+  // site-level campaign: the ordinal timeline spans run().  A failure at
+  // ordinal 0, by contrast, hits the provider level.  Either way the full
+  // run completes and classifies (possibly kUnknown for the failed site's
+  // pairs) rather than crashing or hanging.
+  fault::FaultPlan plan;
+  plan.site_failures.push_back({SiteId{0}, 0, fault::kNever});
+  const fault::FaultInjector injector{plan};
+  measure::OrchestratorOptions options;
+  options.faults = &injector;
+  const measure::Orchestrator hurt(*env().world, options);
+
+  const DiscoveryResult calm = Discovery(*env().calm).run();
+  const DiscoveryResult got = Discovery(hurt).run();
+  EXPECT_EQ(got.provider_sites, calm.provider_sites);
+  EXPECT_EQ(got.provider_prefs.item_count, calm.provider_prefs.item_count);
+}
+
+}  // namespace
+}  // namespace anyopt::core

@@ -1,0 +1,142 @@
+// Markdown hygiene for the repo's documentation set.
+//
+//  * Every relative link in the top-level *.md files must resolve to an
+//    existing file (broken cross-references are how architecture docs
+//    rot).
+//  * CHANGES.md must carry one "PR N:" entry per PR, in order — the
+//    contract the stacked-PR workflow relies on.
+//  * README.md must point readers at the architecture overview.
+//
+// The source tree location is injected by CMake as ANYOPT_SOURCE_DIR.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path source_dir() { return fs::path{ANYOPT_SOURCE_DIR}; }
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Top-level markdown documents (the checked set; build trees excluded by
+/// construction since iteration is non-recursive).
+std::vector<fs::path> markdown_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(source_dir())) {
+    if (entry.is_regular_file() && entry.path().extension() == ".md") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Extracts `[text](target)` link targets outside fenced code blocks.
+std::vector<std::string> link_targets(const std::string& markdown) {
+  std::vector<std::string> targets;
+  bool in_fence = false;
+  std::istringstream lines(markdown);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("```", 0) == 0) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (in_fence) continue;
+    for (std::size_t at = line.find("]("); at != std::string::npos;
+         at = line.find("](", at + 2)) {
+      const std::size_t start = at + 2;
+      const std::size_t end = line.find(')', start);
+      if (end == std::string::npos) break;
+      const std::string target = line.substr(start, end - start);
+      const bool external = target.find("://") != std::string::npos ||
+                            target.rfind("mailto:", 0) == 0;
+      const bool anchor_only = !target.empty() && target.front() == '#';
+      const bool has_space =
+          target.find(' ') != std::string::npos || target.empty();
+      if (!external && !anchor_only && !has_space) targets.push_back(target);
+    }
+  }
+  return targets;
+}
+
+TEST(DocsTest, TopLevelMarkdownSetIsPresent) {
+  const auto files = markdown_files();
+  ASSERT_FALSE(files.empty());
+  const auto has = [&](const char* name) {
+    return std::any_of(files.begin(), files.end(), [&](const fs::path& p) {
+      return p.filename() == name;
+    });
+  };
+  EXPECT_TRUE(has("README.md"));
+  EXPECT_TRUE(has("ARCHITECTURE.md"));
+  EXPECT_TRUE(has("DESIGN.md"));
+  EXPECT_TRUE(has("EXPERIMENTS.md"));
+  EXPECT_TRUE(has("CHANGES.md"));
+}
+
+TEST(DocsTest, RelativeLinksResolve) {
+  for (const fs::path& file : markdown_files()) {
+    const std::string markdown = read_file(file);
+    for (const std::string& raw : link_targets(markdown)) {
+      // Strip a trailing #fragment; the file part must exist.
+      const std::string target = raw.substr(0, raw.find('#'));
+      if (target.empty()) continue;
+      const fs::path resolved = file.parent_path() / target;
+      EXPECT_TRUE(fs::exists(resolved))
+          << file.filename().string() << " links to missing " << raw;
+    }
+  }
+}
+
+TEST(DocsTest, ChangesHasOneOrderedEntryPerPr) {
+  const std::string changes = read_file(source_dir() / "CHANGES.md");
+  std::istringstream lines(changes);
+  std::string line;
+  long previous = 0;
+  std::size_t entries = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    // Every non-empty line is one PR's record: "PR <number>: <summary>".
+    ASSERT_EQ(line.rfind("PR ", 0), 0u) << "unexpected line: " << line;
+    std::size_t digits = 3;
+    while (digits < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[digits])) != 0) {
+      ++digits;
+    }
+    ASSERT_GT(digits, 3u) << "no PR number in: " << line;
+    ASSERT_EQ(line.substr(digits, 2), ": ") << "malformed entry: " << line;
+    const long number = std::stol(line.substr(3, digits - 3));
+    ASSERT_EQ(number, previous + 1)
+        << "PR entries must be contiguous and ordered; after PR " << previous
+        << " found PR " << number;
+    previous = number;
+    ++entries;
+    EXPECT_GT(line.size(), digits + 10u)
+        << "PR " << number << " entry has no summary";
+  }
+  EXPECT_GE(entries, 4u);  // PRs 1..4 are in history already
+}
+
+TEST(DocsTest, ReadmeLinksTheArchitectureOverview) {
+  const std::string readme = read_file(source_dir() / "README.md");
+  EXPECT_NE(readme.find("](ARCHITECTURE.md)"), std::string::npos)
+      << "README.md must link to ARCHITECTURE.md";
+}
+
+}  // namespace

@@ -1,0 +1,303 @@
+// Fault-injection invariance and semantics at the measurement layer.
+//
+// The contract under test (pattern of cache_invariance_test): with the
+// fault layer disabled — no injector, or an injector wrapping an empty
+// plan — every census is bit-identical to a configuration that never heard
+// of faults, at every thread count.  With a seeded plan, faulted campaigns
+// are reproducible across thread counts, and each fault kind produces its
+// documented degradation.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anycast/world.h"
+#include "measure/campaign_runner.h"
+#include "measure/orchestrator.h"
+#include "netbase/fault.h"
+#include "netbase/rng.h"
+#include "netbase/telemetry.h"
+
+namespace anyopt::measure {
+namespace {
+
+struct Env {
+  std::unique_ptr<anycast::World> world;
+  std::unique_ptr<Orchestrator> plain;  ///< no fault injector
+};
+
+Env& env() {
+  static Env e = [] {
+    Env out;
+    out.world = anycast::World::create(anycast::WorldParams::test_scale(21));
+    out.plain = std::make_unique<Orchestrator>(*out.world);
+    return out;
+  }();
+  return e;
+}
+
+/// Keeps telemetry state from leaking between suites in this binary.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { force_off(); }
+  void TearDown() override { force_off(); }
+  static void force_off() {
+    telemetry::set_enabled(false);
+    telemetry::set_tracing(false);
+    telemetry::Registry::global().reset();
+  }
+};
+
+/// A discovery-shaped pairwise batch with campaign ordinals attached.
+std::vector<ExperimentSpec> campaign_specs() {
+  const std::size_t sites = env().world->deployment().site_count();
+  std::vector<ExperimentSpec> specs;
+  for (std::size_t k = 0; k < 12; ++k) {
+    ExperimentSpec spec;
+    spec.config.announce_order = {
+        SiteId{static_cast<SiteId::underlying_type>(k % sites)},
+        SiteId{static_cast<SiteId::underlying_type>((k + 1 + k / sites) %
+                                                    sites)}};
+    spec.nonce = mix64(0xFA17CA, k);
+    spec.ordinal = k;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+void expect_censuses_identical(const std::vector<Census>& a,
+                               const std::vector<Census>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].site_of_target, b[i].site_of_target) << "experiment " << i;
+    EXPECT_EQ(a[i].attachment_of_target, b[i].attachment_of_target)
+        << "experiment " << i;
+    ASSERT_EQ(a[i].rtt_ms.size(), b[i].rtt_ms.size());
+    for (std::size_t t = 0; t < a[i].rtt_ms.size(); ++t) {
+      // operator== on doubles deliberately: bit-identical, not "close".
+      ASSERT_EQ(a[i].rtt_ms[t], b[i].rtt_ms[t])
+          << "experiment " << i << " target " << t;
+    }
+  }
+}
+
+/// A plan exercising every fault kind, seeded for reproducibility.
+fault::FaultPlan full_plan() {
+  fault::FaultPlan plan;
+  plan.seed = 0xBAD;
+  plan.experiment_failure_prob = 0.25;
+  plan.degraded_round_prob = 0.3;
+  plan.degraded_drop_fraction = 0.3;
+  plan.loss_storms.push_back({4, 7, 0.4});
+  // Site 1 is announced by the first two campaign specs; fail it from the
+  // start so announce-suppression provably engages.
+  plan.site_failures.push_back({SiteId{1}, 0, fault::kNever});
+  fault::SessionFlap flap;
+  flap.attachment = 0;  // site 0's transit session
+  flap.first_down_s = 800.0;
+  flap.down_dwell_s = 60.0;
+  plan.session_flaps.push_back(flap);
+  return plan;
+}
+
+TEST_F(FaultInjectionTest, EmptyPlanBitIdenticalToNoInjector) {
+  const fault::FaultInjector empty{fault::FaultPlan{}};
+  ASSERT_TRUE(empty.plan().empty());
+  OrchestratorOptions options;
+  options.faults = &empty;
+  const Orchestrator with_empty_injector(*env().world, options);
+
+  const auto specs = campaign_specs();
+  const CampaignRunner reference(*env().plain, {.threads = 1});
+  const std::vector<Census> want = reference.run(specs);
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    const CampaignRunner runner(with_empty_injector,
+                                {.threads = threads});
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_censuses_identical(want, runner.run(specs));
+  }
+}
+
+TEST_F(FaultInjectionTest, SeededPlanReproducibleAcrossThreadCounts) {
+  const fault::FaultInjector injector{full_plan()};
+  OrchestratorOptions options;
+  options.faults = &injector;
+  const Orchestrator faulted(*env().world, options);
+
+  const auto specs = campaign_specs();
+  const CampaignRunner reference(faulted, {.threads = 1});
+  const std::vector<Census> want = reference.run(specs);
+
+  // The faulted run must differ from the calm one (the plan engages)...
+  const std::vector<Census> calm =
+      CampaignRunner(*env().plain, {.threads = 1}).run(specs);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < specs.size() && !any_difference; ++i) {
+    any_difference = want[i].site_of_target != calm[i].site_of_target ||
+                     want[i].rtt_ms != calm[i].rtt_ms;
+  }
+  EXPECT_TRUE(any_difference);
+
+  // ...yet replay bit-identically at any worker count.
+  for (const std::size_t threads : {2u, 4u}) {
+    const CampaignRunner runner(faulted, {.threads = threads});
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_censuses_identical(want, runner.run(specs));
+  }
+}
+
+TEST_F(FaultInjectionTest, LostRoundHonoursEmptyCensusContract) {
+  // Assertion-backed form of the empty-census contract documented at
+  // Census::mean_rtt(): a round killed by the fault layer reports an
+  // entirely empty census — 0.0 means "no data", never "zero latency" —
+  // and callers must detect it via reachable_count().
+  fault::FaultPlan plan;
+  plan.experiment_failure_prob = 1.0;
+  const fault::FaultInjector injector{plan};
+  OrchestratorOptions options;
+  options.faults = &injector;
+  const Orchestrator faulted(*env().world, options);
+
+  anycast::AnycastConfig config;
+  config.announce_order = {SiteId{0}, SiteId{1}};
+  const Census census = faulted.measure(config, mix64(0xDEAD, 1),
+                                        ExperimentAt{0, 0});
+  ASSERT_EQ(census.reachable_count(), 0u);
+  EXPECT_EQ(census.mean_rtt(), 0.0);
+  EXPECT_EQ(census.median_rtt(), 0.0);
+  EXPECT_TRUE(census.valid_rtts().empty());
+}
+
+TEST_F(FaultInjectionTest, SiteFailureSuppressesItsCatchment) {
+  fault::FaultPlan plan;
+  plan.site_failures.push_back({SiteId{0}, 0, fault::kNever});
+  const fault::FaultInjector injector{plan};
+  OrchestratorOptions options;
+  options.faults = &injector;
+  const Orchestrator faulted(*env().world, options);
+
+  anycast::AnycastConfig config;
+  config.announce_order = {SiteId{0}, SiteId{1}};
+  const std::uint64_t nonce = mix64(0xDEAD, 2);
+  const Census calm = env().plain->measure(config, nonce);
+  const Census hurt = faulted.measure(config, nonce, ExperimentAt{0, 0});
+
+  ASSERT_GT(calm.catchment_size(SiteId{0}), 0u);
+  EXPECT_EQ(hurt.catchment_size(SiteId{0}), 0u);
+  // The survivor absorbs the failed site's catchment.
+  EXPECT_GE(hurt.catchment_size(SiteId{1}), calm.catchment_size(SiteId{1}));
+}
+
+TEST_F(FaultInjectionTest, DegradedRoundDropsTargetsButNeverLies) {
+  fault::FaultPlan plan;
+  plan.degraded_round_prob = 1.0;
+  plan.degraded_drop_fraction = 0.4;
+  const fault::FaultInjector injector{plan};
+  OrchestratorOptions options;
+  options.faults = &injector;
+  const Orchestrator faulted(*env().world, options);
+
+  anycast::AnycastConfig config;
+  config.announce_order = {SiteId{0}, SiteId{1}};
+  const std::uint64_t nonce = mix64(0xDEAD, 3);
+  const Census calm = env().plain->measure(config, nonce);
+  const Census hurt = faulted.measure(config, nonce, ExperimentAt{0, 0});
+
+  // Roughly the configured fraction vanishes...
+  EXPECT_LT(hurt.reachable_count(), calm.reachable_count());
+  EXPECT_GT(hurt.reachable_count(), calm.reachable_count() / 3);
+  // ...and every target that IS measured reports its true catchment (a
+  // degraded round is partial, not wrong).
+  for (std::size_t t = 0; t < hurt.site_of_target.size(); ++t) {
+    if (!hurt.site_of_target[t].valid()) continue;
+    EXPECT_EQ(hurt.site_of_target[t], calm.site_of_target[t])
+        << "target " << t;
+  }
+}
+
+TEST_F(FaultInjectionTest, LossStormShrinksTheMeasuredPopulation) {
+  fault::FaultPlan plan;
+  plan.loss_storms.push_back({0, 0, 0.95});
+  const fault::FaultInjector injector{plan};
+  OrchestratorOptions options;
+  options.faults = &injector;
+  const Orchestrator faulted(*env().world, options);
+
+  anycast::AnycastConfig config;
+  config.announce_order = {SiteId{0}, SiteId{1}};
+  const std::uint64_t nonce = mix64(0xDEAD, 4);
+  const Census calm = env().plain->measure(config, nonce);
+  // In the storm window: with per-probe survival ~0.05, reaching
+  // min_valid=3 of 7 is rare.
+  const Census stormy = faulted.measure(config, nonce, ExperimentAt{0, 0});
+  EXPECT_LT(stormy.reachable_count(), calm.reachable_count() / 4);
+  // Outside the storm window the same orchestrator measures normally.
+  const Census after = faulted.measure(config, nonce, ExperimentAt{1, 0});
+  expect_censuses_identical({calm}, {after});
+}
+
+TEST_F(FaultInjectionTest, RetriesRestoreStormLosses) {
+  // The prober's retry-with-backoff recovers targets a storm would have
+  // cost: with a moderate extra loss and a few retry rounds, nearly the
+  // whole calm population measures again.
+  fault::FaultPlan plan;
+  plan.loss_storms.push_back({0, 0, 0.6});
+  const fault::FaultInjector injector{plan};
+
+  OrchestratorOptions no_retry;
+  no_retry.faults = &injector;
+  const Orchestrator fragile(*env().world, no_retry);
+
+  OrchestratorOptions with_retry = no_retry;
+  with_retry.probe.max_retries = 4;
+  const Orchestrator resilient(*env().world, with_retry);
+
+  anycast::AnycastConfig config;
+  config.announce_order = {SiteId{0}, SiteId{1}};
+  const std::uint64_t nonce = mix64(0xDEAD, 5);
+  const std::size_t calm = env().plain->measure(config, nonce).reachable_count();
+  const std::size_t without =
+      fragile.measure(config, nonce, ExperimentAt{0, 0}).reachable_count();
+  const std::size_t with =
+      resilient.measure(config, nonce, ExperimentAt{0, 0}).reachable_count();
+
+  EXPECT_LT(without, calm);
+  EXPECT_GT(with, without);
+  EXPECT_GE(with + calm / 50, calm);  // within 2% of the calm population
+}
+
+TEST_F(FaultInjectionTest, FaultTelemetryCountersEngage) {
+  // Guard against the invariance tests passing vacuously: with telemetry
+  // on, a faulted campaign must record injections, and a fault-free one
+  // must record none.
+  const fault::FaultInjector injector{full_plan()};
+  OrchestratorOptions options;
+  options.faults = &injector;
+  options.probe.max_retries = 2;
+  const Orchestrator faulted(*env().world, options);
+
+  telemetry::set_enabled(true);
+  auto& reg = telemetry::Registry::global();
+  const auto specs = campaign_specs();
+  (void)CampaignRunner(faulted, {.threads = 1}).run(specs);
+
+  EXPECT_GT(reg.counter_value("fault.injected.round_failures"), 0u);
+  EXPECT_GT(reg.counter_value("fault.injected.degraded_rounds"), 0u);
+  EXPECT_GT(reg.counter_value("fault.injected.targets_dropped"), 0u);
+  EXPECT_GT(reg.counter_value("fault.injected.storm_rounds"), 0u);
+  EXPECT_GT(reg.counter_value("fault.injected.announce_suppressed"), 0u);
+  EXPECT_GT(reg.counter_value("fault.injected.flaps"), 0u);
+  EXPECT_GT(reg.counter_value("probe.retries"), 0u);
+
+  reg.reset();
+  (void)CampaignRunner(*env().plain, {.threads = 1}).run(specs);
+  EXPECT_EQ(reg.counter_value("fault.injected.round_failures"), 0u);
+  EXPECT_EQ(reg.counter_value("fault.injected.degraded_rounds"), 0u);
+  EXPECT_EQ(reg.counter_value("fault.injected.flaps"), 0u);
+}
+
+}  // namespace
+}  // namespace anyopt::measure

@@ -154,6 +154,85 @@ TEST(Prober, DefaultJitterStreamUnchangedByResampling) {
   }
 }
 
+TEST(Prober, MinValidContractIsNotAllProbesLost) {
+  // The nullopt contract (documented on measure()): nullopt means "fewer
+  // than min_valid responses", NOT "every probe lost".  Provable with
+  // repeats < min_valid and zero loss: every probe answers, yet the
+  // measurement is still unusable.
+  ProbeModel model;
+  model.loss_rate = 0.0;
+  model.repeats = 2;
+  model.min_valid = 3;
+  Prober p{model, Rng{8}};
+  EXPECT_FALSE(p.measure(15.0).has_value());
+  EXPECT_EQ(p.probes_lost(), 0u);
+  EXPECT_EQ(p.probes_sent(), 2u);
+}
+
+TEST(Prober, RetriesExhaustWithExponentialBackoff) {
+  ProbeModel model;
+  model.loss_rate = 1.0;
+  model.max_retries = 3;
+  model.backoff_base_ms = 100.0;
+  Prober p{model, Rng{9}};
+  EXPECT_FALSE(p.measure(10.0).has_value());
+  EXPECT_EQ(p.retries(), 3u);
+  // Waits of 100, 200, 400 ms before retries 1, 2, 3.
+  EXPECT_DOUBLE_EQ(p.backoff_ms(), 700.0);
+  EXPECT_EQ(p.probes_sent(), static_cast<std::uint64_t>(4 * model.repeats));
+}
+
+TEST(Prober, LossBudgetStopsRetriesEarly) {
+  // With everything lost, the first round already exceeds a 0.5 budget, so
+  // no retry is attempted despite max_retries allowing five.
+  ProbeModel model;
+  model.loss_rate = 1.0;
+  model.max_retries = 5;
+  model.round_loss_budget = 0.5;
+  Prober p{model, Rng{10}};
+  EXPECT_FALSE(p.measure(10.0).has_value());
+  EXPECT_EQ(p.retries(), 0u);
+  EXPECT_EQ(p.probes_sent(), static_cast<std::uint64_t>(model.repeats));
+}
+
+TEST(Prober, RetriesRecoverLossyTargets) {
+  ProbeModel model;
+  model.loss_rate = 0.8;
+  model.repeats = 7;
+  model.min_valid = 3;
+  Prober fragile{model, Rng{11}};
+  model.max_retries = 6;
+  Prober resilient{model, Rng{11}};
+  int fragile_ok = 0;
+  int resilient_ok = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (fragile.measure(10.0).has_value()) ++fragile_ok;
+    if (resilient.measure(10.0).has_value()) ++resilient_ok;
+  }
+  EXPECT_GT(resilient_ok, fragile_ok * 2);
+  EXPECT_GT(resilient.retries(), 0u);
+  EXPECT_GT(resilient.backoff_ms(), 0.0);
+}
+
+TEST(Prober, ZeroExtraLossLeavesTheStreamUntouched) {
+  // Injected loss is unioned into the base rate as p + e - p*e in a single
+  // Bernoulli draw, so e = 0 reproduces the historic stream bit for bit.
+  ProbeModel model;
+  Prober implicit_arg{model, Rng{12}};
+  Prober explicit_zero{model, Rng{12}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(implicit_arg.measure(33.0), explicit_zero.measure(33.0, 0.0));
+  }
+}
+
+TEST(Prober, FullExtraLossDropsEverything) {
+  ProbeModel model;
+  model.loss_rate = 0.0;
+  Prober p{model, Rng{13}};
+  EXPECT_FALSE(p.measure(10.0, 1.0).has_value());
+  EXPECT_EQ(p.probes_lost(), p.probes_sent());
+}
+
 TEST(Prober, DeterministicForSeed) {
   ProbeModel model;
   Prober a{model, Rng{7}};

@@ -1,0 +1,185 @@
+// FaultPlan / FaultInjector semantics: decisions are pure functions of
+// (seed, ordinal, attempt[, target]) — reproducible, order-independent and
+// re-rolled per retry attempt — and every window/combination rule holds.
+
+#include "netbase/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+namespace anyopt::fault {
+namespace {
+
+TEST(FaultPlan, DefaultConstructedPlanIsEmpty) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, AnyKnobMakesThePlanNonEmpty) {
+  FaultPlan plan;
+  plan.experiment_failure_prob = 0.1;
+  EXPECT_FALSE(plan.empty());
+
+  FaultPlan storms;
+  storms.loss_storms.push_back({0, 10, 0.5});
+  EXPECT_FALSE(storms.empty());
+
+  FaultPlan failures;
+  failures.site_failures.push_back({SiteId{0}, 3, kNever});
+  EXPECT_FALSE(failures.empty());
+}
+
+TEST(FaultInjector, DecisionsAreReproducibleAndOrderIndependent) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.experiment_failure_prob = 0.5;
+  plan.degraded_round_prob = 0.5;
+  const FaultInjector a(plan);
+  const FaultInjector b(plan);
+
+  // Query `a` forward and `b` backward: every answer must match — no query
+  // may depend on how many queries happened before it.
+  for (std::size_t ordinal = 0; ordinal < 200; ++ordinal) {
+    const RoundFaults fa = a.round(ordinal, 0);
+    const RoundFaults fb = b.round(199 - ordinal, 0);
+    const RoundFaults fa_mirror = a.round(199 - ordinal, 0);
+    EXPECT_EQ(fb.fail_round, fa_mirror.fail_round) << ordinal;
+    EXPECT_EQ(fb.degraded, fa_mirror.degraded) << ordinal;
+    (void)fa;
+  }
+}
+
+TEST(FaultInjector, SeedChangesDecisions) {
+  FaultPlan plan;
+  plan.experiment_failure_prob = 0.5;
+  plan.seed = 1;
+  const FaultInjector one(plan);
+  plan.seed = 2;
+  const FaultInjector two(plan);
+  std::size_t differ = 0;
+  for (std::size_t ordinal = 0; ordinal < 200; ++ordinal) {
+    if (one.round(ordinal, 0).fail_round != two.round(ordinal, 0).fail_round) {
+      ++differ;
+    }
+  }
+  EXPECT_GT(differ, 0u);
+}
+
+TEST(FaultInjector, FailureProbabilityIsHonoured) {
+  FaultPlan plan;
+  plan.experiment_failure_prob = 0.3;
+  const FaultInjector injector(plan);
+  std::size_t failed = 0;
+  constexpr std::size_t kRounds = 20000;
+  for (std::size_t ordinal = 0; ordinal < kRounds; ++ordinal) {
+    if (injector.round(ordinal, 0).fail_round) ++failed;
+  }
+  const double rate = static_cast<double>(failed) / kRounds;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(FaultInjector, AttemptRerollsTheFailureDecision) {
+  // The whole point of retrying: a round lost at attempt 0 has a fresh,
+  // independent chance at attempt 1.  With p = 0.5 some ordinal in a small
+  // window must fail then succeed (probability of the contrary ~ 2^-N).
+  FaultPlan plan;
+  plan.experiment_failure_prob = 0.5;
+  const FaultInjector injector(plan);
+  bool saw_recovery = false;
+  for (std::size_t ordinal = 0; ordinal < 64; ++ordinal) {
+    if (injector.round(ordinal, 0).fail_round &&
+        !injector.round(ordinal, 1).fail_round) {
+      saw_recovery = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_recovery);
+}
+
+TEST(FaultInjector, ZeroProbabilitiesNeverFail) {
+  const FaultInjector injector(FaultPlan{});
+  for (std::size_t ordinal = 0; ordinal < 100; ++ordinal) {
+    const RoundFaults f = injector.round(ordinal, 0);
+    EXPECT_FALSE(f.fail_round);
+    EXPECT_FALSE(f.degraded);
+    EXPECT_EQ(f.extra_loss_rate, 0.0);
+  }
+}
+
+TEST(FaultInjector, SiteFailureWindowIsHalfOpen) {
+  FaultPlan plan;
+  plan.site_failures.push_back({SiteId{3}, 5, 9});
+  const FaultInjector injector(plan);
+  EXPECT_FALSE(injector.site_failed(SiteId{3}, 4));
+  EXPECT_TRUE(injector.site_failed(SiteId{3}, 5));   // inclusive start
+  EXPECT_TRUE(injector.site_failed(SiteId{3}, 8));
+  EXPECT_FALSE(injector.site_failed(SiteId{3}, 9));  // exclusive end
+  EXPECT_FALSE(injector.site_failed(SiteId{1}, 6));  // other sites healthy
+}
+
+TEST(FaultInjector, SiteFailureDefaultNeverRecovers) {
+  FaultPlan plan;
+  plan.site_failures.push_back({SiteId{0}, 2, kNever});
+  const FaultInjector injector(plan);
+  EXPECT_FALSE(injector.site_failed(SiteId{0}, 1));
+  EXPECT_TRUE(injector.site_failed(SiteId{0}, 2));
+  EXPECT_TRUE(injector.site_failed(SiteId{0}, 1u << 20));
+}
+
+TEST(FaultInjector, LossStormsApplyOnlyInsideTheirWindow) {
+  FaultPlan plan;
+  plan.loss_storms.push_back({10, 20, 0.5});
+  const FaultInjector injector(plan);
+  EXPECT_EQ(injector.round(9, 0).extra_loss_rate, 0.0);
+  EXPECT_EQ(injector.round(10, 0).extra_loss_rate, 0.5);  // inclusive
+  EXPECT_EQ(injector.round(20, 0).extra_loss_rate, 0.5);  // inclusive
+  EXPECT_EQ(injector.round(21, 0).extra_loss_rate, 0.0);
+}
+
+TEST(FaultInjector, OverlappingStormsCombineAsIndependentLosses) {
+  FaultPlan plan;
+  plan.loss_storms.push_back({0, 10, 0.5});
+  plan.loss_storms.push_back({5, 15, 0.2});
+  const FaultInjector injector(plan);
+  // 1 - (1 - 0.5)(1 - 0.2) = 0.6.
+  EXPECT_DOUBLE_EQ(injector.round(7, 0).extra_loss_rate, 0.6);
+  EXPECT_DOUBLE_EQ(injector.round(3, 0).extra_loss_rate, 0.5);
+  EXPECT_DOUBLE_EQ(injector.round(12, 0).extra_loss_rate, 0.2);
+}
+
+TEST(FaultInjector, LostRoundSuppressesDegradation) {
+  FaultPlan plan;
+  plan.experiment_failure_prob = 1.0;
+  plan.degraded_round_prob = 1.0;
+  const FaultInjector injector(plan);
+  const RoundFaults f = injector.round(0, 0);
+  EXPECT_TRUE(f.fail_round);
+  EXPECT_FALSE(f.degraded);  // a lost round has nothing left to degrade
+}
+
+TEST(FaultInjector, TargetDropsMatchTheConfiguredFraction) {
+  FaultPlan plan;
+  plan.degraded_round_prob = 1.0;
+  plan.degraded_drop_fraction = 0.3;
+  const FaultInjector injector(plan);
+  std::size_t dropped = 0;
+  constexpr std::uint32_t kTargets = 20000;
+  for (std::uint32_t t = 0; t < kTargets; ++t) {
+    if (injector.target_dropped(0, 0, t)) ++dropped;
+  }
+  const double rate = static_cast<double>(dropped) / kTargets;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+
+  // A different (ordinal, attempt) re-rolls which targets vanish.
+  std::size_t differ = 0;
+  for (std::uint32_t t = 0; t < 1000; ++t) {
+    if (injector.target_dropped(0, 0, t) != injector.target_dropped(1, 0, t)) {
+      ++differ;
+    }
+  }
+  EXPECT_GT(differ, 0u);
+}
+
+}  // namespace
+}  // namespace anyopt::fault
