@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   // Naive predictor: simultaneous single-run discovery at both levels.
   core::DiscoveryOptions naive_opts;
   naive_opts.account_order = false;
+  naive_opts.store = env.store.get();
   const core::Discovery naive(*env.orchestrator, naive_opts);
   const core::DiscoveryResult naive_result = naive.run();
   const core::Predictor naive_predictor(env.world->deployment(),

@@ -56,8 +56,10 @@ int main(int argc, char** argv) {
   core::DiscoveryOptions naive_opts;
   naive_opts.account_order = false;
   naive_opts.threads = threads;
+  naive_opts.store = env.store.get();
   core::DiscoveryOptions ordered_opts;
   ordered_opts.threads = threads;
+  ordered_opts.store = env.store.get();
   const core::Discovery naive(*env.orchestrator, naive_opts);
   const core::Discovery ordered(*env.orchestrator, ordered_opts);
 

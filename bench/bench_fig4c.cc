@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   core::DiscoveryOptions naive_opts;
   naive_opts.account_order = false;
   naive_opts.threads = threads;
+  naive_opts.store = env.store.get();
   const core::Discovery naive(*env.orchestrator, naive_opts);
   std::size_t naive_experiments = 0;
   const core::PairwiseTable flat = naive.flat_site_level(&naive_experiments);

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
   TextTable table({"variant", "preferences unchanged"});
   for (int variant = 1; variant <= 3; ++variant) {
     core::DiscoveryOptions opts;
+    opts.store = env.store.get();
     opts.representatives.resize(deployment.provider_count());
     bool differs = false;
     for (std::size_t p = 0; p < deployment.provider_count(); ++p) {

@@ -8,16 +8,41 @@
 #include "netbase/rng.h"
 #include "netbase/telemetry.h"
 
+#include "topo/serialize.h"
+
 namespace anyopt::bench {
 
 namespace {
+
+/// Store path from `--store=FILE` (set by `parse_telemetry`, which every
+/// bench runs before building its environment) or ANYOPT_STORE.
+std::string g_store_path;  // NOLINT(cert-err58-cpp)
 
 PaperEnv make_env(anycast::WorldParams params, std::size_t threads) {
   PaperEnv env;
   env.world = anycast::World::create(std::move(params));
   env.orchestrator = std::make_unique<measure::Orchestrator>(*env.world);
+  if (!g_store_path.empty()) {
+    // The store is keyed to this exact topology; a mismatched file is a
+    // hard error (serving another topology's results would be silent lies).
+    const std::uint64_t fingerprint =
+        topo::topology_fingerprint(env.world->internet());
+    Result<std::unique_ptr<measure::ResultStore>> store =
+        measure::ResultStore::open(g_store_path, fingerprint);
+    if (!store.ok()) {
+      std::fprintf(stderr, "[bench] cannot open store: %s\n",
+                   store.error().message.c_str());
+      std::exit(2);
+    }
+    env.store = std::move(store).value();
+    std::printf("[bench] result store %s: %zu records persisted%s\n",
+                env.store->path().c_str(), env.store->size(),
+                env.store->recovered_tail_bytes() > 0 ? " (torn tail recovered)"
+                                                      : "");
+  }
   core::PipelineOptions options;
   options.discovery.threads = threads;
+  options.store = env.store.get();
   env.pipeline =
       std::make_unique<core::AnyOptPipeline>(*env.orchestrator, options);
   return env;
@@ -83,12 +108,21 @@ TelemetryOptions parse_telemetry(int& argc, char** argv) {
       options.json_out = arg + 11;
     } else if (std::strcmp(arg, "--no-json") == 0) {
       options.json = false;
+    } else if (std::strncmp(arg, "--store=", 8) == 0) {
+      options.store_path = arg + 8;
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
   argv[argc] = nullptr;
+  if (options.store_path.empty()) {
+    if (const char* env = std::getenv("ANYOPT_STORE");
+        env != nullptr && *env != '\0') {
+      options.store_path = env;
+    }
+  }
+  g_store_path = options.store_path;
   if (options.any()) telemetry::set_enabled(true);
   if (!options.trace_out.empty()) telemetry::set_tracing(true);
   return options;
@@ -157,6 +191,8 @@ void write_bench_json(const std::string& bench_name, double wall_s,
   }
   std::fprintf(f,
                "{\n"
+               "  \"schema\": 1,\n"
+               "  \"git\": \"%s\",\n"
                "  \"bench\": \"%s\",\n"
                "  \"wall_s\": %.3f,\n"
                "  \"sim_runs\": %llu,\n"
@@ -166,8 +202,16 @@ void write_bench_json(const std::string& bench_name, double wall_s,
                "  \"resolve_cache_hits\": %llu,\n"
                "  \"resolve_cache_misses\": %llu,\n"
                "  \"resolve_cache_hit_rate\": %.4f,\n"
-               "  \"scratch_reuse\": %llu\n"
+               "  \"scratch_reuse\": %llu,\n"
+               "  \"store_hits\": %llu,\n"
+               "  \"store_misses\": %llu,\n"
+               "  \"store_bytes_written\": %llu\n"
                "}\n",
+#ifdef ANYOPT_GIT_DESCRIBE
+               ANYOPT_GIT_DESCRIBE,
+#else
+               "unknown",
+#endif
                bench_name.c_str(), wall_s,
                static_cast<unsigned long long>(reg.counter_value("bgp.sim.runs")),
                static_cast<unsigned long long>(
@@ -182,7 +226,13 @@ void write_bench_json(const std::string& bench_name, double wall_s,
                                   static_cast<double>(resolves)
                             : 0.0,
                static_cast<unsigned long long>(
-                   reg.counter_value("sim.scratch_reuse")));
+                   reg.counter_value("sim.scratch_reuse")),
+               static_cast<unsigned long long>(
+                   reg.counter_value("store.hits")),
+               static_cast<unsigned long long>(
+                   reg.counter_value("store.misses")),
+               static_cast<unsigned long long>(
+                   reg.counter_value("store.bytes_written")));
   std::fclose(f);
   std::printf("\n[bench] record written to %s\n", path.c_str());
 }

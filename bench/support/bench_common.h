@@ -10,6 +10,7 @@
 #include "anycast/world.h"
 #include "core/anyopt.h"
 #include "measure/orchestrator.h"
+#include "measure/store.h"
 
 namespace anyopt::bench {
 
@@ -18,6 +19,9 @@ namespace anyopt::bench {
 struct PaperEnv {
   std::unique_ptr<anycast::World> world;
   std::unique_ptr<measure::Orchestrator> orchestrator;
+  /// Persistent result store when the bench ran with `--store=FILE`
+  /// (declared before the pipeline, which holds a pointer into it).
+  std::unique_ptr<measure::ResultStore> store;
   std::unique_ptr<core::AnyOptPipeline> pipeline;
 };
 
@@ -46,15 +50,22 @@ struct PaperEnv {
 ///   --json-out=FILE      write the machine-readable bench record to FILE
 ///                        (default: BENCH_<name>.json in the working dir)
 ///   --no-json            skip the bench record (ANYOPT_BENCH_JSON=0 too)
+///   --store=FILE         open (or create) the persistent result store at
+///                        FILE and warm-start every measurement stage from
+///                        it; a second run of the same bench replays every
+///                        experiment from the store (`store.hits` in the
+///                        bench record).  ANYOPT_STORE=FILE works too.
 /// Any of them enables the telemetry layer for the whole run.  Telemetry
 /// never touches experiment RNG, so the bench's result tables are
-/// byte-identical with and without these flags.
+/// byte-identical with and without these flags — and a warm store run
+/// prints the same tables as a cold one.
 struct TelemetryOptions {
   bool metrics = false;
   std::string metrics_out;  ///< empty = stdout
   std::string trace_out;    ///< empty = no trace capture
   std::string json_out;     ///< empty = BENCH_<name>.json
   bool json = true;         ///< emit the bench record at exit
+  std::string store_path;   ///< empty = no persistent store
   [[nodiscard]] bool any() const { return metrics || !trace_out.empty(); }
 };
 

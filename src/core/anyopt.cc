@@ -33,7 +33,11 @@ struct PipelineMetrics {
 
 AnyOptPipeline::AnyOptPipeline(const measure::Orchestrator& orchestrator,
                                PipelineOptions options)
-    : orchestrator_(orchestrator), options_(std::move(options)) {}
+    : orchestrator_(orchestrator), options_(std::move(options)) {
+  if (options_.store != nullptr) {
+    options_.discovery.store = options_.store;
+  }
+}
 
 const DiscoveryResult& AnyOptPipeline::discover() {
   if (!discovery_.has_value()) {
@@ -57,7 +61,8 @@ const RttMatrix& AnyOptPipeline::measure_rtts() {
     telemetry::ScopedTimer span(
         "pipeline.rtt_matrix", "pipeline",
         telem ? PipelineMetrics::get().rtt_matrix_ms : nullptr);
-    rtts_ = RttMatrix::measure(orchestrator_, options_.rtt_nonce_base);
+    rtts_ = RttMatrix::measure(orchestrator_, options_.rtt_nonce_base,
+                               options_.store);
     experiments_ += rtts_->site_count();
     if (telem) {
       PipelineMetrics::get().experiments->add(rtts_->site_count());
@@ -98,6 +103,7 @@ OnePassResult AnyOptPipeline::tune_peers(
       telemetry::enabled() ? PipelineMetrics::get().tune_peers_ms : nullptr);
   OnePassOptions options;
   options.threads = options_.discovery.threads;
+  options.store = options_.store;
   const OnePassPeerSelector selector(orchestrator_, options);
   return selector.run(baseline);
 }

@@ -36,6 +36,11 @@ struct PipelineOptions {
   SitePrefMode site_pref_mode = SitePrefMode::kExperiments;
   /// Root of the content-derived nonces of the per-site RTT experiments.
   std::uint64_t rtt_nonce_base = 0x5111;
+  /// Optional persistent result store, threaded through every measurement
+  /// stage — discovery campaigns, the RTT matrix and peer tuning — so a
+  /// warm pipeline replays persisted results instead of re-simulating.
+  /// Overrides `discovery.store`.  Not owned; must outlive the pipeline.
+  measure::ResultStore* store = nullptr;
 };
 
 /// \brief Facade wiring the measurement and optimization stages together.

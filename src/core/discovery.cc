@@ -45,7 +45,8 @@ Discovery::Discovery(const measure::Orchestrator& orchestrator,
     : orchestrator_(orchestrator),
       options_(std::move(options)),
       runner_(orchestrator_,
-              measure::CampaignRunnerOptions{.threads = options_.threads}) {}
+              measure::CampaignRunnerOptions{.threads = options_.threads,
+                                             .store = options_.store}) {}
 
 SiteId Discovery::representative(ProviderId provider) const {
   if (provider.value() < options_.representatives.size() &&

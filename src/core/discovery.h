@@ -56,6 +56,11 @@ struct DiscoveryOptions {
   /// fault layer's timeline (site failures "at experiment k" count from
   /// here).  Irrelevant unless the orchestrator carries a fault injector.
   std::size_t ordinal_base = 0;
+  /// Optional persistent result store (checkpoint/resume and warm starts):
+  /// persisted censuses are replayed instead of re-simulated, and every
+  /// fresh census is flushed as it completes.  Not owned; must outlive the
+  /// discovery.  See `measure::CampaignRunnerOptions::store`.
+  measure::ResultStore* store = nullptr;
 };
 
 /// \brief Output of the full two-level discovery.

@@ -33,7 +33,9 @@ OnePassResult OnePassPeerSelector::run(
         {std::move(cfg), mix64(mix64(options_.nonce_base, 0x9EE2ULL), peer)});
   }
   const measure::CampaignRunner runner(
-      orchestrator_, measure::CampaignRunnerOptions{.threads = options_.threads});
+      orchestrator_,
+      measure::CampaignRunnerOptions{.threads = options_.threads,
+                                     .store = options_.store});
   const std::vector<measure::Census> censuses = runner.run(specs);
 
   const measure::Census& base = censuses.front();

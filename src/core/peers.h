@@ -15,6 +15,10 @@
 #include "measure/orchestrator.h"
 #include "netbase/ids.h"
 
+namespace anyopt::measure {
+class ResultStore;
+}  // namespace anyopt::measure
+
 namespace anyopt::core {
 
 /// \brief One peer's one-pass measurement.
@@ -57,6 +61,9 @@ struct OnePassOptions {
   /// Worker threads for the per-peer experiment batch; 1 = serial,
   /// 0 = hardware concurrency.  Results are bit-identical at any setting.
   std::size_t threads = 1;
+  /// Optional persistent result store (see
+  /// `measure::CampaignRunnerOptions::store`).  Not owned.
+  measure::ResultStore* store = nullptr;
 };
 
 /// \brief Runs the paper's one-pass peer incorporation (§4.4).

@@ -2,20 +2,41 @@
 
 #include <algorithm>
 
+#include "measure/store.h"
+#include "netbase/rng.h"
 #include "netbase/stats.h"
 
 namespace anyopt::core {
 
+std::uint64_t RttMatrix::row_key(SiteId site, std::uint64_t nonce) {
+  return mix64(mix64(0x5111E077ULL, site.value()), nonce);
+}
+
 RttMatrix RttMatrix::measure(const measure::Orchestrator& orchestrator,
-                             std::uint64_t nonce_base) {
+                             std::uint64_t nonce_base,
+                             measure::ResultStore* store) {
   const auto& world = orchestrator.world();
   const std::size_t sites = world.deployment().site_count();
   const std::size_t targets = world.targets().size();
   RttMatrix m(sites, targets);
   for (std::size_t s = 0; s < sites; ++s) {
     const SiteId site{static_cast<SiteId::underlying_type>(s)};
-    const std::vector<double> row =
-        orchestrator.unicast_rtts(site, nonce_base + s);
+    const std::uint64_t nonce = nonce_base + s;
+    std::vector<double> row;
+    const std::uint64_t key = row_key(site, nonce);
+    if (store != nullptr) {
+      if (std::optional<std::vector<double>> cached = store->find_rtt_row(key);
+          cached.has_value() && cached->size() == targets) {
+        row = *std::move(cached);
+      }
+    }
+    if (row.empty()) {
+      row = orchestrator.unicast_rtts(site, nonce);
+      if (store != nullptr) {
+        const Status flushed = store->put_rtt_row(key, row);
+        (void)flushed;
+      }
+    }
     for (std::size_t t = 0; t < targets; ++t) {
       m.rtt_[s * targets + t] = row[t];
     }

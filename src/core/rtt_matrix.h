@@ -12,6 +12,10 @@
 #include "measure/orchestrator.h"
 #include "netbase/ids.h"
 
+namespace anyopt::measure {
+class ResultStore;
+}  // namespace anyopt::measure
+
 namespace anyopt::core {
 
 /// \brief Row-major [site][target] RTT estimates; negative =
@@ -29,9 +33,20 @@ class RttMatrix {
   /// \param orchestrator the measurement engine.
   /// \param nonce_base root of each singleton experiment's content-derived
   ///        nonce.
+  /// \param store optional persistent result store: persisted rows (keyed
+  ///        by `row_key`) are replayed instead of re-measured, and fresh
+  ///        rows are flushed as they complete.  Not owned.
   /// \return the fully measured matrix.
   static RttMatrix measure(const measure::Orchestrator& orchestrator,
-                           std::uint64_t nonce_base = 0x5111);
+                           std::uint64_t nonce_base = 0x5111,
+                           measure::ResultStore* store = nullptr);
+
+  /// \brief The content-derived store key of one site's RTT row.
+  /// \param site the site row.
+  /// \param nonce the row's probe-noise nonce (`nonce_base + site`).
+  /// \return the 64-bit store key.
+  [[nodiscard]] static std::uint64_t row_key(SiteId site,
+                                             std::uint64_t nonce);
 
   /// \brief One cell of the matrix.
   /// \param site the site row.

@@ -1,0 +1,254 @@
+#include "core/store_io.h"
+
+#include "netbase/rng.h"
+
+namespace anyopt::core {
+
+namespace {
+
+/// Section tags of the `kTable` payloads this file writes.  The store's
+/// key section occupies tag 1, so table sections start at 2.
+enum TableTag : std::uint64_t {
+  kTagShape = 2,     ///< varint item count + varint target count
+  kTagOutcomes = 3,  ///< run-length encoded PrefKind stream
+  kTagProviderTable = 4,  ///< nested table (DiscoveryResult)
+  kTagSiteTables = 5,     ///< varint count + length-prefixed nested tables
+  kTagProviderSites = 6,  ///< provider → sites map
+  kTagExperiments = 7,    ///< varint experiment count
+};
+
+/// Encodes a table body: shape plus the flattened [pair][target] outcome
+/// stream, run-length encoded (campaign tables are dominated by long runs
+/// of one classification).
+void encode_table(const PairwiseTable& table, codec::Writer& out) {
+  codec::Writer shape;
+  shape.put_varint(table.item_count);
+  shape.put_varint(table.target_count);
+  out.put_section(kTagShape, shape);
+
+  codec::Writer runs;
+  std::uint64_t current = 0;
+  std::uint64_t run = 0;
+  const auto flush = [&] {
+    if (run == 0) return;
+    runs.put_varint(current);
+    runs.put_varint(run);
+  };
+  for (const auto& row : table.outcome) {
+    for (const PrefKind kind : row) {
+      const auto v = static_cast<std::uint64_t>(kind);
+      if (run > 0 && v == current) {
+        ++run;
+        continue;
+      }
+      flush();
+      current = v;
+      run = 1;
+    }
+  }
+  flush();
+  out.put_section(kTagOutcomes, runs);
+}
+
+Result<PairwiseTable> decode_table(std::span<const std::uint8_t> body) {
+  codec::Reader reader(body);
+  PairwiseTable table;
+  bool saw_shape = false;
+  bool saw_outcomes = false;
+  std::span<const std::uint8_t> outcomes;
+  while (!reader.at_end()) {
+    Result<codec::Section> section = reader.read_section();
+    if (!section.ok()) return section.error();
+    switch (section.value().tag) {
+      case kTagShape: {
+        codec::Reader s(section.value().body);
+        Result<std::uint64_t> items = s.read_varint();
+        if (!items.ok()) return items.error();
+        Result<std::uint64_t> targets = s.read_varint();
+        if (!targets.ok()) return targets.error();
+        table.init(static_cast<std::size_t>(items.value()),
+                   static_cast<std::size_t>(targets.value()));
+        saw_shape = true;
+        break;
+      }
+      case kTagOutcomes:
+        outcomes = section.value().body;
+        saw_outcomes = true;
+        break;
+      default:
+        break;  // forward compatibility
+    }
+  }
+  if (!saw_shape || !saw_outcomes) {
+    return Error::parse("table record is missing a required section");
+  }
+  codec::Reader runs(outcomes);
+  std::size_t pair = 0;
+  std::size_t target = 0;
+  const std::size_t total = table.outcome.size() * table.target_count;
+  std::size_t filled = 0;
+  while (!runs.at_end()) {
+    Result<std::uint64_t> value = runs.read_varint();
+    if (!value.ok()) return value.error();
+    Result<std::uint64_t> length = runs.read_varint();
+    if (!length.ok()) return length.error();
+    if (value.value() > static_cast<std::uint64_t>(PrefKind::kInconsistent)) {
+      return Error::parse("table outcome out of range");
+    }
+    if (filled + length.value() > total) {
+      return Error::parse("table outcome run overflows the table shape");
+    }
+    const auto kind = static_cast<PrefKind>(value.value());
+    for (std::uint64_t k = 0; k < length.value(); ++k) {
+      table.outcome[pair][target] = kind;
+      if (++target == table.target_count) {
+        target = 0;
+        ++pair;
+      }
+    }
+    filled += static_cast<std::size_t>(length.value());
+  }
+  if (filled != total) {
+    return Error::parse("table outcome stream is shorter than its shape");
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint64_t discovery_key(std::uint64_t nonce_base, bool account_order) {
+  return mix64(mix64(0xD15C0B1EULL, nonce_base),
+               account_order ? 1ULL : 0ULL);
+}
+
+Status save_table(measure::ResultStore& store, std::uint64_t key,
+                  const PairwiseTable& table) {
+  codec::Writer body;
+  encode_table(table, body);
+  return store.put_payload(measure::RecordKind::kTable, key, body);
+}
+
+Result<PairwiseTable> load_table(const measure::ResultStore& store,
+                                 std::uint64_t key) {
+  const std::optional<std::vector<std::uint8_t>> body =
+      store.find_payload(measure::RecordKind::kTable, key);
+  if (!body.has_value()) {
+    return Error::not_found("no table record for this key");
+  }
+  return decode_table(*body);
+}
+
+Status save_discovery(measure::ResultStore& store, std::uint64_t key,
+                      const DiscoveryResult& result) {
+  codec::Writer body;
+
+  codec::Writer provider;
+  encode_table(result.provider_prefs, provider);
+  body.put_section(kTagProviderTable, provider);
+
+  codec::Writer sites;
+  sites.put_varint(result.site_prefs.size());
+  for (const PairwiseTable& table : result.site_prefs) {
+    codec::Writer one;
+    encode_table(table, one);
+    sites.put_varint(one.size());
+    sites.put_bytes(one.bytes());
+  }
+  body.put_section(kTagSiteTables, sites);
+
+  codec::Writer map;
+  map.put_varint(result.provider_sites.size());
+  for (const auto& provider_sites : result.provider_sites) {
+    map.put_varint(provider_sites.size());
+    for (const SiteId site : provider_sites) {
+      map.put_varint(site.valid() ? std::uint64_t{site.value()} + 1 : 0);
+    }
+  }
+  body.put_section(kTagProviderSites, map);
+
+  codec::Writer experiments;
+  experiments.put_varint(result.experiments);
+  body.put_section(kTagExperiments, experiments);
+
+  return store.put_payload(measure::RecordKind::kTable, key, body);
+}
+
+Result<DiscoveryResult> load_discovery(const measure::ResultStore& store,
+                                       std::uint64_t key) {
+  const std::optional<std::vector<std::uint8_t>> body =
+      store.find_payload(measure::RecordKind::kTable, key);
+  if (!body.has_value()) {
+    return Error::not_found("no discovery record for this key");
+  }
+  codec::Reader reader(*body);
+  DiscoveryResult result;
+  bool saw_provider = false;
+  while (!reader.at_end()) {
+    Result<codec::Section> section = reader.read_section();
+    if (!section.ok()) return section.error();
+    switch (section.value().tag) {
+      case kTagProviderTable: {
+        Result<PairwiseTable> table = decode_table(section.value().body);
+        if (!table.ok()) return table.error();
+        result.provider_prefs = std::move(table).value();
+        saw_provider = true;
+        break;
+      }
+      case kTagSiteTables: {
+        codec::Reader s(section.value().body);
+        Result<std::uint64_t> count = s.read_varint();
+        if (!count.ok()) return count.error();
+        for (std::uint64_t k = 0; k < count.value(); ++k) {
+          Result<std::uint64_t> len = s.read_varint();
+          if (!len.ok()) return len.error();
+          if (s.remaining() < len.value()) {
+            return Error::parse("nested table truncated");
+          }
+          Result<PairwiseTable> table =
+              decode_table(section.value().body.subspan(
+                  s.offset(), static_cast<std::size_t>(len.value())));
+          if (!table.ok()) return table.error();
+          result.site_prefs.push_back(std::move(table).value());
+          s.skip(static_cast<std::size_t>(len.value()));
+        }
+        break;
+      }
+      case kTagProviderSites: {
+        codec::Reader s(section.value().body);
+        Result<std::uint64_t> providers = s.read_varint();
+        if (!providers.ok()) return providers.error();
+        for (std::uint64_t p = 0; p < providers.value(); ++p) {
+          Result<std::uint64_t> count = s.read_varint();
+          if (!count.ok()) return count.error();
+          std::vector<SiteId> sites;
+          sites.reserve(static_cast<std::size_t>(count.value()));
+          for (std::uint64_t k = 0; k < count.value(); ++k) {
+            Result<std::uint64_t> v = s.read_varint();
+            if (!v.ok()) return v.error();
+            sites.push_back(v.value() == 0
+                                ? SiteId{}
+                                : SiteId{static_cast<SiteId::underlying_type>(
+                                      v.value() - 1)});
+          }
+          result.provider_sites.push_back(std::move(sites));
+        }
+        break;
+      }
+      case kTagExperiments: {
+        codec::Reader s(section.value().body);
+        Result<std::uint64_t> count = s.read_varint();
+        if (!count.ok()) return count.error();
+        result.experiments = static_cast<std::size_t>(count.value());
+        break;
+      }
+      default:
+        break;  // forward compatibility
+    }
+  }
+  if (!saw_provider) {
+    return Error::parse("discovery record is missing its provider table");
+  }
+  return result;
+}
+
+}  // namespace anyopt::core

@@ -1,0 +1,63 @@
+#pragma once
+// Persistence of discovered preference tables (core ↔ measure/store glue).
+//
+// `measure::ResultStore` persists censuses and RTT rows natively but treats
+// everything else as opaque `kTable` payloads — the store lives below core
+// in the module order and cannot know core's types.  This header owns the
+// encoding: pairwise preference tables and whole discovery results are
+// rendered into codec sections (run-length encoded — campaign tables are
+// dominated by long runs of one classification) and stored under
+// caller-chosen keys, so an optimizer session can reload a finished
+// discovery without re-running a single BGP experiment.
+
+#include <cstdint>
+
+#include "core/discovery.h"
+#include "core/preference.h"
+#include "measure/store.h"
+#include "netbase/result.h"
+
+namespace anyopt::core {
+
+/// \brief The conventional store key of a discovery run's persisted result.
+/// \param nonce_base the campaign's `DiscoveryOptions::nonce_base`.
+/// \param account_order the campaign's order-accounting mode (the naive
+///        and ordered tables differ and must not collide).
+/// \return the 64-bit store key.
+[[nodiscard]] std::uint64_t discovery_key(std::uint64_t nonce_base,
+                                          bool account_order);
+
+/// \brief Persists one pairwise table as a `kTable` record.
+/// \param store the destination store.
+/// \param key the record key (caller-chosen; see `discovery_key`).
+/// \param table the table to persist.
+/// \return ok, or the I/O error.
+Status save_table(measure::ResultStore& store, std::uint64_t key,
+                  const PairwiseTable& table);
+
+/// \brief Loads a pairwise table persisted by `save_table`.
+/// \param store the source store.
+/// \param key the record key.
+/// \return the table; `not_found` on a miss, `parse` on a malformed
+///         payload.
+[[nodiscard]] Result<PairwiseTable> load_table(
+    const measure::ResultStore& store, std::uint64_t key);
+
+/// \brief Persists a whole discovery result (provider table, per-provider
+///        site tables, provider→sites map, experiment count) under one key.
+/// \param store the destination store.
+/// \param key the record key (see `discovery_key`).
+/// \param result the discovery result to persist.
+/// \return ok, or the I/O error.
+Status save_discovery(measure::ResultStore& store, std::uint64_t key,
+                      const DiscoveryResult& result);
+
+/// \brief Loads a discovery result persisted by `save_discovery`.
+/// \param store the source store.
+/// \param key the record key.
+/// \return the result; `not_found` on a miss, `parse` on a malformed
+///         payload.
+[[nodiscard]] Result<DiscoveryResult> load_discovery(
+    const measure::ResultStore& store, std::uint64_t key);
+
+}  // namespace anyopt::core

@@ -1,5 +1,6 @@
 #include "measure/campaign_runner.h"
 
+#include "measure/store.h"
 #include "netbase/telemetry.h"
 
 namespace anyopt::measure {
@@ -27,7 +28,9 @@ struct CampaignMetrics {
 
 CampaignRunner::CampaignRunner(const Orchestrator& orchestrator,
                                CampaignRunnerOptions options)
-    : orchestrator_(orchestrator), reuse_scratch_(options.reuse_scratch) {
+    : orchestrator_(orchestrator),
+      reuse_scratch_(options.reuse_scratch),
+      store_(options.store) {
   if (options.threads != 1) {
     pool_ = std::make_unique<ThreadPool>(options.threads);
     if (reuse_scratch_) {
@@ -51,6 +54,17 @@ std::vector<Census> CampaignRunner::run(
     m.experiments->add(specs.size());
   }
   const auto measure_one = [&](std::size_t i) {
+    // Store hits replay a persisted census without simulating.  Retried
+    // specs (attempt > 0) never take this path: a retry exists to replace
+    // the stored result, not to re-read it.
+    if (store_ != nullptr && specs[i].attempt == 0) {
+      const std::uint64_t key =
+          ResultStore::census_key(specs[i].config, specs[i].nonce);
+      if (std::optional<Census> cached = store_->find_census(key);
+          cached.has_value()) {
+        return *std::move(cached);
+      }
+    }
     telemetry::ScopedTimer span(
         "campaign.experiment", "campaign",
         telemetry::enabled() ? CampaignMetrics::get().experiment_ms : nullptr,
@@ -58,19 +72,31 @@ std::vector<Census> CampaignRunner::run(
             ? telemetry::make_args("index", i, "nonce", specs[i].nonce)
             : std::string{});
     const ExperimentAt at{specs[i].ordinal, specs[i].attempt};
-    if (!reuse_scratch_) {
-      return orchestrator_.measure(specs[i].config, specs[i].nonce, nullptr,
-                                   at);
+    const auto simulate = [&] {
+      if (!reuse_scratch_) {
+        return orchestrator_.measure(specs[i].config, specs[i].nonce, nullptr,
+                                     at);
+      }
+      // Pooled: index the per-worker arena by the executing worker.  Serial
+      // (or any non-worker caller): fall back to the orchestrator's
+      // thread-local scratch.
+      const std::size_t worker = ThreadPool::current_worker();
+      if (worker < worker_scratch_.size()) {
+        return orchestrator_.measure(specs[i].config, specs[i].nonce,
+                                     &worker_scratch_[worker], at);
+      }
+      return orchestrator_.measure(specs[i].config, specs[i].nonce, at);
+    };
+    Census census = simulate();
+    // Flush the moment the experiment finishes: an interrupted campaign
+    // loses at most its in-flight experiments.  A write failure only costs
+    // the checkpoint, never the campaign.
+    if (store_ != nullptr) {
+      const Status flushed = store_->put_census(
+          ResultStore::census_key(specs[i].config, specs[i].nonce), census);
+      (void)flushed;
     }
-    // Pooled: index the per-worker arena by the executing worker.  Serial
-    // (or any non-worker caller): fall back to the orchestrator's
-    // thread-local scratch.
-    const std::size_t worker = ThreadPool::current_worker();
-    if (worker < worker_scratch_.size()) {
-      return orchestrator_.measure(specs[i].config, specs[i].nonce,
-                                   &worker_scratch_[worker], at);
-    }
-    return orchestrator_.measure(specs[i].config, specs[i].nonce, at);
+    return census;
   };
 
   std::vector<Census> censuses(specs.size());

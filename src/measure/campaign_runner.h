@@ -36,6 +36,8 @@ struct ExperimentSpec {
   std::uint32_t attempt = 0;      ///< retry attempt, 0 = first run
 };
 
+class ResultStore;
+
 /// \brief Campaign engine configuration.
 struct CampaignRunnerOptions {
   /// Worker threads; 1 = run serially on the calling thread (no pool),
@@ -45,6 +47,15 @@ struct CampaignRunnerOptions {
   /// on a worker recycle simulator allocations.  Never changes results;
   /// disable to force fresh allocations per experiment.
   bool reuse_scratch = true;
+  /// Optional persistent result store (checkpoint/resume and warm starts).
+  /// Each spec is looked up by `ResultStore::census_key` before running —
+  /// a hit replays the persisted census without simulating — and every
+  /// freshly measured census is flushed the moment it completes, so an
+  /// interrupted campaign loses at most its in-flight experiments.
+  /// Retried specs (`attempt > 0`) always re-run: serving a stored census
+  /// to a retry would replay the very result the retry exists to replace.
+  /// Not owned; must outlive the runner.
+  ResultStore* store = nullptr;
 };
 
 /// \brief Fans a batch of independent experiments over a worker pool.
@@ -80,6 +91,7 @@ class CampaignRunner {
  private:
   const Orchestrator& orchestrator_;
   bool reuse_scratch_ = true;
+  ResultStore* store_ = nullptr;
   // The pool is internally synchronized; dispatching through it from a
   // const `run` leaves the runner's observable state untouched.
   std::unique_ptr<ThreadPool> pool_;

@@ -1,0 +1,691 @@
+#include "measure/store.h"
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include "anycast/config.h"
+#include "netbase/rng.h"
+#include "netbase/telemetry.h"
+
+namespace anyopt::measure {
+
+namespace {
+
+constexpr std::string_view kMagic = "AOPTSTOR";
+
+/// Census payload section tags.  New writers may add tags; old readers
+/// skip unknown ones (codec section framing).
+enum CensusTag : std::uint64_t {
+  kTagKey = 1,        ///< u64le store key (every record kind starts with it)
+  kTagMeta = 2,       ///< varint target count + u8 flags
+  kTagSitesFull = 3,  ///< per-target varint site+1 (0 = unreachable)
+  kTagAttsFull = 4,   ///< per-target varint attachment+1 (0 = none)
+  kTagRtts = 5,       ///< per-target f64le RTT (negative = unmeasured)
+  kTagBaseKey = 6,    ///< u64le key of the delta base census
+  kTagSitesDelta = 7, ///< change list vs the base's sites
+  kTagAttsDelta = 8,  ///< change list vs the base's attachments
+};
+
+enum CensusFlags : std::uint8_t {
+  kFlagBase = 1,        ///< this record is the store's delta base
+  kFlagSitesDelta = 2,  ///< sites come as a change list (needs base)
+  kFlagAttsDelta = 4,   ///< attachments come as a change list (needs base)
+};
+
+/// Pre-resolved store metrics (one registry lookup per process).
+struct StoreMetrics {
+  telemetry::Counter* hits;
+  telemetry::Counter* misses;
+  telemetry::Counter* records_written;
+  telemetry::Counter* bytes_written;
+  telemetry::Counter* delta_entries;
+  telemetry::Counter* delta_slots;
+
+  static const StoreMetrics& get() {
+    static const StoreMetrics m = [] {
+      auto& reg = telemetry::Registry::global();
+      return StoreMetrics{&reg.counter("store.hits"),
+                          &reg.counter("store.misses"),
+                          &reg.counter("store.records_written"),
+                          &reg.counter("store.bytes_written"),
+                          &reg.counter("store.delta_entries"),
+                          &reg.counter("store.delta_slots")};
+    }();
+    return m;
+  }
+};
+
+/// One map key for the (kind, key) index.
+std::uint64_t index_key(RecordKind kind, std::uint64_t key) {
+  return mix64(static_cast<std::uint64_t>(kind), key);
+}
+
+std::uint64_t encode_site(SiteId site) {
+  return site.valid() ? static_cast<std::uint64_t>(site.value()) + 1 : 0;
+}
+SiteId decode_site(std::uint64_t v) {
+  return v == 0 ? SiteId{}
+                : SiteId{static_cast<SiteId::underlying_type>(v - 1)};
+}
+std::uint64_t encode_att(bgp::AttachmentIndex att) {
+  return att == bgp::kNoAttachment ? 0 : static_cast<std::uint64_t>(att) + 1;
+}
+bgp::AttachmentIndex decode_att(std::uint64_t v) {
+  return v == 0 ? bgp::kNoAttachment
+                : static_cast<bgp::AttachmentIndex>(v - 1);
+}
+
+/// Encodes a change list (index gaps + zigzag value deltas) of `now` vs
+/// `base` under `encode`.  Returns the number of changed slots.
+template <class T, class Encode>
+std::size_t put_delta(codec::Writer& out, const std::vector<T>& now,
+                      const std::vector<T>& base, Encode encode) {
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    if (!(now[i] == base[i])) ++changed;
+  }
+  out.put_varint(changed);
+  std::size_t previous = 0;
+  for (std::size_t i = 0; i < now.size(); ++i) {
+    if (now[i] == base[i]) continue;
+    out.put_varint(i - previous);
+    out.put_svarint(static_cast<std::int64_t>(encode(now[i])) -
+                    static_cast<std::int64_t>(encode(base[i])));
+    previous = i;
+  }
+  return changed;
+}
+
+/// Applies a change list over a copy of the base values.
+template <class T, class Encode, class Decode>
+Status apply_delta(codec::Reader& in, std::vector<T>& values, Encode encode,
+                   Decode decode) {
+  Result<std::uint64_t> count = in.read_varint();
+  if (!count.ok()) return count.error();
+  std::size_t at = 0;
+  for (std::uint64_t k = 0; k < count.value(); ++k) {
+    Result<std::uint64_t> gap = in.read_varint();
+    if (!gap.ok()) return gap.error();
+    Result<std::int64_t> diff = in.read_svarint();
+    if (!diff.ok()) return diff.error();
+    at += static_cast<std::size_t>(gap.value());
+    if (at >= values.size()) {
+      return Error::parse("census delta index out of range");
+    }
+    const std::int64_t decoded =
+        static_cast<std::int64_t>(encode(values[at])) + diff.value();
+    if (decoded < 0) return Error::parse("census delta underflows");
+    values[at] = decode(static_cast<std::uint64_t>(decoded));
+  }
+  return {};
+}
+
+}  // namespace
+
+std::uint64_t ResultStore::census_key(const anycast::AnycastConfig& config,
+                                      std::uint64_t nonce) {
+  std::uint64_t k = mix64(0x57E0ECA5ULL, nonce);
+  k = mix64(k, config.announce_order.size());
+  for (const SiteId site : config.announce_order) {
+    k = mix64(k, encode_site(site));
+  }
+  k = mix64(k, config.prepend.size());
+  for (const std::uint8_t p : config.prepend) k = mix64(k, p);
+  k = mix64(k, config.enabled_peers.size());
+  for (const bgp::AttachmentIndex peer : config.enabled_peers) {
+    k = mix64(k, encode_att(peer));
+  }
+  return mix64(k, std::bit_cast<std::uint64_t>(config.spacing_s));
+}
+
+Result<std::unique_ptr<ResultStore>> ResultStore::open(
+    const std::string& path, std::uint64_t topology_fingerprint) {
+  return open_impl(path, topology_fingerprint, /*adopt_fingerprint=*/false);
+}
+
+Result<std::unique_ptr<ResultStore>> ResultStore::open_existing(
+    const std::string& path) {
+  return open_impl(path, 0, /*adopt_fingerprint=*/true);
+}
+
+Result<std::unique_ptr<ResultStore>> ResultStore::open_impl(
+    const std::string& path, std::uint64_t topology_fingerprint,
+    bool adopt_fingerprint) {
+  auto store = std::unique_ptr<ResultStore>(new ResultStore());
+  store->path_ = path;
+
+  std::vector<std::uint8_t> bytes;
+  if (std::FILE* f = std::fopen(path.c_str(), "rb"); f != nullptr) {
+    std::uint8_t chunk[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+      bytes.insert(bytes.end(), chunk, chunk + n);
+    }
+    std::fclose(f);
+  } else if (adopt_fingerprint) {
+    return Error::not_found("no store at " + path);
+  }
+
+  if (bytes.empty()) {
+    // Fresh store: header only.
+    store->fingerprint_ = topology_fingerprint;
+    store->buffer_ = codec::encode_header(kMagic, kSchemaVersion,
+                                          topology_fingerprint);
+    store->file_ = std::fopen(path.c_str(), "wb");
+    if (store->file_ == nullptr) {
+      return Error::state("cannot create store " + path + ": " +
+                          std::strerror(errno));
+    }
+    std::fwrite(store->buffer_.data(), 1, store->buffer_.size(),
+                store->file_);
+    std::fflush(store->file_);
+    return store;
+  }
+
+  Result<codec::FileHeader> header = codec::decode_header(bytes, kMagic);
+  if (!header.ok()) {
+    return Error::parse(path + ": " + header.error().message);
+  }
+  if (header.value().version != kSchemaVersion) {
+    return Error::parse(path + ": schema version " +
+                        std::to_string(header.value().version) +
+                        " (this build reads version " +
+                        std::to_string(kSchemaVersion) + ")");
+  }
+  if (!adopt_fingerprint &&
+      header.value().app_word != topology_fingerprint) {
+    return Error::state(path + ": topology fingerprint mismatch (store " +
+                        std::to_string(header.value().app_word) +
+                        ", world " + std::to_string(topology_fingerprint) +
+                        ") — this store was written against a different "
+                        "topology");
+  }
+  store->fingerprint_ = header.value().app_word;
+
+  // Rebuild the index by scanning the record log.  A torn tail —
+  // interrupted append — is truncated away; anything else is corruption.
+  std::size_t offset = codec::kHeaderSize;
+  while (offset < bytes.size()) {
+    codec::FrameView frame;
+    const codec::FrameScan scan = codec::scan_frame(bytes, offset, &frame);
+    if (scan == codec::FrameScan::kTruncated) {
+      store->recovered_tail_bytes_ = bytes.size() - offset;
+      break;
+    }
+    if (scan == codec::FrameScan::kBadCrc) {
+      return Error::parse(path + ": record fails its CRC at offset " +
+                          std::to_string(offset));
+    }
+    codec::Reader reader(frame.payload);
+    Result<codec::Section> key_section = reader.read_section();
+    if (!key_section.ok() || key_section.value().tag != kTagKey ||
+        key_section.value().body.size() != 8) {
+      return Error::parse(path + ": record at offset " +
+                          std::to_string(offset) + " has no key section");
+    }
+    codec::Reader key_reader(key_section.value().body);
+    const std::uint64_t key = key_reader.read_u64le().value();
+    const auto kind = static_cast<RecordKind>(frame.kind);
+    store->index_[index_key(kind, key)] = offset;
+    store->log_.push_back(
+        {kind, key, offset, frame.payload.size()});
+    offset = frame.next_offset;
+  }
+  store->buffer_.assign(bytes.begin(),
+                        bytes.begin() + static_cast<std::ptrdiff_t>(offset));
+
+  // The first census in log order is the delta base every later census
+  // references; decode it up front.
+  for (const RecordInfo& info : store->log_) {
+    if (info.kind != RecordKind::kCensus) continue;
+    Result<codec::FrameView> frame =
+        codec::read_frame(store->buffer_, info.offset);
+    Result<Census> base = store->decode_census_locked(frame.value().payload);
+    if (!base.ok()) {
+      return Error::parse(path + ": base census undecodable: " +
+                          base.error().message);
+    }
+    store->base_census_ = std::move(base).value();
+    store->base_key_ = info.key;
+    break;
+  }
+
+  if (store->recovered_tail_bytes_ > 0) {
+    // Drop the torn tail on disk by rewriting the valid prefix.
+    store->file_ = std::fopen(path.c_str(), "wb");
+    if (store->file_ == nullptr) {
+      return Error::state("cannot rewrite store " + path + ": " +
+                          std::strerror(errno));
+    }
+    std::fwrite(store->buffer_.data(), 1, store->buffer_.size(),
+                store->file_);
+    std::fflush(store->file_);
+  } else {
+    store->file_ = std::fopen(path.c_str(), "ab");
+    if (store->file_ == nullptr) {
+      return Error::state("cannot append to store " + path + ": " +
+                          std::strerror(errno));
+    }
+  }
+  return store;
+}
+
+ResultStore::~ResultStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status ResultStore::append_locked(RecordKind kind, std::uint64_t key,
+                                  std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  codec::frame_record(static_cast<std::uint8_t>(kind), payload, frame);
+  if (file_ == nullptr) {
+    return Error::state("store " + path_ + " is not writable");
+  }
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    return Error::state("write to store " + path_ + " failed: " +
+                        std::strerror(errno));
+  }
+  const std::size_t offset = buffer_.size();
+  buffer_.insert(buffer_.end(), frame.begin(), frame.end());
+  index_[index_key(kind, key)] = offset;
+  log_.push_back({kind, key, offset, payload.size()});
+  if (telemetry::enabled()) {
+    const StoreMetrics& m = StoreMetrics::get();
+    m.records_written->add(1);
+    m.bytes_written->add(frame.size());
+  }
+  return {};
+}
+
+void ResultStore::encode_census_locked(std::uint64_t key,
+                                       const Census& census,
+                                       codec::Writer& out) const {
+  codec::Writer key_section;
+  key_section.put_u64le(key);
+  out.put_section(kTagKey, key_section);
+
+  const std::size_t targets = census.site_of_target.size();
+  const bool is_base = !base_census_.has_value();
+  // Delta-encode against the base when shapes match and the change list is
+  // actually shorter than a full array (an empty census — every slot
+  // "changed" — stays full-encoded).
+  const bool delta_shape =
+      !is_base && base_census_->site_of_target.size() == targets;
+  std::size_t site_changes = 0;
+  std::size_t att_changes = 0;
+  if (delta_shape) {
+    for (std::size_t t = 0; t < targets; ++t) {
+      if (census.site_of_target[t] != base_census_->site_of_target[t]) {
+        ++site_changes;
+      }
+      if (census.attachment_of_target[t] !=
+          base_census_->attachment_of_target[t]) {
+        ++att_changes;
+      }
+    }
+  }
+  const bool sites_delta = delta_shape && site_changes <= targets / 2;
+  const bool atts_delta = delta_shape && att_changes <= targets / 2;
+
+  codec::Writer meta;
+  meta.put_varint(targets);
+  meta.put_u8(static_cast<std::uint8_t>((is_base ? kFlagBase : 0) |
+                                        (sites_delta ? kFlagSitesDelta : 0) |
+                                        (atts_delta ? kFlagAttsDelta : 0)));
+  out.put_section(kTagMeta, meta);
+
+  if (sites_delta || atts_delta) {
+    codec::Writer base_key;
+    base_key.put_u64le(base_key_);
+    out.put_section(kTagBaseKey, base_key);
+  }
+
+  if (sites_delta) {
+    codec::Writer body;
+    put_delta(body, census.site_of_target, base_census_->site_of_target,
+              encode_site);
+    out.put_section(kTagSitesDelta, body);
+  } else {
+    codec::Writer body;
+    for (const SiteId site : census.site_of_target) {
+      body.put_varint(encode_site(site));
+    }
+    out.put_section(kTagSitesFull, body);
+  }
+
+  if (atts_delta) {
+    codec::Writer body;
+    put_delta(body, census.attachment_of_target,
+              base_census_->attachment_of_target, encode_att);
+    out.put_section(kTagAttsDelta, body);
+  } else {
+    codec::Writer body;
+    for (const bgp::AttachmentIndex att : census.attachment_of_target) {
+      body.put_varint(encode_att(att));
+    }
+    out.put_section(kTagAttsFull, body);
+  }
+
+  // RTTs carry per-experiment probe noise: they differ for essentially
+  // every reachable target, so they are always stored in full.
+  codec::Writer rtts;
+  for (const double rtt : census.rtt_ms) rtts.put_double(rtt);
+  out.put_section(kTagRtts, rtts);
+
+  if (telemetry::enabled() && (sites_delta || atts_delta)) {
+    const StoreMetrics& m = StoreMetrics::get();
+    m.delta_entries->add((sites_delta ? site_changes : 0) +
+                         (atts_delta ? att_changes : 0));
+    m.delta_slots->add((sites_delta ? targets : 0) +
+                       (atts_delta ? targets : 0));
+  }
+}
+
+Result<Census> ResultStore::decode_census_locked(
+    std::span<const std::uint8_t> payload) const {
+  codec::Reader reader(payload);
+  std::size_t targets = 0;
+  std::uint8_t flags = 0;
+  bool saw_meta = false;
+  std::uint64_t base_key = 0;
+  std::span<const std::uint8_t> sites_body;
+  std::span<const std::uint8_t> atts_body;
+  std::span<const std::uint8_t> rtts_body;
+  bool saw_sites = false;
+  bool saw_atts = false;
+  bool saw_rtts = false;
+
+  while (!reader.at_end()) {
+    Result<codec::Section> section = reader.read_section();
+    if (!section.ok()) return section.error();
+    codec::Reader body(section.value().body);
+    switch (section.value().tag) {
+      case kTagMeta: {
+        Result<std::uint64_t> count = body.read_varint();
+        if (!count.ok()) return count.error();
+        Result<std::uint8_t> f = body.read_u8();
+        if (!f.ok()) return f.error();
+        targets = static_cast<std::size_t>(count.value());
+        flags = f.value();
+        saw_meta = true;
+        break;
+      }
+      case kTagBaseKey: {
+        Result<std::uint64_t> k = body.read_u64le();
+        if (!k.ok()) return k.error();
+        base_key = k.value();
+        break;
+      }
+      case kTagSitesFull:
+      case kTagSitesDelta:
+        sites_body = section.value().body;
+        saw_sites = true;
+        break;
+      case kTagAttsFull:
+      case kTagAttsDelta:
+        atts_body = section.value().body;
+        saw_atts = true;
+        break;
+      case kTagRtts:
+        rtts_body = section.value().body;
+        saw_rtts = true;
+        break;
+      default:
+        break;  // forward compatibility: skip sections we do not know
+    }
+  }
+  if (!saw_meta || !saw_sites || !saw_atts || !saw_rtts) {
+    return Error::parse("census record is missing a required section");
+  }
+
+  Census census;
+  census.site_of_target.resize(targets);
+  census.attachment_of_target.resize(targets);
+  census.rtt_ms.resize(targets);
+
+  const bool sites_delta = (flags & kFlagSitesDelta) != 0;
+  const bool atts_delta = (flags & kFlagAttsDelta) != 0;
+  if (sites_delta || atts_delta) {
+    if (!base_census_.has_value() || base_key != base_key_ ||
+        base_census_->site_of_target.size() != targets) {
+      return Error::parse("census delta references an unknown base census");
+    }
+  }
+
+  if (sites_delta) {
+    census.site_of_target = base_census_->site_of_target;
+    codec::Reader body(sites_body);
+    const Status applied =
+        apply_delta(body, census.site_of_target, encode_site, decode_site);
+    if (!applied.ok()) return applied.error();
+  } else {
+    codec::Reader body(sites_body);
+    for (std::size_t t = 0; t < targets; ++t) {
+      Result<std::uint64_t> v = body.read_varint();
+      if (!v.ok()) return v.error();
+      census.site_of_target[t] = decode_site(v.value());
+    }
+  }
+
+  if (atts_delta) {
+    census.attachment_of_target = base_census_->attachment_of_target;
+    codec::Reader body(atts_body);
+    const Status applied = apply_delta(body, census.attachment_of_target,
+                                       encode_att, decode_att);
+    if (!applied.ok()) return applied.error();
+  } else {
+    codec::Reader body(atts_body);
+    for (std::size_t t = 0; t < targets; ++t) {
+      Result<std::uint64_t> v = body.read_varint();
+      if (!v.ok()) return v.error();
+      census.attachment_of_target[t] = decode_att(v.value());
+    }
+  }
+
+  if (rtts_body.size() != targets * 8) {
+    return Error::parse("census RTT section has wrong arity");
+  }
+  codec::Reader body(rtts_body);
+  for (std::size_t t = 0; t < targets; ++t) {
+    census.rtt_ms[t] = body.read_double().value();
+  }
+  return census;
+}
+
+std::optional<std::span<const std::uint8_t>> ResultStore::payload_locked(
+    RecordKind kind, std::uint64_t key) const {
+  const auto it = index_.find(index_key(kind, key));
+  if (it == index_.end()) return std::nullopt;
+  codec::FrameView frame;
+  if (codec::scan_frame(buffer_, it->second, &frame) !=
+      codec::FrameScan::kOk) {
+    return std::nullopt;  // cannot happen: buffer holds only verified frames
+  }
+  return frame.payload;
+}
+
+std::optional<Census> ResultStore::find_census(std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto payload = payload_locked(RecordKind::kCensus, key);
+  const bool telem = telemetry::enabled();
+  if (!payload.has_value()) {
+    if (telem) StoreMetrics::get().misses->add(1);
+    return std::nullopt;
+  }
+  Result<Census> census = decode_census_locked(*payload);
+  if (!census.ok()) {
+    if (telem) StoreMetrics::get().misses->add(1);
+    return std::nullopt;
+  }
+  if (telem) StoreMetrics::get().hits->add(1);
+  return std::move(census).value();
+}
+
+Status ResultStore::put_census(std::uint64_t key, const Census& census) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  codec::Writer payload;
+  encode_census_locked(key, census, payload);
+  const Status appended =
+      append_locked(RecordKind::kCensus, key, payload.bytes());
+  if (!appended.ok()) return appended;
+  if (!base_census_.has_value()) {
+    base_census_ = census;
+    base_key_ = key;
+  }
+  return {};
+}
+
+std::optional<std::vector<double>> ResultStore::find_rtt_row(
+    std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto payload = payload_locked(RecordKind::kRttRow, key);
+  const bool telem = telemetry::enabled();
+  if (!payload.has_value()) {
+    if (telem) StoreMetrics::get().misses->add(1);
+    return std::nullopt;
+  }
+  codec::Reader reader(*payload);
+  std::optional<std::vector<double>> out;
+  while (!reader.at_end()) {
+    Result<codec::Section> section = reader.read_section();
+    if (!section.ok()) break;
+    if (section.value().tag != kTagRtts) continue;
+    if (section.value().body.size() % 8 != 0) break;
+    codec::Reader body(section.value().body);
+    std::vector<double> rtts(section.value().body.size() / 8);
+    for (double& rtt : rtts) rtt = body.read_double().value();
+    out = std::move(rtts);
+    break;
+  }
+  if (telem) {
+    (out.has_value() ? StoreMetrics::get().hits : StoreMetrics::get().misses)
+        ->add(1);
+  }
+  return out;
+}
+
+Status ResultStore::put_rtt_row(std::uint64_t key,
+                                const std::vector<double>& rtts) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  codec::Writer payload;
+  codec::Writer key_section;
+  key_section.put_u64le(key);
+  payload.put_section(kTagKey, key_section);
+  codec::Writer body;
+  for (const double rtt : rtts) body.put_double(rtt);
+  payload.put_section(kTagRtts, body);
+  return append_locked(RecordKind::kRttRow, key, payload.bytes());
+}
+
+std::optional<std::vector<std::uint8_t>> ResultStore::find_payload(
+    RecordKind kind, std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto payload = payload_locked(kind, key);
+  const bool telem = telemetry::enabled();
+  if (!payload.has_value()) {
+    if (telem) StoreMetrics::get().misses->add(1);
+    return std::nullopt;
+  }
+  // Skip the leading key section; the caller owns everything after it.
+  codec::Reader reader(*payload);
+  Result<codec::Section> key_section = reader.read_section();
+  if (!key_section.ok()) {
+    if (telem) StoreMetrics::get().misses->add(1);
+    return std::nullopt;
+  }
+  if (telem) StoreMetrics::get().hits->add(1);
+  return std::vector<std::uint8_t>(payload->begin() + reader.offset(),
+                                   payload->end());
+}
+
+Status ResultStore::put_payload(RecordKind kind, std::uint64_t key,
+                                const codec::Writer& body) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  codec::Writer payload;
+  codec::Writer key_section;
+  key_section.put_u64le(key);
+  payload.put_section(kTagKey, key_section);
+  payload.put_bytes(body.bytes());
+  return append_locked(kind, key, payload.bytes());
+}
+
+Result<Census> ResultStore::read_census_at(const RecordInfo& info) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Result<codec::FrameView> frame = codec::read_frame(buffer_, info.offset);
+  if (!frame.ok()) return frame.error();
+  if (static_cast<RecordKind>(frame.value().kind) != RecordKind::kCensus) {
+    return Error::invalid("record at offset " + std::to_string(info.offset) +
+                          " is not a census");
+  }
+  return decode_census_locked(frame.value().payload);
+}
+
+std::vector<RecordInfo> ResultStore::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return log_;
+}
+
+std::size_t ResultStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+Result<ResultStore::VerifyReport> ResultStore::verify_file(
+    const std::string& path) {
+  std::vector<std::uint8_t> bytes;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Error::not_found("cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::uint8_t chunk[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+
+  Result<codec::FileHeader> header = codec::decode_header(bytes, kMagic);
+  if (!header.ok()) return header.error();
+  if (header.value().version != kSchemaVersion) {
+    return Error::parse("schema version " +
+                        std::to_string(header.value().version) +
+                        " (this build reads version " +
+                        std::to_string(kSchemaVersion) + ")");
+  }
+
+  VerifyReport report;
+  std::size_t offset = codec::kHeaderSize;
+  while (offset < bytes.size()) {
+    codec::FrameView frame;
+    switch (codec::scan_frame(bytes, offset, &frame)) {
+      case codec::FrameScan::kOk:
+        ++report.records;
+        offset = frame.next_offset;
+        continue;
+      case codec::FrameScan::kTruncated:
+        report.torn_tail_bytes = bytes.size() - offset;
+        report.problems.push_back("torn record at offset " +
+                                  std::to_string(offset) + " (" +
+                                  std::to_string(report.torn_tail_bytes) +
+                                  " trailing bytes)");
+        offset = bytes.size();
+        continue;
+      case codec::FrameScan::kBadCrc:
+        ++report.bad_crc;
+        report.problems.push_back("record fails its CRC at offset " +
+                                  std::to_string(offset));
+        // Best effort: step over the claimed frame and keep scanning.
+        offset += 9 + static_cast<std::size_t>(bytes[offset + 1]) +
+                  (static_cast<std::size_t>(bytes[offset + 2]) << 8) +
+                  (static_cast<std::size_t>(bytes[offset + 3]) << 16) +
+                  (static_cast<std::size_t>(bytes[offset + 4]) << 24);
+        continue;
+    }
+  }
+  return report;
+}
+
+}  // namespace anyopt::measure

@@ -1,0 +1,233 @@
+#pragma once
+// Persistent result store: append-only, CRC-framed record log of measurement
+// results, keyed by content-derived identity.
+//
+// AnyOpt's discovery phase is an O(n²) campaign of BGP-convergence
+// experiments, yet every experiment's identity is self-contained: the
+// (configuration, nonce) pair fully determines its census.  The store turns
+// that identity into a durable cache key, so a census computed once —
+// by any bench, test or campaign — can be replayed by every later run
+// against the same topology:
+//
+//   * Records are appended as they complete (`CampaignRunner` flushes each
+//     census the moment its experiment finishes), so a killed campaign
+//     loses at most the in-flight experiment: reopening the store and
+//     re-running skips every persisted census and re-runs only the missing
+//     work, bit-identical to an uninterrupted run.
+//   * The file header carries a topology fingerprint
+//     (`topo::topology_fingerprint` of the world's canonical serialization);
+//     opening a store against a different topology is an error, never a
+//     silent wrong-cache hit.
+//   * Censuses are delta-encoded against the store's base census (the first
+//     one appended): catchments change for few clients between experiments,
+//     so the per-record cost is the RTT noise plus a short change list.
+//   * Every record is CRC32C-framed (see netbase/codec.h): corruption is a
+//     decode error, and a torn tail (crash mid-append) recovers every
+//     complete record.
+//
+// Thread safety: all public methods are internally locked; concurrent
+// `CampaignRunner` workers share one store.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "measure/orchestrator.h"
+#include "netbase/codec.h"
+#include "netbase/result.h"
+
+namespace anyopt::anycast {
+struct AnycastConfig;
+}  // namespace anyopt::anycast
+
+namespace anyopt::measure {
+
+/// \brief Record types the store persists.
+enum class RecordKind : std::uint8_t {
+  kCensus = 1,  ///< one experiment's catchment + RTT census
+  kRttRow = 2,  ///< one site's unicast RTT row (the RTT matrix, row-wise)
+  kTable = 3,   ///< an opaque table blob (encoded by core/store_io)
+};
+
+/// \brief Index entry of one persisted record.
+struct RecordInfo {
+  RecordKind kind = RecordKind::kCensus;
+  std::uint64_t key = 0;
+  std::size_t offset = 0;         ///< frame start within the file
+  std::size_t payload_bytes = 0;  ///< framed payload size
+};
+
+/// \brief Append-only persistent store of measurement results.
+class ResultStore {
+ public:
+  /// On-disk schema version written into the file header.
+  static constexpr std::uint32_t kSchemaVersion = 1;
+
+  /// \brief Opens (or creates) a store bound to one topology.
+  ///
+  /// An existing file is validated — magic, header CRC, schema version —
+  /// and its record log scanned to rebuild the in-memory index.  A torn
+  /// tail (crash mid-append) is truncated away, keeping every complete
+  /// record; any other corruption is an error.  A fingerprint mismatch
+  /// (store written against a different topology) is an error.
+  /// \param path the store file.
+  /// \param topology_fingerprint the world's compatibility key
+  ///        (`topo::topology_fingerprint`).
+  /// \return the opened store, or a diagnostic.
+  [[nodiscard]] static Result<std::unique_ptr<ResultStore>> open(
+      const std::string& path, std::uint64_t topology_fingerprint);
+
+  /// \brief Opens an existing store, adopting whatever fingerprint its
+  ///        header carries (the CLI's mode; campaigns use `open`).
+  /// \param path the store file (must exist).
+  /// \return the opened store, or a diagnostic.
+  [[nodiscard]] static Result<std::unique_ptr<ResultStore>> open_existing(
+      const std::string& path);
+
+  ~ResultStore();
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// \brief The content-derived store key of one experiment.
+  ///
+  /// Hashes the full configuration (announce order, prepends, peers,
+  /// spacing) together with the experiment nonce: two experiments share a
+  /// key only when they would produce the same census.  The nonce alone is
+  /// NOT sufficient — e.g. the naive and order-accounting discovery modes
+  /// derive the same nonce for a pair but announce with different spacing.
+  /// \param config the experiment's configuration.
+  /// \param nonce its content-derived noise identity.
+  /// \return the 64-bit store key.
+  [[nodiscard]] static std::uint64_t census_key(
+      const anycast::AnycastConfig& config, std::uint64_t nonce);
+
+  /// \brief Looks up a persisted census (latest record wins).
+  /// \param key the experiment's `census_key`.
+  /// \return the census, or nullopt on a miss.  Counts `store.hits` /
+  ///         `store.misses`.
+  [[nodiscard]] std::optional<Census> find_census(std::uint64_t key) const;
+
+  /// \brief Appends (and flushes) one census record.
+  ///
+  /// The first census ever appended becomes the store's delta base; later
+  /// censuses of the same shape persist only their catchment changes
+  /// against it (plus full RTTs — probe noise differs per experiment).
+  /// Re-putting a key appends a new record that supersedes the old one.
+  /// \param key the experiment's `census_key`.
+  /// \param census the census to persist.
+  /// \return ok, or the I/O error.
+  Status put_census(std::uint64_t key, const Census& census);
+
+  /// \brief Looks up a persisted unicast RTT row.
+  /// \param key the row's content-derived key.
+  /// \return the per-target RTTs, or nullopt on a miss.
+  [[nodiscard]] std::optional<std::vector<double>> find_rtt_row(
+      std::uint64_t key) const;
+
+  /// \brief Appends (and flushes) one unicast RTT row.
+  /// \param key the row's content-derived key.
+  /// \param rtts per-target RTTs (negative = unreachable).
+  /// \return ok, or the I/O error.
+  Status put_rtt_row(std::uint64_t key, const std::vector<double>& rtts);
+
+  /// \brief Looks up an opaque payload record (e.g. an encoded preference
+  ///        table; see core/store_io).
+  /// \param kind the record type.
+  /// \param key the record's key.
+  /// \return the payload body (sections after the key), or nullopt.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> find_payload(
+      RecordKind kind, std::uint64_t key) const;
+
+  /// \brief Appends (and flushes) an opaque payload record.
+  /// \param kind the record type.
+  /// \param key the record's key.
+  /// \param body the payload sections (tags ≥ 2; tag 1 is the key).
+  /// \return ok, or the I/O error.
+  Status put_payload(RecordKind kind, std::uint64_t key,
+                     const codec::Writer& body);
+
+  /// \brief Decodes the census stored at a specific record (CLI plumbing:
+  ///        diff and compact walk records directly).
+  /// \param info a record of kind `kCensus` from `records()`.
+  /// \return the census, or a diagnostic.
+  [[nodiscard]] Result<Census> read_census_at(const RecordInfo& info) const;
+
+  /// \brief Every persisted record, in log (append) order.  Superseded
+  ///        records are included; the index itself is latest-wins.
+  [[nodiscard]] std::vector<RecordInfo> records() const;
+
+  /// \brief Number of live (latest-wins) records.
+  [[nodiscard]] std::size_t size() const;
+
+  /// \brief The store's topology compatibility key.
+  [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
+  /// \brief The backing file path.
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// \brief Bytes dropped by torn-tail recovery when the store was opened
+  ///        (0 for a cleanly closed store).
+  [[nodiscard]] std::size_t recovered_tail_bytes() const {
+    return recovered_tail_bytes_;
+  }
+
+  /// \brief Outcome of a full-file integrity scan (see `verify_file`).
+  struct VerifyReport {
+    std::size_t records = 0;        ///< complete, CRC-valid records
+    std::size_t bad_crc = 0;        ///< complete records failing their CRC
+    std::size_t torn_tail_bytes = 0;  ///< trailing bytes of a torn record
+    std::vector<std::string> problems;  ///< human-readable findings
+    [[nodiscard]] bool clean() const {
+      return bad_crc == 0 && torn_tail_bytes == 0 && problems.empty();
+    }
+  };
+
+  /// \brief Scans a store file end to end, checking the header and every
+  ///        record CRC (`anyopt_store verify`).  Unlike `open`, a torn
+  ///        tail is reported, not silently recovered.
+  /// \param path the store file.
+  /// \return the report, or the error that prevented scanning at all.
+  [[nodiscard]] static Result<VerifyReport> verify_file(
+      const std::string& path);
+
+ private:
+  ResultStore() = default;
+
+  [[nodiscard]] static Result<std::unique_ptr<ResultStore>> open_impl(
+      const std::string& path, std::uint64_t topology_fingerprint,
+      bool adopt_fingerprint);
+
+  /// Appends one framed record to the buffer and the file; updates the
+  /// index.  Caller holds `mutex_`.
+  Status append_locked(RecordKind kind, std::uint64_t key,
+                       std::span<const std::uint8_t> payload);
+  /// Encodes a census payload (delta against `base_census_` when
+  /// possible).  Caller holds `mutex_`.
+  void encode_census_locked(std::uint64_t key, const Census& census,
+                            codec::Writer& out) const;
+  [[nodiscard]] Result<Census> decode_census_locked(
+      std::span<const std::uint8_t> payload) const;
+  [[nodiscard]] std::optional<std::span<const std::uint8_t>> payload_locked(
+      RecordKind kind, std::uint64_t key) const;
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::uint64_t fingerprint_ = 0;
+  std::FILE* file_ = nullptr;
+  /// The whole file, mirrored in memory: lookups never seek, and the index
+  /// stores offsets into this buffer.
+  std::vector<std::uint8_t> buffer_;
+  /// Latest record per (kind, key): offset of the frame in `buffer_`.
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  /// Log-order record directory (includes superseded records).
+  std::vector<RecordInfo> log_;
+  /// Delta base: the first census appended/loaded, decoded.
+  std::optional<Census> base_census_;
+  std::uint64_t base_key_ = 0;
+  std::size_t recovered_tail_bytes_ = 0;
+};
+
+}  // namespace anyopt::measure

@@ -1,0 +1,250 @@
+#include "netbase/codec.h"
+
+#include <array>
+#include <bit>
+#include <cassert>
+
+namespace anyopt::codec {
+
+namespace {
+
+/// CRC32C lookup table (reflected Castagnoli polynomial 0x82F63B78),
+/// generated once at compile time.
+constexpr std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) != 0 ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+/// Frame layout: kind byte, payload length, payload CRC.
+constexpr std::size_t kFrameOverhead = 1 + 4 + 4;
+
+std::uint32_t peek_u32le(std::span<const std::uint8_t> d, std::size_t at) {
+  return static_cast<std::uint32_t>(d[at]) |
+         static_cast<std::uint32_t>(d[at + 1]) << 8 |
+         static_cast<std::uint32_t>(d[at + 2]) << 16 |
+         static_cast<std::uint32_t>(d[at + 3]) << 24;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data, std::uint32_t chain) {
+  std::uint32_t crc = ~chain;
+  for (const std::uint8_t byte : data) {
+    crc = (crc >> 8) ^ kCrc32cTable[(crc ^ byte) & 0xFF];
+  }
+  return ~crc;
+}
+
+void Writer::put_u32le(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::put_u64le(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Writer::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::put_double(double v) { put_u64le(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::put_bytes(std::span<const std::uint8_t> data) {
+  bytes_.insert(bytes_.end(), data.begin(), data.end());
+}
+
+void Writer::put_string(std::string_view s) {
+  put_varint(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void Writer::put_section(std::uint64_t tag, const Writer& body) {
+  put_varint(tag);
+  put_varint(body.size());
+  put_bytes(body.bytes());
+}
+
+Error Reader::truncated(const char* what) const {
+  return Error::parse("truncated " + std::string(what) + " at offset " +
+                      std::to_string(offset_));
+}
+
+Result<std::uint8_t> Reader::read_u8() {
+  if (remaining() < 1) return truncated("u8");
+  return data_[offset_++];
+}
+
+Result<std::uint32_t> Reader::read_u32le() {
+  if (remaining() < 4) return truncated("u32");
+  const std::uint32_t v = peek_u32le(data_, offset_);
+  offset_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> Reader::read_u64le() {
+  if (remaining() < 8) return truncated("u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 8;
+  return v;
+}
+
+Result<std::uint64_t> Reader::read_varint() {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (remaining() < 1) return truncated("varint");
+    const std::uint8_t byte = data_[offset_++];
+    // The 10th byte may only carry the final bit of a 64-bit value.
+    if (shift == 63 && (byte & 0x7E) != 0) {
+      return Error::parse("varint overflows 64 bits at offset " +
+                          std::to_string(offset_ - 1));
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  return Error::parse("varint longer than 10 bytes at offset " +
+                      std::to_string(offset_));
+}
+
+Result<std::int64_t> Reader::read_svarint() {
+  Result<std::uint64_t> raw = read_varint();
+  if (!raw.ok()) return raw.error();
+  return zigzag_decode(raw.value());
+}
+
+Result<double> Reader::read_double() {
+  Result<std::uint64_t> raw = read_u64le();
+  if (!raw.ok()) return raw.error();
+  return std::bit_cast<double>(raw.value());
+}
+
+Result<std::string> Reader::read_string() {
+  Result<std::uint64_t> len = read_varint();
+  if (!len.ok()) return len.error();
+  if (remaining() < len.value()) return truncated("string body");
+  std::string s(reinterpret_cast<const char*>(data_.data() + offset_),
+                static_cast<std::size_t>(len.value()));
+  offset_ += static_cast<std::size_t>(len.value());
+  return s;
+}
+
+Result<Section> Reader::read_section() {
+  Result<std::uint64_t> tag = read_varint();
+  if (!tag.ok()) return tag.error();
+  Result<std::uint64_t> len = read_varint();
+  if (!len.ok()) return len.error();
+  if (remaining() < len.value()) return truncated("section body");
+  Section section;
+  section.tag = tag.value();
+  section.body = data_.subspan(offset_, static_cast<std::size_t>(len.value()));
+  offset_ += static_cast<std::size_t>(len.value());
+  return section;
+}
+
+std::vector<std::uint8_t> encode_header(std::string_view magic,
+                                        std::uint32_t version,
+                                        std::uint64_t app_word) {
+  assert(magic.size() == kMagicSize);
+  Writer w;
+  w.put_bytes({reinterpret_cast<const std::uint8_t*>(magic.data()),
+               magic.size()});
+  w.put_u32le(version);
+  w.put_u64le(app_word);
+  w.put_u32le(crc32c(w.bytes()));
+  return {w.bytes().begin(), w.bytes().end()};
+}
+
+Result<FileHeader> decode_header(std::span<const std::uint8_t> file,
+                                 std::string_view magic) {
+  assert(magic.size() == kMagicSize);
+  if (file.size() < kHeaderSize) {
+    return Error::parse("file too short for header (" +
+                        std::to_string(file.size()) + " < " +
+                        std::to_string(kHeaderSize) + " bytes)");
+  }
+  const std::string_view found(reinterpret_cast<const char*>(file.data()),
+                               kMagicSize);
+  if (found != magic) {
+    return Error::parse("bad magic; not a '" + std::string(magic) + "' file");
+  }
+  const std::uint32_t stored_crc = peek_u32le(file, kHeaderSize - 4);
+  if (crc32c(file.subspan(0, kHeaderSize - 4)) != stored_crc) {
+    return Error::parse("file header fails its CRC");
+  }
+  Reader r(file.subspan(kMagicSize, kHeaderSize - kMagicSize - 4));
+  FileHeader header;
+  header.version = r.read_u32le().value();
+  header.app_word = r.read_u64le().value();
+  return header;
+}
+
+void frame_record(std::uint8_t kind, std::span<const std::uint8_t> payload,
+                  std::vector<std::uint8_t>& out) {
+  // The CRC covers the kind and length bytes chained with the payload, so
+  // a flipped header bit is caught as surely as a flipped payload bit.
+  Writer w;
+  w.put_u8(kind);
+  w.put_u32le(static_cast<std::uint32_t>(payload.size()));
+  const std::uint32_t crc = crc32c(payload, crc32c(w.bytes()));
+  w.put_u32le(crc);
+  w.put_bytes(payload);
+  out.insert(out.end(), w.bytes().begin(), w.bytes().end());
+}
+
+FrameScan scan_frame(std::span<const std::uint8_t> file, std::size_t offset,
+                     FrameView* out) {
+  if (file.size() - offset < kFrameOverhead) return FrameScan::kTruncated;
+  const std::uint8_t kind = file[offset];
+  const std::uint32_t len = peek_u32le(file, offset + 1);
+  const std::uint32_t stored_crc = peek_u32le(file, offset + 5);
+  if (file.size() - offset - kFrameOverhead < len) {
+    return FrameScan::kTruncated;
+  }
+  const std::span<const std::uint8_t> payload =
+      file.subspan(offset + kFrameOverhead, len);
+  const std::uint32_t header_crc = crc32c(file.subspan(offset, 5));
+  if (crc32c(payload, header_crc) != stored_crc) return FrameScan::kBadCrc;
+  if (out != nullptr) {
+    out->kind = kind;
+    out->payload = payload;
+    out->next_offset = offset + kFrameOverhead + len;
+  }
+  return FrameScan::kOk;
+}
+
+Result<FrameView> read_frame(std::span<const std::uint8_t> file,
+                             std::size_t offset) {
+  FrameView view;
+  switch (scan_frame(file, offset, &view)) {
+    case FrameScan::kOk:
+      return view;
+    case FrameScan::kTruncated:
+      return Error::parse("truncated record at offset " +
+                          std::to_string(offset));
+    case FrameScan::kBadCrc:
+      return Error::parse("record fails its CRC at offset " +
+                          std::to_string(offset));
+  }
+  return Error::parse("unreachable");
+}
+
+}  // namespace anyopt::codec

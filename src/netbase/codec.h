@@ -1,0 +1,182 @@
+#pragma once
+// Versioned binary record encoding — the substrate of the persistent
+// result store (measure/store) and any future on-disk artifact.
+//
+// Layers, bottom up:
+//   * primitives: LEB128 varints, zigzag signed varints, fixed-width
+//     little-endian words, bit-cast doubles, length-prefixed strings;
+//   * sections: a payload is a sequence of `[varint tag][varint len][bytes]`
+//     sections, so a new writer can add sections that an old reader skips
+//     (forward compatibility) and an old writer's payload still decodes;
+//   * record frames: `[u8 kind][u32le len][u32le crc32c][payload]` — every
+//     record is independently CRC-protected so corruption is detected at
+//     the record that carries it, and a torn tail (crash mid-append) is
+//     distinguishable from a flipped bit;
+//   * file header: `[8-byte magic][u32le schema version][u64le app word]
+//     [u32le crc32c]` — the app word carries a caller-defined compatibility
+//     key (the store puts its topology fingerprint there).
+//
+// Decoding is strict: truncation, bad CRCs, malformed varints and version
+// mismatches all surface as `Result`/`Status` errors with byte offsets —
+// never UB, never silently wrong data.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/result.h"
+
+namespace anyopt::codec {
+
+/// \brief CRC32C (Castagnoli) of a byte range.
+/// \param data the bytes to checksum.
+/// \param chain a previous CRC to extend (0 starts a fresh checksum).
+/// \return the (final) CRC value.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                                   std::uint32_t chain = 0);
+
+/// \brief Zigzag-maps a signed value to an unsigned one so small-magnitude
+///        negatives stay short under varint encoding.
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+/// \brief Inverse of `zigzag_encode`.
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// \brief Append-only byte builder with the codec's primitive encoders.
+class Writer {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u32le(std::uint32_t v);
+  void put_u64le(std::uint64_t v);
+  /// LEB128 unsigned varint (1-10 bytes).
+  void put_varint(std::uint64_t v);
+  /// Zigzag + varint for signed values.
+  void put_svarint(std::int64_t v) { put_varint(zigzag_encode(v)); }
+  /// IEEE-754 bits as a fixed u64le (exact round-trip, any value).
+  void put_double(double v);
+  void put_bytes(std::span<const std::uint8_t> data);
+  /// Length-prefixed (varint) UTF-8/opaque string.
+  void put_string(std::string_view s);
+  /// One section: `[varint tag][varint len][body]`.  Readers that do not
+  /// know `tag` skip `len` bytes — the forward-compatibility hook.
+  void put_section(std::uint64_t tag, const Writer& body);
+
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const { return bytes_; }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  void clear() { bytes_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// \brief One decoded section: its tag and a view of its body.
+struct Section {
+  std::uint64_t tag = 0;
+  std::span<const std::uint8_t> body;
+};
+
+/// \brief Strict sequential decoder over a byte view.  Every read returns
+///        a `Result`; errors carry the failing byte offset.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> read_u8();
+  [[nodiscard]] Result<std::uint32_t> read_u32le();
+  [[nodiscard]] Result<std::uint64_t> read_u64le();
+  [[nodiscard]] Result<std::uint64_t> read_varint();
+  [[nodiscard]] Result<std::int64_t> read_svarint();
+  [[nodiscard]] Result<double> read_double();
+  [[nodiscard]] Result<std::string> read_string();
+  /// Next `[tag][len][body]` section; errors on truncation.
+  [[nodiscard]] Result<Section> read_section();
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+  [[nodiscard]] std::size_t remaining() const {
+    return data_.size() - offset_;
+  }
+  /// Advances past `n` bytes the caller consumed directly (clamped to the
+  /// end of the view).
+  void skip(std::size_t n) { offset_ += n <= remaining() ? n : remaining(); }
+  [[nodiscard]] bool at_end() const { return offset_ == data_.size(); }
+
+ private:
+  [[nodiscard]] Error truncated(const char* what) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+/// \brief Decoded file header (see the format comment at the top).
+struct FileHeader {
+  std::uint32_t version = 0;
+  std::uint64_t app_word = 0;  ///< caller-defined compatibility key
+};
+
+/// Magic length; `encode_header` asserts the magic is exactly this long.
+inline constexpr std::size_t kMagicSize = 8;
+/// Encoded size of a file header on disk.
+inline constexpr std::size_t kHeaderSize = kMagicSize + 4 + 8 + 4;
+
+/// \brief Renders a file header (magic + version + app word, CRC-sealed).
+/// \param magic exactly `kMagicSize` bytes identifying the file type.
+/// \param version schema version of the records that follow.
+/// \param app_word caller-defined compatibility key.
+/// \return the `kHeaderSize` header bytes.
+[[nodiscard]] std::vector<std::uint8_t> encode_header(std::string_view magic,
+                                                      std::uint32_t version,
+                                                      std::uint64_t app_word);
+
+/// \brief Validates and decodes a file header.
+/// \param file the file's bytes (at least the header prefix).
+/// \param magic the expected magic.
+/// \return the header, or a diagnostic (wrong magic, bad CRC, truncation).
+[[nodiscard]] Result<FileHeader> decode_header(
+    std::span<const std::uint8_t> file, std::string_view magic);
+
+/// \brief Appends one CRC-framed record (`[kind][len][crc][payload]`).
+/// \param kind application-defined record type.
+/// \param payload the record body (typically a `Writer`'s bytes).
+/// \param out the destination buffer (appended to).
+void frame_record(std::uint8_t kind, std::span<const std::uint8_t> payload,
+                  std::vector<std::uint8_t>& out);
+
+/// \brief A record frame located inside a file view.
+struct FrameView {
+  std::uint8_t kind = 0;
+  std::span<const std::uint8_t> payload;
+  std::size_t next_offset = 0;  ///< offset of the byte after this record
+};
+
+/// \brief Outcome of scanning for a record frame.
+enum class FrameScan {
+  kOk,         ///< frame decoded, CRC verified
+  kTruncated,  ///< the frame extends past the end of the file (torn tail)
+  kBadCrc,     ///< frame is complete but fails its CRC (header or payload)
+};
+
+/// \brief Scans the record frame at `offset` (no allocation, no throw).
+///
+/// `kTruncated` vs `kBadCrc` is the crash-recovery distinction: a torn
+/// tail (interrupted append) is recoverable — every complete record before
+/// it is intact — while a complete record with a failing CRC is corruption
+/// and must be surfaced, never skipped.
+/// \param file the whole file view.
+/// \param offset where the frame starts.
+/// \param out receives the frame when the scan returns `kOk`.
+/// \return the scan outcome.
+[[nodiscard]] FrameScan scan_frame(std::span<const std::uint8_t> file,
+                                   std::size_t offset, FrameView* out);
+
+/// \brief `scan_frame` with diagnostics: errors name the outcome and byte
+///        offset.
+[[nodiscard]] Result<FrameView> read_frame(std::span<const std::uint8_t> file,
+                                           std::size_t offset);
+
+}  // namespace anyopt::codec

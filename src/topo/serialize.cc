@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "netbase/rng.h"
 #include "netbase/strings.h"
 
 namespace anyopt::topo {
@@ -99,9 +100,15 @@ Result<Internet> load_internet(const std::string& text) {
   Internet net;
   std::istringstream in(text);
   std::string line;
+  std::size_t lineno = 1;
+  // Every diagnostic names the offending line so a hand-edited topology
+  // file can be fixed without bisecting it.
+  const auto fail = [&lineno](const std::string& what) {
+    return Error::parse(what + " at line " + std::to_string(lineno));
+  };
   if (!std::getline(in, line) ||
       strings::trim(line) != "anyopt-internet v1") {
-    return Error::parse("bad header; expected 'anyopt-internet v1'");
+    return fail("bad header; expected 'anyopt-internet v1'");
   }
   std::size_t as_count = 0;
   std::size_t link_count = 0;
@@ -114,7 +121,9 @@ Result<Internet> load_internet(const std::string& text) {
   std::vector<Pop> pending_pops;
   std::size_t pending_pop_count = 0;
 
+  bool in_popnet = false;
   while (std::getline(in, line)) {
+    ++lineno;
     const std::string_view trimmed = strings::trim(line);
     if (trimmed.empty()) continue;
     std::vector<std::string_view> tok = strings::split(trimmed, ' ');
@@ -124,16 +133,16 @@ Result<Internet> load_internet(const std::string& text) {
     if (kind == "counts") {
       if (!need(3) || !parse_num(tok[1], as_count) ||
           !parse_num(tok[2], link_count) || !parse_num(tok[3], tier1_count)) {
-        return Error::parse("bad counts line");
+        return fail("bad counts line");
       }
     } else if (kind == "tier1") {
       std::uint32_t id = 0;
       if (!need(1) || !parse_num(tok[1], id)) {
-        return Error::parse("bad tier1 line");
+        return fail("bad tier1 line");
       }
       tier1_ids.push_back(id);
     } else if (kind == "as") {
-      if (!need(10)) return Error::parse("bad as line");
+      if (!need(10)) return fail("bad as line");
       AsNode n;
       int tier = 0;
       int multipath = 0;
@@ -145,7 +154,7 @@ Result<Internet> load_internet(const std::string& text) {
           !parse_num(tok[6], multipath) || !parse_num(tok[7], deviant) ||
           !parse_num(tok[8], oldest) || !parse_num(tok[9], n.router_id) ||
           !parse_num(tok[10], n.igp_spread)) {
-        return Error::parse("bad as line fields");
+        return fail("bad as line fields");
       }
       n.tier = static_cast<Tier>(tier);
       n.name = decode_token(tok[5]);
@@ -154,7 +163,7 @@ Result<Internet> load_internet(const std::string& text) {
       n.prefers_oldest = oldest != 0;
       net.graph.add_as(std::move(n));
     } else if (kind == "link") {
-      if (!need(6)) return Error::parse("bad link line");
+      if (!need(6)) return fail("bad link line");
       std::uint32_t a = 0;
       std::uint32_t b = 0;
       int rel = 0;
@@ -165,69 +174,76 @@ Result<Internet> load_internet(const std::string& text) {
           !parse_num(tok[4], where.latitude_deg) ||
           !parse_num(tok[5], where.longitude_deg) ||
           !parse_num(tok[6], latency)) {
-        return Error::parse("bad link line fields");
+        return fail("bad link line fields");
       }
       auto r = net.graph.connect(AsId{a}, AsId{b},
                                  static_cast<Relation>(rel), where, latency);
-      if (!r.ok()) return r.error();
+      if (!r.ok()) return fail(r.error().message);
     } else if (kind == "popnet") {
       std::uint32_t as = 0;
       if (!need(2) || !parse_num(tok[1], as) ||
           !parse_num(tok[2], pending_pop_count)) {
-        return Error::parse("bad popnet line");
+        return fail("bad popnet line");
+      }
+      if (as >= net.graph.as_count()) {
+        return fail("popnet references unknown AS");
       }
       pending_pop_as = AsId{as};
       pending_pops.clear();
+      in_popnet = true;
     } else if (kind == "pop") {
-      if (!need(3)) return Error::parse("bad pop line");
+      if (!in_popnet) return fail("pop record outside a popnet");
+      if (!need(3)) return fail("bad pop line");
       Pop p;
       p.metro = decode_token(tok[1]);
       if (!parse_num(tok[2], p.where.latitude_deg) ||
           !parse_num(tok[3], p.where.longitude_deg)) {
-        return Error::parse("bad pop coordinates");
+        return fail("bad pop coordinates");
       }
       pending_pops.push_back(std::move(p));
     } else if (kind == "igp") {
+      if (!in_popnet) return fail("igp record outside a popnet");
       if (pending_pops.size() != pending_pop_count) {
-        return Error::parse("pop count mismatch before igp matrix");
+        return fail("pop count mismatch before igp matrix");
       }
       const std::size_t n = pending_pops.size();
       if (tok.size() != 1 + n * n) {
-        return Error::parse("igp matrix has wrong arity");
+        return fail("igp matrix has wrong arity");
       }
       std::vector<double> dist(n * n);
       for (std::size_t i = 0; i < n * n; ++i) {
         if (!parse_num(tok[1 + i], dist[i])) {
-          return Error::parse("bad igp entry");
+          return fail("bad igp entry");
         }
       }
       net.pops.attach(pending_pop_as,
                       PopNetwork::from_matrix(std::move(pending_pops),
                                               std::move(dist)));
       pending_pops = {};
+      in_popnet = false;
     } else if (kind == "deviant") {
       std::uint32_t as = 0;
       if (!need(1) || !parse_num(tok[1], as)) {
-        return Error::parse("bad deviant line");
+        return fail("bad deviant line");
       }
       std::vector<int> rank;
       for (std::size_t i = 2; i < tok.size(); ++i) {
         int r = 0;
-        if (!parse_num(tok[i], r)) return Error::parse("bad deviant rank");
+        if (!parse_num(tok[i], r)) return fail("bad deviant rank");
         rank.push_back(r);
       }
       if (net.deviant_rank.size() < net.graph.as_count()) {
         net.deviant_rank.resize(net.graph.as_count());
       }
       if (as >= net.deviant_rank.size()) {
-        return Error::parse("deviant line references unknown AS");
+        return fail("deviant line references unknown AS");
       }
       net.deviant_rank[as] = std::move(rank);
     } else if (kind == "end") {
       saw_end = true;
       break;
     } else {
-      return Error::parse("unknown record kind: " + std::string(kind));
+      return fail("unknown record kind: " + std::string(kind));
     }
   }
   if (!saw_end) return Error::parse("missing 'end' record");
@@ -248,6 +264,10 @@ Result<Internet> load_internet(const std::string& text) {
   const Status valid = net.graph.validate();
   if (!valid.ok()) return valid.error();
   return net;
+}
+
+std::uint64_t topology_fingerprint(const Internet& net) {
+  return fnv1a(save_internet(net));
 }
 
 }  // namespace anyopt::topo

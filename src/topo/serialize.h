@@ -19,4 +19,14 @@ namespace anyopt::topo {
 /// Parses the text format back into an Internet.
 [[nodiscard]] Result<Internet> load_internet(const std::string& text);
 
+/// \brief Stable 64-bit fingerprint of a topology.
+///
+/// Hashes the canonical serialized form (`save_internet`), so two Internets
+/// share a fingerprint exactly when they serialize identically: any change
+/// to a relationship, latency, coordinate, policy flag or PoP matrix
+/// changes the value.  The persistent result store keys its files with
+/// this so a measurement cache can never silently serve results from a
+/// different topology.
+[[nodiscard]] std::uint64_t topology_fingerprint(const Internet& net);
+
 }  // namespace anyopt::topo

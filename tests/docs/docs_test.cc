@@ -133,6 +133,29 @@ TEST(DocsTest, ChangesHasOneOrderedEntryPerPr) {
   EXPECT_GE(entries, 4u);  // PRs 1..4 are in history already
 }
 
+TEST(DocsTest, PersistenceIsDocumentedAcrossTheDocSet) {
+  // PR 5's store layer must stay discoverable from all three entry
+  // points: the README quickstart, the architecture map, and the design
+  // rationale (format + invariants).
+  const std::string readme = read_file(source_dir() / "README.md");
+  EXPECT_NE(readme.find("--store="), std::string::npos)
+      << "README.md must document the --store=FILE bench flag";
+  EXPECT_NE(readme.find("anyopt_store"), std::string::npos)
+      << "README.md must carry the anyopt_store CLI quickstart";
+
+  const std::string architecture = read_file(source_dir() / "ARCHITECTURE.md");
+  EXPECT_NE(architecture.find("`store.h`"), std::string::npos)
+      << "ARCHITECTURE.md module map must place the result store";
+  EXPECT_NE(architecture.find("result store"), std::string::npos)
+      << "ARCHITECTURE.md dataflow must show the store layer";
+
+  const std::string design = read_file(source_dir() / "DESIGN.md");
+  EXPECT_NE(design.find("## 7. Persistence"), std::string::npos)
+      << "DESIGN.md must keep the Persistence section (format contract)";
+  EXPECT_NE(design.find("census_key"), std::string::npos)
+      << "DESIGN.md Persistence must explain the content-derived keys";
+}
+
 TEST(DocsTest, ReadmeLinksTheArchitectureOverview) {
   const std::string readme = read_file(source_dir() / "README.md");
   EXPECT_NE(readme.find("](ARCHITECTURE.md)"), std::string::npos)

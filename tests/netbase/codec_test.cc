@@ -1,0 +1,281 @@
+#include "netbase/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "netbase/rng.h"
+
+namespace anyopt::codec {
+namespace {
+
+TEST(Codec, VarintRoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {
+      0,
+      1,
+      127,
+      128,   // first two-byte value
+      16383,
+      16384,  // first three-byte value
+      0xFFFFFFFFull,
+      0x0123456789ABCDEFull,
+      std::numeric_limits<std::uint64_t>::max(),
+  };
+  Writer w;
+  for (const std::uint64_t v : values) w.put_varint(v);
+  Reader r(w.bytes());
+  for (const std::uint64_t v : values) {
+    const auto decoded = r.read_varint();
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), v);
+  }
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, VarintEncodingLengths) {
+  // LEB128: 7 payload bits per byte.
+  const auto encoded_size = [](std::uint64_t v) {
+    Writer w;
+    w.put_varint(v);
+    return w.size();
+  };
+  EXPECT_EQ(encoded_size(0), 1u);
+  EXPECT_EQ(encoded_size(127), 1u);
+  EXPECT_EQ(encoded_size(128), 2u);
+  EXPECT_EQ(encoded_size(16383), 2u);
+  EXPECT_EQ(encoded_size(16384), 3u);
+  EXPECT_EQ(encoded_size(std::numeric_limits<std::uint64_t>::max()), 10u);
+}
+
+TEST(Codec, ZigzagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  const std::int64_t values[] = {
+      0, 1, -1, 63, -64, 1000, -1000,
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max(),
+  };
+  for (const std::int64_t v : values) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+  }
+}
+
+TEST(Codec, SvarintAndDoubleRoundTrip) {
+  Writer w;
+  w.put_svarint(-42);
+  w.put_svarint(std::numeric_limits<std::int64_t>::min());
+  w.put_double(3.14159265358979);
+  w.put_double(-0.0);
+  w.put_double(std::numeric_limits<double>::infinity());
+  Reader r(w.bytes());
+  EXPECT_EQ(r.read_svarint().value(), -42);
+  EXPECT_EQ(r.read_svarint().value(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.read_double().value(), 3.14159265358979);
+  const double negzero = r.read_double().value();
+  EXPECT_EQ(negzero, 0.0);
+  EXPECT_TRUE(std::signbit(negzero));  // bit-exact, not just value-equal
+  EXPECT_EQ(r.read_double().value(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, FixedWidthAndStringRoundTrip) {
+  Writer w;
+  w.put_u8(0xAB);
+  w.put_u32le(0xDEADBEEF);
+  w.put_u64le(0x0123456789ABCDEFull);
+  w.put_string("hello \xE2\x98\x83");
+  w.put_string("");
+  Reader r(w.bytes());
+  EXPECT_EQ(r.read_u8().value(), 0xAB);
+  EXPECT_EQ(r.read_u32le().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64le().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.read_string().value(), "hello \xE2\x98\x83");
+  EXPECT_EQ(r.read_string().value(), "");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Codec, TruncatedReadsErrorWithOffset) {
+  Writer w;
+  w.put_u32le(7);
+  Reader r(w.bytes().subspan(0, 2));
+  const auto res = r.read_u32le();
+  ASSERT_FALSE(res.ok());
+  // The diagnostic names the failing byte offset.
+  EXPECT_NE(res.error().message.find("0"), std::string::npos);
+
+  // A varint whose continuation bytes run off the end is truncation too.
+  const std::uint8_t dangling[] = {0x80, 0x80};
+  Reader r2(std::span<const std::uint8_t>(dangling, 2));
+  EXPECT_FALSE(r2.read_varint().ok());
+}
+
+TEST(Codec, SectionsSkipUnknownTags) {
+  // Forward compatibility: a reader loops over sections and ignores tags
+  // it does not know.
+  Writer future_body;
+  future_body.put_varint(999);
+  Writer known_body;
+  known_body.put_string("payload");
+  Writer out;
+  out.put_section(77, future_body);  // tag from a future writer
+  out.put_section(2, known_body);
+
+  Reader r(out.bytes());
+  std::string decoded;
+  while (!r.at_end()) {
+    const auto section = r.read_section();
+    ASSERT_TRUE(section.ok());
+    if (section.value().tag == 2) {
+      Reader body(section.value().body);
+      decoded = body.read_string().value();
+    }
+    // Unknown tags fall through: read_section already consumed the body.
+  }
+  EXPECT_EQ(decoded, "payload");
+}
+
+TEST(Codec, SectionWithTruncatedBodyErrors) {
+  Writer body;
+  body.put_u64le(1);
+  Writer out;
+  out.put_section(5, body);
+  Reader r(out.bytes().subspan(0, out.size() - 3));
+  EXPECT_FALSE(r.read_section().ok());
+}
+
+TEST(Codec, HeaderRoundTripAndValidation) {
+  const auto header = encode_header("TESTMAGC", 3, 0xFEEDFACE12345678ull);
+  ASSERT_EQ(header.size(), kHeaderSize);
+  const auto decoded = decode_header(header, "TESTMAGC");
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().version, 3u);
+  EXPECT_EQ(decoded.value().app_word, 0xFEEDFACE12345678ull);
+
+  // Wrong magic.
+  EXPECT_FALSE(decode_header(header, "WRONGMAG").ok());
+  // Truncated header.
+  EXPECT_FALSE(
+      decode_header(std::span(header).subspan(0, kHeaderSize - 1), "TESTMAGC")
+          .ok());
+  // Any flipped bit breaks the header CRC.
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    auto bad = header;
+    bad[i] ^= 0x10;
+    EXPECT_FALSE(decode_header(bad, "TESTMAGC").ok()) << "byte " << i;
+  }
+}
+
+TEST(Codec, FrameRoundTrip) {
+  Writer payload;
+  payload.put_string("record body");
+  std::vector<std::uint8_t> file;
+  frame_record(7, payload.bytes(), file);
+  frame_record(9, {}, file);  // empty payload is legal
+
+  FrameView frame;
+  ASSERT_EQ(scan_frame(file, 0, &frame), FrameScan::kOk);
+  EXPECT_EQ(frame.kind, 7);
+  ASSERT_EQ(frame.payload.size(), payload.size());
+  EXPECT_TRUE(std::equal(frame.payload.begin(), frame.payload.end(),
+                         payload.bytes().begin()));
+  ASSERT_EQ(scan_frame(file, frame.next_offset, &frame), FrameScan::kOk);
+  EXPECT_EQ(frame.kind, 9);
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_EQ(frame.next_offset, file.size());
+}
+
+TEST(Codec, FrameDistinguishesTornTailFromBadCrc) {
+  Writer payload;
+  payload.put_u64le(0x1122334455667788ull);
+  std::vector<std::uint8_t> file;
+  frame_record(1, payload.bytes(), file);
+
+  FrameView frame;
+  // Every strict prefix of the frame is a torn tail, never a bad CRC:
+  // crash recovery must be able to truncate it away.
+  for (std::size_t cut = 1; cut < file.size(); ++cut) {
+    const std::span<const std::uint8_t> torn(file.data(), cut);
+    EXPECT_EQ(scan_frame(torn, 0, &frame), FrameScan::kTruncated)
+        << "cut at " << cut;
+  }
+  // A flipped bit anywhere in the complete frame — header bytes included —
+  // is a bad CRC, never silently wrong data.
+  for (std::size_t i = 0; i < file.size(); ++i) {
+    auto bad = file;
+    bad[i] ^= 0x01;
+    const FrameScan scan = scan_frame(bad, 0, &frame);
+    // Growing the length field can also turn the frame into a torn tail;
+    // either way the frame never scans as kOk.
+    EXPECT_NE(scan, FrameScan::kOk) << "byte " << i;
+  }
+}
+
+TEST(Codec, ReadFrameErrorsCarryTheOffset) {
+  Writer payload;
+  payload.put_u8(1);
+  std::vector<std::uint8_t> file;
+  frame_record(1, payload.bytes(), file);
+  const std::size_t second = file.size();
+  frame_record(2, payload.bytes(), file);
+  file[second + 6] ^= 0xFF;  // corrupt the second record's body
+
+  ASSERT_TRUE(read_frame(file, 0).ok());
+  const auto bad = read_frame(file, second);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find(std::to_string(second)),
+            std::string::npos)
+      << bad.error().message;
+}
+
+TEST(Codec, Crc32cKnownVectorAndChaining) {
+  // RFC 3720 test vector: CRC32C of 32 zero bytes.
+  const std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+  // Chaining is equivalent to one pass over the concatenation.
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint32_t whole = crc32c(data);
+  const std::uint32_t chained =
+      crc32c(std::span(data).subspan(4), crc32c(std::span(data).first(4)));
+  EXPECT_EQ(whole, chained);
+}
+
+TEST(Codec, RandomizedPayloadRoundTrip) {
+  Rng rng(0xC0DEC);
+  for (int round = 0; round < 50; ++round) {
+    Writer w;
+    std::vector<std::uint64_t> uvals;
+    std::vector<std::int64_t> svals;
+    std::vector<double> dvals;
+    for (int i = 0; i < 20; ++i) {
+      uvals.push_back(rng());
+      svals.push_back(static_cast<std::int64_t>(rng()));
+      dvals.push_back(static_cast<double>(rng.uniform_int(-500000, 500000)) /
+                      7.0);
+      w.put_varint(uvals.back());
+      w.put_svarint(svals.back());
+      w.put_double(dvals.back());
+    }
+    std::vector<std::uint8_t> file;
+    frame_record(3, w.bytes(), file);
+    const auto frame = read_frame(file, 0);
+    ASSERT_TRUE(frame.ok());
+    Reader r(frame.value().payload);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(r.read_varint().value(), uvals[i]);
+      EXPECT_EQ(r.read_svarint().value(), svals[i]);
+      EXPECT_EQ(r.read_double().value(), dvals[i]);
+    }
+    EXPECT_TRUE(r.at_end());
+  }
+}
+
+}  // namespace
+}  // namespace anyopt::codec

@@ -101,5 +101,132 @@ TEST(Serialize, MetroNamesWithSpacesSurvive) {
   SUCCEED() << (saw_space ? "multi-word metro survived" : "no multi-word metro");
 }
 
+TEST(Serialize, RandomizedRoundTripPropertySweep) {
+  // Property: load(save(net)) == net, bit for bit, over a spread of
+  // generated worlds — policy mixes, PoP densities and sizes all vary.
+  for (std::uint64_t seed = 400; seed < 410; ++seed) {
+    InternetParams p = tiny_params(seed);
+    p.stub_count = 40 + static_cast<int>(seed % 5) * 25;
+    p.extra_pops_per_tier1_max = 3 + static_cast<int>(seed % 3);
+    p.deviant_fraction = 0.02 * static_cast<double>(seed % 4);
+    p.multipath_fraction = 0.05 * static_cast<double>(seed % 3);
+    p.oldest_pref_fraction = (seed % 2 == 0) ? 0.9 : 0.3;
+    p.transit_peer_prob = (seed % 3 == 0) ? 0.0 : 0.25;
+    const Internet original = build_internet(p);
+    const std::string text = save_internet(original);
+    const auto loaded = load_internet(text);
+    ASSERT_TRUE(loaded.ok()) << "seed " << seed << ": "
+                             << loaded.error().message;
+    EXPECT_EQ(save_internet(loaded.value()), text) << "seed " << seed;
+    EXPECT_EQ(loaded.value().deviant_rank, original.deviant_rank);
+    for (const AsId t : original.tier1s) {
+      ASSERT_TRUE(loaded.value().pops.has(t)) << "seed " << seed;
+      EXPECT_EQ(loaded.value().pops.network(t).distance_matrix(),
+                original.pops.network(t).distance_matrix());
+    }
+  }
+}
+
+/// Line number (1-based) of the first line starting with `prefix`.
+std::size_t line_of(const std::string& text, const std::string& prefix) {
+  std::size_t lineno = 1;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (text.compare(pos, prefix.size(), prefix) == 0) return lineno;
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+    ++lineno;
+  }
+  return 0;
+}
+
+/// Replaces the first line starting with `prefix` by `replacement` and
+/// returns the diagnostic that `load_internet` produces.
+std::string diagnostic_for(std::string text, const std::string& prefix,
+                           const std::string& replacement) {
+  const std::size_t pos = text.find(prefix);
+  EXPECT_NE(pos, std::string::npos) << prefix;
+  const std::size_t eol = text.find('\n', pos);
+  text.replace(pos, eol - pos, replacement);
+  const auto loaded = load_internet(text);
+  EXPECT_FALSE(loaded.ok()) << "corrupt '" << prefix << "' line accepted";
+  return loaded.ok() ? std::string{} : loaded.error().message;
+}
+
+TEST(Serialize, DiagnosticsNameTheFailingLine) {
+  InternetParams params = tiny_params(106);
+  params.deviant_fraction = 0.3;  // guarantee a 'deviant' line to corrupt
+  const std::string text = save_internet(build_internet(params));
+  const struct {
+    const char* prefix;
+    const char* replacement;
+    const char* expect;
+  } cases[] = {
+      {"as ", "as broken", "bad as line"},
+      {"link ", "link 0", "bad link line"},
+      {"popnet ", "popnet", "bad popnet line"},
+      {"pop ", "pop 1", "bad pop line"},
+      {"deviant ", "deviant", "bad deviant line"},
+      {"counts ", "counts x y z", "bad counts line"},
+  };
+  for (const auto& c : cases) {
+    const std::size_t lineno = line_of(text, c.prefix);
+    ASSERT_GT(lineno, 0u) << c.prefix;
+    const std::string message = diagnostic_for(text, c.prefix, c.replacement);
+    EXPECT_NE(message.find(c.expect), std::string::npos) << message;
+    EXPECT_NE(message.find("at line " + std::to_string(lineno)),
+              std::string::npos)
+        << "'" << message << "' should name line " << lineno;
+  }
+}
+
+TEST(Serialize, RecordsOutsideTheirPopnetAreRejected) {
+  const auto pop = load_internet(
+      "anyopt-internet v1\npop 1 2 Boston\nend\n");
+  ASSERT_FALSE(pop.ok());
+  EXPECT_NE(pop.error().message.find("pop record outside a popnet"),
+            std::string::npos);
+  EXPECT_NE(pop.error().message.find("at line 2"), std::string::npos);
+
+  const auto igp = load_internet("anyopt-internet v1\nigp 0\nend\n");
+  ASSERT_FALSE(igp.ok());
+  EXPECT_NE(igp.error().message.find("igp record outside a popnet"),
+            std::string::npos);
+}
+
+TEST(Serialize, PopnetReferencingUnknownAsIsRejected) {
+  const std::string text = save_internet(build_internet(tiny_params(107)));
+  const std::string message =
+      diagnostic_for(text, "popnet ", "popnet 999999 1");
+  EXPECT_NE(message.find("popnet references unknown AS"), std::string::npos)
+      << message;
+}
+
+TEST(Serialize, FingerprintIsStableAndSensitive) {
+  const InternetParams params = tiny_params(108);
+  const Internet a = build_internet(params);
+  const Internet b = build_internet(params);
+  // Deterministic: two builds from the same params agree.
+  EXPECT_EQ(topology_fingerprint(a), topology_fingerprint(b));
+  // A different world (new seed) gets a different fingerprint.
+  EXPECT_NE(topology_fingerprint(a),
+            topology_fingerprint(build_internet(tiny_params(109))));
+  // Single-field sensitivity: flipping one policy bit, editing one
+  // router-id, or re-ranking one deviant table all change the hash.
+  Internet c = build_internet(params);
+  c.graph.node_mut(AsId{3}).multipath = !c.graph.node_mut(AsId{3}).multipath;
+  EXPECT_NE(topology_fingerprint(a), topology_fingerprint(c));
+
+  Internet d = build_internet(params);
+  d.graph.node_mut(AsId{5}).router_id ^= 1;
+  EXPECT_NE(topology_fingerprint(a), topology_fingerprint(d));
+
+  Internet e = build_internet(params);
+  ASSERT_FALSE(e.deviant_rank.empty());
+  e.deviant_rank[0].push_back(0);
+  EXPECT_NE(topology_fingerprint(a), topology_fingerprint(e));
+}
+
 }  // namespace
 }  // namespace anyopt::topo

@@ -1,0 +1,244 @@
+// anyopt_store — inspect, verify, diff and compact persistent result
+// stores (the `--store=FILE` files the bench binaries and campaigns write).
+//
+//   anyopt_store inspect FILE         header, per-kind record tallies
+//   anyopt_store verify FILE          full CRC scan; exit 1 on any damage
+//   anyopt_store diff FILE_A FILE_B   compare persisted results by key
+//   anyopt_store compact FILE         drop superseded records, re-encode
+//
+// `verify` is the integrity oracle: a clean exit 0 means every record's
+// CRC holds and the file ends on a record boundary; any bad CRC or torn
+// tail exits 1 and names the offset.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/store_io.h"
+#include "measure/store.h"
+
+namespace {
+
+using anyopt::Result;
+using anyopt::measure::Census;
+using anyopt::measure::RecordInfo;
+using anyopt::measure::RecordKind;
+using anyopt::measure::ResultStore;
+
+const char* kind_name(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kCensus: return "census";
+    case RecordKind::kRttRow: return "rtt-row";
+    case RecordKind::kTable: return "table";
+  }
+  return "unknown";
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: anyopt_store <inspect|verify|compact> FILE\n"
+               "       anyopt_store diff FILE_A FILE_B\n");
+  return 2;
+}
+
+/// Latest-wins view of a store's log: the last record per (kind, key).
+std::map<std::pair<std::uint8_t, std::uint64_t>, RecordInfo> live_records(
+    const ResultStore& store) {
+  std::map<std::pair<std::uint8_t, std::uint64_t>, RecordInfo> live;
+  for (const RecordInfo& info : store.records()) {
+    live[{static_cast<std::uint8_t>(info.kind), info.key}] = info;
+  }
+  return live;
+}
+
+int cmd_inspect(const std::string& path) {
+  Result<std::unique_ptr<ResultStore>> store = ResultStore::open_existing(path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "anyopt_store: %s\n", store.error().message.c_str());
+    return 1;
+  }
+  const ResultStore& s = *store.value();
+  std::printf("store %s\n", s.path().c_str());
+  std::printf("  schema version      %u\n", ResultStore::kSchemaVersion);
+  std::printf("  topology fingerprint %016" PRIx64 "\n", s.fingerprint());
+  if (s.recovered_tail_bytes() > 0) {
+    std::printf("  torn tail recovered %zu bytes\n", s.recovered_tail_bytes());
+  }
+  const auto log = s.records();
+  const auto live = live_records(s);
+  std::map<std::uint8_t, std::pair<std::size_t, std::size_t>> by_kind;
+  for (const RecordInfo& info : log) {
+    ++by_kind[static_cast<std::uint8_t>(info.kind)].first;
+  }
+  for (const auto& [key, info] : live) {
+    ++by_kind[key.first].second;
+  }
+  std::printf("  records             %zu (%zu live)\n", log.size(),
+              live.size());
+  for (const auto& [kind, counts] : by_kind) {
+    std::printf("    %-8s %zu (%zu live)\n",
+                kind_name(static_cast<RecordKind>(kind)), counts.first,
+                counts.second);
+  }
+  return 0;
+}
+
+int cmd_verify(const std::string& path) {
+  Result<ResultStore::VerifyReport> report = ResultStore::verify_file(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "anyopt_store: %s\n", report.error().message.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu records scanned\n", path.c_str(),
+              report.value().records);
+  for (const std::string& problem : report.value().problems) {
+    std::printf("  PROBLEM: %s\n", problem.c_str());
+  }
+  if (!report.value().clean()) {
+    std::printf("VERIFY FAILED: %zu bad CRC, %zu torn tail bytes\n",
+                report.value().bad_crc, report.value().torn_tail_bytes);
+    return 1;
+  }
+  std::printf("clean\n");
+  return 0;
+}
+
+bool census_equal(const Census& a, const Census& b) {
+  return a.site_of_target == b.site_of_target &&
+         a.attachment_of_target == b.attachment_of_target &&
+         a.rtt_ms == b.rtt_ms;
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b) {
+  Result<std::unique_ptr<ResultStore>> a = ResultStore::open_existing(path_a);
+  Result<std::unique_ptr<ResultStore>> b = ResultStore::open_existing(path_b);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "anyopt_store: %s\n",
+                 (!a.ok() ? a : b).error().message.c_str());
+    return 1;
+  }
+  const std::unique_ptr<ResultStore>& sa = a.value();
+  const std::unique_ptr<ResultStore>& sb = b.value();
+  if (sa->fingerprint() != sb->fingerprint()) {
+    std::printf("fingerprints differ: %016" PRIx64 " vs %016" PRIx64 "\n",
+                sa->fingerprint(), sb->fingerprint());
+  }
+  const auto live_a = live_records(*sa);
+  const auto live_b = live_records(*sb);
+  std::size_t only_a = 0;
+  std::size_t only_b = 0;
+  std::size_t differ = 0;
+  std::size_t same = 0;
+  for (const auto& [key, info] : live_a) {
+    const auto it = live_b.find(key);
+    if (it == live_b.end()) {
+      ++only_a;
+      continue;
+    }
+    bool equal = false;
+    if (info.kind == RecordKind::kCensus) {
+      // Delta bases differ between files; compare decoded censuses, not
+      // raw payload bytes.
+      Result<Census> ca = sa->read_census_at(info);
+      Result<Census> cb = sb->read_census_at(it->second);
+      equal = ca.ok() && cb.ok() && census_equal(ca.value(), cb.value());
+    } else {
+      const auto pa = sa->find_payload(info.kind, info.key);
+      const auto pb = sb->find_payload(info.kind, info.key);
+      equal = pa.has_value() && pb.has_value() && *pa == *pb;
+    }
+    if (equal) {
+      ++same;
+    } else {
+      ++differ;
+      std::printf("  differs: %s key %016" PRIx64 "\n", kind_name(info.kind),
+                  info.key);
+    }
+  }
+  for (const auto& [key, info] : live_b) {
+    if (live_a.find(key) == live_a.end()) ++only_b;
+  }
+  std::printf("%zu same, %zu differ, %zu only in %s, %zu only in %s\n", same,
+              differ, only_a, path_a.c_str(), only_b, path_b.c_str());
+  return differ == 0 ? 0 : 1;
+}
+
+int cmd_compact(const std::string& path) {
+  Result<std::unique_ptr<ResultStore>> source =
+      ResultStore::open_existing(path);
+  if (!source.ok()) {
+    std::fprintf(stderr, "anyopt_store: %s\n",
+                 source.error().message.c_str());
+    return 1;
+  }
+  std::unique_ptr<ResultStore> src = std::move(source).value();
+  const std::string tmp = path + ".compact";
+  std::remove(tmp.c_str());
+  Result<std::unique_ptr<ResultStore>> dest_result =
+      ResultStore::open(tmp, src->fingerprint());
+  if (!dest_result.ok()) {
+    std::fprintf(stderr, "anyopt_store: %s\n",
+                 dest_result.error().message.c_str());
+    return 1;
+  }
+  std::unique_ptr<ResultStore> dest = std::move(dest_result).value();
+  // Re-put every live record in log order.  Censuses are decoded and
+  // re-encoded, so the compacted store picks a fresh delta base; other
+  // kinds are copied payload-for-payload.
+  std::size_t dropped = 0;
+  const auto log = src->records();
+  const auto live = live_records(*src);
+  for (const RecordInfo& info : log) {
+    const auto it = live.find({static_cast<std::uint8_t>(info.kind), info.key});
+    if (it == live.end() || it->second.offset != info.offset) {
+      ++dropped;  // superseded by a later record of the same key
+      continue;
+    }
+    anyopt::Status status;
+    if (info.kind == RecordKind::kCensus) {
+      Result<Census> census = src->read_census_at(info);
+      if (!census.ok()) {
+        std::fprintf(stderr, "anyopt_store: %s\n",
+                     census.error().message.c_str());
+        return 1;
+      }
+      status = dest->put_census(info.key, census.value());
+    } else {
+      const auto payload = src->find_payload(info.kind, info.key);
+      anyopt::codec::Writer body;
+      if (payload.has_value()) body.put_bytes(*payload);
+      status = dest->put_payload(info.kind, info.key, body);
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "anyopt_store: %s\n", status.error().message.c_str());
+      return 1;
+    }
+  }
+  dest.reset();  // close the compacted file
+  src.reset();   // close the original before replacing it
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "anyopt_store: cannot replace %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu records kept, %zu superseded records dropped\n",
+              path.c_str(), live.size(), dropped);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  if (command == "inspect") return cmd_inspect(argv[2]);
+  if (command == "verify") return cmd_verify(argv[2]);
+  if (command == "compact") return cmd_compact(argv[2]);
+  if (command == "diff") {
+    if (argc < 4) return usage();
+    return cmd_diff(argv[2], argv[3]);
+  }
+  return usage();
+}
