@@ -92,6 +92,21 @@ std::size_t parse_threads(int& argc, char** argv, std::size_t fallback) {
   return threads;
 }
 
+bool parse_flag(int& argc, char** argv, const char* flag) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) {
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return found;
+}
+
 TelemetryOptions parse_telemetry(int& argc, char** argv) {
   TelemetryOptions options;
   int out = 1;
@@ -191,7 +206,7 @@ void write_bench_json(const std::string& bench_name, double wall_s,
   }
   std::fprintf(f,
                "{\n"
-               "  \"schema\": 1,\n"
+               "  \"schema\": 2,\n"
                "  \"git\": \"%s\",\n"
                "  \"bench\": \"%s\",\n"
                "  \"wall_s\": %.3f,\n"
@@ -205,7 +220,10 @@ void write_bench_json(const std::string& bench_name, double wall_s,
                "  \"scratch_reuse\": %llu,\n"
                "  \"store_hits\": %llu,\n"
                "  \"store_misses\": %llu,\n"
-               "  \"store_bytes_written\": %llu\n"
+               "  \"store_bytes_written\": %llu,\n"
+               "  \"overlay_forks\": %llu,\n"
+               "  \"overlay_copied_as\": %llu,\n"
+               "  \"overlay_delta_events\": %llu\n"
                "}\n",
 #ifdef ANYOPT_GIT_DESCRIBE
                ANYOPT_GIT_DESCRIBE,
@@ -232,7 +250,13 @@ void write_bench_json(const std::string& bench_name, double wall_s,
                static_cast<unsigned long long>(
                    reg.counter_value("store.misses")),
                static_cast<unsigned long long>(
-                   reg.counter_value("store.bytes_written")));
+                   reg.counter_value("store.bytes_written")),
+               static_cast<unsigned long long>(
+                   reg.counter_value("sim.overlay.forks")),
+               static_cast<unsigned long long>(
+                   reg.counter_value("sim.overlay.copied_as")),
+               static_cast<unsigned long long>(
+                   reg.counter_value("sim.overlay.delta_events")));
   std::fclose(f);
   std::printf("\n[bench] record written to %s\n", path.c_str());
 }

@@ -41,6 +41,10 @@ struct PaperEnv {
 [[nodiscard]] std::size_t parse_threads(int& argc, char** argv,
                                         std::size_t fallback = 1);
 
+/// Parses a bare boolean flag (e.g. `--classic`) and REMOVES it from argv.
+/// Returns true iff the flag was present.
+[[nodiscard]] bool parse_flag(int& argc, char** argv, const char* flag);
+
 /// Telemetry flags shared by every bench binary:
 ///   --metrics            print the metrics summary when the bench exits
 ///   --metrics-out=FILE   write the summary to FILE instead (implies

@@ -65,7 +65,7 @@ Explanation RoutingState::explain(AsId from, const geo::Coordinates& from_loc,
   geo::Coordinates cur_loc = from_loc;
 
   for (std::size_t guard = 0; guard < 64; ++guard) {
-    const auto& s = as_[cur.value()];
+    const auto& s = state_of(cur);
     if (s.best.best < 0) return out;  // unreachable
 
     int chosen = s.best.best;

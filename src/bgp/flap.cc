@@ -1,6 +1,7 @@
 #include "bgp/flap.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace anyopt::bgp {
 
@@ -20,21 +21,37 @@ std::vector<Injection> apply_flaps(std::vector<Injection> schedule,
     }
     const double t0 = anchor->time_s + flap.first_down_s;
     const std::uint8_t prepend = anchor->prepend;
+    // Clip at the next base-schedule withdraw of this attachment: once the
+    // experiment permanently withdraws the session, a later flap cycle must
+    // not resurrect it.  Cycle withdraws landing before the clip are kept
+    // even when their re-advertisement falls past it (the session simply
+    // stays down until the base withdraw arrives).
+    double clip_s = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < base; ++i) {
+      const Injection& inj = schedule[i];
+      if (inj.withdraw && inj.attachment == flap.attachment &&
+          inj.time_s > anchor->time_s && inj.time_s < clip_s) {
+        clip_s = inj.time_s;
+      }
+    }
     for (std::size_t cycle = 0; cycle < flap.cycles; ++cycle) {
       const double down =
           t0 + static_cast<double>(cycle) *
                    (flap.down_dwell_s + flap.up_dwell_s);
+      if (down >= clip_s) break;
       schedule.push_back(Injection{down, flap.attachment, true, 0});
-      schedule.push_back(
-          Injection{down + flap.down_dwell_s, flap.attachment, false, prepend});
+      const double up = down + flap.down_dwell_s;
+      if (up >= clip_s) break;
+      schedule.push_back(Injection{up, flap.attachment, false, prepend});
     }
   }
-  if (schedule.size() != base) {
-    std::stable_sort(schedule.begin(), schedule.end(),
-                     [](const Injection& a, const Injection& b) {
-                       return a.time_s < b.time_s;
-                     });
-  }
+  // Always sort: the postcondition is a time-sorted schedule even when no
+  // flap produced an entry (stable_sort of an already-sorted base is the
+  // identity, so sorted callers see bit-identical output).
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const Injection& a, const Injection& b) {
+                     return a.time_s < b.time_s;
+                   });
   return schedule;
 }
 

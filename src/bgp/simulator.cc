@@ -76,6 +76,23 @@ struct ResolveMetrics {
   }
 };
 
+/// Pre-resolved overlay metrics (one registry lookup per process).
+struct OverlayMetrics {
+  telemetry::Counter* forks;
+  telemetry::Counter* copied_as;
+  telemetry::Counter* delta_events;
+
+  static const OverlayMetrics& get() {
+    static const OverlayMetrics m = [] {
+      auto& reg = telemetry::Registry::global();
+      return OverlayMetrics{&reg.counter("sim.overlay.forks"),
+                            &reg.counter("sim.overlay.copied_as"),
+                            &reg.counter("sim.overlay.delta_events")};
+    }();
+    return m;
+  }
+};
+
 }  // namespace
 
 struct Simulator::Event {
@@ -108,6 +125,42 @@ struct SimScratch::Impl {
   std::vector<std::vector<Simulator::Advertised>> advertised;
 };
 
+/// Run continuation: everything beyond the RIBs a resumed run needs — the
+/// per-neighbor advertisement ledger (with its COW flags when the run was
+/// an overlay), the per-session delivery clocks and the arrival-seq
+/// high-water mark.
+struct RoutingState::Cont {
+  std::vector<std::vector<Simulator::Advertised>> advertised;
+  std::vector<std::uint8_t> adv_copied;  ///< per-AS COW flags; empty = own
+  std::vector<double> session_clock;
+  std::uint64_t arrival_seq = 0;
+};
+
+RoutingState::RoutingState() = default;
+RoutingState::~RoutingState() = default;
+RoutingState::RoutingState(RoutingState&&) noexcept = default;
+RoutingState& RoutingState::operator=(RoutingState&&) noexcept = default;
+
+/// The frozen buffers of a campaign-shared base.  Immutable once
+/// `converge_base` returns; overlays only ever read them.
+struct BaseState::Impl {
+  std::vector<RoutingState::AsState> as;
+  std::vector<std::vector<Simulator::Advertised>> advertised;
+  std::vector<double> session_clock;
+  std::uint64_t arrival_seq = 0;
+  double horizon_s = 0;
+  std::size_t events = 0;
+};
+
+BaseState::BaseState() : impl_(std::make_unique<Impl>()) {}
+BaseState::~BaseState() = default;
+BaseState::BaseState(BaseState&&) noexcept = default;
+BaseState& BaseState::operator=(BaseState&&) noexcept = default;
+
+std::size_t BaseState::events() const { return impl_->events; }
+
+double BaseState::converged_at_s() const { return impl_->horizon_s; }
+
 SimScratch::SimScratch() : impl_(std::make_unique<Impl>()) {}
 SimScratch::~SimScratch() = default;
 SimScratch::SimScratch(SimScratch&&) noexcept = default;
@@ -116,8 +169,16 @@ SimScratch& SimScratch::operator=(SimScratch&&) noexcept = default;
 void SimScratch::recycle(RoutingState&& state) {
   impl_->as_state = std::move(state.as_);
   impl_->walks = std::move(state.walk_cache_);
+  if (state.cont_ != nullptr) {
+    // A kept continuation owns its own ledger/clock storage; reclaim it too.
+    impl_->advertised = std::move(state.cont_->advertised);
+    impl_->session_clock = std::move(state.cont_->session_clock);
+    state.cont_.reset();
+  }
   state.as_.clear();
   state.walk_cache_.clear();
+  state.copied_.clear();
+  state.base_ = nullptr;
 }
 
 Simulator::Simulator(const topo::Internet& net,
@@ -169,9 +230,27 @@ int Simulator::attachment_slot(AsId as, AttachmentIndex idx) const {
   return -1;
 }
 
+/// Mode descriptor for one engine run: exactly one of clean (both `base`
+/// null and `resuming` false), forked overlay (`base` set), or resumed
+/// continuation (`resuming`, `resume` holds the prior state).
+struct Simulator::OverlayRun {
+  const BaseState* base = nullptr;  ///< fork source; null unless forking
+  RoutingState resume;              ///< moved-in prior state when resuming
+  bool resuming = false;
+  std::span<const AttachmentIndex> reage;
+  bool keep_continuation = false;
+  OverlayStats* stats = nullptr;
+};
+
 RoutingState Simulator::run(std::span<const Injection> injections,
                             std::uint64_t run_nonce,
                             SimScratch* scratch) const {
+  return run_impl(injections, run_nonce, scratch, nullptr);
+}
+
+RoutingState Simulator::run_impl(std::span<const Injection> injections,
+                                 std::uint64_t run_nonce, SimScratch* scratch,
+                                 OverlayRun* overlay) const {
   // One relaxed load up front; every instrumentation site below branches on
   // this cached bool, so the disabled path adds no clocks and no atomics.
   const bool telem = telemetry::enabled();
@@ -185,34 +264,67 @@ RoutingState Simulator::run(std::span<const Injection> injections,
 
   const std::size_t n = net_.graph.as_count();
   SimScratch::Impl* sc = scratch != nullptr ? scratch->impl_.get() : nullptr;
+
+  const bool fork = overlay != nullptr && overlay->base != nullptr;
+  const bool resuming = overlay != nullptr && overlay->resuming;
+  const bool keep = overlay != nullptr && overlay->keep_continuation;
+
   RoutingState state;
+  const BaseState::Impl* bs = nullptr;
+  if (resuming) {
+    state = std::move(overlay->resume);
+    if (state.cont_ == nullptr) {
+      throw std::logic_error(
+          "resume_overlay: prior state was not built with keep_continuation");
+    }
+    bs = state.base_ != nullptr ? state.base_->impl_.get() : nullptr;
+  } else if (fork) {
+    bs = overlay->base->impl_.get();
+    state.base_ = overlay->base;
+  }
   state.sim_ = this;
   state.run_nonce_ = run_nonce;
+  state.events_ = 0;  // counts THIS phase's events (delta-only for overlays)
+  // Overlay deltas are scheduled relative to where the prior phase left off.
+  const double t_base = resuming ? state.last_event_s_
+                        : fork   ? bs->horizon_s
+                                 : 0.0;
+  if (fork) state.last_event_s_ = t_base;
+
   // Seed per-AS RIB storage from the scratch when one is supplied.  Reused
   // entries keep their heap blocks (the AS-path vectors are the dominant
   // allocation of a clean run) but are reset to the not-present state the
   // engine expects; nothing below ever reads a field of a non-present
-  // entry, so stale bytes cannot leak into results.
-  const bool reused = sc != nullptr && !sc->as_state.empty();
+  // entry, so stale bytes cannot leak into results.  A forked overlay also
+  // borrows the recycled pages but leaves them stale: each page is either
+  // copy-assigned from the base on first write or never read at all.
+  const bool reused = !resuming && sc != nullptr && !sc->as_state.empty();
   if (reused) {
     state.as_ = std::move(sc->as_state);
     sc->as_state.clear();
   }
-  state.as_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto& as_state = state.as_[i];
-    as_state.rib.resize(adj_[i].size() + host_attach_[i].size());
-    if (reused) {
-      for (RibEntry& entry : as_state.rib) {
-        entry.present = false;
-        entry.as_path.clear();
+  if (!resuming) state.as_.resize(n);
+  if (fork) {
+    state.copied_.assign(n, 0);
+  } else if (!resuming) {
+    state.copied_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& as_state = state.as_[i];
+      as_state.rib.resize(adj_[i].size() + host_attach_[i].size());
+      if (reused) {
+        for (RibEntry& entry : as_state.rib) {
+          entry.present = false;
+          entry.as_path.clear();
+        }
+        as_state.best.best = -1;
+        as_state.best.equal_best.clear();
       }
-      as_state.best.best = -1;
-      as_state.best.equal_best.clear();
     }
   }
   if (options_.resolution_cache) {
-    if (sc != nullptr) {
+    // A resumed state resets its own cache in place (the converged tables
+    // are about to change); other modes borrow the scratch's.
+    if (!resuming && sc != nullptr) {
       state.walk_cache_ = std::move(sc->walks);
       sc->walks.clear();
     }
@@ -239,7 +351,13 @@ RoutingState Simulator::run(std::span<const Injection> injections,
     return -options_.processing_delay_mean_ms * std::log(u);
   };
   std::uint64_t event_seq = 0;
-  std::uint64_t arrival_seq = 0;
+  // Arrival sequencing continues across fork/resume so the oldest-route
+  // tie-break stays bit-exact: every route installed by an overlay delta is
+  // strictly newer than every base route, exactly as if the delta had been
+  // injected at the end of one long clean run.
+  std::uint64_t arrival_seq = fork       ? bs->arrival_seq
+                              : resuming ? state.cont_->arrival_seq
+                                         : 0;
   // The queue adapter exposes its container so a scratch can reclaim the
   // storage once the run drains it.
   struct EventQueue
@@ -260,9 +378,15 @@ RoutingState Simulator::run(std::span<const Injection> injections,
   // its own replacement at the receiver.
   std::vector<double> session_clock_local;
   std::vector<double>& session_clock =
-      sc != nullptr ? sc->session_clock : session_clock_local;
-  session_clock.assign(net_.graph.link_count() * 2 + attachments_.size(),
-                       -1.0);
+      (sc != nullptr && !keep) ? sc->session_clock : session_clock_local;
+  if (fork) {
+    session_clock = bs->session_clock;  // FIFO continuity across the fork
+  } else if (resuming) {
+    session_clock = std::move(state.cont_->session_clock);
+  } else {
+    session_clock.assign(net_.graph.link_count() * 2 + attachments_.size(),
+                         -1.0);
+  }
   const auto fifo = [&session_clock](std::size_t session, double t) {
     if (t <= session_clock[session]) t = session_clock[session] + 1e-9;
     session_clock[session] = t;
@@ -273,15 +397,156 @@ RoutingState Simulator::run(std::span<const Injection> injections,
   // advertised[as][slot] holds the as_path sent, with a validity flag.
   std::vector<std::vector<Advertised>> advertised_local;
   std::vector<std::vector<Advertised>>& advertised =
-      sc != nullptr ? sc->advertised : advertised_local;
-  advertised.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    advertised[i].resize(adj_[i].size());
-    for (Advertised& adv : advertised[i]) {
-      adv.valid = false;
-      adv.path.clear();
+      (sc != nullptr && !keep) ? sc->advertised : advertised_local;
+  std::vector<std::uint8_t> adv_copied;  // ledger COW flags (bs != nullptr)
+  if (fork) {
+    // Rows are copy-assigned from the base ledger on first write; stale
+    // recycled contents are never read (adv_copied gates every access).
+    advertised.resize(n);
+    adv_copied.assign(n, 0);
+  } else if (resuming) {
+    advertised = std::move(state.cont_->advertised);
+    adv_copied = std::move(state.cont_->adv_copied);
+  } else {
+    advertised.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      advertised[i].resize(adj_[i].size());
+      for (Advertised& adv : advertised[i]) {
+        adv.valid = false;
+        adv.path.clear();
+      }
     }
   }
+
+  std::size_t copied_now = 0;
+  // Copy-on-write page accessors: reads of untouched ASes go to the base,
+  // the first write deep-copies the page (reusing any recycled capacity).
+  // With no base (`bs == nullptr`) both are plain pass-throughs.
+  const auto state_page = [&](std::size_t i) -> RoutingState::AsState& {
+    if (bs != nullptr && state.copied_[i] == 0) {
+      state.as_[i] = bs->as[i];
+      state.copied_[i] = 1;
+      ++copied_now;
+    }
+    return state.as_[i];
+  };
+  const auto adv_page = [&](std::size_t i) -> std::vector<Advertised>& {
+    if (bs != nullptr && adv_copied[i] == 0) {
+      advertised[i] = bs->advertised[i];
+      adv_copied[i] = 1;
+    }
+    return advertised[i];
+  };
+
+  // Re-runs best-path selection at `u` and exports the diff owed to each
+  // neighbor against what was last sent, scheduling updates/withdraws at
+  // `now_s`.  Shared by the event loop and the re-aging pass.
+  const auto redecide_and_export = [&](AsId u, double now_s) {
+    const topo::AsNode& node = net_.graph.node(u);
+    auto& as_state = state_page(u.value());
+
+    // --- Re-run the decision process. ---
+    DecisionOptions dopts;
+    dopts.prefer_oldest =
+        options_.arrival_order_tiebreak && node.prefers_oldest;
+    BestSet new_best;
+    DecisionStep decided_at = DecisionStep::kLocalPref;
+    for (int i = 0; i < static_cast<int>(as_state.rib.size()); ++i) {
+      if (!as_state.rib[i].present) continue;
+      if (new_best.best < 0) {
+        new_best.best = i;
+        continue;
+      }
+      if (compare_routes(as_state.rib[i], as_state.rib[new_best.best], dopts,
+                         telem ? &decided_at : nullptr) < 0) {
+        new_best.best = i;
+      }
+      if (telem) ++step_tally[static_cast<int>(decided_at)];
+    }
+    if (new_best.best >= 0) {
+      for (int i = 0; i < static_cast<int>(as_state.rib.size()); ++i) {
+        if (as_state.rib[i].present &&
+            multipath_equal(as_state.rib[i], as_state.rib[new_best.best])) {
+          new_best.equal_best.push_back(i);
+        }
+      }
+    }
+    as_state.best = std::move(new_best);
+
+    // --- Export: diff the advertisement owed to each neighbor against
+    // what was last sent, and schedule updates/withdraws. ---
+    const RibEntry* best =
+        as_state.best.best >= 0 ? &as_state.rib[as_state.best.best] : nullptr;
+    auto& adv_row = adv_page(u.value());
+    for (std::size_t i = 0; i < adj_[u.value()].size(); ++i) {
+      const DedupNeighbor& nb = adj_[u.value()][i];
+      bool send_path = false;
+      std::vector<AsId> path;
+      if (best != nullptr &&
+          PolicyEngine::may_export(best->learned_from, nb.relation) &&
+          nb.as != best->neighbor) {  // split horizon toward the sender
+        path.reserve(best->as_path.size() + 1);
+        path.push_back(u);
+        path.insert(path.end(), best->as_path.begin(), best->as_path.end());
+        send_path = true;
+      }
+      Advertised& adv = adv_row[i];
+      if (send_path) {
+        if (adv.valid && adv.path == path &&
+            adv.prepend == best->origin_prepend) {
+          continue;  // no change
+        }
+        adv.valid = true;
+        adv.path = path;
+        adv.prepend = best->origin_prepend;
+      } else {
+        if (!adv.valid) continue;  // nothing to withdraw
+        adv.valid = false;
+        adv.path.clear();
+      }
+      const topo::AsLink& link = net_.graph.link(nb.link);
+      // Update propagation across the AS from where the route entered to
+      // this egress.  iBGP rides the backbone at line rate, so only a
+      // fraction of the geodesic delay differentiates egress ports — large
+      // enough that changing the injection PoP shifts a few downstream
+      // races (the §4.3 representative-site effect), small enough that
+      // same-AS announcement order has no catchment impact (§4.2).
+      constexpr double kIbgpPropagationScale = 0.15;
+      const double intra_ms =
+          best != nullptr
+              ? kIbgpPropagationScale *
+                    geo::one_way_latency_ms(best->at, link.where)
+              : 0.0;
+      Event out;
+      out.time_s = fifo(
+          std::size_t{nb.link.value()} * 2 +
+              (net_.graph.link(nb.link).a == u ? 0 : 1),
+          now_s +
+              (intra_ms + link.latency_ms +
+               session_delay_ms((std::uint64_t{nb.link.value()} << 20) ^
+                                u.value()) +
+               rng.exponential(options_.run_jitter_mean_ms)) /
+                  1e3);
+      out.seq = event_seq++;
+      out.to = nb.as;
+      out.msg.withdraw = !send_path;
+      out.msg.sender = u;
+      // Route lineage: receivers record which origin session the path
+      // descends from, which is what lets an overlay find every route
+      // affected by re-aging an attachment.  The decision process only
+      // consults `attachment` between same-address (origin) entries, so
+      // propagating it changes no clean-run outcome.
+      out.msg.attachment = send_path ? best->attachment : kNoAttachment;
+      if (send_path) {
+        out.msg.as_path = std::move(path);
+        out.msg.origin_prepend = best->origin_prepend;
+      }
+      out.msg.sender_router_id = node.router_id;
+      out.msg.at = link.where;
+      queue.push(std::move(out));
+      if (telem && queue.size() > queue_peak) queue_peak = queue.size();
+    }
+  };
 
   // Schedule origin injections.
   double last_time = -1;
@@ -295,7 +560,7 @@ RoutingState Simulator::run(std::span<const Injection> injections,
     if (at.filtered && !inj.withdraw) continue;  // dropped by their import policy
     Event ev;
     ev.time_s = fifo(net_.graph.link_count() * 2 + inj.attachment,
-                     inj.time_s +
+                     (t_base + inj.time_s) +
                          (at.latency_ms +
                           session_delay_ms(0xA77AC4ULL + inj.attachment) +
                           rng.exponential(options_.run_jitter_mean_ms)) /
@@ -310,6 +575,53 @@ RoutingState Simulator::run(std::span<const Injection> injections,
     ev.msg.at = at.where;
     queue.push(std::move(ev));
     if (telem && queue.size() > queue_peak) queue_peak = queue.size();
+  }
+
+  // --- Re-aging pass (overlay order-leg derivation). ---
+  if (overlay != nullptr && !overlay->reage.empty()) {
+    // Give every installed route descending from the listed attachments a
+    // fresh arrival_seq — preserving their relative order but making them
+    // globally newest, exactly what those routes would carry had their
+    // attachments announced LAST.  Each rewritten entry's AS then re-runs
+    // its decision process; only genuine best-path flips export, so the
+    // cascade that follows is the true propagation cost of the order
+    // change, not a replay of the whole schedule.
+    std::vector<std::uint8_t> in_set(attachments_.size(), 0);
+    for (const AttachmentIndex a : overlay->reage) in_set[a] = 1;
+    struct Reaged {
+      std::uint64_t old_seq;
+      std::uint32_t as;
+      std::uint32_t slot;
+    };
+    std::vector<Reaged> refs;
+    std::vector<std::uint8_t> affected(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const RoutingState::AsState& s =
+          (bs != nullptr && state.copied_[i] == 0) ? bs->as[i] : state.as_[i];
+      for (std::size_t j = 0; j < s.rib.size(); ++j) {
+        const RibEntry& e = s.rib[j];
+        if (e.present && e.attachment != kNoAttachment &&
+            in_set[e.attachment] != 0) {
+          refs.push_back({e.arrival_seq, static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(j)});
+          affected[i] = 1;
+        }
+      }
+    }
+    std::sort(refs.begin(), refs.end(),
+              [](const Reaged& a, const Reaged& b) {
+                return a.old_seq < b.old_seq;  // install seqs are unique
+              });
+    for (const Reaged& r : refs) {
+      RibEntry& e = state_page(r.as).rib[r.slot];
+      e.arrival_seq = ++arrival_seq;
+      e.arrival_time_s = t_base;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (affected[i] != 0) {
+        redecide_and_export(AsId{static_cast<std::uint32_t>(i)}, t_base);
+      }
+    }
   }
 
   const std::size_t max_events =
@@ -333,7 +645,7 @@ RoutingState Simulator::run(std::span<const Injection> injections,
     state.last_event_s_ = ev.time_s;
     const AsId u = ev.to;
     const topo::AsNode& node = net_.graph.node(u);
-    auto& as_state = state.as_[u.value()];
+    auto& as_state = state_page(u.value());
 
     // --- Install / withdraw into the right Adj-RIB-In slot. ---
     int slot = -1;
@@ -408,104 +720,29 @@ RoutingState Simulator::run(std::span<const Injection> injections,
       entry.at = ev.msg.at;
     }
 
-    // --- Re-run the decision process. ---
-    DecisionOptions dopts;
-    dopts.prefer_oldest =
-        options_.arrival_order_tiebreak && node.prefers_oldest;
-    BestSet new_best;
-    DecisionStep decided_at = DecisionStep::kLocalPref;
-    for (int i = 0; i < static_cast<int>(as_state.rib.size()); ++i) {
-      if (!as_state.rib[i].present) continue;
-      if (new_best.best < 0) {
-        new_best.best = i;
-        continue;
-      }
-      if (compare_routes(as_state.rib[i], as_state.rib[new_best.best], dopts,
-                         telem ? &decided_at : nullptr) < 0) {
-        new_best.best = i;
-      }
-      if (telem) ++step_tally[static_cast<int>(decided_at)];
-    }
-    if (new_best.best >= 0) {
-      for (int i = 0; i < static_cast<int>(as_state.rib.size()); ++i) {
-        if (as_state.rib[i].present &&
-            multipath_equal(as_state.rib[i], as_state.rib[new_best.best])) {
-          new_best.equal_best.push_back(i);
-        }
-      }
-    }
-    as_state.best = std::move(new_best);
-
-    // --- Export: diff the advertisement owed to each neighbor against
-    // what was last sent, and schedule updates/withdraws. ---
-    const RibEntry* best =
-        as_state.best.best >= 0 ? &as_state.rib[as_state.best.best] : nullptr;
-    for (std::size_t i = 0; i < adj_[u.value()].size(); ++i) {
-      const DedupNeighbor& nb = adj_[u.value()][i];
-      bool send_path = false;
-      std::vector<AsId> path;
-      if (best != nullptr &&
-          PolicyEngine::may_export(best->learned_from, nb.relation) &&
-          nb.as != best->neighbor) {  // split horizon toward the sender
-        path.reserve(best->as_path.size() + 1);
-        path.push_back(u);
-        path.insert(path.end(), best->as_path.begin(), best->as_path.end());
-        send_path = true;
-      }
-      Advertised& adv = advertised[u.value()][i];
-      if (send_path) {
-        if (adv.valid && adv.path == path &&
-            adv.prepend == best->origin_prepend) {
-          continue;  // no change
-        }
-        adv.valid = true;
-        adv.path = path;
-        adv.prepend = best->origin_prepend;
-      } else {
-        if (!adv.valid) continue;  // nothing to withdraw
-        adv.valid = false;
-        adv.path.clear();
-      }
-      const topo::AsLink& link = net_.graph.link(nb.link);
-      // Update propagation across the AS from where the route entered to
-      // this egress.  iBGP rides the backbone at line rate, so only a
-      // fraction of the geodesic delay differentiates egress ports — large
-      // enough that changing the injection PoP shifts a few downstream
-      // races (the §4.3 representative-site effect), small enough that
-      // same-AS announcement order has no catchment impact (§4.2).
-      constexpr double kIbgpPropagationScale = 0.15;
-      const double intra_ms =
-          best != nullptr
-              ? kIbgpPropagationScale *
-                    geo::one_way_latency_ms(best->at, link.where)
-              : 0.0;
-      Event out;
-      out.time_s = fifo(
-          std::size_t{nb.link.value()} * 2 +
-              (net_.graph.link(nb.link).a == u ? 0 : 1),
-          ev.time_s +
-              (intra_ms + link.latency_ms +
-               session_delay_ms((std::uint64_t{nb.link.value()} << 20) ^
-                                u.value()) +
-               rng.exponential(options_.run_jitter_mean_ms)) /
-                  1e3);
-      out.seq = event_seq++;
-      out.to = nb.as;
-      out.msg.withdraw = !send_path;
-      out.msg.sender = u;
-      out.msg.attachment = kNoAttachment;
-      if (send_path) {
-        out.msg.as_path = std::move(path);
-        out.msg.origin_prepend = best->origin_prepend;
-      }
-      out.msg.sender_router_id = node.router_id;
-      out.msg.at = link.where;
-      queue.push(std::move(out));
-      if (telem && queue.size() > queue_peak) queue_peak = queue.size();
-    }
+    redecide_and_export(u, ev.time_s);
   }
   // Hand the drained queue container back to the scratch for the next run.
   if (sc != nullptr) sc->events = std::move(queue).reclaim();
+  if (keep) {
+    state.cont_ = std::make_unique<RoutingState::Cont>();
+    state.cont_->advertised = std::move(advertised);
+    state.cont_->adv_copied = std::move(adv_copied);
+    state.cont_->session_clock = std::move(session_clock);
+    state.cont_->arrival_seq = arrival_seq;
+  } else {
+    if (resuming) state.cont_.reset();  // consumed
+    if (sc != nullptr) {
+      // Overlay phases keep their ledger/clock storage local (the scratch's
+      // copies must survive the run); donate it back instead of freeing.
+      if (&advertised == &advertised_local) {
+        sc->advertised = std::move(advertised_local);
+      }
+      if (&session_clock == &session_clock_local) {
+        sc->session_clock = std::move(session_clock_local);
+      }
+    }
+  }
   if (telem) {
     const SimMetrics& m = SimMetrics::get();
     m.runs->add(1);
@@ -515,6 +752,18 @@ RoutingState Simulator::run(std::span<const Injection> injections,
     m.convergence_s->record(state.last_event_s_);
     for (int s = 1; s < 10; ++s) {
       if (step_tally[s] != 0) m.decision_step[s]->add(step_tally[s]);
+    }
+  }
+  if (fork || resuming) {
+    if (overlay->stats != nullptr) {
+      overlay->stats->copied_as += copied_now;
+      overlay->stats->delta_events += state.events_;
+    }
+    if (telem) {
+      const OverlayMetrics& om = OverlayMetrics::get();
+      om.forks->add(1);
+      om.copied_as->add(copied_now);
+      om.delta_events->add(state.events_);
     }
   }
   return state;
@@ -533,17 +782,70 @@ RoutingState Simulator::announce_sequence(
   return run(schedule, run_nonce, scratch);
 }
 
+BaseState Simulator::converge_base(std::span<const Injection> injections,
+                                   std::uint64_t run_nonce) const {
+  OverlayRun overlay;
+  overlay.keep_continuation = true;
+  RoutingState state = run_impl(injections, run_nonce, nullptr, &overlay);
+  BaseState base;
+  BaseState::Impl& b = *base.impl_;
+  b.as = std::move(state.as_);
+  b.advertised = std::move(state.cont_->advertised);
+  b.session_clock = std::move(state.cont_->session_clock);
+  b.arrival_seq = state.cont_->arrival_seq;
+  b.horizon_s = state.last_event_s_;
+  b.events = state.events_;
+  return base;
+}
+
+RoutingState Simulator::run_overlay(const BaseState& base,
+                                    std::span<const Injection> delta,
+                                    std::uint64_t run_nonce,
+                                    SimScratch* scratch,
+                                    std::span<const AttachmentIndex> reage,
+                                    bool keep_continuation,
+                                    OverlayStats* stats) const {
+  OverlayRun overlay;
+  overlay.base = &base;
+  overlay.reage = reage;
+  overlay.keep_continuation = keep_continuation;
+  overlay.stats = stats;
+  return run_impl(delta, run_nonce, scratch, &overlay);
+}
+
+RoutingState Simulator::resume_overlay(RoutingState&& prior,
+                                       std::span<const Injection> delta,
+                                       std::uint64_t run_nonce,
+                                       SimScratch* scratch,
+                                       std::span<const AttachmentIndex> reage,
+                                       bool keep_continuation,
+                                       OverlayStats* stats) const {
+  OverlayRun overlay;
+  overlay.resume = std::move(prior);
+  overlay.resuming = true;
+  overlay.reage = reage;
+  overlay.keep_continuation = keep_continuation;
+  overlay.stats = stats;
+  return run_impl(delta, run_nonce, scratch, &overlay);
+}
+
+const RoutingState::AsState& RoutingState::state_of(AsId as) const {
+  const std::size_t i = as.value();
+  if (base_ == nullptr || copied_[i] != 0) return as_[i];
+  return base_->impl_->as[i];
+}
+
 const RibEntry* RoutingState::best(AsId as) const {
-  const auto& s = as_[as.value()];
+  const auto& s = state_of(as);
   return s.best.best >= 0 ? &s.rib[s.best.best] : nullptr;
 }
 
 std::span<const RibEntry> RoutingState::rib(AsId as) const {
-  return as_[as.value()].rib;
+  return state_of(as).rib;
 }
 
 const BestSet& RoutingState::best_set(AsId as) const {
-  return as_[as.value()].best;
+  return state_of(as).best;
 }
 
 ResolvedPath RoutingState::resolve(AsId from, const geo::Coordinates& from_loc,
@@ -608,7 +910,7 @@ ResolvedPath RoutingState::resolve_walk(AsId from,
   }
 
   for (std::size_t hops = 0; hops < 64; ++hops) {
-    const auto& s = as_[cur.value()];
+    const auto& s = state_of(cur);
     if (s.best.best < 0) {
       // Dead end: flow-independent, so the (unreachable) walk is cacheable.
       if (record != nullptr) {

@@ -103,6 +103,15 @@ struct Explanation {
 
 class Simulator;
 class RoutingState;
+class BaseState;
+
+/// Per-call overlay accounting, filled by `Simulator::run_overlay` /
+/// `resume_overlay` (telemetry counters `sim.overlay.*` aggregate the same
+/// numbers process-wide).
+struct OverlayStats {
+  std::size_t copied_as = 0;     ///< base pages copied on first write
+  std::size_t delta_events = 0;  ///< update events the delta generated
+};
 
 /// Recycled allocation arena for `Simulator::run`.  A clean-state BGP run
 /// builds per-AS RIB vectors, an event queue, per-session clocks and
@@ -139,10 +148,50 @@ class SimScratch {
   std::unique_ptr<Impl> impl_;
 };
 
+/// A fully converged campaign-shared base: the snapshot `Simulator::
+/// converge_base` produces and `run_overlay` forks copy-on-write overlays
+/// from.  It freezes everything an experiment continuation needs — the
+/// per-AS RIBs, the per-neighbor advertisement ledger, the per-session
+/// delivery clocks and the arrival-seq high-water mark — so an overlay
+/// propagating only a delta schedule behaves exactly like a clean run that
+/// replayed the base schedule first.  Immutable once built; any number of
+/// overlays (including concurrent ones on different threads) may read it.
+/// Must outlive every RoutingState forked from it.
+class BaseState {
+ public:
+  BaseState();
+  ~BaseState();
+  BaseState(BaseState&&) noexcept;
+  BaseState& operator=(BaseState&&) noexcept;
+  BaseState(const BaseState&) = delete;
+  BaseState& operator=(const BaseState&) = delete;
+
+  /// Update events the base convergence processed.
+  [[nodiscard]] std::size_t events() const;
+  /// Simulated time of the base's last event (seconds); overlay delta
+  /// injections are scheduled relative to this horizon.
+  [[nodiscard]] double converged_at_s() const;
+
+ private:
+  friend class Simulator;
+  friend class RoutingState;
+  struct Impl;  // defined in the .cc; owns the frozen buffers
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Converged routing state of one run.  Valid only while the owning
-/// Simulator is alive.
+/// Simulator is alive (and, for overlay states, the BaseState they were
+/// forked from).  Move-only: a state may own copy-on-write pages and a
+/// run continuation, which have a single owner.
 class RoutingState {
  public:
+  RoutingState();
+  ~RoutingState();
+  RoutingState(RoutingState&&) noexcept;
+  RoutingState& operator=(RoutingState&&) noexcept;
+  RoutingState(const RoutingState&) = delete;
+  RoutingState& operator=(const RoutingState&) = delete;
+
   /// The single best route installed at `as`, or nullptr if unreachable.
   [[nodiscard]] const RibEntry* best(AsId as) const;
 
@@ -181,6 +230,7 @@ class RoutingState {
   friend class Simulator;
   friend class SimScratch;
   friend struct SimScratch::Impl;
+  friend struct BaseState::Impl;
   struct AsState {
     std::vector<RibEntry> rib;  ///< slots: AS neighbors, then attachments
     BestSet best;
@@ -214,8 +264,23 @@ class RoutingState {
   [[nodiscard]] ResolvedPath replay_walk(const CachedWalk& walk,
                                          const geo::Coordinates& from_loc) const;
 
+  /// The routing state of `as`: this state's own page when it was written
+  /// during the run (or the run was not an overlay), else the shared base
+  /// page.  Every read goes through here, so untouched ASes never copy.
+  [[nodiscard]] const AsState& state_of(AsId as) const;
+
   const Simulator* sim_ = nullptr;
   std::vector<AsState> as_;
+  /// Overlay bookkeeping: the base this state was forked from (null for
+  /// clean runs) and the per-AS copied-on-write flags (`as_[i]` is live iff
+  /// `copied_[i]`; empty for clean runs).
+  const BaseState* base_ = nullptr;
+  std::vector<std::uint8_t> copied_;
+  /// Run continuation (advertisement ledger, session clocks, arrival-seq
+  /// high-water mark), kept only when the run was asked to stay resumable
+  /// (`keep_continuation`); consumed by `Simulator::resume_overlay`.
+  struct Cont;
+  std::unique_ptr<Cont> cont_;
   /// Forwarding cache, indexed by client AS; empty = cache disabled.
   /// Mutable: memoization from const `resolve()` (single-threaded use).
   mutable std::vector<CachedWalk> walk_cache_;
@@ -253,9 +318,47 @@ class Simulator {
       std::span<const AttachmentIndex> order, double spacing_s,
       std::uint64_t run_nonce, SimScratch* scratch = nullptr) const;
 
+  /// Converges `injections` from clean state — exactly like `run` — and
+  /// freezes the result (RIBs, advertisement ledger, session clocks,
+  /// arrival-seq counter) into a campaign-shared BaseState that any number
+  /// of overlays can fork from.
+  [[nodiscard]] BaseState converge_base(std::span<const Injection> injections,
+                                        std::uint64_t run_nonce) const;
+
+  /// Runs one experiment as a copy-on-write overlay over `base`: only the
+  /// `delta` injections are propagated (their times are relative to the
+  /// base's convergence horizon), and only ASes the delta actually touches
+  /// copy their base page.  `run_nonce` individualizes the overlay's jitter
+  /// exactly as in `run`; arrival sequencing continues from the base's
+  /// counter, so re-advertisements take fresh arrival_seq values exactly as
+  /// `apply_flaps` replays do.  `reage` gives the listed attachments'
+  /// routes fresh arrival-seq values (preserving their relative order)
+  /// before the delta propagates — the overlay equivalent of those routes
+  /// having been announced LAST, which is how a two-leg order experiment
+  /// derives leg 1 from leg 0 without replaying the whole schedule.  With
+  /// `keep_continuation` the returned state stays resumable via
+  /// `resume_overlay`.  The returned state must not outlive `base`.
+  [[nodiscard]] RoutingState run_overlay(
+      const BaseState& base, std::span<const Injection> delta,
+      std::uint64_t run_nonce, SimScratch* scratch = nullptr,
+      std::span<const AttachmentIndex> reage = {},
+      bool keep_continuation = false, OverlayStats* stats = nullptr) const;
+
+  /// Continues a kept-continuation state (`run_overlay`/`converge_base`
+  /// lineage) with a further delta and/or re-aging pass under a fresh
+  /// nonce.  Consumes `prior`; throws std::logic_error if `prior` was not
+  /// built with `keep_continuation`.
+  [[nodiscard]] RoutingState resume_overlay(
+      RoutingState&& prior, std::span<const Injection> delta,
+      std::uint64_t run_nonce, SimScratch* scratch = nullptr,
+      std::span<const AttachmentIndex> reage = {},
+      bool keep_continuation = false, OverlayStats* stats = nullptr) const;
+
  private:
   friend class RoutingState;
   friend struct SimScratch::Impl;
+  friend struct BaseState::Impl;
+  friend struct RoutingState::Cont;
 
   struct DedupNeighbor {
     AsId as;
@@ -265,6 +368,14 @@ class Simulator {
 
   struct Event;
   struct Advertised;
+  /// Internal run-mode descriptor threading the base/resume/re-age inputs
+  /// through the single engine implementation (defined in the .cc).
+  struct OverlayRun;
+
+  [[nodiscard]] RoutingState run_impl(std::span<const Injection> injections,
+                                      std::uint64_t run_nonce,
+                                      SimScratch* scratch,
+                                      OverlayRun* overlay) const;
 
   [[nodiscard]] int neighbor_slot(AsId as, AsId neighbor) const;
   [[nodiscard]] int attachment_slot(AsId as, AttachmentIndex idx) const;

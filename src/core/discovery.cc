@@ -107,12 +107,163 @@ PrefKind Discovery::classify(std::uint8_t winner_when_ab,
   return PrefKind::kInconsistent;
 }
 
-std::vector<std::vector<PrefKind>> Discovery::classify_jobs(
+std::uint64_t Discovery::incremental_nonce(SiteId first, SiteId second,
+                                           std::uint64_t order_leg) const {
+  // Tagged sibling of `experiment_nonce`: overlay legs draw different
+  // jitter streams than the classic runs of the same configs, so their
+  // censuses — and store keys — must live in a disjoint nonce family.
+  std::uint64_t n = mix64(options_.nonce_base, 0x1C2E57ULL);
+  n = mix64(n, first.value());
+  n = mix64(n, second.value());
+  return mix64(n, order_leg);
+}
+
+std::uint64_t Discovery::base_nonce(SiteId first) const {
+  return mix64(mix64(mix64(options_.nonce_base, 0x1C2E57ULL), 0x0BA5EULL),
+               first.value());
+}
+
+std::shared_ptr<const bgp::BaseState> Discovery::base_for(SiteId first) const {
+  anycast::AnycastConfig cfg;
+  cfg.announce_order = {first};
+  cfg.spacing_s = options_.spacing_s;
+  const std::uint64_t nonce = base_nonce(first);
+  if (options_.incremental_private_bases) {
+    // Testing knob: fresh from-scratch convergence, same nonce.  Must be
+    // interchangeable with the cached base bit for bit.
+    return std::make_shared<bgp::BaseState>(
+        orchestrator_.converge_base(cfg, nonce));
+  }
+  const std::lock_guard<std::mutex> lock(base_mutex_);
+  std::shared_ptr<const bgp::BaseState>& slot = base_cache_[nonce];
+  if (slot == nullptr) {
+    slot = std::make_shared<bgp::BaseState>(
+        orchestrator_.converge_base(cfg, nonce));
+  }
+  return slot;
+}
+
+std::vector<measure::Census> Discovery::measure_jobs(
     std::span<const PairJob> jobs, std::size_t* experiments,
     std::size_t ordinal_base) const {
-  const std::size_t legs = options_.account_order ? 2 : 1;
+  if (incremental_active()) {
+    const auto& deployment = orchestrator_.world().deployment();
+    // A pair can anchor its shared base on either side: base = "anchor
+    // announced alone", leg "anchor first" = announce-delta fork, leg
+    // "anchor second" = re-age resume.  The anchor's flood is paid once
+    // in the (shared) base while the trailing side's announce-delta flood
+    // is paid per leg, so anchor each pair on the side whose transit
+    // provider is better connected — the weaker provider's smaller flood
+    // is the one that repeats.  Degree is a pure topology read, so the
+    // choice is deterministic and identical at every thread count.
+    const auto& graph = orchestrator_.world().internet().graph;
+    const auto provider_degree = [&](SiteId site) {
+      const bgp::AttachmentIndex a = deployment.transit_attachment(site);
+      return graph.node(deployment.attachments()[a].neighbor)
+          .neighbors.size();
+    };
+    std::vector<std::uint8_t> swapped(jobs.size(), 0);
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      swapped[k] =
+          provider_degree(jobs[k].second) > provider_degree(jobs[k].first)
+              ? std::uint8_t{1}
+              : std::uint8_t{0};
+    }
+    // Converge (or fetch) all bases up front on the calling thread, so
+    // worker threads only ever fork read-only overlays — event counts and
+    // censuses stay independent of thread count and completion order.
+    std::vector<std::shared_ptr<const bgp::BaseState>> bases;
+    bases.reserve(jobs.size());
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      bases.push_back(
+          base_for(swapped[k] != 0 ? jobs[k].second : jobs[k].first));
+    }
+
+    std::vector<measure::OverlayPairSpec> specs(jobs.size());
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      const PairJob& job = jobs[k];
+      // The overlay anchor leads the pair's leg 0; a swapped pair runs
+      // (second, first) as its leg 0 and maps the censuses back below.
+      // Nonces and ordinals follow the CONFIG (the experiment identity),
+      // not the mechanism, so a swapped pair's censuses land under the
+      // same store keys and fault coordinates as an unswapped one.
+      const SiteId lead = swapped[k] != 0 ? job.second : job.first;
+      const SiteId trail = swapped[k] != 0 ? job.first : job.second;
+      const std::size_t lead_leg = swapped[k] != 0 ? 1 : 0;
+      measure::OverlayPairSpec& spec = specs[k];
+      spec.base = bases[k].get();
+      spec.config0.announce_order = {lead, trail};
+      spec.config0.spacing_s = options_.spacing_s;
+      spec.config1.announce_order = {trail, lead};
+      spec.config1.spacing_s = options_.spacing_s;
+      // Leg 0 over the base "lead alone": announce the trailing item one
+      // spacing after the base's announcement, exactly where the classic
+      // (lead, trail) schedule puts it.
+      spec.delta = {bgp::Injection{options_.spacing_s,
+                                   deployment.transit_attachment(trail),
+                                   false}};
+      // Leg 1 re-ages the lead item's session: its routes take fresh
+      // arrival seqs, making the pair effectively (trail, lead).
+      spec.reage = {deployment.transit_attachment(lead)};
+      spec.nonce0 = incremental_nonce(job.first, job.second, lead_leg);
+      spec.nonce1 = incremental_nonce(job.first, job.second, 1 - lead_leg);
+      spec.ordinal0 = ordinal_base + 2 * k + lead_leg;
+      spec.ordinal1 = ordinal_base + 2 * k + (1 - lead_leg);
+    }
+    // Census layout contract for callers: slot 2k = (first, second),
+    // slot 2k+1 = (second, first) — a swapped pair's legs cross over.
+    auto slot_of = [&](std::size_t k, std::size_t leg) {
+      return swapped[k] != 0 ? 2 * k + 1 - leg : 2 * k + leg;
+    };
+    std::vector<measure::Census> censuses(jobs.size() * 2);
+    std::vector<measure::Census> raw = runner_.run_overlay_pairs(specs);
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      censuses[slot_of(k, 0)] = std::move(raw[2 * k]);
+      censuses[slot_of(k, 1)] = std::move(raw[2 * k + 1]);
+    }
+    if (experiments != nullptr) *experiments += specs.size() * 2;
+
+    // Resilience, pair-at-a-time: a pair simulates as a unit, so a pair
+    // with ANY empty leg re-runs whole — but only its empty legs are
+    // overwritten, keeping legs that already survived (their nonce never
+    // changes, so a kept leg equals what the retry would remeasure).
+    for (std::size_t round = 1; round <= options_.retry_rounds; ++round) {
+      std::vector<std::size_t> missing;
+      for (std::size_t k = 0; k < specs.size(); ++k) {
+        if (censuses[2 * k].reachable_count() == 0 ||
+            censuses[2 * k + 1].reachable_count() == 0) {
+          missing.push_back(k);
+        }
+      }
+      if (missing.empty()) break;
+      std::vector<measure::OverlayPairSpec> retry_specs;
+      retry_specs.reserve(missing.size());
+      for (const std::size_t k : missing) {
+        measure::OverlayPairSpec spec = specs[k];
+        spec.attempt = static_cast<std::uint32_t>(round);
+        retry_specs.push_back(std::move(spec));
+      }
+      std::vector<measure::Census> retried =
+          runner_.run_overlay_pairs(retry_specs);
+      for (std::size_t r = 0; r < missing.size(); ++r) {
+        const std::size_t k = missing[r];
+        for (const std::size_t leg : {std::size_t{0}, std::size_t{1}}) {
+          const std::size_t slot = slot_of(k, leg);
+          if (censuses[slot].reachable_count() == 0) {
+            censuses[slot] = std::move(retried[2 * r + leg]);
+          }
+        }
+      }
+      if (experiments != nullptr) *experiments += retry_specs.size() * 2;
+      if (telemetry::enabled()) {
+        DiscoveryMetrics::get().requeued->add(retry_specs.size() * 2);
+      }
+    }
+    return censuses;
+  }
+
   std::vector<measure::ExperimentSpec> specs;
-  specs.reserve(jobs.size() * legs);
+  specs.reserve(jobs.size() * (options_.account_order ? 2 : 1));
   for (const PairJob& job : jobs) {
     if (options_.account_order) {
       specs.push_back(make_spec(job.first, job.second, options_.spacing_s, 0));
@@ -157,7 +308,20 @@ std::vector<std::vector<PrefKind>> Discovery::classify_jobs(
       DiscoveryMetrics::get().requeued->add(retry_specs.size());
     }
   }
+  return censuses;
+}
 
+std::vector<std::vector<PrefKind>> Discovery::classify_jobs(
+    std::span<const PairJob> jobs, std::size_t* experiments,
+    std::size_t ordinal_base) const {
+  return classify_from_censuses(jobs,
+                                measure_jobs(jobs, experiments, ordinal_base));
+}
+
+std::vector<std::vector<PrefKind>> Discovery::classify_from_censuses(
+    std::span<const PairJob> jobs,
+    std::span<const measure::Census> censuses) const {
+  const std::size_t legs = options_.account_order ? 2 : 1;
   std::vector<std::vector<PrefKind>> out(jobs.size());
   for (std::size_t k = 0; k < jobs.size(); ++k) {
     const PairJob& job = jobs[k];
@@ -239,6 +403,76 @@ PairwiseTable Discovery::provider_level(std::size_t* experiments) const {
   }
   if (experiments != nullptr) *experiments = runs;
   return table;
+}
+
+Discovery::ProviderLevelViews Discovery::provider_level_views(
+    std::size_t* experiments) const {
+  ProviderLevelViews views;
+  if (!options_.account_order) {
+    // No per-order legs to derive the naive view from: both views ARE the
+    // naive table.
+    views.ordered = provider_level(experiments);
+    views.naive = views.ordered;
+    return views;
+  }
+  const auto& deployment = orchestrator_.world().deployment();
+  const std::size_t providers = deployment.provider_count();
+  const std::size_t targets = orchestrator_.world().targets().size();
+  views.ordered.init(providers, targets);
+  views.naive.init(providers, targets);
+
+  std::vector<PairJob> jobs;
+  std::vector<std::pair<std::size_t, std::size_t>> job_pairs;
+  jobs.reserve(pair_count(providers));
+  job_pairs.reserve(pair_count(providers));
+  for (std::size_t p = 0; p < providers; ++p) {
+    for (std::size_t q = p + 1; q < providers; ++q) {
+      const SiteId rep_p = representative(
+          ProviderId{static_cast<ProviderId::underlying_type>(p)});
+      const SiteId rep_q = representative(
+          ProviderId{static_cast<ProviderId::underlying_type>(q)});
+      if (!rep_p.valid() || !rep_q.valid()) continue;
+      jobs.push_back({rep_p, rep_q});
+      job_pairs.push_back({p, q});
+    }
+  }
+
+  std::size_t runs = 0;
+  const std::vector<measure::Census> censuses =
+      measure_jobs(jobs, &runs, options_.ordinal_base);
+  const auto classified = classify_from_censuses(jobs, censuses);
+  for (std::size_t k = 0; k < jobs.size(); ++k) {
+    const auto [p, q] = job_pairs[k];
+    const PairJob& job = jobs[k];
+    const PairOutcomes ab =
+        census_winners(censuses[2 * k], job.first, job.second);
+    const PairOutcomes ba =
+        census_winners(censuses[2 * k + 1], job.second, job.first);
+    for (std::size_t t = 0; t < targets; ++t) {
+      views.ordered.set(p, q, t, classified[k][t]);
+      // The naive view, derived: a naive campaign announces once and
+      // takes the winner as strict.  Targets whose winner flips with
+      // announcement order would produce contradicting "strict"
+      // conclusions across campaigns — record them as inconsistent, the
+      // failure Fig. 4b charges the naive approach with.
+      const std::uint8_t w_ab = ab.winner[t];
+      const std::uint8_t w_ba_as_ab =
+          ba.winner[t] == 2 ? std::uint8_t{2}
+                            : static_cast<std::uint8_t>(1 - ba.winner[t]);
+      PrefKind naive_kind = PrefKind::kUnknown;
+      if (w_ab != 2 && w_ba_as_ab != 2) {
+        if (w_ab == w_ba_as_ab) {
+          naive_kind = w_ab == 0 ? PrefKind::kStrictFirst
+                                 : PrefKind::kStrictSecond;
+        } else {
+          naive_kind = PrefKind::kInconsistent;
+        }
+      }
+      views.naive.set(p, q, t, naive_kind);
+    }
+  }
+  if (experiments != nullptr) *experiments = runs;
+  return views;
 }
 
 std::vector<PairwiseTable> Discovery::site_level(

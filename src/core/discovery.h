@@ -17,10 +17,14 @@
 // campaign, inside a sparse adaptive campaign, or on any thread.
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "bgp/simulator.h"
 #include "core/preference.h"
 #include "measure/campaign_runner.h"
 #include "measure/orchestrator.h"
@@ -61,6 +65,21 @@ struct DiscoveryOptions {
   /// fresh census is flushed as it completes.  Not owned; must outlive the
   /// discovery.  See `measure::CampaignRunnerOptions::store`.
   measure::ResultStore* store = nullptr;
+  /// Incremental re-convergence: converge one shared base per
+  /// first-announced site, then measure each pair as a copy-on-write
+  /// overlay pair (leg 0 propagates only the second item's announcement
+  /// delta; leg 1 resumes leg 0 and re-ages the first item's sessions).
+  /// Requires `account_order` — naive campaigns announce simultaneously,
+  /// so there is no base to share and they fall back to classic runs.
+  /// Incremental censuses carry tagged nonces (see `incremental_nonce`),
+  /// so a store shared with classic campaigns never serves a classic
+  /// census to an incremental leg or vice versa.
+  bool incremental = false;
+  /// Testing knob for the shared-base invariant: converge a fresh private
+  /// base per pair (same nonce) instead of reusing the cache.  Results
+  /// must be bit-identical to the shared-base path; the sharing is purely
+  /// an allocation/latency optimization.
+  bool incremental_private_bases = false;
 };
 
 /// \brief Output of the full two-level discovery.
@@ -95,6 +114,30 @@ class Discovery {
   /// \param experiments if non-null, receives the experiment count.
   /// \return pairwise preferences among provider slots.
   [[nodiscard]] PairwiseTable provider_level(std::size_t* experiments) const;
+
+  /// \brief Both Fig. 4b views of one provider-level campaign.
+  ///
+  /// The ordered view is `provider_level` with order accounting.  The
+  /// naive view is DERIVED from the same two ordered legs instead of
+  /// re-measured: a naive campaign takes whatever wins as a strict
+  /// preference, so a target whose winner depends on announcement order
+  /// shows up as an inconsistency (its two legs disagree), and a target
+  /// unreachable in either leg stays unknown.  Deriving it costs zero
+  /// extra experiments while preserving the ablation's direction — the
+  /// naive view can only be as good as or worse than the ordered one.
+  struct ProviderLevelViews {
+    PairwiseTable ordered;  ///< order-accounted classification
+    PairwiseTable naive;    ///< what a naive campaign would conclude
+  };
+
+  /// \brief Runs ONE provider-level campaign and returns both views.
+  ///
+  /// With `options().account_order` off there are no per-order legs to
+  /// derive from; both views then equal the naive `provider_level` table.
+  /// \param experiments if non-null, receives the experiment count.
+  /// \return ordered and naive tables over provider slots.
+  [[nodiscard]] ProviderLevelViews provider_level_views(
+      std::size_t* experiments) const;
 
   /// \brief Site-level discovery only (pairs within each provider).
   /// \param experiments if non-null, receives the experiment count.
@@ -182,6 +225,50 @@ class Discovery {
       std::span<const PairJob> jobs, std::size_t* experiments,
       std::size_t ordinal_base) const;
 
+  /// Measures all jobs (classic specs or incremental overlay pairs,
+  /// per `options().incremental`) including the retry rounds; returns
+  /// `jobs.size() * legs` censuses in job-major, leg-minor order.
+  [[nodiscard]] std::vector<measure::Census> measure_jobs(
+      std::span<const PairJob> jobs, std::size_t* experiments,
+      std::size_t ordinal_base) const;
+
+  /// Classifies already-measured jobs (the tail of `classify_jobs`) and
+  /// tallies the per-kind telemetry.
+  [[nodiscard]] std::vector<std::vector<PrefKind>> classify_from_censuses(
+      std::span<const PairJob> jobs,
+      std::span<const measure::Census> censuses) const;
+
+  /// True when this campaign runs overlay pairs: incremental mode is on,
+  /// order accounting gives it a per-order base to share, and no session
+  /// flaps are planned (flaps rewrite the base schedule itself, which an
+  /// overlay cannot express — such campaigns run classic end to end, with
+  /// classic nonces, so they stay bit-identical to a classic discovery).
+  [[nodiscard]] bool incremental_active() const {
+    return options_.incremental && options_.account_order &&
+           (orchestrator_.faults() == nullptr ||
+            orchestrator_.faults()->flaps().empty());
+  }
+
+  /// The content-derived nonce of one incremental experiment leg.  Same
+  /// shape as `experiment_nonce` but under a distinct tag: an overlay leg
+  /// draws different jitter streams than the classic run of the same
+  /// config, so its census — and its store key — must never collide with
+  /// a classic campaign's.
+  [[nodiscard]] std::uint64_t incremental_nonce(SiteId first, SiteId second,
+                                                std::uint64_t order_leg) const;
+
+  /// The nonce of the shared base that announces `first` alone.
+  [[nodiscard]] std::uint64_t base_nonce(SiteId first) const;
+
+  /// The converged single-site base for `first`: cached and shared across
+  /// pairs (and across `classify_pairs` batches — sparse discovery's
+  /// adaptive rounds reuse one Discovery), or converged fresh per call
+  /// when `options().incremental_private_bases` is set.  A base depends
+  /// only on its schedule and nonce, so shared and private copies are
+  /// interchangeable bit for bit.
+  [[nodiscard]] std::shared_ptr<const bgp::BaseState> base_for(
+      SiteId first) const;
+
   /// Number of specs the provider-level campaign enumerates (site-level
   /// ordinals start after them so one FaultPlan timeline spans `run()`).
   [[nodiscard]] std::size_t provider_level_spec_count() const;
@@ -201,6 +288,16 @@ class Discovery {
   const measure::Orchestrator& orchestrator_;
   DiscoveryOptions options_;
   measure::CampaignRunner runner_;
+  // Shared-base cache for incremental campaigns, keyed by base nonce.
+  // Bases are converged serially on the calling thread before a batch
+  // fans out (workers only fork read-only overlays), so the mutex guards
+  // nothing hot; it exists because a const Discovery may be driven from
+  // multiple threads.  shared_ptr keeps a base alive while private-base
+  // batches or earlier batches still reference it.
+  mutable std::mutex base_mutex_;
+  mutable std::unordered_map<std::uint64_t,
+                             std::shared_ptr<const bgp::BaseState>>
+      base_cache_;
 };
 
 }  // namespace anyopt::core

@@ -64,6 +64,16 @@ struct OnePassOptions {
   /// Optional persistent result store (see
   /// `measure::CampaignRunnerOptions::store`).  Not owned.
   measure::ResultStore* store = nullptr;
+  /// Incremental re-convergence: converge the transit-only baseline once,
+  /// then measure each peer as a copy-on-write overlay propagating only
+  /// that peer's announcement.  The baseline census is the empty-delta
+  /// overlay over the same base with the classic baseline nonce — bit
+  /// identical to the classic run, so it may share a store with classic
+  /// campaigns; per-peer overlay censuses carry tagged nonces (their
+  /// jitter streams differ from classic runs of the same configs).  Falls
+  /// back to classic runs when the baseline already enables peers (there
+  /// is no peer-free base to share).
+  bool incremental = false;
 };
 
 /// \brief Runs the paper's one-pass peer incorporation (§4.4).

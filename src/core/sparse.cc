@@ -83,6 +83,10 @@ SparseResult SparseDiscovery::run(std::size_t max_pairs,
   const auto& deployment = orchestrator_.world().deployment();
   const std::size_t providers = deployment.provider_count();
   const std::size_t targets = orchestrator_.world().targets().size();
+  // ONE Discovery spans every adaptive round: with
+  // `options_.incremental` set, its shared-base cache persists across the
+  // per-round `classify_pairs` batches, so a base converges at most once
+  // per first-announced site no matter how many rounds revisit it.
   const Discovery discovery(orchestrator_, options_);
   if (batch == 0) batch = 1;
 

@@ -112,4 +112,141 @@ std::vector<Census> CampaignRunner::run(
   return censuses;
 }
 
+std::vector<Census> CampaignRunner::run_overlays(
+    std::span<const OverlaySpec> specs) const {
+  const bool telem = telemetry::enabled();
+  telemetry::ScopedTimer batch_span(
+      "campaign.batch", "campaign", nullptr,
+      telem && telemetry::tracing()
+          ? telemetry::make_args("experiments", specs.size(), "threads",
+                                 threads())
+          : std::string{});
+  if (telem) {
+    const CampaignMetrics& m = CampaignMetrics::get();
+    m.batches->add(1);
+    m.experiments->add(specs.size());
+  }
+  const auto measure_one = [&](std::size_t i) {
+    const OverlaySpec& spec = specs[i];
+    const std::uint64_t key = ResultStore::census_key(spec.config, spec.nonce);
+    // Same store policy as `run`: replay persisted censuses, never serve a
+    // stored result to a retry.
+    if (store_ != nullptr && spec.attempt == 0) {
+      if (std::optional<Census> cached = store_->find_census(key);
+          cached.has_value()) {
+        return *std::move(cached);
+      }
+    }
+    telemetry::ScopedTimer span(
+        "campaign.experiment", "campaign",
+        telemetry::enabled() ? CampaignMetrics::get().experiment_ms : nullptr,
+        telemetry::enabled() && telemetry::tracing()
+            ? telemetry::make_args("index", i, "nonce", spec.nonce)
+            : std::string{});
+    const ExperimentAt at{spec.ordinal, spec.attempt};
+    bgp::SimScratch* scratch = nullptr;
+    if (reuse_scratch_) {
+      const std::size_t worker = ThreadPool::current_worker();
+      if (worker < worker_scratch_.size()) {
+        scratch = &worker_scratch_[worker];
+      } else {
+        thread_local bgp::SimScratch serial_scratch;
+        scratch = &serial_scratch;
+      }
+    }
+    Census census = orchestrator_.measure_overlay(*spec.base, spec.config,
+                                                  spec.delta, spec.nonce,
+                                                  scratch, at);
+    if (store_ != nullptr) {
+      (void)store_->put_census(key, census);
+    }
+    return census;
+  };
+
+  std::vector<Census> censuses(specs.size());
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      censuses[i] = measure_one(i);
+    }
+    return censuses;
+  }
+  pool_->parallel_for(specs.size(), [&](std::size_t i) {
+    censuses[i] = measure_one(i);
+  });
+  return censuses;
+}
+
+std::vector<Census> CampaignRunner::run_overlay_pairs(
+    std::span<const OverlayPairSpec> specs) const {
+  const bool telem = telemetry::enabled();
+  telemetry::ScopedTimer batch_span(
+      "campaign.batch", "campaign", nullptr,
+      telem && telemetry::tracing()
+          ? telemetry::make_args("experiments", specs.size() * 2, "threads",
+                                 threads())
+          : std::string{});
+  if (telem) {
+    const CampaignMetrics& m = CampaignMetrics::get();
+    m.batches->add(1);
+    m.experiments->add(specs.size() * 2);
+  }
+  std::vector<Census> censuses(specs.size() * 2);
+  const auto measure_pair = [&](std::size_t i) {
+    const OverlayPairSpec& spec = specs[i];
+    const std::uint64_t key0 = ResultStore::census_key(spec.config0, spec.nonce0);
+    const std::uint64_t key1 = ResultStore::census_key(spec.config1, spec.nonce1);
+    // The pair simulates as a unit (leg 1 resumes leg 0's state), so the
+    // store shortcut needs BOTH legs persisted; retries (attempt > 0)
+    // always re-run, as in `run`.
+    if (store_ != nullptr && spec.attempt == 0) {
+      std::optional<Census> cached0 = store_->find_census(key0);
+      std::optional<Census> cached1 =
+          cached0.has_value() ? store_->find_census(key1) : std::nullopt;
+      if (cached0.has_value() && cached1.has_value()) {
+        censuses[2 * i] = *std::move(cached0);
+        censuses[2 * i + 1] = *std::move(cached1);
+        return;
+      }
+    }
+    telemetry::ScopedTimer span(
+        "campaign.experiment", "campaign",
+        telemetry::enabled() ? CampaignMetrics::get().experiment_ms : nullptr,
+        telemetry::enabled() && telemetry::tracing()
+            ? telemetry::make_args("index", i, "nonce", spec.nonce0)
+            : std::string{});
+    const ExperimentAt at0{spec.ordinal0, spec.attempt};
+    const ExperimentAt at1{spec.ordinal1, spec.attempt};
+    bgp::SimScratch* scratch = nullptr;
+    if (reuse_scratch_) {
+      const std::size_t worker = ThreadPool::current_worker();
+      if (worker < worker_scratch_.size()) {
+        scratch = &worker_scratch_[worker];
+      } else {
+        // Serial (or any non-worker caller): same thread-local amortization
+        // the orchestrator's plain `measure` path uses.
+        thread_local bgp::SimScratch serial_scratch;
+        scratch = &serial_scratch;
+      }
+    }
+    Orchestrator::OverlayPairCensus pair = orchestrator_.measure_overlay_pair(
+        *spec.base, spec.config0, spec.config1, spec.delta, spec.reage,
+        spec.nonce0, spec.nonce1, scratch, at0, at1);
+    if (store_ != nullptr) {
+      // Same flush-as-you-go policy as `run`; a write failure only costs
+      // the checkpoint.
+      (void)store_->put_census(key0, pair.leg0);
+      (void)store_->put_census(key1, pair.leg1);
+    }
+    censuses[2 * i] = std::move(pair.leg0);
+    censuses[2 * i + 1] = std::move(pair.leg1);
+  };
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < specs.size(); ++i) measure_pair(i);
+    return censuses;
+  }
+  pool_->parallel_for(specs.size(),
+                      [&](std::size_t i) { measure_pair(i); });
+  return censuses;
+}
+
 }  // namespace anyopt::measure

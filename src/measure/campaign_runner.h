@@ -36,6 +36,48 @@ struct ExperimentSpec {
   std::uint32_t attempt = 0;      ///< retry attempt, 0 = first run
 };
 
+/// \brief One experiment expressed incrementally: a shared converged base
+///        plus the announcement delta that turns it into the experiment.
+///
+/// `config` must describe the FULL experiment (base schedule plus delta):
+/// it keys the result store and drives the fault layer's classic fallback
+/// (see `Orchestrator::measure_overlay`).  The base is not owned and must
+/// outlive the batch; many specs may share one base across threads (it is
+/// read-only during overlay runs).
+struct OverlaySpec {
+  const bgp::BaseState* base = nullptr;  ///< shared converged base
+  anycast::AnycastConfig config;         ///< the full experiment's config
+  std::vector<bgp::Injection> delta;     ///< events beyond the base schedule
+  std::uint64_t nonce = 0;               ///< jitter/noise identity
+  std::size_t ordinal = 0;               ///< campaign position (fault layer)
+  std::uint32_t attempt = 0;             ///< retry attempt, 0 = first run
+};
+
+/// \brief One pairwise order experiment expressed incrementally: a shared
+///        converged base plus the second item's announcement delta.
+///
+/// Expands to TWO censuses — leg 0 forks the base and propagates `delta`;
+/// leg 1 resumes leg 0 and re-ages the `reage` attachments (seniority
+/// inversion), so the pair costs one wave-2 propagation and one flip
+/// cascade instead of two full re-convergences.  `config0`/`config1` must
+/// describe the two full experiments: they key the result store and drive
+/// the fault layer's classic fallbacks (see
+/// `Orchestrator::measure_overlay_pair`).  The base is not owned and must
+/// outlive the batch; many specs may share one base across threads (it is
+/// read-only during overlay runs).
+struct OverlayPairSpec {
+  const bgp::BaseState* base = nullptr;     ///< shared converged base
+  anycast::AnycastConfig config0;           ///< full (first, second) config
+  anycast::AnycastConfig config1;           ///< full (second, first) config
+  std::vector<bgp::Injection> delta;        ///< second item over the base
+  std::vector<bgp::AttachmentIndex> reage;  ///< first item's sessions (leg 1)
+  std::uint64_t nonce0 = 0;                 ///< leg-0 jitter/noise identity
+  std::uint64_t nonce1 = 0;                 ///< leg-1 jitter/noise identity
+  std::size_t ordinal0 = 0;                 ///< leg-0 campaign position
+  std::size_t ordinal1 = 0;                 ///< leg-1 campaign position
+  std::uint32_t attempt = 0;                ///< retry attempt, 0 = first run
+};
+
 class ResultStore;
 
 /// \brief Campaign engine configuration.
@@ -75,6 +117,30 @@ class CampaignRunner {
   /// \return one census per spec, in spec order.
   [[nodiscard]] std::vector<Census> run(
       std::span<const ExperimentSpec> specs) const;
+
+  /// \brief Measures every overlay spec (incremental re-convergence).
+  ///
+  /// Fans out over the worker pool exactly like `run`; each worker forks a
+  /// read-only overlay off the spec's shared base.  Store policy matches
+  /// `run`: persisted censuses replay without simulating, fresh censuses
+  /// flush as they complete, retries always re-run.
+  /// \param specs the batch of overlay experiments.
+  /// \return one census per spec, in spec order.
+  [[nodiscard]] std::vector<Census> run_overlays(
+      std::span<const OverlaySpec> specs) const;
+
+  /// \brief Measures every overlay pair (incremental re-convergence).
+  ///
+  /// Pairs fan out over the worker pool exactly like `run`; each worker
+  /// forks read-only overlays off the specs' shared bases.  Store policy
+  /// matches `run`: a pair whose BOTH legs are persisted replays without
+  /// simulating (a pair simulates as a unit — leg 1 resumes leg 0), and
+  /// every freshly measured leg is flushed as it completes.
+  /// \param specs the batch of overlay pairs.
+  /// \return two censuses per spec, in spec order: [leg0 of spec 0, leg1 of
+  ///         spec 0, leg0 of spec 1, ...].
+  [[nodiscard]] std::vector<Census> run_overlay_pairs(
+      std::span<const OverlayPairSpec> specs) const;
 
   /// \brief Effective worker count (1 when running serially).
   /// \return number of threads experiments are fanned over.

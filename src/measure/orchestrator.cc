@@ -163,12 +163,6 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
       telem && telemetry::tracing()
           ? telemetry::make_args("nonce", experiment_nonce)
           : std::string{});
-  const auto& targets = world_.targets();
-  Census census;
-  census.site_of_target.assign(targets.size(), SiteId{});
-  census.attachment_of_target.assign(targets.size(), bgp::kNoAttachment);
-  census.rtt_ms.assign(targets.size(), -1.0);
-
   // --- Fault layer (off when no injector is configured). ---
   const fault::FaultInjector* faults = options_.faults;
   fault::RoundFaults round_faults;
@@ -180,7 +174,7 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
       // unreachable deployment produces.  Callers detect it via
       // reachable_count() == 0 and may re-enqueue with attempt + 1.
       if (telem) FaultMetrics::get().round_failures->add(1);
-      return census;
+      return empty_census();
     }
   }
 
@@ -215,6 +209,28 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
   }
   bgp::RoutingState state =
       world_.simulator().run(schedule, experiment_nonce, scratch);
+  Census census = census_from_state(state, experiment_nonce, round_faults, at);
+  if (scratch != nullptr) scratch->recycle(std::move(state));
+  return census;
+}
+
+Census Orchestrator::empty_census() const {
+  const auto& targets = world_.targets();
+  Census census;
+  census.site_of_target.assign(targets.size(), SiteId{});
+  census.attachment_of_target.assign(targets.size(), bgp::kNoAttachment);
+  census.rtt_ms.assign(targets.size(), -1.0);
+  return census;
+}
+
+Census Orchestrator::census_from_state(bgp::RoutingState& state,
+                                       std::uint64_t experiment_nonce,
+                                       const fault::RoundFaults& round_faults,
+                                       ExperimentAt at) const {
+  const bool telem = telemetry::enabled();
+  const fault::FaultInjector* faults = options_.faults;
+  const auto& targets = world_.targets();
+  Census census = empty_census();
 
   // Pass 1 — resolve every target's forwarding path, visiting targets
   // grouped by client AS so each AS's memoized walk is built once and
@@ -233,7 +249,6 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
     resolved[t] = Resolved{path.reachable, path.site, path.attachment,
                            path.one_way_ms};
   }
-  if (scratch != nullptr) scratch->recycle(std::move(state));
 
   // Pass 2 — probe in target order.  The prober draws its noise stream in
   // this exact order, so the census is bit-identical to the historical
@@ -281,6 +296,122 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
     }
   }
   return census;
+}
+
+bgp::BaseState Orchestrator::converge_base(const anycast::AnycastConfig& config,
+                                           std::uint64_t base_nonce) const {
+  const auto schedule = config.schedule(world_.deployment());
+  return world_.simulator().converge_base(schedule, base_nonce);
+}
+
+bool Orchestrator::schedule_faults_apply(const anycast::AnycastConfig& config,
+                                         std::size_t ordinal) const {
+  const fault::FaultInjector* faults = options_.faults;
+  if (faults == nullptr) return false;
+  // Any planned flap rewrites schedules wholesale; be conservative and
+  // treat it as incompatible with the base + delta decomposition.
+  if (!faults->flaps().empty()) return true;
+  for (const bgp::Injection& inj : config.schedule(world_.deployment())) {
+    if (inj.withdraw) continue;
+    const SiteId site = world_.deployment().attachments()[inj.attachment].site;
+    if (faults->site_failed(site, ordinal)) return true;
+  }
+  return false;
+}
+
+Census Orchestrator::measure_overlay(const bgp::BaseState& base,
+                                     const anycast::AnycastConfig& config,
+                                     std::span<const bgp::Injection> delta,
+                                     std::uint64_t experiment_nonce,
+                                     bgp::SimScratch* scratch,
+                                     ExperimentAt at) const {
+  if (schedule_faults_apply(config, at.ordinal)) {
+    return measure(config, experiment_nonce, scratch, at);
+  }
+  const bool telem = telemetry::enabled();
+  const fault::FaultInjector* faults = options_.faults;
+  fault::RoundFaults round_faults;
+  if (faults != nullptr) {
+    round_faults = faults->round(at.ordinal, at.attempt);
+    if (round_faults.fail_round) {
+      if (telem) FaultMetrics::get().round_failures->add(1);
+      return empty_census();
+    }
+  }
+  telemetry::ScopedTimer span(
+      "measure.census", "measure",
+      telem ? CensusMetrics::get().census_ms : nullptr,
+      telem && telemetry::tracing()
+          ? telemetry::make_args("nonce", experiment_nonce)
+          : std::string{});
+  bgp::RoutingState state =
+      world_.simulator().run_overlay(base, delta, experiment_nonce, scratch);
+  Census census = census_from_state(state, experiment_nonce, round_faults, at);
+  if (scratch != nullptr) scratch->recycle(std::move(state));
+  return census;
+}
+
+Orchestrator::OverlayPairCensus Orchestrator::measure_overlay_pair(
+    const bgp::BaseState& base, const anycast::AnycastConfig& config0,
+    const anycast::AnycastConfig& config1,
+    std::span<const bgp::Injection> delta,
+    std::span<const bgp::AttachmentIndex> reage, std::uint64_t nonce0,
+    std::uint64_t nonce1, bgp::SimScratch* scratch, ExperimentAt at0,
+    ExperimentAt at1) const {
+  const bool telem = telemetry::enabled();
+  const fault::FaultInjector* faults = options_.faults;
+  OverlayPairCensus out;
+  if (schedule_faults_apply(config0, at0.ordinal) ||
+      schedule_faults_apply(config1, at1.ordinal)) {
+    // The injected faults rewrite at least one leg's schedule, so the
+    // base + delta decomposition no longer describes the experiment pair;
+    // run both legs classically (classic handles every fault kind).
+    out.leg0 = measure(config0, nonce0, scratch, at0);
+    out.leg1 = measure(config1, nonce1, scratch, at1);
+    return out;
+  }
+  fault::RoundFaults rf0;
+  fault::RoundFaults rf1;
+  if (faults != nullptr) {
+    rf0 = faults->round(at0.ordinal, at0.attempt);
+    rf1 = faults->round(at1.ordinal, at1.attempt);
+  }
+  {
+    telemetry::ScopedTimer span(
+        "measure.census", "measure",
+        telem ? CensusMetrics::get().census_ms : nullptr,
+        telem && telemetry::tracing() ? telemetry::make_args("nonce", nonce0)
+                                      : std::string{});
+    bgp::RoutingState leg0 = world_.simulator().run_overlay(
+        base, delta, nonce0, scratch, {}, /*keep_continuation=*/true);
+    if (rf0.fail_round) {
+      // A failed round loses the CENSUS, not the announcements: leg 0's
+      // routes still converged (leg 1 resumes that state normally), the
+      // measurement round just came back empty.  A later retry of the
+      // pair therefore reproduces the fault-free legs bit for bit.
+      if (telem) FaultMetrics::get().round_failures->add(1);
+      out.leg0 = empty_census();
+    } else {
+      out.leg0 = census_from_state(leg0, nonce0, rf0, at0);
+    }
+    span.finish();
+    if (rf1.fail_round) {
+      if (telem) FaultMetrics::get().round_failures->add(1);
+      out.leg1 = empty_census();
+      if (scratch != nullptr) scratch->recycle(std::move(leg0));
+      return out;
+    }
+    telemetry::ScopedTimer span1(
+        "measure.census", "measure",
+        telem ? CensusMetrics::get().census_ms : nullptr,
+        telem && telemetry::tracing() ? telemetry::make_args("nonce", nonce1)
+                                      : std::string{});
+    bgp::RoutingState leg1 = world_.simulator().resume_overlay(
+        std::move(leg0), {}, nonce1, scratch, reage);
+    out.leg1 = census_from_state(leg1, nonce1, rf1, at1);
+    if (scratch != nullptr) scratch->recycle(std::move(leg1));
+  }
+  return out;
 }
 
 std::vector<double> Orchestrator::unicast_rtts(

@@ -10,10 +10,12 @@
 //    orchestrator<->site tunnel RTT, repeat seven times, take the median.
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "anycast/config.h"
 #include "anycast/world.h"
+#include "bgp/simulator.h"
 #include "measure/prober.h"
 #include "netbase/fault.h"
 #include "netbase/geo.h"
@@ -155,6 +157,87 @@ class Orchestrator {
                                bgp::SimScratch* scratch,
                                ExperimentAt at) const;
 
+  /// \brief Converges `config`'s announcement schedule once into a
+  ///        campaign-shared base state (incremental re-convergence).
+  ///
+  /// The base is a pure simulation artifact — no census is taken and the
+  /// fault layer does not apply (faults attach to *measured experiments*;
+  /// an experiment whose faults would alter the base schedule falls back to
+  /// a classic run inside `measure_overlay`/`measure_overlay_pair`).  The
+  /// result depends only on (schedule, base_nonce), so a shared base is
+  /// interchangeable with a freshly converged private one, bit for bit.
+  /// \param config the configuration whose schedule to converge.
+  /// \param base_nonce individualizes the base's jitter (content-derive it).
+  /// \return the frozen base; overlays forked from it must not outlive it.
+  [[nodiscard]] bgp::BaseState converge_base(
+      const anycast::AnycastConfig& config, std::uint64_t base_nonce) const;
+
+  /// \brief Measures one experiment as a copy-on-write overlay over `base`:
+  ///        only `delta` is propagated, then the census is taken exactly as
+  ///        `measure` would.
+  ///
+  /// `config` must describe the FULL experiment (base schedule + delta) —
+  /// it is consulted for fault-layer decisions: when the injector plans
+  /// session flaps or a site failure that touches `config`'s announcements,
+  /// the schedule no longer decomposes into base + delta and this method
+  /// transparently falls back to the classic `measure` path.  Round
+  /// failures, degraded rounds and loss storms compose with overlays.
+  /// \param base the shared converged base (see `converge_base`).
+  /// \param config the full experiment configuration (fault decisions).
+  /// \param delta injections beyond the base schedule (times relative to
+  ///        the base's convergence horizon).
+  /// \param experiment_nonce jitter/noise identity, as in `measure`.
+  /// \param scratch recycled simulator buffers, or nullptr.
+  /// \param at the census's campaign ordinal and retry attempt.
+  /// \return the census.
+  [[nodiscard]] Census measure_overlay(const bgp::BaseState& base,
+                                       const anycast::AnycastConfig& config,
+                                       std::span<const bgp::Injection> delta,
+                                       std::uint64_t experiment_nonce,
+                                       bgp::SimScratch* scratch,
+                                       ExperimentAt at) const;
+
+  /// \brief Both censuses of a two-leg order experiment, measured
+  ///        incrementally.
+  struct OverlayPairCensus {
+    Census leg0;  ///< the (first, second) announcement order
+    Census leg1;  ///< the (second, first) order, via seniority inversion
+  };
+
+  /// \brief Measures a pairwise order experiment as two overlay legs over
+  ///        one shared base.
+  ///
+  /// Leg 0 forks `base` and propagates `delta` (the second item's
+  /// announcement).  Leg 1 resumes leg 0's converged state and re-ages the
+  /// `reage` attachments — the base item's routes take fresh arrival-seq
+  /// values exactly as a re-advertisement would, which is precisely "the
+  /// second item was announced first" under the oldest-route tie-break —
+  /// and propagates only the resulting decision flips.  `config0`/`config1`
+  /// describe the two FULL experiments for the fault layer; any fault that
+  /// would alter either leg's schedule (flaps, announced-site failures)
+  /// falls both legs back to classic `measure` runs.  A failed measurement
+  /// round empties only that leg's census — the routes still converged, so
+  /// leg 1 resumes leg 0's state either way and a retried pair reproduces
+  /// the fault-free censuses bit for bit.
+  /// \param base the shared base with the pair's first item announced.
+  /// \param config0 full leg-0 configuration (first, second).
+  /// \param config1 full leg-1 configuration (second, first).
+  /// \param delta the second item's announcement over the base.
+  /// \param reage the first item's attachments (re-aged for leg 1).
+  /// \param nonce0 leg-0 jitter/noise identity.
+  /// \param nonce1 leg-1 jitter/noise identity.
+  /// \param scratch recycled simulator buffers, or nullptr.
+  /// \param at0 leg-0 campaign coordinates.
+  /// \param at1 leg-1 campaign coordinates.
+  /// \return both legs' censuses.
+  [[nodiscard]] OverlayPairCensus measure_overlay_pair(
+      const bgp::BaseState& base, const anycast::AnycastConfig& config0,
+      const anycast::AnycastConfig& config1,
+      std::span<const bgp::Injection> delta,
+      std::span<const bgp::AttachmentIndex> reage, std::uint64_t nonce0,
+      std::uint64_t nonce1, bgp::SimScratch* scratch, ExperimentAt at0,
+      ExperimentAt at1) const;
+
   /// \brief The paper's single-site RTT procedure: announce only `site`,
   ///        measure every target's RTT to it via the site tunnel.
   /// \param site the site to announce alone.
@@ -174,7 +257,31 @@ class Orchestrator {
   /// \return the bound world.
   [[nodiscard]] const anycast::World& world() const { return world_; }
 
+  /// \brief The fault injector every census consults.
+  /// \return the injector from the options, or nullptr when the fault
+  ///         layer is disabled.  Campaign layers use this to decide up
+  ///         front whether incremental overlays can express a schedule
+  ///         (session flaps rewrite the base schedule itself).
+  [[nodiscard]] const fault::FaultInjector* faults() const {
+    return options_.faults;
+  }
+
  private:
+  /// An all-unreachable census in the world's target shape.
+  [[nodiscard]] Census empty_census() const;
+  /// Passes 1+2 over an already converged state: resolve every target's
+  /// forwarding path, then probe.  Shared by the classic and overlay paths;
+  /// the caller owns `state` (and recycles it afterwards).
+  [[nodiscard]] Census census_from_state(bgp::RoutingState& state,
+                                         std::uint64_t experiment_nonce,
+                                         const fault::RoundFaults& round_faults,
+                                         ExperimentAt at) const;
+  /// True when the fault layer would alter this experiment's announcement
+  /// schedule at `ordinal` (flap plan, or a failed announced site) — the
+  /// overlay decomposition no longer matches and classic `measure` must run.
+  [[nodiscard]] bool schedule_faults_apply(const anycast::AnycastConfig& config,
+                                           std::size_t ordinal) const;
+
   const anycast::World& world_;
   OrchestratorOptions options_;
   /// Target ids stable-sorted by client AS (ties keep census/target order):

@@ -50,8 +50,12 @@ std::optional<double> Prober::measure(double true_rtt_ms,
       // whole measurement layer is virtual time), so it is accumulated for
       // inspection rather than slept.
       ++retries_;
+      // Saturate the doubling: shifting a 64-bit one by >= 64 is UB, and a
+      // backoff beyond 2^63 base units is indistinguishable from "forever"
+      // anyway.  Identical to the unchecked shift for attempt <= 64.
+      const int shift = std::min(attempt - 1, 63);
       backoff_ms_ += model_.backoff_base_ms *
-                     static_cast<double>(std::uint64_t{1} << (attempt - 1));
+                     static_cast<double>(std::uint64_t{1} << shift);
     }
     std::vector<double> valid;
     valid.reserve(model_.repeats);

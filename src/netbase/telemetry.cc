@@ -50,6 +50,10 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
 void Histogram::record(double v) {
+  if (!std::isfinite(v)) {
+    non_finite_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
   detail::atomic_add(sum_, v);
   count_.fetch_add(1, std::memory_order_relaxed);
@@ -85,6 +89,7 @@ double Histogram::percentile(double p) const {
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
+  non_finite_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(kInf, std::memory_order_relaxed);
   max_.store(-kInf, std::memory_order_relaxed);

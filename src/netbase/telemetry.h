@@ -126,10 +126,17 @@ class Histogram {
  public:
   static constexpr int kBuckets = 64;
 
+  /// Records one sample.  Non-finite values (NaN, ±inf) are counted in
+  /// `non_finite()` and otherwise dropped — one bad sample must not poison
+  /// the mean/min/max of the whole run.
   void record(double v);
 
   [[nodiscard]] std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
+  }
+  /// Samples rejected by `record` for being NaN or ±inf.
+  [[nodiscard]] std::uint64_t non_finite() const {
+    return non_finite_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] double sum() const {
     return sum_.load(std::memory_order_relaxed);
@@ -148,6 +155,7 @@ class Histogram {
  private:
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> non_finite_{0};
   std::atomic<double> sum_{0.0};
   // ±inf sentinels: any recorded value replaces them race-free.
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};

@@ -10,7 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "bgp/simulator.h"
+#include "netbase/rng.h"
 #include "netbase/telemetry.h"
 #include "support/mini_world.h"
 
@@ -124,6 +127,104 @@ TEST(FlapRegression, RouterIdWorldIsFlapInsensitive) {
   const auto flapped = apply_flaps(calm, {&flap, 1});
   EXPECT_EQ(sim.run(calm, 1).resolve(d.s, {0, 0}, 0).site,
             sim.run(flapped, 1).resolve(d.s, {0, 0}, 0).site);
+}
+
+TEST(FlapRegression, FlapCycleMustNotResurrectWithdrawnSession) {
+  // A announced at 0, B at 360, A permanently withdrawn at 1000.  A's
+  // session also flaps with enough cycles to outlast the withdraw.  The
+  // flap expansion must clip at the base withdraw: an experiment that
+  // turned a session off decided the final topology, and a later flap
+  // cycle re-advertising it would resurrect a dead route.
+  Diamond d(/*stub_prefers_oldest=*/true);
+  const Simulator sim(d.net, d.attachments);
+  const std::vector<Injection> schedule{
+      {0.0, 0, false}, {360.0, 1, false}, {1000.0, 0, true}};
+  fault::SessionFlap flap = flap_of_a();  // first down at 720
+  flap.cycles = 5;                        // cycles land at 720, 1380, ...
+  const auto merged = apply_flaps(schedule, {&flap, 1});
+
+  // Only the first cycle fits before the 1000 s withdraw: base 3 events +
+  // one withdraw/re-announce pair.
+  ASSERT_EQ(merged.size(), 5u);
+  for (const Injection& inj : merged) {
+    if (inj.attachment == 0 && !inj.withdraw) {
+      EXPECT_LT(inj.time_s, 1000.0)
+          << "re-advertisement after the base withdraw resurrects the route";
+    }
+  }
+  // End state: A is withdrawn for good, so the stub must sit on B.
+  EXPECT_EQ(sim.run(merged, 1).resolve(d.s, {0, 0}, 0).site, kSiteB);
+}
+
+TEST(FlapProperty, SeededSweepKeepsSchedulesSortedAndClipped) {
+  // Satellite sweep: random schedules mixing base withdraws, flap cycles
+  // and prepends.  Two invariants hold for every seed: the merged schedule
+  // is time-sorted, and no flap-generated injection of an attachment lands
+  // at or past that attachment's first post-announcement base withdraw.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    Rng rng{mix64(0xF1A9ULL, seed)};
+    const std::size_t attachments = 1 + rng.below(4);
+
+    std::vector<Injection> base;
+    std::vector<double> announce_at(attachments, -1.0);
+    std::vector<double> clip_at(attachments,
+                                std::numeric_limits<double>::infinity());
+    double t = 0.0;
+    for (std::size_t a = 0; a < attachments; ++a) {
+      announce_at[a] = t;
+      base.push_back(Injection{t, static_cast<AttachmentIndex>(a), false,
+                               static_cast<std::uint8_t>(rng.below(4))});
+      t += 360.0;
+    }
+    for (std::size_t a = 0; a < attachments; ++a) {
+      if (rng.below(2) == 0) continue;  // half the sessions get withdrawn
+      const double w = announce_at[a] + 60.0 + rng.uniform(0.0, 2000.0);
+      clip_at[a] = w;
+      base.push_back(Injection{w, static_cast<AttachmentIndex>(a), true, 0});
+    }
+
+    std::vector<fault::SessionFlap> flaps;
+    for (std::size_t a = 0; a < attachments; ++a) {
+      if (rng.below(3) == 0) continue;
+      fault::SessionFlap flap;
+      flap.attachment = static_cast<AttachmentIndex>(a);
+      flap.first_down_s = rng.uniform(10.0, 1500.0);
+      flap.down_dwell_s = rng.uniform(10.0, 120.0);
+      flap.up_dwell_s = rng.uniform(60.0, 900.0);
+      flap.cycles = static_cast<std::uint32_t>(1 + rng.below(6));
+      flaps.push_back(flap);
+    }
+
+    const auto merged = apply_flaps(base, flaps);
+
+    for (std::size_t i = 1; i < merged.size(); ++i) {
+      EXPECT_LE(merged[i - 1].time_s, merged[i].time_s)
+          << "seed " << seed << " unsorted at " << i;
+    }
+    // Count base injections per (attachment, withdraw, time) so the
+    // flap-generated ones can be told apart after the sort.
+    auto is_base = [&](const Injection& inj) {
+      for (const Injection& b : base) {
+        if (b.attachment == inj.attachment && b.withdraw == inj.withdraw &&
+            b.time_s == inj.time_s) {
+          return true;
+        }
+      }
+      return false;
+    };
+    for (const Injection& inj : merged) {
+      if (is_base(inj)) continue;
+      EXPECT_LT(inj.time_s, clip_at[inj.attachment])
+          << "seed " << seed << ": flap injection (withdraw=" << inj.withdraw
+          << ") at " << inj.time_s << " past the base withdraw of attachment "
+          << static_cast<int>(inj.attachment);
+      if (!inj.withdraw) {
+        EXPECT_EQ(inj.prepend, base[inj.attachment].prepend)
+            << "seed " << seed
+            << ": re-advertisement must preserve the original prepend";
+      }
+    }
+  }
 }
 
 TEST(FlapRegression, WithdrawEventsAreCounted) {

@@ -1,0 +1,318 @@
+// Incremental re-convergence invariance: measuring an experiment as a
+// copy-on-write overlay over a SHARED converged base must produce exactly
+// the bits that a private, freshly-converged base produces — at every
+// thread count.  The sharing is purely an allocation/latency optimization;
+// censuses, discovery tables and per-target explanations are the proof.
+//
+// Also covers the fault-layer contract: schedules the overlay engine
+// cannot express incrementally (session flaps) must fall back to classic
+// runs and stay bit-identical to a classic campaign.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "anycast/world.h"
+#include "bgp/simulator.h"
+#include "core/discovery.h"
+#include "core/peers.h"
+#include "measure/campaign_runner.h"
+#include "measure/orchestrator.h"
+#include "netbase/fault.h"
+#include "netbase/rng.h"
+#include "netbase/telemetry.h"
+
+namespace anyopt::measure {
+namespace {
+
+struct Env {
+  std::unique_ptr<anycast::World> world;
+  std::unique_ptr<Orchestrator> orchestrator;
+};
+
+/// One shared world for the whole binary (world construction costs
+/// seconds; every suite here measures the same deployment).
+Env& env() {
+  static Env e = [] {
+    Env out;
+    out.world = anycast::World::create(anycast::WorldParams::test_scale(21));
+    out.orchestrator = std::make_unique<Orchestrator>(*out.world);
+    return out;
+  }();
+  return e;
+}
+
+/// Keeps telemetry state from leaking between suites in this binary.
+class IncrementalInvarianceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { force_off(); }
+  void TearDown() override { force_off(); }
+  static void force_off() {
+    telemetry::set_enabled(false);
+    telemetry::set_tracing(false);
+    telemetry::Registry::global().reset();
+  }
+};
+
+void expect_censuses_identical(const std::vector<Census>& a,
+                               const std::vector<Census>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].site_of_target, b[i].site_of_target) << "census " << i;
+    EXPECT_EQ(a[i].attachment_of_target, b[i].attachment_of_target)
+        << "census " << i;
+    ASSERT_EQ(a[i].rtt_ms.size(), b[i].rtt_ms.size());
+    for (std::size_t t = 0; t < a[i].rtt_ms.size(); ++t) {
+      // operator== on doubles deliberately: bit-identical, not "close".
+      ASSERT_EQ(a[i].rtt_ms[t], b[i].rtt_ms[t])
+          << "census " << i << " target " << t;
+    }
+  }
+}
+
+void expect_tables_identical(const core::PairwiseTable& a,
+                             const core::PairwiseTable& b) {
+  EXPECT_EQ(a.item_count, b.item_count);
+  EXPECT_EQ(a.target_count, b.target_count);
+  EXPECT_EQ(a.outcome, b.outcome);
+}
+
+/// A batch of overlay pair specs shaped like a provider-level discovery
+/// campaign: each pair forks `base_of_first` and announces the second
+/// site as the delta, leg 1 re-ages the first site's session.
+std::vector<OverlayPairSpec> overlay_specs(
+    const Orchestrator& orch,
+    const std::vector<bgp::BaseState>& bases,
+    const std::vector<std::pair<SiteId, SiteId>>& pairs) {
+  const auto& depl = orch.world().deployment();
+  std::vector<OverlayPairSpec> specs(pairs.size());
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    const auto [first, second] = pairs[k];
+    OverlayPairSpec& spec = specs[k];
+    spec.base = &bases[k];
+    spec.config0.announce_order = {first, second};
+    spec.config1.announce_order = {second, first};
+    spec.delta = {bgp::Injection{spec.config0.spacing_s,
+                                 depl.transit_attachment(second), false}};
+    spec.reage = {depl.transit_attachment(first)};
+    spec.nonce0 = mix64(mix64(0x17C4E, first.value()), second.value());
+    spec.nonce1 = spec.nonce0 ^ 1;
+    spec.ordinal0 = 2 * k;
+    spec.ordinal1 = 2 * k + 1;
+  }
+  return specs;
+}
+
+std::vector<std::pair<SiteId, SiteId>> sample_pairs(const Orchestrator& orch) {
+  const std::size_t sites = orch.world().deployment().site_count();
+  std::vector<std::pair<SiteId, SiteId>> pairs;
+  for (std::size_t k = 0; k < 6; ++k) {
+    const auto i = static_cast<SiteId::underlying_type>(k % sites);
+    const auto j =
+        static_cast<SiteId::underlying_type>((k + 1 + k / sites) % sites);
+    if (i == j) continue;
+    pairs.push_back({SiteId{i}, SiteId{j}});
+  }
+  return pairs;
+}
+
+TEST_F(IncrementalInvarianceTest,
+       OverlayCensusesSharedVsFromScratchBitIdenticalAcrossThreads) {
+  const Orchestrator& orch = *env().orchestrator;
+  const auto pairs = sample_pairs(orch);
+
+  const auto converge_all = [&] {
+    std::vector<bgp::BaseState> bases;
+    bases.reserve(pairs.size());
+    for (const auto& [first, second] : pairs) {
+      anycast::AnycastConfig cfg;
+      cfg.announce_order = {first};
+      bases.push_back(orch.converge_base(cfg, mix64(0xBA5E, first.value())));
+    }
+    return bases;
+  };
+
+  // Reference: every pair over its own freshly-converged ("from scratch")
+  // base, serially.
+  const std::vector<bgp::BaseState> private_bases = converge_all();
+  const CampaignRunner reference(orch, {.threads = 1});
+  const std::vector<Census> want =
+      reference.run_overlay_pairs(overlay_specs(orch, private_bases, pairs));
+
+  // Candidate: a second, independently converged set of bases shared by
+  // the batch, fanned over 1/2/4 workers.
+  const std::vector<bgp::BaseState> shared_bases = converge_all();
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    const CampaignRunner runner(orch, {.threads = threads});
+    const std::vector<Census> got =
+        runner.run_overlay_pairs(overlay_specs(orch, shared_bases, pairs));
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_censuses_identical(want, got);
+  }
+}
+
+TEST_F(IncrementalInvarianceTest,
+       DiscoveryTablesSharedVsPrivateBasesBitIdenticalAcrossThreads) {
+  // The full discovery stack: incremental with the shared-base cache must
+  // equal incremental with per-pair private bases (the from-scratch
+  // equivalent) at every thread count — tables, views and experiment
+  // counts.
+  core::DiscoveryOptions reference_options;
+  reference_options.incremental = true;
+  reference_options.incremental_private_bases = true;
+  reference_options.threads = 1;
+  const core::Discovery reference(*env().orchestrator, reference_options);
+  std::size_t want_runs = 0;
+  const auto want = reference.provider_level_views(&want_runs);
+  const core::DiscoveryResult want_full = reference.run();
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    core::DiscoveryOptions options;
+    options.incremental = true;
+    options.threads = threads;
+    const core::Discovery shared(*env().orchestrator, options);
+    std::size_t got_runs = 0;
+    const auto got = shared.provider_level_views(&got_runs);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(got_runs, want_runs);
+    expect_tables_identical(want.ordered, got.ordered);
+    expect_tables_identical(want.naive, got.naive);
+
+    const core::DiscoveryResult got_full = shared.run();
+    EXPECT_EQ(got_full.experiments, want_full.experiments);
+    expect_tables_identical(want_full.provider_prefs,
+                            got_full.provider_prefs);
+    ASSERT_EQ(got_full.site_prefs.size(), want_full.site_prefs.size());
+    for (std::size_t p = 0; p < want_full.site_prefs.size(); ++p) {
+      SCOPED_TRACE("provider " + std::to_string(p));
+      expect_tables_identical(want_full.site_prefs[p],
+                              got_full.site_prefs[p]);
+    }
+  }
+}
+
+TEST_F(IncrementalInvarianceTest,
+       OverlayExplanationsMatchFromScratchBase) {
+  // Below the census: the overlay ROUTING STATE itself must explain every
+  // sampled target identically whether it forked a shared or a private
+  // base.
+  const Orchestrator& orch = *env().orchestrator;
+  const auto& depl = orch.world().deployment();
+  const auto& targets = env().world->targets();
+  anycast::AnycastConfig base_cfg;
+  base_cfg.announce_order = {SiteId{0}};
+  const std::uint64_t base_nonce = mix64(0xBA5E, 0);
+  const std::uint64_t nonce = mix64(0x0E, 1);
+  const std::vector<bgp::Injection> delta{
+      {base_cfg.spacing_s, depl.transit_attachment(SiteId{1}), false}};
+
+  const bgp::BaseState shared =
+      orch.converge_base(base_cfg, base_nonce);
+  const bgp::BaseState private_base =
+      orch.converge_base(base_cfg, base_nonce);
+  const auto& sim = env().world->simulator();
+  const bgp::RoutingState a = sim.run_overlay(shared, delta, nonce);
+  const bgp::RoutingState b = sim.run_overlay(private_base, delta, nonce);
+
+  const std::size_t step = std::max<std::size_t>(1, targets.size() / 40);
+  for (std::size_t t = 0; t < targets.size(); t += step) {
+    const anycast::Target& tgt =
+        targets.target(TargetId{static_cast<TargetId::underlying_type>(t)});
+    EXPECT_EQ(a.explain(tgt.as, tgt.where, t)
+                  .to_string(env().world->internet()),
+              b.explain(tgt.as, tgt.where, t)
+                  .to_string(env().world->internet()))
+        << "target " << t;
+  }
+}
+
+TEST_F(IncrementalInvarianceTest, OverlayMachineryActuallyEngages) {
+  // Guard against the suite passing vacuously: an incremental campaign
+  // must fork overlays and propagate deltas (and a classic campaign must
+  // not).
+  telemetry::set_enabled(true);
+  auto& reg = telemetry::Registry::global();
+
+  core::DiscoveryOptions options;
+  options.incremental = true;
+  const core::Discovery incremental(*env().orchestrator, options);
+  std::size_t runs = 0;
+  (void)incremental.provider_level_views(&runs);
+  EXPECT_GT(reg.counter_value("sim.overlay.forks"), 0u);
+  EXPECT_GT(reg.counter_value("sim.overlay.delta_events"), 0u);
+
+  reg.reset();
+  const core::Discovery classic(*env().orchestrator, {});
+  (void)classic.provider_level(&runs);
+  EXPECT_EQ(reg.counter_value("sim.overlay.forks"), 0u);
+}
+
+TEST_F(IncrementalInvarianceTest,
+       FlapSchedulesFallBackToClassicBitForBit) {
+  // Session flaps rewrite the base schedule itself, which an overlay
+  // cannot express — the incremental path must detect this per experiment
+  // and fall back to the classic run, making an incremental campaign
+  // bit-identical to a classic one, again at every thread count.
+  fault::FaultPlan plan;
+  fault::SessionFlap flap;
+  flap.attachment = 0;
+  flap.first_down_s = 30.0;
+  flap.down_dwell_s = 60.0;
+  flap.up_dwell_s = 600.0;
+  flap.cycles = 1;
+  plan.session_flaps.push_back(flap);
+  const fault::FaultInjector injector{std::move(plan)};
+
+  OrchestratorOptions orch_options;
+  orch_options.faults = &injector;
+  const Orchestrator faulted(*env().world, orch_options);
+
+  core::DiscoveryOptions classic_options;
+  const core::Discovery classic(faulted, classic_options);
+  const core::DiscoveryResult want = classic.run();
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    core::DiscoveryOptions options;
+    options.incremental = true;
+    options.threads = threads;
+    const core::Discovery incremental(faulted, options);
+    const core::DiscoveryResult got = incremental.run();
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(got.experiments, want.experiments);
+    expect_tables_identical(want.provider_prefs, got.provider_prefs);
+    ASSERT_EQ(got.site_prefs.size(), want.site_prefs.size());
+    for (std::size_t p = 0; p < want.site_prefs.size(); ++p) {
+      SCOPED_TRACE("provider " + std::to_string(p));
+      expect_tables_identical(want.site_prefs[p], got.site_prefs[p]);
+    }
+  }
+}
+
+TEST_F(IncrementalInvarianceTest, PeerOverlaysMatchClassicBaseline) {
+  // One-pass peer incorporation: the incremental baseline census is the
+  // empty-delta overlay with the classic nonce, so the baseline mean and
+  // the greedy selection must agree with the classic path's on the same
+  // deployment (the per-peer censuses use tagged nonces and may differ in
+  // noise, but the baseline itself is bit-identical).
+  const Orchestrator& orch = *env().orchestrator;
+  anycast::AnycastConfig baseline;
+  baseline.announce_order = {SiteId{0}, SiteId{1}};
+
+  const core::OnePassPeerSelector classic(orch, {});
+  core::OnePassOptions incremental_options;
+  incremental_options.incremental = true;
+  const core::OnePassPeerSelector incremental(orch, incremental_options);
+
+  const core::OnePassResult a = classic.run(baseline);
+  const core::OnePassResult b = incremental.run(baseline);
+  ASSERT_EQ(a.baseline_mean_rtt, b.baseline_mean_rtt)
+      << "empty-delta overlay must reproduce the classic baseline census";
+  EXPECT_EQ(a.experiments, b.experiments);
+  EXPECT_EQ(a.peers.size(), b.peers.size());
+}
+
+}  // namespace
+}  // namespace anyopt::measure

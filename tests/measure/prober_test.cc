@@ -182,6 +182,46 @@ TEST(Prober, RetriesExhaustWithExponentialBackoff) {
   EXPECT_EQ(p.probes_sent(), static_cast<std::uint64_t>(4 * model.repeats));
 }
 
+TEST(Prober, AbsurdRetryCountsKeepBackoffFiniteAndDefined) {
+  // Regression (UBSan): the backoff doubling used `1 << (attempt - 1)`,
+  // which is undefined for attempt >= 65 (shift past the width of the
+  // 64-bit operand) — an operator configuring an absurd max_retries got
+  // nasal demons instead of a saturated wait.  The shift now caps at 63;
+  // every attempt past the 64th contributes the same (huge but finite and
+  // well-defined) wait.  Run under the ubsan suite, this test also fails
+  // on any reintroduced shift overflow.
+  ProbeModel model;
+  model.loss_rate = 1.0;
+  model.max_retries = 200;
+  model.round_loss_budget = 1.1;  // never stop early
+  model.backoff_base_ms = 1.0;
+  Prober p{model, Rng{14}};
+  EXPECT_FALSE(p.measure(10.0).has_value());
+  EXPECT_EQ(p.retries(), 200u);
+  EXPECT_TRUE(std::isfinite(p.backoff_ms()));
+  // Attempts 1..64 double the wait (2^0..2^63); attempts 65..200 each add
+  // the capped 2^63 term.  Fold in the prober's own accumulation order so
+  // the comparison is bit-exact.
+  double expected = 0.0;
+  for (int attempt = 1; attempt <= 200; ++attempt) {
+    expected += static_cast<double>(std::uint64_t{1}
+                                    << std::min(attempt - 1, 63));
+  }
+  EXPECT_DOUBLE_EQ(p.backoff_ms(), expected);
+}
+
+TEST(Prober, BackoffBelowShiftCapMatchesClassicDoubling) {
+  // The cap must be invisible for sane retry counts: 1, 2, 4, ... exact.
+  ProbeModel model;
+  model.loss_rate = 1.0;
+  model.max_retries = 10;
+  model.round_loss_budget = 1.1;
+  model.backoff_base_ms = 1.0;
+  Prober p{model, Rng{15}};
+  EXPECT_FALSE(p.measure(10.0).has_value());
+  EXPECT_DOUBLE_EQ(p.backoff_ms(), 1023.0);  // 2^10 - 1
+}
+
 TEST(Prober, LossBudgetStopsRetriesEarly) {
   // With everything lost, the first round already exceeds a 0.5 budget, so
   // no retry is attempted despite max_retries allowing five.

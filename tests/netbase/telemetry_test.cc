@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
+#include <limits>
 #include <string>
 
 namespace anyopt::telemetry {
@@ -76,6 +78,31 @@ TEST_F(TelemetryTest, HistogramHandlesNonPositiveValues) {
   EXPECT_DOUBLE_EQ(h.max(), 0.0);
   EXPECT_GE(h.percentile(0.5), h.min());
   EXPECT_LE(h.percentile(0.5), h.max());
+}
+
+TEST_F(TelemetryTest, HistogramRejectsNonFiniteSamples) {
+  // Regression: a single NaN used to poison sum/mean forever (NaN + x is
+  // NaN) and ±inf pinned min/max; a histogram aggregating a whole campaign
+  // was unreadable after one bad sample.  Non-finite values are now tallied
+  // in non_finite() and otherwise dropped.
+  Histogram h;
+  for (const double v : {10.0, 20.0, 30.0}) h.record(v);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(std::numeric_limits<double>::infinity());
+  h.record(-std::numeric_limits<double>::infinity());
+
+  EXPECT_EQ(h.count(), 3u) << "rejected samples must not inflate the count";
+  EXPECT_EQ(h.non_finite(), 3u);
+  EXPECT_TRUE(std::isfinite(h.sum()));
+  EXPECT_TRUE(std::isfinite(h.mean()));
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(h.min(), 10.0);
+  EXPECT_DOUBLE_EQ(h.max(), 30.0);
+  for (const double p : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_TRUE(std::isfinite(h.percentile(p))) << "p=" << p;
+  }
+  h.reset();
+  EXPECT_EQ(h.non_finite(), 0u) << "reset must clear the rejection tally";
 }
 
 TEST_F(TelemetryTest, HistogramPercentilesMonotonicAndInRange) {
