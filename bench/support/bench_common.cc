@@ -5,6 +5,12 @@
 #include <cctype>
 #include <cstring>
 
+#include <chrono>
+#include <string_view>
+#include <thread>
+
+#include "measure/provenance.h"
+#include "netbase/resmon.h"
 #include "netbase/rng.h"
 #include "netbase/telemetry.h"
 
@@ -17,6 +23,10 @@ namespace {
 /// Store path from `--store=FILE` (set by `parse_telemetry`, which every
 /// bench runs before building its environment) or ANYOPT_STORE.
 std::string g_store_path;  // NOLINT(cert-err58-cpp)
+
+/// Thread count the bench resolved via `parse_threads` (recorded in the
+/// bench json so trajectory records are comparable across runs).
+std::size_t g_bench_threads = 1;
 
 PaperEnv make_env(anycast::WorldParams params, std::size_t threads) {
   PaperEnv env;
@@ -89,6 +99,7 @@ std::size_t parse_threads(int& argc, char** argv, std::size_t fallback) {
   }
   argc = out;
   argv[argc] = nullptr;
+  g_bench_threads = threads;
   return threads;
 }
 
@@ -125,6 +136,16 @@ TelemetryOptions parse_telemetry(int& argc, char** argv) {
       options.json = false;
     } else if (std::strncmp(arg, "--store=", 8) == 0) {
       options.store_path = arg + 8;
+    } else if (std::strcmp(arg, "--resmon") == 0) {
+      options.resmon = true;
+    } else if (std::strncmp(arg, "--resmon=", 9) == 0) {
+      options.resmon = true;
+      const long period = std::strtol(arg + 9, nullptr, 10);
+      if (period > 0) {
+        options.resmon_period_ms = static_cast<std::uint32_t>(period);
+      }
+    } else if (std::strncmp(arg, "--provenance-out=", 17) == 0) {
+      options.provenance_out = arg + 17;
     } else {
       argv[out++] = argv[i];
     }
@@ -138,8 +159,13 @@ TelemetryOptions parse_telemetry(int& argc, char** argv) {
     }
   }
   g_store_path = options.store_path;
-  if (options.any()) telemetry::set_enabled(true);
+  if (options.any() || options.resmon) telemetry::set_enabled(true);
   if (!options.trace_out.empty()) telemetry::set_tracing(true);
+  if (!options.provenance_out.empty() &&
+      !measure::provenance::FlightLog::global().open(options.provenance_out)) {
+    std::fprintf(stderr, "[bench] cannot open provenance log %s\n",
+                 options.provenance_out.c_str());
+  }
   return options;
 }
 
@@ -204,12 +230,36 @@ void write_bench_json(const std::string& bench_name, double wall_s,
     std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
     return;
   }
+  // Run identity: `git describe --always --dirty` split into the commit
+  // proper and a machine-checkable dirty bit, so two records from the same
+  // commit compare equal regardless of local build noise.
+#ifdef ANYOPT_GIT_DESCRIBE
+  std::string git_commit = ANYOPT_GIT_DESCRIBE;
+#else
+  std::string git_commit = "unknown";
+#endif
+  bool dirty = false;
+  if (constexpr std::string_view kDirty = "-dirty";
+      git_commit.size() > kDirty.size() &&
+      git_commit.compare(git_commit.size() - kDirty.size(), kDirty.size(),
+                         kDirty) == 0) {
+    dirty = true;
+    git_commit.resize(git_commit.size() - kDirty.size());
+  }
+  // Resource footprint: VmHWM is read directly (populated even when the
+  // periodic sampler never ran); the bytes.* peaks are the gauges' running
+  // maxima over the whole run.
+  const resmon::MemorySample mem = resmon::read_memory();
   std::fprintf(f,
                "{\n"
-               "  \"schema\": 2,\n"
-               "  \"git\": \"%s\",\n"
+               "  \"schema\": 3,\n"
+               "  \"git_commit\": \"%s\",\n"
+               "  \"dirty\": %s,\n"
                "  \"bench\": \"%s\",\n"
+               "  \"threads\": %llu,\n"
+               "  \"hw_concurrency\": %u,\n"
                "  \"wall_s\": %.3f,\n"
+               "  \"peak_rss_kb\": %lld,\n"
                "  \"sim_runs\": %llu,\n"
                "  \"sim_events\": %llu,\n"
                "  \"censuses\": %llu,\n"
@@ -223,14 +273,20 @@ void write_bench_json(const std::string& bench_name, double wall_s,
                "  \"store_bytes_written\": %llu,\n"
                "  \"overlay_forks\": %llu,\n"
                "  \"overlay_copied_as\": %llu,\n"
-               "  \"overlay_delta_events\": %llu\n"
+               "  \"overlay_delta_events\": %llu,\n"
+               "  \"bytes\": {\n"
+               "    \"sim_scratch\": %lld,\n"
+               "    \"overlay_pages\": %lld,\n"
+               "    \"resolve_cache\": %lld,\n"
+               "    \"store_index\": %lld,\n"
+               "    \"pool_queue\": %lld\n"
+               "  }\n"
                "}\n",
-#ifdef ANYOPT_GIT_DESCRIBE
-               ANYOPT_GIT_DESCRIBE,
-#else
-               "unknown",
-#endif
-               bench_name.c_str(), wall_s,
+               git_commit.c_str(), dirty ? "true" : "false",
+               bench_name.c_str(),
+               static_cast<unsigned long long>(g_bench_threads),
+               std::thread::hardware_concurrency(), wall_s,
+               static_cast<long long>(mem.peak_rss_kb),
                static_cast<unsigned long long>(reg.counter_value("bgp.sim.runs")),
                static_cast<unsigned long long>(
                    reg.counter_value("bgp.sim.events")),
@@ -256,7 +312,12 @@ void write_bench_json(const std::string& bench_name, double wall_s,
                static_cast<unsigned long long>(
                    reg.counter_value("sim.overlay.copied_as")),
                static_cast<unsigned long long>(
-                   reg.counter_value("sim.overlay.delta_events")));
+                   reg.counter_value("sim.overlay.delta_events")),
+               static_cast<long long>(reg.gauge_max("bytes.sim_scratch")),
+               static_cast<long long>(reg.gauge_max("bytes.overlay_pages")),
+               static_cast<long long>(reg.gauge_max("bytes.resolve_cache")),
+               static_cast<long long>(reg.gauge_max("bytes.store_index")),
+               static_cast<long long>(reg.gauge_max("bytes.pool_queue")));
   std::fclose(f);
   std::printf("\n[bench] record written to %s\n", path.c_str());
 }
@@ -267,11 +328,31 @@ TelemetryScope::TelemetryScope(const char* bench_name, int& argc, char** argv)
   // Metrics are result-invariant (see the telemetry invariance suite), so
   // this only costs a few relaxed atomics per experiment.
   telemetry::set_enabled(true);
+  if (options_.resmon) {
+    sampler_ = std::make_unique<resmon::Sampler>(
+        std::chrono::milliseconds(options_.resmon_period_ms));
+  }
   start_us_ = telemetry::now_us();
 }
 
 TelemetryScope::~TelemetryScope() {
   const double wall_s = (telemetry::now_us() - start_us_) / 1e6;
+  // Stop the sampler first so its final sample (and the gauges' maxima) are
+  // part of the report and the bench record.
+  if (sampler_ != nullptr) {
+    sampler_->stop();
+    std::printf("[bench] resmon: %llu samples @ %ums\n",
+                static_cast<unsigned long long>(sampler_->samples()),
+                options_.resmon_period_ms);
+    sampler_.reset();
+  }
+  auto& flight_log = measure::provenance::FlightLog::global();
+  if (flight_log.active()) {
+    std::printf("[bench] provenance: %llu experiments -> %s\n",
+                static_cast<unsigned long long>(flight_log.records()),
+                options_.provenance_out.c_str());
+    flight_log.close();
+  }
   report_telemetry(options_);
   write_bench_json(bench_name_, wall_s, options_);
 }

@@ -11,6 +11,7 @@
 #include "core/anyopt.h"
 #include "measure/orchestrator.h"
 #include "measure/store.h"
+#include "netbase/resmon.h"
 
 namespace anyopt::bench {
 
@@ -59,6 +60,13 @@ struct PaperEnv {
 ///                        it; a second run of the same bench replays every
 ///                        experiment from the store (`store.hits` in the
 ///                        bench record).  ANYOPT_STORE=FILE works too.
+///   --resmon[=MS]        run the resource-monitor sampler for the whole
+///                        bench: RSS and per-subsystem `bytes.*` gauges are
+///                        sampled every MS milliseconds (default 50) and —
+///                        with --trace-out — exported as counter rows in
+///                        the Chrome trace.
+///   --provenance-out=F   record one JSONL provenance line per experiment
+///                        into F (query with `anyopt_bench explain`).
 /// Any of them enables the telemetry layer for the whole run.  Telemetry
 /// never touches experiment RNG, so the bench's result tables are
 /// byte-identical with and without these flags — and a warm store run
@@ -70,6 +78,9 @@ struct TelemetryOptions {
   std::string json_out;     ///< empty = BENCH_<name>.json
   bool json = true;         ///< emit the bench record at exit
   std::string store_path;   ///< empty = no persistent store
+  bool resmon = false;      ///< run the resource sampler
+  std::uint32_t resmon_period_ms = 50;
+  std::string provenance_out;  ///< empty = no flight log
   [[nodiscard]] bool any() const { return metrics || !trace_out.empty(); }
 };
 
@@ -81,11 +92,14 @@ struct TelemetryOptions {
 /// with derived pool-utilization line) and/or the Chrome trace JSON.
 void report_telemetry(const TelemetryOptions& options);
 
-/// Writes the machine-readable per-run record `BENCH_<name>.json` (wall
-/// time plus the headline workload counters: simulator runs/events,
+/// Writes the machine-readable per-run record `BENCH_<name>.json` (schema
+/// 3): wall time, the headline workload counters (simulator runs/events,
 /// censuses, campaign experiments, resolution-cache hit rate, scratch
-/// reuse).  These files are the repo's perf trajectory: one record per
-/// bench per run, diffable across commits.
+/// reuse, store and overlay activity), run identity (`git_commit` +
+/// `dirty`, `threads`, `hw_concurrency`) and the resource footprint
+/// (`peak_rss_kb`, per-subsystem `bytes.*` high-water marks).  These files
+/// are the repo's perf trajectory: one record per bench per run,
+/// aggregated/diffed/gated by `tools/anyopt_bench`.
 void write_bench_json(const std::string& bench_name, double wall_s,
                       const TelemetryOptions& options);
 
@@ -107,6 +121,9 @@ class TelemetryScope {
   std::string bench_name_;
   TelemetryOptions options_;
   double start_us_ = 0;
+  /// Resource-monitor sampler thread, alive for the whole bench when
+  /// `--resmon` was given (see netbase/resmon.h).
+  std::unique_ptr<resmon::Sampler> sampler_;
 };
 
 /// Prints the standard bench banner: experiment id, what the paper

@@ -93,6 +93,14 @@ struct OverlayMetrics {
   }
 };
 
+/// Pre-resolved retained-bytes gauge for recycled scratch arenas (see
+/// netbase/resmon.h for the `bytes.*` family the sampler exports).
+telemetry::Gauge& scratch_bytes_gauge() {
+  static telemetry::Gauge& g =
+      telemetry::Registry::global().gauge("bytes.sim_scratch");
+  return g;
+}
+
 }  // namespace
 
 struct Simulator::Event {
@@ -123,6 +131,48 @@ struct SimScratch::Impl {
   std::vector<Simulator::Event> events;                 ///< queue container
   std::vector<double> session_clock;
   std::vector<std::vector<Simulator::Advertised>> advertised;
+  /// Bytes last reported into the `bytes.sim_scratch` gauge; the delta
+  /// discipline keeps the gauge a live total across all worker arenas.
+  std::int64_t reported_bytes = 0;
+
+  ~Impl() { report(0); }
+
+  /// Replaces this arena's contribution to the retained-bytes gauge.
+  void report(std::int64_t now_bytes) {
+    if (now_bytes != reported_bytes) {
+      scratch_bytes_gauge().add(now_bytes - reported_bytes);
+      reported_bytes = now_bytes;
+    }
+  }
+
+  /// Approximate heap bytes this arena currently retains (capacities of
+  /// the dominant buffers; nested AS-path storage included because it is
+  /// the bulk of a recycled RIB).
+  [[nodiscard]] std::int64_t retained_bytes() const {
+    std::size_t b = as_state.capacity() * sizeof(RoutingState::AsState) +
+                    walks.capacity() * sizeof(RoutingState::CachedWalk) +
+                    events.capacity() * sizeof(Simulator::Event) +
+                    session_clock.capacity() * sizeof(double) +
+                    advertised.capacity() * sizeof(advertised[0]);
+    for (const RoutingState::AsState& s : as_state) {
+      b += s.rib.capacity() * sizeof(RibEntry) +
+           s.best.equal_best.capacity() * sizeof(int);
+      for (const RibEntry& e : s.rib) {
+        b += e.as_path.capacity() * sizeof(AsId);
+      }
+    }
+    for (const RoutingState::CachedWalk& w : walks) {
+      b += w.as_path.capacity() * sizeof(AsId) +
+           w.hop_ms.capacity() * sizeof(double);
+    }
+    for (const std::vector<Simulator::Advertised>& row : advertised) {
+      b += row.capacity() * sizeof(Simulator::Advertised);
+      for (const Simulator::Advertised& adv : row) {
+        b += adv.path.capacity() * sizeof(AsId);
+      }
+    }
+    return static_cast<std::int64_t>(b);
+  }
 };
 
 /// Run continuation: everything beyond the RIBs a resumed run needs — the
@@ -179,6 +229,12 @@ void SimScratch::recycle(RoutingState&& state) {
   state.walk_cache_.clear();
   state.copied_.clear();
   state.base_ = nullptr;
+  state.cache_hits_ = 0;
+  state.cache_misses_ = 0;
+  // Retained-bytes accounting: the recycle point is where the arena's
+  // footprint settles, so the walk (same order of work as the per-run
+  // buffer reset) only happens when telemetry is on.
+  if (telemetry::enabled()) impl_->report(impl_->retained_bytes());
 }
 
 Simulator::Simulator(const topo::Internet& net,
@@ -285,6 +341,8 @@ RoutingState Simulator::run_impl(std::span<const Injection> injections,
   state.sim_ = this;
   state.run_nonce_ = run_nonce;
   state.events_ = 0;  // counts THIS phase's events (delta-only for overlays)
+  state.cache_hits_ = 0;  // per-state tallies restart with the new tables
+  state.cache_misses_ = 0;
   // Overlay deltas are scheduled relative to where the prior phase left off.
   const double t_base = resuming ? state.last_event_s_
                         : fork   ? bs->horizon_s
@@ -829,6 +887,30 @@ RoutingState Simulator::resume_overlay(RoutingState&& prior,
   return run_impl(delta, run_nonce, scratch, &overlay);
 }
 
+std::size_t RoutingState::resolve_cache_bytes() const {
+  std::size_t b = walk_cache_.capacity() * sizeof(CachedWalk);
+  for (const CachedWalk& w : walk_cache_) {
+    b += w.as_path.capacity() * sizeof(AsId) +
+         w.hop_ms.capacity() * sizeof(double);
+  }
+  return b;
+}
+
+std::size_t RoutingState::overlay_copied_bytes() const {
+  if (base_ == nullptr) return 0;
+  std::size_t b = copied_.capacity() * sizeof(std::uint8_t) +
+                  as_.capacity() * sizeof(AsState);
+  for (std::size_t i = 0; i < copied_.size(); ++i) {
+    if (copied_[i] == 0) continue;
+    b += as_[i].rib.capacity() * sizeof(RibEntry) +
+         as_[i].best.equal_best.capacity() * sizeof(int);
+    for (const RibEntry& e : as_[i].rib) {
+      b += e.as_path.capacity() * sizeof(AsId);
+    }
+  }
+  return b;
+}
+
 const RoutingState::AsState& RoutingState::state_of(AsId as) const {
   const std::size_t i = as.value();
   if (base_ == nullptr || copied_[i] != 0) return as_[i];
@@ -858,16 +940,19 @@ ResolvedPath RoutingState::resolve(AsId from, const geo::Coordinates& from_loc,
   const bool telem = telemetry::enabled();
   switch (walk.state) {
     case CachedWalk::State::kCached:
+      ++cache_hits_;
       if (telem) ResolveMetrics::get().cache_hit->add(1);
       return replay_walk(walk, from_loc);
     case CachedWalk::State::kUncached:
       // Flow- or location-dependent walk: recompute per call, keyed by the
       // caller's flow hash exactly as the uncached path would.
+      ++cache_misses_;
       if (telem) ResolveMetrics::get().cache_miss->add(1);
       return resolve_walk(from, from_loc, flow_hash, nullptr);
     case CachedWalk::State::kUnknown:
       break;
   }
+  ++cache_misses_;
   if (telem) ResolveMetrics::get().cache_miss->add(1);
   return resolve_walk(from, from_loc, flow_hash, &walk);
 }

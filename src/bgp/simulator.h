@@ -226,6 +226,22 @@ class RoutingState {
   /// Simulated time of the last processed event (seconds).
   [[nodiscard]] double converged_at_s() const { return last_event_s_; }
 
+  /// Per-state resolve-cache tallies: replayed / walked resolutions of THIS
+  /// state (the global `bgp.resolve.cache_*` counters aggregate the same
+  /// numbers process-wide).  Provenance records attribute cache behaviour
+  /// to individual experiments through these.
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
+
+  /// Approximate heap bytes retained by the forwarding cache (capacities,
+  /// not live sizes — this is the memory the arena actually holds).
+  [[nodiscard]] std::size_t resolve_cache_bytes() const;
+
+  /// Approximate heap bytes of the copy-on-write pages this overlay has
+  /// privatized (0 for clean runs: their pages are plain state, accounted
+  /// by the scratch that recycles them).
+  [[nodiscard]] std::size_t overlay_copied_bytes() const;
+
  private:
   friend class Simulator;
   friend class SimScratch;
@@ -284,6 +300,8 @@ class RoutingState {
   /// Forwarding cache, indexed by client AS; empty = cache disabled.
   /// Mutable: memoization from const `resolve()` (single-threaded use).
   mutable std::vector<CachedWalk> walk_cache_;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
   std::uint64_t run_nonce_ = 0;
   std::size_t events_ = 0;
   double last_event_s_ = 0;

@@ -1,5 +1,6 @@
 #include "measure/campaign_runner.h"
 
+#include "measure/provenance.h"
 #include "measure/store.h"
 #include "netbase/telemetry.h"
 
@@ -23,6 +24,22 @@ struct CampaignMetrics {
     return m;
   }
 };
+
+/// One provenance line for a census replayed from the result store: no
+/// simulation ran, so only the identity and outcome fields apply.  The
+/// orchestrator records every simulated path; store hits bypass it, so the
+/// runner is the only place that knows they happened.
+void record_store_hit(std::uint64_t nonce, std::size_t ordinal,
+                      const Census& census, double t0_us) {
+  provenance::ExperimentTrace trace;
+  trace.nonce = nonce;
+  trace.ordinal = ordinal;
+  trace.path = "store-hit";
+  trace.targets = census.site_of_target.size();
+  trace.reachable = census.reachable_count();
+  trace.duration_ms = (telemetry::now_us() - t0_us) / 1e3;
+  provenance::FlightLog::global().record(trace);
+}
 
 }  // namespace
 
@@ -58,10 +75,15 @@ std::vector<Census> CampaignRunner::run(
     // specs (attempt > 0) never take this path: a retry exists to replace
     // the stored result, not to re-read it.
     if (store_ != nullptr && specs[i].attempt == 0) {
+      const double t0_us =
+          provenance::active() ? telemetry::now_us() : 0.0;
       const std::uint64_t key =
           ResultStore::census_key(specs[i].config, specs[i].nonce);
       if (std::optional<Census> cached = store_->find_census(key);
           cached.has_value()) {
+        if (provenance::active()) {
+          record_store_hit(specs[i].nonce, specs[i].ordinal, *cached, t0_us);
+        }
         return *std::move(cached);
       }
     }
@@ -132,8 +154,13 @@ std::vector<Census> CampaignRunner::run_overlays(
     // Same store policy as `run`: replay persisted censuses, never serve a
     // stored result to a retry.
     if (store_ != nullptr && spec.attempt == 0) {
+      const double t0_us =
+          provenance::active() ? telemetry::now_us() : 0.0;
       if (std::optional<Census> cached = store_->find_census(key);
           cached.has_value()) {
+        if (provenance::active()) {
+          record_store_hit(spec.nonce, spec.ordinal, *cached, t0_us);
+        }
         return *std::move(cached);
       }
     }
@@ -199,10 +226,16 @@ std::vector<Census> CampaignRunner::run_overlay_pairs(
     // store shortcut needs BOTH legs persisted; retries (attempt > 0)
     // always re-run, as in `run`.
     if (store_ != nullptr && spec.attempt == 0) {
+      const double t0_us =
+          provenance::active() ? telemetry::now_us() : 0.0;
       std::optional<Census> cached0 = store_->find_census(key0);
       std::optional<Census> cached1 =
           cached0.has_value() ? store_->find_census(key1) : std::nullopt;
       if (cached0.has_value() && cached1.has_value()) {
+        if (provenance::active()) {
+          record_store_hit(spec.nonce0, spec.ordinal0, *cached0, t0_us);
+          record_store_hit(spec.nonce1, spec.ordinal1, *cached1, t0_us);
+        }
         censuses[2 * i] = *std::move(cached0);
         censuses[2 * i + 1] = *std::move(cached1);
         return;

@@ -157,6 +157,13 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
                              std::uint64_t experiment_nonce,
                              bgp::SimScratch* scratch, ExperimentAt at) const {
   const bool telem = telemetry::enabled();
+  const bool tracing = provenance::active();
+  const double t0_us = tracing ? telemetry::now_us() : 0.0;
+  provenance::ExperimentTrace trace;
+  trace.nonce = experiment_nonce;
+  trace.ordinal = at.ordinal;
+  trace.attempt = at.attempt;
+  trace.path = "classic";
   telemetry::ScopedTimer span(
       "measure.census", "measure",
       telem ? CensusMetrics::get().census_ms : nullptr,
@@ -174,6 +181,12 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
       // unreachable deployment produces.  Callers detect it via
       // reachable_count() == 0 and may re-enqueue with attempt + 1.
       if (telem) FaultMetrics::get().round_failures->add(1);
+      if (tracing) {
+        trace.round_failed = true;
+        trace.targets = world_.targets().size();
+        trace.duration_ms = (telemetry::now_us() - t0_us) / 1e3;
+        provenance::FlightLog::global().record(trace);
+      }
       return empty_census();
     }
   }
@@ -196,9 +209,11 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
     if (!faults->flaps().empty()) {
       const std::size_t before = schedule.size();
       schedule = bgp::apply_flaps(std::move(schedule), faults->flaps());
-      if (telem && schedule.size() != before) {
-        FaultMetrics::get().flaps->add((schedule.size() - before) / 2);
+      const std::size_t flap_events = (schedule.size() - before) / 2;
+      if (telem && flap_events != 0) {
+        FaultMetrics::get().flaps->add(flap_events);
       }
+      trace.flap_events = flap_events;
     }
     if (telem) {
       const FaultMetrics& m = FaultMetrics::get();
@@ -206,11 +221,19 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
       if (round_faults.degraded) m.degraded_rounds->add(1);
       if (round_faults.extra_loss_rate > 0.0) m.storm_rounds->add(1);
     }
+    trace.announce_suppressed = suppressed;
+    trace.degraded = round_faults.degraded;
+    trace.storm = round_faults.extra_loss_rate > 0.0;
   }
   bgp::RoutingState state =
       world_.simulator().run(schedule, experiment_nonce, scratch);
-  Census census = census_from_state(state, experiment_nonce, round_faults, at);
+  Census census = census_from_state(state, experiment_nonce, round_faults, at,
+                                    tracing ? &trace : nullptr);
   if (scratch != nullptr) scratch->recycle(std::move(state));
+  if (tracing) {
+    trace.duration_ms = (telemetry::now_us() - t0_us) / 1e3;
+    provenance::FlightLog::global().record(trace);
+  }
   return census;
 }
 
@@ -226,7 +249,9 @@ Census Orchestrator::empty_census() const {
 Census Orchestrator::census_from_state(bgp::RoutingState& state,
                                        std::uint64_t experiment_nonce,
                                        const fault::RoundFaults& round_faults,
-                                       ExperimentAt at) const {
+                                       ExperimentAt at,
+                                       provenance::ExperimentTrace* trace)
+    const {
   const bool telem = telemetry::enabled();
   const fault::FaultInjector* faults = options_.faults;
   const auto& targets = world_.targets();
@@ -294,6 +319,28 @@ Census Orchestrator::census_from_state(bgp::RoutingState& state,
     if (faulted_drops != 0) {
       FaultMetrics::get().targets_dropped->add(faulted_drops);
     }
+    // Per-subsystem retained-bytes gauges the resmon sampler exports
+    // (`last` = this census, `peak` = campaign high-water mark).
+    static telemetry::Gauge& cache_bytes =
+        telemetry::Registry::global().gauge("bytes.resolve_cache");
+    static telemetry::Gauge& overlay_bytes =
+        telemetry::Registry::global().gauge("bytes.overlay_pages");
+    cache_bytes.set(static_cast<std::int64_t>(state.resolve_cache_bytes()));
+    const std::size_t copied = state.overlay_copied_bytes();
+    if (copied != 0) {
+      overlay_bytes.set(static_cast<std::int64_t>(copied));
+    }
+  }
+  if (trace != nullptr) {
+    trace->sim_events = state.events_processed();
+    trace->cache_hits = state.cache_hits();
+    trace->cache_misses = state.cache_misses();
+    trace->probes_sent = prober.probes_sent();
+    trace->probes_lost = prober.probes_lost();
+    trace->retries = prober.retries();
+    trace->targets = targets.size();
+    trace->reachable = census.reachable_count();
+    trace->targets_dropped = faulted_drops;
   }
   return census;
 }
@@ -326,17 +373,34 @@ Census Orchestrator::measure_overlay(const bgp::BaseState& base,
                                      bgp::SimScratch* scratch,
                                      ExperimentAt at) const {
   if (schedule_faults_apply(config, at.ordinal)) {
+    // The classic fallback records its own provenance line (path
+    // "classic"), which is exactly the truth of what ran.
     return measure(config, experiment_nonce, scratch, at);
   }
   const bool telem = telemetry::enabled();
+  const bool tracing = provenance::active();
+  const double t0_us = tracing ? telemetry::now_us() : 0.0;
+  provenance::ExperimentTrace trace;
+  trace.nonce = experiment_nonce;
+  trace.ordinal = at.ordinal;
+  trace.attempt = at.attempt;
+  trace.path = "overlay";
   const fault::FaultInjector* faults = options_.faults;
   fault::RoundFaults round_faults;
   if (faults != nullptr) {
     round_faults = faults->round(at.ordinal, at.attempt);
     if (round_faults.fail_round) {
       if (telem) FaultMetrics::get().round_failures->add(1);
+      if (tracing) {
+        trace.round_failed = true;
+        trace.targets = world_.targets().size();
+        trace.duration_ms = (telemetry::now_us() - t0_us) / 1e3;
+        provenance::FlightLog::global().record(trace);
+      }
       return empty_census();
     }
+    trace.degraded = round_faults.degraded;
+    trace.storm = round_faults.extra_loss_rate > 0.0;
   }
   telemetry::ScopedTimer span(
       "measure.census", "measure",
@@ -346,8 +410,13 @@ Census Orchestrator::measure_overlay(const bgp::BaseState& base,
           : std::string{});
   bgp::RoutingState state =
       world_.simulator().run_overlay(base, delta, experiment_nonce, scratch);
-  Census census = census_from_state(state, experiment_nonce, round_faults, at);
+  Census census = census_from_state(state, experiment_nonce, round_faults, at,
+                                    tracing ? &trace : nullptr);
   if (scratch != nullptr) scratch->recycle(std::move(state));
+  if (tracing) {
+    trace.duration_ms = (telemetry::now_us() - t0_us) / 1e3;
+    provenance::FlightLog::global().record(trace);
+  }
   return census;
 }
 
@@ -376,7 +445,23 @@ Orchestrator::OverlayPairCensus Orchestrator::measure_overlay_pair(
     rf0 = faults->round(at0.ordinal, at0.attempt);
     rf1 = faults->round(at1.ordinal, at1.attempt);
   }
+  const bool tracing = provenance::active();
+  provenance::ExperimentTrace tr0;
+  tr0.nonce = nonce0;
+  tr0.ordinal = at0.ordinal;
+  tr0.attempt = at0.attempt;
+  tr0.path = "overlay";
+  tr0.degraded = rf0.degraded;
+  tr0.storm = rf0.extra_loss_rate > 0.0;
+  provenance::ExperimentTrace tr1;
+  tr1.nonce = nonce1;
+  tr1.ordinal = at1.ordinal;
+  tr1.attempt = at1.attempt;
+  tr1.path = "overlay-resume";
+  tr1.degraded = rf1.degraded;
+  tr1.storm = rf1.extra_loss_rate > 0.0;
   {
+    const double t0_us = tracing ? telemetry::now_us() : 0.0;
     telemetry::ScopedTimer span(
         "measure.census", "measure",
         telem ? CensusMetrics::get().census_ms : nullptr,
@@ -391,14 +476,28 @@ Orchestrator::OverlayPairCensus Orchestrator::measure_overlay_pair(
       // pair therefore reproduces the fault-free legs bit for bit.
       if (telem) FaultMetrics::get().round_failures->add(1);
       out.leg0 = empty_census();
+      tr0.round_failed = true;
+      tr0.targets = world_.targets().size();
     } else {
-      out.leg0 = census_from_state(leg0, nonce0, rf0, at0);
+      out.leg0 = census_from_state(leg0, nonce0, rf0, at0,
+                                   tracing ? &tr0 : nullptr);
     }
     span.finish();
+    if (tracing) {
+      tr0.duration_ms = (telemetry::now_us() - t0_us) / 1e3;
+      provenance::FlightLog::global().record(tr0);
+    }
+    const double t1_us = tracing ? telemetry::now_us() : 0.0;
     if (rf1.fail_round) {
       if (telem) FaultMetrics::get().round_failures->add(1);
       out.leg1 = empty_census();
       if (scratch != nullptr) scratch->recycle(std::move(leg0));
+      if (tracing) {
+        tr1.round_failed = true;
+        tr1.targets = world_.targets().size();
+        tr1.duration_ms = (telemetry::now_us() - t1_us) / 1e3;
+        provenance::FlightLog::global().record(tr1);
+      }
       return out;
     }
     telemetry::ScopedTimer span1(
@@ -408,8 +507,13 @@ Orchestrator::OverlayPairCensus Orchestrator::measure_overlay_pair(
                                       : std::string{});
     bgp::RoutingState leg1 = world_.simulator().resume_overlay(
         std::move(leg0), {}, nonce1, scratch, reage);
-    out.leg1 = census_from_state(leg1, nonce1, rf1, at1);
+    out.leg1 = census_from_state(leg1, nonce1, rf1, at1,
+                                 tracing ? &tr1 : nullptr);
     if (scratch != nullptr) scratch->recycle(std::move(leg1));
+    if (tracing) {
+      tr1.duration_ms = (telemetry::now_us() - t1_us) / 1e3;
+      provenance::FlightLog::global().record(tr1);
+    }
   }
   return out;
 }

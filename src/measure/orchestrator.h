@@ -17,6 +17,7 @@
 #include "anycast/world.h"
 #include "bgp/simulator.h"
 #include "measure/prober.h"
+#include "measure/provenance.h"
 #include "netbase/fault.h"
 #include "netbase/geo.h"
 #include "netbase/ids.h"
@@ -271,11 +272,15 @@ class Orchestrator {
   [[nodiscard]] Census empty_census() const;
   /// Passes 1+2 over an already converged state: resolve every target's
   /// forwarding path, then probe.  Shared by the classic and overlay paths;
-  /// the caller owns `state` (and recycles it afterwards).
+  /// the caller owns `state` (and recycles it afterwards).  When `trace` is
+  /// non-null its simulation/probe fields are filled for the provenance
+  /// flight log (the caller owns path/fault fields and the record itself).
   [[nodiscard]] Census census_from_state(bgp::RoutingState& state,
                                          std::uint64_t experiment_nonce,
                                          const fault::RoundFaults& round_faults,
-                                         ExperimentAt at) const;
+                                         ExperimentAt at,
+                                         provenance::ExperimentTrace* trace =
+                                             nullptr) const;
   /// True when the fault layer would alter this experiment's announcement
   /// schedule at `ordinal` (flap plan, or a failed announced site) — the
   /// overlay decomposition no longer matches and classic `measure` must run.

@@ -1,0 +1,74 @@
+#include "measure/provenance.h"
+
+#include <cinttypes>
+
+namespace anyopt::measure::provenance {
+
+FlightLog& FlightLog::global() {
+  static FlightLog instance;
+  return instance;
+}
+
+bool FlightLog::open(const std::string& path) {
+  const std::lock_guard lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  file_ = std::fopen(path.c_str(), "w");
+  records_ = 0;
+  active_.store(file_ != nullptr, std::memory_order_relaxed);
+  return file_ != nullptr;
+}
+
+void FlightLog::close() {
+  const std::lock_guard lock(mutex_);
+  active_.store(false, std::memory_order_relaxed);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::uint64_t FlightLog::records() const {
+  const std::lock_guard lock(mutex_);
+  return records_;
+}
+
+void FlightLog::record(const ExperimentTrace& trace) {
+  if (!active()) return;
+  const std::lock_guard lock(mutex_);
+  if (file_ == nullptr) return;
+  // Nonces are full 64-bit values; JSON numbers only carry 53 bits of
+  // integer precision, so the trace id travels as a hex string.  The line
+  // is built in a buffer (string formatting, not stream output — see
+  // stdio_hygiene_test) and written in one fwrite so a line is never
+  // interleaved even if the FILE* ends up shared.
+  char line[1024];
+  const int n = std::snprintf(
+      line, sizeof line,
+      "{\"nonce\":\"%016" PRIx64 "\",\"ordinal\":%" PRIu64
+      ",\"attempt\":%u,\"path\":\"%s\",\"sim_events\":%" PRIu64
+      ",\"cache_hits\":%" PRIu64 ",\"cache_misses\":%" PRIu64
+      ",\"probes_sent\":%" PRIu64 ",\"probes_lost\":%" PRIu64
+      ",\"retries\":%" PRIu64 ",\"targets\":%" PRIu64
+      ",\"reachable\":%" PRIu64
+      ",\"round_failed\":%s,\"degraded\":%s,\"storm\":%s"
+      ",\"announce_suppressed\":%" PRIu64 ",\"flap_events\":%" PRIu64
+      ",\"targets_dropped\":%" PRIu64 ",\"duration_ms\":%.3f}\n",
+      trace.nonce, trace.ordinal, trace.attempt, trace.path,
+      trace.sim_events, trace.cache_hits, trace.cache_misses,
+      trace.probes_sent, trace.probes_lost, trace.retries, trace.targets,
+      trace.reachable, trace.round_failed ? "true" : "false",
+      trace.degraded ? "true" : "false", trace.storm ? "true" : "false",
+      trace.announce_suppressed, trace.flap_events, trace.targets_dropped,
+      trace.duration_ms);
+  if (n <= 0 || static_cast<std::size_t>(n) >= sizeof line) return;
+  std::fwrite(line, 1, static_cast<std::size_t>(n), file_);
+  // Flush per line: a killed campaign keeps every completed experiment's
+  // provenance, mirroring the result store's flush-per-experiment policy.
+  std::fflush(file_);
+  ++records_;
+}
+
+}  // namespace anyopt::measure::provenance

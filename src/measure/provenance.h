@@ -1,0 +1,92 @@
+#pragma once
+// Per-experiment provenance: the "why does this census look like this?"
+// flight recorder.
+//
+// Every measured experiment — classic, overlay, overlay-resume or a
+// checkpoint-store replay — emits exactly one structured line into a JSONL
+// flight log keyed by the experiment's content-derived nonce: the execution
+// path taken, the simulation work done (events, resolve-cache behaviour),
+// the probe outcome (sent/lost/retries/reachable) and every fault the
+// injector applied.  `anyopt_bench explain <nonce>` reconstructs an
+// experiment's history from these lines after the fact, which is the
+// operational debugging loop the paper's long-lived testbed setting needs.
+//
+// Cost model mirrors netbase/telemetry: the log is OFF by default and the
+// per-experiment guard is one relaxed atomic load (`active()`).  Recording
+// never touches an experiment RNG and only ever *reads* measurement
+// results, so an enabled flight log cannot change a census (enforced by
+// the observability invariance test).
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace anyopt::measure::provenance {
+
+/// One experiment's provenance record.  `path` names the execution route:
+/// "classic" (full clean-state simulation), "overlay" (copy-on-write fork
+/// of a shared base), "overlay-resume" (second order-leg resumed from the
+/// first), or "store-hit" (census replayed from the result store — no
+/// simulation ran).
+struct ExperimentTrace {
+  std::uint64_t nonce = 0;
+  std::uint64_t ordinal = 0;
+  std::uint32_t attempt = 0;
+  const char* path = "classic";
+  std::uint64_t sim_events = 0;       ///< update events this experiment ran
+  std::uint64_t cache_hits = 0;       ///< resolve-cache replays (this census)
+  std::uint64_t cache_misses = 0;     ///< resolve-cache walks (this census)
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_lost = 0;
+  std::uint64_t retries = 0;          ///< probe retry attempts
+  std::uint64_t targets = 0;          ///< census width
+  std::uint64_t reachable = 0;        ///< targets that produced a measurement
+  bool round_failed = false;          ///< fault layer killed the round
+  bool degraded = false;              ///< fault layer dropped targets
+  bool storm = false;                 ///< loss storm active
+  std::uint64_t announce_suppressed = 0;  ///< site-failure suppressions
+  std::uint64_t flap_events = 0;      ///< flap cycles merged into the schedule
+  std::uint64_t targets_dropped = 0;  ///< degraded-round silent drops
+  double duration_ms = 0.0;           ///< wall time of the experiment
+};
+
+/// The process-wide JSONL sink.  Thread-safe: records from concurrent
+/// campaign workers serialize on an internal mutex and each line is
+/// flushed whole, so a crash loses at most the line being written.
+class FlightLog {
+ public:
+  static FlightLog& global();
+
+  /// Opens (truncates) `path` and starts recording.  Returns false — and
+  /// stays inactive — when the file cannot be created.
+  bool open(const std::string& path);
+
+  /// Stops recording and closes the sink (idempotent).
+  void close();
+
+  /// The per-experiment guard: one relaxed atomic load when the log is off.
+  [[nodiscard]] bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one record as a single JSON line (no-op when inactive).
+  void record(const ExperimentTrace& trace);
+
+  /// Lines written since `open` (for tests and the bench summary).
+  [[nodiscard]] std::uint64_t records() const;
+
+ private:
+  FlightLog() = default;
+
+  std::atomic<bool> active_{false};
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t records_ = 0;
+};
+
+/// Convenience guard mirroring `telemetry::enabled()`.
+inline bool active() { return FlightLog::global().active(); }
+
+}  // namespace anyopt::measure::provenance

@@ -268,6 +268,7 @@ Result<std::unique_ptr<ResultStore>> ResultStore::open_impl(
                           std::strerror(errno));
     }
   }
+  store->note_index_bytes_locked();
   return store;
 }
 
@@ -295,8 +296,22 @@ Status ResultStore::append_locked(RecordKind kind, std::uint64_t key,
     const StoreMetrics& m = StoreMetrics::get();
     m.records_written->add(1);
     m.bytes_written->add(frame.size());
+    note_index_bytes_locked();
   }
   return {};
+}
+
+void ResultStore::note_index_bytes_locked() const {
+  if (!telemetry::enabled()) return;
+  static telemetry::Gauge& bytes =
+      telemetry::Registry::global().gauge("bytes.store_index");
+  // Buffer mirror plus hash-map nodes (key+offset+bucket pointer is a fair
+  // libstdc++ node estimate) plus the log directory.
+  const std::size_t node =
+      sizeof(std::uint64_t) + sizeof(std::size_t) + 2 * sizeof(void*);
+  bytes.set(static_cast<std::int64_t>(buffer_.capacity() +
+                                      index_.size() * node +
+                                      log_.capacity() * sizeof(RecordInfo)));
 }
 
 void ResultStore::encode_census_locked(std::uint64_t key,

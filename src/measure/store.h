@@ -212,6 +212,9 @@ class ResultStore {
       std::span<const std::uint8_t> payload) const;
   [[nodiscard]] std::optional<std::span<const std::uint8_t>> payload_locked(
       RecordKind kind, std::uint64_t key) const;
+  /// Feeds the `bytes.store_index` gauge with the mirror buffer + index +
+  /// log footprint (no-op when telemetry is off).  Caller holds `mutex_`.
+  void note_index_bytes_locked() const;
 
   mutable std::mutex mutex_;
   std::string path_;

@@ -1,0 +1,277 @@
+#include "netbase/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace anyopt::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::uint64_t Value::as_u64() const {
+  if (kind != Kind::kNumber || !(number_value > 0.0)) return 0;
+  return static_cast<std::uint64_t>(number_value);
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view; `pos_` is the next unread
+/// byte and doubles as the error offset.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> run() {
+    skip_ws();
+    Value root;
+    if (auto st = parse_value(root, /*depth=*/0); !st.ok()) return st.error();
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content after document");
+    return root;
+  }
+
+ private:
+  // Deep enough for any artifact this repo writes; prevents stack overflow
+  // on adversarial input (the record tests feed arbitrary files through).
+  static constexpr int kMaxDepth = 64;
+
+  [[nodiscard]] Error fail(std::string what) const {
+    return Error::parse("json: " + std::move(what) + " at byte " +
+                        std::to_string(pos_));
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (eof() || peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  Status parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (eof()) return fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out.kind = Value::Kind::kString;
+        return parse_string(out.string_value);
+      case 't':
+        if (!consume_word("true")) return fail("bad literal");
+        out.kind = Value::Kind::kBool;
+        out.bool_value = true;
+        return {};
+      case 'f':
+        if (!consume_word("false")) return fail("bad literal");
+        out.kind = Value::Kind::kBool;
+        out.bool_value = false;
+        return {};
+      case 'n':
+        if (!consume_word("null")) return fail("bad literal");
+        out.kind = Value::Kind::kNull;
+        return {};
+      default: return parse_number(out);
+    }
+  }
+
+  Status parse_object(Value& out, int depth) {
+    ++pos_;  // '{'
+    out.kind = Value::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return {};
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return fail("expected object key");
+      std::string key;
+      if (auto st = parse_string(key); !st.ok()) return st;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      skip_ws();
+      Value member;
+      if (auto st = parse_value(member, depth + 1); !st.ok()) return st;
+      out.members.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return {};
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  Status parse_array(Value& out, int depth) {
+    ++pos_;  // '['
+    out.kind = Value::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return {};
+    while (true) {
+      skip_ws();
+      Value item;
+      if (auto st = parse_value(item, depth + 1); !st.ok()) return st;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return {};
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  Status parse_string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (true) {
+      if (eof()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return {};
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (auto st = parse_unicode_escape(out); !st.ok()) return st;
+          break;
+        }
+        default:
+          pos_ -= 1;
+          return fail("bad escape character");
+      }
+    }
+  }
+
+  Status parse_unicode_escape(std::string& out) {
+    unsigned cp = 0;
+    if (auto st = parse_hex4(cp); !st.ok()) return st;
+    // Surrogate pair: a high surrogate must be followed by \uDC00-\uDFFF.
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (!consume_word("\\u")) return fail("unpaired high surrogate");
+      unsigned lo = 0;
+      if (auto st = parse_hex4(lo); !st.ok()) return st;
+      if (lo < 0xDC00 || lo > 0xDFFF) return fail("bad low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      return fail("unpaired low surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return {};
+  }
+
+  Status parse_hex4(unsigned& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) return fail("truncated \\u escape");
+      const char c = text_[pos_];
+      unsigned digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<unsigned>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<unsigned>(c - 'A') + 10;
+      } else {
+        return fail("bad hex digit in \\u escape");
+      }
+      out = out * 16 + digit;
+      ++pos_;
+    }
+    return {};
+  }
+
+  Status parse_number(Value& out) {
+    const std::size_t start = pos_;
+    consume('-');
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      pos_ = start;
+      return fail("expected value");
+    }
+    // Integer part: a single 0, or a nonzero digit run (no leading zeros).
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (consume('.')) {
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected digits after decimal point");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("expected exponent digits");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out.kind = Value::Kind::kNumber;
+    out.number_value = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(out.number_value)) return fail("number out of range");
+    return {};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace anyopt::json

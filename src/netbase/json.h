@@ -1,0 +1,63 @@
+#pragma once
+// Minimal JSON document reader for the observability toolchain.
+//
+// The repo's machine-readable artifacts — `BENCH_*.json` perf-trajectory
+// records and the per-experiment provenance flight log — are plain JSON, and
+// both the `anyopt_bench` CLI and the record-hygiene tests need to read them
+// back without an external dependency.  This is a strict recursive-descent
+// parser over the full value grammar (objects, arrays, strings with escapes,
+// numbers, booleans, null) returning an owning tree; errors carry the byte
+// offset so a malformed committed record is diagnosable from the test log.
+//
+// Numbers are held as double: every counter this repo emits fits 2^53
+// exactly, and RFC 8259 interoperable parsers promise no more.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "netbase/result.h"
+
+namespace anyopt::json {
+
+/// One parsed JSON value.  Object member order is preserved (the record
+/// hygiene tests check field order stability across regenerated records).
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kObject,
+    kArray,
+  };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<std::pair<std::string, Value>> members;  ///< object, in order
+  std::vector<Value> items;                            ///< array elements
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+
+  /// Member lookup on an object (first match); nullptr when absent or when
+  /// this value is not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Number value as an unsigned counter (0 for non-numbers; negatives
+  /// clamp to 0 — the records never carry negative counters).
+  [[nodiscard]] std::uint64_t as_u64() const;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+[[nodiscard]] Result<Value> parse(std::string_view text);
+
+}  // namespace anyopt::json

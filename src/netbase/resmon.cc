@@ -1,0 +1,77 @@
+#include "netbase/resmon.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "netbase/telemetry.h"
+
+namespace anyopt::resmon {
+
+MemorySample read_memory() {
+  MemorySample out;
+  std::FILE* f = std::fopen("/proc/self/status", "re");
+  if (f == nullptr) return out;
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    long long kb = 0;
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      if (std::sscanf(line + 6, "%lld", &kb) == 1) out.rss_kb = kb;
+    } else if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      if (std::sscanf(line + 6, "%lld", &kb) == 1) out.peak_rss_kb = kb;
+    }
+    if (out.rss_kb != 0 && out.peak_rss_kb != 0) break;
+  }
+  std::fclose(f);
+  return out;
+}
+
+Sampler::Sampler(std::chrono::milliseconds period) : period_(period) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::stop() {
+  {
+    const std::lock_guard lock(mutex_);
+    if (stopping_ && !thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t Sampler::samples() const {
+  const std::lock_guard lock(mutex_);
+  return samples_;
+}
+
+void Sampler::loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    sample_once();
+    ++samples_;
+    if (stopping_) return;
+    cv_.wait_for(lock, period_, [this] { return stopping_; });
+    if (stopping_) {
+      // Final sample on the way out so short runs still record a footprint.
+      sample_once();
+      ++samples_;
+      return;
+    }
+  }
+}
+
+void Sampler::sample_once() {
+  auto& reg = telemetry::Registry::global();
+  const MemorySample mem = read_memory();
+  if (mem.rss_kb != 0) reg.gauge(kRssGauge).set(mem.rss_kb);
+  if (mem.peak_rss_kb != 0) reg.gauge(kPeakRssGauge).set(mem.peak_rss_kb);
+  if (!telemetry::enabled() || !telemetry::tracing()) return;
+  reg.counter_sample(kRssGauge, "resmon", mem.rss_kb);
+  for (const char* name : kByteGauges) {
+    reg.counter_sample(name, "resmon", reg.gauge_value(name));
+  }
+}
+
+}  // namespace anyopt::resmon

@@ -1,0 +1,80 @@
+#pragma once
+// Resource monitor: process memory telemetry for long-lived campaigns.
+//
+// Two pieces:
+//   * `read_memory()` — one snapshot of the process's resident-set size and
+//     its lifetime high-water mark, parsed from `/proc/self/status`
+//     (VmRSS / VmHWM).  Returns zeros on platforms without procfs, so
+//     callers degrade to "no RSS data" rather than failing.
+//   * `Sampler` — a background thread that periodically feeds the snapshot
+//     into the `res.rss_kb` / `res.peak_rss_kb` gauges and, when tracing is
+//     on, emits Chrome counter-sample rows for RSS plus every registered
+//     `bytes.*` subsystem gauge (sim scratch arenas, overlay pages, resolve
+//     cache, store index, pool queues).  Opening the resulting trace in
+//     Perfetto shows memory as stacked time-series charts alongside the
+//     experiment spans.
+//
+// The sampler only ever *reads* simulation state through relaxed-atomic
+// gauges — it never touches an experiment RNG or mutates shared state — so
+// running it cannot change a measurement result (enforced by the
+// observability invariance test).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace anyopt::resmon {
+
+/// One memory snapshot, in kilobytes as reported by the kernel.
+struct MemorySample {
+  std::int64_t rss_kb = 0;       ///< VmRSS: current resident set
+  std::int64_t peak_rss_kb = 0;  ///< VmHWM: lifetime peak resident set
+};
+
+/// Reads `/proc/self/status`; all-zero sample when unavailable.
+[[nodiscard]] MemorySample read_memory();
+
+/// Gauge names the sampler maintains (also the BENCH json field sources).
+inline constexpr const char* kRssGauge = "res.rss_kb";
+inline constexpr const char* kPeakRssGauge = "res.peak_rss_kb";
+
+/// Per-subsystem retained-byte gauges sampled into the trace.  Central
+/// list so the sampler, the bench-json writer, and the record schema agree.
+inline constexpr const char* kByteGauges[] = {
+    "bytes.sim_scratch", "bytes.overlay_pages", "bytes.resolve_cache",
+    "bytes.store_index", "bytes.pool_queue",
+};
+
+/// Background sampler thread.  Construction starts it; destruction (or
+/// `stop()`) joins it after one final sample, so even a run shorter than
+/// the period records its memory footprint.
+class Sampler {
+ public:
+  explicit Sampler(std::chrono::milliseconds period =
+                       std::chrono::milliseconds(50));
+  ~Sampler();
+
+  Sampler(const Sampler&) = delete;
+  Sampler& operator=(const Sampler&) = delete;
+
+  /// Stops and joins the sampler thread (idempotent).
+  void stop();
+
+  /// Samples taken so far (monotonic; for tests and overhead accounting).
+  [[nodiscard]] std::uint64_t samples() const;
+
+ private:
+  void loop();
+  void sample_once();
+
+  std::chrono::milliseconds period_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::uint64_t samples_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace anyopt::resmon

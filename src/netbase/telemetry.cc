@@ -136,6 +136,7 @@ void Registry::span(const char* name, const char* category, double ts_us,
   ev.ts_us = ts_us;
   ev.dur_us = std::max(0.0, dur_us);
   ev.tid = tid_of_current_thread();
+  ev.phase = 'X';
   ev.args_json = std::move(args_json);
   events_.push_back(std::move(ev));
 }
@@ -154,7 +155,27 @@ void Registry::instant(const char* name, const char* category,
   ev.ts_us = now_us();
   ev.dur_us = -1;
   ev.tid = tid_of_current_thread();
+  ev.phase = 'i';
   ev.args_json = std::move(args_json);
+  events_.push_back(std::move(ev));
+}
+
+void Registry::counter_sample(const char* name, const char* category,
+                              std::int64_t value) {
+  if (!enabled() || !tracing()) return;
+  const std::lock_guard lock(mutex_);
+  if (events_.size() >= kMaxTraceEvents) {
+    ++events_dropped_;
+    return;
+  }
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.ts_us = now_us();
+  ev.dur_us = -1;
+  ev.tid = tid_of_current_thread();
+  ev.phase = 'C';
+  ev.args_json = "{\"value\":" + std::to_string(value) + "}";
   events_.push_back(std::move(ev));
 }
 
@@ -162,6 +183,18 @@ std::uint64_t Registry::counter_value(std::string_view name) const {
   const std::lock_guard lock(mutex_);
   const auto it = counters_.find(std::string(name));
   return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::int64_t Registry::gauge_value(std::string_view name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(std::string(name));
+  return it == gauges_.end() ? 0 : it->second.value();
+}
+
+std::int64_t Registry::gauge_max(std::string_view name) const {
+  const std::lock_guard lock(mutex_);
+  const auto it = gauges_.find(std::string(name));
+  return it == gauges_.end() ? 0 : it->second.max();
 }
 
 std::size_t Registry::trace_event_count() const {
@@ -224,20 +257,24 @@ std::string Registry::summary(bool include_empty) const {
   };
 
   std::string out;
-  TextTable counters({"counter", "value"});
-  bool have_counters = false;
+  // The counters table must stay deterministically sorted by metric name —
+  // including synthetic rows like the trace-drop tally — so two runs'
+  // summaries diff cleanly line against line.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_rows;
   for (const auto name : sorted_names(counters_)) {
     const Counter& c = counters_.at(std::string(name));
     if (c.value() == 0 && !include_empty) continue;
-    counters.add_row({std::string(name), std::to_string(c.value())});
-    have_counters = true;
+    counter_rows.emplace_back(std::string(name), c.value());
   }
   if (events_dropped_ > 0) {
-    counters.add_row({"telemetry.trace.dropped",
-                      std::to_string(events_dropped_)});
-    have_counters = true;
+    counter_rows.emplace_back("telemetry.trace.dropped", events_dropped_);
   }
-  if (have_counters) out += counters.render();
+  std::sort(counter_rows.begin(), counter_rows.end());
+  TextTable counters({"counter", "value"});
+  for (const auto& [name, value] : counter_rows) {
+    counters.add_row({name, std::to_string(value)});
+  }
+  if (!counter_rows.empty()) out += counters.render();
 
   TextTable gauges({"gauge", "last", "peak"});
   bool have_gauges = false;
@@ -280,7 +317,9 @@ std::string Registry::chrome_trace_json() const {
     if (i != 0) out += ",";
     out += "\n{\"name\":\"" + json_escape(ev.name) + "\",\"cat\":\"" +
            json_escape(ev.category) + "\",";
-    if (ev.dur_us >= 0) {
+    if (ev.phase == 'C') {
+      std::snprintf(buf, sizeof buf, "\"ph\":\"C\",\"ts\":%.3f,", ev.ts_us);
+    } else if (ev.dur_us >= 0 && ev.phase == 'X') {
       std::snprintf(buf, sizeof buf,
                     "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,", ev.ts_us,
                     ev.dur_us);

@@ -95,6 +95,15 @@ class Gauge {
     v_.store(v, std::memory_order_relaxed);
     update_max(v);
   }
+  /// Adjusts the value by a (possibly negative) delta and raises the
+  /// maximum.  The byte-accounting idiom: concurrent subsystems each add
+  /// their own retained-bytes delta, so `value()` is the live total and
+  /// `max()` its high-water mark.
+  void add(std::int64_t delta) {
+    const std::int64_t now =
+        v_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    update_max(now);
+  }
   /// Raises the maximum without touching the last-set value.
   void update_max(std::int64_t v) {
     std::int64_t cur = max_.load(std::memory_order_relaxed);
@@ -169,6 +178,9 @@ struct TraceEvent {
   double ts_us = 0;      ///< start, microseconds since telemetry epoch
   double dur_us = -1;    ///< span duration; negative = instant event
   std::uint32_t tid = 0;
+  /// Chrome phase: 'X' complete span, 'i' instant, 'C' counter sample
+  /// (time-series row; `args_json` carries the sampled values).
+  char phase = 'X';
   std::string args_json;  ///< pre-rendered JSON object ("{...}") or empty
 };
 
@@ -194,6 +206,13 @@ class Registry {
   void instant(const char* name, const char* category,
                std::string args_json = {});
 
+  /// Structured event sink: one time-series sample (Chrome counter event,
+  /// rendered as a stacked chart row in Perfetto).  The resource-monitor
+  /// sampler feeds RSS and per-subsystem byte totals through here.  No-op
+  /// unless both telemetry and tracing are on.
+  void counter_sample(const char* name, const char* category,
+                      std::int64_t value);
+
   /// Human-readable summary of every registered metric (counters, gauges,
   /// histograms), sorted by name.  Metrics with no recorded data are
   /// omitted unless `include_empty`.
@@ -204,6 +223,10 @@ class Registry {
 
   /// Value lookups for derived reporting (0 / nullptr-like when absent).
   [[nodiscard]] std::uint64_t counter_value(std::string_view name) const;
+  /// Last-set value of a gauge (0 when absent).
+  [[nodiscard]] std::int64_t gauge_value(std::string_view name) const;
+  /// Running maximum of a gauge (0 when absent).
+  [[nodiscard]] std::int64_t gauge_max(std::string_view name) const;
 
   /// Zeroes every metric and drops all captured trace events.
   void reset();

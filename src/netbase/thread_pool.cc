@@ -46,6 +46,15 @@ double ThreadPool::enqueue_stamp_us() {
   return telemetry::enabled() ? telemetry::now_us() : -1.0;
 }
 
+void ThreadPool::note_queue_depth(std::size_t depth) {
+  if (!telemetry::enabled()) return;
+  static telemetry::Gauge& bytes =
+      telemetry::Registry::global().gauge("bytes.pool_queue");
+  // Control-block footprint of the pending tasks; the closures' captured
+  // state is owned elsewhere, so sizeof(Task) is the honest queue cost.
+  bytes.set(static_cast<std::int64_t>(depth * sizeof(Task)));
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -93,6 +102,7 @@ void ThreadPool::worker_loop() {
       if (stopping_) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      note_queue_depth(queue_.size());
     }
     if (task.enqueue_us >= 0 && telemetry::enabled()) {
       const auto& m = PoolMetrics::get();

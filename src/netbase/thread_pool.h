@@ -60,6 +60,7 @@ class ThreadPool {
     {
       const std::lock_guard lock(mutex_);
       queue_.push_back({[packaged] { (*packaged)(); }, enqueue_stamp_us()});
+      note_queue_depth(queue_.size());
     }
     ready_.notify_one();
     return future;
@@ -83,6 +84,10 @@ class ThreadPool {
   /// Now-stamp for queue-wait accounting; -1 (no clock read) when
   /// telemetry is disabled.
   [[nodiscard]] static double enqueue_stamp_us();
+
+  /// Feeds the `bytes.pool_queue` gauge with the pending queue's footprint
+  /// (no-op when telemetry is off).  Callers must hold `mutex_`.
+  static void note_queue_depth(std::size_t depth);
 
   std::vector<std::thread> workers_;
   std::deque<Task> queue_;

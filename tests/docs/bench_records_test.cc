@@ -1,0 +1,256 @@
+// Perf-record hygiene: every committed bench/records/*.json must be a
+// well-formed schema-3 record with exactly the documented field set, and
+// the anyopt_bench CLI that consumes them must aggregate, diff and gate
+// them correctly — including exiting nonzero when a record regressed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+
+#include "netbase/json.h"
+
+namespace anyopt {
+namespace {
+
+std::string records_dir() {
+  return std::string(ANYOPT_SOURCE_DIR) + "/bench/records";
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string text;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+std::vector<std::string> record_paths() {
+  std::vector<std::string> paths;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(records_dir())) {
+    if (entry.path().extension() == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+/// The schema-3 contract: exactly these top-level fields, in any order.
+/// Adding a field to write_bench_json without bumping the schema — or
+/// committing a stale-schema record — fails here.
+const std::set<std::string>& top_level_fields() {
+  static const std::set<std::string> fields = {
+      "schema",
+      "git_commit",
+      "dirty",
+      "bench",
+      "threads",
+      "hw_concurrency",
+      "wall_s",
+      "peak_rss_kb",
+      "sim_runs",
+      "sim_events",
+      "censuses",
+      "campaign_experiments",
+      "resolve_cache_hits",
+      "resolve_cache_misses",
+      "resolve_cache_hit_rate",
+      "scratch_reuse",
+      "store_hits",
+      "store_misses",
+      "store_bytes_written",
+      "overlay_forks",
+      "overlay_copied_as",
+      "overlay_delta_events",
+      "bytes",
+  };
+  return fields;
+}
+
+const std::set<std::string>& bytes_fields() {
+  static const std::set<std::string> fields = {
+      "sim_scratch", "overlay_pages", "resolve_cache", "store_index",
+      "pool_queue",
+  };
+  return fields;
+}
+
+TEST(BenchRecords, AtLeastTheHeadlineBenchesAreCommitted) {
+  std::set<std::string> names;
+  for (const std::string& path : record_paths()) {
+    names.insert(std::filesystem::path(path).filename().string());
+  }
+  for (const char* required :
+       {"BENCH_fig4b.json", "BENCH_parallel_discovery.json",
+        "BENCH_resilience.json"}) {
+    EXPECT_TRUE(names.count(required) == 1) << "missing " << required;
+  }
+}
+
+TEST(BenchRecords, EveryCommittedRecordIsExactlySchema3) {
+  const std::vector<std::string> paths = record_paths();
+  ASSERT_FALSE(paths.empty()) << "no committed records in " << records_dir();
+  for (const std::string& path : paths) {
+    SCOPED_TRACE(path);
+    Result<json::Value> doc = json::parse(slurp(path));
+    ASSERT_TRUE(doc.ok()) << doc.error().message;
+    const json::Value& root = doc.value();
+    ASSERT_TRUE(root.is_object());
+
+    // Schema values may only move forward: a committed record older than
+    // the writer means someone regenerated half the set and not the rest.
+    const json::Value* schema = root.find("schema");
+    ASSERT_NE(schema, nullptr) << "missing schema field";
+    EXPECT_EQ(schema->as_u64(), 3u)
+        << "stale (or future) schema — regenerate every committed record";
+
+    // Exact field census: no unknown fields, no missing fields.
+    std::set<std::string> present;
+    for (const auto& [name, value] : root.members) {
+      EXPECT_TRUE(present.insert(name).second) << "duplicate field " << name;
+      EXPECT_TRUE(top_level_fields().count(name) == 1)
+          << "unknown field " << name;
+    }
+    for (const std::string& name : top_level_fields()) {
+      EXPECT_TRUE(present.count(name) == 1) << "missing field " << name;
+    }
+
+    const json::Value* bytes = root.find("bytes");
+    ASSERT_NE(bytes, nullptr);
+    ASSERT_TRUE(bytes->is_object());
+    std::set<std::string> bytes_present;
+    for (const auto& [name, value] : bytes->members) {
+      EXPECT_TRUE(value.is_number()) << "bytes." << name;
+      EXPECT_TRUE(bytes_present.insert(name).second)
+          << "duplicate field bytes." << name;
+      EXPECT_TRUE(bytes_fields().count(name) == 1)
+          << "unknown field bytes." << name;
+    }
+    for (const std::string& name : bytes_fields()) {
+      EXPECT_TRUE(bytes_present.count(name) == 1)
+          << "missing field bytes." << name;
+    }
+
+    // Spot-check the values a gate depends on.
+    EXPECT_FALSE(root.find("bench")->string_value.empty());
+    EXPECT_FALSE(root.find("git_commit")->string_value.empty());
+    EXPECT_TRUE(root.find("dirty")->is_bool());
+    EXPECT_GT(root.find("wall_s")->number_value, 0.0);
+    EXPECT_GT(root.find("peak_rss_kb")->as_u64(), 0u);
+    EXPECT_GT(root.find("sim_events")->as_u64(), 0u);
+    EXPECT_GT(root.find("threads")->as_u64(), 0u);
+  }
+}
+
+// ------------------------------------------------------ CLI smoke tests
+
+int run_cli(const std::string& args) {
+  const std::string command = std::string(ANYOPT_BENCH_CLI) + " " + args +
+                              " > /dev/null 2> /dev/null";
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(BenchCli, TrajectoryReadsTheCommittedRecords) {
+  EXPECT_EQ(run_cli("trajectory " + records_dir()), 0);
+}
+
+TEST(BenchCli, SelfDiffAndSelfCheckPass) {
+  const std::string record = records_dir() + "/BENCH_fig4b.json";
+  EXPECT_EQ(run_cli("diff " + record + " " + record), 0);
+  EXPECT_EQ(run_cli("check " + record + " " + record), 0);
+}
+
+TEST(BenchCli, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_cli(""), 2);
+  EXPECT_EQ(run_cli("frobnicate"), 2);
+  EXPECT_EQ(run_cli("check only-one-arg.json"), 2);
+  EXPECT_EQ(run_cli("check missing_a.json missing_b.json"), 2);
+  EXPECT_EQ(run_cli("--no-such-flag trajectory"), 2);
+}
+
+/// Writes a copy of `source` with one numeric top-level field scaled.
+std::string write_scaled_copy(const std::string& source,
+                              const std::string& field, double factor) {
+  Result<json::Value> doc = json::parse(slurp(source));
+  EXPECT_TRUE(doc.ok());
+  const std::string path = ::testing::TempDir() + "anyopt_bench_records_" +
+                           field + "_scaled.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fprintf(f, "{\n");
+  bool first = true;
+  for (const auto& [name, value] : doc.value().members) {
+    if (!first) std::fprintf(f, ",\n");
+    first = false;
+    if (name == field) {
+      std::fprintf(f, "  \"%s\": %.3f", name.c_str(),
+                   value.number_value * factor);
+    } else if (value.is_number()) {
+      std::fprintf(f, "  \"%s\": %.4f", name.c_str(), value.number_value);
+    } else if (value.is_string()) {
+      std::fprintf(f, "  \"%s\": \"%s\"", name.c_str(),
+                   value.string_value.c_str());
+    } else if (value.is_bool()) {
+      std::fprintf(f, "  \"%s\": %s", name.c_str(),
+                   value.bool_value ? "true" : "false");
+    } else if (value.is_object()) {
+      std::fprintf(f, "  \"%s\": {", name.c_str());
+      bool inner_first = true;
+      for (const auto& [inner_name, inner] : value.members) {
+        std::fprintf(f, "%s\"%s\": %.0f", inner_first ? "" : ", ",
+                     inner_name.c_str(), inner.number_value);
+        inner_first = false;
+      }
+      std::fprintf(f, "}");
+    }
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  return path;
+}
+
+TEST(BenchCli, CheckFailsOnASlowedRun) {
+  // The deliberately-slowed fixture: a run 2x slower than the committed
+  // record must trip the gate (default wall tolerance is 15%)...
+  const std::string committed = records_dir() + "/BENCH_fig4b.json";
+  const std::string slowed = write_scaled_copy(committed, "wall_s", 2.0);
+  EXPECT_EQ(run_cli("check " + slowed + " " + committed), 1);
+  // ...and the gate is asymmetric: the same record as COMMITTED with the
+  // slowed run as the baseline is an improvement, not a regression.
+  EXPECT_EQ(run_cli("check " + committed + " " + slowed), 0);
+  // A wide explicit tolerance waves the slowed run through.
+  EXPECT_EQ(run_cli("--wall-tol=1.5 check " + slowed + " " + committed), 0);
+  std::remove(slowed.c_str());
+}
+
+TEST(BenchCli, CheckFailsOnEventGrowthAndRespectsBudget) {
+  const std::string committed = records_dir() + "/BENCH_fig4b.json";
+  const std::string grown = write_scaled_copy(committed, "sim_events", 1.01);
+  // Event counts are deterministic: the default budget is exact.
+  EXPECT_EQ(run_cli("check " + grown + " " + committed), 1);
+  // An explicit budget covering the growth passes.
+  EXPECT_EQ(run_cli("--events-budget=100000000 check " + grown + " " +
+                    committed),
+            0);
+  // Symmetric diff flags the difference in either direction.
+  EXPECT_EQ(run_cli("diff " + committed + " " + grown), 1);
+  std::remove(grown.c_str());
+}
+
+}  // namespace
+}  // namespace anyopt

@@ -162,4 +162,33 @@ TEST(DocsTest, ReadmeLinksTheArchitectureOverview) {
       << "README.md must link to ARCHITECTURE.md";
 }
 
+TEST(DocsTest, ObservabilityIsDocumentedAcrossTheDocSet) {
+  // PR 7's observability layer must stay discoverable from every entry
+  // point: the README quickstart, the architecture dataflow, the design
+  // rationale, and the change log.
+  const std::string readme = read_file(source_dir() / "README.md");
+  EXPECT_NE(readme.find("anyopt_bench"), std::string::npos)
+      << "README.md must carry the anyopt_bench CLI quickstart";
+  EXPECT_NE(readme.find("--resmon"), std::string::npos)
+      << "README.md must document the --resmon bench flag";
+  EXPECT_NE(readme.find("--provenance-out"), std::string::npos)
+      << "README.md must document the --provenance-out bench flag";
+
+  const std::string changes = read_file(source_dir() / "CHANGES.md");
+  EXPECT_NE(changes.find("anyopt_bench"), std::string::npos)
+      << "CHANGES.md must record the PR that introduced anyopt_bench";
+
+  const std::string architecture = read_file(source_dir() / "ARCHITECTURE.md");
+  EXPECT_NE(architecture.find("`resmon.h`"), std::string::npos)
+      << "ARCHITECTURE.md module map must place the resource monitor";
+  EXPECT_NE(architecture.find("provenance"), std::string::npos)
+      << "ARCHITECTURE.md must show the provenance flight log";
+
+  const std::string design = read_file(source_dir() / "DESIGN.md");
+  EXPECT_NE(design.find("## 9. Resource telemetry"), std::string::npos)
+      << "DESIGN.md must keep the resource telemetry & provenance section";
+  EXPECT_NE(design.find("bytes."), std::string::npos)
+      << "DESIGN.md must explain the per-subsystem byte gauges";
+}
+
 }  // namespace

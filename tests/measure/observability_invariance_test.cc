@@ -1,0 +1,227 @@
+// Observability invariance: the resource-monitor sampler and the provenance
+// flight log are pure observers.  A campaign re-run with the sampler
+// hammering the gauges from its own thread AND every experiment writing a
+// provenance line must produce bit-identical censuses — and the flight log
+// must contain exactly one line per experiment (the per-experiment
+// invariant `anyopt_bench explain` relies on).
+//
+// Runs under the `tsan` label: the sampler reads the bytes.* gauges while
+// campaign workers write them, which is exactly where an unsynchronized
+// read would hide.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "measure/campaign_runner.h"
+#include "measure/provenance.h"
+#include "measure/store.h"
+#include "netbase/json.h"
+#include "netbase/resmon.h"
+#include "netbase/rng.h"
+#include "netbase/telemetry.h"
+#include "support/core_fixture.h"
+#include "topo/serialize.h"
+
+namespace anyopt::measure {
+namespace {
+
+using anyopt::testing::default_env;
+
+/// Reads a whole file (the JSONL flight logs are tiny in tests).
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string text;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+/// Splits a flight log into parsed JSON lines (asserts each parses).
+std::vector<json::Value> parse_lines(const std::string& path) {
+  std::vector<json::Value> lines;
+  std::string text = slurp(path);
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    Result<json::Value> doc = json::parse(line);
+    EXPECT_TRUE(doc.ok()) << line;
+    if (doc.ok()) lines.push_back(std::move(doc).value());
+  }
+  return lines;
+}
+
+class ObservabilityInvarianceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { force_off(); }
+  void TearDown() override {
+    force_off();
+    std::remove(log_path().c_str());
+  }
+  static void force_off() {
+    provenance::FlightLog::global().close();
+    telemetry::set_enabled(false);
+    telemetry::set_tracing(false);
+    telemetry::Registry::global().reset();
+  }
+  // ctest runs each test of this binary as its own process, possibly in
+  // parallel — the log path must be per-process or concurrent tests clobber
+  // each other's flight logs.
+  static std::string log_path() {
+    return ::testing::TempDir() + "anyopt_obs_invariance_" +
+           std::to_string(getpid()) + ".jsonl";
+  }
+};
+
+std::vector<ExperimentSpec> campaign_specs(const anycast::Deployment& depl) {
+  std::vector<ExperimentSpec> specs;
+  const std::size_t sites = depl.site_count();
+  for (std::size_t k = 0; k < 12; ++k) {
+    ExperimentSpec spec;
+    spec.config.announce_order = {
+        SiteId{static_cast<SiteId::underlying_type>(k % sites)},
+        SiteId{static_cast<SiteId::underlying_type>((k + 1 + k / sites) %
+                                                    sites)}};
+    spec.nonce = mix64(0x0B5E, k);
+    spec.ordinal = k;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST_F(ObservabilityInvarianceTest, CensusesBitIdenticalWithObserversOn) {
+  const auto& env = default_env();
+  const auto specs = campaign_specs(env.orchestrator->world().deployment());
+  const CampaignRunner runner(*env.orchestrator, {.threads = 4});
+
+  const std::vector<Census> off = runner.run(specs);
+
+  // Everything on: metrics, tracing, a fast sampler, and the flight log.
+  telemetry::set_enabled(true);
+  telemetry::set_tracing(true);
+  ASSERT_TRUE(provenance::FlightLog::global().open(log_path()));
+  std::vector<Census> on;
+  {
+    resmon::Sampler sampler(std::chrono::milliseconds(1));
+    on = runner.run(specs);
+    sampler.stop();
+    EXPECT_GE(sampler.samples(), 1u);
+  }
+  provenance::FlightLog::global().close();
+
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i].site_of_target, on[i].site_of_target)
+        << "experiment " << i;
+    EXPECT_EQ(off[i].attachment_of_target, on[i].attachment_of_target)
+        << "experiment " << i;
+    ASSERT_EQ(off[i].rtt_ms.size(), on[i].rtt_ms.size());
+    for (std::size_t t = 0; t < off[i].rtt_ms.size(); ++t) {
+      ASSERT_EQ(off[i].rtt_ms[t], on[i].rtt_ms[t])
+          << "experiment " << i << " target " << t;
+    }
+  }
+}
+
+TEST_F(ObservabilityInvarianceTest, ExactlyOneProvenanceLinePerExperiment) {
+  const auto& env = default_env();
+  const auto specs = campaign_specs(env.orchestrator->world().deployment());
+  const CampaignRunner runner(*env.orchestrator, {.threads = 2});
+
+  telemetry::set_enabled(true);
+  ASSERT_TRUE(provenance::FlightLog::global().open(log_path()));
+  const std::vector<Census> censuses = runner.run(specs);
+  EXPECT_EQ(provenance::FlightLog::global().records(), specs.size());
+  provenance::FlightLog::global().close();
+
+  const std::vector<json::Value> lines = parse_lines(log_path());
+  ASSERT_EQ(lines.size(), specs.size());
+  // Every spec's nonce appears exactly once, with the simulated path and a
+  // census-sized probe record.
+  std::set<std::string> seen;
+  for (const json::Value& line : lines) {
+    const json::Value* nonce = line.find("nonce");
+    ASSERT_NE(nonce, nullptr);
+    EXPECT_TRUE(seen.insert(nonce->string_value).second)
+        << "duplicate line for nonce " << nonce->string_value;
+    const json::Value* path = line.find("path");
+    ASSERT_NE(path, nullptr);
+    EXPECT_EQ(path->string_value, "classic");
+    EXPECT_GT(line.find("sim_events")->as_u64(), 0u);
+    EXPECT_EQ(line.find("targets")->as_u64(),
+              censuses[0].site_of_target.size());
+    EXPECT_GT(line.find("probes_sent")->as_u64(), 0u);
+  }
+  char expect[17];
+  for (const ExperimentSpec& spec : specs) {
+    std::snprintf(expect, sizeof expect, "%016llx",
+                  static_cast<unsigned long long>(spec.nonce));
+    EXPECT_TRUE(seen.count(expect) == 1) << "missing nonce " << expect;
+  }
+}
+
+TEST_F(ObservabilityInvarianceTest, StoreHitsRecordTheirOwnPath) {
+  const auto& env = default_env();
+  const auto specs = campaign_specs(env.orchestrator->world().deployment());
+
+  const std::string store_path =
+      ::testing::TempDir() + "anyopt_obs_store.bin";
+  std::remove(store_path.c_str());
+  Result<std::unique_ptr<ResultStore>> store = ResultStore::open(
+      store_path, topo::topology_fingerprint(env.world->internet()));
+  ASSERT_TRUE(store.ok());
+  const CampaignRunner runner(
+      *env.orchestrator, {.threads = 1, .store = store.value().get()});
+
+  // First pass simulates and persists; second pass replays from the store.
+  telemetry::set_enabled(true);
+  const std::vector<Census> cold = runner.run(specs);
+  ASSERT_TRUE(provenance::FlightLog::global().open(log_path()));
+  const std::vector<Census> warm = runner.run(specs);
+  provenance::FlightLog::global().close();
+
+  ASSERT_EQ(cold.size(), warm.size());
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i].site_of_target, warm[i].site_of_target);
+    EXPECT_EQ(cold[i].rtt_ms, warm[i].rtt_ms);
+  }
+  const std::vector<json::Value> lines = parse_lines(log_path());
+  ASSERT_EQ(lines.size(), specs.size());
+  for (const json::Value& line : lines) {
+    const json::Value* path = line.find("path");
+    ASSERT_NE(path, nullptr);
+    EXPECT_EQ(path->string_value, "store-hit");
+    EXPECT_EQ(line.find("sim_events")->as_u64(), 0u);
+    EXPECT_GT(line.find("targets")->as_u64(), 0u);
+  }
+  std::remove(store_path.c_str());
+}
+
+TEST_F(ObservabilityInvarianceTest, InactiveFlightLogWritesNothing) {
+  const auto& env = default_env();
+  const auto specs = campaign_specs(env.orchestrator->world().deployment());
+  const CampaignRunner runner(*env.orchestrator, {.threads = 1});
+  // Telemetry on, flight log NOT opened: no lines, no crash.
+  telemetry::set_enabled(true);
+  (void)runner.run(specs);
+  EXPECT_FALSE(provenance::active());
+  EXPECT_EQ(slurp(log_path()), "");
+}
+
+}  // namespace
+}  // namespace anyopt::measure

@@ -1,0 +1,115 @@
+// The minimal JSON reader behind the perf-trajectory toolchain: full value
+// grammar, strictness (this parser REJECTS what RFC 8259 rejects — the
+// committed records must not drift into "works on our parser" dialect), and
+// the byte-offset diagnostics the record-hygiene tests print.
+
+#include "netbase/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace anyopt::json {
+namespace {
+
+Value parse_ok(std::string_view text) {
+  Result<Value> doc = parse(text);
+  EXPECT_TRUE(doc.ok()) << (doc.ok() ? "" : doc.error().message);
+  return doc.ok() ? std::move(doc).value() : Value{};
+}
+
+void expect_rejects(std::string_view text) {
+  EXPECT_FALSE(parse(text).ok()) << "accepted: " << text;
+}
+
+TEST(Json, ParsesScalars) {
+  EXPECT_EQ(parse_ok("null").kind, Value::Kind::kNull);
+  EXPECT_TRUE(parse_ok("true").bool_value);
+  EXPECT_FALSE(parse_ok("false").bool_value);
+  EXPECT_DOUBLE_EQ(parse_ok("42").number_value, 42.0);
+  EXPECT_DOUBLE_EQ(parse_ok("-3.25").number_value, -3.25);
+  EXPECT_DOUBLE_EQ(parse_ok("1e3").number_value, 1000.0);
+  EXPECT_EQ(parse_ok("\"hi\"").string_value, "hi");
+}
+
+TEST(Json, ParsesBenchRecordShape) {
+  const Value root = parse_ok(
+      R"({"schema": 3, "bench": "fig4b", "dirty": false,
+          "wall_s": 0.969, "bytes": {"sim_scratch": 252080}})");
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.find("schema")->as_u64(), 3u);
+  EXPECT_EQ(root.find("bench")->string_value, "fig4b");
+  EXPECT_FALSE(root.find("dirty")->bool_value);
+  EXPECT_DOUBLE_EQ(root.find("wall_s")->number_value, 0.969);
+  const Value* bytes = root.find("bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->find("sim_scratch")->as_u64(), 252080u);
+  EXPECT_EQ(root.find("no_such_field"), nullptr);
+}
+
+TEST(Json, PreservesMemberOrder) {
+  const Value root = parse_ok(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(root.members.size(), 3u);
+  EXPECT_EQ(root.members[0].first, "z");
+  EXPECT_EQ(root.members[1].first, "a");
+  EXPECT_EQ(root.members[2].first, "m");
+}
+
+TEST(Json, ParsesArraysAndNesting) {
+  const Value root = parse_ok(R"([1, [2, 3], {"k": [true]}])");
+  ASSERT_TRUE(root.is_array());
+  ASSERT_EQ(root.items.size(), 3u);
+  EXPECT_EQ(root.items[1].items[1].as_u64(), 3u);
+  EXPECT_TRUE(root.items[2].find("k")->items[0].bool_value);
+}
+
+TEST(Json, DecodesEscapes) {
+  EXPECT_EQ(parse_ok(R"("a\"b\\c\nd\te")").string_value, "a\"b\\c\nd\te");
+  // \u escape, including a surrogate pair (UTF-8 output).
+  EXPECT_EQ(parse_ok(R"("\u0041")").string_value, "A");
+  EXPECT_EQ(parse_ok(R"("\u00e9")").string_value, "\xc3\xa9");
+  EXPECT_EQ(parse_ok(R"("\ud83d\ude00")").string_value, "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, As64ClampsAndTruncates) {
+  EXPECT_EQ(parse_ok("-5").as_u64(), 0u) << "counters are never negative";
+  EXPECT_EQ(parse_ok("3.9").as_u64(), 3u);
+  EXPECT_EQ(parse_ok("\"7\"").as_u64(), 0u) << "strings are not numbers";
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  expect_rejects("");
+  expect_rejects("{");
+  expect_rejects("}");
+  expect_rejects("{\"a\":}");
+  expect_rejects("{\"a\" 1}");
+  expect_rejects("[1, 2,]");
+  expect_rejects("{\"a\": 1,}");
+  expect_rejects("01");        // leading zero
+  expect_rejects("+1");        // explicit plus
+  expect_rejects("1.");        // bare decimal point
+  expect_rejects("nul");       // truncated literal
+  expect_rejects("\"open");    // unterminated string
+  expect_rejects("\"\\x\"");   // unknown escape
+  expect_rejects("\"\t\"");    // raw control character
+  expect_rejects("{} trailing");
+  expect_rejects("1 2");
+}
+
+TEST(Json, RejectsPathologicalNesting) {
+  // The parser bounds recursion; a deliberately deep document errors
+  // cleanly instead of overflowing the stack.
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  EXPECT_FALSE(parse(deep).ok());
+}
+
+TEST(Json, ErrorsCarryByteOffsets) {
+  Result<Value> doc = parse("{\"a\": 1, \"b\": nope}");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().message.find("byte"), std::string::npos)
+      << doc.error().message;
+}
+
+}  // namespace
+}  // namespace anyopt::json

@@ -122,6 +122,77 @@ TEST_F(TelemetryTest, HistogramPercentilesMonotonicAndInRange) {
   EXPECT_LT(h.percentile(0.5), 1000.0);
 }
 
+TEST_F(TelemetryTest, EmptyHistogramSummaryAndPercentiles) {
+  // An empty histogram must render a readable zero row, not NaN/inf: the
+  // summary table is diffed between runs, so "no samples" has to be a
+  // stable, finite line.
+  Histogram h;
+  for (const double p : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_EQ(h.percentile(p), 0.0) << "p=" << p;
+  }
+  auto& reg = Registry::global();
+  reg.histogram("edge.empty");
+  // Hidden by default (count == 0), printable on demand.
+  EXPECT_EQ(reg.summary().find("edge.empty"), std::string::npos);
+  const std::string summary = reg.summary(/*include_empty=*/true);
+  EXPECT_NE(summary.find("edge.empty"), std::string::npos);
+  EXPECT_EQ(summary.find("nan"), std::string::npos) << summary;
+  EXPECT_EQ(summary.find("inf"), std::string::npos) << summary;
+}
+
+TEST_F(TelemetryTest, SingleSampleHistogramPercentilesAgree) {
+  // With one sample every percentile is that sample's bucket: all equal,
+  // and within the log2 bucket's factor-of-two of the recorded value.
+  Histogram h;
+  h.record(7.0);
+  const double p0 = h.percentile(0.0);
+  const double p50 = h.percentile(0.5);
+  const double p100 = h.percentile(1.0);
+  EXPECT_EQ(p0, p50);
+  EXPECT_EQ(p50, p100);
+  EXPECT_GE(p50, 3.5);
+  EXPECT_LE(p50, 14.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(h.min(), 7.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+}
+
+TEST_F(TelemetryTest, AllNonFiniteHistogramStaysEmpty) {
+  // Every sample rejected: the histogram must behave exactly like an empty
+  // one (mean 0, percentiles 0) while still reporting the rejection tally —
+  // the non_finite counter is evidence, not data.
+  Histogram h;
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.non_finite(), 2u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  // A later good sample is unaffected by the rejected ones.
+  h.record(5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_EQ(h.non_finite(), 2u);
+}
+
+TEST_F(TelemetryTest, SummaryCounterRowsSortedByName) {
+  // Registration order must not leak into the summary: rows come out
+  // sorted by metric name so two runs' summaries diff line against line.
+  auto& reg = Registry::global();
+  reg.counter("zz.last").add(1);
+  reg.counter("aa.first").add(1);
+  reg.counter("mm.middle").add(1);
+  const std::string summary = reg.summary();
+  const std::size_t a = summary.find("aa.first");
+  const std::size_t m = summary.find("mm.middle");
+  const std::size_t z = summary.find("zz.last");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+}
+
 TEST_F(TelemetryTest, RegistryReturnsStableHandles) {
   auto& reg = Registry::global();
   Counter& a = reg.counter("test.counter");

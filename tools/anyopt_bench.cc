@@ -1,0 +1,488 @@
+// anyopt_bench — the perf-trajectory toolchain over the machine-readable
+// `BENCH_*.json` records the bench binaries write (bench/support).
+//
+//   anyopt_bench trajectory [DIR]        one-line summary per record in DIR
+//                                        (default bench/records), sorted by
+//                                        bench name
+//   anyopt_bench diff A.json B.json      field-by-field comparison with
+//                                        noise thresholds; exit 1 when any
+//                                        field moved beyond its threshold
+//   anyopt_bench check LATEST COMMITTED  CI regression gate: exit 1 only
+//                                        when LATEST is WORSE than COMMITTED
+//                                        beyond the thresholds (faster /
+//                                        smaller never fails)
+//   anyopt_bench explain NONCE [LOG]     reconstruct one experiment's
+//                                        history from a provenance flight
+//                                        log (default provenance.jsonl)
+//
+// Thresholds (apply to diff and check):
+//   --wall-tol=F        relative wall-clock tolerance (default 0.15)
+//   --events-budget=N   absolute sim-event slack (default 0 = exact)
+//   --rss-tol=F         relative peak-RSS tolerance (default 0.25)
+//   --rss-budget-kb=N   absolute peak-RSS slack on top (default 16384)
+//
+// Wall time is noisy, so it gets a wide relative band; simulated event
+// counts are deterministic, so they default to exact — an unexplained event
+// delta means the workload changed and the committed record must be
+// regenerated deliberately, not absorbed silently.
+//
+// Exit codes: 0 ok, 1 regression/difference/not-found, 2 usage or I/O.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/json.h"
+
+namespace {
+
+using anyopt::Result;
+using anyopt::json::Value;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: anyopt_bench trajectory [DIR]\n"
+      "       anyopt_bench diff A.json B.json [thresholds]\n"
+      "       anyopt_bench check LATEST.json COMMITTED.json [thresholds]\n"
+      "       anyopt_bench explain NONCE [LOG.jsonl]\n"
+      "thresholds: --wall-tol=F --events-budget=N --rss-tol=F"
+      " --rss-budget-kb=N\n");
+  return 2;
+}
+
+/// Comparison thresholds shared by `diff` and `check`.
+struct Thresholds {
+  double wall_tol = 0.15;
+  std::uint64_t events_budget = 0;
+  double rss_tol = 0.25;
+  std::int64_t rss_budget_kb = 16384;
+};
+
+/// Pulls the threshold flags out of argv (anywhere) and returns the
+/// remaining positional arguments.  Unknown `--` flags are an error.
+bool parse_args(int argc, char** argv, Thresholds& thresholds,
+                std::vector<std::string>& positional) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--wall-tol=", 0) == 0) {
+      thresholds.wall_tol = std::strtod(argv[i] + 11, nullptr);
+    } else if (arg.rfind("--events-budget=", 0) == 0) {
+      thresholds.events_budget = std::strtoull(argv[i] + 16, nullptr, 10);
+    } else if (arg.rfind("--rss-tol=", 0) == 0) {
+      thresholds.rss_tol = std::strtod(argv[i] + 10, nullptr);
+    } else if (arg.rfind("--rss-budget-kb=", 0) == 0) {
+      thresholds.rss_budget_kb = std::strtoll(argv[i] + 16, nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "anyopt_bench: unknown flag %s\n", argv[i]);
+      return false;
+    } else {
+      positional.emplace_back(arg);
+    }
+  }
+  return true;
+}
+
+Result<std::string> slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return anyopt::Error::not_found("cannot open " + path);
+  }
+  std::string text;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+/// One loaded BENCH_*.json record.  Absent fields read as zero/empty so the
+/// tool degrades gracefully on older (schema < 3) records; strict field
+/// validation lives in tests/bench_records_test, not here.
+struct BenchRecord {
+  std::string path;
+  std::uint64_t schema = 0;
+  std::string bench;
+  std::string git_commit;
+  bool dirty = false;
+  std::uint64_t threads = 0;
+  double wall_s = 0;
+  std::int64_t peak_rss_kb = 0;
+  std::uint64_t sim_runs = 0;
+  std::uint64_t sim_events = 0;
+  std::uint64_t campaign_experiments = 0;
+  double cache_hit_rate = 0;
+  std::uint64_t store_hits = 0;
+  std::uint64_t overlay_forks = 0;
+  std::int64_t bytes_sim_scratch = 0;
+  std::int64_t bytes_total = 0;  ///< sum of the bytes.* high-water marks
+};
+
+std::uint64_t u64_field(const Value& object, std::string_view key) {
+  const Value* value = object.find(key);
+  return value != nullptr ? value->as_u64() : 0;
+}
+
+double number_field(const Value& object, std::string_view key) {
+  const Value* value = object.find(key);
+  return value != nullptr && value->is_number() ? value->number_value : 0.0;
+}
+
+Result<BenchRecord> load_record(const std::string& path) {
+  Result<std::string> text = slurp(path);
+  if (!text.ok()) return text.error();
+  Result<Value> doc = anyopt::json::parse(text.value());
+  if (!doc.ok()) {
+    return anyopt::Error::parse(path + ": " + doc.error().message);
+  }
+  const Value& root = doc.value();
+  if (!root.is_object() || root.find("bench") == nullptr) {
+    return anyopt::Error::parse(path + ": not a bench record");
+  }
+  BenchRecord record;
+  record.path = path;
+  record.schema = u64_field(root, "schema");
+  if (const Value* v = root.find("bench"); v != nullptr) {
+    record.bench = v->string_value;
+  }
+  // Schema 2 carried a single "git" describe string; 3 splits it.
+  if (const Value* v = root.find("git_commit"); v != nullptr) {
+    record.git_commit = v->string_value;
+  } else if (const Value* v2 = root.find("git"); v2 != nullptr) {
+    record.git_commit = v2->string_value;
+  }
+  if (const Value* v = root.find("dirty"); v != nullptr) {
+    record.dirty = v->bool_value;
+  }
+  record.threads = u64_field(root, "threads");
+  record.wall_s = number_field(root, "wall_s");
+  record.peak_rss_kb = static_cast<std::int64_t>(u64_field(root, "peak_rss_kb"));
+  record.sim_runs = u64_field(root, "sim_runs");
+  record.sim_events = u64_field(root, "sim_events");
+  record.campaign_experiments = u64_field(root, "campaign_experiments");
+  record.cache_hit_rate = number_field(root, "resolve_cache_hit_rate");
+  record.store_hits = u64_field(root, "store_hits");
+  record.overlay_forks = u64_field(root, "overlay_forks");
+  if (const Value* bytes = root.find("bytes");
+      bytes != nullptr && bytes->is_object()) {
+    record.bytes_sim_scratch =
+        static_cast<std::int64_t>(u64_field(*bytes, "sim_scratch"));
+    for (const auto& [name, value] : bytes->members) {
+      (void)name;
+      record.bytes_total += static_cast<std::int64_t>(value.as_u64());
+    }
+  }
+  return record;
+}
+
+int cmd_trajectory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "anyopt_bench: cannot read %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  std::vector<BenchRecord> records;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".json") {
+      continue;
+    }
+    Result<BenchRecord> record = load_record(entry.path().string());
+    if (!record.ok()) {
+      std::fprintf(stderr, "anyopt_bench: %s\n",
+                   record.error().message.c_str());
+      return 2;
+    }
+    records.push_back(std::move(record).value());
+  }
+  if (records.empty()) {
+    std::printf("no bench records in %s\n", dir.c_str());
+    return 0;
+  }
+  std::sort(records.begin(), records.end(),
+            [](const BenchRecord& a, const BenchRecord& b) {
+              return a.bench < b.bench;
+            });
+  std::printf("%-22s %-12s %3s %8s %8s %12s %8s %5s %10s\n", "bench", "git",
+              "thr", "wall_s", "rss_mb", "sim_events", "expts", "hit%",
+              "scratch_mb");
+  for (const BenchRecord& r : records) {
+    std::printf("%-22s %-12s %3" PRIu64 " %8.3f %8.1f %12" PRIu64
+                " %8" PRIu64 " %5.1f %10.1f\n",
+                r.bench.c_str(),
+                (r.git_commit + (r.dirty ? "*" : "")).c_str(), r.threads,
+                r.wall_s, static_cast<double>(r.peak_rss_kb) / 1024.0,
+                r.sim_events, r.campaign_experiments,
+                r.cache_hit_rate * 100.0,
+                static_cast<double>(r.bytes_sim_scratch) / (1024.0 * 1024.0));
+  }
+  std::printf("(%zu records; git* = built from a dirty tree)\n",
+              records.size());
+  return 0;
+}
+
+/// Relative change b vs a, safe at a == 0.
+double rel(double a, double b) {
+  return a != 0.0 ? (b - a) / a : (b != 0.0 ? HUGE_VAL : 0.0);
+}
+
+struct FieldVerdict {
+  bool flagged = false;  ///< beyond threshold (symmetric, for diff)
+  bool worse = false;    ///< beyond threshold in the bad direction (check)
+};
+
+FieldVerdict judge_wall(double a, double b, const Thresholds& t) {
+  const double r = rel(a, b);
+  return {std::fabs(r) > t.wall_tol, r > t.wall_tol};
+}
+
+FieldVerdict judge_events(std::uint64_t a, std::uint64_t b,
+                          const Thresholds& t) {
+  const std::uint64_t delta = a > b ? a - b : b - a;
+  return {delta > t.events_budget, b > a && delta > t.events_budget};
+}
+
+FieldVerdict judge_rss(std::int64_t a, std::int64_t b, const Thresholds& t) {
+  const double slack = static_cast<double>(a) * t.rss_tol +
+                       static_cast<double>(t.rss_budget_kb);
+  const double delta = static_cast<double>(b) - static_cast<double>(a);
+  return {std::fabs(delta) > slack, delta > slack};
+}
+
+void print_row(const char* name, double a, double b, bool flagged) {
+  std::printf("  %-14s %14.3f -> %14.3f  (%+.1f%%)%s\n", name, a, b,
+              rel(a, b) * 100.0, flagged ? "  !" : "");
+}
+
+int cmd_diff(const std::string& path_a, const std::string& path_b,
+             const Thresholds& thresholds) {
+  Result<BenchRecord> ra = load_record(path_a);
+  Result<BenchRecord> rb = load_record(path_b);
+  if (!ra.ok() || !rb.ok()) {
+    std::fprintf(stderr, "anyopt_bench: %s\n",
+                 (!ra.ok() ? ra : rb).error().message.c_str());
+    return 2;
+  }
+  const BenchRecord& a = ra.value();
+  const BenchRecord& b = rb.value();
+  if (a.bench != b.bench) {
+    std::fprintf(stderr, "anyopt_bench: records are different benches (%s vs %s)\n",
+                 a.bench.c_str(), b.bench.c_str());
+    return 2;
+  }
+  std::printf("%s: %s%s (%s) vs %s%s (%s)\n", a.bench.c_str(),
+              a.git_commit.c_str(), a.dirty ? "*" : "", path_a.c_str(),
+              b.git_commit.c_str(), b.dirty ? "*" : "", path_b.c_str());
+  const FieldVerdict wall =
+      judge_wall(a.wall_s, b.wall_s, thresholds);
+  const FieldVerdict events =
+      judge_events(a.sim_events, b.sim_events, thresholds);
+  const FieldVerdict rss =
+      judge_rss(a.peak_rss_kb, b.peak_rss_kb, thresholds);
+  print_row("wall_s", a.wall_s, b.wall_s, wall.flagged);
+  print_row("sim_events", static_cast<double>(a.sim_events),
+            static_cast<double>(b.sim_events), events.flagged);
+  print_row("peak_rss_kb", static_cast<double>(a.peak_rss_kb),
+            static_cast<double>(b.peak_rss_kb), rss.flagged);
+  print_row("experiments", static_cast<double>(a.campaign_experiments),
+            static_cast<double>(b.campaign_experiments), false);
+  print_row("bytes_total", static_cast<double>(a.bytes_total),
+            static_cast<double>(b.bytes_total), false);
+  const bool different = wall.flagged || events.flagged || rss.flagged;
+  std::printf("%s (wall tol %.0f%%, events budget %" PRIu64
+              ", rss tol %.0f%% + %" PRId64 " kb)\n",
+              different ? "DIFFERS" : "within thresholds",
+              thresholds.wall_tol * 100.0, thresholds.events_budget,
+              thresholds.rss_tol * 100.0, thresholds.rss_budget_kb);
+  return different ? 1 : 0;
+}
+
+int cmd_check(const std::string& latest_path,
+              const std::string& committed_path,
+              const Thresholds& thresholds) {
+  Result<BenchRecord> rl = load_record(latest_path);
+  Result<BenchRecord> rc = load_record(committed_path);
+  if (!rl.ok() || !rc.ok()) {
+    std::fprintf(stderr, "anyopt_bench: %s\n",
+                 (!rl.ok() ? rl : rc).error().message.c_str());
+    return 2;
+  }
+  const BenchRecord& latest = rl.value();
+  const BenchRecord& committed = rc.value();
+  if (latest.bench != committed.bench) {
+    std::fprintf(stderr,
+                 "anyopt_bench: records are different benches (%s vs %s)\n",
+                 latest.bench.c_str(), committed.bench.c_str());
+    return 2;
+  }
+  // The gate is asymmetric: only WORSE fails.  An improvement prints a
+  // reminder to regenerate the committed record but still exits 0.
+  int failures = 0;
+  const auto report = [&](const char* name, double committed_value,
+                          double latest_value, FieldVerdict verdict) {
+    if (verdict.worse) {
+      ++failures;
+      std::printf("REGRESSION %-12s %14.3f -> %14.3f  (%+.1f%%)\n", name,
+                  committed_value, latest_value,
+                  rel(committed_value, latest_value) * 100.0);
+    } else if (verdict.flagged) {
+      std::printf("improved   %-12s %14.3f -> %14.3f  (%+.1f%%)"
+                  " — consider regenerating the committed record\n",
+                  name, committed_value, latest_value,
+                  rel(committed_value, latest_value) * 100.0);
+    } else {
+      std::printf("ok         %-12s %14.3f -> %14.3f\n", name,
+                  committed_value, latest_value);
+    }
+  };
+  std::printf("%s: latest %s%s vs committed %s%s\n", latest.bench.c_str(),
+              latest.git_commit.c_str(), latest.dirty ? "*" : "",
+              committed.git_commit.c_str(), committed.dirty ? "*" : "");
+  report("wall_s", committed.wall_s, latest.wall_s,
+         judge_wall(committed.wall_s, latest.wall_s, thresholds));
+  report("sim_events", static_cast<double>(committed.sim_events),
+         static_cast<double>(latest.sim_events),
+         judge_events(committed.sim_events, latest.sim_events, thresholds));
+  report("peak_rss_kb", static_cast<double>(committed.peak_rss_kb),
+         static_cast<double>(latest.peak_rss_kb),
+         judge_rss(committed.peak_rss_kb, latest.peak_rss_kb, thresholds));
+  if (failures > 0) {
+    std::printf("CHECK FAILED: %d regression(s) beyond thresholds\n",
+                failures);
+    return 1;
+  }
+  std::printf("check passed\n");
+  return 0;
+}
+
+/// Pretty-prints one provenance line (already parsed).
+void print_trace(const Value& trace) {
+  std::printf("  [ordinal %" PRIu64 " attempt %" PRIu64 "] %s:",
+              u64_field(trace, "ordinal"), u64_field(trace, "attempt"),
+              trace.find("path") != nullptr
+                  ? trace.find("path")->string_value.c_str()
+                  : "?");
+  if (const std::uint64_t events = u64_field(trace, "sim_events");
+      events > 0) {
+    std::printf(" %" PRIu64 " events,", events);
+  }
+  std::printf(" cache %" PRIu64 "/%" PRIu64 " hit/miss,",
+              u64_field(trace, "cache_hits"), u64_field(trace, "cache_misses"));
+  std::printf(" probes %" PRIu64 " sent / %" PRIu64 " lost / %" PRIu64
+              " retries,",
+              u64_field(trace, "probes_sent"), u64_field(trace, "probes_lost"),
+              u64_field(trace, "retries"));
+  std::printf(" %" PRIu64 "/%" PRIu64 " reachable",
+              u64_field(trace, "reachable"), u64_field(trace, "targets"));
+  const Value* round_failed = trace.find("round_failed");
+  if (round_failed != nullptr && round_failed->bool_value) {
+    std::printf(", ROUND FAILED");
+  }
+  const Value* degraded = trace.find("degraded");
+  if (degraded != nullptr && degraded->bool_value) {
+    std::printf(", degraded (%" PRIu64 " targets dropped)",
+                u64_field(trace, "targets_dropped"));
+  }
+  const Value* storm = trace.find("storm");
+  if (storm != nullptr && storm->bool_value) std::printf(", loss storm");
+  if (const std::uint64_t suppressed =
+          u64_field(trace, "announce_suppressed");
+      suppressed > 0) {
+    std::printf(", %" PRIu64 " announce(s) suppressed", suppressed);
+  }
+  if (const std::uint64_t flaps = u64_field(trace, "flap_events"); flaps > 0) {
+    std::printf(", %" PRIu64 " flap event(s)", flaps);
+  }
+  std::printf(", %.3f ms\n", number_field(trace, "duration_ms"));
+}
+
+int cmd_explain(const std::string& nonce_text, const std::string& log_path) {
+  char* end = nullptr;
+  const std::uint64_t nonce = std::strtoull(nonce_text.c_str(), &end, 16);
+  if (end == nonce_text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "anyopt_bench: bad nonce %s (expected hex)\n",
+                 nonce_text.c_str());
+    return 2;
+  }
+  Result<std::string> text = slurp(log_path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "anyopt_bench: %s\n", text.error().message.c_str());
+    return 2;
+  }
+  std::size_t matches = 0;
+  std::string_view remaining = text.value();
+  std::size_t line_number = 0;
+  while (!remaining.empty()) {
+    ++line_number;
+    const std::size_t newline = remaining.find('\n');
+    const std::string_view line = remaining.substr(0, newline);
+    remaining = newline == std::string_view::npos
+                    ? std::string_view{}
+                    : remaining.substr(newline + 1);
+    if (line.empty()) continue;
+    Result<Value> doc = anyopt::json::parse(line);
+    if (!doc.ok()) {
+      std::fprintf(stderr, "anyopt_bench: %s line %zu: %s\n",
+                   log_path.c_str(), line_number,
+                   doc.error().message.c_str());
+      return 2;
+    }
+    const Value* trace_nonce = doc.value().find("nonce");
+    if (trace_nonce == nullptr || !trace_nonce->is_string()) continue;
+    if (std::strtoull(trace_nonce->string_value.c_str(), nullptr, 16) !=
+        nonce) {
+      continue;
+    }
+    if (matches == 0) {
+      std::printf("nonce %016" PRIx64 " in %s:\n", nonce, log_path.c_str());
+    }
+    ++matches;
+    print_trace(doc.value());
+  }
+  if (matches == 0) {
+    std::printf("nonce %016" PRIx64 ": no provenance records in %s\n", nonce,
+                log_path.c_str());
+    return 1;
+  }
+  std::printf("%zu record(s)\n", matches);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Thresholds thresholds;
+  std::vector<std::string> args;
+  if (!parse_args(argc, argv, thresholds, args)) return usage();
+  if (args.empty()) return usage();
+  const std::string& command = args[0];
+  if (command == "trajectory") {
+    if (args.size() > 2) return usage();
+    return cmd_trajectory(args.size() == 2 ? args[1] : "bench/records");
+  }
+  if (command == "diff") {
+    if (args.size() != 3) return usage();
+    return cmd_diff(args[1], args[2], thresholds);
+  }
+  if (command == "check") {
+    if (args.size() != 3) return usage();
+    return cmd_check(args[1], args[2], thresholds);
+  }
+  if (command == "explain") {
+    if (args.size() < 2 || args.size() > 3) return usage();
+    return cmd_explain(args[1],
+                       args.size() == 3 ? args[2] : "provenance.jsonl");
+  }
+  return usage();
+}
