@@ -1,0 +1,240 @@
+// Serve-layer benchmark: concurrent what-if queries against one immutable
+// snapshot through the lock-free read path (serve/service.h).
+//
+// Builds a snapshot (store-warmed with --store=FILE), pre-generates a
+// deterministic query workload (subset predicts, full-population predicts,
+// configuration scores, info probes), answers it once single-threaded to
+// fix the expected response bytes, then replays it across `--threads N`
+// workers and verifies every concurrent response is bit-identical to the
+// single-threaded one — the lock-free path must never trade correctness
+// for throughput.  Reports QPS and per-query latency percentiles, and
+// records them in BENCH_serve.json as the optional "serve" block.
+//
+//   --threads N     concurrent query workers (default 4)
+//   --queries=N     workload size (default 2000)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netbase/rng.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "support/bench_common.h"
+
+namespace {
+
+using namespace anyopt;
+using Clock = std::chrono::steady_clock;
+
+/// Parses `--queries=N` and removes it from argv (parse_threads contract).
+std::size_t parse_queries(int& argc, char** argv, std::size_t fallback) {
+  std::size_t queries = fallback;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--queries=", 10) == 0) {
+      queries = static_cast<std::size_t>(
+          std::strtoul(argv[i] + 10, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return queries == 0 ? fallback : queries;
+}
+
+/// Deterministic workload: op mix chosen per query from one seeded stream.
+std::vector<std::string> make_workload(const serve::Snapshot& snapshot,
+                                       std::size_t count) {
+  Rng rng{0x5E21E};
+  const std::size_t sites = snapshot.site_count();
+  const std::size_t targets = snapshot.target_count();
+  std::vector<std::string> lines;
+  lines.reserve(count);
+  for (std::size_t q = 0; q < count; ++q) {
+    const std::uint64_t roll = rng.below(100);
+    std::string line;
+    if (roll < 70) {
+      // Subset predict: 1-5 sites in random order, 16-64 clients.
+      const std::size_t nsites = 1 + rng.below(std::min<std::size_t>(5, sites));
+      std::vector<std::uint32_t> order(sites);
+      for (std::uint32_t s = 0; s < sites; ++s) order[s] = s;
+      for (std::size_t i = 0; i < nsites; ++i) {
+        std::swap(order[i], order[i + rng.below(sites - i)]);
+      }
+      line = "{\"op\":\"predict\",\"sites\":[";
+      for (std::size_t i = 0; i < nsites; ++i) {
+        if (i > 0) line += ",";
+        line += std::to_string(order[i]);
+      }
+      line += "],\"clients\":[";
+      const std::size_t nclients = 16 + rng.below(49);
+      for (std::size_t i = 0; i < nclients; ++i) {
+        if (i > 0) line += ",";
+        line += std::to_string(rng.below(targets));
+      }
+      line += "]}";
+    } else if (roll < 80) {
+      // Full-population predict over a small random subset of sites.
+      const std::size_t nsites = 2 + rng.below(std::min<std::size_t>(3, sites));
+      std::vector<std::uint32_t> order(sites);
+      for (std::uint32_t s = 0; s < sites; ++s) order[s] = s;
+      for (std::size_t i = 0; i < nsites; ++i) {
+        std::swap(order[i], order[i + rng.below(sites - i)]);
+      }
+      line = "{\"op\":\"predict\",\"sites\":[";
+      for (std::size_t i = 0; i < nsites; ++i) {
+        if (i > 0) line += ",";
+        line += std::to_string(order[i]);
+      }
+      line += "]}";
+    } else if (roll < 95) {
+      // Configuration score (the uncached, concurrent-safe evaluator).
+      const std::size_t nsites = 2 + rng.below(std::min<std::size_t>(4, sites));
+      std::vector<std::uint32_t> order(sites);
+      for (std::uint32_t s = 0; s < sites; ++s) order[s] = s;
+      for (std::size_t i = 0; i < nsites; ++i) {
+        std::swap(order[i], order[i + rng.below(sites - i)]);
+      }
+      line = "{\"op\":\"score\",\"sites\":[";
+      for (std::size_t i = 0; i < nsites; ++i) {
+        if (i > 0) line += ",";
+        line += std::to_string(order[i]);
+      }
+      line += "]}";
+    } else {
+      line = "{\"op\":\"info\"}";
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+double exact_percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::TelemetryScope telemetry_scope("serve", argc, argv);
+  const std::size_t threads = bench::parse_threads(argc, argv, 4);
+  const std::size_t query_count = parse_queries(argc, argv, 2000);
+  bench::print_banner(
+      "Serve — concurrent what-if queries, lock-free snapshot reads",
+      "no paper counterpart: operational layer over the §3.4 predictor; "
+      "every concurrent response must be bit-identical to a "
+      "single-threaded run");
+
+  serve::SnapshotOptions snapshot_options;
+  snapshot_options.store_path = telemetry_scope.options().store_path;
+  const char* scale = std::getenv("ANYOPT_BENCH_SCALE");
+  snapshot_options.test_scale =
+      scale != nullptr && std::strcmp(scale, "small") == 0;
+
+  const auto build_start = Clock::now();
+  Result<std::shared_ptr<serve::Snapshot>> built =
+      serve::Snapshot::build(snapshot_options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "bench_serve: %s\n", built.error().message.c_str());
+    return 1;
+  }
+  const double build_s =
+      std::chrono::duration<double>(Clock::now() - build_start).count();
+
+  serve::Service service;
+  service.publish(std::move(built).value());
+  const std::shared_ptr<const serve::Snapshot> snapshot = service.current();
+  std::printf("snapshot: %zu sites, %zu targets, %zu experiments, "
+              "%.1f KiB retained, built in %.2f s\n",
+              snapshot->site_count(), snapshot->target_count(),
+              snapshot->experiments_run(),
+              static_cast<double>(snapshot->retained_bytes()) / 1024.0,
+              build_s);
+
+  const std::vector<std::string> workload =
+      make_workload(*snapshot, query_count);
+
+  // Single-threaded reference pass: fixes the expected bytes and warms
+  // first-touch costs out of the timed run.
+  std::vector<std::string> expected(workload.size());
+  for (std::size_t q = 0; q < workload.size(); ++q) {
+    expected[q] = service.handle_line(workload[q]);
+  }
+
+  // Timed concurrent replay: workers stride the workload, recording
+  // per-query latency and the response bytes for the identity check.
+  std::vector<std::string> responses(workload.size());
+  std::vector<std::vector<double>> latency_ms(threads);
+  const auto start = Clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t w = 0; w < threads; ++w) {
+      workers.emplace_back([&, w] {
+        latency_ms[w].reserve(workload.size() / threads + 1);
+        for (std::size_t q = w; q < workload.size(); q += threads) {
+          const auto t0 = Clock::now();
+          responses[q] = service.handle_line(workload[q]);
+          latency_ms[w].push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count());
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::size_t mismatches = 0;
+  for (std::size_t q = 0; q < workload.size(); ++q) {
+    if (responses[q] != expected[q]) ++mismatches;
+  }
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "bench_serve: %zu/%zu concurrent responses differ from the "
+                 "single-threaded run — the lock-free path is broken\n",
+                 mismatches, workload.size());
+    return 1;
+  }
+
+  std::vector<double> all_ms;
+  all_ms.reserve(workload.size());
+  for (const auto& per_worker : latency_ms) {
+    all_ms.insert(all_ms.end(), per_worker.begin(), per_worker.end());
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  const double qps =
+      wall_s > 0 ? static_cast<double>(workload.size()) / wall_s : 0.0;
+  const double p50 = exact_percentile(all_ms, 0.50);
+  const double p95 = exact_percentile(all_ms, 0.95);
+  const double p99 = exact_percentile(all_ms, 0.99);
+
+  std::printf("\n%zu queries, %zu workers: %.0f qps "
+              "(p50 %.3f ms, p95 %.3f ms, p99 %.3f ms)\n",
+              workload.size(), threads, qps, p50, p95, p99);
+  std::printf("bit-identity: %zu/%zu concurrent responses match the "
+              "single-threaded run\n",
+              workload.size() - mismatches, workload.size());
+
+  char serve_json[256];
+  std::snprintf(serve_json, sizeof serve_json,
+                "{\n    \"queries\": %zu,\n    \"qps\": %.1f,\n"
+                "    \"p50_ms\": %.4f,\n    \"p95_ms\": %.4f,\n"
+                "    \"p99_ms\": %.4f\n  }",
+                workload.size(), qps, p50, p95, p99);
+  bench::set_bench_json_extra("serve", serve_json);
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <string_view>
 #include <thread>
+#include <utility>
 
 #include "measure/provenance.h"
 #include "netbase/resmon.h"
@@ -27,6 +28,13 @@ std::string g_store_path;  // NOLINT(cert-err58-cpp)
 /// Thread count the bench resolved via `parse_threads` (recorded in the
 /// bench json so trajectory records are comparable across runs).
 std::size_t g_bench_threads = 1;
+
+/// Optional extra top-level sections appended to the bench record (e.g.
+/// bench_serve's "serve" block).  See `set_bench_json_extra`.
+std::vector<std::pair<std::string, std::string>>& bench_json_extras() {
+  static std::vector<std::pair<std::string, std::string>> extras;
+  return extras;
+}
 
 PaperEnv make_env(anycast::WorldParams params, std::size_t threads) {
   PaperEnv env;
@@ -99,6 +107,17 @@ std::size_t parse_threads(int& argc, char** argv, std::size_t fallback) {
   }
   argc = out;
   argv[argc] = nullptr;
+  if (threads == 0) {
+    // `--threads=0` used to be forwarded verbatim; a pool constructed with
+    // a literal zero relies on ThreadPool's own hardware-concurrency
+    // fallback, and every bench documents results per explicit thread
+    // count.  Clamp to serial and say so, rather than silently running at
+    // whatever the machine has.
+    std::fprintf(stderr,
+                 "[bench] --threads=0 is not a valid worker count; "
+                 "clamping to 1 (serial)\n");
+    threads = 1;
+  }
   g_bench_threads = threads;
   return threads;
 }
@@ -279,9 +298,7 @@ void write_bench_json(const std::string& bench_name, double wall_s,
                "    \"overlay_pages\": %lld,\n"
                "    \"resolve_cache\": %lld,\n"
                "    \"store_index\": %lld,\n"
-               "    \"pool_queue\": %lld\n"
-               "  }\n"
-               "}\n",
+               "    \"pool_queue\": %lld",
                git_commit.c_str(), dirty ? "true" : "false",
                bench_name.c_str(),
                static_cast<unsigned long long>(g_bench_threads),
@@ -318,8 +335,32 @@ void write_bench_json(const std::string& bench_name, double wall_s,
                static_cast<long long>(reg.gauge_max("bytes.resolve_cache")),
                static_cast<long long>(reg.gauge_max("bytes.store_index")),
                static_cast<long long>(reg.gauge_max("bytes.pool_queue")));
+  // `bytes.snapshot` only exists in processes that build a serve snapshot;
+  // it is an OPTIONAL schema-3 field (absent = subsystem not present, not
+  // zero), so most records stay byte-for-byte what schema 3 always was.
+  if (const std::int64_t snapshot = reg.gauge_max("bytes.snapshot");
+      snapshot > 0) {
+    std::fprintf(f, ",\n    \"snapshot\": %lld",
+                 static_cast<long long>(snapshot));
+  }
+  std::fprintf(f, "\n  }");
+  for (const auto& [key, object] : bench_json_extras()) {
+    std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), object.c_str());
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   std::printf("\n[bench] record written to %s\n", path.c_str());
+}
+
+void set_bench_json_extra(const std::string& key,
+                          const std::string& json_object) {
+  for (auto& [existing, object] : bench_json_extras()) {
+    if (existing == key) {
+      object = json_object;
+      return;
+    }
+  }
+  bench_json_extras().emplace_back(key, json_object);
 }
 
 TelemetryScope::TelemetryScope(const char* bench_name, int& argc, char** argv)

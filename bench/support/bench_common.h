@@ -38,7 +38,11 @@ struct PaperEnv {
 
 /// Parses `--threads N` / `--threads=N` and REMOVES it from argv so the
 /// remaining arguments can be handed to another parser (e.g. google
-/// benchmark).  Returns `fallback` when the flag is absent.
+/// benchmark).  Returns `fallback` when the flag is absent.  An explicit
+/// `--threads=0` is clamped to 1 (serial) with a stderr note — bench
+/// results are reported per explicit thread count, so "whatever the
+/// hardware has" is never silently substituted.  (`ThreadPool` itself
+/// guarantees `size() >= 1` for any argument; see netbase/thread_pool.h.)
 [[nodiscard]] std::size_t parse_threads(int& argc, char** argv,
                                         std::size_t fallback = 1);
 
@@ -102,6 +106,16 @@ void report_telemetry(const TelemetryOptions& options);
 /// aggregated/diffed/gated by `tools/anyopt_bench`.
 void write_bench_json(const std::string& bench_name, double wall_s,
                       const TelemetryOptions& options);
+
+/// Registers one extra top-level object appended to the bench record, e.g.
+/// `set_bench_json_extra("serve", "{\"qps\": 1200.0, ...}")` for
+/// bench_serve's QPS/latency block.  `key` must be a bare identifier;
+/// `json_object` must be a complete, valid JSON value.  Extra sections are
+/// OPTIONAL schema-3 fields: consumers treat their absence as "subsystem
+/// not exercised", never as zero (see tools/anyopt_bench).  Re-registering
+/// a key replaces its object.
+void set_bench_json_extra(const std::string& key,
+                          const std::string& json_object);
 
 /// RAII wrapper: construct at the top of main with the bench's short name
 /// (e.g. "fig4b"), report at exit — after every pipeline/runner destructor

@@ -86,9 +86,9 @@ Optimizer::Optimizer(const Predictor& predictor, OptimizerOptions options)
   subset_cache_.resize(std::size_t{1} << providers);
 }
 
-void Optimizer::ensure_cache(std::size_t provider_mask) const {
-  ProviderSubsetCache& cache = subset_cache_[provider_mask];
-  if (cache.ready) return;
+Optimizer::ProviderSubsetCache Optimizer::build_cache(
+    std::size_t provider_mask) const {
+  ProviderSubsetCache cache;
 
   const auto& table = predictor_.discovery().provider_prefs;
   const std::size_t targets = table.target_count;
@@ -210,6 +210,13 @@ void Optimizer::ensure_cache(std::size_t provider_mask) const {
     }
   }
   cache.ready = true;
+  return cache;
+}
+
+void Optimizer::ensure_cache(std::size_t provider_mask) const {
+  ProviderSubsetCache& cache = subset_cache_[provider_mask];
+  if (cache.ready) return;
+  cache = build_cache(provider_mask);
 }
 
 Optimizer::MaskScore Optimizer::score_mask(
@@ -414,6 +421,34 @@ EvaluatedConfig Optimizer::evaluate(
   out.config = config;
   const MaskScore score =
       score_mask(site_mask, subset_cache_[provider_mask], full);
+  out.predicted_mean_rtt = score.imputed_mean;
+  out.predictable_mean_rtt = score.predictable_mean;
+  out.fraction_ordered = score.fraction_ordered;
+  return out;
+}
+
+EvaluatedConfig Optimizer::evaluate_uncached(
+    const anycast::AnycastConfig& config) const {
+  const std::size_t targets =
+      predictor_.discovery().provider_prefs.target_count;
+  std::size_t provider_mask = 0;
+  for (const SiteId s : config.announce_order) {
+    provider_mask |= std::size_t{1} << provider_of_site_[s.value()];
+  }
+  // Pure query path: the subset cache is built into a local and discarded,
+  // so this method never mutates `subset_cache_` — concurrent callers on
+  // one const Optimizer are safe (the serve layer's contract).  Scores are
+  // bit-identical to `evaluate` (same build, same scoring).
+  const ProviderSubsetCache cache = build_cache(provider_mask);
+  std::uint32_t site_mask = 0;
+  for (const SiteId s : config.announce_order) {
+    site_mask |= std::uint32_t{1} << s.value();
+  }
+  std::vector<std::uint32_t> full(targets);
+  for (std::uint32_t t = 0; t < targets; ++t) full[t] = t;
+  EvaluatedConfig out;
+  out.config = config;
+  const MaskScore score = score_mask(site_mask, cache, full);
   out.predicted_mean_rtt = score.imputed_mean;
   out.predictable_mean_rtt = score.predictable_mean;
   out.fraction_ordered = score.fraction_ordered;

@@ -86,9 +86,25 @@ class Optimizer {
 
   /// \brief Fast predicted evaluation of one configuration using the
   ///        caches (same result as Predictor::predict but O(targets)).
+  ///
+  /// NOT safe for concurrent callers: the first evaluation of a provider
+  /// subset fills the mutable `subset_cache_` slot.  Concurrent query
+  /// workloads use `evaluate_uncached`.
   /// \param config the configuration to score.
   /// \return its predicted means and ordered fraction.
   [[nodiscard]] EvaluatedConfig evaluate(
+      const anycast::AnycastConfig& config) const;
+
+  /// \brief Pure (cache-free) evaluation of one configuration — the
+  ///        serve-layer query entry point.  Bit-identical scores to
+  ///        `evaluate`, but the provider-subset precomputation is built
+  ///        into a local and discarded, so this method mutates nothing and
+  ///        any number of threads may call it concurrently on one const
+  ///        Optimizer.  Costs the subset precomputation on every call;
+  ///        batch searches should keep using `evaluate`/`search`.
+  /// \param config the configuration to score.
+  /// \return its predicted means and ordered fraction.
+  [[nodiscard]] EvaluatedConfig evaluate_uncached(
       const anycast::AnycastConfig& config) const;
 
   /// \brief Baseline: the k sites with the lowest mean unicast RTT,
@@ -126,6 +142,10 @@ class Optimizer {
     double predictable_mean = std::numeric_limits<double>::infinity();
     double fraction_ordered = 0;
   };
+  /// Builds one provider subset's precomputation (order choice + per-target
+  /// ranking) without touching `subset_cache_` — the pure core shared by
+  /// `ensure_cache` and `evaluate_uncached`.
+  [[nodiscard]] ProviderSubsetCache build_cache(std::size_t provider_mask) const;
   void ensure_cache(std::size_t provider_mask) const;
   [[nodiscard]] MaskScore score_mask(
       std::uint32_t site_mask, const ProviderSubsetCache& cache,

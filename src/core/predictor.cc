@@ -112,6 +112,20 @@ SiteId Predictor::best_site_within(std::size_t provider,
   return sites[ranking->front()];
 }
 
+void Predictor::predict_target(const ConfigView& view, std::size_t target,
+                               Prediction& out) const {
+  const auto provider_ranking =
+      target_total_order(discovery_.provider_prefs, target, view.providers,
+                         view.arrival_rank);
+  if (!provider_ranking.has_value()) return;
+  const std::size_t winner = view.providers[provider_ranking->front()];
+  const SiteId site = best_site_within(winner, view, target);
+  if (!site.valid()) return;
+  out.site_of_target[target] = site;
+  out.rtt_ms[target] = rtts_.rtt(
+      site, TargetId{static_cast<TargetId::underlying_type>(target)});
+}
+
 Prediction Predictor::predict(const anycast::AnycastConfig& config) const {
   const std::size_t targets = discovery_.provider_prefs.target_count;
   Prediction out;
@@ -121,16 +135,25 @@ Prediction Predictor::predict(const anycast::AnycastConfig& config) const {
 
   const ConfigView view = view_of(config);
   for (std::size_t t = 0; t < targets; ++t) {
-    const auto provider_ranking =
-        target_total_order(discovery_.provider_prefs, t, view.providers,
-                           view.arrival_rank);
-    if (!provider_ranking.has_value()) continue;
-    const std::size_t winner = view.providers[provider_ranking->front()];
-    const SiteId site = best_site_within(winner, view, t);
-    if (!site.valid()) continue;
-    out.site_of_target[t] = site;
-    out.rtt_ms[t] =
-        rtts_.rtt(site, TargetId{static_cast<TargetId::underlying_type>(t)});
+    predict_target(view, t, out);
+  }
+  return out;
+}
+
+Prediction Predictor::predict_subset(
+    const anycast::AnycastConfig& config,
+    std::span<const TargetId> clients) const {
+  const std::size_t targets = discovery_.provider_prefs.target_count;
+  Prediction out;
+  out.site_of_target.assign(targets, SiteId{});
+  out.rtt_ms.assign(targets, -1.0);
+  if (config.announce_order.empty()) return out;
+
+  const ConfigView view = view_of(config);
+  for (const TargetId client : clients) {
+    const std::size_t t = client.value();
+    if (t >= targets) continue;
+    predict_target(view, t, out);
   }
   return out;
 }

@@ -65,9 +65,30 @@ class Predictor {
   /// \brief Predicts catchments and RTTs for a configuration (site subset +
   ///        announcement order; enabled peers are ignored — peers are
   ///        handled by the one-pass method of §4.4).
+  ///
+  /// Thread safety: `predict` (and every other const method) is a pure
+  /// read of the construction-time tables — concurrent calls from any
+  /// number of threads are safe with no external locking.  This is the
+  /// contract the serve layer's lock-free snapshot queries rely on.
   /// \param config the configuration to predict.
   /// \return per-target catchment and RTT prediction.
   [[nodiscard]] Prediction predict(const anycast::AnycastConfig& config) const;
+
+  /// \brief Predicts only the given clients (the serve-layer query entry
+  ///        point): same per-target results as `predict`, but the
+  ///        per-client preference walk runs only for `clients`, so a query
+  ///        over a small client set costs O(|clients|), not O(targets).
+  ///
+  /// The returned vectors still span every target; targets outside
+  /// `clients` are left unpredicted (invalid site, negative RTT) — exactly
+  /// what masking a full `predict` down to `clients` would produce, bit for
+  /// bit.  Out-of-range client ids are ignored.
+  /// \param config the configuration to predict.
+  /// \param clients the targets to predict for.
+  /// \return per-target catchment and RTT prediction over `clients`.
+  [[nodiscard]] Prediction predict_subset(
+      const anycast::AnycastConfig& config,
+      std::span<const TargetId> clients) const;
 
   /// \brief The full total preference order over the enabled sites for one
   ///        target, most preferred first (lexicographic: provider rank,
@@ -119,6 +140,11 @@ class Predictor {
     std::vector<std::vector<std::size_t>> enabled_pos;  ///< local positions
   };
   [[nodiscard]] ConfigView view_of(const anycast::AnycastConfig& config) const;
+
+  /// Predicts one target under a prepared view, writing its slot in `out`.
+  /// Shared by `predict` (all targets) and `predict_subset` (query path).
+  void predict_target(const ConfigView& view, std::size_t target,
+                      Prediction& out) const;
 
   /// Best enabled site of provider `p` for `target`, or invalid on
   /// inconsistency.

@@ -94,6 +94,19 @@ struct PairwiseTable {
   void set(std::size_t i, std::size_t j, std::size_t target, PrefKind kind) {
     outcome[pair_index(i, j, item_count)][target] = kind;
   }
+
+  /// \brief Bytes this table retains (outcome storage + row headers) —
+  ///        feeds the serve layer's `bytes.snapshot` gauge.
+  ///
+  /// Thread safety: a fully built table is immutable under const access;
+  /// concurrent readers (`get`, `retained_bytes`) need no locking.
+  [[nodiscard]] std::size_t retained_bytes() const {
+    std::size_t bytes = outcome.capacity() * sizeof(outcome[0]);
+    for (const auto& row : outcome) {
+      bytes += row.capacity() * sizeof(PrefKind);
+    }
+    return bytes;
+  }
 };
 
 /// \brief Statistics over a pairwise table (used by the Fig. 4 benches).

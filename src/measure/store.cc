@@ -141,19 +141,26 @@ std::uint64_t ResultStore::census_key(const anycast::AnycastConfig& config,
 
 Result<std::unique_ptr<ResultStore>> ResultStore::open(
     const std::string& path, std::uint64_t topology_fingerprint) {
-  return open_impl(path, topology_fingerprint, /*adopt_fingerprint=*/false);
+  return open_impl(path, topology_fingerprint, /*adopt_fingerprint=*/false,
+                   /*read_only=*/false);
 }
 
 Result<std::unique_ptr<ResultStore>> ResultStore::open_existing(
     const std::string& path) {
-  return open_impl(path, 0, /*adopt_fingerprint=*/true);
+  return open_impl(path, 0, /*adopt_fingerprint=*/true, /*read_only=*/false);
+}
+
+Result<std::unique_ptr<ResultStore>> ResultStore::open_read_only(
+    const std::string& path) {
+  return open_impl(path, 0, /*adopt_fingerprint=*/true, /*read_only=*/true);
 }
 
 Result<std::unique_ptr<ResultStore>> ResultStore::open_impl(
     const std::string& path, std::uint64_t topology_fingerprint,
-    bool adopt_fingerprint) {
+    bool adopt_fingerprint, bool read_only) {
   auto store = std::unique_ptr<ResultStore>(new ResultStore());
   store->path_ = path;
+  store->read_only_ = read_only;
 
   std::vector<std::uint8_t> bytes;
   if (std::FILE* f = std::fopen(path.c_str(), "rb"); f != nullptr) {
@@ -168,6 +175,10 @@ Result<std::unique_ptr<ResultStore>> ResultStore::open_impl(
   }
 
   if (bytes.empty()) {
+    if (read_only) {
+      return Error::state("store " + path +
+                          " is empty; a read-only open never creates one");
+    }
     // Fresh store: header only.
     store->fingerprint_ = topology_fingerprint;
     store->buffer_ = codec::encode_header(kMagic, kSchemaVersion,
@@ -251,7 +262,11 @@ Result<std::unique_ptr<ResultStore>> ResultStore::open_impl(
     break;
   }
 
-  if (store->recovered_tail_bytes_ > 0) {
+  if (read_only) {
+    // Never touch the file: a torn tail stays on disk (a concurrent writer
+    // may be mid-append of that very record), and `file_` stays null so
+    // every put fails with "is not writable".
+  } else if (store->recovered_tail_bytes_ > 0) {
     // Drop the torn tail on disk by rewriting the valid prefix.
     store->file_ = std::fopen(path.c_str(), "wb");
     if (store->file_ == nullptr) {

@@ -25,8 +25,16 @@
 //     decode error, and a torn tail (crash mid-append) recovers every
 //     complete record.
 //
-// Thread safety: all public methods are internally locked; concurrent
-// `CampaignRunner` workers share one store.
+// Thread safety (concurrent-reader audit): every public method takes the
+// store's single internal mutex, so any mix of readers and writers on ONE
+// ResultStore object is safe — readers serialize on the lock rather than
+// racing it.  The serve layer therefore does NOT query the store on its
+// hot path: a snapshot load reads everything out of the store once (under
+// the lock), and queries run against the immutable snapshot.  Two
+// *processes* must never share one writable store file (two appenders
+// interleave frames); `open_read_only` exists for exactly that case —
+// any number of read-only opens of one file are safe alongside each other
+// because a read-only store never touches the file after loading it.
 
 #include <cstdint>
 #include <cstdio>
@@ -87,6 +95,20 @@ class ResultStore {
   /// \param path the store file (must exist).
   /// \return the opened store, or a diagnostic.
   [[nodiscard]] static Result<std::unique_ptr<ResultStore>> open_existing(
+      const std::string& path);
+
+  /// \brief Opens an existing store without ever writing to it (the serve
+  ///        layer's mode: many daemons may share one store file).
+  ///
+  /// Like `open_existing` — the fingerprint is adopted from the header —
+  /// but the file is never reopened for writing: every `put_*` fails with
+  /// a state error, and a torn tail is dropped from the in-memory view
+  /// only, leaving the file on disk byte-for-byte untouched (a concurrent
+  /// writer may still be appending the very record this reader sees as
+  /// torn).
+  /// \param path the store file (must exist and be non-empty).
+  /// \return the opened read-only store, or a diagnostic.
+  [[nodiscard]] static Result<std::unique_ptr<ResultStore>> open_read_only(
       const std::string& path);
 
   ~ResultStore();
@@ -168,6 +190,8 @@ class ResultStore {
   [[nodiscard]] std::uint64_t fingerprint() const { return fingerprint_; }
   /// \brief The backing file path.
   [[nodiscard]] const std::string& path() const { return path_; }
+  /// \brief True when opened via `open_read_only` (every put fails).
+  [[nodiscard]] bool read_only() const { return read_only_; }
   /// \brief Bytes dropped by torn-tail recovery when the store was opened
   ///        (0 for a cleanly closed store).
   [[nodiscard]] std::size_t recovered_tail_bytes() const {
@@ -198,7 +222,7 @@ class ResultStore {
 
   [[nodiscard]] static Result<std::unique_ptr<ResultStore>> open_impl(
       const std::string& path, std::uint64_t topology_fingerprint,
-      bool adopt_fingerprint);
+      bool adopt_fingerprint, bool read_only);
 
   /// Appends one framed record to the buffer and the file; updates the
   /// index.  Caller holds `mutex_`.
@@ -231,6 +255,7 @@ class ResultStore {
   std::optional<Census> base_census_;
   std::uint64_t base_key_ = 0;
   std::size_t recovered_tail_bytes_ = 0;
+  bool read_only_ = false;
 };
 
 }  // namespace anyopt::measure

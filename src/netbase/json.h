@@ -60,4 +60,10 @@ class Value {
 /// Parses one complete JSON document; trailing non-whitespace is an error.
 [[nodiscard]] Result<Value> parse(std::string_view text);
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes, control
+/// characters and backslashes become \-sequences; the surrounding quotes
+/// are the caller's).  Shared by the telemetry trace writer and the serve
+/// protocol, so every JSON emitter in the repo escapes identically.
+[[nodiscard]] std::string escape(std::string_view s);
+
 }  // namespace anyopt::json

@@ -42,9 +42,12 @@ inline constexpr const char* kPeakRssGauge = "res.peak_rss_kb";
 
 /// Per-subsystem retained-byte gauges sampled into the trace.  Central
 /// list so the sampler, the bench-json writer, and the record schema agree.
+/// `bytes.snapshot` (the serve layer's resident snapshot) is only nonzero
+/// in processes that build a serve snapshot; the bench record writer emits
+/// it as an optional field for exactly that reason.
 inline constexpr const char* kByteGauges[] = {
     "bytes.sim_scratch", "bytes.overlay_pages", "bytes.resolve_cache",
-    "bytes.store_index", "bytes.pool_queue",
+    "bytes.store_index", "bytes.pool_queue",   "bytes.snapshot",
 };
 
 /// Background sampler thread.  Construction starts it; destruction (or

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "netbase/json.h"
 #include "netbase/table.h"
 
 namespace anyopt::telemetry {
@@ -72,7 +73,14 @@ double Histogram::max() const {
 double Histogram::percentile(double p) const {
   const std::uint64_t n = count();
   if (n == 0) return 0.0;
-  p = std::clamp(p, 0.0, 1.0);
+  // Contract: out-of-range p clamps into [0, 1].  NaN must be handled
+  // before std::clamp — clamp(NaN, 0, 1) returns NaN (both comparisons are
+  // false), and casting NaN to an integer rank below is undefined.
+  if (!(p >= 0.0)) {
+    p = 0.0;
+  } else if (p > 1.0) {
+    p = 1.0;
+  }
   const auto rank = static_cast<std::uint64_t>(
       std::ceil(p * static_cast<double>(n)));
   std::uint64_t seen = 0;
@@ -219,29 +227,9 @@ std::string format_value(double v) {
   return buf;
 }
 
-/// JSON string escaping for names and keys.
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+/// JSON string escaping for names and keys (the shared escaper lives in
+/// netbase/json so the trace writer and the serve protocol agree).
+std::string json_escape(std::string_view s) { return json::escape(s); }
 
 }  // namespace
 

@@ -157,7 +157,11 @@ class Histogram {
   /// 0.0 / lowest-recorded when empty / populated.
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
-  /// Bucket-resolution estimate (geometric bucket midpoint); p in [0, 1].
+  /// Bucket-resolution estimate (geometric bucket midpoint) of the p-th
+  /// quantile.  Contract: returns 0.0 on an empty histogram (any p,
+  /// including NaN); p outside [0, 1] — and NaN — clamps into the range
+  /// (NaN clamps to 0), so a summary table can never print garbage for a
+  /// never-hit span.  The estimate is always inside [min(), max()].
   [[nodiscard]] double percentile(double p) const;
   void reset();
 

@@ -29,7 +29,10 @@ namespace anyopt {
 class ThreadPool {
  public:
   /// Spawns `threads` workers; `threads == 0` selects the hardware
-  /// concurrency (at least 1).
+  /// concurrency (at least 1).  Contract: the pool NEVER has zero workers —
+  /// `size() >= 1` for every argument — so submitted work always drains.
+  /// Callers that want "0 means serial" semantics (e.g. the bench CLI's
+  /// `--threads` flag) must clamp before constructing.
   explicit ThreadPool(std::size_t threads);
 
   /// Drains nothing: pending tasks are abandoned (their futures broken),

@@ -1,0 +1,128 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "netbase/json.h"
+
+namespace anyopt::serve {
+
+namespace {
+
+/// Extracts an id array ("sites"/"clients"): every element must be a
+/// non-negative integer number.
+Result<std::vector<std::uint32_t>> parse_ids(const json::Value& value,
+                                             const char* key) {
+  if (!value.is_array()) {
+    return Error::parse(std::string(key) + " must be an array");
+  }
+  std::vector<std::uint32_t> ids;
+  ids.reserve(value.items.size());
+  for (const json::Value& item : value.items) {
+    if (!item.is_number() || item.number_value < 0 ||
+        item.number_value != std::floor(item.number_value) ||
+        item.number_value > 4294967295.0) {
+      return Error::parse(std::string(key) +
+                          " entries must be non-negative integers");
+    }
+    ids.push_back(static_cast<std::uint32_t>(item.number_value));
+  }
+  return ids;
+}
+
+}  // namespace
+
+Result<Request> parse_request(std::string_view line) {
+  Result<json::Value> doc = json::parse(line);
+  if (!doc.ok()) {
+    return Error::parse("request is not valid JSON: " + doc.error().message);
+  }
+  if (!doc.value().is_object()) {
+    return Error::parse("request must be a JSON object");
+  }
+
+  Request request;
+  bool saw_op = false;
+  bool saw_sites = false;
+  bool saw_clients = false;
+  for (const auto& [key, value] : doc.value().members) {
+    if (key == "op") {
+      if (!value.is_string()) return Error::parse("op must be a string");
+      if (value.string_value == "predict") {
+        request.op = Op::kPredict;
+      } else if (value.string_value == "score") {
+        request.op = Op::kScore;
+      } else if (value.string_value == "info") {
+        request.op = Op::kInfo;
+      } else if (value.string_value == "reload") {
+        request.op = Op::kReload;
+      } else {
+        return Error::parse("unknown op \"" + value.string_value + "\"");
+      }
+      saw_op = true;
+    } else if (key == "sites") {
+      Result<std::vector<std::uint32_t>> ids = parse_ids(value, "sites");
+      if (!ids.ok()) return ids.error();
+      request.sites = std::move(ids).value();
+      saw_sites = true;
+    } else if (key == "clients") {
+      Result<std::vector<std::uint32_t>> ids = parse_ids(value, "clients");
+      if (!ids.ok()) return ids.error();
+      request.clients = std::move(ids).value();
+      saw_clients = true;
+    } else if (key == "detail") {
+      if (!value.is_bool()) return Error::parse("detail must be a boolean");
+      request.detail = value.bool_value;
+    } else {
+      return Error::parse("unknown request key \"" + key + "\"");
+    }
+  }
+  if (!saw_op) return Error::parse("request has no op");
+
+  const bool takes_config =
+      request.op == Op::kPredict || request.op == Op::kScore;
+  if (takes_config) {
+    if (!saw_sites || request.sites.empty()) {
+      return Error::parse("predict/score require a non-empty sites array");
+    }
+    const std::unordered_set<std::uint32_t> unique(request.sites.begin(),
+                                                   request.sites.end());
+    if (unique.size() != request.sites.size()) {
+      return Error::parse("sites must not repeat (a site announces once)");
+    }
+  } else if (saw_sites) {
+    return Error::parse("sites is only valid for predict/score");
+  }
+  if (saw_clients && request.op != Op::kPredict) {
+    return Error::parse("clients is only valid for predict");
+  }
+  if (request.detail && request.op != Op::kPredict) {
+    return Error::parse("detail is only valid for predict");
+  }
+  return request;
+}
+
+std::string render_error(std::string_view message) {
+  std::string out = "{\"ok\":false,\"error\":\"";
+  out += json::escape(message);
+  out += "\"}";
+  return out;
+}
+
+void append_double(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return (values[n / 2 - 1] + values[n / 2]) / 2.0;
+}
+
+}  // namespace anyopt::serve

@@ -1,0 +1,81 @@
+#pragma once
+// anyoptd wire protocol: line-oriented JSON request/response.
+//
+// One request per line, one response line back — the simplest protocol
+// that composes with every socket tool (`nc -U`, a shell heredoc, a test's
+// stdin pipe) while staying machine-parseable.  Requests are strict JSON
+// objects with an `op` discriminator:
+//
+//   {"op":"predict","sites":[3,1,12]}
+//   {"op":"predict","sites":[3,1,12],"clients":[0,17,44],"detail":true}
+//   {"op":"score","sites":[3,1,12]}
+//   {"op":"info"}
+//   {"op":"reload"}
+//
+// `sites` is the announcement order (order matters, §4.2); `clients`
+// restricts prediction to a target subset (absent = every target);
+// `detail` adds per-client catchment and RTT arrays to the response.
+// Unknown keys are rejected — a typoed key must fail loudly, not silently
+// predict something else than the caller asked for.
+//
+// Responses are a single JSON object line: `{"ok":true,...}` on success,
+// `{"ok":false,"error":"..."}` on failure.  Successful responses carry
+// `"snapshot":N`, the version of the immutable snapshot that answered (see
+// serve/service.h) — two responses with equal version are answers over
+// identical data.  All rendering is deterministic (`%.17g` doubles,
+// field order fixed), so byte-comparing response lines is a valid way to
+// assert two queries saw the same snapshot; the concurrency tests do.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/result.h"
+
+namespace anyopt::serve {
+
+/// \brief Request operations.
+enum class Op : std::uint8_t {
+  kPredict,  ///< catchment + RTT stats for a site subset over clients
+  kScore,    ///< optimizer-style evaluation of one configuration
+  kInfo,     ///< snapshot metadata (version, shape, provenance)
+  kReload,   ///< rebuild the snapshot and swap it in (daemon only)
+};
+
+/// \brief One parsed request line.
+struct Request {
+  Op op = Op::kInfo;
+  /// Sites in announcement order (`predict`/`score`; must be non-empty
+  /// there, must be empty elsewhere).
+  std::vector<std::uint32_t> sites;
+  /// Targets to predict for (`predict` only; empty = all targets).
+  std::vector<std::uint32_t> clients;
+  bool detail = false;  ///< include per-client arrays in the response
+};
+
+/// \brief Parses one request line (strict: unknown keys, duplicate sites,
+///        non-integer ids and op/field mismatches are all errors).
+/// \param line the JSON request text (no trailing newline needed).
+/// \return the request, or a diagnostic suitable for `render_error`.
+[[nodiscard]] Result<Request> parse_request(std::string_view line);
+
+/// \brief Renders the error response line: `{"ok":false,"error":"..."}`.
+/// \param message the human-readable reason (JSON-escaped here).
+/// \return the response line, without trailing newline.
+[[nodiscard]] std::string render_error(std::string_view message);
+
+/// \brief Appends a shortest-round-trip double (`%.17g`) to `out`.
+///
+/// Every response number goes through this one formatter so equal doubles
+/// always render to equal bytes — the contract the bit-identity tests
+/// compare response lines under.
+void append_double(std::string& out, double value);
+
+/// \brief Median of the values: sorted midpoint, averaging the two middle
+///        elements for even counts; 0.0 for an empty vector.
+/// \param values the samples (taken by value; sorted internally).
+/// \return the median.
+[[nodiscard]] double median(std::vector<double> values);
+
+}  // namespace anyopt::serve

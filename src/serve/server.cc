@@ -1,0 +1,144 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace anyopt::serve {
+
+namespace {
+
+/// Writes the whole buffer, riding out short writes.  False on error.
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(Service& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {
+  if (options_.threads == 0) options_.threads = 1;
+}
+
+Server::~Server() { shutdown(); }
+
+Status Server::serve() {
+  if (options_.socket_path.empty()) {
+    return Error::invalid("server needs a socket path");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof addr.sun_path) {
+    return Error::invalid("socket path too long: " + options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error::state(std::string("socket: ") + std::strerror(errno));
+  }
+  // A previous daemon's socket file would make bind fail with EADDRINUSE;
+  // a stale path is indistinguishable from a live one here, so the caller
+  // owns the path and we take it over.
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Error::state("bind " + options_.socket_path + ": " +
+                        std::strerror(err));
+  }
+  if (::listen(fd, options_.backlog) < 0) {
+    const int err = errno;
+    ::close(fd);
+    return Error::state("listen " + options_.socket_path + ": " +
+                        std::strerror(err));
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+
+  {
+    // Pool scope: its destructor joins the connection workers, so serve()
+    // returns only after every in-flight request has been answered.
+    ThreadPool pool(options_.threads);
+    while (!stopping_.load(std::memory_order_acquire)) {
+      const int conn = ::accept(fd, nullptr, nullptr);
+      if (conn < 0) {
+        if (errno == EINTR) continue;
+        break;  // listen socket shut down (or a fatal accept error)
+      }
+      {
+        const std::lock_guard<std::mutex> lock(connections_mutex_);
+        connections_.push_back(conn);
+      }
+      (void)pool.submit([this, conn] { handle_connection(conn); });
+    }
+  }
+
+  ::close(fd);
+  listen_fd_.store(-1, std::memory_order_release);
+  ::unlink(options_.socket_path.c_str());
+  return {};
+}
+
+void Server::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  // Unblock accept(2): shutdown on the listening socket makes it return
+  // with an error on Linux; the loop then exits via `stopping_`.
+  const int fd = listen_fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const int conn : connections_) ::shutdown(conn, SHUT_RDWR);
+}
+
+void Server::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos; nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      std::string response = service_.handle_line(line);
+      response += '\n';
+      if (!send_all(fd, response.data(), response.size())) {
+        forget_connection(fd);
+        ::close(fd);
+        return;
+      }
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+  }
+  forget_connection(fd);
+  ::close(fd);
+}
+
+void Server::forget_connection(int fd) {
+  const std::lock_guard<std::mutex> lock(connections_mutex_);
+  connections_.erase(
+      std::remove(connections_.begin(), connections_.end(), fd),
+      connections_.end());
+}
+
+}  // namespace anyopt::serve

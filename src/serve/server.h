@@ -1,0 +1,64 @@
+#pragma once
+// AF_UNIX line server for the what-if service.
+//
+// Listens on a local socket; each accepted connection is handed to a
+// worker from a ThreadPool, which reads newline-delimited requests and
+// writes one response line per request (serve/protocol.h).  Locking exists
+// only on the connection control path (accept/teardown registry); the
+// per-query path is `Service::handle_line` — lock-free by construction.
+//
+// `shutdown()` may be called from any thread (e.g. a signal-ish control
+// path while `serve()` blocks another thread): it stops the accept loop
+// and shuts down every live connection, and `serve()` returns after the
+// workers drain.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "netbase/result.h"
+#include "netbase/thread_pool.h"
+#include "serve/service.h"
+
+namespace anyopt::serve {
+
+/// \brief Server parameters.
+struct ServerOptions {
+  std::string socket_path;   ///< AF_UNIX path (unlinked before bind)
+  std::size_t threads = 2;   ///< connection workers (clamped to >= 1)
+  int backlog = 16;          ///< listen(2) backlog
+};
+
+/// \brief Blocking accept-loop server over a Service.
+class Server {
+ public:
+  /// \param service the query service (must outlive this).
+  /// \param options socket path and worker count.
+  Server(Service& service, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// \brief Binds, listens and serves until `shutdown()`.  Returns the
+  ///        bind/listen error, or ok after a clean shutdown.
+  [[nodiscard]] Status serve();
+
+  /// \brief Stops the accept loop and closes every live connection
+  ///        (callable from any thread, idempotent).
+  void shutdown();
+
+ private:
+  void handle_connection(int fd);
+  void forget_connection(int fd);
+
+  Service& service_;
+  ServerOptions options_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> listen_fd_{-1};
+  std::mutex connections_mutex_;       ///< control path only, never per query
+  std::vector<int> connections_;
+};
+
+}  // namespace anyopt::serve

@@ -1,0 +1,125 @@
+#pragma once
+// The what-if query service: a lock-free read path over refcounted
+// immutable snapshots.
+//
+// Design.  All query state lives in one `Snapshot` (serve/snapshot.h),
+// immutable once built.  The service holds the current snapshot in a
+// mutex-guarded slot plus an atomic, monotonically increasing version
+// counter.  Readers go through a thread-local epoch cache {owner,
+// version, shared_ptr}: the steady-state hot path is ONE acquire atomic
+// load of the version — no mutex, no refcount traffic, no allocation —
+// and only when the version moved does a thread take the swap mutex to
+// re-read the slot, a cost paid once per thread per swap, never per
+// query.  (The slot is deliberately NOT a std::atomic<std::shared_ptr>:
+// libstdc++'s _Sp_atomic unlocks the reader side with a *relaxed* RMW,
+// which leaves the internal pointer handoff unordered under the strict
+// C++ memory model — ThreadSanitizer rightly flags it.  The mutex slot
+// is provably ordered, costs the same number of contended operations on
+// the cold path, and keeps the hot path untouched.)
+//
+// Publication protocol ("a query never observes a partially-loaded
+// snapshot"): `publish` stores the FULLY BUILT snapshot into the slot
+// and release-bumps the version, both under the swap mutex.  A reader
+// that sees the new version takes the mutex and finds a pointer that is
+// either the new snapshot or an even newer one — never a partial one,
+// never the outgoing one under that version... and the outgoing snapshot
+// stays alive (shared_ptr refcount) until the last in-flight query and
+// the last thread-local epoch cache drop it.  A query concurrent with
+// `publish` answers from exactly one of the two snapshots, bit for bit
+// (tests/serve/serve_concurrency_test.cc).
+//
+// Pinning caveat: an idle reader thread's epoch cache keeps its last
+// snapshot alive until that thread issues another query or exits — after
+// a swap, memory peaks at (live snapshots) ≤ 1 + idle reader threads.
+// The `bytes.snapshot` gauge's value/max expose exactly that.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "netbase/result.h"
+#include "serve/protocol.h"
+#include "serve/snapshot.h"
+
+namespace anyopt::serve {
+
+/// \brief Snapshot holder + query executor.
+class Service {
+ public:
+  Service() = default;
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// \brief Atomically swaps in a fully built snapshot; assigns it the
+  ///        next version.  Safe against any number of concurrent readers
+  ///        (they keep answering from the outgoing snapshot until they
+  ///        observe the new version).
+  /// \param snapshot the snapshot to publish (must not be null).
+  /// \return the version assigned.
+  std::uint64_t publish(std::shared_ptr<Snapshot> snapshot);
+
+  /// \brief The current snapshot via the thread-local epoch cache (one
+  ///        atomic load steady-state, no lock; the swap mutex is taken
+  ///        only on the first query after a publish).  Null until the
+  ///        first `publish`.
+  [[nodiscard]] std::shared_ptr<const Snapshot> current() const;
+
+  /// \brief The current published version (0 = nothing published yet).
+  [[nodiscard]] std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Installs the `reload` op's rebuilder (e.g. "re-run
+  ///        Snapshot::build over the same options").  Call before serving
+  ///        starts; not synchronized against in-flight reloads.
+  void set_reloader(
+      std::function<Result<std::shared_ptr<Snapshot>>()> reloader) {
+    reloader_ = std::move(reloader);
+  }
+
+  /// \brief Parses, executes and renders one protocol line — the complete
+  ///        per-query path.  Counts `serve.queries`/`serve.errors`, times
+  ///        `serve.query_ms` (a traced span) and samples
+  ///        `serve.snapshot_age_us`.  Steady state takes no lock; the
+  ///        swap mutex is touched only by a thread's first query after a
+  ///        publish and by the `reload` op (which builds a new snapshot,
+  ///        then publishes).
+  /// \param line one request line (no trailing newline needed).
+  /// \return the response line (no trailing newline).
+  [[nodiscard]] std::string handle_line(std::string_view line);
+
+  /// \brief Executes a parsed request against one specific snapshot —
+  ///        the pure core of `handle_line`, exposed so tests can compare
+  ///        concurrent responses against single-threaded runs over a
+  ///        known snapshot.  `reload` is not executable here.
+  /// \param snapshot the snapshot to answer from.
+  /// \param request the parsed request.
+  /// \return the response line (no trailing newline).
+  [[nodiscard]] static std::string execute(const Snapshot& snapshot,
+                                           const Request& request);
+
+ private:
+  /// \brief Process-unique id of this instance.  The thread-local epoch
+  ///        cache is keyed by (service id, version), NOT by `this`: a
+  ///        short-lived Service reusing a destroyed one's address at the
+  ///        same version would otherwise hit a stale cache entry and
+  ///        answer from the dead service's snapshot (classic ABA).
+  [[nodiscard]] static std::uint64_t next_id();
+  const std::uint64_t id_ = next_id();
+
+  /// Version allocator (concurrent publishers draw distinct numbers) —
+  /// distinct from `version_`, which advertises only published snapshots.
+  std::atomic<std::uint64_t> next_version_{0};
+  std::atomic<std::uint64_t> version_{0};
+  /// Guards `snapshot_`.  Taken by publishers and by readers whose epoch
+  /// cache went stale — never on the steady-state query path.
+  mutable std::mutex swap_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::function<Result<std::shared_ptr<Snapshot>>()> reloader_;
+};
+
+}  // namespace anyopt::serve

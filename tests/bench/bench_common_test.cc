@@ -1,0 +1,129 @@
+// bench_common regression tests: the parse_threads contract (numeric-only
+// matching, argv removal, and the explicit `--threads=0` clamp that used to
+// silently substitute hardware concurrency) and the bench-record writer's
+// optional sections (`serve`, `bytes.snapshot`) staying absent until the
+// subsystem actually ran.
+
+#include "support/bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "netbase/json.h"
+#include "netbase/telemetry.h"
+
+namespace anyopt::bench {
+namespace {
+
+/// Mutable argv fixture: parse_threads edits argc/argv in place.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    pointers.push_back(const_cast<char*>("bench"));
+    for (std::string& arg : storage) {
+      pointers.push_back(arg.data());
+    }
+    pointers.push_back(nullptr);
+    argc = static_cast<int>(pointers.size()) - 1;
+  }
+  [[nodiscard]] std::vector<std::string> remaining() const {
+    std::vector<std::string> out;
+    for (int i = 1; i < argc; ++i) out.emplace_back(pointers[i]);
+    return out;
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> pointers;
+  int argc = 0;
+};
+
+TEST(ParseThreads, ParsesBothFormsAndRemovesThem) {
+  Argv equals({"--threads=3", "--other"});
+  EXPECT_EQ(parse_threads(equals.argc, equals.pointers.data(), 1), 3u);
+  EXPECT_EQ(equals.remaining(), std::vector<std::string>{"--other"});
+
+  Argv spaced({"--threads", "5"});
+  EXPECT_EQ(parse_threads(spaced.argc, spaced.pointers.data(), 1), 5u);
+  EXPECT_TRUE(spaced.remaining().empty());
+}
+
+TEST(ParseThreads, AbsentFlagReturnsTheFallback) {
+  Argv none({"--metrics"});
+  EXPECT_EQ(parse_threads(none.argc, none.pointers.data(), 4), 4u);
+  EXPECT_EQ(none.remaining(), std::vector<std::string>{"--metrics"});
+}
+
+TEST(ParseThreads, ExplicitZeroClampsToSerial) {
+  // The regression: `--threads=0` used to be forwarded verbatim, so the
+  // pool silently substituted hardware concurrency while the bench record
+  // claimed 0 threads.  The contract now clamps to 1 (with a stderr note).
+  Argv zero({"--threads=0"});
+  EXPECT_EQ(parse_threads(zero.argc, zero.pointers.data(), 4), 1u);
+  Argv spaced_zero({"--threads", "0"});
+  EXPECT_EQ(parse_threads(spaced_zero.argc, spaced_zero.pointers.data(), 4),
+            1u);
+}
+
+TEST(ParseThreads, NonNumericValuesAreLeftForDownstreamParsers) {
+  // `--threads=abc` stays in argv (a later parser rejects it by name) and
+  // a bare `--threads` must not eat a following flag.
+  Argv alpha({"--threads=abc"});
+  EXPECT_EQ(parse_threads(alpha.argc, alpha.pointers.data(), 2), 2u);
+  EXPECT_EQ(alpha.remaining(), std::vector<std::string>{"--threads=abc"});
+
+  Argv dangling({"--threads", "--metrics"});
+  EXPECT_EQ(parse_threads(dangling.argc, dangling.pointers.data(), 2), 2u);
+  EXPECT_EQ(dangling.remaining(),
+            (std::vector<std::string>{"--threads", "--metrics"}));
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string text;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+TEST(BenchJson, OptionalSectionsAppearOnlyWhenTheSubsystemRan) {
+  telemetry::Registry::global().reset();
+  TelemetryOptions options;
+  options.json_out = ::testing::TempDir() + "bench_common_test_plain.json";
+
+  // Without serve activity: no "serve" section, no bytes.snapshot.
+  write_bench_json("unit", 0.25, options);
+  Result<json::Value> plain = json::parse(slurp(options.json_out));
+  ASSERT_TRUE(plain.ok()) << plain.error().message;
+  EXPECT_EQ(plain.value().find("serve"), nullptr);
+  const json::Value* bytes = plain.value().find("bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->find("snapshot"), nullptr);
+
+  // With a registered extra and a live bytes.snapshot gauge, both appear.
+  telemetry::Registry::global().gauge("bytes.snapshot").add(1234);
+  set_bench_json_extra("serve", "{\"queries\": 10, \"qps\": 99.5}");
+  options.json_out = ::testing::TempDir() + "bench_common_test_serve.json";
+  write_bench_json("unit", 0.25, options);
+  Result<json::Value> with = json::parse(slurp(options.json_out));
+  ASSERT_TRUE(with.ok()) << with.error().message;
+  const json::Value* serve = with.value().find("serve");
+  ASSERT_NE(serve, nullptr);
+  EXPECT_EQ(serve->find("qps")->number_value, 99.5);
+  const json::Value* bytes2 = with.value().find("bytes");
+  ASSERT_NE(bytes2, nullptr);
+  ASSERT_NE(bytes2->find("snapshot"), nullptr);
+  EXPECT_EQ(bytes2->find("snapshot")->as_u64(), 1234u);
+
+  std::remove((::testing::TempDir() + "bench_common_test_plain.json").c_str());
+  std::remove(options.json_out.c_str());
+  telemetry::Registry::global().reset();
+}
+
+}  // namespace
+}  // namespace anyopt::bench

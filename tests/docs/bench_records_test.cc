@@ -81,10 +81,32 @@ const std::set<std::string>& top_level_fields() {
   return fields;
 }
 
+/// OPTIONAL schema-3 top-level fields: present only in records whose bench
+/// exercised the subsystem (consumers treat absence as "not exercised",
+/// never as zero — see tools/anyopt_bench).
+const std::set<std::string>& optional_top_level_fields() {
+  static const std::set<std::string> fields = {"serve"};
+  return fields;
+}
+
 const std::set<std::string>& bytes_fields() {
   static const std::set<std::string> fields = {
       "sim_scratch", "overlay_pages", "resolve_cache", "store_index",
       "pool_queue",
+  };
+  return fields;
+}
+
+/// OPTIONAL bytes.* keys (same rule as the optional top-level fields).
+const std::set<std::string>& optional_bytes_fields() {
+  static const std::set<std::string> fields = {"snapshot"};
+  return fields;
+}
+
+/// The serve block's exact field set (all required once the block exists).
+const std::set<std::string>& serve_fields() {
+  static const std::set<std::string> fields = {
+      "queries", "qps", "p50_ms", "p95_ms", "p99_ms",
   };
   return fields;
 }
@@ -96,7 +118,7 @@ TEST(BenchRecords, AtLeastTheHeadlineBenchesAreCommitted) {
   }
   for (const char* required :
        {"BENCH_fig4b.json", "BENCH_parallel_discovery.json",
-        "BENCH_resilience.json"}) {
+        "BENCH_resilience.json", "BENCH_serve.json"}) {
     EXPECT_TRUE(names.count(required) == 1) << "missing " << required;
   }
 }
@@ -118,11 +140,13 @@ TEST(BenchRecords, EveryCommittedRecordIsExactlySchema3) {
     EXPECT_EQ(schema->as_u64(), 3u)
         << "stale (or future) schema — regenerate every committed record";
 
-    // Exact field census: no unknown fields, no missing fields.
+    // Exact field census: no unknown fields, every REQUIRED field present
+    // (optional sections may be absent, but nothing undocumented slips in).
     std::set<std::string> present;
     for (const auto& [name, value] : root.members) {
       EXPECT_TRUE(present.insert(name).second) << "duplicate field " << name;
-      EXPECT_TRUE(top_level_fields().count(name) == 1)
+      EXPECT_TRUE(top_level_fields().count(name) == 1 ||
+                  optional_top_level_fields().count(name) == 1)
           << "unknown field " << name;
     }
     for (const std::string& name : top_level_fields()) {
@@ -137,12 +161,30 @@ TEST(BenchRecords, EveryCommittedRecordIsExactlySchema3) {
       EXPECT_TRUE(value.is_number()) << "bytes." << name;
       EXPECT_TRUE(bytes_present.insert(name).second)
           << "duplicate field bytes." << name;
-      EXPECT_TRUE(bytes_fields().count(name) == 1)
+      EXPECT_TRUE(bytes_fields().count(name) == 1 ||
+                  optional_bytes_fields().count(name) == 1)
           << "unknown field bytes." << name;
     }
     for (const std::string& name : bytes_fields()) {
       EXPECT_TRUE(bytes_present.count(name) == 1)
           << "missing field bytes." << name;
+    }
+
+    // The serve block, when present, carries exactly its documented set.
+    if (const json::Value* serve = root.find("serve"); serve != nullptr) {
+      ASSERT_TRUE(serve->is_object());
+      std::set<std::string> serve_present;
+      for (const auto& [name, value] : serve->members) {
+        EXPECT_TRUE(value.is_number()) << "serve." << name;
+        EXPECT_TRUE(serve_present.insert(name).second)
+            << "duplicate field serve." << name;
+        EXPECT_TRUE(serve_fields().count(name) == 1)
+            << "unknown field serve." << name;
+      }
+      for (const std::string& name : serve_fields()) {
+        EXPECT_TRUE(serve_present.count(name) == 1)
+            << "missing field serve." << name;
+      }
     }
 
     // Spot-check the values a gate depends on.
@@ -238,6 +280,26 @@ TEST(BenchCli, CheckFailsOnASlowedRun) {
   std::remove(slowed.c_str());
 }
 
+TEST(BenchRecords, TheServeRecordCarriesTheServeBlock) {
+  // BENCH_serve.json is the serve layer's perf baseline: it must carry
+  // the optional serve block (QPS + latency percentiles) and the
+  // bytes.snapshot high-water mark — a serve record without them gates
+  // nothing.
+  Result<json::Value> doc =
+      json::parse(slurp(records_dir() + "/BENCH_serve.json"));
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const json::Value* serve = doc.value().find("serve");
+  ASSERT_NE(serve, nullptr) << "BENCH_serve.json has no serve block";
+  EXPECT_GT(serve->find("qps")->number_value, 0.0);
+  EXPECT_GT(serve->find("queries")->number_value, 0.0);
+  EXPECT_GT(serve->find("p99_ms")->number_value,
+            serve->find("p50_ms")->number_value * 0.999);
+  const json::Value* bytes = doc.value().find("bytes");
+  ASSERT_NE(bytes, nullptr);
+  ASSERT_NE(bytes->find("snapshot"), nullptr);
+  EXPECT_GT(bytes->find("snapshot")->number_value, 0.0);
+}
+
 TEST(BenchCli, CheckFailsOnEventGrowthAndRespectsBudget) {
   const std::string committed = records_dir() + "/BENCH_fig4b.json";
   const std::string grown = write_scaled_copy(committed, "sim_events", 1.01);
@@ -250,6 +312,99 @@ TEST(BenchCli, CheckFailsOnEventGrowthAndRespectsBudget) {
   // Symmetric diff flags the difference in either direction.
   EXPECT_EQ(run_cli("diff " + committed + " " + grown), 1);
   std::remove(grown.c_str());
+}
+
+/// Writes a literal JSON fixture under the test temp dir.
+std::string write_fixture(const std::string& name, const std::string& body) {
+  const std::string path =
+      ::testing::TempDir() + "anyopt_bench_fixture_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(body.c_str(), f);
+  std::fclose(f);
+  return path;
+}
+
+TEST(BenchCli, MixedSchemaComparisonSkipsAbsentFieldsInsteadOfJudgingZero) {
+  // The latent bug this pins down: a pre-schema-3 record has no
+  // peak_rss_kb, which the tool used to read as 0 — and 0 vs a real
+  // footprint always "regressed".  Absent fields on either side must be
+  // skipped as not-comparable, so this mixed pair passes both ways.
+  const std::string committed = records_dir() + "/BENCH_fig4b.json";
+  const std::string old = write_fixture(
+      "schema2",
+      "{\"schema\": 2, \"git\": \"abc1234\", \"bench\": \"fig4b\","
+      " \"threads\": 1, \"wall_s\": 0.9, \"sim_events\": 168221}\n");
+  EXPECT_EQ(run_cli("--wall-tol=9 --events-budget=999999999 check " + old +
+                    " " + committed),
+            0);
+  EXPECT_EQ(run_cli("--wall-tol=9 --events-budget=999999999 check " +
+                    committed + " " + old),
+            0);
+  EXPECT_EQ(run_cli("--wall-tol=9 --events-budget=999999999 diff " + old +
+                    " " + committed),
+            0);
+  std::remove(old.c_str());
+}
+
+TEST(BenchCli, Schema3RecordsMissingBytesKeysHardFail) {
+  // A record CLAIMING schema 3 without its required bytes.* keys is
+  // malformed, not comparable: diff and check must refuse it (exit 2)
+  // instead of silently reading the holes as zero.
+  const std::string committed = records_dir() + "/BENCH_fig4b.json";
+  const std::string no_bytes = write_fixture(
+      "schema3_no_bytes",
+      "{\"schema\": 3, \"git_commit\": \"abc1234\", \"bench\": \"fig4b\","
+      " \"threads\": 1, \"wall_s\": 0.9, \"peak_rss_kb\": 45000,"
+      " \"sim_events\": 168221}\n");
+  EXPECT_EQ(run_cli("check " + no_bytes + " " + committed), 2);
+  EXPECT_EQ(run_cli("diff " + no_bytes + " " + committed), 2);
+  const std::string partial_bytes = write_fixture(
+      "schema3_partial_bytes",
+      "{\"schema\": 3, \"git_commit\": \"abc1234\", \"bench\": \"fig4b\","
+      " \"threads\": 1, \"wall_s\": 0.9, \"peak_rss_kb\": 45000,"
+      " \"sim_events\": 168221,"
+      " \"bytes\": {\"sim_scratch\": 100, \"overlay_pages\": 5}}\n");
+  EXPECT_EQ(run_cli("check " + partial_bytes + " " + committed), 2);
+  std::remove(no_bytes.c_str());
+  std::remove(partial_bytes.c_str());
+}
+
+TEST(BenchCli, ServeQpsGateIsAsymmetricAndTunable) {
+  const auto serve_record = [](double qps) {
+    return "{\"schema\": 3, \"git_commit\": \"abc\", \"bench\": \"serve\","
+           " \"threads\": 4, \"wall_s\": 0.5, \"peak_rss_kb\": 40000,"
+           " \"sim_events\": 1000,"
+           " \"bytes\": {\"sim_scratch\": 0, \"overlay_pages\": 0,"
+           " \"resolve_cache\": 0, \"store_index\": 0, \"pool_queue\": 0,"
+           " \"snapshot\": 130000},"
+           " \"serve\": {\"queries\": 400, \"qps\": " +
+           std::to_string(qps) +
+           ", \"p50_ms\": 0.02, \"p95_ms\": 0.05, \"p99_ms\": 0.08}}\n";
+  };
+  const std::string baseline = write_fixture("serve_base", serve_record(10000));
+  const std::string slower = write_fixture("serve_slow", serve_record(7000));
+  // A 30% QPS drop trips the default 15% gate; the same pair reversed is
+  // an improvement (asymmetric); a wide tolerance waves it through.
+  EXPECT_EQ(run_cli("check " + slower + " " + baseline), 1);
+  EXPECT_EQ(run_cli("check " + baseline + " " + slower), 0);
+  EXPECT_EQ(run_cli("--qps-tol=0.5 check " + slower + " " + baseline), 0);
+  // diff flags the move in both directions.
+  EXPECT_EQ(run_cli("diff " + baseline + " " + slower), 1);
+  // A record WITHOUT the serve block against one with it: not comparable,
+  // skipped, no failure.
+  const std::string serveless = write_fixture(
+      "serve_none",
+      "{\"schema\": 3, \"git_commit\": \"abc\", \"bench\": \"serve\","
+      " \"threads\": 4, \"wall_s\": 0.5, \"peak_rss_kb\": 40000,"
+      " \"sim_events\": 1000,"
+      " \"bytes\": {\"sim_scratch\": 0, \"overlay_pages\": 0,"
+      " \"resolve_cache\": 0, \"store_index\": 0, \"pool_queue\": 0}}\n");
+  EXPECT_EQ(run_cli("check " + serveless + " " + baseline), 0);
+  EXPECT_EQ(run_cli("check " + baseline + " " + serveless), 0);
+  std::remove(baseline.c_str());
+  std::remove(slower.c_str());
+  std::remove(serveless.c_str());
 }
 
 }  // namespace

@@ -191,4 +191,35 @@ TEST(DocsTest, ObservabilityIsDocumentedAcrossTheDocSet) {
       << "DESIGN.md must explain the per-subsystem byte gauges";
 }
 
+TEST(DocsTest, ServeLayerIsDocumentedAcrossTheDocSet) {
+  // The what-if prediction service must stay discoverable from every
+  // entry point: the README quickstart + wire protocol, the architecture
+  // dataflow with its publication invariant, the design rationale for the
+  // lock-free read path, and the experiments table's serve row.
+  const std::string readme = read_file(source_dir() / "README.md");
+  EXPECT_NE(readme.find("anyoptd"), std::string::npos)
+      << "README.md must carry the anyoptd quickstart";
+  EXPECT_NE(readme.find("--oneshot"), std::string::npos)
+      << "README.md must document anyoptd's --oneshot mode";
+  EXPECT_NE(readme.find("\"op\":\"predict\""), std::string::npos)
+      << "README.md must show the wire protocol's predict request";
+
+  const std::string architecture = read_file(source_dir() / "ARCHITECTURE.md");
+  EXPECT_NE(architecture.find("serve/"), std::string::npos)
+      << "ARCHITECTURE.md module map must place the serve layer";
+  EXPECT_NE(architecture.find("never observes a partially-loaded snapshot"),
+            std::string::npos)
+      << "ARCHITECTURE.md must state the snapshot publication invariant";
+
+  const std::string design = read_file(source_dir() / "DESIGN.md");
+  EXPECT_NE(design.find("lock-free"), std::string::npos)
+      << "DESIGN.md must explain the lock-free snapshot read path";
+  EXPECT_NE(design.find("anyoptd"), std::string::npos)
+      << "DESIGN.md must cover the anyoptd daemon";
+
+  const std::string experiments = read_file(source_dir() / "EXPERIMENTS.md");
+  EXPECT_NE(experiments.find("bench_serve"), std::string::npos)
+      << "EXPERIMENTS.md must carry the serve QPS/latency row";
+}
+
 }  // namespace

@@ -686,5 +686,70 @@ TEST(StoreIo, DiscoveryResultRoundTripAcrossReopen) {
   ASSERT_FALSE(core::load_discovery(*store.value(), key + 1).ok());
 }
 
+// ------------------------------------------------------- read-only opens
+
+TEST(ResultStore, ReadOnlyOpenReadsEverythingAndRefusesWrites) {
+  TempFile f("readonly");
+  const Census a = make_census(1, 40);
+  {
+    auto writer = ResultStore::open(f.path, world_fingerprint());
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->put_census(11, a).ok());
+  }
+  auto reader = ResultStore::open_read_only(f.path);
+  ASSERT_TRUE(reader.ok()) << reader.error().message;
+  EXPECT_TRUE(reader.value()->read_only());
+  EXPECT_EQ(reader.value()->fingerprint(), world_fingerprint());
+  EXPECT_EQ(reader.value()->size(), 1u);
+  expect_census_eq(fetch(*reader.value(), 11), a, "read-only census");
+  // Writes must fail with a state error, not crash or silently drop.
+  const Status put = reader.value()->put_census(12, make_census(2, 40));
+  ASSERT_FALSE(put.ok());
+  EXPECT_NE(put.error().message.find("not writable"), std::string::npos)
+      << put.error().message;
+  EXPECT_EQ(reader.value()->size(), 1u);
+}
+
+TEST(ResultStore, ReadOnlyOpenNeverCreatesOrRepairsTheFile) {
+  // Missing or empty files are errors (a read-only open never creates
+  // one)...
+  TempFile missing("readonly_missing");
+  EXPECT_FALSE(ResultStore::open_read_only(missing.path).ok());
+  std::ofstream(missing.path).close();  // now exists, zero bytes
+  EXPECT_FALSE(ResultStore::open_read_only(missing.path).ok());
+
+  // ...and a torn tail is dropped in memory only: the writer that is
+  // mid-append owns the file, so the reader must leave the bytes on disk
+  // exactly as found.
+  TempFile f("readonly_torn");
+  std::vector<std::size_t> offsets;
+  {
+    auto writer = ResultStore::open(f.path, world_fingerprint());
+    ASSERT_TRUE(writer.ok());
+    for (std::uint64_t k = 1; k <= 3; ++k) {
+      ASSERT_TRUE(writer.value()->put_census(k, make_census(k, 30)).ok());
+    }
+    for (const RecordInfo& info : writer.value()->records()) {
+      offsets.push_back(info.offset);
+    }
+  }
+  std::filesystem::resize_file(f.path, offsets[2] + 3);
+  const auto size_before = std::filesystem::file_size(f.path);
+  {
+    auto reader = ResultStore::open_read_only(f.path);
+    ASSERT_TRUE(reader.ok()) << reader.error().message;
+    EXPECT_EQ(reader.value()->recovered_tail_bytes(), 3u);
+    EXPECT_EQ(reader.value()->size(), 2u);
+    expect_census_eq(fetch(*reader.value(), 2), make_census(2, 30),
+                     "read-only survivor");
+  }
+  EXPECT_EQ(std::filesystem::file_size(f.path), size_before)
+      << "read-only open must not rewrite the file";
+  // A writable open afterwards still recovers normally.
+  auto writer = ResultStore::open(f.path, world_fingerprint());
+  ASSERT_TRUE(writer.ok()) << writer.error().message;
+  EXPECT_EQ(writer.value()->size(), 2u);
+}
+
 }  // namespace
 }  // namespace anyopt::measure

@@ -175,6 +175,30 @@ TEST_F(TelemetryTest, AllNonFiniteHistogramStaysEmpty) {
   EXPECT_EQ(h.non_finite(), 2u);
 }
 
+TEST_F(TelemetryTest, PercentileClampsOutOfRangeAndNaNRank) {
+  // The percentile contract (serve publishes these numbers): an empty
+  // histogram returns 0.0 for ANY p — including NaN — and a populated one
+  // clamps out-of-range p into [0, 1].  NaN p used to flow through
+  // std::clamp unchanged (both comparisons false) and then hit an
+  // undefined NaN-to-integer rank cast; now it clamps to 0.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Histogram empty;
+  for (const double p : {-1.0, 0.0, 0.5, 1.0, 2.0, nan}) {
+    EXPECT_EQ(empty.percentile(p), 0.0);
+  }
+  Histogram h;
+  for (int i = 1; i <= 64; ++i) h.record(static_cast<double>(i));
+  EXPECT_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(7.0), h.percentile(1.0));
+  EXPECT_EQ(h.percentile(nan), h.percentile(0.0));
+  for (const double p : {-0.5, 7.0, nan}) {
+    const double v = h.percentile(p);
+    EXPECT_TRUE(std::isfinite(v)) << "p=" << p;
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+  }
+}
+
 TEST_F(TelemetryTest, SummaryCounterRowsSortedByName) {
   // Registration order must not leak into the summary: rows come out
   // sorted by metric name so two runs' summaries diff line against line.

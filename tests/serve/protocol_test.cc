@@ -1,0 +1,100 @@
+// Wire-protocol unit tests: strict request parsing (a typoed key must fail
+// loudly, never silently predict something else), deterministic rendering,
+// and the median helper the predict responses report.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace anyopt::serve {
+namespace {
+
+TEST(Protocol, ParsesEveryOp) {
+  Result<Request> info = parse_request("{\"op\":\"info\"}");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().op, Op::kInfo);
+  EXPECT_TRUE(info.value().sites.empty());
+
+  Result<Request> reload = parse_request("{\"op\":\"reload\"}");
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload.value().op, Op::kReload);
+
+  Result<Request> score = parse_request("{\"op\":\"score\",\"sites\":[3,1]}");
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(score.value().op, Op::kScore);
+  EXPECT_EQ(score.value().sites, (std::vector<std::uint32_t>{3, 1}));
+
+  Result<Request> predict = parse_request(
+      "{\"op\":\"predict\",\"sites\":[2,0],\"clients\":[5,7,9],"
+      "\"detail\":true}");
+  ASSERT_TRUE(predict.ok());
+  EXPECT_EQ(predict.value().op, Op::kPredict);
+  EXPECT_EQ(predict.value().sites, (std::vector<std::uint32_t>{2, 0}));
+  EXPECT_EQ(predict.value().clients, (std::vector<std::uint32_t>{5, 7, 9}));
+  EXPECT_TRUE(predict.value().detail);
+}
+
+TEST(Protocol, SiteOrderIsPreservedVerbatim) {
+  // Announcement order matters (§4.2): the parser must not sort or dedup.
+  Result<Request> r = parse_request("{\"op\":\"predict\",\"sites\":[9,2,4]}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().sites, (std::vector<std::uint32_t>{9, 2, 4}));
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  const char* bad[] = {
+      "",                                          // empty line
+      "not json",                                  // not JSON at all
+      "[1,2,3]",                                   // not an object
+      "{\"sites\":[1]}",                           // no op
+      "{\"op\":\"frobnicate\"}",                   // unknown op
+      "{\"op\":42}",                               // op not a string
+      "{\"op\":\"info\",\"stes\":[1]}",            // typoed key
+      "{\"op\":\"predict\"}",                      // predict without sites
+      "{\"op\":\"predict\",\"sites\":[]}",         // empty sites
+      "{\"op\":\"score\",\"sites\":[1,1]}",        // duplicate site
+      "{\"op\":\"predict\",\"sites\":7}",          // sites not an array
+      "{\"op\":\"predict\",\"sites\":[1.5]}",      // non-integer id
+      "{\"op\":\"predict\",\"sites\":[-1]}",       // negative id
+      "{\"op\":\"predict\",\"sites\":[4294967296]}",  // > uint32 max
+      "{\"op\":\"info\",\"sites\":[1]}",           // sites on a config-less op
+      "{\"op\":\"score\",\"sites\":[1],\"clients\":[2]}",  // clients on score
+      "{\"op\":\"score\",\"sites\":[1],\"detail\":true}",  // detail on score
+      "{\"op\":\"predict\",\"sites\":[1],\"detail\":1}",   // detail not bool
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(parse_request(line).ok()) << line;
+  }
+}
+
+TEST(Protocol, RenderErrorEscapesTheMessage) {
+  const std::string out = render_error("bad \"key\"\n");
+  EXPECT_EQ(out, "{\"ok\":false,\"error\":\"bad \\\"key\\\"\\n\"}");
+}
+
+TEST(Protocol, AppendDoubleIsDeterministic) {
+  // Equal doubles must render to equal bytes — the contract the
+  // bit-identity tests compare response lines under.
+  std::string a;
+  std::string b;
+  append_double(a, 0.1 + 0.2);
+  append_double(b, 0.1 + 0.2);
+  EXPECT_EQ(a, b);
+  // %.17g round-trips any double exactly.
+  std::string rendered;
+  append_double(rendered, 123.456789012345678);
+  EXPECT_EQ(std::strtod(rendered.c_str(), nullptr), 123.456789012345678);
+}
+
+TEST(Protocol, MedianContract) {
+  EXPECT_EQ(median({}), 0.0);
+  EXPECT_EQ(median({7.0}), 7.0);
+  EXPECT_EQ(median({3.0, 1.0, 2.0}), 2.0);          // sorts internally
+  EXPECT_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);     // even: middle average
+}
+
+}  // namespace
+}  // namespace anyopt::serve

@@ -1,0 +1,161 @@
+// AF_UNIX server round trip: a real socket client sends request lines and
+// must get one deterministic response line per request; shutdown from
+// another thread unblocks serve().  Also smoke-tests the anyoptd CLI's
+// --oneshot mode end to end (build → publish → stdin/stdout protocol).
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/snapshot.h"
+
+namespace anyopt::serve {
+namespace {
+
+std::shared_ptr<Snapshot> build_test_snapshot() {
+  SnapshotOptions options;
+  options.test_scale = true;
+  Result<std::shared_ptr<Snapshot>> built = Snapshot::build(options);
+  EXPECT_TRUE(built.ok()) << built.error().message;
+  return built.ok() ? std::move(built).value() : nullptr;
+}
+
+/// Minimal blocking line client over one AF_UNIX connection.
+class LineClient {
+ public:
+  explicit LineClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    // The server binds asynchronously; retry briefly.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+          0) {
+        connected_ = true;
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  /// Sends one line and reads one '\n'-terminated response.
+  std::string round_trip(const std::string& line) {
+    const std::string out = line + "\n";
+    if (::send(fd_, out.data(), out.size(), 0) !=
+        static_cast<ssize_t>(out.size())) {
+      return "<send failed>";
+    }
+    std::string response;
+    char c = 0;
+    while (::recv(fd_, &c, 1, 0) == 1) {
+      if (c == '\n') return response;
+      response.push_back(c);
+    }
+    return "<connection closed: " + response + ">";
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+TEST(Server, AnswersOverARealSocketAndShutsDownCleanly) {
+  std::shared_ptr<Snapshot> snapshot = build_test_snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  Service service;
+  service.publish(std::move(snapshot));
+
+  const std::string socket_path = ::testing::TempDir() + "anyoptd_test.sock";
+  std::remove(socket_path.c_str());
+  Server server(service, ServerOptions{.socket_path = socket_path,
+                                       .threads = 2});
+  Status served = Error::state("serve never returned");
+  std::thread serving([&] { served = server.serve(); });
+
+  {
+    LineClient client(socket_path);
+    ASSERT_TRUE(client.connected()) << "could not connect to " << socket_path;
+    const std::string info = client.round_trip("{\"op\":\"info\"}");
+    EXPECT_EQ(info.rfind("{\"ok\":true", 0), 0u) << info;
+    // Responses over the socket are the same bytes Service produces.
+    EXPECT_EQ(client.round_trip("{\"op\":\"predict\",\"sites\":[1,0]}"),
+              service.handle_line("{\"op\":\"predict\",\"sites\":[1,0]}"));
+    // Errors keep the connection alive.
+    const std::string err = client.round_trip("{\"op\":\"nope\"}");
+    EXPECT_EQ(err.rfind("{\"ok\":false", 0), 0u) << err;
+    EXPECT_EQ(client.round_trip("{\"op\":\"info\"}"), info);
+
+    // A second concurrent connection answers identically.
+    LineClient second(socket_path);
+    ASSERT_TRUE(second.connected());
+    EXPECT_EQ(second.round_trip("{\"op\":\"info\"}"), info);
+  }
+
+  server.shutdown();
+  serving.join();
+  EXPECT_TRUE(served.ok()) << served.error().message;
+  std::remove(socket_path.c_str());
+}
+
+#ifdef ANYOPT_DAEMON_CLI
+TEST(Server, OneshotCliAnswersRequestsFromStdin) {
+  const std::string requests = ::testing::TempDir() + "anyoptd_requests.txt";
+  const std::string responses = ::testing::TempDir() + "anyoptd_responses.txt";
+  {
+    std::FILE* f = std::fopen(requests.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"op\":\"info\"}\n"
+               "{\"op\":\"predict\",\"sites\":[1,0],\"clients\":[0,2]}\n"
+               "{\"op\":\"bogus\"}\n",
+               f);
+    std::fclose(f);
+  }
+  const std::string command = std::string(ANYOPT_DAEMON_CLI) +
+                              " --oneshot --scale=small < " + requests +
+                              " > " + responses + " 2> /dev/null";
+  const int status = std::system(command.c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  std::FILE* f = std::fopen(responses.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::vector<std::string> lines;
+  char buffer[65536];
+  while (std::fgets(buffer, sizeof buffer, f) != nullptr) {
+    lines.emplace_back(buffer);
+  }
+  std::fclose(f);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].rfind("{\"ok\":true,\"snapshot\":1,\"op\":\"info\"", 0),
+            0u)
+      << lines[0];
+  EXPECT_EQ(lines[1].rfind("{\"ok\":true", 0), 0u) << lines[1];
+  EXPECT_EQ(lines[2].rfind("{\"ok\":false", 0), 0u) << lines[2];
+  // A bad flag mix exits with the usage error, not a crash.
+  EXPECT_EQ(WEXITSTATUS(std::system(
+                (std::string(ANYOPT_DAEMON_CLI) + " > /dev/null 2>&1").c_str())),
+            2);
+  std::remove(requests.c_str());
+  std::remove(responses.c_str());
+}
+#endif  // ANYOPT_DAEMON_CLI
+
+}  // namespace
+}  // namespace anyopt::serve

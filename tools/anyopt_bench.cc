@@ -20,11 +20,20 @@
 //   --events-budget=N   absolute sim-event slack (default 0 = exact)
 //   --rss-tol=F         relative peak-RSS tolerance (default 0.25)
 //   --rss-budget-kb=N   absolute peak-RSS slack on top (default 16384)
+//   --qps-tol=F         relative serve-QPS tolerance (default 0.15)
 //
 // Wall time is noisy, so it gets a wide relative band; simulated event
 // counts are deterministic, so they default to exact — an unexplained event
 // delta means the workload changed and the committed record must be
 // regenerated deliberately, not absorbed silently.
+//
+// Field presence.  A record claiming schema 3 MUST carry `peak_rss_kb` and
+// the required `bytes.*` keys — a missing one is a malformed record and
+// diff/check hard-fail (exit 2) rather than silently reading it as zero
+// (zero vs a real footprint used to manufacture spurious RSS regressions).
+// OPTIONAL fields (`bytes.snapshot`, the `serve` block) and fields absent
+// from pre-schema-3 records are "not comparable": when either side lacks
+// one, the comparison is skipped with a note, never judged against zero.
 //
 // Exit codes: 0 ok, 1 regression/difference/not-found, 2 usage or I/O.
 
@@ -55,7 +64,7 @@ int usage() {
       "       anyopt_bench check LATEST.json COMMITTED.json [thresholds]\n"
       "       anyopt_bench explain NONCE [LOG.jsonl]\n"
       "thresholds: --wall-tol=F --events-budget=N --rss-tol=F"
-      " --rss-budget-kb=N\n");
+      " --rss-budget-kb=N --qps-tol=F\n");
   return 2;
 }
 
@@ -65,6 +74,7 @@ struct Thresholds {
   std::uint64_t events_budget = 0;
   double rss_tol = 0.25;
   std::int64_t rss_budget_kb = 16384;
+  double qps_tol = 0.15;
 };
 
 /// Pulls the threshold flags out of argv (anywhere) and returns the
@@ -81,6 +91,8 @@ bool parse_args(int argc, char** argv, Thresholds& thresholds,
       thresholds.rss_tol = std::strtod(argv[i] + 10, nullptr);
     } else if (arg.rfind("--rss-budget-kb=", 0) == 0) {
       thresholds.rss_budget_kb = std::strtoll(argv[i] + 16, nullptr, 10);
+    } else if (arg.rfind("--qps-tol=", 0) == 0) {
+      thresholds.qps_tol = std::strtod(argv[i] + 10, nullptr);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "anyopt_bench: unknown flag %s\n", argv[i]);
       return false;
@@ -106,9 +118,18 @@ Result<std::string> slurp(const std::string& path) {
   return text;
 }
 
-/// One loaded BENCH_*.json record.  Absent fields read as zero/empty so the
-/// tool degrades gracefully on older (schema < 3) records; strict field
-/// validation lives in tests/bench_records_test, not here.
+/// The `bytes.*` keys every schema-3 record must carry.  `bytes.snapshot`
+/// (the serve layer's live-snapshot high-water mark) is deliberately NOT
+/// here: only benches that build query snapshots emit it.
+constexpr const char* kRequiredBytesKeys[] = {
+    "sim_scratch", "overlay_pages", "resolve_cache", "store_index",
+    "pool_queue"};
+
+/// One loaded BENCH_*.json record.  Absent numeric fields read as zero so
+/// `trajectory` degrades gracefully on older (schema < 3) records, but each
+/// judged field also carries a presence flag: `diff`/`check` consult the
+/// flag instead of comparing a real measurement against a phantom zero.
+/// Strict field-whitelist validation lives in tests/bench_records_test.
 struct BenchRecord {
   std::string path;
   std::uint64_t schema = 0;
@@ -126,6 +147,14 @@ struct BenchRecord {
   std::uint64_t overlay_forks = 0;
   std::int64_t bytes_sim_scratch = 0;
   std::int64_t bytes_total = 0;  ///< sum of the bytes.* high-water marks
+  bool has_wall = false;         ///< "wall_s" present
+  bool has_events = false;       ///< "sim_events" present
+  bool has_rss = false;          ///< "peak_rss_kb" present
+  bool has_bytes = false;        ///< "bytes" object present
+  std::vector<std::string> missing_bytes;  ///< required bytes.* keys absent
+  bool has_serve = false;        ///< optional "serve" block present
+  double serve_qps = 0;
+  std::uint64_t serve_queries = 0;
 };
 
 std::uint64_t u64_field(const Value& object, std::string_view key) {
@@ -173,16 +202,63 @@ Result<BenchRecord> load_record(const std::string& path) {
   record.cache_hit_rate = number_field(root, "resolve_cache_hit_rate");
   record.store_hits = u64_field(root, "store_hits");
   record.overlay_forks = u64_field(root, "overlay_forks");
+  record.has_wall = root.find("wall_s") != nullptr;
+  record.has_events = root.find("sim_events") != nullptr;
+  record.has_rss = root.find("peak_rss_kb") != nullptr;
   if (const Value* bytes = root.find("bytes");
       bytes != nullptr && bytes->is_object()) {
+    record.has_bytes = true;
     record.bytes_sim_scratch =
         static_cast<std::int64_t>(u64_field(*bytes, "sim_scratch"));
     for (const auto& [name, value] : bytes->members) {
       (void)name;
       record.bytes_total += static_cast<std::int64_t>(value.as_u64());
     }
+    for (const char* key : kRequiredBytesKeys) {
+      if (bytes->find(key) == nullptr) record.missing_bytes.push_back(key);
+    }
+  }
+  if (const Value* serve = root.find("serve");
+      serve != nullptr && serve->is_object()) {
+    record.has_serve = true;
+    record.serve_qps = number_field(*serve, "qps");
+    record.serve_queries = u64_field(*serve, "queries");
   }
   return record;
+}
+
+/// `diff`/`check` precondition: a record that CLAIMS schema 3 must carry
+/// `peak_rss_kb` and every required `bytes.*` key.  Reading such a hole as
+/// zero would compare a real footprint against nothing and manufacture a
+/// spurious regression (or mask a real one), so a missing key is a
+/// malformed record, not a skippable field.  Pre-schema-3 records are
+/// exempt — their absent fields take the skip-with-note path instead.
+bool require_schema3_fields(const BenchRecord& record) {
+  if (record.schema < 3) return true;
+  bool ok = true;
+  if (!record.has_rss) {
+    std::fprintf(stderr,
+                 "anyopt_bench: %s claims schema %" PRIu64
+                 " but has no peak_rss_kb — malformed record\n",
+                 record.path.c_str(), record.schema);
+    ok = false;
+  }
+  if (!record.has_bytes) {
+    std::fprintf(stderr,
+                 "anyopt_bench: %s claims schema %" PRIu64
+                 " but has no bytes section — malformed record\n",
+                 record.path.c_str(), record.schema);
+    ok = false;
+  } else {
+    for (const std::string& key : record.missing_bytes) {
+      std::fprintf(stderr,
+                   "anyopt_bench: %s claims schema %" PRIu64
+                   " but is missing bytes.%s — malformed record\n",
+                   record.path.c_str(), record.schema, key.c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 int cmd_trajectory(const std::string& dir) {
@@ -260,9 +336,26 @@ FieldVerdict judge_rss(std::int64_t a, std::int64_t b, const Thresholds& t) {
   return {std::fabs(delta) > slack, delta > slack};
 }
 
+/// Serve throughput: higher is better, so the bad direction is a drop.
+FieldVerdict judge_qps(double a, double b, const Thresholds& t) {
+  const double r = rel(a, b);
+  return {std::fabs(r) > t.qps_tol, r < -t.qps_tol};
+}
+
 void print_row(const char* name, double a, double b, bool flagged) {
   std::printf("  %-14s %14.3f -> %14.3f  (%+.1f%%)%s\n", name, a, b,
               rel(a, b) * 100.0, flagged ? "  !" : "");
+}
+
+/// Skip-with-note for a field absent on one side: the comparison is
+/// meaningless (zero is not a measurement), so it neither flags nor fails.
+void print_skip(const char* name, const BenchRecord& a, const BenchRecord& b,
+                bool a_has, bool b_has) {
+  const char* where = !a_has && !b_has ? "both records"
+                      : !a_has         ? a.path.c_str()
+                                       : b.path.c_str();
+  std::printf("  %-14s skipped — absent in %s, not comparable\n", name,
+              where);
 }
 
 int cmd_diff(const std::string& path_a, const std::string& path_b,
@@ -281,30 +374,53 @@ int cmd_diff(const std::string& path_a, const std::string& path_b,
                  a.bench.c_str(), b.bench.c_str());
     return 2;
   }
+  if (!require_schema3_fields(a) || !require_schema3_fields(b)) return 2;
   std::printf("%s: %s%s (%s) vs %s%s (%s)\n", a.bench.c_str(),
               a.git_commit.c_str(), a.dirty ? "*" : "", path_a.c_str(),
               b.git_commit.c_str(), b.dirty ? "*" : "", path_b.c_str());
-  const FieldVerdict wall =
-      judge_wall(a.wall_s, b.wall_s, thresholds);
-  const FieldVerdict events =
-      judge_events(a.sim_events, b.sim_events, thresholds);
-  const FieldVerdict rss =
-      judge_rss(a.peak_rss_kb, b.peak_rss_kb, thresholds);
-  print_row("wall_s", a.wall_s, b.wall_s, wall.flagged);
-  print_row("sim_events", static_cast<double>(a.sim_events),
-            static_cast<double>(b.sim_events), events.flagged);
-  print_row("peak_rss_kb", static_cast<double>(a.peak_rss_kb),
-            static_cast<double>(b.peak_rss_kb), rss.flagged);
+  bool different = false;
+  if (a.has_wall && b.has_wall) {
+    const FieldVerdict wall = judge_wall(a.wall_s, b.wall_s, thresholds);
+    print_row("wall_s", a.wall_s, b.wall_s, wall.flagged);
+    different |= wall.flagged;
+  } else {
+    print_skip("wall_s", a, b, a.has_wall, b.has_wall);
+  }
+  if (a.has_events && b.has_events) {
+    const FieldVerdict events =
+        judge_events(a.sim_events, b.sim_events, thresholds);
+    print_row("sim_events", static_cast<double>(a.sim_events),
+              static_cast<double>(b.sim_events), events.flagged);
+    different |= events.flagged;
+  } else {
+    print_skip("sim_events", a, b, a.has_events, b.has_events);
+  }
+  if (a.has_rss && b.has_rss) {
+    const FieldVerdict rss =
+        judge_rss(a.peak_rss_kb, b.peak_rss_kb, thresholds);
+    print_row("peak_rss_kb", static_cast<double>(a.peak_rss_kb),
+              static_cast<double>(b.peak_rss_kb), rss.flagged);
+    different |= rss.flagged;
+  } else {
+    print_skip("peak_rss_kb", a, b, a.has_rss, b.has_rss);
+  }
+  if (a.has_serve && b.has_serve) {
+    const FieldVerdict qps = judge_qps(a.serve_qps, b.serve_qps, thresholds);
+    print_row("serve_qps", a.serve_qps, b.serve_qps, qps.flagged);
+    different |= qps.flagged;
+  } else if (a.has_serve || b.has_serve) {
+    print_skip("serve_qps", a, b, a.has_serve, b.has_serve);
+  }
   print_row("experiments", static_cast<double>(a.campaign_experiments),
             static_cast<double>(b.campaign_experiments), false);
   print_row("bytes_total", static_cast<double>(a.bytes_total),
             static_cast<double>(b.bytes_total), false);
-  const bool different = wall.flagged || events.flagged || rss.flagged;
   std::printf("%s (wall tol %.0f%%, events budget %" PRIu64
-              ", rss tol %.0f%% + %" PRId64 " kb)\n",
+              ", rss tol %.0f%% + %" PRId64 " kb, qps tol %.0f%%)\n",
               different ? "DIFFERS" : "within thresholds",
               thresholds.wall_tol * 100.0, thresholds.events_budget,
-              thresholds.rss_tol * 100.0, thresholds.rss_budget_kb);
+              thresholds.rss_tol * 100.0, thresholds.rss_budget_kb,
+              thresholds.qps_tol * 100.0);
   return different ? 1 : 0;
 }
 
@@ -324,6 +440,9 @@ int cmd_check(const std::string& latest_path,
     std::fprintf(stderr,
                  "anyopt_bench: records are different benches (%s vs %s)\n",
                  latest.bench.c_str(), committed.bench.c_str());
+    return 2;
+  }
+  if (!require_schema3_fields(latest) || !require_schema3_fields(committed)) {
     return 2;
   }
   // The gate is asymmetric: only WORSE fails.  An improvement prints a
@@ -346,17 +465,43 @@ int cmd_check(const std::string& latest_path,
                   committed_value, latest_value);
     }
   };
+  const auto skipped = [&](const char* name, bool latest_has,
+                           bool committed_has) {
+    const char* where = !latest_has && !committed_has ? "both records"
+                        : !latest_has ? latest.path.c_str()
+                                      : committed.path.c_str();
+    std::printf("skipped    %-12s absent in %s — not comparable\n", name,
+                where);
+  };
   std::printf("%s: latest %s%s vs committed %s%s\n", latest.bench.c_str(),
               latest.git_commit.c_str(), latest.dirty ? "*" : "",
               committed.git_commit.c_str(), committed.dirty ? "*" : "");
-  report("wall_s", committed.wall_s, latest.wall_s,
-         judge_wall(committed.wall_s, latest.wall_s, thresholds));
-  report("sim_events", static_cast<double>(committed.sim_events),
-         static_cast<double>(latest.sim_events),
-         judge_events(committed.sim_events, latest.sim_events, thresholds));
-  report("peak_rss_kb", static_cast<double>(committed.peak_rss_kb),
-         static_cast<double>(latest.peak_rss_kb),
-         judge_rss(committed.peak_rss_kb, latest.peak_rss_kb, thresholds));
+  if (latest.has_wall && committed.has_wall) {
+    report("wall_s", committed.wall_s, latest.wall_s,
+           judge_wall(committed.wall_s, latest.wall_s, thresholds));
+  } else {
+    skipped("wall_s", latest.has_wall, committed.has_wall);
+  }
+  if (latest.has_events && committed.has_events) {
+    report("sim_events", static_cast<double>(committed.sim_events),
+           static_cast<double>(latest.sim_events),
+           judge_events(committed.sim_events, latest.sim_events, thresholds));
+  } else {
+    skipped("sim_events", latest.has_events, committed.has_events);
+  }
+  if (latest.has_rss && committed.has_rss) {
+    report("peak_rss_kb", static_cast<double>(committed.peak_rss_kb),
+           static_cast<double>(latest.peak_rss_kb),
+           judge_rss(committed.peak_rss_kb, latest.peak_rss_kb, thresholds));
+  } else {
+    skipped("peak_rss_kb", latest.has_rss, committed.has_rss);
+  }
+  if (latest.has_serve && committed.has_serve) {
+    report("serve_qps", committed.serve_qps, latest.serve_qps,
+           judge_qps(committed.serve_qps, latest.serve_qps, thresholds));
+  } else if (latest.has_serve || committed.has_serve) {
+    skipped("serve_qps", latest.has_serve, committed.has_serve);
+  }
   if (failures > 0) {
     std::printf("CHECK FAILED: %d regression(s) beyond thresholds\n",
                 failures);

@@ -1,0 +1,173 @@
+// anyoptd — the what-if prediction daemon.
+//
+// Loads one immutable query snapshot (world + discovered preference tables
+// + RTT matrix; warm-started from a persistent result store when given
+// one) and answers line-oriented JSON queries over a local AF_UNIX socket
+// with a lock-free read path (see serve/service.h).
+//
+//   anyoptd --socket=/tmp/anyopt.sock --store=results.aopt --scale=small
+//   anyoptd --oneshot --scale=small < requests.jsonl > responses.jsonl
+//
+// Flags:
+//   --socket=PATH       AF_UNIX socket to listen on (daemon mode)
+//   --oneshot           answer requests from stdin on stdout, then exit
+//                       (the scriptable mode; also what the smoke tests
+//                       and bit-identity comparisons drive)
+//   --store=FILE        persistent result store to warm-start from (and,
+//                       unless --store-read-only, to flush fresh results
+//                       into); a daemon restarted over a warm store serves
+//                       bit-identical answers
+//   --store-read-only   never write the store file (multiple daemons may
+//                       share one store; see measure/store.h)
+//   --seed=N            world seed (default 1897, the paper environment)
+//   --scale=paper|small world size (default paper)
+//   --threads=N         build-campaign workers AND connection workers
+//   --metrics           print the telemetry summary on exit
+//
+// Protocol (one JSON object per line; see serve/protocol.h):
+//   {"op":"predict","sites":[3,1,12],"clients":[0,17],"detail":true}
+//   {"op":"score","sites":[3,1,12]}
+//   {"op":"info"}
+//   {"op":"reload"}        rebuild the snapshot (picks up store growth)
+//                          and atomically swap it in
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "netbase/telemetry.h"
+#include "serve/server.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using anyopt::Result;
+using anyopt::serve::Server;
+using anyopt::serve::ServerOptions;
+using anyopt::serve::Service;
+using anyopt::serve::Snapshot;
+using anyopt::serve::SnapshotOptions;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: anyoptd (--socket=PATH | --oneshot)\n"
+               "               [--store=FILE] [--store-read-only]\n"
+               "               [--seed=N] [--scale=paper|small]\n"
+               "               [--threads=N] [--metrics]\n");
+  return 2;
+}
+
+struct Args {
+  std::string socket_path;
+  bool oneshot = false;
+  bool metrics = false;
+  SnapshotOptions snapshot;
+};
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--socket=", 9) == 0) {
+      args.socket_path = arg + 9;
+    } else if (std::strcmp(arg, "--oneshot") == 0) {
+      args.oneshot = true;
+    } else if (std::strncmp(arg, "--store=", 8) == 0) {
+      args.snapshot.store_path = arg + 8;
+    } else if (std::strcmp(arg, "--store-read-only") == 0) {
+      args.snapshot.store_read_only = true;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      args.snapshot.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      if (std::strcmp(arg + 8, "small") == 0) {
+        args.snapshot.test_scale = true;
+      } else if (std::strcmp(arg + 8, "paper") == 0) {
+        args.snapshot.test_scale = false;
+      } else {
+        std::fprintf(stderr, "anyoptd: unknown scale \"%s\"\n", arg + 8);
+        return false;
+      }
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      args.snapshot.threads =
+          static_cast<std::size_t>(std::strtoul(arg + 10, nullptr, 10));
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      args.metrics = true;
+    } else {
+      std::fprintf(stderr, "anyoptd: unknown flag \"%s\"\n", arg);
+      return false;
+    }
+  }
+  // Exactly one of --oneshot / --socket: oneshot with an empty socket
+  // path, or a socket path without oneshot.
+  return args.oneshot == args.socket_path.empty();
+}
+
+int run_oneshot(Service& service) {
+  char* line = nullptr;
+  std::size_t cap = 0;
+  ssize_t n = 0;
+  while ((n = ::getline(&line, &cap, stdin)) >= 0) {
+    std::string_view view(line, static_cast<std::size_t>(n));
+    while (!view.empty() && (view.back() == '\n' || view.back() == '\r')) {
+      view.remove_suffix(1);
+    }
+    if (view.empty()) continue;
+    const std::string response = service.handle_line(view);
+    std::fwrite(response.data(), 1, response.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+  std::free(line);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+  anyopt::telemetry::set_enabled(true);
+
+  std::fprintf(stderr, "[anyoptd] building snapshot (seed %llu, %s scale%s)\n",
+               static_cast<unsigned long long>(args.snapshot.seed),
+               args.snapshot.test_scale ? "test" : "paper",
+               args.snapshot.store_path.empty() ? "" : ", store-warmed");
+  Result<std::shared_ptr<Snapshot>> snapshot =
+      Snapshot::build(args.snapshot);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "anyoptd: %s\n", snapshot.error().message.c_str());
+    return 1;
+  }
+
+  Service service;
+  const SnapshotOptions snapshot_options = args.snapshot;
+  service.set_reloader([snapshot_options] {
+    return Snapshot::build(snapshot_options);
+  });
+  service.publish(std::move(snapshot).value());
+  std::fprintf(stderr, "[anyoptd] snapshot ready (%zu experiments run)\n",
+               service.current()->experiments_run());
+
+  int rc = 0;
+  if (args.oneshot) {
+    rc = run_oneshot(service);
+  } else {
+    Server server(service, ServerOptions{.socket_path = args.socket_path,
+                                         .threads = args.snapshot.threads});
+    std::fprintf(stderr, "[anyoptd] listening on %s\n",
+                 args.socket_path.c_str());
+    const anyopt::Status served = server.serve();
+    if (!served.ok()) {
+      std::fprintf(stderr, "anyoptd: %s\n", served.error().message.c_str());
+      rc = 1;
+    }
+  }
+
+  if (args.metrics) {
+    const std::string summary =
+        anyopt::telemetry::Registry::global().summary();
+    std::fwrite(summary.data(), 1, summary.size(), stderr);
+  }
+  return rc;
+}
