@@ -1,0 +1,171 @@
+// Internet-scale sweep (ROADMAP item 2 — the capacity gap): builds worlds
+// from 5k to 75k ASes via `WorldParams::at_scale`, runs one full catchment
+// census per size on the structure-of-arrays resolve path, and records the
+// wall-time and memory curves that docs/SCALING.md's budget table is
+// calibrated against.
+//
+// Flags beyond the common telemetry set (support/bench_common.h):
+//   --ases=N           run a single point at N ASes instead of the sweep
+//   --mem-budget-mb=M  soft memory budget; above it the measurement plane
+//                      degrades to streaming (result-invariant) instead of
+//                      OOMing — the 75k point is expected to complete
+//                      within any budget that fits the topology itself
+//
+// The sweep runs ascending, so each point's `peak_rss_kb` (process
+// high-water) and `bytes.*` gauge maxima are dominated by that point's own
+// footprint; `rss_kb` is the live RSS after the point's world is destroyed.
+// The per-point curves land in the bench record's "scale" section
+// (BENCH_scale.json, schema 3) and are gated by `anyopt_bench check`.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "anycast/config.h"
+#include "netbase/resmon.h"
+#include "netbase/table.h"
+#include "netbase/telemetry.h"
+#include "support/bench_common.h"
+
+namespace {
+
+/// Parses `--ases=N` and REMOVES it from argv (same contract as the
+/// bench_common parsers).  Returns 0 when absent.
+std::size_t parse_ases(int& argc, char** argv) {
+  std::size_t ases = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--ases=", 7) == 0) {
+      ases = static_cast<std::size_t>(std::strtoull(argv[i] + 7, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return ases;
+}
+
+struct ScalePoint {
+  std::size_t ases = 0;      ///< requested AS count
+  std::size_t built_ases = 0;
+  std::size_t targets = 0;
+  std::size_t reachable = 0;
+  double build_s = 0;        ///< world construction (topology + targets)
+  double census_s = 0;       ///< converge + resolve + probe, one census
+  std::int64_t rss_kb = 0;       ///< live RSS after the point
+  std::int64_t peak_rss_kb = 0;  ///< process high-water after the point
+  std::int64_t rib_bytes = 0;
+  std::int64_t shard_bytes = 0;
+  std::int64_t scratch_bytes = 0;
+};
+
+ScalePoint run_point(std::size_t ases) {
+  using namespace anyopt;
+  auto& reg = telemetry::Registry::global();
+  ScalePoint point;
+  point.ases = ases;
+  const double build_start = telemetry::now_us();
+  const std::unique_ptr<anycast::World> world =
+      anycast::World::create(anycast::WorldParams::at_scale(ases));
+  point.build_s = (telemetry::now_us() - build_start) / 1e6;
+  point.built_ases = world->internet().graph.as_count();
+  point.targets = world->targets().size();
+
+  const measure::Orchestrator orchestrator(*world);
+  anycast::AnycastConfig config;
+  const std::size_t sites = world->deployment().site_count();
+  for (std::size_t s = 0; s < sites; ++s) {
+    config.announce_order.push_back(
+        SiteId{static_cast<SiteId::underlying_type>(s)});
+  }
+  const double census_start = telemetry::now_us();
+  const measure::Census census = orchestrator.measure(config, 0x5CA1EULL);
+  point.census_s = (telemetry::now_us() - census_start) / 1e6;
+  point.reachable = census.reachable_count();
+
+  // Ascending sweep: these running maxima are dominated by this (largest
+  // so far) point, so reading them here yields a per-size curve.
+  point.peak_rss_kb =
+      static_cast<std::int64_t>(resmon::read_memory().peak_rss_kb);
+  point.rib_bytes = reg.gauge_max("bytes.rib");
+  point.shard_bytes = reg.gauge_max("bytes.census_shards");
+  point.scratch_bytes = reg.gauge_max("bytes.sim_scratch");
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace anyopt;
+  const std::size_t single = parse_ases(argc, argv);
+  const bench::TelemetryScope telemetry_scope("scale", argc, argv);
+  bench::print_banner(
+      "Internet-scale sweep — SoA RIBs and sharded census aggregation",
+      "the paper targets the real Internet (~70k ASes); the reproduction's "
+      "capacity gap is ROADMAP item 2");
+
+  std::vector<std::size_t> sizes = {5000, 15000, 35000, 75000};
+  if (single > 0) {
+    sizes = {single};
+  } else if (const char* scale = std::getenv("ANYOPT_BENCH_SCALE");
+             scale != nullptr && std::strcmp(scale, "small") == 0) {
+    sizes = {600, 1200, 2400};  // quick mode: same curve, toy sizes
+  }
+
+  if (const std::size_t budget = resmon::mem_budget_bytes(); budget > 0) {
+    std::printf("memory budget: %zu MB (degrades to streaming above it)\n\n",
+                budget / (1024 * 1024));
+  }
+
+  TextTable table({"ASes", "targets", "reachable", "build s", "census s",
+                   "peak RSS MB", "RIB MB", "shards MB"});
+  std::string points_json = "[";
+  std::vector<ScalePoint> points;
+  for (const std::size_t ases : sizes) {
+    const ScalePoint p = run_point(ases);
+    // Live RSS is read after the point's world is destroyed (scope exit in
+    // run_point), so it reflects what the sweep retains between sizes.
+    const std::int64_t rss_kb =
+        static_cast<std::int64_t>(resmon::read_memory().rss_kb);
+    points.push_back(p);
+    table.add_row({std::to_string(p.built_ases), std::to_string(p.targets),
+                   std::to_string(p.reachable),
+                   TextTable::num(p.build_s, 2),
+                   TextTable::num(p.census_s, 2),
+                   TextTable::num(static_cast<double>(p.peak_rss_kb) / 1024.0,
+                                    1),
+                   TextTable::num(static_cast<double>(p.rib_bytes) /
+                                        (1024.0 * 1024.0),
+                                    1),
+                   TextTable::num(static_cast<double>(p.shard_bytes) /
+                                        (1024.0 * 1024.0),
+                                    1)});
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s\n    {\"ases\": %zu, \"targets\": %zu, \"reachable\": %zu, "
+        "\"build_s\": %.3f, \"census_s\": %.3f, \"rss_kb\": %lld, "
+        "\"peak_rss_kb\": %lld, \"bytes\": {\"rib\": %lld, "
+        "\"census_shards\": %lld, \"sim_scratch\": %lld}}",
+        points.size() == 1 ? "" : ",", p.built_ases, p.targets, p.reachable,
+        p.build_s, p.census_s, static_cast<long long>(rss_kb),
+        static_cast<long long>(p.peak_rss_kb),
+        static_cast<long long>(p.rib_bytes),
+        static_cast<long long>(p.shard_bytes),
+        static_cast<long long>(p.scratch_bytes));
+    points_json += buf;
+  }
+  points_json += "\n  ]";
+  std::printf("%s\n", table.render().c_str());
+  std::printf("RIB/shard columns are the SoA RIB and census-shard high-water "
+              "marks\n(bytes.rib / bytes.census_shards; see docs/SCALING.md "
+              "for the full memory model).\n");
+  bench::set_bench_json_extra(
+      "scale", "{\n  \"mem_budget_mb\": " +
+                   std::to_string(resmon::mem_budget_bytes() / (1024 * 1024)) +
+                   ",\n  \"points\": " + points_json + "\n  }");
+  return 0;
+}

@@ -165,6 +165,9 @@ TelemetryOptions parse_telemetry(int& argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--provenance-out=", 17) == 0) {
       options.provenance_out = arg + 17;
+    } else if (std::strncmp(arg, "--mem-budget-mb=", 16) == 0) {
+      const long mb = std::strtol(arg + 16, nullptr, 10);
+      if (mb > 0) options.mem_budget_mb = static_cast<std::size_t>(mb);
     } else {
       argv[out++] = argv[i];
     }
@@ -178,6 +181,9 @@ TelemetryOptions parse_telemetry(int& argc, char** argv) {
     }
   }
   g_store_path = options.store_path;
+  if (options.mem_budget_mb > 0) {
+    resmon::set_mem_budget_bytes(options.mem_budget_mb * 1024 * 1024);
+  }
   if (options.any() || options.resmon) telemetry::set_enabled(true);
   if (!options.trace_out.empty()) telemetry::set_tracing(true);
   if (!options.provenance_out.empty() &&
@@ -342,6 +348,16 @@ void write_bench_json(const std::string& bench_name, double wall_s,
       snapshot > 0) {
     std::fprintf(f, ",\n    \"snapshot\": %lld",
                  static_cast<long long>(snapshot));
+  }
+  // Likewise OPTIONAL: the SoA-RIB and census-shard high-water marks only
+  // exist in processes that ran the compact resolve path.
+  if (const std::int64_t rib = reg.gauge_max("bytes.rib"); rib > 0) {
+    std::fprintf(f, ",\n    \"rib\": %lld", static_cast<long long>(rib));
+  }
+  if (const std::int64_t shards = reg.gauge_max("bytes.census_shards");
+      shards > 0) {
+    std::fprintf(f, ",\n    \"census_shards\": %lld",
+                 static_cast<long long>(shards));
   }
   std::fprintf(f, "\n  }");
   for (const auto& [key, object] : bench_json_extras()) {

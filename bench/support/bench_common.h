@@ -71,6 +71,12 @@ struct PaperEnv {
 ///                        the Chrome trace.
 ///   --provenance-out=F   record one JSONL provenance line per experiment
 ///                        into F (query with `anyopt_bench explain`).
+///   --mem-budget-mb=MB   set the process-wide soft memory budget
+///                        (`resmon::set_mem_budget_bytes`): above it the
+///                        measurement plane degrades to streaming — resolve
+///                        caches are dropped and converged states are freed
+///                        instead of parked — rather than OOMing.  All
+///                        degradations are result-invariant (docs/SCALING.md).
 /// Any of them enables the telemetry layer for the whole run.  Telemetry
 /// never touches experiment RNG, so the bench's result tables are
 /// byte-identical with and without these flags — and a warm store run
@@ -85,6 +91,7 @@ struct TelemetryOptions {
   bool resmon = false;      ///< run the resource sampler
   std::uint32_t resmon_period_ms = 50;
   std::string provenance_out;  ///< empty = no flight log
+  std::size_t mem_budget_mb = 0;  ///< 0 = unlimited (no budget installed)
   [[nodiscard]] bool any() const { return metrics || !trace_out.empty(); }
 };
 

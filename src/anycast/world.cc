@@ -1,5 +1,6 @@
 #include "anycast/world.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "netbase/rng.h"
@@ -11,6 +12,17 @@ WorldParams WorldParams::paper_scale(std::uint64_t seed) {
   p.seed = seed;
   p.internet.required_tier1_pops = table1_required_pops();
   p.targets.count = 15300;
+  return p;
+}
+
+WorldParams WorldParams::at_scale(std::size_t ases, std::uint64_t seed) {
+  WorldParams p = paper_scale(seed);
+  p.internet = topo::scale_internet_params(ases, std::move(p.internet));
+  // Keep the paper's targets-per-AS density (15,300 over 5,456 ASes).
+  p.targets.count = std::max(
+      1, static_cast<int>(static_cast<double>(ases) * 15300.0 /
+                              static_cast<double>(topo::kPaperScaleAses) +
+                          0.5));
   return p;
 }
 

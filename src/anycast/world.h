@@ -32,6 +32,13 @@ struct WorldParams {
 
   /// Reduced world for unit and integration tests (seconds, not minutes).
   [[nodiscard]] static WorldParams test_scale(std::uint64_t seed = 7);
+
+  /// Paper-style world scaled to approximately `ases` total ASes (the
+  /// `--ases=N` knob; exercised up to 75,000): the tier mix scales via
+  /// `topo::scale_internet_params` and the target population grows
+  /// proportionally, keeping the paper's targets-per-AS density.
+  [[nodiscard]] static WorldParams at_scale(std::size_t ases,
+                                            std::uint64_t seed = 1897);
 };
 
 /// Immovable bundle (the simulator holds references into the Internet).

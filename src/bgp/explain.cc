@@ -60,6 +60,7 @@ std::string Explanation::to_string(const topo::Internet& net) const {
 Explanation RoutingState::explain(AsId from, const geo::Coordinates& from_loc,
                                   std::uint64_t flow_hash) const {
   Explanation out;
+  if (from.value() >= as_.size()) return out;  // sparse id: unreachable
   const topo::Internet& net = sim_->internet();
   AsId cur = from;
   geo::Coordinates cur_loc = from_loc;

@@ -932,8 +932,16 @@ const BestSet& RoutingState::best_set(AsId as) const {
 
 ResolvedPath RoutingState::resolve(AsId from, const geo::Coordinates& from_loc,
                                    std::uint64_t flow_hash) const {
-  if (walk_cache_.empty()) {
-    // Cache disabled for this run: plain walk, no memoization.
+  if (from.value() >= as_.size()) {
+    // Client AS id beyond the converged range (sparse id spaces at
+    // Internet scale, external ASNs, AsId{}): unreachable, never an
+    // out-of-bounds index — mirrored by CompactState::resolve.
+    return ResolvedPath{};
+  }
+  if (walk_cache_.empty() || from.value() >= walk_cache_.size()) {
+    // Cache disabled for this run — or the client AS id lies beyond the
+    // dense cache range (sparse id spaces at Internet scale must not index
+    // out of bounds): plain walk, no memoization.
     return resolve_walk(from, from_loc, flow_hash, nullptr);
   }
   CachedWalk& walk = walk_cache_[from.value()];
@@ -942,7 +950,7 @@ ResolvedPath RoutingState::resolve(AsId from, const geo::Coordinates& from_loc,
     case CachedWalk::State::kCached:
       ++cache_hits_;
       if (telem) ResolveMetrics::get().cache_hit->add(1);
-      return replay_walk(walk, from_loc);
+      return walk_replay(walk, from_loc);
     case CachedWalk::State::kUncached:
       // Flow- or location-dependent walk: recompute per call, keyed by the
       // caller's flow hash exactly as the uncached path would.
@@ -957,185 +965,53 @@ ResolvedPath RoutingState::resolve(AsId from, const geo::Coordinates& from_loc,
   return resolve_walk(from, from_loc, flow_hash, &walk);
 }
 
-ResolvedPath RoutingState::replay_walk(const CachedWalk& walk,
-                                       const geo::Coordinates& from_loc) const {
-  // Replays the memoized walk for a client at `from_loc`.  The latency sum
-  // re-adds the recorded per-hop terms in the original left-to-right order
-  // (only the first-hop geodesic depends on the client's location), so the
-  // result is bit-identical to the walk that recorded it.
-  ResolvedPath out;
-  out.as_path = walk.as_path;
-  if (walk.crossed) {
-    out.one_way_ms +=
-        geo::one_way_latency_ms(from_loc, walk.first_link_where);
-    for (const double hop : walk.hop_ms) out.one_way_ms += hop;
-  }
-  if (!walk.reachable) return out;
-  out.reachable = true;
-  out.site = walk.site;
-  out.attachment = walk.attachment;
-  out.one_way_ms += walk.terminal_ms;
-  return out;
-}
-
 ResolvedPath RoutingState::resolve_walk(AsId from,
                                         const geo::Coordinates& from_loc,
                                         std::uint64_t flow_hash,
                                         CachedWalk* record) const {
-  ResolvedPath out;
-  const topo::Internet& net = sim_->net_;
-  AsId cur = from;
-  geo::Coordinates cur_loc = from_loc;
-  out.as_path.push_back(cur);
-  if (record != nullptr) {
-    record->as_path.clear();
-    record->hop_ms.clear();
-    record->crossed = false;
-    record->as_path.push_back(cur);
-  }
-
-  for (std::size_t hops = 0; hops < 64; ++hops) {
-    const auto& s = state_of(cur);
-    if (s.best.best < 0) {
-      // Dead end: flow-independent, so the (unreachable) walk is cacheable.
-      if (record != nullptr) {
-        record->state = CachedWalk::State::kCached;
-        record->reachable = false;
-      }
-      return out;  // unreachable
+  // The array-of-structs view over this state's per-AS RIBs, feeding the
+  // one shared walk implementation (bgp/walk.h) both layouts instantiate.
+  struct View {
+    const RoutingState* st;
+    const Simulator* sim;
+    [[nodiscard]] const topo::Internet& net() const { return sim->net_; }
+    [[nodiscard]] int best(AsId as) const {
+      return st->state_of(as).best.best;
     }
-
-    // Per-flow multipath split across equal-best entries.
-    int chosen = s.best.best;
-    const topo::AsNode& node = net.graph.node(cur);
-    if (node.multipath && s.best.equal_best.size() > 1) {
-      // The choice below depends on the flow hash: walks through this AS
-      // belong to per-flow classes and must not be shared across targets.
-      if (record != nullptr) {
-        record->state = CachedWalk::State::kUncached;
-        record = nullptr;
-      }
-      std::uint64_t h = flow_hash ^ (0x9e3779b97f4a7c15ULL * (cur.value() + 1)) ^
-                        (run_nonce_ * 0xbf58476d1ce4e5b9ULL);
-      h ^= h >> 29;
-      h *= 0x94d049bb133111ebULL;
-      h ^= h >> 32;
-      chosen = s.best.equal_best[h % s.best.equal_best.size()];
+    [[nodiscard]] std::span<const int> equal_best(AsId as) const {
+      return st->state_of(as).best.equal_best;
     }
-    const RibEntry& entry = s.rib[chosen];
-
-    if (!entry.neighbor.valid()) {
-      // `cur` is a host AS: traffic exits to the anycast origin here.
-      // Hot-potato: among the attachments to this AS that are currently
-      // announced, pick the one closest (by IGP, if this AS has a PoP
-      // network) to where the traffic entered the AS.
-      if (record != nullptr && hops == 0) {
-        // The client AS itself hosts the attachments: the hot-potato cost
-        // below starts from the client's own location, so the outcome is
-        // per-target, not per-AS.
-        record->state = CachedWalk::State::kUncached;
-        record = nullptr;
-      }
-      const auto& slots = sim_->host_attach_[cur.value()];
-      const std::size_t base = sim_->adj_[cur.value()].size();
-      // iBGP best-path inside the host AS: AS-path length (prepending!)
-      // then MED (same-neighbor sessions) are compared before interior
-      // cost, so a prepended or MED-penalized session loses to its
-      // sibling everywhere in the AS.
-      std::uint8_t best_prepend = 255;
-      for (std::size_t i = 0; i < slots.size(); ++i) {
-        const RibEntry& cand = s.rib[base + i];
-        if (cand.present && cand.origin_prepend < best_prepend) {
-          best_prepend = cand.origin_prepend;
-        }
-      }
-      std::uint32_t best_med = ~std::uint32_t{0};
-      for (std::size_t i = 0; i < slots.size(); ++i) {
-        const RibEntry& cand = s.rib[base + i];
-        if (cand.present && cand.origin_prepend == best_prepend &&
-            cand.med < best_med) {
-          best_med = cand.med;
-        }
-      }
-      double best_cost = 1e18;
-      double best_intra = 0;
-      AttachmentIndex best_at = kNoAttachment;
-      for (std::size_t i = 0; i < slots.size(); ++i) {
-        const RibEntry& cand = s.rib[base + i];
-        if (!cand.present || cand.origin_prepend != best_prepend ||
-            cand.med != best_med) {
-          continue;
-        }
-        const OriginAttachment& at = sim_->attachments_[slots[i]];
-        double cost = 0;
-        if (net.pops.has(cur)) {
-          const topo::PopNetwork& pn = net.pops.network(cur);
-          const std::size_t ingress = pn.nearest_pop(cur_loc);
-          const std::size_t egress = pn.nearest_pop(at.where);
-          cost = pn.igp_cost(ingress, egress);
-        } else {
-          cost = geo::one_way_latency_ms(cur_loc, at.where);
-        }
-        if (cost < best_cost ||
-            (cost == best_cost && slots[i] < best_at)) {
-          best_cost = cost;
-          best_intra = cost;
-          best_at = slots[i];
-        }
-      }
-      if (best_at == kNoAttachment) {
-        // Raced withdraw: no announced attachment survived — a pure
-        // function of the converged RIBs, so cacheable as unreachable.
-        if (record != nullptr) {
-          record->state = CachedWalk::State::kCached;
-          record->reachable = false;
-        }
-        return out;
-      }
-      const OriginAttachment& at = sim_->attachments_[best_at];
-      out.reachable = true;
-      out.site = at.site;
-      out.attachment = best_at;
-      out.one_way_ms += best_intra + at.latency_ms;
-      if (record != nullptr) {
-        record->state = CachedWalk::State::kCached;
-        record->reachable = true;
-        record->site = at.site;
-        record->attachment = best_at;
-        record->terminal_ms = best_intra + at.latency_ms;
-      }
-      return out;
+    [[nodiscard]] bool slot_present(AsId as, std::size_t slot) const {
+      return st->state_of(as).rib[slot].present;
     }
-
-    // Cross into the advertising neighbor at the route's ingress point.
-    const int slot = sim_->neighbor_slot(cur, entry.neighbor);
-    assert(slot >= 0);
-    const topo::AsLink& link =
-        net.graph.link(sim_->adj_[cur.value()][slot].link);
-    const double cross_ms = geo::one_way_latency_ms(cur_loc, link.where);
-    out.one_way_ms += cross_ms;
-    cur = entry.neighbor;
-    cur_loc = link.where;
-    out.as_path.push_back(cur);
-    if (record != nullptr) {
-      if (!record->crossed) {
-        // First crossing: its latency depends on the caller's location and
-        // is recomputed per replay from this recorded ingress point.
-        record->crossed = true;
-        record->first_link_where = link.where;
-      } else {
-        record->hop_ms.push_back(cross_ms);
-      }
-      record->as_path.push_back(cur);
+    [[nodiscard]] AsId slot_neighbor(AsId as, std::size_t slot) const {
+      return st->state_of(as).rib[slot].neighbor;
     }
-  }
-  // Exceeded the hop budget: flow-independent (no split was met, or
-  // recording would have stopped), so cacheable as unreachable.
-  if (record != nullptr) {
-    record->state = CachedWalk::State::kCached;
-    record->reachable = false;
-  }
-  return out;  // treat as unreachable
+    [[nodiscard]] std::uint8_t slot_prepend(AsId as, std::size_t slot) const {
+      return st->state_of(as).rib[slot].origin_prepend;
+    }
+    [[nodiscard]] std::uint32_t slot_med(AsId as, std::size_t slot) const {
+      return st->state_of(as).rib[slot].med;
+    }
+    [[nodiscard]] std::size_t adj_count(AsId as) const {
+      return sim->adj_[as.value()].size();
+    }
+    [[nodiscard]] std::span<const AttachmentIndex> host_slots(AsId as) const {
+      return sim->host_attach_[as.value()];
+    }
+    [[nodiscard]] const OriginAttachment& attachment(
+        AttachmentIndex idx) const {
+      return sim->attachments_[idx];
+    }
+    [[nodiscard]] geo::Coordinates crossing_where(AsId as, std::size_t /*slot*/,
+                                                  AsId neighbor) const {
+      const int at = sim->neighbor_slot(as, neighbor);
+      assert(at >= 0);
+      return net().graph.link(sim->adj_[as.value()][at].link).where;
+    }
+  };
+  return walk_resolve(View{this, sim_}, run_nonce_, from, from_loc, flow_hash,
+                      record);
 }
 
 }  // namespace anyopt::bgp

@@ -22,6 +22,7 @@
 #include "bgp/origin.h"
 #include "bgp/policy.h"
 #include "bgp/route.h"
+#include "bgp/walk.h"
 #include "netbase/geo.h"
 #include "netbase/ids.h"
 #include "netbase/rng.h"
@@ -62,15 +63,6 @@ struct SimulatorOptions {
   std::uint64_t seed = 0xB6F;
 };
 
-/// Forwarding resolution result for one client network.
-struct ResolvedPath {
-  bool reachable = false;
-  SiteId site;                       ///< catchment site
-  AttachmentIndex attachment = kNoAttachment;
-  std::vector<AsId> as_path;         ///< client AS ... host AS
-  double one_way_ms = 0;             ///< client location -> site
-};
-
 /// One hop of a routing explanation: which route an AS picked and how deep
 /// into the decision process it had to go to beat its rivals.
 struct ExplainedHop {
@@ -104,6 +96,7 @@ struct Explanation {
 class Simulator;
 class RoutingState;
 class BaseState;
+class CompactState;
 
 /// Per-call overlay accounting, filled by `Simulator::run_overlay` /
 /// `resume_overlay` (telemetry counters `sim.overlay.*` aggregate the same
@@ -245,40 +238,24 @@ class RoutingState {
  private:
   friend class Simulator;
   friend class SimScratch;
+  friend class CompactState;  // freeze() reads the run nonce
   friend struct SimScratch::Impl;
   friend struct BaseState::Impl;
   struct AsState {
     std::vector<RibEntry> rib;  ///< slots: AS neighbors, then attachments
     BestSet best;
   };
-  /// One memoized data-plane walk, keyed by the client AS it starts from.
-  /// A walk is cacheable only when no hop's choice depended on the flow
-  /// hash (no live multipath split) or on the caller's location (the
-  /// host-AS hot-potato cost when the client AS itself hosts attachments);
-  /// such walks stay `kUncached` and are re-walked per flow.  Replay
-  /// re-adds the recorded per-hop latencies in the original order, so the
-  /// floating-point result is bit-identical to the uncached walk.
-  struct CachedWalk {
-    enum class State : std::uint8_t { kUnknown, kCached, kUncached };
-    State state = State::kUnknown;
-    bool reachable = false;
-    bool crossed = false;  ///< at least one inter-AS crossing on the walk
-    SiteId site;
-    AttachmentIndex attachment = kNoAttachment;
-    geo::Coordinates first_link_where;  ///< ingress of the first crossing
-    double terminal_ms = 0;  ///< host-AS hot-potato cost + session latency
-    std::vector<AsId> as_path;
-    std::vector<double> hop_ms;  ///< crossings after the first, in order
-  };
-  /// The uncached walk.  If `record` is non-null the walk is captured into
+  /// The memoized data-plane walk record (hoisted to namespace scope so the
+  /// structure-of-arrays CompactState shares the exact machinery; see
+  /// bgp/walk.h for the cacheability rules).
+  using CachedWalk = ::anyopt::bgp::CachedWalk;
+  /// The uncached walk (instantiates bgp/walk.h's shared `walk_resolve`
+  /// over this layout).  If `record` is non-null the walk is captured into
   /// it (or marked kUncached when a flow/location-dependent hop is met).
   [[nodiscard]] ResolvedPath resolve_walk(AsId from,
                                           const geo::Coordinates& from_loc,
                                           std::uint64_t flow_hash,
                                           CachedWalk* record) const;
-  /// Replays a kCached walk for a client at `from_loc`.
-  [[nodiscard]] ResolvedPath replay_walk(const CachedWalk& walk,
-                                         const geo::Coordinates& from_loc) const;
 
   /// The routing state of `as`: this state's own page when it was written
   /// during the run (or the run was not an overlay), else the shared base
@@ -374,6 +351,7 @@ class Simulator {
 
  private:
   friend class RoutingState;
+  friend class CompactState;  // freeze() reads adj_/host_attach_/attachments_
   friend struct SimScratch::Impl;
   friend struct BaseState::Impl;
   friend struct RoutingState::Cont;

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "bgp/compact.h"
 #include "bgp/flap.h"
+#include "measure/census_shards.h"
+#include "netbase/resmon.h"
 #include "netbase/stats.h"
 #include "netbase/telemetry.h"
 
@@ -228,8 +231,7 @@ Census Orchestrator::measure(const anycast::AnycastConfig& config,
   bgp::RoutingState state =
       world_.simulator().run(schedule, experiment_nonce, scratch);
   Census census = census_from_state(state, experiment_nonce, round_faults, at,
-                                    tracing ? &trace : nullptr);
-  if (scratch != nullptr) scratch->recycle(std::move(state));
+                                    tracing ? &trace : nullptr, scratch);
   if (tracing) {
     trace.duration_ms = (telemetry::now_us() - t0_us) / 1e3;
     provenance::FlightLog::global().record(trace);
@@ -250,41 +252,83 @@ Census Orchestrator::census_from_state(bgp::RoutingState& state,
                                        std::uint64_t experiment_nonce,
                                        const fault::RoundFaults& round_faults,
                                        ExperimentAt at,
-                                       provenance::ExperimentTrace* trace)
-    const {
+                                       provenance::ExperimentTrace* trace,
+                                       bgp::SimScratch* scratch) const {
   const bool telem = telemetry::enabled();
   const fault::FaultInjector* faults = options_.faults;
   const auto& targets = world_.targets();
   Census census = empty_census();
 
-  // Pass 1 — resolve every target's forwarding path, visiting targets
-  // grouped by client AS so each AS's memoized walk is built once and
-  // replayed while hot.  Resolution is a pure function of the converged
-  // state, so visiting order cannot change any result.
-  struct Resolved {
-    bool reachable = false;
-    SiteId site;
-    bgp::AttachmentIndex attachment = bgp::kNoAttachment;
-    double one_way_ms = 0;
-  };
-  std::vector<Resolved> resolved(targets.size());
-  for (const std::uint32_t t : resolve_order_) {
-    const anycast::Target& tgt = targets.target(TargetId{t});
-    const bgp::ResolvedPath path = state.resolve(tgt.as, tgt.where, t);
-    resolved[t] = Resolved{path.reachable, path.site, path.attachment,
-                           path.one_way_ms};
+  // Engine-side stats, captured before the state may recycle below.
+  const std::size_t sim_events = state.events_processed();
+  const std::size_t overlay_copied = state.overlay_copied_bytes();
+
+  // Pass 1 — resolve every target's forwarding path into the sharded
+  // aggregation plane, visiting targets grouped by client AS so each AS's
+  // memoized walk is built once and replayed while hot.  Resolution is a
+  // pure function of the converged state, so visiting order cannot change
+  // any result; only reachable targets write (unwritten = unreachable).
+  CensusShards resolved(targets.size());
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t rib_bytes = 0;
+  std::size_t cache_bytes = 0;
+  if (options_.compact_resolve) {
+    bgp::CompactState rib =
+        bgp::CompactState::freeze(world_.simulator(), state);
+    // The engine layout is dead from here on: recycle its arena before the
+    // resolve pass, so at Internet scale the two layouts never coexist.
+    // Over the memory budget the arena must not be PARKED either — skip
+    // the recycle and let the caller's state free on scope exit instead —
+    // and the frozen walk cache degrades to uncached (results are
+    // bit-identical at any cache capacity).
+    if (scratch != nullptr && !resmon::over_mem_budget()) {
+      scratch->recycle(std::move(state));
+    } else if (resmon::over_mem_budget()) {
+      rib.set_cache_capacity(0);
+    }
+    for (const std::uint32_t t : resolve_order_) {
+      const anycast::Target& tgt = targets.target(TargetId{t});
+      const bgp::ResolvedPath path = rib.resolve(tgt.as, tgt.where, t);
+      if (path.reachable) {
+        resolved.set(t, path.site, path.attachment, path.one_way_ms);
+      }
+    }
+    cache_hits = rib.cache_hits();
+    cache_misses = rib.cache_misses();
+    rib_bytes = rib.retained_bytes();
+    cache_bytes = rib.resolve_cache_bytes();
+  } else {
+    for (const std::uint32_t t : resolve_order_) {
+      const anycast::Target& tgt = targets.target(TargetId{t});
+      const bgp::ResolvedPath path = state.resolve(tgt.as, tgt.where, t);
+      if (path.reachable) {
+        resolved.set(t, path.site, path.attachment, path.one_way_ms);
+      }
+    }
+    cache_hits = state.cache_hits();
+    cache_misses = state.cache_misses();
+    cache_bytes = state.resolve_cache_bytes();
+    if (scratch != nullptr && !resmon::over_mem_budget()) {
+      scratch->recycle(std::move(state));
+    }
   }
+  const std::size_t shard_bytes = resolved.retained_bytes();
 
   // Pass 2 — probe in target order.  The prober draws its noise stream in
   // this exact order, so the census is bit-identical to the historical
-  // single-pass implementation.
+  // single-pass implementation.  The cursor releases each aggregation
+  // shard as it drains (streaming: census memory peaks at pass 1's
+  // footprint, not pass 1's plus the census under construction).
   Rng noise_root{options_.seed ^ (experiment_nonce * 0x9e3779b97f4a7c15ULL)};
   Prober prober{options_.probe, noise_root.fork("census-probes")};
 
   std::size_t faulted_drops = 0;
   for (std::size_t t = 0; t < targets.size(); ++t) {
-    const Resolved& path = resolved[t];
-    if (!path.reachable) continue;
+    if (t != 0 && t % CensusShards::kShardWidth == 0) {
+      resolved.release_through(t - 1);
+    }
+    if (!resolved.written(t)) continue;
     if (round_faults.degraded &&
         faults->target_dropped(at.ordinal, at.attempt,
                                static_cast<std::uint32_t>(t))) {
@@ -295,8 +339,9 @@ Census Orchestrator::census_from_state(bgp::RoutingState& state,
     }
 
     // The reply's tunnel identifies the catchment (site + session).
-    const double true_rtt = 2.0 * path.one_way_ms;
-    const auto sample = prober.measure(tunnel_rtt_ms(path.site) + true_rtt,
+    const SiteId site = resolved.site(t);
+    const double true_rtt = 2.0 * resolved.one_way_ms(t);
+    const auto sample = prober.measure(tunnel_rtt_ms(site) + true_rtt,
                                        round_faults.extra_loss_rate);
     // nullopt = fewer than ProbeModel::min_valid of the probes answered
     // (after any configured retries) — NOT necessarily "every probe lost".
@@ -305,9 +350,9 @@ Census Orchestrator::census_from_state(bgp::RoutingState& state,
     // rtt_ms[t] < 0 and an invalid site, and must never treat a fully
     // empty census's 0.0 mean as a latency.
     if (!sample.has_value()) continue;
-    census.site_of_target[t] = path.site;
-    census.attachment_of_target[t] = path.attachment;
-    census.rtt_ms[t] = std::max(0.05, *sample - tunnel_rtt_ms(path.site));
+    census.site_of_target[t] = site;
+    census.attachment_of_target[t] = resolved.attachment(t);
+    census.rtt_ms[t] = std::max(0.05, *sample - tunnel_rtt_ms(site));
   }
   if (telem) {
     const CensusMetrics& m = CensusMetrics::get();
@@ -321,20 +366,27 @@ Census Orchestrator::census_from_state(bgp::RoutingState& state,
     }
     // Per-subsystem retained-bytes gauges the resmon sampler exports
     // (`last` = this census, `peak` = campaign high-water mark).
-    static telemetry::Gauge& cache_bytes =
+    static telemetry::Gauge& cache_bytes_gauge =
         telemetry::Registry::global().gauge("bytes.resolve_cache");
-    static telemetry::Gauge& overlay_bytes =
+    static telemetry::Gauge& overlay_bytes_gauge =
         telemetry::Registry::global().gauge("bytes.overlay_pages");
-    cache_bytes.set(static_cast<std::int64_t>(state.resolve_cache_bytes()));
-    const std::size_t copied = state.overlay_copied_bytes();
-    if (copied != 0) {
-      overlay_bytes.set(static_cast<std::int64_t>(copied));
+    static telemetry::Gauge& rib_bytes_gauge =
+        telemetry::Registry::global().gauge("bytes.rib");
+    static telemetry::Gauge& shard_bytes_gauge =
+        telemetry::Registry::global().gauge("bytes.census_shards");
+    cache_bytes_gauge.set(static_cast<std::int64_t>(cache_bytes));
+    shard_bytes_gauge.set(static_cast<std::int64_t>(shard_bytes));
+    if (rib_bytes != 0) {
+      rib_bytes_gauge.set(static_cast<std::int64_t>(rib_bytes));
+    }
+    if (overlay_copied != 0) {
+      overlay_bytes_gauge.set(static_cast<std::int64_t>(overlay_copied));
     }
   }
   if (trace != nullptr) {
-    trace->sim_events = state.events_processed();
-    trace->cache_hits = state.cache_hits();
-    trace->cache_misses = state.cache_misses();
+    trace->sim_events = sim_events;
+    trace->cache_hits = cache_hits;
+    trace->cache_misses = cache_misses;
     trace->probes_sent = prober.probes_sent();
     trace->probes_lost = prober.probes_lost();
     trace->retries = prober.retries();
@@ -411,8 +463,7 @@ Census Orchestrator::measure_overlay(const bgp::BaseState& base,
   bgp::RoutingState state =
       world_.simulator().run_overlay(base, delta, experiment_nonce, scratch);
   Census census = census_from_state(state, experiment_nonce, round_faults, at,
-                                    tracing ? &trace : nullptr);
-  if (scratch != nullptr) scratch->recycle(std::move(state));
+                                    tracing ? &trace : nullptr, scratch);
   if (tracing) {
     trace.duration_ms = (telemetry::now_us() - t0_us) / 1e3;
     provenance::FlightLog::global().record(trace);
@@ -479,8 +530,10 @@ Orchestrator::OverlayPairCensus Orchestrator::measure_overlay_pair(
       tr0.round_failed = true;
       tr0.targets = world_.targets().size();
     } else {
+      // No scratch: leg 0's state must survive the census — leg 1 resumes
+      // it below.
       out.leg0 = census_from_state(leg0, nonce0, rf0, at0,
-                                   tracing ? &tr0 : nullptr);
+                                   tracing ? &tr0 : nullptr, nullptr);
     }
     span.finish();
     if (tracing) {
@@ -508,8 +561,7 @@ Orchestrator::OverlayPairCensus Orchestrator::measure_overlay_pair(
     bgp::RoutingState leg1 = world_.simulator().resume_overlay(
         std::move(leg0), {}, nonce1, scratch, reage);
     out.leg1 = census_from_state(leg1, nonce1, rf1, at1,
-                                 tracing ? &tr1 : nullptr);
-    if (scratch != nullptr) scratch->recycle(std::move(leg1));
+                                 tracing ? &tr1 : nullptr, scratch);
     if (tracing) {
       tr1.duration_ms = (telemetry::now_us() - t1_us) / 1e3;
       provenance::FlightLog::global().record(tr1);

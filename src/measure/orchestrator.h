@@ -42,6 +42,15 @@ struct OrchestratorOptions {
   /// entirely and leaves every measurement bit-identical to a build
   /// without it.
   const fault::FaultInjector* faults = nullptr;
+  /// Resolve censuses against the frozen structure-of-arrays RIB
+  /// (`bgp::CompactState`) instead of the engine's array-of-structs state.
+  /// Freezing lets the simulation arena recycle BEFORE the resolve pass
+  /// runs — at Internet scale the engine layout and the resolve layout
+  /// never coexist — and the SoA walk is a pure array scan.  Censuses are
+  /// bit-identical either way (the walk implementation is literally shared;
+  /// the layout-invariance suite enforces it end to end); disable to
+  /// resolve directly against the engine layout.
+  bool compact_resolve = true;
 };
 
 /// \brief Fault-plan coordinates of one census within its campaign.
@@ -271,15 +280,24 @@ class Orchestrator {
   /// An all-unreachable census in the world's target shape.
   [[nodiscard]] Census empty_census() const;
   /// Passes 1+2 over an already converged state: resolve every target's
-  /// forwarding path, then probe.  Shared by the classic and overlay paths;
-  /// the caller owns `state` (and recycles it afterwards).  When `trace` is
-  /// non-null its simulation/probe fields are filled for the provenance
-  /// flight log (the caller owns path/fault fields and the record itself).
+  /// forwarding path (against the frozen SoA RIB when `compact_resolve` is
+  /// on), then probe, aggregating through release-as-drained census shards.
+  /// Shared by the classic and overlay paths.  When `scratch` is non-null
+  /// the state is CONSUMED: its arena recycles as soon as the engine layout
+  /// is no longer needed (immediately after the freeze on the compact path)
+  /// and the caller must not touch or recycle it again.  With a null
+  /// `scratch` the state is only read and stays the caller's to keep — the
+  /// overlay-pair leg-0 path relies on this to resume the state afterwards.
+  /// When `trace` is non-null its simulation/probe fields are filled for the
+  /// provenance flight log (the caller owns path/fault fields and the
+  /// record itself).
   [[nodiscard]] Census census_from_state(bgp::RoutingState& state,
                                          std::uint64_t experiment_nonce,
                                          const fault::RoundFaults& round_faults,
                                          ExperimentAt at,
                                          provenance::ExperimentTrace* trace =
+                                             nullptr,
+                                         bgp::SimScratch* scratch =
                                              nullptr) const;
   /// True when the fault layer would alter this experiment's announcement
   /// schedule at `ordinal` (flap plan, or a failed announced site) — the

@@ -641,6 +641,23 @@ Status ResultStore::put_payload(RecordKind kind, std::uint64_t key,
   return append_locked(kind, key, payload.bytes());
 }
 
+std::optional<bgp::CompactState> ResultStore::find_rib(
+    std::uint64_t key) const {
+  const auto body = find_payload(RecordKind::kRib, key);
+  if (!body.has_value()) return std::nullopt;
+  Result<bgp::CompactState> decoded = bgp::CompactState::decode(*body);
+  // A decode failure on a CRC-valid record means a schema skew, not
+  // corruption; treat it as a miss so callers re-freeze and re-put.
+  if (!decoded.ok()) return std::nullopt;
+  return std::move(decoded).value();
+}
+
+Status ResultStore::put_rib(std::uint64_t key, const bgp::CompactState& rib) {
+  codec::Writer body;
+  rib.encode(body);
+  return put_payload(RecordKind::kRib, key, body);
+}
+
 Result<Census> ResultStore::read_census_at(const RecordInfo& info) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   Result<codec::FrameView> frame = codec::read_frame(buffer_, info.offset);

@@ -45,6 +45,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bgp/compact.h"
 #include "measure/orchestrator.h"
 #include "netbase/codec.h"
 #include "netbase/result.h"
@@ -60,6 +61,7 @@ enum class RecordKind : std::uint8_t {
   kCensus = 1,  ///< one experiment's catchment + RTT census
   kRttRow = 2,  ///< one site's unicast RTT row (the RTT matrix, row-wise)
   kTable = 3,   ///< an opaque table blob (encoded by core/store_io)
+  kRib = 4,     ///< a frozen compact RIB snapshot (bgp::CompactState tables)
 };
 
 /// \brief Index entry of one persisted record.
@@ -172,6 +174,22 @@ class ResultStore {
   /// \return ok, or the I/O error.
   Status put_payload(RecordKind kind, std::uint64_t key,
                      const codec::Writer& body);
+
+  /// \brief Looks up a persisted compact RIB snapshot (see
+  ///        `bgp::CompactState`).  The returned state is a table artifact
+  ///        — RIB diffs, audits, round-trip checks — not bound to a
+  ///        topology and unable to resolve.
+  /// \param key the snapshot's content-derived key (a RIB is identified by
+  ///        the experiment that converged it, same keying as its census).
+  /// \return the decoded tables, or nullopt on a miss or decode failure.
+  [[nodiscard]] std::optional<bgp::CompactState> find_rib(
+      std::uint64_t key) const;
+
+  /// \brief Appends (and flushes) one frozen compact RIB snapshot.
+  /// \param key the snapshot's content-derived key.
+  /// \param rib the frozen tables to persist.
+  /// \return ok, or the I/O error.
+  Status put_rib(std::uint64_t key, const bgp::CompactState& rib);
 
   /// \brief Decodes the census stored at a specific record (CLI plumbing:
   ///        diff and compact walk records directly).

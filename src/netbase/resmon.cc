@@ -1,11 +1,33 @@
 #include "netbase/resmon.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
 #include "netbase/telemetry.h"
 
 namespace anyopt::resmon {
+
+namespace {
+/// Process-wide RSS ceiling; 0 = unlimited.  Relaxed: the budget is a
+/// degradation hint, not a synchronization point.
+std::atomic<std::size_t> g_mem_budget_bytes{0};
+}  // namespace
+
+void set_mem_budget_bytes(std::size_t bytes) {
+  g_mem_budget_bytes.store(bytes, std::memory_order_relaxed);
+}
+
+std::size_t mem_budget_bytes() {
+  return g_mem_budget_bytes.load(std::memory_order_relaxed);
+}
+
+bool over_mem_budget() {
+  const std::size_t budget = mem_budget_bytes();
+  if (budget == 0) return false;
+  const MemorySample mem = read_memory();
+  return static_cast<std::size_t>(mem.rss_kb) * 1024 > budget;
+}
 
 MemorySample read_memory() {
   MemorySample out;

@@ -41,14 +41,39 @@ inline constexpr const char* kRssGauge = "res.rss_kb";
 inline constexpr const char* kPeakRssGauge = "res.peak_rss_kb";
 
 /// Per-subsystem retained-byte gauges sampled into the trace.  Central
-/// list so the sampler, the bench-json writer, and the record schema agree.
-/// `bytes.snapshot` (the serve layer's resident snapshot) is only nonzero
-/// in processes that build a serve snapshot; the bench record writer emits
-/// it as an optional field for exactly that reason.
+/// list so the sampler, the bench-json writer, and the record schema agree
+/// (docs/SCALING.md documents every gauge here; docs_test enforces the
+/// coverage).  `bytes.snapshot` (the serve layer's resident snapshot) is
+/// only nonzero in processes that build a serve snapshot; `bytes.rib`
+/// (frozen structure-of-arrays RIB tables) and `bytes.census_shards`
+/// (sharded census aggregation) are only nonzero in processes that run the
+/// compact resolve path — the bench record writer emits all three as
+/// optional fields for exactly that reason.
 inline constexpr const char* kByteGauges[] = {
     "bytes.sim_scratch", "bytes.overlay_pages", "bytes.resolve_cache",
     "bytes.store_index", "bytes.pool_queue",   "bytes.snapshot",
+    "bytes.rib",         "bytes.census_shards",
 };
+
+/// \name Hard memory budget
+/// A process-wide RSS ceiling for Internet-scale runs (`--mem-budget-mb`).
+/// The budget does not kill anything: subsystems consult
+/// `over_mem_budget()` at their retention decision points and degrade to
+/// streaming — the orchestrator stops parking recycled simulation arenas,
+/// the census plane releases aggregation shards as they drain, the compact
+/// resolve layer caps its walk cache.  Every degradation is
+/// result-invariant (bit-identical censuses), only peak RSS changes.
+/// @{
+
+/// Sets the budget in bytes; 0 (the default) disables enforcement.
+void set_mem_budget_bytes(std::size_t bytes);
+/// Currently configured budget in bytes (0 = unlimited).
+[[nodiscard]] std::size_t mem_budget_bytes();
+/// True when the process RSS currently exceeds the configured budget.
+/// Reads procfs on each call — poll at decision points (per census), not
+/// per target; always false when no budget is set or procfs is missing.
+[[nodiscard]] bool over_mem_budget();
+/// @}
 
 /// Background sampler thread.  Construction starts it; destruction (or
 /// `stop()`) joins it after one final sample, so even a run shorter than

@@ -35,13 +35,17 @@ Result<std::shared_ptr<Snapshot>> Snapshot::build(
   auto snapshot = std::shared_ptr<Snapshot>(new Snapshot());
   snapshot->options_ = options;
   snapshot->world_ = anycast::World::create(
-      options.test_scale ? anycast::WorldParams::test_scale(options.seed)
-                         : anycast::WorldParams::paper_scale(options.seed));
+      options.ases > 0
+          ? anycast::WorldParams::at_scale(options.ases, options.seed)
+      : options.test_scale ? anycast::WorldParams::test_scale(options.seed)
+                           : anycast::WorldParams::paper_scale(options.seed));
 
   // The orchestrator, pipeline and store are build-time machinery only:
   // they die with this scope, and the snapshot keeps just the immutable
   // products (predictor tables, RTT matrix) plus the world they reference.
-  measure::Orchestrator orchestrator(*snapshot->world_);
+  measure::OrchestratorOptions orchestrator_options;
+  orchestrator_options.compact_resolve = options.compact_resolve;
+  measure::Orchestrator orchestrator(*snapshot->world_, orchestrator_options);
   std::unique_ptr<measure::ResultStore> store;
   if (!options.store_path.empty()) {
     const std::uint64_t fingerprint =

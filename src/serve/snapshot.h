@@ -36,6 +36,15 @@ namespace anyopt::serve {
 struct SnapshotOptions {
   std::uint64_t seed = 1897;  ///< world seed (1897 = the paper environment)
   bool test_scale = false;    ///< reduced world for tests/quick runs
+  /// When nonzero, serve an `at_scale` world of approximately this many
+  /// ASes (the daemon's `--ases=N` knob; exercised up to 75,000) instead
+  /// of the paper/test world.  Overrides `test_scale`.
+  std::size_t ases = 0;
+  /// Resolve the build's censuses against the frozen structure-of-arrays
+  /// RIB (see `measure::OrchestratorOptions::compact_resolve`).  Tables and
+  /// every query answer are bit-identical either way; the layout-invariance
+  /// suite flips this to prove it end to end.
+  bool compact_resolve = true;
   /// Worker threads for the build's discovery campaigns (1 = serial,
   /// 0 = hardware concurrency); tables are bit-identical at any setting.
   std::size_t threads = 1;

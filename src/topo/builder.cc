@@ -30,6 +30,23 @@ AsId Internet::tier1_by_name(const std::string& name) const {
   throw std::invalid_argument("unknown tier-1 provider: " + name);
 }
 
+InternetParams scale_internet_params(std::size_t ases, InternetParams base) {
+  const double f = static_cast<double>(ases) / kPaperScaleAses;
+  const std::size_t t1 = base.tier1_names.size();
+  std::size_t regional = std::max<std::size_t>(
+      1, static_cast<std::size_t>(base.regional_transit_count * f + 0.5));
+  std::size_t access = std::max<std::size_t>(
+      1, static_cast<std::size_t>(base.access_transit_count * f + 0.5));
+  // Stubs take the exact remainder so the build lands on `ases` ASes.
+  std::size_t stubs = ases > t1 + regional + access
+                          ? ases - t1 - regional - access
+                          : 1;
+  base.regional_transit_count = static_cast<int>(regional);
+  base.access_transit_count = static_cast<int>(access);
+  base.stub_count = static_cast<int>(stubs);
+  return base;
+}
+
 Internet build_internet(const InternetParams& params) {
   Internet net;
   Rng root{params.seed};
@@ -139,7 +156,13 @@ Internet build_internet(const InternetParams& params) {
   }
 
   // --- Access transits (customers of regional transits) -----------------
+  // Provider selection only ever reads the nearest handful of candidates,
+  // so rank with partial_sort — the (distance, id) pairs are distinct, so
+  // the selected prefix is byte-identical to a full sort's, and the
+  // quadratic sort term drops out of Internet-scale builds (--ases=75000).
+  // One scratch vector serves both this loop and the stub loop below.
   std::vector<AsId> accesses;
+  std::vector<std::pair<double, AsId>> by_dist;
   for (int i = 0; i < params.access_transit_count; ++i) {
     AsNode node;
     node.asn = next_asn++;
@@ -149,13 +172,17 @@ Internet build_internet(const InternetParams& params) {
     const AsId id = net.graph.add_as(std::move(node));
     accesses.push_back(id);
     // Prefer geographically close regionals as providers.
-    std::vector<std::pair<double, AsId>> by_dist;
+    by_dist.clear();
     for (const AsId r : regionals) {
       by_dist.push_back({geo::great_circle_km(net.graph.node(id).location,
                                               net.graph.node(r).location),
                          r});
     }
-    std::sort(by_dist.begin(), by_dist.end());
+    std::partial_sort(
+        by_dist.begin(),
+        by_dist.begin() + static_cast<std::ptrdiff_t>(
+                              std::min<std::size_t>(8, by_dist.size())),
+        by_dist.end());
     const int providers = static_cast<int>(rng.uniform_int(1, 2));
     for (int p = 0; p < providers && p < static_cast<int>(by_dist.size());
          ++p) {
@@ -227,14 +254,20 @@ Internet build_internet(const InternetParams& params) {
       assert(link.ok());
       (void)link;
     }
-    // 1-3 transit providers, geographically biased.
-    std::vector<std::pair<double, AsId>> by_dist;
+    // 1-3 transit providers, geographically biased.  Only the 12 nearest
+    // are ever candidates; see the access-transit loop for why
+    // partial_sort picks the identical prefix.
+    by_dist.clear();
     for (const AsId t : all_transits) {
       by_dist.push_back({geo::great_circle_km(net.graph.node(id).location,
                                               net.graph.node(t).location),
                          t});
     }
-    std::sort(by_dist.begin(), by_dist.end());
+    std::partial_sort(
+        by_dist.begin(),
+        by_dist.begin() + static_cast<std::ptrdiff_t>(
+                              std::min<std::size_t>(12, by_dist.size())),
+        by_dist.end());
     const int providers = static_cast<int>(rng.uniform_int(1, 3));
     int connected = 0;
     for (std::size_t attempt = 0;

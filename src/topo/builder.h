@@ -71,6 +71,28 @@ struct Internet {
   std::vector<std::vector<int>> deviant_rank;
 };
 
+/// Total AS count the default `InternetParams` tier mix produces (six
+/// tier-1s + 90 regional + 160 access transits + 5200 stubs) — the
+/// reference point `scale_internet_params` scales from.
+inline constexpr std::size_t kPaperScaleAses = 6 + 90 + 160 + 5200;
+
+/// \brief Scales `base`'s tier mix to approximately `ases` total ASes
+///        (the `--ases=N` topology knob; exercised up to 75,000).
+///
+/// The tier-1 mesh keeps `base`'s named backbones — a bigger Internet has
+/// more customers, not more global backbones — while the regional and
+/// access transit layers grow proportionally (factor `ases /
+/// kPaperScaleAses`, at least one each) and stubs absorb the exact
+/// remainder, so the returned mix sums to `ases` whenever `ases` exceeds
+/// the non-stub layers.  All other knobs (peering radius, policy-mix
+/// fractions, seed) pass through unchanged: a scaled Internet is the same
+/// *kind* of Internet, just bigger.
+/// \param ases the requested total AS count.
+/// \param base the parameter set to scale (defaults preserved).
+/// \return the scaled parameters.
+[[nodiscard]] InternetParams scale_internet_params(std::size_t ases,
+                                                   InternetParams base = {});
+
 /// Builds the synthetic Internet.  Post-condition: graph.validate() passes.
 [[nodiscard]] Internet build_internet(const InternetParams& params);
 

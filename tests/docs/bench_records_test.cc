@@ -85,7 +85,7 @@ const std::set<std::string>& top_level_fields() {
 /// exercised the subsystem (consumers treat absence as "not exercised",
 /// never as zero — see tools/anyopt_bench).
 const std::set<std::string>& optional_top_level_fields() {
-  static const std::set<std::string> fields = {"serve"};
+  static const std::set<std::string> fields = {"serve", "scale"};
   return fields;
 }
 
@@ -99,7 +99,8 @@ const std::set<std::string>& bytes_fields() {
 
 /// OPTIONAL bytes.* keys (same rule as the optional top-level fields).
 const std::set<std::string>& optional_bytes_fields() {
-  static const std::set<std::string> fields = {"snapshot"};
+  static const std::set<std::string> fields = {"snapshot", "rib",
+                                               "census_shards"};
   return fields;
 }
 
@@ -111,6 +112,15 @@ const std::set<std::string>& serve_fields() {
   return fields;
 }
 
+/// Each scale-sweep point's exact field set (bench_scale's "scale" block).
+const std::set<std::string>& scale_point_fields() {
+  static const std::set<std::string> fields = {
+      "ases",   "targets",     "reachable", "build_s",
+      "census_s", "rss_kb", "peak_rss_kb", "bytes",
+  };
+  return fields;
+}
+
 TEST(BenchRecords, AtLeastTheHeadlineBenchesAreCommitted) {
   std::set<std::string> names;
   for (const std::string& path : record_paths()) {
@@ -118,7 +128,7 @@ TEST(BenchRecords, AtLeastTheHeadlineBenchesAreCommitted) {
   }
   for (const char* required :
        {"BENCH_fig4b.json", "BENCH_parallel_discovery.json",
-        "BENCH_resilience.json", "BENCH_serve.json"}) {
+        "BENCH_resilience.json", "BENCH_serve.json", "BENCH_scale.json"}) {
     EXPECT_TRUE(names.count(required) == 1) << "missing " << required;
   }
 }
@@ -168,6 +178,33 @@ TEST(BenchRecords, EveryCommittedRecordIsExactlySchema3) {
     for (const std::string& name : bytes_fields()) {
       EXPECT_TRUE(bytes_present.count(name) == 1)
           << "missing field bytes." << name;
+    }
+
+    // The scale block, when present, is a mem_budget_mb + points pair and
+    // every point carries exactly its documented set.
+    if (const json::Value* scale = root.find("scale"); scale != nullptr) {
+      ASSERT_TRUE(scale->is_object());
+      ASSERT_NE(scale->find("mem_budget_mb"), nullptr);
+      const json::Value* points = scale->find("points");
+      ASSERT_NE(points, nullptr);
+      ASSERT_TRUE(points->is_array());
+      EXPECT_FALSE(points->items.empty());
+      for (const json::Value& point : points->items) {
+        ASSERT_TRUE(point.is_object());
+        std::set<std::string> point_present;
+        for (const auto& [name, value] : point.members) {
+          EXPECT_TRUE(point_present.insert(name).second)
+              << "duplicate field scale point " << name;
+          EXPECT_TRUE(scale_point_fields().count(name) == 1)
+              << "unknown field scale point " << name;
+        }
+        for (const std::string& name : scale_point_fields()) {
+          EXPECT_TRUE(point_present.count(name) == 1)
+              << "missing field scale point " << name;
+        }
+        EXPECT_GT(point.find("ases")->as_u64(), 0u);
+        EXPECT_GT(point.find("peak_rss_kb")->as_u64(), 0u);
+      }
     }
 
     // The serve block, when present, carries exactly its documented set.
@@ -405,6 +442,77 @@ TEST(BenchCli, ServeQpsGateIsAsymmetricAndTunable) {
   std::remove(baseline.c_str());
   std::remove(slower.c_str());
   std::remove(serveless.c_str());
+}
+
+TEST(BenchRecords, TheScaleRecordSweepsToInternetScale) {
+  // BENCH_scale.json is the capacity baseline (ROADMAP item 2): it must
+  // carry the scale block, and the sweep must reach the ~75k-AS point the
+  // tentpole targets — a sweep stopping at paper scale gates nothing.
+  Result<json::Value> doc =
+      json::parse(slurp(records_dir() + "/BENCH_scale.json"));
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const json::Value* scale = doc.value().find("scale");
+  ASSERT_NE(scale, nullptr) << "BENCH_scale.json has no scale block";
+  const json::Value* points = scale->find("points");
+  ASSERT_NE(points, nullptr);
+  std::uint64_t largest = 0;
+  for (const json::Value& point : points->items) {
+    largest = std::max(largest, point.find("ases")->as_u64());
+  }
+  EXPECT_GE(largest, 70000u) << "sweep never reached Internet scale";
+  const json::Value* bytes = doc.value().find("bytes");
+  ASSERT_NE(bytes, nullptr);
+  ASSERT_NE(bytes->find("rib"), nullptr) << "no SoA RIB high-water mark";
+  ASSERT_NE(bytes->find("census_shards"), nullptr);
+  EXPECT_GT(bytes->find("rib")->number_value, 0.0);
+}
+
+TEST(BenchCli, ScaleSweepPointsGatePeakRssPerSize) {
+  const auto scale_record = [](long long rss75k) {
+    return "{\"schema\": 3, \"git_commit\": \"abc\", \"bench\": \"scale\","
+           " \"threads\": 1, \"wall_s\": 30.0, \"peak_rss_kb\": 500000,"
+           " \"sim_events\": 5000,"
+           " \"bytes\": {\"sim_scratch\": 100, \"overlay_pages\": 0,"
+           " \"resolve_cache\": 0, \"store_index\": 0, \"pool_queue\": 0,"
+           " \"rib\": 4000000, \"census_shards\": 200000},"
+           " \"scale\": {\"mem_budget_mb\": 4096, \"points\": ["
+           "{\"ases\": 5000, \"targets\": 14021, \"reachable\": 14021,"
+           " \"build_s\": 0.1, \"census_s\": 0.1, \"rss_kb\": 30000,"
+           " \"peak_rss_kb\": 30000, \"bytes\": {\"rib\": 900000,"
+           " \"census_shards\": 100000, \"sim_scratch\": 5000000}},"
+           "{\"ases\": 75000, \"targets\": 210333, \"reachable\": 210333,"
+           " \"build_s\": 2.0, \"census_s\": 20.0, \"rss_kb\": 400000,"
+           " \"peak_rss_kb\": " +
+           std::to_string(rss75k) +
+           ", \"bytes\": {\"rib\": 4000000,"
+           " \"census_shards\": 200000, \"sim_scratch\": 70000000}}]}}\n";
+  };
+  // The headline peak_rss_kb is identical in both fixtures; ONLY the 75k
+  // point doubled — so a failure here proves the per-size gate judges the
+  // sweep itself, not just the headline field.
+  const std::string baseline = write_fixture("scale_base", scale_record(500000));
+  const std::string bloated = write_fixture("scale_bloat", scale_record(1100000));
+  EXPECT_EQ(run_cli("check " + bloated + " " + baseline), 1);
+  EXPECT_EQ(run_cli("check " + baseline + " " + bloated), 0);  // improvement
+  // A budget generous enough to cover the doubling waves it through.
+  EXPECT_EQ(run_cli("--rss-budget-kb=999999999 check " + bloated + " " +
+                    baseline),
+            0);
+  // diff flags the move symmetrically.
+  EXPECT_EQ(run_cli("diff " + baseline + " " + bloated), 1);
+  // A scale-less record vs a sweep record: skipped, never judged as zero.
+  const std::string plain = write_fixture(
+      "scale_none",
+      "{\"schema\": 3, \"git_commit\": \"abc\", \"bench\": \"scale\","
+      " \"threads\": 1, \"wall_s\": 30.0, \"peak_rss_kb\": 500000,"
+      " \"sim_events\": 5000,"
+      " \"bytes\": {\"sim_scratch\": 100, \"overlay_pages\": 0,"
+      " \"resolve_cache\": 0, \"store_index\": 0, \"pool_queue\": 0}}\n");
+  EXPECT_EQ(run_cli("check " + plain + " " + baseline), 0);
+  EXPECT_EQ(run_cli("check " + baseline + " " + plain), 0);
+  std::remove(baseline.c_str());
+  std::remove(bloated.c_str());
+  std::remove(plain.c_str());
 }
 
 }  // namespace

@@ -222,4 +222,47 @@ TEST(DocsTest, ServeLayerIsDocumentedAcrossTheDocSet) {
       << "EXPERIMENTS.md must carry the serve QPS/latency row";
 }
 
+TEST(DocsTest, ScalingMemoryModelCoversEveryByteGauge) {
+  // The Internet-scale memory model (docs/SCALING.md) must document every
+  // per-subsystem byte gauge by name.  The gauge list is parsed out of the
+  // `kByteGauges` initializer in netbase/resmon.h — the single source the
+  // sampler and the bench-record writer share — so adding a gauge there
+  // without a docs/SCALING.md row fails this test, not a code review.
+  const fs::path scaling = source_dir() / "docs" / "SCALING.md";
+  ASSERT_TRUE(fs::exists(scaling)) << "docs/SCALING.md is missing";
+  const std::string model = read_file(scaling);
+
+  const std::string resmon =
+      read_file(source_dir() / "src" / "netbase" / "resmon.h");
+  const std::size_t list = resmon.find("kByteGauges[]");
+  ASSERT_NE(list, std::string::npos) << "kByteGauges moved out of resmon.h";
+  const std::size_t open = resmon.find('{', list);
+  const std::size_t close = resmon.find('}', open);
+  ASSERT_NE(close, std::string::npos);
+  const std::string init = resmon.substr(open, close - open);
+
+  std::size_t gauges = 0;
+  for (std::size_t quote = init.find('"'); quote != std::string::npos;
+       quote = init.find('"', quote + 1)) {
+    const std::size_t end = init.find('"', quote + 1);
+    ASSERT_NE(end, std::string::npos);
+    const std::string gauge = init.substr(quote + 1, end - quote - 1);
+    EXPECT_EQ(gauge.rfind("bytes.", 0), 0u) << "unexpected gauge " << gauge;
+    EXPECT_NE(model.find('`' + gauge + '`'), std::string::npos)
+        << "docs/SCALING.md must document the " << gauge << " gauge";
+    ++gauges;
+    quote = end;
+  }
+  EXPECT_GE(gauges, 8u) << "kByteGauges parse came up short";
+
+  // The memory model must be reachable from both top-level entry points.
+  EXPECT_NE(read_file(source_dir() / "README.md").find("](docs/SCALING.md)"),
+            std::string::npos)
+      << "README.md must link docs/SCALING.md";
+  EXPECT_NE(
+      read_file(source_dir() / "ARCHITECTURE.md").find("](docs/SCALING.md)"),
+      std::string::npos)
+      << "ARCHITECTURE.md must link docs/SCALING.md";
+}
+
 }  // namespace

@@ -1,0 +1,206 @@
+// Sharded census aggregation (measure/census_shards.h): lazy allocation,
+// eager release, and the merge-order-invariance contract that makes a
+// parallel resolve pass a pure scheduling change.  The concurrency test at
+// the bottom is the tsan target: disjoint-range writers share no shard, so
+// the sanitizer proves the "single-writer per shard" rule is enough.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bgp/origin.h"
+#include "measure/census_shards.h"
+#include "netbase/ids.h"
+#include "netbase/rng.h"
+
+namespace anyopt::measure {
+namespace {
+
+constexpr std::size_t kWidth = CensusShards::kShardWidth;
+
+/// Deterministic per-target record so every writer agrees on what target
+/// `t` holds and reads can be checked without a side table.
+SiteId site_of(std::size_t t) {
+  return SiteId{static_cast<SiteId::underlying_type>(mix64(t) % 19)};
+}
+bgp::AttachmentIndex attachment_of(std::size_t t) {
+  return static_cast<bgp::AttachmentIndex>(mix64(t, 1) % 37);
+}
+double latency_of(std::size_t t) {
+  return 1.0 + static_cast<double>(mix64(t, 2) % 4096) * 0.03125;
+}
+
+void write_target(CensusShards& shards, std::size_t t) {
+  shards.set(t, site_of(t), attachment_of(t), latency_of(t));
+}
+
+void expect_written(const CensusShards& shards, std::size_t t) {
+  ASSERT_TRUE(shards.written(t)) << "target " << t;
+  EXPECT_EQ(shards.site(t), site_of(t)) << "target " << t;
+  EXPECT_EQ(shards.attachment(t), attachment_of(t)) << "target " << t;
+  // operator== on doubles deliberately: byte-identical, not "close".
+  EXPECT_EQ(shards.one_way_ms(t), latency_of(t)) << "target " << t;
+}
+
+TEST(CensusShards, UnwrittenMeansUnreachableAndCostsNothing) {
+  const CensusShards shards(10 * kWidth);
+  EXPECT_EQ(shards.target_count(), 10 * kWidth);
+  EXPECT_EQ(shards.allocated_shards(), 0u);
+  for (const std::size_t t : {std::size_t{0}, kWidth + 7, 10 * kWidth - 1}) {
+    EXPECT_FALSE(shards.written(t));
+  }
+  // The empty plane retains only the shard directory, not shard storage.
+  EXPECT_LT(shards.retained_bytes(), kWidth);
+}
+
+TEST(CensusShards, AllocatesLazilyPerTouchedShard) {
+  CensusShards shards(8 * kWidth);
+  write_target(shards, 3);
+  EXPECT_EQ(shards.allocated_shards(), 1u);
+  const std::size_t one_shard = shards.retained_bytes();
+  write_target(shards, 5);  // same shard: no new allocation
+  EXPECT_EQ(shards.allocated_shards(), 1u);
+  EXPECT_EQ(shards.retained_bytes(), one_shard);
+  write_target(shards, 6 * kWidth + 1);  // a sparse catchment far away
+  EXPECT_EQ(shards.allocated_shards(), 2u);
+  EXPECT_GT(shards.retained_bytes(), one_shard);
+  expect_written(shards, 3);
+  expect_written(shards, 5);
+  expect_written(shards, 6 * kWidth + 1);
+  EXPECT_FALSE(shards.written(4));
+  EXPECT_FALSE(shards.written(7 * kWidth));
+}
+
+TEST(CensusShards, ReleaseThroughFreesThePrefixAndReadsAsUnwritten) {
+  CensusShards shards(4 * kWidth);
+  for (std::size_t t = 0; t < 4 * kWidth; t += 97) write_target(shards, t);
+  EXPECT_EQ(shards.allocated_shards(), 4u);
+  const std::size_t full = shards.retained_bytes();
+
+  // A cursor mid-shard releases only the shards that END at or before it.
+  shards.release_through(kWidth + 5);
+  EXPECT_EQ(shards.allocated_shards(), 3u);
+  EXPECT_LT(shards.retained_bytes(), full);
+  EXPECT_FALSE(shards.written(0));  // released prefix
+  const std::size_t first_in_shard1 = 97 * ((kWidth + 96) / 97);
+  expect_written(shards, first_in_shard1);  // surviving shard, past cursor
+  expect_written(shards, 97 * ((3 * kWidth + 96) / 97));  // untouched tail
+
+  // Draining the whole plane returns everything but the directory.
+  shards.release_through(4 * kWidth - 1);
+  EXPECT_EQ(shards.allocated_shards(), 0u);
+  for (std::size_t t = 0; t < 4 * kWidth; t += 97) {
+    EXPECT_FALSE(shards.written(t));
+  }
+}
+
+TEST(CensusShards, MergeStealsWholeShardsAndInterleavesWithinShards) {
+  // Two writers: `a` owns even shards plus some entries of shard 1, `b`
+  // owns the rest of shard 1 (entry-level interleave) and shard 3 (whole-
+  // shard steal, since `a` never touched it).
+  CensusShards a(4 * kWidth);
+  CensusShards b(4 * kWidth);
+  for (std::size_t t = 0; t < kWidth; t += 11) write_target(a, t);
+  for (std::size_t t = kWidth; t < 2 * kWidth; t += 2) write_target(a, t);
+  for (std::size_t t = kWidth + 1; t < 2 * kWidth; t += 2) write_target(b, t);
+  for (std::size_t t = 3 * kWidth; t < 4 * kWidth; t += 5) write_target(b, t);
+
+  a.merge(std::move(b));
+  EXPECT_EQ(a.allocated_shards(), 3u);
+  for (std::size_t t = 0; t < kWidth; t += 11) expect_written(a, t);
+  for (std::size_t t = kWidth; t < 2 * kWidth; ++t) expect_written(a, t);
+  for (std::size_t t = 3 * kWidth; t < 4 * kWidth; t += 5) expect_written(a, t);
+  EXPECT_FALSE(a.written(2 * kWidth));  // neither writer touched shard 2
+}
+
+TEST(CensusShards, MergeOrderDoesNotChangeTheCensus) {
+  // Three disjoint writers merged in two different orders must yield a
+  // plane whose every read is identical — the contract that lets a future
+  // parallel resolve pass pick any join order.
+  const std::size_t n = 6 * kWidth;
+  const auto writer = [n](int which) {
+    CensusShards shards(n);
+    for (std::size_t t = static_cast<std::size_t>(which); t < n; t += 3) {
+      if (mix64(t, 0xDECAF) % 4 == 0) continue;  // unreachable holes
+      write_target(shards, t);
+    }
+    return shards;
+  };
+
+  CensusShards forward = writer(0);
+  forward.merge(writer(1));
+  forward.merge(writer(2));
+
+  CensusShards backward = writer(2);
+  backward.merge(writer(1));
+  backward.merge(writer(0));
+
+  ASSERT_EQ(forward.target_count(), backward.target_count());
+  EXPECT_EQ(forward.allocated_shards(), backward.allocated_shards());
+  EXPECT_EQ(forward.retained_bytes(), backward.retained_bytes());
+  for (std::size_t t = 0; t < n; ++t) {
+    ASSERT_EQ(forward.written(t), backward.written(t)) << "target " << t;
+    if (!forward.written(t)) continue;
+    ASSERT_EQ(forward.site(t), backward.site(t)) << "target " << t;
+    ASSERT_EQ(forward.attachment(t), backward.attachment(t)) << "target " << t;
+    ASSERT_EQ(forward.one_way_ms(t), backward.one_way_ms(t)) << "target " << t;
+  }
+}
+
+TEST(CensusShards, ConcurrentDisjointWritersMergeToTheSamePlane) {
+  // The tsan target: resolve workers own disjoint CONTIGUOUS target ranges
+  // (so shard ownership is disjoint except at range boundaries, which lazy
+  // allocation keeps private per plane), write concurrently into their own
+  // planes, and the planes then merge in two different orders.  Under
+  // ThreadSanitizer this proves the aggregation needs no locks; the final
+  // comparison proves scheduling never leaks into census bytes.
+  constexpr std::size_t kWorkers = 4;
+  const std::size_t n = kWorkers * 3 * kWidth + kWidth / 2;
+
+  const auto run_workers = [n]() {
+    std::vector<CensusShards> planes;
+    planes.reserve(kWorkers);
+    for (std::size_t w = 0; w < kWorkers; ++w) planes.emplace_back(n);
+    std::vector<std::thread> threads;
+    threads.reserve(kWorkers);
+    const std::size_t chunk = (n + kWorkers - 1) / kWorkers;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      threads.emplace_back([&planes, w, chunk, n] {
+        const std::size_t begin = w * chunk;
+        const std::size_t end = begin + chunk < n ? begin + chunk : n;
+        for (std::size_t t = begin; t < end; ++t) {
+          if (mix64(t, 0xBEEF) % 5 == 0) continue;
+          write_target(planes[w], t);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    return planes;
+  };
+
+  std::vector<CensusShards> first = run_workers();
+  CensusShards merged_forward = std::move(first[0]);
+  for (std::size_t w = 1; w < kWorkers; ++w) {
+    merged_forward.merge(std::move(first[w]));
+  }
+
+  std::vector<CensusShards> second = run_workers();
+  CensusShards merged_backward = std::move(second[kWorkers - 1]);
+  for (std::size_t w = kWorkers - 1; w-- > 0;) {
+    merged_backward.merge(std::move(second[w]));
+  }
+
+  for (std::size_t t = 0; t < n; ++t) {
+    ASSERT_EQ(merged_forward.written(t), merged_backward.written(t))
+        << "target " << t;
+    if (!merged_forward.written(t)) continue;
+    expect_written(merged_forward, t);
+    ASSERT_EQ(merged_forward.one_way_ms(t), merged_backward.one_way_ms(t))
+        << "target " << t;
+  }
+}
+
+}  // namespace
+}  // namespace anyopt::measure

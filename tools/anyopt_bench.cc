@@ -31,9 +31,14 @@
 // the required `bytes.*` keys — a missing one is a malformed record and
 // diff/check hard-fail (exit 2) rather than silently reading it as zero
 // (zero vs a real footprint used to manufacture spurious RSS regressions).
-// OPTIONAL fields (`bytes.snapshot`, the `serve` block) and fields absent
-// from pre-schema-3 records are "not comparable": when either side lacks
-// one, the comparison is skipped with a note, never judged against zero.
+// OPTIONAL fields (`bytes.snapshot`, `bytes.rib`, `bytes.census_shards`,
+// the `serve` and `scale` blocks) and fields absent from pre-schema-3
+// records are "not comparable": when either side lacks one, the comparison
+// is skipped with a note, never judged against zero.  When both sides carry
+// a `scale` block (bench_scale's 5k→75k sweep), each size present in both
+// is judged per point — peak RSS under --rss-tol/--rss-budget-kb and census
+// wall under --wall-tol — so a memory regression at 75k ASes fails `check`
+// even when the headline fields stayed flat.
 //
 // Exit codes: 0 ok, 1 regression/difference/not-found, 2 usage or I/O.
 
@@ -155,6 +160,14 @@ struct BenchRecord {
   bool has_serve = false;        ///< optional "serve" block present
   double serve_qps = 0;
   std::uint64_t serve_queries = 0;
+  /// One point of bench_scale's 5k→75k sweep (the optional "scale" block).
+  struct ScalePoint {
+    std::uint64_t ases = 0;
+    double census_s = 0;
+    std::int64_t peak_rss_kb = 0;
+  };
+  bool has_scale = false;        ///< optional "scale" block present
+  std::vector<ScalePoint> scale_points;
 };
 
 std::uint64_t u64_field(const Value& object, std::string_view key) {
@@ -223,6 +236,22 @@ Result<BenchRecord> load_record(const std::string& path) {
     record.has_serve = true;
     record.serve_qps = number_field(*serve, "qps");
     record.serve_queries = u64_field(*serve, "queries");
+  }
+  if (const Value* scale = root.find("scale");
+      scale != nullptr && scale->is_object()) {
+    record.has_scale = true;
+    if (const Value* points = scale->find("points");
+        points != nullptr && points->is_array()) {
+      for (const Value& point : points->items) {
+        if (!point.is_object()) continue;
+        BenchRecord::ScalePoint parsed;
+        parsed.ases = u64_field(point, "ases");
+        parsed.census_s = number_field(point, "census_s");
+        parsed.peak_rss_kb =
+            static_cast<std::int64_t>(u64_field(point, "peak_rss_kb"));
+        record.scale_points.push_back(parsed);
+      }
+    }
   }
   return record;
 }
@@ -411,6 +440,26 @@ int cmd_diff(const std::string& path_a, const std::string& path_b,
   } else if (a.has_serve || b.has_serve) {
     print_skip("serve_qps", a, b, a.has_serve, b.has_serve);
   }
+  if (a.has_scale && b.has_scale) {
+    for (const auto& pa : a.scale_points) {
+      const auto it = std::find_if(
+          b.scale_points.begin(), b.scale_points.end(),
+          [&](const auto& pb) { return pb.ases == pa.ases; });
+      if (it == b.scale_points.end()) continue;  // size not in both sweeps
+      const std::string rss_name = "rss_kb@" + std::to_string(pa.ases);
+      const std::string wall_name = "census_s@" + std::to_string(pa.ases);
+      const FieldVerdict rss =
+          judge_rss(pa.peak_rss_kb, it->peak_rss_kb, thresholds);
+      const FieldVerdict wall =
+          judge_wall(pa.census_s, it->census_s, thresholds);
+      print_row(rss_name.c_str(), static_cast<double>(pa.peak_rss_kb),
+                static_cast<double>(it->peak_rss_kb), rss.flagged);
+      print_row(wall_name.c_str(), pa.census_s, it->census_s, wall.flagged);
+      different |= rss.flagged || wall.flagged;
+    }
+  } else if (a.has_scale || b.has_scale) {
+    print_skip("scale", a, b, a.has_scale, b.has_scale);
+  }
   print_row("experiments", static_cast<double>(a.campaign_experiments),
             static_cast<double>(b.campaign_experiments), false);
   print_row("bytes_total", static_cast<double>(a.bytes_total),
@@ -501,6 +550,31 @@ int cmd_check(const std::string& latest_path,
            judge_qps(committed.serve_qps, latest.serve_qps, thresholds));
   } else if (latest.has_serve || committed.has_serve) {
     skipped("serve_qps", latest.has_serve, committed.has_serve);
+  }
+  // bench_scale's sweep is gated per size: a peak-RSS or wall regression at
+  // any committed point (notably 75k ASes) fails the gate under the same
+  // --rss-tol/--rss-budget-kb/--wall-tol thresholds as the headline fields.
+  if (latest.has_scale && committed.has_scale) {
+    for (const auto& point : committed.scale_points) {
+      const auto it = std::find_if(
+          latest.scale_points.begin(), latest.scale_points.end(),
+          [&](const auto& p) { return p.ases == point.ases; });
+      if (it == latest.scale_points.end()) {
+        std::printf("skipped    rss_kb@%-5" PRIu64
+                    " size absent in %s — not comparable\n",
+                    point.ases, latest.path.c_str());
+        continue;
+      }
+      const std::string rss_name = "rss_kb@" + std::to_string(point.ases);
+      const std::string wall_name = "census_s@" + std::to_string(point.ases);
+      report(rss_name.c_str(), static_cast<double>(point.peak_rss_kb),
+             static_cast<double>(it->peak_rss_kb),
+             judge_rss(point.peak_rss_kb, it->peak_rss_kb, thresholds));
+      report(wall_name.c_str(), point.census_s, it->census_s,
+             judge_wall(point.census_s, it->census_s, thresholds));
+    }
+  } else if (latest.has_scale || committed.has_scale) {
+    skipped("scale", latest.has_scale, committed.has_scale);
   }
   if (failures > 0) {
     std::printf("CHECK FAILED: %d regression(s) beyond thresholds\n",

@@ -33,6 +33,7 @@ const char* kind_name(RecordKind kind) {
     case RecordKind::kCensus: return "census";
     case RecordKind::kRttRow: return "rtt-row";
     case RecordKind::kTable: return "table";
+    case RecordKind::kRib: return "rib";
   }
   return "unknown";
 }

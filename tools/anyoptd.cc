@@ -21,6 +21,9 @@
 //                       share one store; see measure/store.h)
 //   --seed=N            world seed (default 1897, the paper environment)
 //   --scale=paper|small world size (default paper)
+//   --ases=N            serve a scaled world of ~N ASes (up to 75,000;
+//                       overrides --scale — see docs/SCALING.md for the
+//                       per-AS memory budget)
 //   --threads=N         build-campaign workers AND connection workers
 //   --metrics           print the telemetry summary on exit
 //
@@ -54,7 +57,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: anyoptd (--socket=PATH | --oneshot)\n"
                "               [--store=FILE] [--store-read-only]\n"
-               "               [--seed=N] [--scale=paper|small]\n"
+               "               [--seed=N] [--scale=paper|small] [--ases=N]\n"
                "               [--threads=N] [--metrics]\n");
   return 2;
 }
@@ -88,6 +91,9 @@ bool parse_args(int argc, char** argv, Args& args) {
         std::fprintf(stderr, "anyoptd: unknown scale \"%s\"\n", arg + 8);
         return false;
       }
+    } else if (std::strncmp(arg, "--ases=", 7) == 0) {
+      args.snapshot.ases =
+          static_cast<std::size_t>(std::strtoul(arg + 7, nullptr, 10));
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       args.snapshot.threads =
           static_cast<std::size_t>(std::strtoul(arg + 10, nullptr, 10));
