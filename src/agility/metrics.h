@@ -1,0 +1,54 @@
+#pragma once
+// Telemetry names of the agility engine, listed once so the docs suite can
+// enforce that every `agility.*` counter/gauge is documented in DESIGN.md
+// (the same single-source pattern as `resmon.h`'s kByteGauges).
+
+#include "netbase/telemetry.h"
+
+namespace anyopt::agility {
+
+/// Every telemetry name the agility engine emits.  docs_test parses this
+/// initializer and requires each name to appear (backticked) in DESIGN.md;
+/// add entries here and document them, or the build's test suite fails.
+inline constexpr const char* kAgilityMetrics[] = {
+    "agility.evaluations",        // counter: playbook step simulations run
+    "agility.overlay_steps",      // counter: steps run over the shared base
+    "agility.classic_steps",      // counter: steps run over private bases
+    "agility.candidates",         // counter: playbooks scored by a search
+    "agility.pruned",             // counter: valid steps pruned unscored
+    "agility.mitigations",        // counter: searches that restored the SLO
+    "agility.slo_violations",     // counter: searches that began violated
+    "agility.overloaded_sites",   // gauge: overloaded sites at baseline
+    "agility.worst_excess_weight" // gauge: max load-over-capacity, millis
+};
+
+/// Pre-resolved agility metrics (one registry lookup per process).
+struct AgilityMetrics {
+  telemetry::Counter* evaluations;
+  telemetry::Counter* overlay_steps;
+  telemetry::Counter* classic_steps;
+  telemetry::Counter* candidates;
+  telemetry::Counter* pruned;
+  telemetry::Counter* mitigations;
+  telemetry::Counter* slo_violations;
+  telemetry::Gauge* overloaded_sites;
+  telemetry::Gauge* worst_excess_weight;
+
+  static const AgilityMetrics& get() {
+    static const AgilityMetrics m = [] {
+      auto& reg = telemetry::Registry::global();
+      return AgilityMetrics{&reg.counter("agility.evaluations"),
+                            &reg.counter("agility.overlay_steps"),
+                            &reg.counter("agility.classic_steps"),
+                            &reg.counter("agility.candidates"),
+                            &reg.counter("agility.pruned"),
+                            &reg.counter("agility.mitigations"),
+                            &reg.counter("agility.slo_violations"),
+                            &reg.gauge("agility.overloaded_sites"),
+                            &reg.gauge("agility.worst_excess_weight")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace anyopt::agility

@@ -1,0 +1,161 @@
+#include "agility/playbook.h"
+
+#include <algorithm>
+
+#include "netbase/rng.h"
+
+namespace anyopt::agility {
+
+namespace {
+
+/// Position of `site` in the announce order, or npos.
+std::size_t position_of(const anycast::AnycastConfig& config, SiteId site) {
+  for (std::size_t i = 0; i < config.announce_order.size(); ++i) {
+    if (config.announce_order[i] == site) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Current prepend depth of the announcement at `pos` (0 when the prepend
+/// vector is shorter — absent slots mean "no prepend").
+std::uint8_t prepend_at(const anycast::AnycastConfig& config,
+                        std::size_t pos) {
+  return pos < config.prepend.size() ? config.prepend[pos] : 0;
+}
+
+/// One step folded into a 64-bit word for the content-key chain.
+std::uint64_t encode(const PlaybookStep& step) {
+  return (static_cast<std::uint64_t>(step.knob) << 40) |
+         (static_cast<std::uint64_t>(step.site.value()) << 8) |
+         static_cast<std::uint64_t>(step.prepend);
+}
+
+void apply_step(anycast::AnycastConfig& config, const PlaybookStep& step) {
+  const std::size_t pos = position_of(config, step.site);
+  switch (step.knob) {
+    case Knob::kWithdraw:
+      config.announce_order.erase(config.announce_order.begin() +
+                                  static_cast<std::ptrdiff_t>(pos));
+      if (!config.prepend.empty()) {
+        config.prepend.resize(config.announce_order.size() + 1, 0);
+        config.prepend.erase(config.prepend.begin() +
+                             static_cast<std::ptrdiff_t>(pos));
+      }
+      break;
+    case Knob::kPrepend:
+      if (config.prepend.size() < config.announce_order.size()) {
+        config.prepend.resize(config.announce_order.size(), 0);
+      }
+      config.prepend[pos] = step.prepend;
+      break;
+    case Knob::kReannounce:
+      config.announce_order.push_back(step.site);
+      if (!config.prepend.empty()) config.prepend.push_back(0);
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Playbook::describe() const {
+  if (steps.empty()) return "hold";
+  std::string out;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out += " > ";
+    const PlaybookStep& step = steps[i];
+    switch (step.knob) {
+      case Knob::kPrepend:
+        out += "prepend " + std::to_string(step.site.value()) + "x" +
+               std::to_string(step.prepend);
+        break;
+      case Knob::kWithdraw:
+        out += "withdraw " + std::to_string(step.site.value());
+        break;
+      case Knob::kReannounce:
+        out += "reannounce " + std::to_string(step.site.value());
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Playbook::prefix_keys(std::uint64_t seed) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(steps.size());
+  std::uint64_t key = mix64(seed, 0xA6111DULL);
+  for (const PlaybookStep& step : steps) {
+    key = mix64(key, encode(step));
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+bool step_valid(const anycast::AnycastConfig& config,
+                const PlaybookStep& step) {
+  const std::size_t pos = position_of(config, step.site);
+  const bool announced = pos != static_cast<std::size_t>(-1);
+  switch (step.knob) {
+    case Knob::kWithdraw:
+      // Never withdraw the last announcement: an empty deployment is not a
+      // mitigation, it is an outage.
+      return announced && config.announce_order.size() > 1;
+    case Knob::kPrepend:
+      return announced && step.prepend > 0 &&
+             prepend_at(config, pos) != step.prepend;
+    case Knob::kReannounce:
+      return !announced;
+  }
+  return false;
+}
+
+anycast::AnycastConfig config_after(const anycast::AnycastConfig& deployed,
+                                    const Playbook& playbook,
+                                    std::size_t count) {
+  anycast::AnycastConfig config = deployed;
+  for (std::size_t i = 0; i < count && i < playbook.steps.size(); ++i) {
+    apply_step(config, playbook.steps[i]);
+  }
+  return config;
+}
+
+void append_step_delta(std::vector<bgp::Injection>& delta,
+                       const anycast::Deployment& deployment,
+                       const PlaybookStep& step, double at_s) {
+  const bgp::AttachmentIndex attachment =
+      deployment.transit_attachment(step.site);
+  switch (step.knob) {
+    case Knob::kWithdraw: {
+      bgp::Injection inj;
+      inj.time_s = at_s;
+      inj.attachment = attachment;
+      inj.withdraw = true;
+      delta.push_back(inj);
+      break;
+    }
+    case Knob::kPrepend: {
+      // Changing path attributes is withdraw + re-announce on the wire; the
+      // re-announcement arrives with a fresh arrival seq, exactly as a real
+      // session would deliver it.
+      bgp::Injection down;
+      down.time_s = at_s;
+      down.attachment = attachment;
+      down.withdraw = true;
+      delta.push_back(down);
+      bgp::Injection up;
+      up.time_s = at_s + kPrependGapS;
+      up.attachment = attachment;
+      up.prepend = step.prepend;
+      delta.push_back(up);
+      break;
+    }
+    case Knob::kReannounce: {
+      bgp::Injection inj;
+      inj.time_s = at_s;
+      inj.attachment = attachment;
+      delta.push_back(inj);
+      break;
+    }
+  }
+}
+
+}  // namespace anyopt::agility

@@ -1,0 +1,94 @@
+#pragma once
+// Playbooks: timed sequences of the traffic-engineering knobs the repo
+// already simulates — AS-path prepend, site withdraw, site re-announce —
+// expressed as `AnycastConfig` rewrites plus `bgp::Injection` deltas.
+//
+// A playbook is DATA, not behavior: `config_after` yields the configuration
+// deployed after the first k steps (what the fault layer and SLO assessment
+// see), and `append_step_delta` emits the injections one step adds on top
+// of the already-deployed base — which is exactly the shape the
+// copy-on-write overlay path (`Orchestrator::measure_overlay`) consumes, so
+// evaluating a candidate step costs a delta re-convergence rather than a
+// full simulation.  Every derived quantity (content keys, description) is a
+// pure function of the step list, which is what makes playbook evaluation
+// bit-identical across thread counts and between the overlay and classic
+// paths (the agility invariance suite enforces both).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "anycast/config.h"
+#include "anycast/deployment.h"
+#include "bgp/origin.h"
+#include "netbase/ids.h"
+
+namespace anyopt::agility {
+
+/// \brief The three mitigation knobs (§6 catchment shaping + withdraw).
+enum class Knob : std::uint8_t {
+  kPrepend,     ///< re-announce `site` with `prepend` extra origin hops
+  kWithdraw,    ///< withdraw `site`'s transit announcement
+  kReannounce,  ///< announce a currently-disabled `site`
+};
+
+/// \brief One knob application.
+struct PlaybookStep {
+  Knob knob = Knob::kPrepend;
+  SiteId site;
+  std::uint8_t prepend = 0;  ///< kPrepend only: extra origin-AS repeats
+
+  [[nodiscard]] bool operator==(const PlaybookStep&) const = default;
+};
+
+/// \brief An ordered knob sequence.
+struct Playbook {
+  std::vector<PlaybookStep> steps;
+
+  /// \brief Human-readable summary ("prepend 3x2 > withdraw 7").
+  [[nodiscard]] std::string describe() const;
+
+  /// \brief Content-derived key chain: element i is a pure hash of `seed`
+  ///        and steps[0..i].  Prefix-sharing playbooks share prefix keys,
+  ///        so a two-step candidate reuses its one-step parent's first
+  ///        evaluation bit for bit (and nonces never depend on enumeration
+  ///        or thread order).
+  [[nodiscard]] std::vector<std::uint64_t> prefix_keys(
+      std::uint64_t seed) const;
+};
+
+/// \brief Whether `step` can legally apply to `config` (withdraw needs the
+///        site announced and not the last one standing; prepend needs the
+///        site announced at a different depth; re-announce needs it absent).
+[[nodiscard]] bool step_valid(const anycast::AnycastConfig& config,
+                              const PlaybookStep& step);
+
+/// \brief The configuration deployed after the first `count` steps of
+///        `playbook` applied to `deployed`.  Steps must be valid in
+///        sequence (`step_valid` against each intermediate config).
+[[nodiscard]] anycast::AnycastConfig config_after(
+    const anycast::AnycastConfig& deployed, const Playbook& playbook,
+    std::size_t count);
+
+/// \brief Appends the injections one step adds at model time `at_s`
+///        (relative to the overlay base's convergence horizon).
+///
+/// Withdraw emits one withdraw injection; re-announce one announce;
+/// prepend a withdraw at `at_s` plus a re-announcement `kPrependGapS`
+/// later carrying the new prepend depth (the two-message reality of
+/// changing an announcement's path attributes).  Appending steps at
+/// increasing `at_s` keeps the cumulative delta time-sorted.
+/// \param delta the cumulative delta being built (appended to).
+/// \param deployment maps sites to transit attachments.
+/// \param step the knob to apply.
+/// \param at_s when the operator applies it (overlay-relative seconds).
+void append_step_delta(std::vector<bgp::Injection>& delta,
+                       const anycast::Deployment& deployment,
+                       const PlaybookStep& step, double at_s);
+
+/// Gap between a prepend step's withdraw and its re-announcement; must stay
+/// below any knob spacing so cumulative deltas remain time-sorted.
+inline constexpr double kPrependGapS = 30.0;
+
+}  // namespace anyopt::agility

@@ -1,0 +1,62 @@
+#include "agility/workload.h"
+
+#include <algorithm>
+
+namespace anyopt::agility {
+
+double DemandModel::weight(std::size_t target, double time_s) const {
+  double w = base_weight.empty() ? 1.0 : base_weight[target];
+  for (const AttackPulse& pulse : pulses) {
+    if (!pulse.active_at(time_s)) continue;
+    if (pulse.targets.empty() ||
+        std::binary_search(pulse.targets.begin(), pulse.targets.end(),
+                           static_cast<std::uint32_t>(target))) {
+      w *= pulse.intensity;
+    }
+  }
+  return w;
+}
+
+double DemandModel::total_weight(std::size_t target_count,
+                                 double time_s) const {
+  double total = 0;
+  for (std::size_t t = 0; t < target_count; ++t) total += weight(t, time_s);
+  return total;
+}
+
+SloState assess(const measure::Census& census, const DemandModel& demand,
+                const SloPolicy& policy, std::size_t site_count,
+                double time_s) {
+  SloState state;
+  state.load.assign(site_count, 0.0);
+  double rtt_sum = 0;
+  double rtt_weight = 0;
+  for (std::size_t t = 0; t < census.site_of_target.size(); ++t) {
+    const SiteId site = census.site_of_target[t];
+    if (!site.valid()) continue;  // unreachable: blackholed, never queued
+    const double w = demand.weight(t, time_s);
+    if (site.value() < site_count) state.load[site.value()] += w;
+    if (census.rtt_ms[t] >= 0 && w > 0) {
+      rtt_sum += w * census.rtt_ms[t];
+      rtt_weight += w;
+    }
+  }
+  if (rtt_weight > 0) state.mean_rtt_ms = rtt_sum / rtt_weight;
+
+  // Eq. 7, verbatim: strict comparison, never a division — capacity 0 with
+  // load 0 passes, any strictly positive excess fails.
+  for (std::size_t s = 0; s < site_count; ++s) {
+    const double capacity = s < policy.site_capacity.size()
+                                ? policy.site_capacity[s]
+                                : std::numeric_limits<double>::infinity();
+    if (state.load[s] > capacity) {
+      state.overloaded.push_back(
+          SiteId{static_cast<SiteId::underlying_type>(s)});
+      state.worst_excess = std::max(state.worst_excess, state.load[s] - capacity);
+    }
+  }
+  state.ok = state.overloaded.empty() && state.mean_rtt_ms <= policy.max_mean_rtt_ms;
+  return state;
+}
+
+}  // namespace anyopt::agility

@@ -1,0 +1,93 @@
+#pragma once
+// Traffic/attack workload model (the agility engine's demand side).
+//
+// The optimizer's Appendix-B Eq. 7 capacity gate compares a site's summed
+// catchment weight against its capacity at one instant; this header gives
+// those weights a TIME AXIS.  A `DemandModel` is a per-target base demand
+// plus attack pulses — windows during which an attacker multiplies the
+// demand of a target set (the volumetric-DDoS model of the *Anycast
+// Agility* playbook paper).  `assess` folds a measured census and a demand
+// model into per-site loads and an SLO verdict, using EXACTLY the Eq. 7
+// comparison the optimizer enforces: a site is overloaded iff
+// `load > capacity`, a strict comparison that never divides — so a site
+// with capacity 0 whose catchment weight sums to 0 is compliant, the same
+// defined edge the optimizer documents (core/optimizer.h).
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "measure/orchestrator.h"
+#include "netbase/ids.h"
+
+namespace anyopt::agility {
+
+/// \brief One attack window: while active, the demand of every target in
+///        `targets` is multiplied by `intensity`.
+struct AttackPulse {
+  double start_s = 0;  ///< activation time (model clock)
+  /// Window length; the default (infinity) models a sustained attack.
+  double duration_s = std::numeric_limits<double>::infinity();
+  /// Demand multiplier while active (2.0 = the attacked targets double
+  /// their weight).  Multiple overlapping pulses multiply.
+  double intensity = 2.0;
+  /// Attacked target ids, SORTED ascending (membership is binary-searched).
+  /// Empty = every target (a fully distributed volumetric attack).
+  std::vector<std::uint32_t> targets;
+
+  /// \brief Whether the pulse is active at `time_s` (half-open window).
+  [[nodiscard]] bool active_at(double time_s) const {
+    return time_s >= start_s && time_s < start_s + duration_s;
+  }
+};
+
+/// \brief Per-target demand over time: base weights times active pulses.
+struct DemandModel {
+  /// Base per-target demand weight; empty = uniform 1.0 (the optimizer's
+  /// own uncapacitated default).
+  std::vector<double> base_weight;
+  std::vector<AttackPulse> pulses;
+
+  /// \brief Demand weight of `target` at `time_s`.
+  [[nodiscard]] double weight(std::size_t target, double time_s) const;
+  /// \brief Summed demand over `target_count` targets at `time_s`.
+  [[nodiscard]] double total_weight(std::size_t target_count,
+                                    double time_s) const;
+};
+
+/// \brief The service-level objective the playbook engine restores.
+struct SloPolicy {
+  /// Per-site capacity in summed demand weight (Eq. 7 units); empty =
+  /// uncapacitated.  Sites beyond the vector are uncapacitated.
+  std::vector<double> site_capacity;
+  /// Upper bound on the demand-weighted mean RTT; infinity = latency
+  /// unconstrained (capacity-only SLO).
+  double max_mean_rtt_ms = std::numeric_limits<double>::infinity();
+};
+
+/// \brief One SLO evaluation: per-site loads plus the verdict.
+struct SloState {
+  bool ok = true;                  ///< SLO met (no overload, RTT in bound)
+  std::vector<double> load;        ///< summed catchment weight per site
+  double mean_rtt_ms = 0;          ///< demand-weighted mean measured RTT
+  std::vector<SiteId> overloaded;  ///< sites with load > capacity
+  /// Largest load-minus-capacity excess across sites (0 when none) — the
+  /// severity gauge the engine exports.
+  double worst_excess = 0;
+};
+
+/// \brief Folds a measured census and the demand at `time_s` into per-site
+///        loads and the SLO verdict (Eq. 7 semantics; strict `>`, no
+///        division, capacity 0 + load 0 is compliant).
+/// \param census the measured catchments/RTTs (unreachable targets carry
+///        no load — their traffic is blackholed, not queued).
+/// \param demand the demand model (attack pulses applied at `time_s`).
+/// \param policy capacities and the RTT bound.
+/// \param site_count sites in the deployment (sizes `SloState::load`).
+/// \param time_s the model-clock instant to evaluate demand at.
+[[nodiscard]] SloState assess(const measure::Census& census,
+                              const DemandModel& demand,
+                              const SloPolicy& policy, std::size_t site_count,
+                              double time_s);
+
+}  // namespace anyopt::agility

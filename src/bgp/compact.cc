@@ -226,18 +226,18 @@ ResolvedPath CompactState::resolve(AsId from, const geo::Coordinates& from_loc,
   const bool telem = telemetry::enabled();
   switch (walk.state) {
     case CachedWalk::State::kCached:
-      ++cache_hits_;
+      cache_hits_.n.fetch_add(1, std::memory_order_relaxed);
       if (telem) ResolveMetrics::get().cache_hit->add(1);
       return walk_replay(walk, from_loc);
     case CachedWalk::State::kUncached:
-      ++cache_misses_;
+      cache_misses_.n.fetch_add(1, std::memory_order_relaxed);
       if (telem) ResolveMetrics::get().cache_miss->add(1);
       return walk_resolve(View{this}, run_nonce_, from, from_loc, flow_hash,
                           nullptr);
     case CachedWalk::State::kUnknown:
       break;
   }
-  ++cache_misses_;
+  cache_misses_.n.fetch_add(1, std::memory_order_relaxed);
   if (telem) ResolveMetrics::get().cache_miss->add(1);
   return walk_resolve(View{this}, run_nonce_, from, from_loc, flow_hash,
                       &walk);

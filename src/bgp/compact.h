@@ -39,6 +39,7 @@
 // A decoded `CompactState` is a table artifact (store round trips, diffs):
 // it is not bound to a topology and cannot resolve.
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -102,8 +103,12 @@ class CompactState {
   [[nodiscard]] std::uint64_t prefix_key() const { return prefix_key_; }
 
   /// \brief Per-state resolve-cache tallies (see `RoutingState::cache_hits`).
-  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
-  [[nodiscard]] std::uint64_t cache_misses() const { return cache_misses_; }
+  [[nodiscard]] std::uint64_t cache_hits() const {
+    return cache_hits_.n.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cache_misses() const {
+    return cache_misses_.n.load(std::memory_order_relaxed);
+  }
 
   /// \brief Heap bytes retained by the frozen tables (feeds the
   ///        `bytes.rib` gauge; walk-cache bytes excluded — those are
@@ -169,10 +174,27 @@ class CompactState {
   std::vector<std::uint32_t> host_begin_;     ///< size as_count+1
   std::vector<AttachmentIndex> host_pool_;
 
-  // --- Walk memoization (mutable, single-threaded; see resolve). ---
+  /// Movable relaxed counter: `CompactState` is returned by value from
+  /// `freeze`, and the parallel resolve pass (measure's `resolve_pool`)
+  /// bumps the tallies from several workers at once — a plain uint64 would
+  /// be a data race, a bare std::atomic would delete the move.
+  struct RelaxedCount {
+    std::atomic<std::uint64_t> n{0};
+    RelaxedCount() = default;
+    RelaxedCount(RelaxedCount&& o) noexcept
+        : n(o.n.load(std::memory_order_relaxed)) {}
+    RelaxedCount& operator=(RelaxedCount&& o) noexcept {
+      n.store(o.n.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+  };
+
+  // --- Walk memoization (mutable; per-AS cache slots have one writer —
+  //     the parallel resolve pass never splits an AS run across workers —
+  //     and the tallies are relaxed atomics; see resolve). ---
   mutable std::vector<CachedWalk> cache_;
-  mutable std::uint64_t cache_hits_ = 0;
-  mutable std::uint64_t cache_misses_ = 0;
+  mutable RelaxedCount cache_hits_;
+  mutable RelaxedCount cache_misses_;
 };
 
 }  // namespace anyopt::bgp

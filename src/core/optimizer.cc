@@ -290,7 +290,10 @@ Optimizer::MaskScore Optimizer::score_mask(
                                      static_cast<double>(sample.size());
   if (capacitated) {
     // Appendix-B Eq. 7: discard configurations whose predicted catchment
-    // overloads any enabled site.
+    // overloads any enabled site.  Strictly greater, never a ratio: load
+    // exactly at capacity is feasible, and capacity 0 with summed weight 0
+    // is feasible too — the agility layer's SLO assessor mirrors these
+    // exact semantics (src/agility/workload.h).
     for (std::size_t s = 0; s < options_.site_capacity.size() && s < 32;
          ++s) {
       if ((site_mask >> s & 1) && load[s] > options_.site_capacity[s]) {

@@ -37,7 +37,12 @@ struct OptimizerOptions {
   /// Per-site workload capacity (in summed target weight); empty =
   /// uncapacitated.  Configurations whose predicted catchment overloads a
   /// site are discarded, the Appendix-B load constraint (Eq. 7) applied
-  /// during the search.
+  /// during the search.  The gate is a strict comparison (`load > cap`)
+  /// and never divides by capacity, so the edge cases are well defined:
+  /// load exactly at capacity passes, and a zero-capacity site is feasible
+  /// as long as every target in its predicted catchment has weight 0 (a
+  /// drained site under a drained workload is compliant, not overloaded).
+  /// Sites beyond the vector's length are uncapacitated.
   std::vector<double> site_capacity;
   /// Per-target workload weights (empty = uniform).  The objective becomes
   /// the workload-weighted mean RTT, the Appendix-B weighting extension.

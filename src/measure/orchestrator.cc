@@ -8,6 +8,7 @@
 #include "netbase/resmon.h"
 #include "netbase/stats.h"
 #include "netbase/telemetry.h"
+#include "netbase/thread_pool.h"
 
 namespace anyopt::measure {
 
@@ -287,11 +288,57 @@ Census Orchestrator::census_from_state(bgp::RoutingState& state,
     } else if (resmon::over_mem_budget()) {
       rib.set_cache_capacity(0);
     }
-    for (const std::uint32_t t : resolve_order_) {
-      const anycast::Target& tgt = targets.target(TargetId{t});
-      const bgp::ResolvedPath path = rib.resolve(tgt.as, tgt.where, t);
-      if (path.reachable) {
-        resolved.set(t, path.site, path.attachment, path.one_way_ms);
+    ThreadPool* pool = options_.resolve_pool;
+    if (pool != nullptr && pool->size() > 1 && !resolve_order_.empty()) {
+      // Parallel resolve (the ROADMAP item-2 headroom): workers take
+      // contiguous chunks of the AS-grouped order, each chunk's end pushed
+      // forward so a client AS's run never splits.  That gives every AS
+      // exactly one resolving worker — the frozen walk cache's per-AS slots
+      // have a single writer, and the serial pass's hit/miss pattern (one
+      // miss then hot replays per AS) is reproduced exactly.  Workers write
+      // private CensusShards planes (chunk targets are scattered in id
+      // space, so planes interleave within shards entry-disjointly) and the
+      // planes merge order-invariantly — censuses are bit-identical to the
+      // serial pass at any pool size.
+      const std::size_t n = resolve_order_.size();
+      const std::size_t workers = pool->size();
+      std::vector<std::pair<std::size_t, std::size_t>> ranges;
+      std::size_t begin = 0;
+      for (std::size_t w = 0; w < workers && begin < n; ++w) {
+        std::size_t end =
+            w + 1 == workers ? n : begin + (n - begin) / (workers - w);
+        if (end <= begin) end = begin + 1;
+        while (end < n && targets.target(TargetId{resolve_order_[end]}).as ==
+                              targets.target(TargetId{resolve_order_[end - 1]})
+                                  .as) {
+          ++end;
+        }
+        ranges.emplace_back(begin, std::min(end, n));
+        begin = end;
+      }
+      std::vector<CensusShards> planes;
+      planes.reserve(ranges.size());
+      for (std::size_t r = 0; r < ranges.size(); ++r) {
+        planes.emplace_back(targets.size());
+      }
+      pool->parallel_for(ranges.size(), [&](std::size_t r) {
+        for (std::size_t i = ranges[r].first; i < ranges[r].second; ++i) {
+          const std::uint32_t t = resolve_order_[i];
+          const anycast::Target& tgt = targets.target(TargetId{t});
+          const bgp::ResolvedPath path = rib.resolve(tgt.as, tgt.where, t);
+          if (path.reachable) {
+            planes[r].set(t, path.site, path.attachment, path.one_way_ms);
+          }
+        }
+      });
+      for (CensusShards& plane : planes) resolved.merge(std::move(plane));
+    } else {
+      for (const std::uint32_t t : resolve_order_) {
+        const anycast::Target& tgt = targets.target(TargetId{t});
+        const bgp::ResolvedPath path = rib.resolve(tgt.as, tgt.where, t);
+        if (path.reachable) {
+          resolved.set(t, path.site, path.attachment, path.one_way_ms);
+        }
       }
     }
     cache_hits = rib.cache_hits();
@@ -423,7 +470,10 @@ Census Orchestrator::measure_overlay(const bgp::BaseState& base,
                                      std::span<const bgp::Injection> delta,
                                      std::uint64_t experiment_nonce,
                                      bgp::SimScratch* scratch,
-                                     ExperimentAt at) const {
+                                     ExperimentAt at,
+                                     std::size_t* sim_events) const {
+  // Fallback/failed-round contract: 0, never a stale count (header doc).
+  if (sim_events != nullptr) *sim_events = 0;
   if (schedule_faults_apply(config, at.ordinal)) {
     // The classic fallback records its own provenance line (path
     // "classic"), which is exactly the truth of what ran.
@@ -462,6 +512,9 @@ Census Orchestrator::measure_overlay(const bgp::BaseState& base,
           : std::string{});
   bgp::RoutingState state =
       world_.simulator().run_overlay(base, delta, experiment_nonce, scratch);
+  // Captured here, not inside census_from_state: the census pass may
+  // consume the state (arena recycle) before returning.
+  if (sim_events != nullptr) *sim_events = state.events_processed();
   Census census = census_from_state(state, experiment_nonce, round_faults, at,
                                     tracing ? &trace : nullptr, scratch);
   if (tracing) {

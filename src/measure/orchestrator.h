@@ -22,6 +22,10 @@
 #include "netbase/geo.h"
 #include "netbase/ids.h"
 
+namespace anyopt {
+class ThreadPool;
+}
+
 namespace anyopt::measure {
 
 /// \brief Orchestrator configuration.
@@ -51,6 +55,17 @@ struct OrchestratorOptions {
   /// the layout-invariance suite enforces it end to end); disable to
   /// resolve directly against the engine layout.
   bool compact_resolve = true;
+  /// Worker pool for the census resolve pass (not owned; nullptr — the
+  /// default — resolves serially).  Workers take contiguous chunks of the
+  /// AS-grouped resolve order, never splitting a client-AS run, resolve
+  /// into private `CensusShards` planes and merge them order-invariantly —
+  /// censuses AND the frozen RIB's cache hit/miss counts are bit-identical
+  /// to the serial pass at any pool size (census_shards_test +
+  /// layout_invariance_test enforce it).  Only the `compact_resolve` path
+  /// parallelizes (the engine-layout cache is single-threaded by design).
+  /// The pool must NOT be one the calling task itself runs on (nested
+  /// parallel_for can deadlock), so campaign workers leave this null.
+  ThreadPool* resolve_pool = nullptr;
 };
 
 /// \brief Fault-plan coordinates of one census within its campaign.
@@ -199,13 +214,22 @@ class Orchestrator {
   /// \param experiment_nonce jitter/noise identity, as in `measure`.
   /// \param scratch recycled simulator buffers, or nullptr.
   /// \param at the census's campaign ordinal and retry attempt.
+  /// \param sim_events when non-null, receives the update events the
+  ///        overlay's delta propagation processed (the incremental cost of
+  ///        this experiment; the shared base's events are not included).
+  ///        Set to 0 when the fault layer forces the classic fallback or
+  ///        kills the round — callers comparing overlay against classic
+  ///        costs (the agility engine) must not count a fallback as a
+  ///        delta re-convergence.
   /// \return the census.
   [[nodiscard]] Census measure_overlay(const bgp::BaseState& base,
                                        const anycast::AnycastConfig& config,
                                        std::span<const bgp::Injection> delta,
                                        std::uint64_t experiment_nonce,
                                        bgp::SimScratch* scratch,
-                                       ExperimentAt at) const;
+                                       ExperimentAt at,
+                                       std::size_t* sim_events =
+                                           nullptr) const;
 
   /// \brief Both censuses of a two-leg order experiment, measured
   ///        incrementally.

@@ -47,6 +47,7 @@ Result<Request> parse_request(std::string_view line) {
   bool saw_op = false;
   bool saw_sites = false;
   bool saw_clients = false;
+  bool saw_intensity = false;
   for (const auto& [key, value] : doc.value().members) {
     if (key == "op") {
       if (!value.is_string()) return Error::parse("op must be a string");
@@ -54,6 +55,8 @@ Result<Request> parse_request(std::string_view line) {
         request.op = Op::kPredict;
       } else if (value.string_value == "score") {
         request.op = Op::kScore;
+      } else if (value.string_value == "mitigate") {
+        request.op = Op::kMitigate;
       } else if (value.string_value == "info") {
         request.op = Op::kInfo;
       } else if (value.string_value == "reload") {
@@ -75,6 +78,12 @@ Result<Request> parse_request(std::string_view line) {
     } else if (key == "detail") {
       if (!value.is_bool()) return Error::parse("detail must be a boolean");
       request.detail = value.bool_value;
+    } else if (key == "intensity") {
+      if (!value.is_number() || !(value.number_value > 1.0)) {
+        return Error::parse("intensity must be a number greater than 1");
+      }
+      request.intensity = value.number_value;
+      saw_intensity = true;
     } else {
       return Error::parse("unknown request key \"" + key + "\"");
     }
@@ -87,19 +96,29 @@ Result<Request> parse_request(std::string_view line) {
     if (!saw_sites || request.sites.empty()) {
       return Error::parse("predict/score require a non-empty sites array");
     }
+  } else if (saw_sites && request.op != Op::kMitigate) {
+    return Error::parse("sites is only valid for predict/score/mitigate");
+  }
+  if (saw_sites) {
+    // mitigate accepts an absent sites array (all sites) but a present one
+    // must be a real configuration, same as predict/score.
+    if (request.sites.empty()) {
+      return Error::parse("sites must be non-empty when present");
+    }
     const std::unordered_set<std::uint32_t> unique(request.sites.begin(),
                                                    request.sites.end());
     if (unique.size() != request.sites.size()) {
       return Error::parse("sites must not repeat (a site announces once)");
     }
-  } else if (saw_sites) {
-    return Error::parse("sites is only valid for predict/score");
   }
   if (saw_clients && request.op != Op::kPredict) {
     return Error::parse("clients is only valid for predict");
   }
   if (request.detail && request.op != Op::kPredict) {
     return Error::parse("detail is only valid for predict");
+  }
+  if (saw_intensity && request.op != Op::kMitigate) {
+    return Error::parse("intensity is only valid for mitigate");
   }
   return request;
 }

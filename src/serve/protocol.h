@@ -9,14 +9,19 @@
 //   {"op":"predict","sites":[3,1,12]}
 //   {"op":"predict","sites":[3,1,12],"clients":[0,17,44],"detail":true}
 //   {"op":"score","sites":[3,1,12]}
+//   {"op":"mitigate","sites":[3,1,12],"intensity":4}
 //   {"op":"info"}
 //   {"op":"reload"}
 //
 // `sites` is the announcement order (order matters, §4.2); `clients`
 // restricts prediction to a target subset (absent = every target);
 // `detail` adds per-client catchment and RTT arrays to the response.
-// Unknown keys are rejected — a typoed key must fail loudly, not silently
-// predict something else than the caller asked for.
+// `mitigate` runs the agility engine's what-if playbook search: an attack
+// of `intensity` (a demand multiplier, default 2) on the busiest site's
+// predicted catchment under the requested configuration (`sites` optional
+// here; absent = every site announced).  Unknown keys are rejected — a
+// typoed key must fail loudly, not silently predict something else than
+// the caller asked for.
 //
 // Responses are a single JSON object line: `{"ok":true,...}` on success,
 // `{"ok":false,"error":"..."}` on failure.  Successful responses carry
@@ -37,21 +42,25 @@ namespace anyopt::serve {
 
 /// \brief Request operations.
 enum class Op : std::uint8_t {
-  kPredict,  ///< catchment + RTT stats for a site subset over clients
-  kScore,    ///< optimizer-style evaluation of one configuration
-  kInfo,     ///< snapshot metadata (version, shape, provenance)
-  kReload,   ///< rebuild the snapshot and swap it in (daemon only)
+  kPredict,   ///< catchment + RTT stats for a site subset over clients
+  kScore,     ///< optimizer-style evaluation of one configuration
+  kMitigate,  ///< agility what-if: attack the config, search playbooks
+  kInfo,      ///< snapshot metadata (version, shape, provenance)
+  kReload,    ///< rebuild the snapshot and swap it in (daemon only)
 };
 
 /// \brief One parsed request line.
 struct Request {
   Op op = Op::kInfo;
-  /// Sites in announcement order (`predict`/`score`; must be non-empty
-  /// there, must be empty elsewhere).
+  /// Sites in announcement order (`predict`/`score`: must be non-empty;
+  /// `mitigate`: optional, empty = all sites; elsewhere: must be absent).
   std::vector<std::uint32_t> sites;
   /// Targets to predict for (`predict` only; empty = all targets).
   std::vector<std::uint32_t> clients;
   bool detail = false;  ///< include per-client arrays in the response
+  /// Attack demand multiplier (`mitigate` only; must be > 1 — an attack
+  /// that adds no demand is not an attack).
+  double intensity = 2.0;
 };
 
 /// \brief Parses one request line (strict: unknown keys, duplicate sites,

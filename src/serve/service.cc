@@ -1,8 +1,12 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
+#include "agility/engine.h"
+#include "measure/orchestrator.h"
+#include "netbase/rng.h"
 #include "netbase/telemetry.h"
 
 namespace anyopt::serve {
@@ -62,6 +66,21 @@ std::string execute_info(const Snapshot& snapshot) {
   out += ",\"retained_bytes\":" + std::to_string(snapshot.retained_bytes());
   out += ",\"store_records\":" + std::to_string(snapshot.store_records());
   out += ",\"experiments\":" + std::to_string(snapshot.experiments_run());
+  // The agility baseline: predicted per-site load of the all-sites
+  // deployment, the modeled capacities the mitigate op defends, and the
+  // Eq. 7 verdict over them.
+  out += ",\"site_load\":[";
+  for (std::size_t s = 0; s < snapshot.site_load().size(); ++s) {
+    if (s > 0) out += ",";
+    append_double(out, snapshot.site_load()[s]);
+  }
+  out += "],\"site_capacity\":[";
+  for (std::size_t s = 0; s < snapshot.site_capacity().size(); ++s) {
+    if (s > 0) out += ",";
+    append_double(out, snapshot.site_capacity()[s]);
+  }
+  out += "],\"slo_ok\":";
+  out += snapshot.slo_ok() ? "true" : "false";
   out += "}";
   return out;
 }
@@ -167,6 +186,100 @@ std::string execute_score(const Snapshot& snapshot, const Request& request) {
   return out;
 }
 
+std::string execute_mitigate(const Snapshot& snapshot,
+                             const Request& request) {
+  // Deployed configuration: the requested sites, or every site.
+  anycast::AnycastConfig deployed;
+  if (request.sites.empty()) {
+    deployed = anycast::AnycastConfig::all_sites(snapshot.deployment());
+  } else {
+    Result<anycast::AnycastConfig> config = config_of(snapshot, request);
+    if (!config.ok()) return render_error(config.error().message);
+    deployed = std::move(config).value();
+  }
+
+  // The what-if attack: a sustained pulse of `intensity` on the predicted
+  // catchment of the busiest site under `deployed` (ties break to the
+  // lowest site id) — the worst single-site volumetric scenario the
+  // predictor can name without running an experiment.
+  const core::Prediction prediction = snapshot.predictor().predict(deployed);
+  std::vector<double> load(snapshot.site_count(), 0.0);
+  for (const SiteId s : prediction.site_of_target) {
+    if (s.valid()) load[s.value()] += 1.0;
+  }
+  std::size_t attacked = 0;
+  for (std::size_t s = 1; s < load.size(); ++s) {
+    if (load[s] > load[attacked]) attacked = s;
+  }
+  if (load[attacked] <= 0.0) {
+    return render_error("no predictable clients to attack");
+  }
+  agility::DemandModel demand;
+  agility::AttackPulse pulse;
+  pulse.intensity = request.intensity;
+  for (std::uint32_t t = 0; t < prediction.site_of_target.size(); ++t) {
+    if (prediction.site_of_target[t].valid() &&
+        prediction.site_of_target[t].value() == attacked) {
+      pulse.targets.push_back(t);
+    }
+  }
+  demand.pulses = {pulse};
+
+  // Capacities: the snapshot's modeled (all-sites) capacity, raised where
+  // the requested deployment concentrates more load than the all-sites
+  // baseline — so the quiet deployment is compliant by construction and
+  // the attack's overload budget is the modeled headroom.
+  agility::AgilityOptions options;
+  options.slo.site_capacity.resize(load.size());
+  for (std::size_t s = 0; s < load.size(); ++s) {
+    options.slo.site_capacity[s] =
+        std::max(snapshot.site_capacity()[s], load[s] * 1.5 + 8.0);
+  }
+  options.seed = mix64(snapshot.seed(), 0xA617ULL);
+
+  // Request-local measurement plane over the snapshot's immutable world:
+  // queries stay lock-free (nothing on the snapshot mutates) at the cost
+  // of simulating per mitigate call — this op is an operator what-if, not
+  // a hot-path prediction.
+  measure::OrchestratorOptions orchestrator_options;
+  orchestrator_options.compact_resolve = snapshot.options().compact_resolve;
+  const measure::Orchestrator orchestrator(snapshot.world(),
+                                           orchestrator_options);
+  const agility::AgilityEngine engine(orchestrator, std::move(demand),
+                                      std::move(options));
+  const agility::MitigationResult result = engine.mitigate(deployed);
+
+  std::string out;
+  append_common(out, snapshot, "mitigate");
+  out += ",\"intensity\":";
+  append_double(out, request.intensity);
+  out += ",\"attacked_site\":" + std::to_string(attacked);
+  out += ",\"attacked_clients\":" + std::to_string(pulse.targets.size());
+  out += ",\"slo_violated\":";
+  out += result.slo_violated ? "true" : "false";
+  out += ",\"overloaded_sites\":[";
+  for (std::size_t i = 0; i < result.baseline.overloaded.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(result.baseline.overloaded[i].value());
+  }
+  out += "],\"mitigated\":";
+  out += result.best.mitigated ? "true" : "false";
+  // -1 = the search found no SLO-restoring playbook (never infinity: the
+  // response line must stay valid JSON).
+  out += ",\"time_to_mitigate_s\":";
+  append_double(out,
+                result.best.mitigated ? result.best.time_to_mitigate_s : -1.0);
+  out += ",\"post_mean_rtt_ms\":";
+  append_double(out, result.best.post_mean_rtt_ms);
+  out += ",\"playbook\":\"" + result.best.playbook.describe() + "\"";
+  out += ",\"steps\":" + std::to_string(result.best.playbook.steps.size());
+  out += ",\"candidates\":" + std::to_string(result.candidates);
+  out += ",\"pruned\":" + std::to_string(result.pruned);
+  out += ",\"sim_events\":" + std::to_string(result.total_sim_events);
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t Service::next_id() {
@@ -268,6 +381,8 @@ std::string Service::execute(const Snapshot& snapshot,
       return execute_predict(snapshot, request);
     case Op::kScore:
       return execute_score(snapshot, request);
+    case Op::kMitigate:
+      return execute_mitigate(snapshot, request);
     case Op::kReload:
       return render_error("reload is not executable against a snapshot");
   }

@@ -83,6 +83,26 @@ Result<std::shared_ptr<Snapshot>> Snapshot::build(
   snapshot->optimizer_ =
       std::make_unique<core::Optimizer>(*snapshot->predictor_);
 
+  // The all-sites baseline load (predicted catchment size per site, uniform
+  // target weight) and the modeled capacity the mitigate op defends: load
+  // plus 50% headroom plus a flat floor, so the quiet deployment passes the
+  // Eq. 7 gate by construction and an attack's overload budget is defined.
+  const std::size_t sites = snapshot->site_count();
+  const core::Prediction baseline = snapshot->predictor_->predict(
+      anycast::AnycastConfig::all_sites(snapshot->world_->deployment()));
+  snapshot->site_load_.assign(sites, 0.0);
+  for (const SiteId s : baseline.site_of_target) {
+    if (s.valid()) snapshot->site_load_[s.value()] += 1.0;
+  }
+  snapshot->site_capacity_.resize(sites);
+  snapshot->slo_ok_ = true;
+  for (std::size_t s = 0; s < sites; ++s) {
+    snapshot->site_capacity_[s] = snapshot->site_load_[s] * 1.5 + 8.0;
+    if (snapshot->site_load_[s] > snapshot->site_capacity_[s]) {
+      snapshot->slo_ok_ = false;
+    }
+  }
+
   snapshot->retained_bytes_ = estimate_bytes(*snapshot->predictor_);
   if (telemetry::enabled()) {
     telemetry::Registry::global()

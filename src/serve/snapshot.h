@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "anycast/world.h"
 #include "core/optimizer.h"
@@ -90,6 +91,10 @@ class Snapshot {
   [[nodiscard]] const anycast::Deployment& deployment() const {
     return world_->deployment();
   }
+  /// \brief The immutable world the tables were measured on.  The mitigate
+  ///        op builds a request-local measurement orchestrator over it
+  ///        (the world itself is const and concurrently shareable).
+  [[nodiscard]] const anycast::World& world() const { return *world_; }
   [[nodiscard]] std::size_t site_count() const {
     return deployment().site_count();
   }
@@ -114,6 +119,23 @@ class Snapshot {
   ///        of re-simulating — `store.hits` is the replay evidence.
   [[nodiscard]] std::size_t experiments_run() const { return experiments_; }
 
+  /// \brief Predicted per-site load of the all-sites deployment (uniform
+  ///        target weight — each site's predicted catchment size).  The
+  ///        `info` op reports it so operators see where demand lands.
+  [[nodiscard]] const std::vector<double>& site_load() const {
+    return site_load_;
+  }
+  /// \brief The modeled per-site capacity the mitigate op defends (Eq. 7
+  ///        units): baseline load plus headroom, so the quiet deployment is
+  ///        compliant by construction and attacks have a defined budget.
+  [[nodiscard]] const std::vector<double>& site_capacity() const {
+    return site_capacity_;
+  }
+  /// \brief Whether the all-sites baseline meets the modeled capacity SLO
+  ///        (Eq. 7 strict comparison; true by construction unless a build
+  ///        ever ships tighter capacities).
+  [[nodiscard]] bool slo_ok() const { return slo_ok_; }
+
  private:
   friend class Service;  // publish assigns the version
   Snapshot() = default;
@@ -123,6 +145,9 @@ class Snapshot {
   std::unique_ptr<core::Predictor> predictor_;
   std::unique_ptr<core::Optimizer> optimizer_;
   std::uint64_t version_ = 0;
+  std::vector<double> site_load_;      ///< predicted all-sites catchment load
+  std::vector<double> site_capacity_;  ///< modeled capacity (load + headroom)
+  bool slo_ok_ = true;                 ///< baseline Eq. 7 verdict
   double loaded_at_us_ = 0;
   std::size_t retained_bytes_ = 0;
   std::size_t store_records_ = 0;

@@ -1,0 +1,178 @@
+// The agility engine's bit-identity claims, enforced end to end:
+//
+//  * thread invariance — a mitigation search over a worker pool returns the
+//    exact result of the serial search (nonces are content hashes of
+//    playbook prefixes, candidate slots are indexed, winner selection is a
+//    serial total order);
+//  * path invariance — the copy-on-write overlay evaluation returns the
+//    exact result of classic per-step re-convergence (the `converge_base`
+//    interchangeability contract), while the classic path pays measurably
+//    more simulation events — the savings the bench records.
+//
+// Labelled `tsan`: the ThreadSanitizer build runs the pooled search to
+// prove the parallel candidate evaluation is race-free, not just correct
+// by luck.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "agility/engine.h"
+#include "anycast/world.h"
+#include "measure/orchestrator.h"
+#include "netbase/thread_pool.h"
+
+namespace anyopt::agility {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct InvarianceEnv {
+  std::unique_ptr<anycast::World> world;
+  std::unique_ptr<measure::Orchestrator> orchestrator;
+  anycast::AnycastConfig deployed;
+  DemandModel demand;
+  SloPolicy slo;
+};
+
+/// One shared world with a sustained attack on the busiest site's
+/// catchment, capacity-gated only at that site — every suite below runs
+/// the SAME search and compares results field by field.
+InvarianceEnv& env() {
+  static InvarianceEnv e = [] {
+    InvarianceEnv out;
+    out.world = anycast::World::create(anycast::WorldParams::test_scale(25));
+    out.orchestrator = std::make_unique<measure::Orchestrator>(*out.world);
+    const std::size_t sites = out.world->deployment().site_count();
+    std::vector<SiteId> order;
+    for (std::size_t s = 0; s < sites * 2 / 3; ++s) {
+      order.push_back(SiteId{static_cast<SiteId::underlying_type>(s)});
+    }
+    out.deployed = anycast::AnycastConfig::of_sites(order);
+
+    const measure::Census baseline =
+        out.orchestrator->measure(out.deployed, 0xA11CE);
+    std::vector<double> load(sites, 0.0);
+    for (const SiteId s : baseline.site_of_target) {
+      if (s.valid()) load[s.value()] += 1.0;
+    }
+    std::size_t busiest = 0;
+    for (std::size_t s = 1; s < sites; ++s) {
+      if (load[s] > load[busiest]) busiest = s;
+    }
+    AttackPulse pulse;
+    pulse.intensity = 4.0;
+    for (std::size_t t = 0; t < baseline.site_of_target.size(); ++t) {
+      if (baseline.site_of_target[t].value() == busiest) {
+        pulse.targets.push_back(static_cast<std::uint32_t>(t));
+      }
+    }
+    out.demand.pulses = {pulse};
+    out.slo.site_capacity.assign(sites, kInf);
+    out.slo.site_capacity[busiest] = load[busiest] * 1.5 + 5.0;
+    return out;
+  }();
+  return e;
+}
+
+AgilityOptions search_options() {
+  AgilityOptions options;
+  options.slo = env().slo;
+  options.seed = 0xA61;
+  return options;
+}
+
+/// Field-by-field bit comparison of two search results (doubles compared
+/// with == on purpose: the claim is identity, not closeness).  Event
+/// counters are compared only when `compare_events` — the overlay-vs-
+/// classic suite expects identical DECISIONS with different event costs.
+void expect_identical(const MitigationResult& a, const MitigationResult& b,
+                      bool compare_events = true) {
+  EXPECT_EQ(a.slo_violated, b.slo_violated);
+  EXPECT_EQ(a.baseline.ok, b.baseline.ok);
+  EXPECT_EQ(a.baseline.load, b.baseline.load);
+  EXPECT_EQ(a.baseline.mean_rtt_ms, b.baseline.mean_rtt_ms);
+  EXPECT_EQ(a.baseline.overloaded, b.baseline.overloaded);
+  EXPECT_EQ(a.baseline.worst_excess, b.baseline.worst_excess);
+  EXPECT_EQ(a.best.playbook.steps, b.best.playbook.steps);
+  EXPECT_EQ(a.best.mitigated, b.best.mitigated);
+  EXPECT_EQ(a.best.time_to_mitigate_s, b.best.time_to_mitigate_s);
+  EXPECT_EQ(a.best.post_mean_rtt_ms, b.best.post_mean_rtt_ms);
+  EXPECT_EQ(a.best.steps_needed, b.best.steps_needed);
+  if (compare_events) EXPECT_EQ(a.best.sim_events, b.best.sim_events);
+  ASSERT_EQ(a.best.steps.size(), b.best.steps.size());
+  for (std::size_t i = 0; i < a.best.steps.size(); ++i) {
+    EXPECT_EQ(a.best.steps[i].slo.ok, b.best.steps[i].slo.ok);
+    EXPECT_EQ(a.best.steps[i].slo.load, b.best.steps[i].slo.load);
+    EXPECT_EQ(a.best.steps[i].slo.mean_rtt_ms, b.best.steps[i].slo.mean_rtt_ms);
+    EXPECT_EQ(a.best.steps[i].at_s, b.best.steps[i].at_s);
+    if (compare_events) {
+      EXPECT_EQ(a.best.steps[i].sim_events, b.best.steps[i].sim_events);
+    }
+  }
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.pruned, b.pruned);
+}
+
+TEST(AgilityInvariance, PooledSearchIsBitIdenticalToSerial) {
+  const AgilityEngine serial(*env().orchestrator, env().demand,
+                             search_options());
+  const MitigationResult baseline = serial.mitigate(env().deployed);
+  ASSERT_TRUE(baseline.slo_violated);
+  ASSERT_TRUE(baseline.best.mitigated);
+
+  for (const std::size_t workers : {2u, 4u}) {
+    ThreadPool pool(workers);
+    AgilityOptions options = search_options();
+    options.pool = &pool;
+    const AgilityEngine pooled(*env().orchestrator, env().demand, options);
+    const MitigationResult result = pooled.mitigate(env().deployed);
+    expect_identical(baseline, result);
+    EXPECT_EQ(baseline.base_events, result.base_events);
+    EXPECT_EQ(baseline.total_sim_events, result.total_sim_events);
+  }
+}
+
+TEST(AgilityInvariance, OverlayPathMatchesClassicWithFewerEvents) {
+  const AgilityEngine overlay(*env().orchestrator, env().demand,
+                              search_options());
+  AgilityOptions classic_options = search_options();
+  classic_options.use_overlays = false;
+  const AgilityEngine classic(*env().orchestrator, env().demand,
+                              classic_options);
+
+  const MitigationResult via_overlay = overlay.mitigate(env().deployed);
+  const MitigationResult via_classic = classic.mitigate(env().deployed);
+  ASSERT_TRUE(via_overlay.slo_violated);
+
+  // Same decisions, same numbers — only the event accounting may differ.
+  expect_identical(via_overlay, via_classic, /*compare_events=*/false);
+
+  // ... and it must differ in the overlay's favor: classic re-converges a
+  // private base per evaluation, the overlay path converges one shared
+  // base and pays only delta propagation per step.
+  EXPECT_GT(via_overlay.base_events, 0u);
+  EXPECT_EQ(via_classic.base_events, 0u);
+  EXPECT_LT(via_overlay.total_sim_events, via_classic.total_sim_events);
+}
+
+TEST(AgilityInvariance, PooledClassicAlsoMatches) {
+  // The classic path under a pool: thread invariance must not depend on
+  // the overlay machinery.
+  AgilityOptions classic_options = search_options();
+  classic_options.use_overlays = false;
+  const AgilityEngine serial(*env().orchestrator, env().demand,
+                             classic_options);
+  ThreadPool pool(3);
+  AgilityOptions pooled_options = classic_options;
+  pooled_options.pool = &pool;
+  const AgilityEngine pooled(*env().orchestrator, env().demand,
+                             pooled_options);
+  expect_identical(serial.mitigate(env().deployed),
+                   pooled.mitigate(env().deployed));
+}
+
+}  // namespace
+}  // namespace anyopt::agility

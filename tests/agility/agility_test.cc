@@ -1,0 +1,364 @@
+// The agility layer: demand/attack workload semantics (the Eq. 7 mirror),
+// playbook algebra (config rewrites, injection deltas, content keys), and
+// the mitigation search end to end on a test-scale world.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "agility/engine.h"
+#include "agility/playbook.h"
+#include "agility/workload.h"
+#include "anycast/world.h"
+#include "measure/orchestrator.h"
+#include "netbase/fault.h"
+
+namespace anyopt::agility {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// Workload model.
+// ---------------------------------------------------------------------------
+
+TEST(Workload, PulseWindowIsHalfOpen) {
+  AttackPulse pulse;
+  pulse.start_s = 100;
+  pulse.duration_s = 50;
+  EXPECT_FALSE(pulse.active_at(99.9));
+  EXPECT_TRUE(pulse.active_at(100));
+  EXPECT_TRUE(pulse.active_at(149.9));
+  EXPECT_FALSE(pulse.active_at(150));
+}
+
+TEST(Workload, WeightMultipliesActivePulses) {
+  DemandModel demand;  // empty base = uniform 1.0
+  AttackPulse a;
+  a.start_s = 0;
+  a.intensity = 3.0;
+  a.targets = {2, 5};
+  AttackPulse b;
+  b.start_s = 10;
+  b.duration_s = 10;
+  b.intensity = 2.0;  // empty targets = everyone
+  demand.pulses = {a, b};
+
+  EXPECT_DOUBLE_EQ(demand.weight(2, 5.0), 3.0);   // only pulse a
+  EXPECT_DOUBLE_EQ(demand.weight(3, 5.0), 1.0);   // untargeted
+  EXPECT_DOUBLE_EQ(demand.weight(5, 15.0), 6.0);  // both pulses multiply
+  EXPECT_DOUBLE_EQ(demand.weight(3, 15.0), 2.0);  // pulse b only
+  EXPECT_DOUBLE_EQ(demand.weight(2, 25.0), 3.0);  // b expired
+
+  demand.base_weight = {0.5, 0.5, 0.5, 0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(demand.weight(2, 5.0), 1.5);
+  EXPECT_DOUBLE_EQ(demand.total_weight(6, 5.0), 0.5 * 4 + 1.5 * 2);
+}
+
+/// A hand-built census: target t -> (site, rtt).
+measure::Census tiny_census() {
+  measure::Census census;
+  census.site_of_target = {SiteId{0}, SiteId{0}, SiteId{1}, SiteId{},
+                           SiteId{1}};
+  census.attachment_of_target.assign(5, bgp::kNoAttachment);
+  census.rtt_ms = {10, 20, 30, -1, 50};
+  return census;
+}
+
+TEST(Workload, AssessComputesLoadsAndWeightedMeanRtt) {
+  const measure::Census census = tiny_census();
+  DemandModel demand;
+  demand.base_weight = {1, 1, 2, 7, 4};  // target 3 is unreachable
+  SloPolicy policy;  // uncapacitated, RTT unconstrained
+
+  const SloState slo = assess(census, demand, policy, 2, 0.0);
+  EXPECT_TRUE(slo.ok);
+  ASSERT_EQ(slo.load.size(), 2u);
+  EXPECT_DOUBLE_EQ(slo.load[0], 2.0);  // targets 0,1
+  EXPECT_DOUBLE_EQ(slo.load[1], 6.0);  // targets 2,4 (3 carries no load)
+  // Demand-weighted mean over measured targets: (10+20+2*30+4*50)/8.
+  EXPECT_DOUBLE_EQ(slo.mean_rtt_ms, (10.0 + 20.0 + 60.0 + 200.0) / 8.0);
+  EXPECT_DOUBLE_EQ(slo.worst_excess, 0.0);
+}
+
+TEST(Workload, AssessMirrorsTheEq7Edges) {
+  const measure::Census census = tiny_census();
+  DemandModel demand;  // uniform: load = {2, 2}
+
+  // Load exactly at capacity passes (strict comparison).
+  SloPolicy at;
+  at.site_capacity = {2.0, 2.0};
+  EXPECT_TRUE(assess(census, demand, at, 2, 0.0).ok);
+
+  // Just below capacity fails, reporting the overloaded site + excess.
+  SloPolicy under;
+  under.site_capacity = {2.0, 1.5};
+  const SloState broken = assess(census, demand, under, 2, 0.0);
+  EXPECT_FALSE(broken.ok);
+  ASSERT_EQ(broken.overloaded.size(), 1u);
+  EXPECT_EQ(broken.overloaded[0], SiteId{1});
+  EXPECT_DOUBLE_EQ(broken.worst_excess, 0.5);
+
+  // Capacity 0 with zero demand on the catchment is compliant (the
+  // documented optimizer edge; no division anywhere).
+  DemandModel drained;
+  drained.base_weight = {0, 0, 1, 1, 1};  // site 0's catchment weighs 0
+  SloPolicy zero;
+  zero.site_capacity = {0.0, 100.0};
+  EXPECT_TRUE(assess(census, drained, zero, 2, 0.0).ok);
+
+  // Sites beyond the capacity vector are uncapacitated.
+  SloPolicy shorter;
+  shorter.site_capacity = {2.0};
+  EXPECT_TRUE(assess(census, demand, shorter, 2, 0.0).ok);
+
+  // A pulse active at the assessment instant pushes the load over.
+  DemandModel attacked;
+  AttackPulse pulse;
+  pulse.start_s = 50;
+  pulse.intensity = 4.0;
+  pulse.targets = {2, 4};  // site 1's catchment
+  attacked.pulses = {pulse};
+  EXPECT_TRUE(assess(census, attacked, at, 2, 0.0).ok);     // pre-attack
+  const SloState under_attack = assess(census, attacked, at, 2, 60.0);
+  EXPECT_FALSE(under_attack.ok);
+  EXPECT_DOUBLE_EQ(under_attack.load[1], 8.0);
+
+  // The RTT bound is part of the SLO.
+  SloPolicy latency;
+  latency.max_mean_rtt_ms = 20.0;
+  EXPECT_FALSE(assess(census, demand, latency, 2, 0.0).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Playbooks.
+// ---------------------------------------------------------------------------
+
+TEST(Playbook, StepValidity) {
+  const anycast::AnycastConfig config =
+      anycast::AnycastConfig::of_sites({SiteId{0}, SiteId{3}});
+  // Withdraw: announced sites only, never the last one standing.
+  EXPECT_TRUE(step_valid(config, {Knob::kWithdraw, SiteId{3}, 0}));
+  EXPECT_FALSE(step_valid(config, {Knob::kWithdraw, SiteId{1}, 0}));
+  const anycast::AnycastConfig solo =
+      anycast::AnycastConfig::of_sites({SiteId{0}});
+  EXPECT_FALSE(step_valid(solo, {Knob::kWithdraw, SiteId{0}, 0}));
+  // Prepend: announced, non-zero, and actually changing the depth.
+  EXPECT_TRUE(step_valid(config, {Knob::kPrepend, SiteId{0}, 2}));
+  EXPECT_FALSE(step_valid(config, {Knob::kPrepend, SiteId{0}, 0}));
+  EXPECT_FALSE(step_valid(config, {Knob::kPrepend, SiteId{1}, 2}));
+  // Re-announce: disabled sites only.
+  EXPECT_TRUE(step_valid(config, {Knob::kReannounce, SiteId{7}, 0}));
+  EXPECT_FALSE(step_valid(config, {Knob::kReannounce, SiteId{0}, 0}));
+}
+
+TEST(Playbook, ConfigAfterAppliesKnobsInSequence) {
+  const anycast::AnycastConfig deployed =
+      anycast::AnycastConfig::of_sites({SiteId{0}, SiteId{1}, SiteId{2}});
+  Playbook playbook;
+  playbook.steps = {{Knob::kPrepend, SiteId{1}, 2},
+                    {Knob::kWithdraw, SiteId{0}, 0},
+                    {Knob::kReannounce, SiteId{5}, 0}};
+
+  const anycast::AnycastConfig zero = config_after(deployed, playbook, 0);
+  EXPECT_EQ(zero.announce_order, deployed.announce_order);
+
+  const anycast::AnycastConfig one = config_after(deployed, playbook, 1);
+  ASSERT_GE(one.prepend.size(), 2u);
+  EXPECT_EQ(one.prepend[1], 2);
+  EXPECT_EQ(one.announce_order, deployed.announce_order);
+
+  const anycast::AnycastConfig two = config_after(deployed, playbook, 2);
+  EXPECT_EQ(two.announce_order,
+            (std::vector<SiteId>{SiteId{1}, SiteId{2}}));
+  ASSERT_EQ(two.prepend.size(), 2u);
+  EXPECT_EQ(two.prepend[0], 2);  // site 1 keeps its prepend after the erase
+
+  const anycast::AnycastConfig three = config_after(deployed, playbook, 3);
+  EXPECT_EQ(three.announce_order,
+            (std::vector<SiteId>{SiteId{1}, SiteId{2}, SiteId{5}}));
+  ASSERT_EQ(three.prepend.size(), 3u);
+  EXPECT_EQ(three.prepend[2], 0);
+}
+
+TEST(Playbook, DescribeIsReadable) {
+  Playbook playbook;
+  EXPECT_EQ(playbook.describe(), "hold");
+  playbook.steps = {{Knob::kPrepend, SiteId{3}, 2},
+                    {Knob::kWithdraw, SiteId{7}, 0},
+                    {Knob::kReannounce, SiteId{1}, 0}};
+  EXPECT_EQ(playbook.describe(), "prepend 3x2 > withdraw 7 > reannounce 1");
+}
+
+TEST(Playbook, PrefixKeysShareAndDiverge) {
+  Playbook parent;
+  parent.steps = {{Knob::kWithdraw, SiteId{2}, 0}};
+  Playbook child;
+  child.steps = {{Knob::kWithdraw, SiteId{2}, 0},
+                 {Knob::kPrepend, SiteId{4}, 1}};
+  const auto parent_keys = parent.prefix_keys(0xA61);
+  const auto child_keys = child.prefix_keys(0xA61);
+  ASSERT_EQ(parent_keys.size(), 1u);
+  ASSERT_EQ(child_keys.size(), 2u);
+  // A child's evaluation of its shared prefix must reuse the parent's
+  // nonce bit for bit.
+  EXPECT_EQ(parent_keys[0], child_keys[0]);
+  EXPECT_NE(child_keys[0], child_keys[1]);
+  // Content-derived: seed and step content both matter.
+  EXPECT_NE(parent.prefix_keys(0xA62)[0], parent_keys[0]);
+  Playbook other;
+  other.steps = {{Knob::kWithdraw, SiteId{3}, 0}};
+  EXPECT_NE(other.prefix_keys(0xA61)[0], parent_keys[0]);
+}
+
+// ---------------------------------------------------------------------------
+// The mitigation search on a real (test-scale) world.
+// ---------------------------------------------------------------------------
+
+struct AgilityEnv {
+  std::unique_ptr<anycast::World> world;
+  std::unique_ptr<measure::Orchestrator> orchestrator;
+  anycast::AnycastConfig deployed;
+  measure::Census baseline;           ///< deployed census, no attack
+  std::vector<double> baseline_load;  ///< uniform-weight load per site
+  SiteId busiest;
+  std::vector<std::uint32_t> busiest_catchment;  ///< sorted target ids
+};
+
+AgilityEnv& env() {
+  static AgilityEnv e = [] {
+    AgilityEnv out;
+    out.world = anycast::World::create(anycast::WorldParams::test_scale(24));
+    out.orchestrator = std::make_unique<measure::Orchestrator>(*out.world);
+    // Deploy two thirds of the sites so re-announce is in the knob set.
+    const std::size_t sites = out.world->deployment().site_count();
+    std::vector<SiteId> order;
+    for (std::size_t s = 0; s < sites * 2 / 3; ++s) {
+      order.push_back(SiteId{static_cast<SiteId::underlying_type>(s)});
+    }
+    out.deployed = anycast::AnycastConfig::of_sites(order);
+    out.baseline = out.orchestrator->measure(out.deployed, 0xBEEF);
+    out.baseline_load.assign(sites, 0.0);
+    for (std::size_t t = 0; t < out.baseline.site_of_target.size(); ++t) {
+      const SiteId s = out.baseline.site_of_target[t];
+      if (s.valid()) out.baseline_load[s.value()] += 1.0;
+    }
+    std::size_t busiest = 0;
+    for (std::size_t s = 1; s < sites; ++s) {
+      if (out.baseline_load[s] > out.baseline_load[busiest]) busiest = s;
+    }
+    out.busiest = SiteId{static_cast<SiteId::underlying_type>(busiest)};
+    for (std::size_t t = 0; t < out.baseline.site_of_target.size(); ++t) {
+      if (out.baseline.site_of_target[t] == out.busiest) {
+        out.busiest_catchment.push_back(static_cast<std::uint32_t>(t));
+      }
+    }
+    return out;
+  }();
+  return e;
+}
+
+/// An attack that quadruples the busiest site's catchment demand, against
+/// a policy that caps ONLY that site (everyone else absorbs freely) — so
+/// withdrawing or deeply prepending the attacked site is guaranteed to be
+/// able to restore the SLO.
+AgilityOptions attacked_options() {
+  AgilityOptions options;
+  options.slo.site_capacity.assign(env().baseline_load.size(), kInf);
+  options.slo.site_capacity[env().busiest.value()] =
+      env().baseline_load[env().busiest.value()] * 1.5 + 5.0;
+  options.attack_time_s = 0.0;
+  options.seed = 0xA61;
+  return options;
+}
+
+DemandModel attacked_demand(double intensity = 4.0) {
+  DemandModel demand;
+  AttackPulse pulse;
+  pulse.start_s = 0;
+  pulse.intensity = intensity;
+  pulse.targets = env().busiest_catchment;
+  demand.pulses = {pulse};
+  return demand;
+}
+
+TEST(AgilityEngine, QuietSloShortCircuits) {
+  const AgilityEngine engine(*env().orchestrator, DemandModel{},
+                             attacked_options());
+  const MitigationResult result = engine.mitigate(env().deployed);
+  EXPECT_FALSE(result.slo_violated);
+  EXPECT_TRUE(result.baseline.ok);
+  EXPECT_TRUE(result.best.mitigated);
+  EXPECT_DOUBLE_EQ(result.best.time_to_mitigate_s, 0.0);
+  EXPECT_EQ(result.candidates, 0u);
+  EXPECT_TRUE(result.best.playbook.steps.empty());
+}
+
+TEST(AgilityEngine, AttackIsMitigatedAndScoredByTimeToMitigate) {
+  const AgilityEngine engine(*env().orchestrator, attacked_demand(),
+                             attacked_options());
+  const MitigationResult result = engine.mitigate(env().deployed);
+  ASSERT_TRUE(result.slo_violated);
+  EXPECT_FALSE(result.baseline.ok);
+  ASSERT_FALSE(result.baseline.overloaded.empty());
+  EXPECT_EQ(result.baseline.overloaded.front(), env().busiest);
+  EXPECT_GT(result.baseline.worst_excess, 0.0);
+
+  ASSERT_TRUE(result.best.mitigated);
+  ASSERT_FALSE(result.best.playbook.steps.empty());
+  // TTM is the step-count clock, never below one knob + settle.
+  const AgilityOptions& opts = engine.options();
+  EXPECT_GE(result.best.time_to_mitigate_s, opts.knob_delay_s + opts.settle_s);
+  EXPECT_DOUBLE_EQ(
+      result.best.time_to_mitigate_s,
+      static_cast<double>(result.best.steps_needed) * opts.knob_delay_s +
+          opts.settle_s);
+  EXPECT_TRUE(std::isfinite(result.best.post_mean_rtt_ms));
+  EXPECT_GT(result.candidates, 0u);
+  EXPECT_GT(result.total_sim_events, result.base_events);
+  // The winning playbook's final state actually passes the SLO.
+  EXPECT_TRUE(result.best.steps.back().slo.ok);
+}
+
+TEST(AgilityEngine, SearchIsDeterministic) {
+  const AgilityEngine engine(*env().orchestrator, attacked_demand(),
+                             attacked_options());
+  const MitigationResult a = engine.mitigate(env().deployed);
+  const MitigationResult b = engine.mitigate(env().deployed);
+  EXPECT_EQ(a.best.playbook.steps, b.best.playbook.steps);
+  EXPECT_EQ(a.best.time_to_mitigate_s, b.best.time_to_mitigate_s);
+  EXPECT_EQ(a.best.post_mean_rtt_ms, b.best.post_mean_rtt_ms);
+  EXPECT_EQ(a.candidates, b.candidates);
+  EXPECT_EQ(a.pruned, b.pruned);
+  EXPECT_EQ(a.total_sim_events, b.total_sim_events);
+}
+
+TEST(AgilityEngine, ComposesWithFaultInjection) {
+  // An orchestrator whose fault layer plans session flaps: overlay
+  // decomposition no longer applies and steps touching the flapped
+  // session transparently fall back to classic measurement — the search
+  // still runs and stays deterministic.
+  fault::FaultPlan plan;
+  plan.seed = 0xF417;
+  fault::SessionFlap flap;
+  flap.attachment = 0;
+  plan.session_flaps.push_back(flap);
+  const fault::FaultInjector injector(plan);
+  measure::OrchestratorOptions with_faults;
+  with_faults.faults = &injector;
+  measure::Orchestrator faulty(*env().world, with_faults);
+
+  const AgilityEngine engine(faulty, attacked_demand(), attacked_options());
+  const MitigationResult a = engine.mitigate(env().deployed);
+  const MitigationResult b = engine.mitigate(env().deployed);
+  EXPECT_EQ(a.slo_violated, b.slo_violated);
+  EXPECT_EQ(a.best.playbook.steps, b.best.playbook.steps);
+  EXPECT_EQ(a.best.time_to_mitigate_s, b.best.time_to_mitigate_s);
+  EXPECT_EQ(a.total_sim_events, b.total_sim_events);
+}
+
+}  // namespace
+}  // namespace anyopt::agility

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/optimizer.h"
 #include "support/core_fixture.h"
 
@@ -60,6 +63,80 @@ TEST(OptimizerConstraints, TightCapacityChangesOrExcludesConfigs) {
   // unconstrained one.
   EXPECT_GE(capped.best.predicted_mean_rtt,
             plain.best.predicted_mean_rtt - 1e-9);
+}
+
+TEST(OptimizerConstraints, LoadExactlyAtCapacityPasses) {
+  // The Eq. 7 gate is strictly greater-than: a site loaded exactly to its
+  // capacity is feasible.  With a single enabled site every predictable
+  // target lands on it, so the site's load is exactly the predictable
+  // count and we can pin capacity to the boundary.
+  auto& env = default_env();
+  auto& pipeline = *env.pipeline;
+  const SearchOutcome plain = pipeline.optimize(quick());
+  ASSERT_FALSE(plain.best.config.announce_order.empty());
+  const SiteId solo_site = plain.best.config.announce_order.front();
+  const anycast::AnycastConfig solo =
+      anycast::AnycastConfig::of_sites({solo_site});
+
+  OptimizerOptions opts = quick();
+  core::Optimizer unconstrained(pipeline.predictor(), opts);
+  const EvaluatedConfig base = unconstrained.evaluate(solo);
+  const double n = static_cast<double>(env.world->targets().size());
+  const double load = std::round(base.fraction_ordered * n);
+  ASSERT_GT(load, 0.0);
+
+  opts.site_capacity.assign(15, 1e18);
+  opts.site_capacity[solo_site.value()] = load;  // exactly at capacity
+  core::Optimizer at_capacity(pipeline.predictor(), opts);
+  EXPECT_TRUE(std::isfinite(at_capacity.evaluate(solo).predicted_mean_rtt));
+
+  opts.site_capacity[solo_site.value()] = load - 0.5;  // just below
+  core::Optimizer over_capacity(pipeline.predictor(), opts);
+  EXPECT_FALSE(std::isfinite(over_capacity.evaluate(solo).predicted_mean_rtt));
+}
+
+TEST(OptimizerConstraints, ZeroCapacityWithZeroWeightCatchmentIsFeasible) {
+  // Capacity 0 is not a poison value: the gate never divides by capacity,
+  // so a drained site (capacity 0) under a drained workload (its whole
+  // catchment weighted 0) is compliant.  The same zero-capacity site under
+  // uniform weights gates the configuration.
+  auto& env = default_env();
+  auto& pipeline = *env.pipeline;
+  const SearchOutcome plain = pipeline.optimize(quick());
+  const anycast::AnycastConfig config = plain.best.config;
+  ASSERT_GE(config.announce_order.size(), 2u);
+
+  // Busiest site of the winner — guaranteed a non-empty catchment.
+  const Prediction pred = pipeline.predict(config);
+  std::vector<double> load(15, 0);
+  for (const SiteId s : pred.site_of_target) {
+    if (s.valid()) load[s.value()] += 1.0;
+  }
+  const std::size_t drained = static_cast<std::size_t>(
+      std::max_element(load.begin(), load.end()) - load.begin());
+  ASSERT_GT(load[drained], 0.0);
+
+  OptimizerOptions opts = quick();
+  opts.site_capacity.assign(15, 1e18);
+  opts.site_capacity[drained] = 0.0;
+  opts.target_weight.assign(env.world->targets().size(), 1.0);
+  for (std::size_t t = 0; t < pred.site_of_target.size(); ++t) {
+    // Zero out the drained site's catchment and the unpredictable targets
+    // (the latter add no load either way; zeroing keeps the weights tidy).
+    if (!pred.site_of_target[t].valid() ||
+        pred.site_of_target[t].value() == drained) {
+      opts.target_weight[t] = 0.0;
+    }
+  }
+  core::Optimizer drained_workload(pipeline.predictor(), opts);
+  EXPECT_TRUE(
+      std::isfinite(drained_workload.evaluate(config).predicted_mean_rtt));
+
+  OptimizerOptions uniform = quick();
+  uniform.site_capacity = opts.site_capacity;
+  core::Optimizer live_workload(pipeline.predictor(), uniform);
+  EXPECT_FALSE(
+      std::isfinite(live_workload.evaluate(config).predicted_mean_rtt));
 }
 
 TEST(OptimizerConstraints, ImpossibleCapacityYieldsNoConfig) {

@@ -85,7 +85,7 @@ const std::set<std::string>& top_level_fields() {
 /// exercised the subsystem (consumers treat absence as "not exercised",
 /// never as zero — see tools/anyopt_bench).
 const std::set<std::string>& optional_top_level_fields() {
-  static const std::set<std::string> fields = {"serve", "scale"};
+  static const std::set<std::string> fields = {"serve", "scale", "agility"};
   return fields;
 }
 
@@ -121,6 +121,19 @@ const std::set<std::string>& scale_point_fields() {
   return fields;
 }
 
+/// Each attack-sweep point's exact field set (bench_agility's "agility"
+/// block): one intensity's verdict, winning playbook and event counts on
+/// both simulation paths (the overlay-vs-classic saving the gate defends).
+const std::set<std::string>& agility_point_fields() {
+  static const std::set<std::string> fields = {
+      "intensity",          "slo_violated",      "mitigated",
+      "time_to_mitigate_s", "post_mean_rtt_ms",  "steps",
+      "playbook",           "sim_events_overlay", "sim_events_classic",
+      "candidates",         "pruned",
+  };
+  return fields;
+}
+
 TEST(BenchRecords, AtLeastTheHeadlineBenchesAreCommitted) {
   std::set<std::string> names;
   for (const std::string& path : record_paths()) {
@@ -128,7 +141,8 @@ TEST(BenchRecords, AtLeastTheHeadlineBenchesAreCommitted) {
   }
   for (const char* required :
        {"BENCH_fig4b.json", "BENCH_parallel_discovery.json",
-        "BENCH_resilience.json", "BENCH_serve.json", "BENCH_scale.json"}) {
+        "BENCH_resilience.json", "BENCH_serve.json", "BENCH_scale.json",
+        "BENCH_agility.json"}) {
     EXPECT_TRUE(names.count(required) == 1) << "missing " << required;
   }
 }
@@ -204,6 +218,35 @@ TEST(BenchRecords, EveryCommittedRecordIsExactlySchema3) {
         }
         EXPECT_GT(point.find("ases")->as_u64(), 0u);
         EXPECT_GT(point.find("peak_rss_kb")->as_u64(), 0u);
+      }
+    }
+
+    // The agility block, when present, is a headroom + points pair and
+    // every attack point carries exactly its documented set.
+    if (const json::Value* agility = root.find("agility");
+        agility != nullptr) {
+      ASSERT_TRUE(agility->is_object());
+      ASSERT_NE(agility->find("headroom"), nullptr);
+      const json::Value* points = agility->find("points");
+      ASSERT_NE(points, nullptr);
+      ASSERT_TRUE(points->is_array());
+      EXPECT_FALSE(points->items.empty());
+      for (const json::Value& point : points->items) {
+        ASSERT_TRUE(point.is_object());
+        std::set<std::string> point_present;
+        for (const auto& [name, value] : point.members) {
+          EXPECT_TRUE(point_present.insert(name).second)
+              << "duplicate field agility point " << name;
+          EXPECT_TRUE(agility_point_fields().count(name) == 1)
+              << "unknown field agility point " << name;
+        }
+        for (const std::string& name : agility_point_fields()) {
+          EXPECT_TRUE(point_present.count(name) == 1)
+              << "missing field agility point " << name;
+        }
+        EXPECT_GT(point.find("intensity")->number_value, 1.0);
+        EXPECT_TRUE(point.find("mitigated")->is_bool());
+        EXPECT_TRUE(point.find("playbook")->is_string());
       }
     }
 
@@ -512,6 +555,111 @@ TEST(BenchCli, ScaleSweepPointsGatePeakRssPerSize) {
   EXPECT_EQ(run_cli("check " + baseline + " " + plain), 0);
   std::remove(baseline.c_str());
   std::remove(bloated.c_str());
+  std::remove(plain.c_str());
+}
+
+TEST(BenchRecords, TheAgilityRecordProvesMitigationAndOverlaySavings) {
+  // BENCH_agility.json is the mitigation baseline: for at least three
+  // attack intensities the search must have FOUND a playbook that restores
+  // the SLO, and the overlay path must have done it with measurably fewer
+  // simulated events than the classic full re-convergence — otherwise the
+  // agility gate defends nothing.
+  Result<json::Value> doc =
+      json::parse(slurp(records_dir() + "/BENCH_agility.json"));
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const json::Value* agility = doc.value().find("agility");
+  ASSERT_NE(agility, nullptr) << "BENCH_agility.json has no agility block";
+  const json::Value* points = agility->find("points");
+  ASSERT_NE(points, nullptr);
+  EXPECT_GE(points->items.size(), 3u);
+  for (const json::Value& point : points->items) {
+    SCOPED_TRACE(point.find("intensity")->number_value);
+    // Every committed point is a real attack (SLO violated) that the
+    // search mitigated in finite time with a non-empty playbook.
+    EXPECT_TRUE(point.find("slo_violated")->bool_value);
+    EXPECT_TRUE(point.find("mitigated")->bool_value);
+    EXPECT_GT(point.find("time_to_mitigate_s")->number_value, 0.0);
+    EXPECT_GT(point.find("steps")->as_u64(), 0u);
+    EXPECT_NE(point.find("playbook")->string_value, "hold");
+    EXPECT_GT(point.find("sim_events_overlay")->as_u64(), 0u);
+    EXPECT_LT(point.find("sim_events_overlay")->as_u64(),
+              point.find("sim_events_classic")->as_u64());
+  }
+}
+
+TEST(BenchCli, AgilityGateIsAsymmetricPerIntensity) {
+  const auto agility_record = [](const char* mitigated8, double ttm4,
+                                 long long overlay_events2) {
+    return "{\"schema\": 3, \"git_commit\": \"abc\", \"bench\": \"agility\","
+           " \"threads\": 1, \"wall_s\": 9.0, \"peak_rss_kb\": 400000,"
+           " \"sim_events\": 900000,"
+           " \"bytes\": {\"sim_scratch\": 100, \"overlay_pages\": 50,"
+           " \"resolve_cache\": 0, \"store_index\": 0, \"pool_queue\": 0},"
+           " \"agility\": {\"headroom\": 0.4, \"points\": ["
+           "{\"intensity\": 2, \"slo_violated\": true, \"mitigated\": true,"
+           " \"time_to_mitigate_s\": 35, \"post_mean_rtt_ms\": 31.5,"
+           " \"steps\": 1, \"playbook\": \"withdraw 3\","
+           " \"sim_events_overlay\": " +
+           std::to_string(overlay_events2) +
+           ", \"sim_events_classic\": 90000, \"candidates\": 12,"
+           " \"pruned\": 4},"
+           "{\"intensity\": 4, \"slo_violated\": true, \"mitigated\": true,"
+           " \"time_to_mitigate_s\": " +
+           std::to_string(ttm4) +
+           ", \"post_mean_rtt_ms\": 33.0, \"steps\": 2,"
+           " \"playbook\": \"prepend 3x2 > withdraw 3\","
+           " \"sim_events_overlay\": 21000, \"sim_events_classic\": 180000,"
+           " \"candidates\": 40, \"pruned\": 11},"
+           "{\"intensity\": 8, \"slo_violated\": true, \"mitigated\": " +
+           std::string(mitigated8) +
+           ", \"time_to_mitigate_s\": 65, \"post_mean_rtt_ms\": 35.0,"
+           " \"steps\": 2, \"playbook\": \"withdraw 3 > withdraw 5\","
+           " \"sim_events_overlay\": 30000, \"sim_events_classic\": 260000,"
+           " \"candidates\": 40, \"pruned\": 9}]}}\n";
+  };
+  const std::string committed =
+      write_fixture("agility_base", agility_record("true", 50, 10000));
+  // Losing a mitigation at intensity 8 is a regression no tolerance hides.
+  const std::string lost =
+      write_fixture("agility_lost", agility_record("false", 50, 10000));
+  EXPECT_EQ(run_cli("check " + lost + " " + committed), 1);
+  EXPECT_EQ(run_cli("--ttm-tol=99 --events-budget=999999999 check " + lost +
+                    " " + committed),
+            1);
+  // ...but the gate is asymmetric: gaining one is an improvement.
+  EXPECT_EQ(run_cli("check " + committed + " " + lost), 0);
+  // A slower mitigation at intensity 4 trips the exact default ttm gate;
+  // --ttm-tol widens it; faster passes untouched.
+  const std::string slower =
+      write_fixture("agility_slow", agility_record("true", 80, 10000));
+  EXPECT_EQ(run_cli("check " + slower + " " + committed), 1);
+  EXPECT_EQ(run_cli("--ttm-tol=0.7 check " + slower + " " + committed), 0);
+  EXPECT_EQ(run_cli("check " + committed + " " + slower), 0);
+  // Overlay event growth at intensity 2 trips the events budget (default
+  // exact); a budget covering it passes; shrinkage always passes.
+  const std::string grown =
+      write_fixture("agility_grown", agility_record("true", 50, 15000));
+  EXPECT_EQ(run_cli("check " + grown + " " + committed), 1);
+  EXPECT_EQ(run_cli("--events-budget=6000 check " + grown + " " + committed),
+            0);
+  EXPECT_EQ(run_cli("check " + committed + " " + grown), 0);
+  // diff flags ttm and event moves symmetrically.
+  EXPECT_EQ(run_cli("diff " + committed + " " + slower), 1);
+  EXPECT_EQ(run_cli("diff " + committed + " " + grown), 1);
+  // An agility-less record vs a sweep record: skipped, never judged zero.
+  const std::string plain = write_fixture(
+      "agility_none",
+      "{\"schema\": 3, \"git_commit\": \"abc\", \"bench\": \"agility\","
+      " \"threads\": 1, \"wall_s\": 9.0, \"peak_rss_kb\": 400000,"
+      " \"sim_events\": 900000,"
+      " \"bytes\": {\"sim_scratch\": 100, \"overlay_pages\": 50,"
+      " \"resolve_cache\": 0, \"store_index\": 0, \"pool_queue\": 0}}\n");
+  EXPECT_EQ(run_cli("check " + plain + " " + committed), 0);
+  EXPECT_EQ(run_cli("check " + committed + " " + plain), 0);
+  std::remove(committed.c_str());
+  std::remove(lost.c_str());
+  std::remove(slower.c_str());
+  std::remove(grown.c_str());
   std::remove(plain.c_str());
 }
 

@@ -222,6 +222,68 @@ TEST(DocsTest, ServeLayerIsDocumentedAcrossTheDocSet) {
       << "EXPERIMENTS.md must carry the serve QPS/latency row";
 }
 
+TEST(DocsTest, AgilityIsDocumentedAcrossTheDocSet) {
+  // PR 10's agility engine must stay discoverable from every entry
+  // point: the README mitigate quickstart, the architecture module map +
+  // dataflow, the design rationale, and the experiments numbers.
+  const std::string readme = read_file(source_dir() / "README.md");
+  EXPECT_NE(readme.find("\"op\":\"mitigate\""), std::string::npos)
+      << "README.md must show the wire protocol's mitigate request";
+  EXPECT_NE(readme.find("bench_agility"), std::string::npos)
+      << "README.md must mention the agility bench";
+
+  const std::string architecture = read_file(source_dir() / "ARCHITECTURE.md");
+  EXPECT_NE(architecture.find("agility/"), std::string::npos)
+      << "ARCHITECTURE.md module map must place the agility layer";
+  EXPECT_NE(architecture.find("time-to-mitigate"), std::string::npos)
+      << "ARCHITECTURE.md must show the mitigation-search dataflow";
+
+  const std::string design = read_file(source_dir() / "DESIGN.md");
+  EXPECT_NE(design.find("The agility engine"), std::string::npos)
+      << "DESIGN.md must keep the agility-engine section";
+  EXPECT_NE(design.find("time-to-mitigate"), std::string::npos)
+      << "DESIGN.md must explain the time-to-mitigate objective";
+
+  const std::string experiments = read_file(source_dir() / "EXPERIMENTS.md");
+  EXPECT_NE(experiments.find("bench_agility"), std::string::npos)
+      << "EXPERIMENTS.md must carry the agility trajectory row";
+  EXPECT_NE(experiments.find("Time-to-mitigate"), std::string::npos)
+      << "EXPERIMENTS.md must report the measured time-to-mitigate curve";
+}
+
+TEST(DocsTest, AgilityTelemetryCountersAreDocumented) {
+  // Every telemetry name the agility engine emits must appear (backticked)
+  // in DESIGN.md.  The name list is parsed out of the `kAgilityMetrics`
+  // initializer in agility/metrics.h — the single source the engine's
+  // pre-resolved handles use — so adding a counter there without a
+  // DESIGN.md mention fails this test, not a code review.
+  const std::string design = read_file(source_dir() / "DESIGN.md");
+
+  const std::string metrics =
+      read_file(source_dir() / "src" / "agility" / "metrics.h");
+  const std::size_t list = metrics.find("kAgilityMetrics[]");
+  ASSERT_NE(list, std::string::npos)
+      << "kAgilityMetrics moved out of agility/metrics.h";
+  const std::size_t open = metrics.find('{', list);
+  const std::size_t close = metrics.find('}', open);
+  ASSERT_NE(close, std::string::npos);
+  const std::string init = metrics.substr(open, close - open);
+
+  std::size_t names = 0;
+  for (std::size_t quote = init.find('"'); quote != std::string::npos;
+       quote = init.find('"', quote + 1)) {
+    const std::size_t end = init.find('"', quote + 1);
+    ASSERT_NE(end, std::string::npos);
+    const std::string name = init.substr(quote + 1, end - quote - 1);
+    EXPECT_EQ(name.rfind("agility.", 0), 0u) << "unexpected metric " << name;
+    EXPECT_NE(design.find('`' + name + '`'), std::string::npos)
+        << "DESIGN.md must document the " << name << " metric";
+    ++names;
+    quote = end;
+  }
+  EXPECT_GE(names, 6u) << "kAgilityMetrics parse came up short";
+}
+
 TEST(DocsTest, ScalingMemoryModelCoversEveryByteGauge) {
   // The Internet-scale memory model (docs/SCALING.md) must document every
   // per-subsystem byte gauge by name.  The gauge list is parsed out of the

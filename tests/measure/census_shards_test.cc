@@ -202,5 +202,66 @@ TEST(CensusShards, ConcurrentDisjointWritersMergeToTheSamePlane) {
   }
 }
 
+TEST(CensusShards, ConcurrentScatteredWritersInterleaveWithinSharedShards) {
+  // The parallel resolve pass's actual shape: workers take contiguous
+  // chunks of the AS-GROUPED resolve order, so the target ids one worker
+  // writes are scattered across the whole id space and every shard is
+  // touched by several planes — entry-disjointly.  Writers stay lock-free
+  // (each plane is private until the merge) and the merge's entry-level
+  // interleave path must reassemble the exact serial plane regardless of
+  // join order.
+  constexpr std::size_t kWorkers = 4;
+  const std::size_t n = 3 * kWidth + kWidth / 4;
+
+  const auto member = [](std::size_t t) {
+    return mix64(t, 0x5CA7) % 6 != 0;  // unreachable holes
+  };
+  const auto owner = [](std::size_t t) {
+    return static_cast<std::size_t>(mix64(t, 0x0D1) % kWorkers);
+  };
+
+  const auto run_workers = [&]() {
+    std::vector<CensusShards> planes;
+    planes.reserve(kWorkers);
+    for (std::size_t w = 0; w < kWorkers; ++w) planes.emplace_back(n);
+    std::vector<std::thread> threads;
+    threads.reserve(kWorkers);
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      threads.emplace_back([&planes, &member, &owner, w, n] {
+        for (std::size_t t = 0; t < n; ++t) {
+          if (owner(t) != w || !member(t)) continue;
+          write_target(planes[w], t);
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    return planes;
+  };
+
+  // The serial reference: one plane, one writer, same membership.
+  CensusShards serial(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    if (member(t)) write_target(serial, t);
+  }
+
+  std::vector<CensusShards> first = run_workers();
+  CensusShards forward = std::move(first[0]);
+  for (std::size_t w = 1; w < kWorkers; ++w) forward.merge(std::move(first[w]));
+
+  std::vector<CensusShards> second = run_workers();
+  CensusShards backward = std::move(second[kWorkers - 1]);
+  for (std::size_t w = kWorkers - 1; w-- > 0;) {
+    backward.merge(std::move(second[w]));
+  }
+
+  for (std::size_t t = 0; t < n; ++t) {
+    ASSERT_EQ(serial.written(t), forward.written(t)) << "target " << t;
+    ASSERT_EQ(serial.written(t), backward.written(t)) << "target " << t;
+    if (!serial.written(t)) continue;
+    expect_written(forward, t);
+    expect_written(backward, t);
+  }
+}
+
 }  // namespace
 }  // namespace anyopt::measure

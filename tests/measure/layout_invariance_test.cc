@@ -17,6 +17,7 @@
 #include "measure/orchestrator.h"
 #include "netbase/rng.h"
 #include "netbase/telemetry.h"
+#include "netbase/thread_pool.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
@@ -138,6 +139,40 @@ TEST_F(LayoutInvarianceTest, ServeResponsesBitIdentical) {
     EXPECT_EQ(serve::Service::execute(*compact.value(), request.value()),
               serve::Service::execute(*classic.value(), request.value()))
         << line;
+  }
+}
+
+TEST_F(LayoutInvarianceTest, ParallelResolveBitIdenticalToSerial) {
+  // The resolve_pool knob is a pure scheduling change: censuses AND the
+  // frozen RIB's cache hit/miss tallies must be bit-identical to the
+  // serial pass at any pool size.  (Chunk boundaries never split a
+  // client-AS run, so the per-AS miss-then-replay pattern is preserved
+  // exactly; the planes merge order-invariantly.)
+  telemetry::set_enabled(true);
+  auto& reg = telemetry::Registry::global();
+
+  anycast::AnycastConfig config;
+  config.announce_order = {SiteId{0}, SiteId{2}, SiteId{4}, SiteId{7}};
+  const std::uint64_t nonce = 0x9A7A11E1;
+
+  const Census serial = env().compact->measure(config, nonce);
+  const std::uint64_t serial_hits = reg.counter_value("bgp.resolve.cache_hit");
+  const std::uint64_t serial_misses =
+      reg.counter_value("bgp.resolve.cache_miss");
+  EXPECT_GT(serial_hits + serial_misses, 0u);
+
+  for (const std::size_t workers : {2u, 5u}) {
+    SCOPED_TRACE("pool size " + std::to_string(workers));
+    ThreadPool pool(workers);
+    OrchestratorOptions options;
+    options.compact_resolve = true;
+    options.resolve_pool = &pool;
+    const Orchestrator parallel(*env().world, options);
+    reg.reset();
+    const Census census = parallel.measure(config, nonce);
+    expect_census_identical(serial, census);
+    EXPECT_EQ(reg.counter_value("bgp.resolve.cache_hit"), serial_hits);
+    EXPECT_EQ(reg.counter_value("bgp.resolve.cache_miss"), serial_misses);
   }
 }
 

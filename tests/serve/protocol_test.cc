@@ -35,6 +35,20 @@ TEST(Protocol, ParsesEveryOp) {
   EXPECT_EQ(predict.value().sites, (std::vector<std::uint32_t>{2, 0}));
   EXPECT_EQ(predict.value().clients, (std::vector<std::uint32_t>{5, 7, 9}));
   EXPECT_TRUE(predict.value().detail);
+
+  Result<Request> mitigate =
+      parse_request("{\"op\":\"mitigate\",\"sites\":[4,2],\"intensity\":3.5}");
+  ASSERT_TRUE(mitigate.ok());
+  EXPECT_EQ(mitigate.value().op, Op::kMitigate);
+  EXPECT_EQ(mitigate.value().sites, (std::vector<std::uint32_t>{4, 2}));
+  EXPECT_DOUBLE_EQ(mitigate.value().intensity, 3.5);
+
+  // Both mitigate fields are optional: sites defaults to every site,
+  // intensity to 2.
+  Result<Request> bare = parse_request("{\"op\":\"mitigate\"}");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare.value().sites.empty());
+  EXPECT_DOUBLE_EQ(bare.value().intensity, 2.0);
 }
 
 TEST(Protocol, SiteOrderIsPreservedVerbatim) {
@@ -64,6 +78,14 @@ TEST(Protocol, RejectsMalformedRequests) {
       "{\"op\":\"score\",\"sites\":[1],\"clients\":[2]}",  // clients on score
       "{\"op\":\"score\",\"sites\":[1],\"detail\":true}",  // detail on score
       "{\"op\":\"predict\",\"sites\":[1],\"detail\":1}",   // detail not bool
+      "{\"op\":\"mitigate\",\"sites\":[]}",                // empty sites
+      "{\"op\":\"mitigate\",\"sites\":[1,1]}",             // duplicate site
+      "{\"op\":\"mitigate\",\"intensity\":1}",        // no added demand
+      "{\"op\":\"mitigate\",\"intensity\":0.5}",      // below baseline
+      "{\"op\":\"mitigate\",\"intensity\":\"high\"}",  // not a number
+      "{\"op\":\"score\",\"sites\":[1],\"intensity\":2}",  // not mitigate
+      "{\"op\":\"mitigate\",\"clients\":[1]}",        // clients on mitigate
+      "{\"op\":\"mitigate\",\"detail\":true}",        // detail on mitigate
   };
   for (const char* line : bad) {
     EXPECT_FALSE(parse_request(line).ok()) << line;

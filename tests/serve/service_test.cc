@@ -72,6 +72,57 @@ TEST_F(ServiceTest, InfoReportsTheSnapshotShape) {
             std::string::npos);
 }
 
+TEST_F(ServiceTest, InfoReportsSiteLoadCapacityAndSloState) {
+  Service service;
+  service.publish(snapshot_);
+  const std::string response = service.handle_line("{\"op\":\"info\"}");
+  EXPECT_NE(response.find("\"site_load\":["), std::string::npos) << response;
+  EXPECT_NE(response.find("\"site_capacity\":["), std::string::npos)
+      << response;
+  // The modeled capacities carry headroom over the baseline, so the quiet
+  // deployment is compliant by construction.
+  EXPECT_NE(response.find("\"slo_ok\":true"), std::string::npos) << response;
+  ASSERT_EQ(snapshot_->site_load().size(), snapshot_->site_count());
+  ASSERT_EQ(snapshot_->site_capacity().size(), snapshot_->site_count());
+  double total = 0;
+  for (std::size_t s = 0; s < snapshot_->site_count(); ++s) {
+    EXPECT_GE(snapshot_->site_capacity()[s], snapshot_->site_load()[s]);
+    total += snapshot_->site_load()[s];
+  }
+  // The all-sites baseline serves (almost) the whole population.
+  EXPECT_GT(total, 0.0);
+  EXPECT_LE(total, static_cast<double>(snapshot_->target_count()));
+}
+
+TEST_F(ServiceTest, MitigateSearchesPlaybooksAndIsDeterministic) {
+  Service service;
+  service.publish(snapshot_);
+  // A strong attack on a mid-size deployment: the response must carry the
+  // full mitigation block and repeat bit for bit.
+  const std::string line =
+      "{\"op\":\"mitigate\",\"sites\":[0,1,2,3,4,5,6,7],\"intensity\":8}";
+  const std::string first = service.handle_line(line);
+  ASSERT_EQ(first.rfind("{\"ok\":true", 0), 0u) << first;
+  for (const char* field :
+       {"\"intensity\":8", "\"attacked_site\":", "\"attacked_clients\":",
+        "\"slo_violated\":", "\"overloaded_sites\":[", "\"mitigated\":",
+        "\"time_to_mitigate_s\":", "\"post_mean_rtt_ms\":", "\"playbook\":\"",
+        "\"steps\":", "\"candidates\":", "\"pruned\":", "\"sim_events\":"}) {
+    EXPECT_NE(first.find(field), std::string::npos) << field;
+  }
+  EXPECT_EQ(service.handle_line(line), first);
+
+  // Sites defaults to the full deployment; intensity to 2.
+  const std::string bare = service.handle_line("{\"op\":\"mitigate\"}");
+  EXPECT_EQ(bare.rfind("{\"ok\":true", 0), 0u) << bare;
+  EXPECT_NE(bare.find("\"intensity\":2"), std::string::npos) << bare;
+
+  // Out-of-range sites are query errors, not crashes.
+  const std::string err =
+      service.handle_line("{\"op\":\"mitigate\",\"sites\":[999999]}");
+  EXPECT_EQ(err.rfind("{\"ok\":false", 0), 0u) << err;
+}
+
 TEST_F(ServiceTest, PredictMatchesThePredictorBitForBit) {
   // The response's detail arrays must restate Predictor::predict exactly:
   // same catchment site per client, same RTT rendered through the one

@@ -21,6 +21,8 @@
 //   --rss-tol=F         relative peak-RSS tolerance (default 0.25)
 //   --rss-budget-kb=N   absolute peak-RSS slack on top (default 16384)
 //   --qps-tol=F         relative serve-QPS tolerance (default 0.15)
+//   --ttm-tol=F         relative time-to-mitigate tolerance (default 0 =
+//                       exact; the search is deterministic)
 //
 // Wall time is noisy, so it gets a wide relative band; simulated event
 // counts are deterministic, so they default to exact — an unexplained event
@@ -38,7 +40,12 @@
 // a `scale` block (bench_scale's 5k→75k sweep), each size present in both
 // is judged per point — peak RSS under --rss-tol/--rss-budget-kb and census
 // wall under --wall-tol — so a memory regression at 75k ASes fails `check`
-// even when the headline fields stayed flat.
+// even when the headline fields stayed flat.  An `agility` block
+// (bench_agility's attack sweep) is likewise judged per point, matched by
+// intensity: a point the committed record mitigated must stay mitigated, its
+// time-to-mitigate may not grow beyond --ttm-tol, and the overlay path's
+// event count may not grow beyond --events-budget — faster mitigation and
+// fewer events always pass (the asymmetric gate again).
 //
 // Exit codes: 0 ok, 1 regression/difference/not-found, 2 usage or I/O.
 
@@ -69,7 +76,7 @@ int usage() {
       "       anyopt_bench check LATEST.json COMMITTED.json [thresholds]\n"
       "       anyopt_bench explain NONCE [LOG.jsonl]\n"
       "thresholds: --wall-tol=F --events-budget=N --rss-tol=F"
-      " --rss-budget-kb=N --qps-tol=F\n");
+      " --rss-budget-kb=N --qps-tol=F --ttm-tol=F\n");
   return 2;
 }
 
@@ -80,6 +87,7 @@ struct Thresholds {
   double rss_tol = 0.25;
   std::int64_t rss_budget_kb = 16384;
   double qps_tol = 0.15;
+  double ttm_tol = 0.0;
 };
 
 /// Pulls the threshold flags out of argv (anywhere) and returns the
@@ -98,6 +106,8 @@ bool parse_args(int argc, char** argv, Thresholds& thresholds,
       thresholds.rss_budget_kb = std::strtoll(argv[i] + 16, nullptr, 10);
     } else if (arg.rfind("--qps-tol=", 0) == 0) {
       thresholds.qps_tol = std::strtod(argv[i] + 10, nullptr);
+    } else if (arg.rfind("--ttm-tol=", 0) == 0) {
+      thresholds.ttm_tol = std::strtod(argv[i] + 10, nullptr);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "anyopt_bench: unknown flag %s\n", argv[i]);
       return false;
@@ -168,6 +178,16 @@ struct BenchRecord {
   };
   bool has_scale = false;        ///< optional "scale" block present
   std::vector<ScalePoint> scale_points;
+  /// One point of bench_agility's attack sweep (the optional "agility"
+  /// block), matched across records by intensity.
+  struct AgilityPoint {
+    double intensity = 0;
+    bool mitigated = false;
+    double ttm_s = 0;  ///< time_to_mitigate_s (-1 when unmitigated)
+    std::uint64_t sim_events_overlay = 0;
+  };
+  bool has_agility = false;      ///< optional "agility" block present
+  std::vector<AgilityPoint> agility_points;
 };
 
 std::uint64_t u64_field(const Value& object, std::string_view key) {
@@ -250,6 +270,24 @@ Result<BenchRecord> load_record(const std::string& path) {
         parsed.peak_rss_kb =
             static_cast<std::int64_t>(u64_field(point, "peak_rss_kb"));
         record.scale_points.push_back(parsed);
+      }
+    }
+  }
+  if (const Value* agility = root.find("agility");
+      agility != nullptr && agility->is_object()) {
+    record.has_agility = true;
+    if (const Value* points = agility->find("points");
+        points != nullptr && points->is_array()) {
+      for (const Value& point : points->items) {
+        if (!point.is_object()) continue;
+        BenchRecord::AgilityPoint parsed;
+        parsed.intensity = number_field(point, "intensity");
+        if (const Value* m = point.find("mitigated"); m != nullptr) {
+          parsed.mitigated = m->bool_value;
+        }
+        parsed.ttm_s = number_field(point, "time_to_mitigate_s");
+        parsed.sim_events_overlay = u64_field(point, "sim_events_overlay");
+        record.agility_points.push_back(parsed);
       }
     }
   }
@@ -371,6 +409,14 @@ FieldVerdict judge_qps(double a, double b, const Thresholds& t) {
   return {std::fabs(r) > t.qps_tol, r < -t.qps_tol};
 }
 
+/// Time-to-mitigate: lower is better; the search is deterministic, so the
+/// default tolerance is exact.  Callers only compare points both sides
+/// mitigated (an unmitigated point renders ttm as -1, not a duration).
+FieldVerdict judge_ttm(double a, double b, const Thresholds& t) {
+  const double r = rel(a, b);
+  return {std::fabs(r) > t.ttm_tol, r > t.ttm_tol};
+}
+
 void print_row(const char* name, double a, double b, bool flagged) {
   std::printf("  %-14s %14.3f -> %14.3f  (%+.1f%%)%s\n", name, a, b,
               rel(a, b) * 100.0, flagged ? "  !" : "");
@@ -459,6 +505,35 @@ int cmd_diff(const std::string& path_a, const std::string& path_b,
     }
   } else if (a.has_scale || b.has_scale) {
     print_skip("scale", a, b, a.has_scale, b.has_scale);
+  }
+  if (a.has_agility && b.has_agility) {
+    for (const auto& pa : a.agility_points) {
+      const auto it = std::find_if(
+          b.agility_points.begin(), b.agility_points.end(),
+          [&](const auto& pb) { return pb.intensity == pa.intensity; });
+      if (it == b.agility_points.end()) continue;  // not in both sweeps
+      char suffix[32];
+      std::snprintf(suffix, sizeof suffix, "@x%g", pa.intensity);
+      if (pa.mitigated != it->mitigated) {
+        std::printf("  mitigated%-5s %14s -> %14s  !\n", suffix,
+                    pa.mitigated ? "true" : "false",
+                    it->mitigated ? "true" : "false");
+        different = true;
+      } else if (pa.mitigated) {
+        const FieldVerdict ttm = judge_ttm(pa.ttm_s, it->ttm_s, thresholds);
+        print_row(("ttm_s" + std::string(suffix)).c_str(), pa.ttm_s,
+                  it->ttm_s, ttm.flagged);
+        different |= ttm.flagged;
+      }
+      const FieldVerdict events = judge_events(
+          pa.sim_events_overlay, it->sim_events_overlay, thresholds);
+      print_row(("ov_events" + std::string(suffix)).c_str(),
+                static_cast<double>(pa.sim_events_overlay),
+                static_cast<double>(it->sim_events_overlay), events.flagged);
+      different |= events.flagged;
+    }
+  } else if (a.has_agility || b.has_agility) {
+    print_skip("agility", a, b, a.has_agility, b.has_agility);
   }
   print_row("experiments", static_cast<double>(a.campaign_experiments),
             static_cast<double>(b.campaign_experiments), false);
@@ -575,6 +650,48 @@ int cmd_check(const std::string& latest_path,
     }
   } else if (latest.has_scale || committed.has_scale) {
     skipped("scale", latest.has_scale, committed.has_scale);
+  }
+  // bench_agility's attack sweep is gated per intensity, asymmetrically:
+  // a point the committed record mitigated must STAY mitigated (losing a
+  // working playbook is the one regression no tolerance excuses), its
+  // time-to-mitigate may not grow beyond --ttm-tol, and the overlay event
+  // count may not grow beyond --events-budget.  Newly-mitigated points,
+  // faster mitigation and fewer events are improvements and pass.
+  if (latest.has_agility && committed.has_agility) {
+    for (const auto& point : committed.agility_points) {
+      const auto it = std::find_if(
+          latest.agility_points.begin(), latest.agility_points.end(),
+          [&](const auto& p) { return p.intensity == point.intensity; });
+      char suffix[32];
+      std::snprintf(suffix, sizeof suffix, "@x%g", point.intensity);
+      if (it == latest.agility_points.end()) {
+        std::printf("skipped    agility%-5s intensity absent in %s"
+                    " — not comparable\n",
+                    suffix, latest.path.c_str());
+        continue;
+      }
+      if (point.mitigated && !it->mitigated) {
+        ++failures;
+        std::printf("REGRESSION mitigated%-5s true -> false"
+                    " (committed playbook no longer restores the SLO)\n",
+                    suffix);
+      } else if (!point.mitigated && it->mitigated) {
+        std::printf("improved   mitigated%-5s false -> true"
+                    " — consider regenerating the committed record\n",
+                    suffix);
+      }
+      if (point.mitigated && it->mitigated) {
+        report(("ttm_s" + std::string(suffix)).c_str(), point.ttm_s,
+               it->ttm_s, judge_ttm(point.ttm_s, it->ttm_s, thresholds));
+      }
+      report(("ov_events" + std::string(suffix)).c_str(),
+             static_cast<double>(point.sim_events_overlay),
+             static_cast<double>(it->sim_events_overlay),
+             judge_events(point.sim_events_overlay, it->sim_events_overlay,
+                          thresholds));
+    }
+  } else if (latest.has_agility || committed.has_agility) {
+    skipped("agility", latest.has_agility, committed.has_agility);
   }
   if (failures > 0) {
     std::printf("CHECK FAILED: %d regression(s) beyond thresholds\n",
